@@ -1,0 +1,90 @@
+//! Criterion microbenches of the atomicity checkers: cost of certifying
+//! histories of growing size, with and without crashes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rmem_consistency::{check_persistent, check_transient, History};
+use rmem_types::{Op, OpResult, ProcessId, Value};
+
+/// A legal sequential history of `ops` alternating writes and reads
+/// across three processes.
+fn sequential_history(ops: usize) -> History {
+    let mut h = History::new();
+    let mut latest = Value::bottom();
+    for i in 0..ops {
+        let pid = ProcessId((i % 3) as u16);
+        if i % 2 == 0 {
+            let v = Value::from_u32(i as u32);
+            h.complete_write(pid, v.clone());
+            latest = v;
+        } else {
+            h.complete_read(pid, latest.clone());
+        }
+    }
+    h
+}
+
+/// A history with concurrency: `writers` overlapping writes then reads
+/// that all agree on one of them.
+fn concurrent_history(writers: usize) -> History {
+    let mut h = History::new();
+    let mut pending = Vec::new();
+    for i in 0..writers {
+        let pid = ProcessId(i as u16);
+        pending.push(h.invoke(pid, Op::Write(Value::from_u32(i as u32))));
+    }
+    for op in pending {
+        h.reply(op, OpResult::Written);
+    }
+    let winner = Value::from_u32((writers - 1) as u32);
+    for _ in 0..4 {
+        h.complete_read(ProcessId(writers as u16), winner.clone());
+    }
+    h
+}
+
+/// A crashy history: a writer crashes mid-write per round, recovers,
+/// writes again; reads observe the finished values.
+fn crashy_history(rounds: usize) -> History {
+    let mut h = History::new();
+    let w = ProcessId(0);
+    let r = ProcessId(1);
+    let mut v = 1u32;
+    for _ in 0..rounds {
+        h.complete_write(w, Value::from_u32(v));
+        let _pending = h.invoke(w, Op::Write(Value::from_u32(v + 1)));
+        h.crash(w);
+        h.recover(w);
+        h.complete_read(r, Value::from_u32(v));
+        v += 2;
+    }
+    h
+}
+
+fn bench_checkers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker");
+    for ops in [10usize, 30, 60] {
+        let h = sequential_history(ops);
+        group.bench_with_input(BenchmarkId::new("sequential", ops), &h, |b, h| {
+            b.iter(|| check_persistent(h).expect("atomic"))
+        });
+    }
+    for writers in [4usize, 8, 12] {
+        let h = concurrent_history(writers);
+        group.bench_with_input(BenchmarkId::new("concurrent_writers", writers), &h, |b, h| {
+            b.iter(|| check_persistent(h).expect("atomic"))
+        });
+    }
+    for rounds in [2usize, 4, 6] {
+        let h = crashy_history(rounds);
+        group.bench_with_input(BenchmarkId::new("crashy_persistent", rounds), &h, |b, h| {
+            b.iter(|| check_persistent(h).expect("atomic"))
+        });
+        group.bench_with_input(BenchmarkId::new("crashy_transient", rounds), &h, |b, h| {
+            b.iter(|| check_transient(h).expect("atomic"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkers);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion microbenches of the simulator engine: end-to-end events per
+//! second for representative workloads, and codec throughput on the
+//! message hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rmem_bench::AlgoChoice;
+use rmem_sim::workload::ClosedLoop;
+use rmem_sim::{ClusterConfig, NetConfig, Simulation};
+use rmem_types::codec::{decode_message, encode_message};
+use rmem_types::{Message, Micros, OpKind, ProcessId, RequestId, Timestamp, Value};
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    for (label, net) in [("reliable", NetConfig::default()), ("lossy", NetConfig::lossy(0.1, 0.05))]
+    {
+        group.bench_with_input(BenchmarkId::new("50_writes_n5", label), &net, |b, net| {
+            b.iter(|| {
+                let config = ClusterConfig::new(5).with_net(net.clone());
+                let mut sim =
+                    Simulation::new(config, AlgoChoice::Persistent.factory(), 7);
+                sim.add_closed_loop(
+                    ClosedLoop::writes(ProcessId(0), Value::from_u32(1), 50)
+                        .with_think(Micros(50)),
+                );
+                let report = sim.run();
+                assert_eq!(report.trace.latencies(OpKind::Write).len(), 50);
+                report.events_processed
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_message_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("message_codec");
+    for size in [4usize, 1024, 65536] {
+        let msg = Message::Write {
+            req: RequestId::new(ProcessId(1), 77),
+            ts: Timestamp::new(9, ProcessId(1)),
+            value: Value::new(vec![0xEE; size]),
+        };
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("encode", size), &msg, |b, msg| {
+            b.iter(|| encode_message(msg))
+        });
+        let bytes = encode_message(&msg);
+        group.bench_with_input(BenchmarkId::new("decode", size), &bytes, |b, bytes| {
+            b.iter(|| decode_message(bytes).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_throughput, bench_message_codec);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion microbenches of the stable-storage substrate: in-memory
+//! stores, fsync-backed file stores (the paper's λ on this machine), and
+//! record encode/decode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rmem_storage::records::{WrittenRecord, KEY_WRITTEN};
+use rmem_storage::{FileStorage, MemStorage, StableStorage};
+use rmem_types::{ProcessId, Timestamp, Value};
+
+fn bench_mem_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mem_store");
+    for size in [4usize, 1024, 65536] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let mut storage = MemStorage::new();
+            let payload = bytes::Bytes::from(vec![0u8; size]);
+            b.iter(|| storage.store(KEY_WRITTEN, payload.clone()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_file_store_fsync(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("rmem-bench-fs-{}", std::process::id()));
+    let mut group = c.benchmark_group("file_store_fsync");
+    group.sample_size(20); // fsync is slow; keep the run short
+    for size in [4usize, 4096] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let mut storage = FileStorage::open(&dir).unwrap();
+            let payload = bytes::Bytes::from(vec![0u8; size]);
+            b.iter(|| storage.store(KEY_WRITTEN, payload.clone()).unwrap());
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+fn bench_record_codec(c: &mut Criterion) {
+    let record = WrittenRecord {
+        ts: Timestamp::new(123456, ProcessId(3)),
+        value: Value::new(vec![0xCD; 1024]),
+    };
+    c.bench_function("written_record_encode_1k", |b| b.iter(|| record.encode()));
+    let bytes = record.encode();
+    c.bench_function("written_record_decode_1k", |b| {
+        b.iter(|| WrittenRecord::decode(&bytes).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_mem_store, bench_file_store_fsync, bench_record_codec);
+criterion_main!(benches);

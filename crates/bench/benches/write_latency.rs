@@ -1,0 +1,45 @@
+//! Criterion bench over simulated write operations — one group per
+//! algorithm and cluster size, reproducing the Fig. 6 (top) measurement
+//! loop under Criterion's statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rmem_bench::AlgoChoice;
+use rmem_sim::workload::ClosedLoop;
+use rmem_sim::{ClusterConfig, Simulation};
+use rmem_types::{Micros, OpKind, ProcessId, Value};
+
+/// One full 50-write run (virtual time); Criterion measures the wall cost
+/// of simulating it, while the returned number is the mean *virtual*
+/// latency — the figure's quantity — asserted against the expected band.
+fn run_once(algo: AlgoChoice, n: usize, seed: u64) -> f64 {
+    let mut sim = Simulation::new(ClusterConfig::new(n), algo.factory(), seed);
+    sim.add_closed_loop(
+        ClosedLoop::writes(ProcessId(0), Value::from_u32(7), 50).with_think(Micros(50)),
+    );
+    let report = sim.run();
+    let lats = report.trace.latencies(OpKind::Write);
+    lats.iter().sum::<u64>() as f64 / lats.len() as f64
+}
+
+fn bench_write_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_top_write_latency");
+    for algo in AlgoChoice::FIG6 {
+        for n in [3usize, 5, 9] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name().replace(' ', "_"), n),
+                &n,
+                |b, &n| {
+                    b.iter(|| {
+                        let mean = run_once(algo, n, 42);
+                        assert!(mean > 300.0, "implausible virtual latency {mean}");
+                        mean
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_write_latency);
+criterion_main!(benches);

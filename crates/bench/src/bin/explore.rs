@@ -1,0 +1,74 @@
+//! Randomized adversary exploration at scale: thousands of seeded random
+//! crash/partition/loss schedules, every history checker-certified.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p rmem-bench --bin explore -- \
+//!     [--target persistent|transient|persistent-memory|all] \
+//!     [--runs N] [--base SEED]
+//! ```
+//!
+//! A violation prints the offending seed — which, thanks to the
+//! deterministic simulator, is a complete reproduction — and exits
+//! non-zero.
+
+use rmem_bench::explore::{sweep, Target};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut target = "all".to_string();
+    let mut runs = 200usize;
+    let mut base = 0u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--target" => target = it.next().cloned().unwrap_or_default(),
+            "--runs" => runs = it.next().and_then(|v| v.parse().ok()).unwrap_or(runs),
+            "--base" => base = it.next().and_then(|v| v.parse().ok()).unwrap_or(base),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let targets: Vec<Target> = match target.as_str() {
+        "persistent" => vec![Target::Persistent],
+        "transient" => vec![Target::Transient],
+        "persistent-memory" => vec![Target::PersistentMemory],
+        "all" => Target::ALL.to_vec(),
+        other => {
+            eprintln!("unknown target {other:?}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut failed = false;
+    for t in targets {
+        let start = std::time::Instant::now();
+        let summary = sweep(t, base, runs);
+        println!(
+            "{:<18} {} runs in {:?}: {} ops completed, {} crashes, {} msgs dropped — {}",
+            t.name(),
+            summary.runs,
+            start.elapsed(),
+            summary.completed_ops,
+            summary.crashes,
+            summary.dropped,
+            if summary.violations.is_empty() {
+                "no violations".to_string()
+            } else {
+                failed = true;
+                format!("VIOLATING SEEDS: {:?}", summary.violations)
+            }
+        );
+        for &seed in summary.violations.iter().take(3) {
+            if let Some(minimal) = rmem_bench::explore::minimal_counterexample(t, seed) {
+                println!("--- minimal counterexample for seed {seed} ---");
+                println!("{minimal:#?}");
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

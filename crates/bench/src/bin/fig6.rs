@@ -1,0 +1,38 @@
+//! Regenerates Fig. 6 of the paper (both panels).
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p rmem-bench --bin fig6 -- [top|bottom|all] [--csv]
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
+    let csv = args.iter().any(|a| a == "--csv");
+
+    if which == "top" || which == "all" {
+        let (_, table) = rmem_bench::fig6_top();
+        println!("{}", table.to_text());
+        println!(
+            "paper reference at N=5: crash-stop ≈ 500µs, transient ≈ 700µs, persistent ≈ 900µs"
+        );
+        println!("(simulator constants: δ=100µs one-way, λ=200µs per log)\n");
+        if csv {
+            let path = table.write_csv("fig6_top").expect("writing CSV");
+            println!("wrote {}", path.display());
+        }
+    }
+    if which == "bottom" || which == "all" {
+        let (_, table) = rmem_bench::fig6_bottom();
+        println!("{}", table.to_text());
+        println!("paper shape: latency grows linearly with payload size (§V-B)\n");
+        if csv {
+            let path = table.write_csv("fig6_bottom").expect("writing CSV");
+            println!("wrote {}", path.display());
+        }
+    }
+    if !["top", "bottom", "all"].contains(&which) {
+        eprintln!("usage: fig6 [top|bottom|all] [--csv]");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,17 @@
+//! Real-mode calibration: loopback UDP + fsync file logs on this machine
+//! (the §V-A setup scaled down to one host).
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p rmem-bench --bin real_mode
+//! ```
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("rmem-real-mode-{}", std::process::id()));
+    let table = rmem_bench::real_mode(&dir);
+    println!("{}", table.to_text());
+    println!("note: all processes share one host and one disk here, so absolute numbers");
+    println!("compress the paper's LAN spread; the ordering crash-stop < transient < persistent");
+    println!("and the role of λ are what carries over.");
+    let _ = std::fs::remove_dir_all(dir);
+}

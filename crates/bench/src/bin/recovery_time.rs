@@ -1,0 +1,22 @@
+//! Extension experiment: the cost of each algorithm's recovery procedure
+//! (Recover event → process ready to serve).
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p rmem-bench --bin recovery_time -- [--csv]
+//! ```
+
+fn main() {
+    let (_, table) = rmem_bench::recovery_table();
+    println!("{}", table.to_text());
+    println!("expected composition (δ=100µs, λ=200µs):");
+    println!("  persistent ≈ one propagation round-trip (2δ), plus replica logs (λ) if the");
+    println!("               interrupted write had not been adopted yet (Fig. 4 lines 43–46);");
+    println!("  transient  ≈ one local log (λ) for the rec counter (Fig. 5 lines 19–21);");
+    println!("  regular    ≈ λ + a majority query round (2δ);");
+    println!("  crash-stop = 0 — it restores nothing, which is exactly why it forgets.");
+    if std::env::args().any(|a| a == "--csv") {
+        let path = table.write_csv("recovery_time").expect("writing CSV");
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,28 @@
+//! Experiment harness regenerating every figure of the paper's evaluation
+//! (§V), plus the log-complexity table implied by §IV.
+//!
+//! | experiment | paper | binary |
+//! |---|---|---|
+//! | write latency vs. cluster size | Fig. 6 (top) | `cargo run -p rmem-bench --bin fig6 -- top` |
+//! | write latency vs. payload size | Fig. 6 (bottom) | `cargo run -p rmem-bench --bin fig6 -- bottom` |
+//! | causal logs per operation (+ ablation violations) | §IV Theorems 1–2 | `cargo run -p rmem-bench --bin log_table` |
+//! | real-mode calibration (loopback UDP + fsync) | §V-A setup | `cargo run -p rmem-bench --bin real_mode` |
+//!
+//! The simulator is calibrated to the paper's constants — one-way message
+//! delay δ ≈ 100 µs, synchronous log λ ≈ 200 µs (§I-B) — so the *shape*
+//! of every result is comparable: who wins, by roughly what factor, and
+//! where the curves grow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod explore;
+pub mod scenarios;
+pub mod table;
+
+pub use experiments::{
+    ablation_table, fig6_bottom, fig6_top, log_table, real_mode, recovery_table, AblationRow,
+    AlgoChoice, Fig6BottomRow, Fig6TopRow, LogTableRow, RecoveryRow,
+};
+pub use table::Table;

@@ -1,0 +1,452 @@
+//! Histories: sequences of invocation, reply, crash and recovery events.
+//!
+//! This is the paper's §III-A formalism: a history is a sequence of events
+//! of four kinds; crash and recovery events are associated with one
+//! process; every invocation/reply is associated with one process (we deal
+//! with a single register object, so the "object" component is implicit).
+
+use std::collections::HashMap;
+
+use rmem_types::{Op, OpId, OpResult, ProcessId};
+
+/// One event of a history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A process invokes an operation.
+    Invoke {
+        /// Operation id (unique per history).
+        op: OpId,
+        /// What was invoked.
+        operation: Op,
+    },
+    /// A process receives the reply to a previously invoked operation.
+    Reply {
+        /// The operation being answered.
+        op: OpId,
+        /// The reported result.
+        result: OpResult,
+    },
+    /// A process crashes, losing volatile state.
+    Crash {
+        /// The crashing process.
+        pid: ProcessId,
+    },
+    /// A previously crashed process recovers.
+    Recover {
+        /// The recovering process.
+        pid: ProcessId,
+    },
+}
+
+impl Event {
+    /// The process this event is associated with.
+    pub fn pid(&self) -> ProcessId {
+        match self {
+            Event::Invoke { op, .. } | Event::Reply { op, .. } => op.pid,
+            Event::Crash { pid } | Event::Recover { pid } => *pid,
+        }
+    }
+}
+
+/// Why a history is not well-formed (§III-A's conditions (a)–(c) plus the
+/// obvious matching rules).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WellFormedError {
+    /// A reply appeared with no matching pending invocation.
+    UnmatchedReply {
+        /// The offending operation id.
+        op: OpId,
+    },
+    /// A process invoked an operation while another was still pending.
+    OverlappingInvocation {
+        /// The offending operation id.
+        op: OpId,
+    },
+    /// A process had an event while crashed that is not its recovery.
+    EventWhileCrashed {
+        /// The process in question.
+        pid: ProcessId,
+        /// Index of the offending event.
+        index: usize,
+    },
+    /// A recovery appeared for a process that was not crashed.
+    SpuriousRecovery {
+        /// The process in question.
+        pid: ProcessId,
+        /// Index of the offending event.
+        index: usize,
+    },
+    /// A crash appeared for a process that was already crashed.
+    DoubleCrash {
+        /// The process in question.
+        pid: ProcessId,
+        /// Index of the offending event.
+        index: usize,
+    },
+    /// A reply arrived for an operation whose invocation was wiped by a
+    /// crash — impossible in the model (the automaton died).
+    ReplyAfterCrash {
+        /// The offending operation id.
+        op: OpId,
+    },
+    /// The same operation id was invoked twice.
+    DuplicateOp {
+        /// The offending operation id.
+        op: OpId,
+    },
+}
+
+impl std::fmt::Display for WellFormedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WellFormedError::UnmatchedReply { op } => write!(f, "reply without invocation for {op}"),
+            WellFormedError::OverlappingInvocation { op } => {
+                write!(f, "invocation {op} while a previous operation is pending")
+            }
+            WellFormedError::EventWhileCrashed { pid, index } => {
+                write!(f, "event #{index} at crashed process {pid}")
+            }
+            WellFormedError::SpuriousRecovery { pid, index } => {
+                write!(f, "recovery #{index} of non-crashed process {pid}")
+            }
+            WellFormedError::DoubleCrash { pid, index } => {
+                write!(f, "crash #{index} of already crashed process {pid}")
+            }
+            WellFormedError::ReplyAfterCrash { op } => {
+                write!(f, "reply to {op}, whose invocation was lost to a crash")
+            }
+            WellFormedError::DuplicateOp { op } => write!(f, "operation id {op} invoked twice"),
+        }
+    }
+}
+
+impl std::error::Error for WellFormedError {}
+
+/// A recorded history of one register object.
+///
+/// Events are held in global real-time order (the order the recording
+/// harness observed them). Operation precedence — "op1 precedes op2 iff
+/// op1's reply comes before op2's invocation" — is derived from event
+/// indices in this sequence.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct History {
+    events: Vec<Event>,
+    next_counter: HashMap<ProcessId, u64>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// The recorded events, in real-time order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the history has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Appends a raw event (used when converting simulator traces).
+    pub fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    // -- Builder conveniences -------------------------------------------
+
+    /// Records an invocation by `pid`, auto-assigning the next per-process
+    /// operation counter. Returns the operation id to pass to
+    /// [`reply`](Self::reply).
+    pub fn invoke(&mut self, pid: ProcessId, operation: Op) -> OpId {
+        let counter = self.next_counter.entry(pid).or_insert(0);
+        let op = OpId::new(pid, *counter);
+        *counter += 1;
+        self.events.push(Event::Invoke { op, operation });
+        op
+    }
+
+    /// Records the reply to a previous invocation.
+    pub fn reply(&mut self, op: OpId, result: OpResult) {
+        self.events.push(Event::Reply { op, result });
+    }
+
+    /// Records a write invocation immediately followed by its reply.
+    pub fn complete_write(&mut self, pid: ProcessId, value: rmem_types::Value) -> OpId {
+        let op = self.invoke(pid, Op::Write(value));
+        self.reply(op, OpResult::Written);
+        op
+    }
+
+    /// Records a read invocation immediately followed by its reply.
+    pub fn complete_read(&mut self, pid: ProcessId, value: rmem_types::Value) -> OpId {
+        let op = self.invoke(pid, Op::Read);
+        self.reply(op, OpResult::ReadValue(value));
+        op
+    }
+
+    /// Records a crash of `pid`.
+    pub fn crash(&mut self, pid: ProcessId) {
+        self.events.push(Event::Crash { pid });
+    }
+
+    /// Records a recovery of `pid`.
+    pub fn recover(&mut self, pid: ProcessId) {
+        self.events.push(Event::Recover { pid });
+    }
+
+    // -- Queries ---------------------------------------------------------
+
+    /// Checks the well-formedness conditions of §III-A.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`WellFormedError`] encountered, scanning in event
+    /// order.
+    pub fn well_formed(&self) -> Result<(), WellFormedError> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum PState {
+            Idle,
+            Pending(OpId),
+            Crashed,
+        }
+        let mut state: HashMap<ProcessId, PState> = HashMap::new();
+        let mut ever_invoked: HashMap<OpId, bool> = HashMap::new(); // op -> lost to crash
+        for (index, ev) in self.events.iter().enumerate() {
+            let pid = ev.pid();
+            let st = state.entry(pid).or_insert(PState::Idle);
+            match ev {
+                Event::Invoke { op, .. } => {
+                    if ever_invoked.contains_key(op) {
+                        return Err(WellFormedError::DuplicateOp { op: *op });
+                    }
+                    match *st {
+                        PState::Idle => {
+                            ever_invoked.insert(*op, false);
+                            *st = PState::Pending(*op);
+                        }
+                        PState::Pending(_) => {
+                            return Err(WellFormedError::OverlappingInvocation { op: *op })
+                        }
+                        PState::Crashed => {
+                            return Err(WellFormedError::EventWhileCrashed { pid, index })
+                        }
+                    }
+                }
+                Event::Reply { op, .. } => match *st {
+                    PState::Pending(pending) if pending == *op => *st = PState::Idle,
+                    PState::Crashed => return Err(WellFormedError::EventWhileCrashed { pid, index }),
+                    _ => {
+                        return Err(if ever_invoked.get(op).copied().unwrap_or(false) {
+                            WellFormedError::ReplyAfterCrash { op: *op }
+                        } else {
+                            WellFormedError::UnmatchedReply { op: *op }
+                        })
+                    }
+                },
+                Event::Crash { .. } => match *st {
+                    PState::Crashed => return Err(WellFormedError::DoubleCrash { pid, index }),
+                    PState::Pending(op) => {
+                        // The pending invocation is permanently lost.
+                        ever_invoked.insert(op, true);
+                        *st = PState::Crashed;
+                    }
+                    PState::Idle => *st = PState::Crashed,
+                },
+                Event::Recover { .. } => match *st {
+                    PState::Crashed => *st = PState::Idle,
+                    _ => return Err(WellFormedError::SpuriousRecovery { pid, index }),
+                },
+            }
+        }
+        Ok(())
+    }
+
+    /// All operation ids that have an invocation but no reply.
+    pub fn pending_ops(&self) -> Vec<OpId> {
+        let mut pending: Vec<OpId> = Vec::new();
+        let mut replied: std::collections::HashSet<OpId> = std::collections::HashSet::new();
+        for ev in &self.events {
+            match ev {
+                Event::Invoke { op, .. } => pending.push(*op),
+                Event::Reply { op, .. } => {
+                    replied.insert(*op);
+                }
+                _ => {}
+            }
+        }
+        pending.retain(|op| !replied.contains(op));
+        pending
+    }
+
+    /// Restriction of the history to one process, preserving order.
+    pub fn local(&self, pid: ProcessId) -> Vec<&Event> {
+        self.events.iter().filter(|e| e.pid() == pid).collect()
+    }
+
+    /// Number of crash events.
+    pub fn crash_count(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e, Event::Crash { .. })).count()
+    }
+
+    /// The registers addressed by this history's operations.
+    pub fn registers(&self) -> std::collections::BTreeSet<rmem_types::RegisterId> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Invoke { operation, .. } => Some(operation.register()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The restriction of this history to one register: its operations
+    /// (normalized to the unaddressed forms) plus every crash/recovery
+    /// event.
+    ///
+    /// By the *locality* of linearizability, a multi-register history is
+    /// atomic iff each restriction is; the checkers partition
+    /// multi-register histories this way. For the crash-recovery criteria
+    /// the completion bounds are interpreted **per register**: a pending
+    /// write may be completed up to the same process's next invocation
+    /// (persistent) or next write reply (transient) *on the same
+    /// register*. The paper defines the criteria for a single object
+    /// (§III footnote); the per-register reading is the conservative
+    /// lift — bounds never extend past an intervening same-register
+    /// operation.
+    pub fn restrict_to_register(&self, reg: rmem_types::RegisterId) -> History {
+        let mut ops_in_reg: std::collections::HashSet<OpId> = std::collections::HashSet::new();
+        let mut out = History::new();
+        for ev in &self.events {
+            match ev {
+                Event::Invoke { op, operation } => {
+                    if operation.register() == reg {
+                        ops_in_reg.insert(*op);
+                        out.push(Event::Invoke {
+                            op: *op,
+                            operation: operation.clone().normalized(),
+                        });
+                    }
+                }
+                Event::Reply { op, result } => {
+                    if ops_in_reg.contains(op) {
+                        out.push(Event::Reply { op: *op, result: result.clone() });
+                    }
+                }
+                Event::Crash { pid } => out.push(Event::Crash { pid: *pid }),
+                Event::Recover { pid } => out.push(Event::Recover { pid: *pid }),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmem_types::Value;
+
+    fn p(i: u16) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn builder_produces_well_formed_history() {
+        let mut h = History::new();
+        let w = h.invoke(p(0), Op::Write(Value::from_u32(1)));
+        h.reply(w, OpResult::Written);
+        h.crash(p(0));
+        h.recover(p(0));
+        let r = h.invoke(p(0), Op::Read);
+        h.reply(r, OpResult::ReadValue(Value::from_u32(1)));
+        assert!(h.well_formed().is_ok());
+        assert!(h.pending_ops().is_empty());
+        assert_eq!(h.crash_count(), 1);
+        assert_eq!(h.local(p(0)).len(), 6);
+    }
+
+    #[test]
+    fn crash_mid_operation_leaves_it_pending() {
+        let mut h = History::new();
+        let _w = h.invoke(p(1), Op::Write(Value::from_u32(2)));
+        h.crash(p(1));
+        h.recover(p(1));
+        let w2 = h.invoke(p(1), Op::Write(Value::from_u32(3)));
+        h.reply(w2, OpResult::Written);
+        assert!(h.well_formed().is_ok());
+        assert_eq!(h.pending_ops(), vec![OpId::new(p(1), 0)]);
+    }
+
+    #[test]
+    fn overlapping_invocations_rejected() {
+        let mut h = History::new();
+        let _a = h.invoke(p(0), Op::Read);
+        let b = h.invoke(p(0), Op::Read);
+        assert_eq!(h.well_formed(), Err(WellFormedError::OverlappingInvocation { op: b }));
+    }
+
+    #[test]
+    fn unmatched_reply_rejected() {
+        let mut h = History::new();
+        h.reply(OpId::new(p(0), 0), OpResult::Written);
+        assert!(matches!(h.well_formed(), Err(WellFormedError::UnmatchedReply { .. })));
+    }
+
+    #[test]
+    fn reply_after_crash_rejected() {
+        let mut h = History::new();
+        let w = h.invoke(p(0), Op::Write(Value::from_u32(1)));
+        h.crash(p(0));
+        h.recover(p(0));
+        h.reply(w, OpResult::Written);
+        assert_eq!(h.well_formed(), Err(WellFormedError::ReplyAfterCrash { op: w }));
+    }
+
+    #[test]
+    fn event_while_crashed_rejected() {
+        let mut h = History::new();
+        h.crash(p(0));
+        h.push(Event::Invoke { op: OpId::new(p(0), 0), operation: Op::Read });
+        assert!(matches!(h.well_formed(), Err(WellFormedError::EventWhileCrashed { .. })));
+    }
+
+    #[test]
+    fn spurious_recovery_rejected() {
+        let mut h = History::new();
+        h.recover(p(2));
+        assert!(matches!(h.well_formed(), Err(WellFormedError::SpuriousRecovery { .. })));
+    }
+
+    #[test]
+    fn double_crash_rejected() {
+        let mut h = History::new();
+        h.crash(p(0));
+        h.crash(p(0));
+        assert!(matches!(h.well_formed(), Err(WellFormedError::DoubleCrash { .. })));
+    }
+
+    #[test]
+    fn duplicate_op_id_rejected() {
+        let mut h = History::new();
+        let op = OpId::new(p(0), 0);
+        h.push(Event::Invoke { op, operation: Op::Read });
+        h.push(Event::Reply { op, result: OpResult::Written });
+        h.push(Event::Invoke { op, operation: Op::Read });
+        assert_eq!(h.well_formed(), Err(WellFormedError::DuplicateOp { op }));
+    }
+
+    #[test]
+    fn crash_without_recovery_is_fine() {
+        let mut h = History::new();
+        let _ = h.invoke(p(0), Op::Read);
+        h.crash(p(0));
+        assert!(h.well_formed().is_ok());
+    }
+}

@@ -1,0 +1,273 @@
+//! Register linearizability search over operation intervals.
+//!
+//! This is the Wing–Gong search specialised to a single read/write
+//! register, with the standard memoization on (set of linearized ops,
+//! current register value): once a state is known to fail, it is never
+//! explored again. Histories up to 128 operations are supported (the mask
+//! is a `u128`); the memo keeps the search polynomial-ish in practice for
+//! the history sizes our tests and benchmarks generate.
+
+use std::collections::HashSet;
+
+use rmem_types::{OpId, OpKind, Value};
+
+use crate::intervals::IntervalOp;
+
+/// Maximum number of operations the checker accepts.
+pub const MAX_OPS: usize = 128;
+
+/// Attempts to linearize `ops` (a complete set of interval operations on
+/// one register with initial value ⊥).
+///
+/// Returns a witness order (operation ids in linearization order) if one
+/// exists, `None` otherwise.
+///
+/// # Panics
+///
+/// Panics if `ops.len() > MAX_OPS`.
+pub fn linearize_register(ops: &[IntervalOp]) -> Option<Vec<OpId>> {
+    assert!(
+        ops.len() <= MAX_OPS,
+        "checker supports at most {MAX_OPS} operations, got {}",
+        ops.len()
+    );
+    if ops.is_empty() {
+        return Some(Vec::new());
+    }
+
+    let n = ops.len();
+    let full: u128 = if n == 128 { u128::MAX } else { (1u128 << n) - 1 };
+
+    // `last_write` encodes the register value: usize::MAX = initial ⊥.
+    const INITIAL: usize = usize::MAX;
+
+    fn current_value(ops: &[IntervalOp], last_write: usize) -> Option<&Value> {
+        if last_write == INITIAL {
+            None
+        } else {
+            ops[last_write].write_value.as_ref()
+        }
+    }
+
+    let mut failed: HashSet<(u128, usize)> = HashSet::new();
+    let mut stack: Vec<usize> = Vec::with_capacity(n);
+
+    fn dfs(
+        ops: &[IntervalOp],
+        done: u128,
+        last_write: usize,
+        full: u128,
+        failed: &mut HashSet<(u128, usize)>,
+        stack: &mut Vec<usize>,
+    ) -> bool {
+        if done == full {
+            return true;
+        }
+        if failed.contains(&(done, last_write)) {
+            return false;
+        }
+
+        // Frontier: the earliest end among un-linearized ops. Only ops
+        // invoked before it may linearize next.
+        let mut min_end = usize::MAX;
+        for (i, op) in ops.iter().enumerate() {
+            if done & (1 << i) == 0 {
+                min_end = min_end.min(op.end);
+            }
+        }
+
+        for (i, op) in ops.iter().enumerate() {
+            if done & (1 << i) != 0 || op.inv > min_end {
+                continue;
+            }
+            // Semantic admissibility.
+            let (ok, next_last) = match op.kind {
+                OpKind::Write => (true, i),
+                OpKind::Read => {
+                    let cur = current_value(ops, last_write);
+                    let ok = match (&op.read_value, cur) {
+                        (Some(rv), Some(cv)) => rv == cv,
+                        (Some(rv), None) => rv.is_bottom(),
+                        // A read with an unknown return value (shouldn't
+                        // occur: pending reads are dropped) matches
+                        // anything.
+                        (None, _) => true,
+                    };
+                    (ok, last_write)
+                }
+            };
+            if !ok {
+                continue;
+            }
+            stack.push(i);
+            if dfs(ops, done | (1 << i), next_last, full, failed, stack) {
+                return true;
+            }
+            stack.pop();
+        }
+
+        failed.insert((done, last_write));
+        false
+    }
+
+    if dfs(ops, 0, INITIAL, full, &mut failed, &mut stack) {
+        Some(stack.iter().map(|&i| ops[i].op).collect())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmem_types::ProcessId;
+
+    fn p(i: u16) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn write(pid: u16, counter: u64, v: u32, inv: usize, end: usize) -> IntervalOp {
+        IntervalOp {
+            op: OpId::new(p(pid), counter),
+            kind: OpKind::Write,
+            write_value: Some(Value::from_u32(v)),
+            read_value: None,
+            inv,
+            end,
+            pending: false,
+        }
+    }
+
+    fn read(pid: u16, counter: u64, v: Option<u32>, inv: usize, end: usize) -> IntervalOp {
+        IntervalOp {
+            op: OpId::new(p(pid), counter),
+            kind: OpKind::Read,
+            write_value: None,
+            read_value: Some(v.map(Value::from_u32).unwrap_or_else(Value::bottom)),
+            inv,
+            end,
+            pending: false,
+        }
+    }
+
+    #[test]
+    fn empty_history_linearizes() {
+        assert_eq!(linearize_register(&[]), Some(vec![]));
+    }
+
+    #[test]
+    fn sequential_write_then_read() {
+        let ops = [write(0, 0, 1, 0, 1), read(1, 0, Some(1), 2, 3)];
+        let order = linearize_register(&ops).expect("linearizable");
+        assert_eq!(order, vec![ops[0].op, ops[1].op]);
+    }
+
+    #[test]
+    fn stale_read_after_write_completes_is_rejected() {
+        // W(1) completes before R begins, yet R returns ⊥.
+        let ops = [write(0, 0, 1, 0, 1), read(1, 0, None, 2, 3)];
+        assert_eq!(linearize_register(&ops), None);
+    }
+
+    #[test]
+    fn concurrent_read_may_return_old_or_new() {
+        // W(1) overlaps R: both ⊥ and 1 are acceptable.
+        for rv in [None, Some(1)] {
+            let ops = [write(0, 0, 1, 0, 3), read(1, 0, rv, 1, 2)];
+            assert!(linearize_register(&ops).is_some(), "rv={rv:?}");
+        }
+        // But a value never written is not.
+        let ops = [write(0, 0, 1, 0, 3), read(1, 0, Some(7), 1, 2)];
+        assert_eq!(linearize_register(&ops), None);
+    }
+
+    #[test]
+    fn new_old_inversion_is_rejected() {
+        // Two sequential reads concurrent with nothing: first returns the
+        // new value, second returns the old one — the classic atomicity
+        // violation.
+        let ops = [
+            write(0, 0, 1, 0, 1),
+            write(0, 1, 2, 2, 3),
+            read(1, 0, Some(2), 4, 5),
+            read(1, 1, Some(1), 6, 7),
+        ];
+        assert_eq!(linearize_register(&ops), None);
+    }
+
+    #[test]
+    fn read_your_own_write_is_required() {
+        let ops = [write(0, 0, 5, 0, 1), read(0, 1, None, 2, 3)];
+        assert_eq!(linearize_register(&ops), None);
+    }
+
+    #[test]
+    fn interleaved_writers_with_consistent_reads() {
+        // W_a(1) || W_b(2), then R=2, R=2: order a<b works.
+        let ops = [
+            write(0, 0, 1, 0, 3),
+            write(1, 0, 2, 1, 2),
+            read(2, 0, Some(2), 4, 5),
+            read(2, 1, Some(2), 6, 7),
+        ];
+        assert!(linearize_register(&ops).is_some());
+    }
+
+    #[test]
+    fn reads_disagreeing_on_concurrent_write_order_fail() {
+        // W_a(1) || W_b(2) both complete, then R=1, R=2, R=1: the third
+        // read inverts.
+        let ops = [
+            write(0, 0, 1, 0, 2),
+            write(1, 0, 2, 1, 3),
+            read(2, 0, Some(1), 4, 5),
+            read(2, 1, Some(2), 6, 7),
+            read(2, 2, Some(1), 8, 9),
+        ];
+        assert_eq!(linearize_register(&ops), None);
+    }
+
+    #[test]
+    fn pending_write_with_open_interval_can_absorb_late_reads() {
+        // Pending W(2) (interval open to MAX): a much later read may see 2.
+        let ops = [
+            write(0, 0, 1, 0, 1),
+            IntervalOp { pending: true, ..write(0, 1, 2, 2, usize::MAX) },
+            read(1, 0, Some(2), 10, 11),
+        ];
+        assert!(linearize_register(&ops).is_some());
+    }
+
+    #[test]
+    fn duplicate_written_values_are_handled() {
+        // Two writes of the same value; reads of that value always legal.
+        let ops = [
+            write(0, 0, 7, 0, 1),
+            write(1, 0, 7, 2, 3),
+            read(2, 0, Some(7), 4, 5),
+        ];
+        assert!(linearize_register(&ops).is_some());
+    }
+
+    #[test]
+    fn witness_order_respects_precedence_and_semantics() {
+        let ops = [
+            write(0, 0, 1, 0, 1),
+            write(1, 0, 2, 2, 3),
+            read(2, 0, Some(2), 4, 5),
+        ];
+        let order = linearize_register(&ops).unwrap();
+        assert_eq!(order.len(), 3);
+        // W(1) must precede W(2) (real time); read comes last.
+        let pos = |op: OpId| order.iter().position(|&o| o == op).unwrap();
+        assert!(pos(ops[0].op) < pos(ops[1].op));
+        assert!(pos(ops[1].op) < pos(ops[2].op));
+    }
+
+    #[test]
+    #[should_panic(expected = "checker supports at most")]
+    fn too_many_ops_panics() {
+        let ops: Vec<_> = (0..129).map(|i| write(0, i as u64, 0, 2 * i, 2 * i + 1)).collect();
+        let _ = linearize_register(&ops);
+    }
+}

@@ -1,0 +1,224 @@
+//! Violation shrinking: reduce a failing history to a minimal
+//! counterexample.
+//!
+//! When a 60-operation adversarial run fails a checker, the interesting
+//! part is usually 3 operations and one crash. [`shrink`] removes
+//! operations and crash/recovery pairs greedily while the violation
+//! persists, yielding a far smaller history that still fails — the
+//! distributed-systems equivalent of test-case minimization.
+
+use rmem_types::OpId;
+
+use crate::history::{Event, History};
+
+/// Shrinks `history` while `is_violating` stays true. The result is
+/// 1-minimal with respect to the performed removals: dropping any single
+/// remaining operation or crash/recovery pair makes the violation
+/// disappear (or the history malformed).
+///
+/// `is_violating` must return `true` for the input history; typical usage:
+///
+/// ```
+/// use rmem_consistency::{check_persistent, shrink, History};
+/// use rmem_types::{Op, OpResult, ProcessId, Value};
+///
+/// let mut h = History::new();
+/// h.complete_write(ProcessId(0), Value::from_u32(1));
+/// h.complete_write(ProcessId(0), Value::from_u32(2));
+/// // Three reads; the middle one inverts.
+/// h.complete_read(ProcessId(1), Value::from_u32(2));
+/// h.complete_read(ProcessId(1), Value::from_u32(1));
+/// h.complete_read(ProcessId(1), Value::from_u32(2));
+/// assert!(check_persistent(&h).is_err());
+///
+/// let minimal = shrink(&h, |h| check_persistent(h).is_err());
+/// assert!(check_persistent(&minimal).is_err());
+/// assert!(minimal.len() < h.len());
+/// ```
+pub fn shrink(history: &History, is_violating: impl Fn(&History) -> bool) -> History {
+    assert!(is_violating(history), "shrink requires a violating history");
+    let mut current = history.clone();
+    loop {
+        let mut progressed = false;
+
+        // Try removing whole operations (their invoke + reply events).
+        let ops: Vec<OpId> = current
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::Invoke { op, .. } => Some(*op),
+                _ => None,
+            })
+            .collect();
+        for op in ops {
+            let candidate = without_op(&current, op);
+            if candidate.well_formed().is_ok() && is_violating(&candidate) {
+                current = candidate;
+                progressed = true;
+            }
+        }
+
+        // Try removing crash/recovery pairs (and trailing unmatched
+        // crashes).
+        loop {
+            let mut removed_pair = false;
+            let marks: Vec<usize> = current
+                .events()
+                .iter()
+                .enumerate()
+                .filter_map(|(i, e)| matches!(e, Event::Crash { .. }).then_some(i))
+                .collect();
+            for crash_idx in marks {
+                let candidate = without_crash(&current, crash_idx);
+                if candidate.well_formed().is_ok() && is_violating(&candidate) {
+                    current = candidate;
+                    progressed = true;
+                    removed_pair = true;
+                    break; // indices shifted; rescan
+                }
+            }
+            if !removed_pair {
+                break;
+            }
+        }
+
+        if !progressed {
+            return current;
+        }
+    }
+}
+
+/// The history with one operation's events removed.
+fn without_op(history: &History, op: OpId) -> History {
+    let mut out = History::new();
+    for ev in history.events() {
+        match ev {
+            Event::Invoke { op: o, .. } | Event::Reply { op: o, .. } if *o == op => {}
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+/// The history with the crash at `crash_idx` and its matching recovery
+/// (the process's next recovery event, if any) removed.
+fn without_crash(history: &History, crash_idx: usize) -> History {
+    let events = history.events();
+    let Event::Crash { pid } = &events[crash_idx] else {
+        return history.clone();
+    };
+    let recovery_idx = events
+        .iter()
+        .enumerate()
+        .skip(crash_idx + 1)
+        .find_map(|(i, e)| matches!(e, Event::Recover { pid: p } if p == pid).then_some(i));
+    let mut out = History::new();
+    for (i, ev) in events.iter().enumerate() {
+        if i == crash_idx || Some(i) == recovery_idx {
+            continue;
+        }
+        out.push(ev.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_persistent, check_transient};
+    use rmem_types::{Op, OpResult, ProcessId, Value};
+
+    fn p(i: u16) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn v(x: u32) -> Value {
+        Value::from_u32(x)
+    }
+
+    /// A big noisy history whose core violation is a 3-op new-old
+    /// inversion: shrinking must strip the noise.
+    #[test]
+    fn shrinks_to_the_core_inversion() {
+        let mut h = History::new();
+        // Noise: unrelated consistent traffic.
+        for round in 0..5u32 {
+            h.complete_write(p(0), v(round + 10));
+            h.complete_read(p(2), v(round + 10));
+        }
+        h.crash(p(2));
+        h.recover(p(2));
+        // The core violation.
+        h.complete_write(p(0), v(1));
+        h.complete_write(p(0), v(2));
+        h.complete_read(p(1), v(2));
+        h.complete_read(p(1), v(1)); // inversion
+        // More noise after.
+        h.complete_write(p(0), v(99));
+        h.complete_read(p(2), v(99));
+        assert!(check_persistent(&h).is_err());
+
+        let minimal = shrink(&h, |h| check_persistent(h).is_err());
+        assert!(check_persistent(&minimal).is_err());
+        // Core: W(2)? Actually W(1), W(2), R(2), R(1) — but W(1) can be
+        // dropped too (inversion works against any pair of writes where
+        // the second read returns something stale). The shrinker should
+        // land well below the original 30 events.
+        assert!(
+            minimal.len() <= 8,
+            "expected a tiny core, got {} events: {minimal:?}",
+            minimal.len()
+        );
+        assert_eq!(minimal.crash_count(), 0, "the crash was noise");
+    }
+
+    /// Crash/recovery pairs that are load-bearing stay.
+    #[test]
+    fn keeps_load_bearing_crashes() {
+        let mut h = History::new();
+        h.complete_write(p(0), v(1));
+        // Unfinished write observed by a read, then a revert: the pending
+        // write + observation is the violation; the crash makes the
+        // history well-formed (without it, the writer's next op would
+        // overlap).
+        let _w2 = h.invoke(p(0), Op::Write(v(2)));
+        h.crash(p(0));
+        h.recover(p(0));
+        let r1 = h.invoke(p(1), Op::Read);
+        h.reply(r1, OpResult::ReadValue(v(2)));
+        let r2 = h.invoke(p(1), Op::Read);
+        h.reply(r2, OpResult::ReadValue(v(1)));
+        // A later op by p0 forces the crash to stay (else overlapping
+        // invocations).
+        h.complete_read(p(0), v(1));
+        assert!(check_persistent(&h).is_err());
+
+        let minimal = shrink(&h, |h| check_persistent(h).is_err());
+        assert!(check_persistent(&minimal).is_err());
+        assert!(minimal.well_formed().is_ok());
+    }
+
+    /// Shrinking respects the criterion being checked: a transient
+    /// violation shrinks under the transient checker.
+    #[test]
+    fn shrinks_transient_violations() {
+        let mut h = History::new();
+        h.complete_write(p(0), v(1));
+        h.complete_read(p(2), v(1)); // noise
+        h.complete_write(p(0), v(2));
+        h.complete_read(p(1), v(2));
+        h.complete_read(p(1), v(1)); // inversion
+        assert!(check_transient(&h).is_err());
+        let minimal = shrink(&h, |h| check_transient(h).is_err());
+        assert!(check_transient(&minimal).is_err());
+        assert!(minimal.len() < h.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a violating history")]
+    fn refuses_satisfying_histories() {
+        let mut h = History::new();
+        h.complete_write(p(0), v(1));
+        let _ = shrink(&h, |h| check_persistent(h).is_err());
+    }
+}

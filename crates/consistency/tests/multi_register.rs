@@ -1,0 +1,147 @@
+//! Direct checker tests on multi-register histories: locality-based
+//! partitioning, per-register verdicts, and interactions between
+//! registers sharing processes and crashes.
+
+use rmem_consistency::{check_persistent, check_transient, History};
+use rmem_types::{Op, OpResult, ProcessId, RegisterId, Value};
+
+fn p(i: u16) -> ProcessId {
+    ProcessId(i)
+}
+
+fn r(i: u16) -> RegisterId {
+    RegisterId(i)
+}
+
+fn v(x: u32) -> Value {
+    Value::from_u32(x)
+}
+
+fn write_at(h: &mut History, pid: ProcessId, reg: RegisterId, val: Value) {
+    let op = h.invoke(pid, Op::WriteAt(reg, val));
+    h.reply(op, OpResult::Written);
+}
+
+fn read_at(h: &mut History, pid: ProcessId, reg: RegisterId, val: Value) {
+    let op = h.invoke(pid, Op::ReadAt(reg));
+    h.reply(op, OpResult::ReadValue(val));
+}
+
+#[test]
+fn consistent_multi_register_history_passes() {
+    let mut h = History::new();
+    write_at(&mut h, p(0), r(1), v(10));
+    write_at(&mut h, p(1), r(2), v(20));
+    read_at(&mut h, p(2), r(1), v(10));
+    read_at(&mut h, p(2), r(2), v(20));
+    read_at(&mut h, p(2), r(3), Value::bottom());
+    assert!(check_persistent(&h).is_ok());
+    assert!(check_transient(&h).is_ok());
+}
+
+#[test]
+fn violation_in_one_register_fails_the_whole_memory() {
+    let mut h = History::new();
+    write_at(&mut h, p(0), r(1), v(10));
+    read_at(&mut h, p(2), r(1), v(10)); // register 1 is fine
+    write_at(&mut h, p(0), r(2), v(1));
+    write_at(&mut h, p(0), r(2), v(2));
+    read_at(&mut h, p(1), r(2), v(2));
+    read_at(&mut h, p(1), r(2), v(1)); // register 2 inverts
+    assert!(check_persistent(&h).is_err());
+    assert!(check_transient(&h).is_err());
+}
+
+#[test]
+fn registers_do_not_leak_values_into_each_other() {
+    let mut h = History::new();
+    write_at(&mut h, p(0), r(1), v(10));
+    // A read of register 2 returning register 1's value is a violation
+    // (register 2 was never written).
+    read_at(&mut h, p(1), r(2), v(10));
+    assert!(check_persistent(&h).is_err());
+}
+
+#[test]
+fn same_value_in_two_registers_is_fine() {
+    // Equal payloads in different registers must not confuse the
+    // partitioning.
+    let mut h = History::new();
+    write_at(&mut h, p(0), r(1), v(7));
+    write_at(&mut h, p(1), r(2), v(7));
+    read_at(&mut h, p(2), r(1), v(7));
+    read_at(&mut h, p(2), r(2), v(7));
+    assert!(check_persistent(&h).is_ok());
+}
+
+#[test]
+fn crash_events_apply_to_every_register_restriction() {
+    // A writer crashes mid-write on register 2; its pending write may be
+    // dropped there, while register 1 is untouched.
+    let mut h = History::new();
+    write_at(&mut h, p(0), r(1), v(1));
+    let _w2 = h.invoke(p(0), Op::WriteAt(r(2), v(2)));
+    h.crash(p(0));
+    h.recover(p(0));
+    read_at(&mut h, p(1), r(1), v(1));
+    read_at(&mut h, p(1), r(2), Value::bottom());
+    assert!(check_persistent(&h).is_ok());
+}
+
+#[test]
+fn per_register_completion_bounds_are_independent() {
+    // Transient weak completion: the pending write on register 2 may
+    // stretch to the writer's next *register-2* write reply — a register-1
+    // write in between does not bound it.
+    let mut h = History::new();
+    write_at(&mut h, p(0), r(2), v(1));
+    let _pending = h.invoke(p(0), Op::WriteAt(r(2), v(2)));
+    h.crash(p(0));
+    h.recover(p(0));
+    // An interposed register-1 write (completes normally).
+    write_at(&mut h, p(0), r(1), v(99));
+    // Now the register-2 follow-up write, with reads around it seeing the
+    // resurrected v2 before w3's reply.
+    let w3 = h.invoke(p(0), Op::WriteAt(r(2), v(3)));
+    read_at(&mut h, p(1), r(2), v(1));
+    read_at(&mut h, p(1), r(2), v(2));
+    h.reply(w3, OpResult::Written);
+    // Transient: v2 completes inside w3's window (register-2 bound).
+    assert!(check_transient(&h).is_ok());
+    // Persistent: v2 had to land before the *next invocation* — violated.
+    assert!(check_persistent(&h).is_err());
+}
+
+#[test]
+fn mixed_default_and_addressed_forms_partition_together() {
+    let mut h = History::new();
+    // Op::Write and Op::WriteAt(r0) are the same register.
+    let w = h.invoke(p(0), Op::Write(v(1)));
+    h.reply(w, OpResult::Written);
+    write_at(&mut h, p(1), r(0), v(2));
+    read_at(&mut h, p(2), r(0), v(2));
+    let rr = h.invoke(p(2), Op::Read);
+    h.reply(rr, OpResult::ReadValue(v(1))); // inversion within register 0
+    assert!(check_persistent(&h).is_err());
+}
+
+#[test]
+fn shrinking_works_on_multi_register_histories() {
+    let mut h = History::new();
+    // Noise on registers 1 and 3.
+    for i in 0..4 {
+        write_at(&mut h, p(0), r(1), v(100 + i));
+        read_at(&mut h, p(2), r(1), v(100 + i));
+    }
+    write_at(&mut h, p(0), r(3), v(555));
+    // Core violation on register 2.
+    write_at(&mut h, p(0), r(2), v(1));
+    write_at(&mut h, p(0), r(2), v(2));
+    read_at(&mut h, p(1), r(2), v(2));
+    read_at(&mut h, p(1), r(2), v(1));
+    assert!(check_persistent(&h).is_err());
+    let minimal = rmem_consistency::shrink(&h, |h| check_persistent(h).is_err());
+    assert!(check_persistent(&minimal).is_err());
+    assert!(minimal.registers().len() == 1, "only register 2 should remain: {minimal:?}");
+    assert!(minimal.len() <= 8);
+}

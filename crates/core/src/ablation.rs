@@ -1,0 +1,92 @@
+//! Deliberately weakened flavors realising the anomalies from the paper's
+//! lower-bound proofs (§IV-A).
+//!
+//! These exist so the repository can *demonstrate* the lower bounds, not
+//! just cite them: integration tests drive each ablation through the
+//! adversary schedule of the corresponding proof run (Figs. 2–3) and show
+//! the atomicity checkers certify a violation — while the unablated
+//! algorithm sails through the same schedule.
+//!
+//! | ablation | removes | anomaly it re-enables | proof run |
+//! |---|---|---|---|
+//! | [`no_pre_log`] | the writer's `writing` pre-log, the recovery write-completion, *and* the `rec` counter | confused-values / orphan-value: a recovered writer reuses a timestamp, or leaves a half-written value indistinguishable from a finished one | ρ1 (Fig. 2, Theorem 1) |
+//! | [`no_rec_counter`] | only the `rec` bump from the transient algorithm | confused-values: two different values under the same tag | ρ1 variant |
+//! | [`no_read_write_back`] | the read's second round | new-old inversion across a reader crash (reads become log-free) | ρ2–ρ4 (Fig. 3, Theorem 2) |
+
+use crate::flavor::{Flavor, RecoveryPolicy};
+
+/// The persistent algorithm with the writer pre-log **and** the recovery
+/// write-completion removed (one causal log per write, like transient, but
+/// *without* the compensating `rec` counter).
+///
+/// Theorem 1's run ρ1 breaks it: the writer crashes mid-write having
+/// logged nothing, recovers, queries a majority that never saw the
+/// interrupted write, and reuses its timestamp for a different value —
+/// two values under one tag.
+pub const fn no_pre_log() -> Flavor {
+    Flavor {
+        name: "ablation:no-pre-log",
+        replica_logs: true,
+        write_query_round: true,
+        write_pre_log: false,
+        rec_in_timestamp: false,
+        read_write_back: true,
+        recovery: RecoveryPolicy::Nothing,
+    }
+}
+
+/// The transient algorithm minus the stable recovery counter (Fig. 5
+/// lines 19–21 removed).
+///
+/// Identical to [`no_pre_log`] except it still restores nothing extra on
+/// recovery — listed separately so tests can speak the paper's language:
+/// "the `rec` variable … guarantees that sequence numbers always increase
+/// monotonically"; without it they do not.
+pub const fn no_rec_counter() -> Flavor {
+    Flavor { name: "ablation:no-rec-counter", ..no_pre_log() }
+}
+
+/// The persistent algorithm with the read's write-back round removed:
+/// reads return after the query round and never cause a log.
+///
+/// Theorem 2's runs ρ2–ρ4 break it: a reader that returns a freshly
+/// written value, crashes, recovers and reads again can return the *older*
+/// value, because nothing forced the fresh value into a majority before
+/// the first read returned.
+pub const fn no_read_write_back() -> Flavor {
+    Flavor {
+        name: "ablation:no-read-write-back",
+        replica_logs: true,
+        write_query_round: true,
+        write_pre_log: true,
+        rec_in_timestamp: false,
+        read_write_back: false,
+        recovery: RecoveryPolicy::FinishWrite,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablations_differ_from_published_flavors_in_one_dimension() {
+        let p = Flavor::persistent();
+        let a = no_pre_log();
+        assert_eq!(a.replica_logs, p.replica_logs);
+        assert_eq!(a.write_query_round, p.write_query_round);
+        assert!(!a.write_pre_log);
+        assert_eq!(a.causal_logs_per_write(), 1, "exactly the saving Theorem 1 forbids");
+
+        let b = no_read_write_back();
+        assert!(b.write_pre_log);
+        assert_eq!(b.causal_logs_per_read(), 0, "exactly the saving Theorem 2 forbids");
+    }
+
+    #[test]
+    fn ablation_names_are_marked() {
+        for f in [no_pre_log(), no_rec_counter(), no_read_write_back()] {
+            assert!(f.name.starts_with("ablation:"), "{}", f.name);
+        }
+    }
+}

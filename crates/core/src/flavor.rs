@@ -1,0 +1,188 @@
+//! Flavor: the configuration space of the shared register machinery.
+
+/// What a process does on recovery, beyond restoring its replica state
+/// from the `written` record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Restore volatile state only (crash-stop baseline and ablations).
+    Nothing,
+    /// Re-run the propagation round for the logged `writing` record before
+    /// serving (persistent, Fig. 4 lines 40–47).
+    FinishWrite,
+    /// Increment and log the stable recovery counter before serving
+    /// (transient, Fig. 5 lines 16–22).
+    RecCounter,
+    /// As [`RecCounter`](RecoveryPolicy::RecCounter), then query a majority
+    /// for the highest sequence number to re-seed the writer-local counter
+    /// (regular register: its writes skip the query round, so recovery
+    /// must re-learn the write frontier).
+    RecCounterAndQuery,
+}
+
+/// Configuration of one register algorithm over the shared machinery.
+///
+/// The four published flavors are [`persistent`](Flavor::persistent),
+/// [`transient`](Flavor::transient), [`crash_stop`](Flavor::crash_stop)
+/// and [`regular`](Flavor::regular); the [`crate::ablation`] module adds
+/// deliberately broken ones for the lower-bound demonstrations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flavor {
+    /// Algorithm name used in traces and experiment labels.
+    pub name: &'static str,
+    /// Replicas log adopted values (`written` record) before
+    /// acknowledging. `false` only for the crash-stop baseline.
+    pub replica_logs: bool,
+    /// Writes start with a sequence-number query round (Fig. 4 lines
+    /// 7–10). `false` for the single-writer regular register, whose writer
+    /// numbers writes locally.
+    pub write_query_round: bool,
+    /// The writer logs the `writing` record before propagating (Fig. 4
+    /// line 12) — the second causal log that buys persistent atomicity.
+    pub write_pre_log: bool,
+    /// Fold the stable recovery counter into new sequence numbers (Fig. 5
+    /// line 11).
+    pub rec_in_timestamp: bool,
+    /// Reads run a second, write-back round before returning (Fig. 4
+    /// lines 36–38). `false` for the regular register (and the no-read-log
+    /// ablation), which returns straight after the query round.
+    pub read_write_back: bool,
+    /// Recovery behaviour.
+    pub recovery: RecoveryPolicy,
+}
+
+impl Flavor {
+    /// Paper Fig. 4: persistent atomicity, 2 causal logs per write, 1 per
+    /// read.
+    pub const fn persistent() -> Flavor {
+        Flavor {
+            name: "persistent",
+            replica_logs: true,
+            write_query_round: true,
+            write_pre_log: true,
+            rec_in_timestamp: false,
+            read_write_back: true,
+            recovery: RecoveryPolicy::FinishWrite,
+        }
+    }
+
+    /// Paper Fig. 5: transient atomicity, 1 causal log per write, 1 per
+    /// read.
+    pub const fn transient() -> Flavor {
+        Flavor {
+            name: "transient",
+            replica_logs: true,
+            write_query_round: true,
+            write_pre_log: false,
+            rec_in_timestamp: true,
+            read_write_back: true,
+            recovery: RecoveryPolicy::RecCounter,
+        }
+    }
+
+    /// The log-free crash-stop baseline.
+    pub const fn crash_stop() -> Flavor {
+        Flavor {
+            name: "crash-stop",
+            replica_logs: false,
+            write_query_round: true,
+            write_pre_log: false,
+            rec_in_timestamp: false,
+            read_write_back: true,
+            recovery: RecoveryPolicy::Nothing,
+        }
+    }
+
+    /// The §VI single-writer regular register: 1 causal log per write,
+    /// log-free single-round reads.
+    pub const fn regular() -> Flavor {
+        Flavor {
+            name: "regular",
+            replica_logs: true,
+            write_query_round: false,
+            write_pre_log: false,
+            rec_in_timestamp: true,
+            read_write_back: false,
+            recovery: RecoveryPolicy::RecCounterAndQuery,
+        }
+    }
+
+    /// Communication steps per write (each quorum round is one round-trip
+    /// = 2 steps).
+    pub fn write_comm_steps(&self) -> u32 {
+        if self.write_query_round {
+            4
+        } else {
+            2
+        }
+    }
+
+    /// Communication steps per read.
+    pub fn read_comm_steps(&self) -> u32 {
+        if self.read_write_back {
+            4
+        } else {
+            2
+        }
+    }
+
+    /// The worst-case causal logs per write this flavor performs — the
+    /// quantity the paper's Theorem 1 bounds.
+    pub fn causal_logs_per_write(&self) -> u32 {
+        let mut logs = 0;
+        if self.write_pre_log {
+            logs += 1;
+        }
+        if self.replica_logs {
+            logs += 1;
+        }
+        logs
+    }
+
+    /// The worst-case causal logs per read (Theorem 2's bound): the
+    /// write-back's replica logs, when it adopts.
+    pub fn causal_logs_per_read(&self) -> u32 {
+        u32::from(self.read_write_back && self.replica_logs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_flavors_match_paper_log_counts() {
+        assert_eq!(Flavor::persistent().causal_logs_per_write(), 2);
+        assert_eq!(Flavor::persistent().causal_logs_per_read(), 1);
+        assert_eq!(Flavor::transient().causal_logs_per_write(), 1);
+        assert_eq!(Flavor::transient().causal_logs_per_read(), 1);
+        assert_eq!(Flavor::crash_stop().causal_logs_per_write(), 0);
+        assert_eq!(Flavor::crash_stop().causal_logs_per_read(), 0);
+        assert_eq!(Flavor::regular().causal_logs_per_write(), 1);
+        assert_eq!(Flavor::regular().causal_logs_per_read(), 0);
+    }
+
+    #[test]
+    fn comm_steps_match_paper() {
+        // "Our algorithms use the same number of communication steps as
+        // [2], namely 4 for any operation."
+        for f in [Flavor::persistent(), Flavor::transient(), Flavor::crash_stop()] {
+            assert_eq!(f.write_comm_steps(), 4, "{}", f.name);
+            assert_eq!(f.read_comm_steps(), 4, "{}", f.name);
+        }
+        // The regular register halves both.
+        assert_eq!(Flavor::regular().write_comm_steps(), 2);
+        assert_eq!(Flavor::regular().read_comm_steps(), 2);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            Flavor::persistent().name,
+            Flavor::transient().name,
+            Flavor::crash_stop().name,
+            Flavor::regular().name,
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

@@ -1,0 +1,110 @@
+//! Majority-acknowledgement tracking for one broadcast round.
+
+use std::collections::HashSet;
+
+use rmem_types::{ProcessId, RequestId};
+
+/// Tracks which processes have acknowledged one request round and whether
+/// the majority threshold has been reached.
+///
+/// Acks are deduplicated by sender (the fair-lossy network may duplicate
+/// messages, and retransmitted rounds re-solicit every replica), so the
+/// count is of *distinct* responders — the paper's
+/// "until receive … from ⌈(n+1)/2⌉ processes".
+#[derive(Debug, Clone)]
+pub struct QuorumCall {
+    req: RequestId,
+    acked: HashSet<ProcessId>,
+    threshold: usize,
+    reached: bool,
+}
+
+impl QuorumCall {
+    /// Starts tracking a round identified by `req`, needing `threshold`
+    /// distinct acks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(req: RequestId, threshold: usize) -> Self {
+        assert!(threshold > 0, "a quorum threshold must be positive");
+        QuorumCall { req, acked: HashSet::new(), threshold, reached: false }
+    }
+
+    /// The round this call tracks.
+    pub fn request_id(&self) -> RequestId {
+        self.req
+    }
+
+    /// Whether `req` belongs to this round.
+    pub fn matches(&self, req: RequestId) -> bool {
+        self.req == req
+    }
+
+    /// Records an ack from `from`. Returns `true` exactly once: when the
+    /// threshold is first reached.
+    pub fn record(&mut self, from: ProcessId) -> bool {
+        if self.reached {
+            return false;
+        }
+        self.acked.insert(from);
+        if self.acked.len() >= self.threshold {
+            self.reached = true;
+            return true;
+        }
+        false
+    }
+
+    /// Distinct responders so far.
+    pub fn ack_count(&self) -> usize {
+        self.acked.len()
+    }
+
+    /// Whether the threshold has been reached.
+    pub fn is_reached(&self) -> bool {
+        self.reached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> RequestId {
+        RequestId::new(ProcessId(0), 1)
+    }
+
+    #[test]
+    fn reaches_threshold_exactly_once() {
+        let mut q = QuorumCall::new(req(), 3);
+        assert!(!q.record(ProcessId(0)));
+        assert!(!q.record(ProcessId(1)));
+        assert!(q.record(ProcessId(2)), "third distinct ack reaches the threshold");
+        assert!(!q.record(ProcessId(3)), "later acks do not re-trigger");
+        assert!(q.is_reached());
+    }
+
+    #[test]
+    fn duplicate_acks_do_not_count() {
+        let mut q = QuorumCall::new(req(), 2);
+        assert!(!q.record(ProcessId(1)));
+        assert!(!q.record(ProcessId(1)));
+        assert!(!q.record(ProcessId(1)));
+        assert_eq!(q.ack_count(), 1);
+        assert!(q.record(ProcessId(2)));
+    }
+
+    #[test]
+    fn matches_filters_stale_rounds() {
+        let q = QuorumCall::new(req(), 1);
+        assert!(q.matches(req()));
+        assert!(!q.matches(RequestId::new(ProcessId(0), 2)));
+        assert!(!q.matches(RequestId::new(ProcessId(1), 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threshold_panics() {
+        let _ = QuorumCall::new(req(), 0);
+    }
+}

@@ -1,0 +1,322 @@
+//! The replica (listener) role every process plays, independent of any
+//! operation it may itself be running.
+//!
+//! Mirrors the message listeners of Fig. 4 lines 17–30: answer
+//! sequence-number queries, answer read queries, and adopt propagated
+//! values — logging them *before* acknowledging when the flavor logs.
+//!
+//! # The durable-ack discipline
+//!
+//! A logging replica may only acknowledge a `Write` once a record with a
+//! tag ≥ the message's tag is **durably stored** (Fig. 4 line 24–26: store,
+//! *then* ack). Volatile adoption happens immediately, but the ack is
+//! parked in a waiter list keyed by tag until the covering store
+//! completes. This matters under retransmission: a duplicate `Write`
+//! arriving while the original's store is still in flight must *not* be
+//! acknowledged early, or the writer could assemble a majority of acks
+//! none of which is actually durable — exactly the forgotten-value anomaly
+//! the log exists to prevent.
+
+use std::collections::HashMap;
+
+use rmem_storage::records::{WrittenRecord, KEY_WRITTEN};
+use rmem_types::{
+    Action, Message, ProcessId, RequestId, StoreToken, Timestamp, Value,
+};
+
+/// Replica state and behaviour.
+#[derive(Debug)]
+pub struct Replica {
+    me: ProcessId,
+    /// Current (volatile) tag.
+    ts: Timestamp,
+    /// Current (volatile) value.
+    value: Value,
+    /// Whether adoptions are logged before acknowledging.
+    logging: bool,
+    /// Highest tag known durable in the `written` slot.
+    durable_ts: Timestamp,
+    /// Stores in flight: token → the tag that becomes durable when it
+    /// completes.
+    pending_stores: HashMap<StoreToken, Timestamp>,
+    /// Acks parked until a covering tag is durable: (requester, round,
+    /// required tag).
+    waiters: Vec<(ProcessId, RequestId, Timestamp)>,
+}
+
+impl Replica {
+    /// A fresh replica holding `[0, me] / ⊥`.
+    pub fn new(me: ProcessId, logging: bool) -> Self {
+        Replica {
+            me,
+            ts: Timestamp::new(0, me),
+            value: Value::bottom(),
+            logging,
+            durable_ts: Timestamp::new(0, me),
+            pending_stores: HashMap::new(),
+            waiters: Vec::new(),
+        }
+    }
+
+    /// A replica restored from its `written` record (recovery, Fig. 4
+    /// lines 41–42).
+    pub fn restored(me: ProcessId, logging: bool, record: &WrittenRecord) -> Self {
+        Replica {
+            me,
+            ts: record.ts,
+            value: record.value.clone(),
+            logging,
+            durable_ts: record.ts,
+            pending_stores: HashMap::new(),
+            waiters: Vec::new(),
+        }
+    }
+
+    /// Current tag (volatile).
+    pub fn timestamp(&self) -> Timestamp {
+        self.ts
+    }
+
+    /// Current value (volatile).
+    pub fn value(&self) -> &Value {
+        &self.value
+    }
+
+    /// Handles a protocol *request* aimed at the replica role. Returns
+    /// `true` if the message was consumed (acks return `false` — they
+    /// belong to whatever operation the process is running).
+    pub fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: &Message,
+        next_token: &mut impl FnMut() -> StoreToken,
+        out: &mut Vec<Action>,
+    ) -> bool {
+        match msg {
+            Message::SnReq { req } => {
+                // Fig. 4 lines 18–20.
+                out.push(Action::Send {
+                    to: from,
+                    msg: Message::SnAck { req: *req, seq: self.ts.seq },
+                });
+                true
+            }
+            Message::Read { req } => {
+                // Fig. 4 lines 28–30.
+                out.push(Action::Send {
+                    to: from,
+                    msg: Message::ReadAck { req: *req, ts: self.ts, value: self.value.clone() },
+                });
+                true
+            }
+            Message::Write { req, ts, value } => {
+                // Fig. 4 lines 21–27.
+                if *ts > self.ts {
+                    self.ts = *ts;
+                    self.value = value.clone();
+                }
+                if !self.logging {
+                    out.push(Action::Send { to: from, msg: Message::WriteAck { req: *req } });
+                    return true;
+                }
+                if *ts <= self.durable_ts {
+                    // Already durable at a covering tag: safe to ack now.
+                    out.push(Action::Send { to: from, msg: Message::WriteAck { req: *req } });
+                    return true;
+                }
+                // Need durability first. Issue a store for the *current*
+                // volatile state if none in flight covers it; park the ack.
+                let covered_by_pending =
+                    self.pending_stores.values().any(|pending| *pending >= self.ts);
+                if !covered_by_pending {
+                    let token = next_token();
+                    let record = WrittenRecord { ts: self.ts, value: self.value.clone() };
+                    self.pending_stores.insert(token, self.ts);
+                    out.push(Action::Store { token, key: KEY_WRITTEN.to_string(), bytes: record.encode() });
+                }
+                self.waiters.push((from, *req, *ts));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Handles a store completion. Returns `true` if the token belonged to
+    /// the replica role (parked acks may be released).
+    pub fn on_store_done(&mut self, token: StoreToken, out: &mut Vec<Action>) -> bool {
+        let Some(stored_ts) = self.pending_stores.remove(&token) else {
+            return false;
+        };
+        if stored_ts > self.durable_ts {
+            self.durable_ts = stored_ts;
+        }
+        // Release every waiter whose required tag is now durable.
+        let durable = self.durable_ts;
+        let (ready, parked): (Vec<_>, Vec<_>) =
+            self.waiters.drain(..).partition(|(_, _, need)| *need <= durable);
+        self.waiters = parked;
+        for (to, req, _) in ready {
+            out.push(Action::Send { to, msg: Message::WriteAck { req } });
+        }
+        true
+    }
+
+    /// The initialisation stores of a fresh boot (Fig. 4 line 4): the
+    /// initial `written` record. Not ack-gated.
+    pub fn initial_store(&mut self, next_token: &mut impl FnMut() -> StoreToken, out: &mut Vec<Action>) {
+        if self.logging {
+            let token = next_token();
+            let record = WrittenRecord::initial(self.me);
+            self.pending_stores.insert(token, record.ts);
+            out.push(Action::Store { token, key: KEY_WRITTEN.to_string(), bytes: record.encode() });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn token_gen() -> (impl FnMut() -> StoreToken, std::rc::Rc<std::cell::Cell<u64>>) {
+        let counter = std::rc::Rc::new(std::cell::Cell::new(0u64));
+        let c2 = counter.clone();
+        (
+            move || {
+                let t = c2.get();
+                c2.set(t + 1);
+                StoreToken(t)
+            },
+            counter,
+        )
+    }
+
+    fn write_msg(seq: u64, pid: u16, v: u32, nonce: u64) -> Message {
+        Message::Write {
+            req: RequestId::new(ProcessId(pid), nonce),
+            ts: Timestamp::new(seq, ProcessId(pid)),
+            value: Value::from_u32(v),
+        }
+    }
+
+    #[test]
+    fn sn_and_read_queries_answer_immediately() {
+        let mut r = Replica::new(ProcessId(1), true);
+        let (mut gen, _) = token_gen();
+        let mut out = Vec::new();
+        let req = RequestId::new(ProcessId(0), 5);
+        assert!(r.on_message(ProcessId(0), &Message::SnReq { req }, &mut gen, &mut out));
+        assert!(r.on_message(ProcessId(0), &Message::Read { req }, &mut gen, &mut out));
+        assert_eq!(out.len(), 2);
+        assert!(matches!(out[0], Action::Send { msg: Message::SnAck { seq: 0, .. }, .. }));
+        assert!(matches!(out[1], Action::Send { msg: Message::ReadAck { .. }, .. }));
+    }
+
+    #[test]
+    fn non_logging_replica_acks_immediately() {
+        let mut r = Replica::new(ProcessId(1), false);
+        let (mut gen, _) = token_gen();
+        let mut out = Vec::new();
+        r.on_message(ProcessId(0), &write_msg(1, 0, 7, 1), &mut gen, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0], Action::Send { msg: Message::WriteAck { .. }, .. }));
+        assert_eq!(r.timestamp().seq, 1);
+        assert_eq!(r.value().as_u32(), Some(7));
+    }
+
+    #[test]
+    fn logging_replica_defers_ack_until_store_done() {
+        let mut r = Replica::new(ProcessId(1), true);
+        let (mut gen, _) = token_gen();
+        let mut out = Vec::new();
+        r.on_message(ProcessId(0), &write_msg(1, 0, 7, 1), &mut gen, &mut out);
+        // A store, but no ack yet.
+        assert_eq!(out.len(), 1);
+        let Action::Store { token, key, .. } = out[0].clone() else {
+            panic!("expected a store, got {:?}", out[0])
+        };
+        assert_eq!(key, KEY_WRITTEN);
+        out.clear();
+        assert!(r.on_store_done(token, &mut out));
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0], Action::Send { msg: Message::WriteAck { .. }, .. }));
+    }
+
+    #[test]
+    fn duplicate_write_is_not_acked_before_durability() {
+        let mut r = Replica::new(ProcessId(1), true);
+        let (mut gen, _) = token_gen();
+        let mut out = Vec::new();
+        r.on_message(ProcessId(0), &write_msg(1, 0, 7, 1), &mut gen, &mut out);
+        let Action::Store { token, .. } = out[0].clone() else { panic!() };
+        out.clear();
+        // Retransmission of the same write arrives before the store
+        // completes: no ack, and no second store either.
+        r.on_message(ProcessId(0), &write_msg(1, 0, 7, 1), &mut gen, &mut out);
+        assert!(out.is_empty(), "early ack or duplicate store: {out:?}");
+        // Store completes: *both* parked acks are released.
+        r.on_store_done(token, &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn stale_write_after_durability_acks_immediately() {
+        let mut r = Replica::new(ProcessId(1), true);
+        let (mut gen, _) = token_gen();
+        let mut out = Vec::new();
+        r.on_message(ProcessId(0), &write_msg(5, 0, 7, 1), &mut gen, &mut out);
+        let Action::Store { token, .. } = out[0].clone() else { panic!() };
+        out.clear();
+        r.on_store_done(token, &mut out);
+        out.clear();
+        // An older write arrives: nothing to adopt, already durable at a
+        // covering tag → immediate ack.
+        r.on_message(ProcessId(2), &write_msg(3, 2, 9, 4), &mut gen, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0], Action::Send { msg: Message::WriteAck { .. }, .. }));
+        // And the replica still holds the newer value.
+        assert_eq!(r.value().as_u32(), Some(7));
+    }
+
+    #[test]
+    fn overlapping_adoptions_share_the_covering_store() {
+        let mut r = Replica::new(ProcessId(1), true);
+        let (mut gen, _) = token_gen();
+        let mut out = Vec::new();
+        r.on_message(ProcessId(0), &write_msg(1, 0, 7, 1), &mut gen, &mut out);
+        let Action::Store { token: t1, .. } = out[0].clone() else { panic!() };
+        out.clear();
+        // A newer write arrives while the first store is in flight: it
+        // needs its own store (higher tag).
+        r.on_message(ProcessId(2), &write_msg(2, 2, 8, 9), &mut gen, &mut out);
+        assert_eq!(out.len(), 1, "newer tag needs a new store");
+        let Action::Store { token: t2, .. } = out[0].clone() else { panic!() };
+        out.clear();
+        // First store completes: only the first waiter is released.
+        r.on_store_done(t1, &mut out);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        // Second store completes: second waiter released.
+        r.on_store_done(t2, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(r.value().as_u32(), Some(8));
+    }
+
+    #[test]
+    fn restored_replica_resumes_from_record() {
+        let rec = WrittenRecord { ts: Timestamp::new(9, ProcessId(3)), value: Value::from_u32(4) };
+        let r = Replica::restored(ProcessId(1), true, &rec);
+        assert_eq!(r.timestamp(), Timestamp::new(9, ProcessId(3)));
+        assert_eq!(r.value().as_u32(), Some(4));
+    }
+
+    #[test]
+    fn acks_are_not_consumed() {
+        let mut r = Replica::new(ProcessId(1), true);
+        let (mut gen, _) = token_gen();
+        let mut out = Vec::new();
+        let req = RequestId::new(ProcessId(1), 0);
+        assert!(!r.on_message(ProcessId(0), &Message::WriteAck { req }, &mut gen, &mut out));
+        assert!(!r.on_message(ProcessId(0), &Message::SnAck { req, seq: 0 }, &mut gen, &mut out));
+        assert!(out.is_empty());
+    }
+}

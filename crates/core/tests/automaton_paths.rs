@@ -1,0 +1,311 @@
+//! Hand-driven state-machine tests of the register automaton: each test
+//! plays both sides of the protocol against a single automaton instance,
+//! checking phase transitions, idempotence and stale-message filtering
+//! without any runtime in between.
+
+use rmem_core::{Flavor, RegisterAutomaton};
+use rmem_types::{
+    Action, Automaton, EmptySnapshot, Input, Message, Micros, Op, OpId, OpResult, ProcessId,
+    RequestId, Timestamp, TimerToken, Value,
+};
+
+fn p(i: u16) -> ProcessId {
+    ProcessId(i)
+}
+
+fn started(flavor: Flavor) -> RegisterAutomaton {
+    let mut a = RegisterAutomaton::fresh(p(0), 3, flavor, Micros(1_000));
+    let mut out = Vec::new();
+    a.on_input(Input::Start, &mut out);
+    // Complete any initialisation stores so the replica is durable.
+    for action in out.clone() {
+        if let Action::Store { token, .. } = action {
+            a.on_input(Input::StoreDone(token), &mut Vec::new());
+        }
+    }
+    a
+}
+
+fn sends(out: &[Action]) -> Vec<&Message> {
+    out.iter()
+        .filter_map(|a| match a {
+            Action::Send { msg, .. } => Some(msg),
+            _ => None,
+        })
+        .collect()
+}
+
+fn first_req(out: &[Action]) -> RequestId {
+    sends(out)[0].request_id()
+}
+
+fn completion(out: &[Action]) -> Option<&OpResult> {
+    out.iter().find_map(|a| match a {
+        Action::Complete { result, .. } => Some(result),
+        _ => None,
+    })
+}
+
+/// Drives a full transient write by hand: query round, then propagation,
+/// checking the message sequence and the final completion.
+#[test]
+fn transient_write_full_exchange() {
+    let mut a = started(Flavor::transient());
+    let mut out = Vec::new();
+    a.on_input(
+        Input::Invoke { op: OpId::new(p(0), 0), operation: Op::Write(Value::from_u32(9)) },
+        &mut out,
+    );
+    let query_req = first_req(&out);
+    out.clear();
+
+    // Majority of SN acks (p1 and p2; dedup tested by repeating p1).
+    a.on_input(
+        Input::Message { from: p(1), msg: Message::SnAck { req: query_req, seq: 4 } },
+        &mut out,
+    );
+    assert!(out.is_empty(), "one ack is not a majority of 3");
+    a.on_input(
+        Input::Message { from: p(1), msg: Message::SnAck { req: query_req, seq: 4 } },
+        &mut out,
+    );
+    assert!(out.is_empty(), "duplicate acks must not count");
+    a.on_input(
+        Input::Message { from: p(2), msg: Message::SnAck { req: query_req, seq: 6 } },
+        &mut out,
+    );
+    // Propagation begins: W with seq = max(4,6) + rec(0) + 1 = 7.
+    let w_sends = sends(&out);
+    assert_eq!(w_sends.len(), 3);
+    let Message::Write { req: prop_req, ts, value } = w_sends[0] else {
+        panic!("expected W, got {}", w_sends[0])
+    };
+    assert_eq!(*ts, Timestamp::new(7, p(0)));
+    assert_eq!(value.as_u32(), Some(9));
+    assert_ne!(*prop_req, query_req, "each round gets a fresh request id");
+    let prop_req = *prop_req;
+    out.clear();
+
+    // A stale SN ack from the finished round must be ignored now.
+    a.on_input(
+        Input::Message { from: p(1), msg: Message::SnAck { req: query_req, seq: 99 } },
+        &mut out,
+    );
+    assert!(out.is_empty(), "stale SN ack changed state: {out:?}");
+
+    // Majority of write acks completes the operation exactly once.
+    a.on_input(
+        Input::Message { from: p(1), msg: Message::WriteAck { req: prop_req } },
+        &mut out,
+    );
+    assert!(completion(&out).is_none());
+    a.on_input(
+        Input::Message { from: p(2), msg: Message::WriteAck { req: prop_req } },
+        &mut out,
+    );
+    assert_eq!(completion(&out), Some(&OpResult::Written));
+    out.clear();
+    a.on_input(
+        Input::Message { from: p(0), msg: Message::WriteAck { req: prop_req } },
+        &mut out,
+    );
+    assert!(completion(&out).is_none(), "late acks must not double-complete");
+}
+
+/// A read picks the maximum-timestamp value among its quorum and writes
+/// it back under a fresh request id before returning it.
+#[test]
+fn read_selects_max_and_writes_back() {
+    let mut a = started(Flavor::persistent());
+    let mut out = Vec::new();
+    a.on_input(Input::Invoke { op: OpId::new(p(0), 0), operation: Op::Read }, &mut out);
+    let read_req = first_req(&out);
+    out.clear();
+
+    let old = (Timestamp::new(3, p(1)), Value::from_u32(30));
+    let new = (Timestamp::new(5, p(2)), Value::from_u32(50));
+    a.on_input(
+        Input::Message {
+            from: p(1),
+            msg: Message::ReadAck { req: read_req, ts: old.0, value: old.1 },
+        },
+        &mut out,
+    );
+    assert!(out.is_empty());
+    a.on_input(
+        Input::Message {
+            from: p(2),
+            msg: Message::ReadAck { req: read_req, ts: new.0, value: new.1.clone() },
+        },
+        &mut out,
+    );
+    // Write-back of the *newest* value.
+    let wb = sends(&out);
+    assert_eq!(wb.len(), 3);
+    let Message::Write { req: wb_req, ts, value } = wb[0] else { panic!("{}", wb[0]) };
+    assert_eq!(*ts, new.0);
+    assert_eq!(value.as_u32(), Some(50));
+    assert_ne!(*wb_req, read_req);
+    let wb_req = *wb_req;
+    out.clear();
+
+    // Majority of write-back acks returns the value.
+    a.on_input(Input::Message { from: p(1), msg: Message::WriteAck { req: wb_req } }, &mut out);
+    a.on_input(Input::Message { from: p(2), msg: Message::WriteAck { req: wb_req } }, &mut out);
+    let Some(OpResult::ReadValue(v)) = completion(&out) else {
+        panic!("read must complete: {out:?}")
+    };
+    assert_eq!(v.as_u32(), Some(50));
+}
+
+/// The regular register's single-round read returns straight from the
+/// query quorum, with no write-back and no logging anywhere.
+#[test]
+fn regular_read_is_single_round() {
+    let mut a = started(Flavor::regular());
+    let mut out = Vec::new();
+    a.on_input(Input::Invoke { op: OpId::new(p(0), 0), operation: Op::Read }, &mut out);
+    let read_req = first_req(&out);
+    out.clear();
+    a.on_input(
+        Input::Message {
+            from: p(1),
+            msg: Message::ReadAck {
+                req: read_req,
+                ts: Timestamp::new(2, p(1)),
+                value: Value::from_u32(7),
+            },
+        },
+        &mut out,
+    );
+    a.on_input(
+        Input::Message {
+            from: p(2),
+            msg: Message::ReadAck {
+                req: read_req,
+                ts: Timestamp::new(1, p(2)),
+                value: Value::from_u32(6),
+            },
+        },
+        &mut out,
+    );
+    let Some(OpResult::ReadValue(v)) = completion(&out) else {
+        panic!("single-round read must complete: {out:?}")
+    };
+    assert_eq!(v.as_u32(), Some(7));
+    assert!(
+        !out.iter().any(|a| matches!(a, Action::Store { .. })),
+        "regular reads never log"
+    );
+    assert!(sends(&out).is_empty(), "no write-back round");
+}
+
+/// The regular register's recovery queries a majority and re-seeds its
+/// local write counter above everything seen plus the crash allowance.
+#[test]
+fn regular_recovery_reseeds_the_write_counter() {
+    let mut a = RegisterAutomaton::recovered(
+        p(0),
+        3,
+        Flavor::regular(),
+        Micros(1_000),
+        2, // third incarnation
+        &EmptySnapshot,
+    );
+    let mut out = Vec::new();
+    a.on_input(Input::Start, &mut out);
+    // Phase 1: store the bumped rec counter.
+    let rec_token = out
+        .iter()
+        .find_map(|x| match x {
+            Action::Store { token, key, .. } if key == "recovered" => Some(*token),
+            _ => None,
+        })
+        .expect("rec store");
+    out.clear();
+    a.on_input(Input::StoreDone(rec_token), &mut out);
+    // Phase 2: SN query round.
+    let q = sends(&out);
+    assert_eq!(q.len(), 3);
+    assert!(matches!(q[0], Message::SnReq { .. }));
+    let req = q[0].request_id();
+    out.clear();
+    assert!(!a.is_ready());
+    a.on_input(Input::Message { from: p(1), msg: Message::SnAck { req, seq: 10 } }, &mut out);
+    a.on_input(Input::Message { from: p(2), msg: Message::SnAck { req, seq: 41 } }, &mut out);
+    assert!(a.is_ready(), "majority of SN acks completes recovery");
+
+    // The next write must start above 41 + rec(1) → seq ≥ 43.
+    out.clear();
+    a.on_input(
+        Input::Invoke { op: OpId::new(p(0), 0), operation: Op::Write(Value::from_u32(1)) },
+        &mut out,
+    );
+    let Message::Write { ts, .. } = sends(&out)[0] else { panic!() };
+    assert!(ts.seq >= 43, "write counter must clear the observed frontier, got {}", ts.seq);
+}
+
+/// Acks addressed to someone else's rounds are ignored even when phases
+/// line up — request-id origins must match.
+#[test]
+fn foreign_acks_are_ignored() {
+    let mut a = started(Flavor::transient());
+    let mut out = Vec::new();
+    a.on_input(
+        Input::Invoke { op: OpId::new(p(0), 0), operation: Op::Write(Value::from_u32(1)) },
+        &mut out,
+    );
+    out.clear();
+    // Acks with a different origin/nonce: nothing may happen.
+    let foreign = RequestId::new(p(1), 12345);
+    a.on_input(Input::Message { from: p(1), msg: Message::SnAck { req: foreign, seq: 9 } }, &mut out);
+    a.on_input(Input::Message { from: p(2), msg: Message::SnAck { req: foreign, seq: 9 } }, &mut out);
+    assert!(out.is_empty(), "foreign acks advanced the state machine: {out:?}");
+}
+
+/// While an operation runs, the automaton keeps serving its replica role:
+/// queries from peers get answered mid-operation.
+#[test]
+fn replica_role_keeps_serving_mid_operation() {
+    let mut a = started(Flavor::persistent());
+    let mut out = Vec::new();
+    a.on_input(Input::Invoke { op: OpId::new(p(0), 0), operation: Op::Read }, &mut out);
+    out.clear();
+    // A peer's own query arrives while our read is in flight.
+    let peer_req = RequestId::new(p(2), 7);
+    a.on_input(Input::Message { from: p(2), msg: Message::SnReq { req: peer_req } }, &mut out);
+    let replies = sends(&out);
+    assert_eq!(replies.len(), 1);
+    assert!(matches!(replies[0], Message::SnAck { .. }));
+}
+
+/// The retransmission timer of an in-flight round rebroadcasts the same
+/// request id (idempotent at replicas) and re-arms; after the round
+/// completes, the stale timer does nothing.
+#[test]
+fn retransmission_reuses_the_request_id() {
+    let mut a = started(Flavor::transient());
+    let mut out = Vec::new();
+    a.on_input(
+        Input::Invoke { op: OpId::new(p(0), 0), operation: Op::Write(Value::from_u32(1)) },
+        &mut out,
+    );
+    let req = first_req(&out);
+    let timer = out
+        .iter()
+        .find_map(|x| match x {
+            Action::SetTimer { token, .. } => Some(*token),
+            _ => None,
+        })
+        .unwrap();
+    out.clear();
+    a.on_input(Input::Timer(timer), &mut out);
+    let re = sends(&out);
+    assert_eq!(re.len(), 3);
+    assert_eq!(re[0].request_id(), req, "retransmission must reuse the round id");
+    assert!(out.iter().any(|x| matches!(x, Action::SetTimer { .. })), "must re-arm");
+    // An unknown/stale timer is silent.
+    out.clear();
+    a.on_input(Input::Timer(TimerToken(999_999)), &mut out);
+    assert!(out.is_empty());
+}

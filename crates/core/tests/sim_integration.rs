@@ -1,0 +1,340 @@
+//! End-to-end tests: the register algorithms under the deterministic
+//! simulator, with histories certified by the atomicity checkers and
+//! causal-log counts checked against the paper's bounds.
+
+use rmem_consistency::{check_linearizable, check_persistent, check_transient};
+use rmem_core::{CrashStop, Persistent, Regular, Transient};
+use rmem_sim::{ClusterConfig, PlannedEvent, Schedule, Simulation};
+use rmem_sim::workload::ClosedLoop;
+use rmem_types::{AutomatonFactory, Op, OpKind, ProcessId, Value};
+
+fn p(i: u16) -> ProcessId {
+    ProcessId(i)
+}
+
+fn v(x: u32) -> Value {
+    Value::from_u32(x)
+}
+
+#[test]
+fn persistent_sequential_writes_and_reads() {
+    let mut sim = Simulation::new(ClusterConfig::new(3), Persistent::factory(), 1).with_schedule(
+        Schedule::new()
+            .at(1_000, PlannedEvent::Invoke(p(0), Op::Write(v(1))))
+            .at(10_000, PlannedEvent::Invoke(p(1), Op::Read))
+            .at(20_000, PlannedEvent::Invoke(p(0), Op::Write(v(2))))
+            .at(30_000, PlannedEvent::Invoke(p(2), Op::Read)),
+    );
+    let report = sim.run();
+    let ops = report.trace.operations();
+    assert_eq!(ops.len(), 4);
+    assert!(ops.iter().all(|o| o.is_completed()), "all ops complete: {ops:#?}");
+    // Reads see the latest completed writes.
+    assert_eq!(ops[1].result.as_ref().unwrap().read_value().unwrap().as_u32(), Some(1));
+    assert_eq!(ops[3].result.as_ref().unwrap().read_value().unwrap().as_u32(), Some(2));
+    // Crash-free run: plain linearizability holds.
+    let h = report.trace.to_history();
+    check_linearizable(&h).expect("crash-free persistent run must linearize");
+}
+
+#[test]
+fn all_flavors_complete_a_mixed_workload() {
+    for (factory, name) in [
+        (Persistent::factory(), "persistent"),
+        (Transient::factory(), "transient"),
+        (CrashStop::factory(), "crash-stop"),
+    ] {
+        let config = ClusterConfig::new(5);
+        let mut sim = Simulation::new(config, factory, 7);
+        sim.add_closed_loop(ClosedLoop::writes(p(0), v(11), 10));
+        sim.add_closed_loop(ClosedLoop::writes(p(1), v(22), 10));
+        sim.add_closed_loop(ClosedLoop::reads(p(2), 10));
+        sim.add_closed_loop(ClosedLoop::reads(p(3), 10));
+        let report = sim.run();
+        let completed = report.trace.operations().iter().filter(|o| o.is_completed()).count();
+        assert_eq!(completed, 40, "{name}: all 40 ops complete");
+        let h = report.trace.to_history();
+        check_linearizable(&h)
+            .unwrap_or_else(|e| panic!("{name}: crash-free run not linearizable: {e}"));
+    }
+}
+
+#[test]
+fn causal_log_counts_match_the_paper_uncontended() {
+    // Sequential (uncontended) workload: the table of §IV —
+    //   persistent: W=2, R=0 (no concurrency ⇒ read write-back adopts
+    //   nothing and no replica logs);
+    //   transient: W=1, R=0; crash-stop: 0/0; regular: W=1, R=0.
+    let cases = [
+        (Persistent::factory(), 2u32, 0u32),
+        (Transient::factory(), 1, 0),
+        (CrashStop::factory(), 0, 0),
+        (Regular::factory(), 1, 0),
+    ];
+    for (factory, expect_w, expect_r) in cases {
+        let name = factory.algorithm();
+        let mut sim = Simulation::new(ClusterConfig::new(5), factory, 3).with_schedule(
+            Schedule::new()
+                .at(1_000, PlannedEvent::Invoke(p(0), Op::Write(v(1))))
+                .at(20_000, PlannedEvent::Invoke(p(1), Op::Read))
+                .at(40_000, PlannedEvent::Invoke(p(0), Op::Write(v(2))))
+                .at(60_000, PlannedEvent::Invoke(p(2), Op::Read)),
+        );
+        let report = sim.run();
+        let ops = report.trace.operations();
+        assert!(ops.iter().all(|o| o.is_completed()), "{name}");
+        for op in ops {
+            let expect = match op.kind {
+                OpKind::Write => expect_w,
+                OpKind::Read => expect_r,
+            };
+            assert_eq!(
+                op.causal_logs, expect,
+                "{name}: {} expected {expect} causal logs, measured {}",
+                op.op, op.causal_logs
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_read_pays_one_causal_log() {
+    // A read overlapping a write must write back a value some replicas
+    // have not logged yet → its write-back round logs → 1 causal log.
+    // Steering: writer at p0 starts at t=0; reader at p1 starts mid-write
+    // (after the writer's query round, before propagation finishes).
+    let mut sim = Simulation::new(ClusterConfig::new(5), Persistent::factory(), 5).with_schedule(
+        Schedule::new()
+            .at(1_000, PlannedEvent::Invoke(p(0), Op::Write(v(9))))
+            // The write's query round takes ~200µs; its pre-log ~200µs;
+            // propagation starts ~1400µs in. Read at 1450µs races it.
+            .at(1_450, PlannedEvent::Invoke(p(1), Op::Read)),
+    );
+    let report = sim.run();
+    let ops = report.trace.operations();
+    assert!(ops.iter().all(|o| o.is_completed()));
+    let read = ops.iter().find(|o| o.kind == OpKind::Read).unwrap();
+    assert!(
+        read.causal_logs <= 1,
+        "persistent read exceeds Theorem 2's matching bound: {}",
+        read.causal_logs
+    );
+    let h = report.trace.to_history();
+    check_persistent(&h).expect("run must stay persistent atomic");
+}
+
+#[test]
+fn persistent_survives_writer_crash_mid_write() {
+    // Writer p0 crashes 1.3ms into a write (after pre-log, likely before
+    // the propagation quorum), recovers, and the recovery round finishes
+    // the write. A later read must then see it (or the checker must
+    // otherwise be satisfied).
+    let mut sim = Simulation::new(ClusterConfig::new(3), Persistent::factory(), 11).with_schedule(
+        Schedule::new()
+            .at(1_000, PlannedEvent::Invoke(p(0), Op::Write(v(1))))
+            .at(10_000, PlannedEvent::Invoke(p(0), Op::Write(v(2))))
+            .at(11_300, PlannedEvent::Crash(p(0)))
+            .at(15_000, PlannedEvent::Recover(p(0)))
+            .at(25_000, PlannedEvent::Invoke(p(1), Op::Read))
+            .at(35_000, PlannedEvent::Invoke(p(2), Op::Read)),
+    );
+    let report = sim.run();
+    let h = report.trace.to_history();
+    check_persistent(&h).unwrap_or_else(|e| {
+        panic!("persistent atomicity violated: {e}\nhistory: {h:#?}")
+    });
+    // The recovery round re-propagated the pre-logged value: both reads
+    // return v2 (the interrupted write was completed by recovery).
+    let reads: Vec<_> = report
+        .trace
+        .operations()
+        .iter()
+        .filter(|o| o.kind == OpKind::Read && o.is_completed())
+        .collect();
+    assert_eq!(reads.len(), 2);
+    for r in reads {
+        assert_eq!(
+            r.result.as_ref().unwrap().read_value().unwrap().as_u32(),
+            Some(2),
+            "recovery must have finished W(v2)"
+        );
+    }
+}
+
+#[test]
+fn transient_survives_writer_crash_mid_write() {
+    let mut sim = Simulation::new(ClusterConfig::new(3), Transient::factory(), 13).with_schedule(
+        Schedule::new()
+            .at(1_000, PlannedEvent::Invoke(p(0), Op::Write(v(1))))
+            .at(10_000, PlannedEvent::Invoke(p(0), Op::Write(v(2))))
+            .at(10_450, PlannedEvent::Crash(p(0))) // mid-query-round
+            .at(15_000, PlannedEvent::Recover(p(0)))
+            .at(20_000, PlannedEvent::Invoke(p(0), Op::Write(v(3))))
+            .at(30_000, PlannedEvent::Invoke(p(1), Op::Read))
+            .at(40_000, PlannedEvent::Invoke(p(2), Op::Read)),
+    );
+    let report = sim.run();
+    let h = report.trace.to_history();
+    check_transient(&h).unwrap_or_else(|e| {
+        panic!("transient atomicity violated: {e}\nhistory: {h:#?}")
+    });
+}
+
+#[test]
+fn all_processes_crash_and_majority_recovers() {
+    // The paper's robustness claim explicitly covers total simultaneous
+    // crashes as long as a majority eventually recovers (§I-D).
+    let mut sim = Simulation::new(ClusterConfig::new(3), Persistent::factory(), 17).with_schedule(
+        Schedule::new()
+            .at(1_000, PlannedEvent::Invoke(p(0), Op::Write(v(7))))
+            .at(10_000, PlannedEvent::Crash(p(0)))
+            .at(10_000, PlannedEvent::Crash(p(1)))
+            .at(10_000, PlannedEvent::Crash(p(2)))
+            .at(20_000, PlannedEvent::Recover(p(0)))
+            .at(20_000, PlannedEvent::Recover(p(1)))
+            // p2 never recovers; majority {p0, p1} suffices.
+            .at(40_000, PlannedEvent::Invoke(p(1), Op::Read)),
+    );
+    let report = sim.run();
+    let read = report
+        .trace
+        .operations()
+        .iter()
+        .find(|o| o.kind == OpKind::Read)
+        .expect("read recorded");
+    assert!(read.is_completed(), "read must terminate with a majority up");
+    assert_eq!(
+        read.result.as_ref().unwrap().read_value().unwrap().as_u32(),
+        Some(7),
+        "the completed write must survive the total crash"
+    );
+    check_persistent(&report.trace.to_history()).expect("persistent atomicity");
+}
+
+#[test]
+fn crash_stop_baseline_forgets_values_after_total_crash() {
+    // The same schedule against the no-logging baseline: the write is
+    // forgotten — the anomaly that motivates logging (§IV-A).
+    let mut sim = Simulation::new(ClusterConfig::new(3), CrashStop::factory(), 17).with_schedule(
+        Schedule::new()
+            .at(1_000, PlannedEvent::Invoke(p(0), Op::Write(v(7))))
+            .at(10_000, PlannedEvent::Crash(p(0)))
+            .at(10_000, PlannedEvent::Crash(p(1)))
+            .at(10_000, PlannedEvent::Crash(p(2)))
+            .at(20_000, PlannedEvent::Recover(p(0)))
+            .at(20_000, PlannedEvent::Recover(p(1)))
+            .at(20_000, PlannedEvent::Recover(p(2)))
+            .at(40_000, PlannedEvent::Invoke(p(1), Op::Read)),
+    );
+    let report = sim.run();
+    let read = report.trace.operations().iter().find(|o| o.kind == OpKind::Read).unwrap();
+    assert!(read.is_completed());
+    assert!(
+        read.result.as_ref().unwrap().read_value().unwrap().is_bottom(),
+        "the baseline must forget the value"
+    );
+    // And the checker certifies the violation.
+    assert!(
+        check_persistent(&report.trace.to_history()).is_err(),
+        "forgotten value must fail persistent atomicity"
+    );
+}
+
+#[test]
+fn operations_stall_without_a_majority_and_resume_with_one() {
+    // p1 and p2 crash; p0's write cannot terminate (robustness requires a
+    // majority). After recovery it completes.
+    let mut sim = Simulation::new(ClusterConfig::new(3), Persistent::factory(), 23).with_schedule(
+        Schedule::new()
+            .at(1_000, PlannedEvent::Crash(p(1)))
+            .at(1_000, PlannedEvent::Crash(p(2)))
+            .at(2_000, PlannedEvent::Invoke(p(0), Op::Write(v(5))))
+            .at(50_000, PlannedEvent::Recover(p(1))),
+    );
+    let report = sim.run();
+    let w = &report.trace.operations()[0];
+    assert!(w.is_completed(), "write completes once a majority is back");
+    assert!(
+        w.latency().unwrap().0 > 48_000,
+        "completion must wait for the recovery at t=50ms, got {:?}",
+        w.latency()
+    );
+}
+
+#[test]
+fn lossy_network_is_survived_by_retransmission() {
+    let config = ClusterConfig::new(5).with_net(rmem_sim::NetConfig::lossy(0.25, 0.10));
+    let mut sim = Simulation::new(config, Persistent::factory(), 31);
+    sim.add_closed_loop(ClosedLoop::writes(p(0), v(1), 15));
+    sim.add_closed_loop(ClosedLoop::reads(p(1), 15));
+    let report = sim.run();
+    let completed = report.trace.operations().iter().filter(|o| o.is_completed()).count();
+    assert_eq!(completed, 30, "fair-lossy loss must not prevent termination");
+    assert!(report.messages_dropped > 0, "the lossy net must actually drop");
+    check_linearizable(&report.trace.to_history()).expect("loss must not break atomicity");
+}
+
+#[test]
+fn regular_register_satisfies_regularity_under_crashes() {
+    let mut sim = Simulation::new(ClusterConfig::new(3), Regular::factory(), 37).with_schedule(
+        Schedule::new()
+            .at(1_000, PlannedEvent::Invoke(p(0), Op::Write(v(1))))
+            .at(5_000, PlannedEvent::Invoke(p(1), Op::Read))
+            .at(8_000, PlannedEvent::Invoke(p(0), Op::Write(v(2))))
+            .at(8_300, PlannedEvent::Crash(p(0)))
+            .at(12_000, PlannedEvent::Recover(p(0)))
+            .at(16_000, PlannedEvent::Invoke(p(0), Op::Write(v(3))))
+            .at(25_000, PlannedEvent::Invoke(p(1), Op::Read))
+            .at(35_000, PlannedEvent::Invoke(p(2), Op::Read)),
+    );
+    let report = sim.run();
+    let h = report.trace.to_history();
+    rmem_consistency::check_regular_swmr(&h)
+        .unwrap_or_else(|e| panic!("regularity violated: {e}\n{h:#?}"));
+}
+
+#[test]
+fn same_seed_same_run() {
+    let run = |seed: u64| {
+        let mut sim = Simulation::new(
+            ClusterConfig::new(5).with_net(rmem_sim::NetConfig::lossy(0.1, 0.1)),
+            Transient::factory(),
+            seed,
+        );
+        sim.add_closed_loop(ClosedLoop::writes(p(0), v(1), 10));
+        sim.add_closed_loop(ClosedLoop::reads(p(1), 10));
+        let report = sim.run();
+        (
+            report.final_time,
+            report.events_processed,
+            report.trace.latencies(OpKind::Write),
+            report.trace.latencies(OpKind::Read),
+        )
+    };
+    assert_eq!(run(99), run(99), "identical seeds must replay identically");
+    assert_ne!(run(99).1, run(100).1, "different seeds should differ (event counts)");
+}
+
+#[test]
+fn latency_composition_matches_paper_model() {
+    // δ=100µs, λ=200µs, no jitter ⇒ write latencies ≈
+    //   crash-stop: 2 round-trips = 4δ ≈ 400µs
+    //   transient: 4δ + λ ≈ 600µs
+    //   persistent: 4δ + 2λ ≈ 800µs
+    // (small constants on top: loopback self-delivery, scheduling).
+    let measure = |factory: std::sync::Arc<rmem_core::FlavorFactory>| -> f64 {
+        let mut sim = Simulation::new(ClusterConfig::new(5), factory, 41);
+        sim.add_closed_loop(ClosedLoop::writes(p(0), v(1), 20));
+        let report = sim.run();
+        let lat = report.trace.latencies(OpKind::Write);
+        lat.iter().sum::<u64>() as f64 / lat.len() as f64
+    };
+    let cs = measure(CrashStop::factory());
+    let tr = measure(Transient::factory());
+    let pe = measure(Persistent::factory());
+    assert!((380.0..480.0).contains(&cs), "crash-stop ≈ 4δ, measured {cs}");
+    assert!((580.0..700.0).contains(&tr), "transient ≈ 4δ+λ, measured {tr}");
+    assert!((780.0..920.0).contains(&pe), "persistent ≈ 4δ+2λ, measured {pe}");
+    // The paper's headline: the transient→persistent gap is another λ.
+    assert!(pe > tr && tr > cs);
+}

@@ -1,0 +1,74 @@
+//! `rmem-client` — issue operations to a running `rmem-node`.
+//!
+//! ```text
+//! rmem-client --node <addr> read [<reg>]
+//! rmem-client --node <addr> write [<reg>] <value>
+//! rmem-client --node <addr> ping
+//! ```
+//!
+//! `<addr>` is the node's *control* address (by default its peer port
+//! + 1000). `<reg>` defaults to 0.
+
+use std::net::SocketAddr;
+
+use rmem_net::send_command;
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: rmem-client --node <addr> read [<reg>]");
+    eprintln!("       rmem-client --node <addr> write [<reg>] <value>");
+    eprintln!("       rmem-client --node <addr> ping");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut node: Option<SocketAddr> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--node" => {
+                let v = it.next().unwrap_or_else(|| usage("--node needs a value"));
+                node = v.parse().ok();
+                if node.is_none() {
+                    usage(&format!("bad node address {v:?}"));
+                }
+            }
+            "--help" | "-h" => usage("help requested"),
+            _ => rest.push(arg),
+        }
+    }
+    let Some(node) = node else { usage("--node is required") };
+
+    let command = match rest.first().map(String::as_str) {
+        Some("ping") => "PING".to_string(),
+        Some("read") => {
+            let reg = rest.get(1).map(String::as_str).unwrap_or("0");
+            reg.parse::<u16>().unwrap_or_else(|_| usage("reg must be a number"));
+            format!("READ {reg}")
+        }
+        Some("write") => match rest.len() {
+            2 => format!("WRITE 0 {}", rest[1]),
+            3 => {
+                rest[1].parse::<u16>().unwrap_or_else(|_| usage("reg must be a number"));
+                format!("WRITE {} {}", rest[1], rest[2])
+            }
+            _ => usage("write takes [<reg>] <value>"),
+        },
+        _ => usage("command must be read, write or ping"),
+    };
+
+    match send_command(node, &command) {
+        Ok(response) => {
+            println!("{response}");
+            if response.starts_with("ERR") {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! The node control protocol: how standalone `rmem-node` processes accept
+//! operations from outside clients (e.g. the `rmem-client` binary).
+//!
+//! A deliberately tiny, line-based TCP protocol:
+//!
+//! ```text
+//! client → node:  PING
+//!                 READ <reg>
+//!                 WRITE <reg> <value bytes to end of line>
+//! node → client:  PONG
+//!                 VALUE <bytes>            (a read's result)
+//!                 BOTTOM                   (the register was never written)
+//!                 OK                       (a write completed)
+//!                 ERR <message>
+//! ```
+//!
+//! Values are treated as opaque byte strings (without `\n`). One command
+//! per connection round; connections may be reused.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use rmem_types::{RegisterId, Value};
+
+use crate::error::NetError;
+use crate::runner::Client;
+
+/// Executes one protocol command against a [`Client`], returning the
+/// response line (without the newline).
+pub fn handle_command(line: &str, client: &Client) -> String {
+    let line = line.trim_end_matches(['\r', '\n']);
+    let mut parts = line.splitn(3, ' ');
+    match parts.next() {
+        Some("PING") => "PONG".to_string(),
+        Some("READ") => {
+            let Some(reg) = parts.next().and_then(|r| r.parse::<u16>().ok()) else {
+                return "ERR usage: READ <reg>".to_string();
+            };
+            match client.read_at(RegisterId(reg)) {
+                Ok(v) if v.is_bottom() => "BOTTOM".to_string(),
+                Ok(v) => format!("VALUE {}", String::from_utf8_lossy(v.bytes())),
+                Err(e) => format!("ERR {e}"),
+            }
+        }
+        Some("WRITE") => {
+            let Some(reg) = parts.next().and_then(|r| r.parse::<u16>().ok()) else {
+                return "ERR usage: WRITE <reg> <value>".to_string();
+            };
+            let Some(value) = parts.next() else {
+                return "ERR usage: WRITE <reg> <value>".to_string();
+            };
+            match client.write_at(RegisterId(reg), Value::from(value)) {
+                Ok(()) => "OK".to_string(),
+                Err(e) => format!("ERR {e}"),
+            }
+        }
+        Some(other) if !other.is_empty() => format!("ERR unknown command {other:?}"),
+        _ => "ERR empty command".to_string(),
+    }
+}
+
+/// A control server bound to one node's [`Client`].
+pub struct ControlServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: parking_lot::Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ControlServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControlServer").field("addr", &self.addr).finish()
+    }
+}
+
+impl ControlServer {
+    /// Binds `addr` and starts serving commands against `client`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Bind`] if the listener cannot be bound.
+    pub fn bind(addr: SocketAddr, client: Client) -> Result<Self, NetError> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| NetError::Bind { addr: addr.to_string(), source: Arc::new(e) })?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| NetError::Bind { addr: addr.to_string(), source: Arc::new(e) })?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| NetError::Bind { addr: addr.to_string(), source: Arc::new(e) })?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("rmem-ctl-{local}"))
+            .spawn(move || {
+                while !accept_stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let client = client.clone();
+                            let conn_stop = accept_stop.clone();
+                            std::thread::spawn(move ||
+
+                                serve_connection(stream, client, conn_stop));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                        }
+                        Err(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+                    }
+                }
+            })
+            .expect("spawning the control acceptor");
+        Ok(ControlServer { addr: local, stop, handle: parking_lot::Mutex::new(Some(handle)) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting (existing connections close on their next read).
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ControlServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(stream: TcpStream, client: Client, stop: Arc<AtomicBool>) {
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(200)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    while !stop.load(Ordering::Relaxed) {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {
+                let response = handle_command(&line, &client);
+                if writer.write_all(response.as_bytes()).is_err()
+                    || writer.write_all(b"\n").is_err()
+                {
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Client side: sends one command to a node's control address and returns
+/// the response line.
+///
+/// # Errors
+///
+/// Propagates connection and I/O errors.
+pub fn send_command(addr: SocketAddr, command: &str) -> std::io::Result<String> {
+    let stream = TcpStream::connect_timeout(&addr, std::time::Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(command.as_bytes())?;
+    writer.write_all(b"\n")?;
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader.read_line(&mut response)?;
+    Ok(response.trim_end().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LocalCluster;
+    use rmem_core::Transient;
+    use rmem_types::ProcessId;
+
+    #[test]
+    fn protocol_round_trips_through_a_live_node() {
+        let cluster =
+            LocalCluster::channel(3, rmem_core::SharedMemory::factory(Transient::flavor()))
+                .unwrap();
+        let server = ControlServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            cluster.client(ProcessId(0)),
+        )
+        .unwrap();
+        let addr = server.addr();
+
+        assert_eq!(send_command(addr, "PING").unwrap(), "PONG");
+        assert_eq!(send_command(addr, "READ 0").unwrap(), "BOTTOM");
+        assert_eq!(send_command(addr, "WRITE 0 hello world").unwrap(), "OK");
+        assert_eq!(send_command(addr, "READ 0").unwrap(), "VALUE hello world");
+        assert_eq!(send_command(addr, "WRITE 3 slot three").unwrap(), "OK");
+        assert_eq!(send_command(addr, "READ 3").unwrap(), "VALUE slot three");
+        assert_eq!(send_command(addr, "READ 0").unwrap(), "VALUE hello world");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_commands_get_err_responses() {
+        let cluster = LocalCluster::channel(3, Transient::factory()).unwrap();
+        let client = cluster.client(ProcessId(1));
+        assert!(handle_command("READ", &client).starts_with("ERR"));
+        assert!(handle_command("READ abc", &client).starts_with("ERR"));
+        assert!(handle_command("WRITE 0", &client).starts_with("ERR"));
+        assert!(handle_command("FROB 1 2", &client).starts_with("ERR"));
+        assert!(handle_command("", &client).starts_with("ERR"));
+        assert_eq!(handle_command("PING", &client), "PONG");
+    }
+}

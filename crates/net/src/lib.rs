@@ -1,0 +1,56 @@
+//! Real asynchronous-network runtime for the register automata.
+//!
+//! The paper's measurements ran C processes over UDP on a LAN (§V-A). This
+//! crate is the equivalent runtime for our automata: the *same*
+//! [`rmem_types::Automaton`] implementations that run under the
+//! deterministic simulator are hosted here on real sockets, real threads,
+//! real timers and a real `fsync`-per-store disk log.
+//!
+//! * [`Transport`] — pluggable datagram delivery with fair-lossy
+//!   semantics (errors drop the message; the automata retransmit).
+//!   Implementations: [`UdpTransport`] (socket per process, exactly the
+//!   paper's setup), [`TcpTransport`] (persistent length-prefixed framed
+//!   connections, reconnect on demand), and [`ChannelTransport`]
+//!   (in-memory, for fast tests).
+//! * [`ProcessRunner`] — hosts one automaton: an event loop consuming
+//!   network messages, client invocations and timer expiries; stable
+//!   stores execute synchronously (blocking `fsync`) before the loop
+//!   proceeds, exactly like the paper's synchronous log files.
+//! * [`LocalCluster`] — spins up `n` runners on loopback for examples,
+//!   tests and the real-mode benchmark.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use rmem_core::Transient;
+//! use rmem_net::LocalCluster;
+//! use rmem_types::Value;
+//!
+//! let mut cluster = LocalCluster::channel(3, Transient::factory())?;
+//! cluster.client(rmem_types::ProcessId(0)).write(Value::from_u32(42))?;
+//! let v = cluster.client(rmem_types::ProcessId(1)).read()?;
+//! assert_eq!(v.as_u32(), Some(42));
+//! cluster.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod cluster;
+pub mod control;
+pub mod error;
+pub mod runner;
+pub mod tcp;
+pub mod transport;
+pub mod udp;
+
+pub use channel::ChannelTransport;
+pub use cluster::LocalCluster;
+pub use control::{ControlServer, handle_command, send_command};
+pub use error::{ClientError, NetError};
+pub use runner::{Client, ProcessRunner};
+pub use tcp::TcpTransport;
+pub use transport::{Inbound, Transport};
+pub use udp::UdpTransport;

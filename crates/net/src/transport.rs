@@ -1,0 +1,44 @@
+//! The transport abstraction.
+
+use rmem_types::{Message, ProcessId};
+
+use crate::error::NetError;
+
+/// A message received from the network.
+#[derive(Debug, Clone)]
+pub struct Inbound {
+    /// The sending process.
+    pub from: ProcessId,
+    /// The message.
+    pub msg: Message,
+}
+
+/// Datagram delivery between the cluster's processes with **fair-lossy**
+/// semantics (§II): `send` may silently fail to deliver (packet loss,
+/// closed peer, transient I/O error) — the automata retransmit until
+/// acknowledged, which is exactly what makes fair-lossy channels
+/// sufficient.
+///
+/// Received messages are pushed into the channel the transport was
+/// constructed with (each implementation runs its own receiver thread);
+/// the [`ProcessRunner`](crate::ProcessRunner) drains that channel.
+pub trait Transport: Send + Sync + 'static {
+    /// This endpoint's process id.
+    fn local(&self) -> ProcessId;
+
+    /// Number of processes in the cluster.
+    fn cluster_size(&self) -> usize;
+
+    /// Attempts to send `msg` to `to`. Delivery is best-effort: `Ok(())`
+    /// means the message was handed to the network, not that it arrived.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] only for non-retryable problems (unknown peer,
+    /// message over the size limit). Transient failures are swallowed —
+    /// they are indistinguishable from packet loss.
+    fn send(&self, to: ProcessId, msg: &Message) -> Result<(), NetError>;
+
+    /// Stops the receiver machinery (idempotent).
+    fn shutdown(&self);
+}

@@ -1,0 +1,506 @@
+//! The discrete-event simulation engine.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rmem_storage::{MemStorage, SnapshotView, StableStorage};
+use rmem_types::{Action, AutomatonFactory, Input, Micros, Op, OpId, ProcessId};
+
+use crate::config::ClusterConfig;
+use crate::event::{EventKind, EventQueue};
+use crate::network::{Fate, NetworkModel};
+use crate::time::VirtualTime;
+use crate::trace::Trace;
+use crate::workload::{ClosedLoop, PlannedEvent, Schedule};
+
+/// One simulated process: its automaton (volatile — destroyed by crashes)
+/// and its stable storage (owned by the engine — survives crashes).
+struct ProcSlot {
+    automaton: Option<Box<dyn rmem_types::Automaton>>,
+    storage: MemStorage,
+    /// Bumped at every crash; store completions and timers from older
+    /// incarnations are discarded.
+    incarnation: u32,
+    /// The operation currently in flight at this process, if any.
+    pending: Option<OpId>,
+    next_op_counter: u64,
+    /// Set while the process runs its recovery procedure (between the
+    /// Recover event and the automaton reporting ready); drives the
+    /// recovery-duration measurement.
+    recovering_since: Option<VirtualTime>,
+}
+
+struct LoopState {
+    pid: ProcessId,
+    remaining: std::collections::VecDeque<Op>,
+    think: Micros,
+    /// An invocation of this loop is in flight (scheduled or pending).
+    in_flight: bool,
+}
+
+/// Outcome summary of a run.
+#[derive(Debug)]
+pub struct SimReport {
+    /// The full execution trace (operations, history, counters).
+    pub trace: Trace,
+    /// Virtual time at which the run stopped.
+    pub final_time: VirtualTime,
+    /// Total events processed.
+    pub events_processed: u64,
+    /// Messages dropped by the network (loss + partitions).
+    pub messages_dropped: u64,
+    /// Messages duplicated by the network.
+    pub messages_duplicated: u64,
+    /// Whether the run ended by quiescence (`true`) or by hitting the
+    /// time/event limit (`false`).
+    pub quiescent: bool,
+}
+
+/// A deterministic simulation of a cluster running one automaton per
+/// process.
+///
+/// Construct with [`Simulation::new`], attach workloads
+/// ([`with_schedule`](Simulation::with_schedule),
+/// [`add_closed_loop`](Simulation::add_closed_loop)) and call
+/// [`run`](Simulation::run). The same seed and workload always produce the
+/// identical run.
+pub struct Simulation {
+    config: ClusterConfig,
+    factory: Arc<dyn AutomatonFactory>,
+    now: VirtualTime,
+    queue: EventQueue,
+    net: NetworkModel,
+    rng: StdRng,
+    procs: Vec<ProcSlot>,
+    trace: Trace,
+    loops: Vec<LoopState>,
+    schedule: Vec<(VirtualTime, PlannedEvent)>,
+    events_processed: u64,
+    /// Requester-relative causal chains for acknowledgements a replica
+    /// parked behind a store: when a request is delivered and not
+    /// immediately acknowledged, the ack it eventually triggers must carry
+    /// `request chain + 1` (one store on the requester's path), not the
+    /// chain of whatever store completion happened to release it — that
+    /// store may belong to a different operation's lineage.
+    deferred_acks: std::collections::HashMap<(ProcessId, rmem_types::RequestId), u32>,
+    /// Messages sent while handling the current event (drives the
+    /// sender-side serialization model, `NetConfig::serialize_per_msg`).
+    sends_this_event: u32,
+    ran: bool,
+}
+
+impl Simulation {
+    /// Creates a simulation of `config.n` processes built by `factory`,
+    /// with all randomness derived from `seed`.
+    pub fn new(config: ClusterConfig, factory: Arc<dyn AutomatonFactory>, seed: u64) -> Self {
+        let n = config.n;
+        let procs = (0..n)
+            .map(|_| ProcSlot {
+                automaton: None,
+                storage: MemStorage::new(),
+                incarnation: 0,
+                pending: None,
+                next_op_counter: 0,
+                recovering_since: None,
+            })
+            .collect();
+        Simulation {
+            net: NetworkModel::new(config.net.clone()),
+            rng: StdRng::seed_from_u64(seed),
+            config,
+            factory,
+            now: VirtualTime::ZERO,
+            queue: EventQueue::new(),
+            procs,
+            trace: Trace::new(),
+            loops: Vec::new(),
+            schedule: Vec::new(),
+            events_processed: 0,
+            deferred_acks: std::collections::HashMap::new(),
+            sends_this_event: 0,
+            ran: false,
+        }
+    }
+
+    /// Attaches a scripted schedule (crashes, recoveries, scripted
+    /// invocations, partitions).
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule.extend(schedule.entries().iter().cloned());
+        self
+    }
+
+    /// Attaches a closed-loop client.
+    pub fn add_closed_loop(&mut self, cl: ClosedLoop) {
+        assert!(cl.pid.index() < self.config.n, "closed loop bound to unknown process {}", cl.pid);
+        self.loops.push(LoopState {
+            pid: cl.pid,
+            remaining: cl.ops.clone().into(),
+            think: cl.think,
+            in_flight: false,
+        });
+        // The first invocation is scheduled when the run starts, honouring
+        // start_after; encode it via the schedule with a sentinel: we
+        // simply plant the first op here.
+        let idx = self.loops.len() - 1;
+        let first_at = VirtualTime::ZERO.after(cl.start_after);
+        if let Some(op) = self.loops[idx].remaining.pop_front() {
+            self.loops[idx].in_flight = true;
+            let op_id = self.fresh_op_id(cl.pid);
+            self.queue.push(first_at, EventKind::Invoke { pid: cl.pid, op: op_id, operation: op });
+        }
+    }
+
+    fn fresh_op_id(&mut self, pid: ProcessId) -> OpId {
+        let slot = &mut self.procs[pid.index()];
+        let id = OpId::new(pid, slot.next_op_counter);
+        slot.next_op_counter += 1;
+        id
+    }
+
+    /// Whether `pid` is currently crashed.
+    pub fn is_crashed(&self, pid: ProcessId) -> bool {
+        self.procs[pid.index()].automaton.is_none()
+    }
+
+    /// Read-only view of a process's stable storage (inspect after `run`).
+    pub fn storage(&self, pid: ProcessId) -> &MemStorage {
+        &self.procs[pid.index()].storage
+    }
+
+    /// Runs the simulation to quiescence or its limits, returning the
+    /// report. May be called once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn run(&mut self) -> SimReport {
+        assert!(!self.ran, "Simulation::run may only be called once");
+        self.ran = true;
+
+        // Plant the scripted schedule.
+        let schedule = std::mem::take(&mut self.schedule);
+        for (at, ev) in schedule {
+            let kind = match ev {
+                PlannedEvent::Invoke(pid, op) => {
+                    let op_id = self.fresh_op_id(pid);
+                    EventKind::Invoke { pid, op: op_id, operation: op }
+                }
+                PlannedEvent::Crash(pid) => EventKind::Crash { pid },
+                PlannedEvent::Recover(pid) => EventKind::Recover { pid },
+                PlannedEvent::Block(from, to) => EventKind::SetLink { from, to, blocked: true },
+                PlannedEvent::Unblock(from, to) => EventKind::SetLink { from, to, blocked: false },
+            };
+            self.queue.push(at, kind);
+        }
+
+        // Boot every process.
+        for pid in ProcessId::all(self.config.n) {
+            let automaton = self.factory.fresh(pid, self.config.n);
+            self.procs[pid.index()].automaton = Some(automaton);
+        }
+        for pid in ProcessId::all(self.config.n) {
+            self.feed(pid, Input::Start, 0, false);
+        }
+
+        let mut quiescent = false;
+        let mut hit_limit = false;
+        while let Some(ev) = self.queue.pop() {
+            if ev.at > self.config.max_time || self.events_processed >= self.config.max_events {
+                hit_limit = true;
+                break;
+            }
+            debug_assert!(ev.at >= self.now, "event queue delivered out of order");
+            self.now = ev.at;
+            self.events_processed += 1;
+            self.sends_this_event = 0;
+            self.dispatch(ev.kind);
+
+            if self.queue.len() < 256 && self.is_idle() && self.queue_only_timers() {
+                quiescent = true;
+                break;
+            }
+        }
+        if !hit_limit && self.queue.is_empty() {
+            quiescent = true;
+        }
+
+        SimReport {
+            trace: std::mem::take(&mut self.trace),
+            final_time: self.now,
+            events_processed: self.events_processed,
+            messages_dropped: self.net.dropped,
+            messages_duplicated: self.net.duplicated,
+            quiescent,
+        }
+    }
+
+    /// Completes the recovery-duration measurement when a recovering
+    /// process first reports ready.
+    fn note_if_recovered(&mut self, pid: ProcessId) {
+        let slot = &mut self.procs[pid.index()];
+        if let Some(since) = slot.recovering_since {
+            if slot.automaton.as_ref().is_some_and(|a| a.is_ready()) {
+                slot.recovering_since = None;
+                self.trace.record_recovery_duration(self.now.since(since));
+            }
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        let procs_idle = self.procs.iter().all(|s| {
+            s.pending.is_none() && s.automaton.as_ref().is_none_or(|a| a.is_ready())
+        });
+        let loops_done = self.loops.iter().all(|l| l.remaining.is_empty() && !l.in_flight);
+        procs_idle && loops_done
+    }
+
+    fn queue_only_timers(&self) -> bool {
+        // Private helper on the queue would expose internals; a linear
+        // scan over the (small, by the len() guard) heap is fine.
+        self.queue_iter_all_timers()
+    }
+
+    fn queue_iter_all_timers(&self) -> bool {
+        self.queue.iter().all(|s| matches!(s.kind, EventKind::TimerFire { .. }))
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Deliver { to, from, msg, chain } => {
+                if self.procs[to.index()].automaton.is_none() {
+                    return; // crashed receivers hear nothing
+                }
+                self.trace.messages_delivered += 1;
+                let attributed = msg.request_id().origin == to;
+                self.feed(to, Input::Message { from, msg }, chain, attributed);
+                self.note_if_recovered(to);
+            }
+            EventKind::StoreDone { pid, token, key, bytes, incarnation, chain, attributed_op } => {
+                let slot = &mut self.procs[pid.index()];
+                if slot.incarnation != incarnation {
+                    return; // the store was in flight when the process crashed: lost
+                }
+                slot.storage.store(&key, bytes).expect("MemStorage store cannot fail");
+                self.trace.stores_applied += 1;
+                if slot.pending.is_none() {
+                    self.trace.background_stores += 1;
+                }
+                let attributed = attributed_op.is_some() && attributed_op == slot.pending;
+                if slot.automaton.is_none() {
+                    return;
+                }
+                self.feed(pid, Input::StoreDone(token), chain, attributed);
+                self.note_if_recovered(pid);
+            }
+            EventKind::TimerFire { pid, token, incarnation, chain } => {
+                let slot = &self.procs[pid.index()];
+                if slot.incarnation != incarnation || slot.automaton.is_none() {
+                    return;
+                }
+                self.feed(pid, Input::Timer(token), chain, false);
+                self.note_if_recovered(pid);
+            }
+            EventKind::Invoke { pid, op, operation } => {
+                let slot = &mut self.procs[pid.index()];
+                if slot.automaton.is_none() {
+                    self.trace.invokes_dropped += 1;
+                    self.loop_op_lost(pid);
+                    return;
+                }
+                if slot.pending.is_some() {
+                    // The paper's processes are sequential (§III-A); the
+                    // engine refuses overlapping invocations so histories
+                    // stay well-formed.
+                    self.trace.invokes_dropped += 1;
+                    return;
+                }
+                slot.pending = Some(op);
+                self.trace.record_invoke(self.now, op, operation.clone());
+                self.feed(pid, Input::Invoke { op, operation }, 0, true);
+            }
+            EventKind::Crash { pid } => {
+                let slot = &mut self.procs[pid.index()];
+                if slot.automaton.is_none() {
+                    return;
+                }
+                slot.automaton = None;
+                slot.incarnation += 1;
+                slot.pending = None; // the op is lost; its record stays pending
+                slot.recovering_since = None;
+                self.deferred_acks.retain(|(p, _), _| *p != pid);
+                self.trace.record_crash(self.now, pid);
+                self.loop_op_lost(pid);
+            }
+            EventKind::Recover { pid } => {
+                if self.procs[pid.index()].automaton.is_some() {
+                    return;
+                }
+                let automaton = {
+                    let slot = &self.procs[pid.index()];
+                    let snapshot = SnapshotView::new(&slot.storage);
+                    self.factory.recover(pid, self.config.n, slot.incarnation as u64, &snapshot)
+                };
+                self.procs[pid.index()].automaton = Some(automaton);
+                self.procs[pid.index()].recovering_since = Some(self.now);
+                self.trace.record_recover(self.now, pid);
+                self.feed(pid, Input::Start, 0, false);
+                self.note_if_recovered(pid);
+                self.loop_resume(pid);
+            }
+            EventKind::SetLink { from, to, blocked } => {
+                self.net.set_link(from, to, blocked);
+            }
+        }
+    }
+
+    /// Delivers `input` to `pid`'s automaton and executes the resulting
+    /// actions. `chain` is the causal-log count carried by the input;
+    /// `attributed` says whether it belongs to `pid`'s pending operation.
+    fn feed(&mut self, pid: ProcessId, input: Input, chain: u32, attributed: bool) {
+        if attributed {
+            if let Some(op) = self.procs[pid.index()].pending {
+                self.trace.bump_chain(op, chain);
+            }
+        }
+        // If the input is a protocol request, note it so a deferred ack
+        // can be assigned its requester-relative chain (see field docs).
+        let request_id = match &input {
+            Input::Message { msg, .. } if msg.is_request() => Some(msg.request_id()),
+            _ => None,
+        };
+        let mut out = Vec::new();
+        {
+            let slot = &mut self.procs[pid.index()];
+            let Some(automaton) = slot.automaton.as_mut() else { return };
+            automaton.on_input(input, &mut out);
+        }
+        if let Some(req) = request_id {
+            let acked_now = out.iter().any(|a| {
+                matches!(a, Action::Send { msg, .. } if !msg.is_request() && msg.request_id() == req)
+            });
+            if !acked_now {
+                self.deferred_acks.insert((pid, req), chain + 1);
+            }
+        }
+        for action in out {
+            self.apply_action(pid, action, chain, attributed);
+        }
+    }
+
+    fn apply_action(&mut self, pid: ProcessId, action: Action, chain: u32, attributed: bool) {
+        match action {
+            Action::Send { to, msg } => {
+                assert!(to.index() < self.config.n, "send to unknown process {to}");
+                self.trace.messages_sent += 1;
+                // Duplicated requests can make one round send several
+                // acks, so the recorded chain must outlive the first ack:
+                // look up without consuming (entries die with a crash of
+                // the process, and request ids are never reused).
+                let chain = if msg.is_request() {
+                    chain
+                } else {
+                    self.deferred_acks.get(&(pid, msg.request_id())).copied().unwrap_or(chain)
+                };
+                let serialization = Micros(
+                    self.sends_this_event as u64 * self.config.net.serialize_per_msg.0,
+                );
+                self.sends_this_event += 1;
+                let fate = self.net.fate(pid, to, msg.payload_len(), &mut self.rng);
+                match fate {
+                    Fate::Drop => {}
+                    Fate::Deliver(d) => {
+                        self.queue.push(
+                            self.now.after(serialization + d),
+                            EventKind::Deliver { to, from: pid, msg, chain },
+                        );
+                    }
+                    Fate::Duplicate(d1, d2) => {
+                        self.queue.push(
+                            self.now.after(serialization + d1),
+                            EventKind::Deliver { to, from: pid, msg: msg.clone(), chain },
+                        );
+                        self.queue.push(
+                            self.now.after(serialization + d2),
+                            EventKind::Deliver { to, from: pid, msg, chain },
+                        );
+                    }
+                }
+            }
+            Action::Store { token, key, bytes } => {
+                let disk = &self.config.disk;
+                let jitter = if disk.jitter.0 > 0 {
+                    Micros(self.rng.gen_range(0..=disk.jitter.0))
+                } else {
+                    Micros(0)
+                };
+                let latency = disk.base_latency
+                    + jitter
+                    + Micros((bytes.len() as u64 * disk.ns_per_byte) / 1_000);
+                let slot = &self.procs[pid.index()];
+                let attributed_op = if attributed { slot.pending } else { None };
+                self.queue.push(
+                    self.now.after(latency),
+                    EventKind::StoreDone {
+                        pid,
+                        token,
+                        key,
+                        bytes,
+                        incarnation: slot.incarnation,
+                        chain: chain + 1,
+                        attributed_op,
+                    },
+                );
+            }
+            Action::SetTimer { token, after } => {
+                let slot = &self.procs[pid.index()];
+                self.queue.push(
+                    self.now.after(after),
+                    EventKind::TimerFire { pid, token, incarnation: slot.incarnation, chain },
+                );
+            }
+            Action::Complete { op, result } => {
+                let slot = &mut self.procs[pid.index()];
+                if slot.pending == Some(op) {
+                    slot.pending = None;
+                }
+                self.trace.bump_chain(op, chain);
+                self.trace.record_complete(self.now, op, result);
+                self.loop_advance(pid);
+            }
+        }
+    }
+
+    // -- Closed-loop bookkeeping ----------------------------------------
+
+    fn loop_advance(&mut self, pid: ProcessId) {
+        let Some(idx) = self.loops.iter().position(|l| l.pid == pid && l.in_flight) else {
+            return;
+        };
+        self.loops[idx].in_flight = false;
+        let think = self.loops[idx].think;
+        if let Some(op) = self.loops[idx].remaining.pop_front() {
+            self.loops[idx].in_flight = true;
+            let op_id = self.fresh_op_id(pid);
+            self.queue.push(self.now.after(think), EventKind::Invoke { pid, op: op_id, operation: op });
+        }
+    }
+
+    fn loop_op_lost(&mut self, pid: ProcessId) {
+        if let Some(l) = self.loops.iter_mut().find(|l| l.pid == pid && l.in_flight) {
+            l.in_flight = false;
+        }
+    }
+
+    fn loop_resume(&mut self, pid: ProcessId) {
+        let Some(idx) = self.loops.iter().position(|l| l.pid == pid && !l.in_flight) else {
+            return;
+        };
+        let think = self.loops[idx].think;
+        if let Some(op) = self.loops[idx].remaining.pop_front() {
+            self.loops[idx].in_flight = true;
+            let op_id = self.fresh_op_id(pid);
+            self.queue.push(self.now.after(think), EventKind::Invoke { pid, op: op_id, operation: op });
+        }
+    }
+}

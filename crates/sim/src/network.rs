@@ -1,0 +1,176 @@
+//! The simulated fair-lossy network.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rmem_types::{Micros, ProcessId};
+
+use crate::config::NetConfig;
+
+/// What the network decides to do with one send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// Deliver once after the given one-way delay.
+    Deliver(Micros),
+    /// Deliver twice (duplication), at the two delays.
+    Duplicate(Micros, Micros),
+    /// Drop silently.
+    Drop,
+}
+
+/// The network model: computes per-message fates deterministically from
+/// the shared simulation RNG, and tracks blocked directed links
+/// (partitions).
+#[derive(Debug)]
+pub struct NetworkModel {
+    config: NetConfig,
+    blocked: HashSet<(ProcessId, ProcessId)>,
+    /// Messages dropped so far (diagnostics).
+    pub dropped: u64,
+    /// Messages duplicated so far (diagnostics).
+    pub duplicated: u64,
+}
+
+impl NetworkModel {
+    /// Creates a model from its configuration.
+    pub fn new(config: NetConfig) -> Self {
+        NetworkModel { config, blocked: HashSet::new(), dropped: 0, duplicated: 0 }
+    }
+
+    /// Blocks or unblocks the directed link `from → to`.
+    pub fn set_link(&mut self, from: ProcessId, to: ProcessId, blocked: bool) {
+        if blocked {
+            self.blocked.insert((from, to));
+        } else {
+            self.blocked.remove(&(from, to));
+        }
+    }
+
+    /// Whether the directed link is currently blocked.
+    pub fn is_blocked(&self, from: ProcessId, to: ProcessId) -> bool {
+        self.blocked.contains(&(from, to))
+    }
+
+    fn one_delay(&self, from: ProcessId, to: ProcessId, payload_len: usize, rng: &mut StdRng) -> Micros {
+        let base = if from == to { self.config.self_delay } else { self.config.base_delay };
+        let jitter = if self.config.jitter.0 > 0 {
+            Micros(rng.gen_range(0..=self.config.jitter.0))
+        } else {
+            Micros(0)
+        };
+        let transmission = Micros((payload_len as u64 * self.config.ns_per_byte) / 1_000);
+        base + jitter + transmission
+    }
+
+    /// Decides the fate of a message of `payload_len` bytes sent
+    /// `from → to`.
+    pub fn fate(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        payload_len: usize,
+        rng: &mut StdRng,
+    ) -> Fate {
+        if self.is_blocked(from, to) {
+            self.dropped += 1;
+            return Fate::Drop;
+        }
+        // Draw the coins unconditionally so the RNG stream does not depend
+        // on configuration thresholds in surprising ways.
+        let drop_coin: f64 = rng.gen();
+        let dup_coin: f64 = rng.gen();
+        if drop_coin < self.config.drop_prob {
+            self.dropped += 1;
+            return Fate::Drop;
+        }
+        let d1 = self.one_delay(from, to, payload_len, rng);
+        if dup_coin < self.config.duplicate_prob {
+            self.duplicated += 1;
+            let d2 = self.one_delay(from, to, payload_len, rng);
+            return Fate::Duplicate(d1, d2);
+        }
+        Fate::Deliver(d1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn default_net_is_reliable_and_deterministic() {
+        let mut net = NetworkModel::new(NetConfig::default());
+        let mut r = rng();
+        match net.fate(ProcessId(0), ProcessId(1), 0, &mut r) {
+            Fate::Deliver(d) => assert_eq!(d, Micros(100)),
+            other => panic!("unexpected fate {other:?}"),
+        }
+        assert_eq!(net.dropped, 0);
+    }
+
+    #[test]
+    fn self_messages_use_loopback_delay() {
+        let mut net = NetworkModel::new(NetConfig::default());
+        let mut r = rng();
+        match net.fate(ProcessId(2), ProcessId(2), 0, &mut r) {
+            Fate::Deliver(d) => assert_eq!(d, Micros(1)),
+            other => panic!("unexpected fate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn payload_size_adds_transmission_delay() {
+        let mut net = NetworkModel::new(NetConfig::default());
+        let mut r = rng();
+        // 64 KiB at 80 ns/byte ≈ 5243 µs on top of the base 100.
+        match net.fate(ProcessId(0), ProcessId(1), 65536, &mut r) {
+            Fate::Deliver(d) => assert_eq!(d, Micros(100 + 65536 * 80 / 1000)),
+            other => panic!("unexpected fate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blocked_links_drop_everything() {
+        let mut net = NetworkModel::new(NetConfig::default());
+        let mut r = rng();
+        net.set_link(ProcessId(0), ProcessId(1), true);
+        assert_eq!(net.fate(ProcessId(0), ProcessId(1), 0, &mut r), Fate::Drop);
+        // The reverse direction is unaffected.
+        assert!(matches!(net.fate(ProcessId(1), ProcessId(0), 0, &mut r), Fate::Deliver(_)));
+        net.set_link(ProcessId(0), ProcessId(1), false);
+        assert!(matches!(net.fate(ProcessId(0), ProcessId(1), 0, &mut r), Fate::Deliver(_)));
+    }
+
+    #[test]
+    fn lossy_net_drops_and_duplicates_at_roughly_the_configured_rate() {
+        let mut net = NetworkModel::new(NetConfig::lossy(0.3, 0.1));
+        let mut r = rng();
+        let trials = 10_000;
+        for _ in 0..trials {
+            let _ = net.fate(ProcessId(0), ProcessId(1), 0, &mut r);
+        }
+        let drop_rate = net.dropped as f64 / trials as f64;
+        assert!((0.25..0.35).contains(&drop_rate), "drop rate {drop_rate}");
+        // Duplicates are drawn from survivors (~70%), so ≈7%.
+        let dup_rate = net.duplicated as f64 / trials as f64;
+        assert!((0.04..0.10).contains(&dup_rate), "dup rate {dup_rate}");
+    }
+
+    #[test]
+    fn same_seed_same_fates() {
+        let run = || {
+            let mut net = NetworkModel::new(NetConfig::lossy(0.2, 0.2));
+            let mut r = StdRng::seed_from_u64(99);
+            (0..100)
+                .map(|_| net.fate(ProcessId(0), ProcessId(1), 16, &mut r))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

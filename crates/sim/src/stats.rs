@@ -1,0 +1,99 @@
+//! Latency statistics over completed operations.
+
+/// Summary statistics of a latency sample, in microseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: u64,
+    /// Maximum.
+    pub max: u64,
+    /// Median (50th percentile).
+    pub p50: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl LatencyStats {
+    /// Computes statistics from a sample; returns `None` for an empty one.
+    pub fn from_sample(mut sample: Vec<u64>) -> Option<LatencyStats> {
+        if sample.is_empty() {
+            return None;
+        }
+        sample.sort_unstable();
+        let count = sample.len();
+        let sum: u128 = sample.iter().map(|&v| v as u128).sum();
+        let pct = |p: f64| -> u64 {
+            let rank = ((count as f64 - 1.0) * p).round() as usize;
+            sample[rank.min(count - 1)]
+        };
+        Some(LatencyStats {
+            count,
+            mean: sum as f64 / count as f64,
+            min: sample[0],
+            max: sample[count - 1],
+            p50: pct(0.50),
+            p99: pct(0.99),
+        })
+    }
+}
+
+impl std::fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1}µs min={}µs p50={}µs p99={}µs max={}µs",
+            self.count, self.mean, self.min, self.p50, self.p99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_yields_none() {
+        assert_eq!(LatencyStats::from_sample(vec![]), None);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = LatencyStats::from_sample(vec![42]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.min, 42);
+        assert_eq!(s.max, 42);
+        assert_eq!(s.p50, 42);
+        assert_eq!(s.p99, 42);
+    }
+
+    #[test]
+    fn known_distribution() {
+        let s = LatencyStats::from_sample((1..=100).collect()).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.mean, 50.5);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.p50, 51); // round(99 * 0.5) = 50 → sample[50]
+        assert_eq!(s.p99, 99);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let s = LatencyStats::from_sample(vec![30, 10, 20]).unwrap();
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 30);
+        assert_eq!(s.p50, 20);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = LatencyStats::from_sample(vec![5, 5, 5]).unwrap();
+        assert!(s.to_string().contains("n=3"));
+        assert!(s.to_string().contains("mean=5.0µs"));
+    }
+}

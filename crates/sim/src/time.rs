@@ -1,0 +1,74 @@
+//! Virtual time.
+
+use rmem_types::Micros;
+
+/// An instant of simulated time, in microseconds since the start of the
+/// run.
+///
+/// The paper's model posits a fictional global clock outside the processes'
+/// control (§II); this is it. Automata never see `VirtualTime` — they only
+/// request relative timers — so algorithm code cannot accidentally depend
+/// on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtualTime(pub u64);
+
+impl VirtualTime {
+    /// The start of the simulation.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// Microseconds since simulation start.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// This instant advanced by `d`.
+    pub fn after(self, d: Micros) -> VirtualTime {
+        VirtualTime(self.0.saturating_add(d.0))
+    }
+
+    /// The duration since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn since(self, earlier: VirtualTime) -> Micros {
+        assert!(earlier.0 <= self.0, "time ran backwards: {earlier} > {self}");
+        Micros(self.0 - earlier.0)
+    }
+}
+
+impl std::fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t={}µs", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn after_and_since_are_inverse() {
+        let t0 = VirtualTime(100);
+        let t1 = t0.after(Micros(250));
+        assert_eq!(t1, VirtualTime(350));
+        assert_eq!(t1.since(t0), Micros(250));
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(VirtualTime::ZERO < VirtualTime(1));
+        assert!(VirtualTime(5) < VirtualTime(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "time ran backwards")]
+    fn since_panics_on_reversed_arguments() {
+        let _ = VirtualTime(1).since(VirtualTime(2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(VirtualTime(7).to_string(), "t=7µs");
+    }
+}

@@ -1,0 +1,129 @@
+//! Workload description: scripted adversary schedules and closed-loop
+//! clients.
+
+use rmem_types::{Micros, Op, ProcessId};
+
+use crate::time::VirtualTime;
+
+/// An event the harness plants at an absolute virtual time.
+#[derive(Debug, Clone)]
+pub enum PlannedEvent {
+    /// Invoke `Op` at the process (ignored if it is crashed at that
+    /// moment).
+    Invoke(ProcessId, Op),
+    /// Crash the process (no-op if already crashed).
+    Crash(ProcessId),
+    /// Recover the process (no-op if not crashed).
+    Recover(ProcessId),
+    /// Block the directed link `from → to` (messages are dropped).
+    Block(ProcessId, ProcessId),
+    /// Unblock the directed link.
+    Unblock(ProcessId, ProcessId),
+}
+
+/// A scripted schedule: the adversary and any scripted clients.
+///
+/// Used to reproduce the paper's proof runs (ρ1–ρ4, Figs. 2–3) and the
+/// Fig. 1 scenarios, where precise timing of crashes relative to operation
+/// phases is the whole point.
+#[derive(Debug, Clone, Default)]
+pub struct Schedule {
+    entries: Vec<(VirtualTime, PlannedEvent)>,
+}
+
+impl Schedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Schedule::default()
+    }
+
+    /// Plants `event` at absolute time `at` (microseconds).
+    pub fn at(mut self, at: u64, event: PlannedEvent) -> Self {
+        self.entries.push((VirtualTime(at), event));
+        self
+    }
+
+    /// The planted events.
+    pub fn entries(&self) -> &[(VirtualTime, PlannedEvent)] {
+        &self.entries
+    }
+}
+
+/// A closed-loop client bound to one process: it invokes the listed
+/// operations sequentially, waiting `think` between a completion and the
+/// next invocation. If a crash wipes a pending operation, the loop resumes
+/// with the next operation once the process recovers.
+///
+/// This is the paper's measurement workload: "writing a 4 byte integer
+/// value … repeating the write fifty times and finally averaging" (§V-B).
+#[derive(Debug, Clone)]
+pub struct ClosedLoop {
+    /// The process issuing the operations.
+    pub pid: ProcessId,
+    /// Operations to perform, in order.
+    pub ops: Vec<Op>,
+    /// Pause between completion and next invocation.
+    pub think: Micros,
+    /// Delay before the first invocation.
+    pub start_after: Micros,
+}
+
+impl ClosedLoop {
+    /// A loop of `count` writes of `value` at `pid`, back to back.
+    pub fn writes(pid: ProcessId, value: rmem_types::Value, count: usize) -> Self {
+        ClosedLoop {
+            pid,
+            ops: std::iter::repeat_with(|| Op::Write(value.clone())).take(count).collect(),
+            think: Micros(10),
+            start_after: Micros(10),
+        }
+    }
+
+    /// A loop of `count` reads at `pid`.
+    pub fn reads(pid: ProcessId, count: usize) -> Self {
+        ClosedLoop {
+            pid,
+            ops: std::iter::repeat_with(|| Op::Read).take(count).collect(),
+            think: Micros(10),
+            start_after: Micros(10),
+        }
+    }
+
+    /// Sets the think time.
+    pub fn with_think(mut self, think: Micros) -> Self {
+        self.think = think;
+        self
+    }
+
+    /// Sets the start delay.
+    pub fn with_start_after(mut self, start_after: Micros) -> Self {
+        self.start_after = start_after;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmem_types::Value;
+
+    #[test]
+    fn schedule_builder_accumulates_in_order() {
+        let s = Schedule::new()
+            .at(10, PlannedEvent::Crash(ProcessId(0)))
+            .at(20, PlannedEvent::Recover(ProcessId(0)));
+        assert_eq!(s.entries().len(), 2);
+        assert_eq!(s.entries()[0].0, VirtualTime(10));
+    }
+
+    #[test]
+    fn closed_loop_constructors() {
+        let w = ClosedLoop::writes(ProcessId(1), Value::from_u32(7), 50);
+        assert_eq!(w.ops.len(), 50);
+        assert!(matches!(w.ops[0], Op::Write(_)));
+        let r = ClosedLoop::reads(ProcessId(2), 3).with_think(Micros(100)).with_start_after(Micros(5));
+        assert_eq!(r.ops.len(), 3);
+        assert_eq!(r.think, Micros(100));
+        assert_eq!(r.start_after, Micros(5));
+    }
+}

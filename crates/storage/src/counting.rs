@@ -1,0 +1,146 @@
+//! Store-count instrumentation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::{StableStorage, StorageError};
+
+/// Shared counters collected by a [`CountingStorage`].
+///
+/// The counters are atomics behind an [`Arc`], so a harness keeps a handle
+/// while the storage itself is owned by the runtime. These raw counts (how
+/// many stores, how many bytes) complement the *causal-log* accounting done
+/// by the simulator trace: raw counts say how much logging happened, the
+/// trace says how much of it was on an operation's critical path.
+#[derive(Debug, Default)]
+pub struct StoreCounters {
+    stores: AtomicU64,
+    bytes: AtomicU64,
+    retrieves: AtomicU64,
+}
+
+impl StoreCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Arc<Self> {
+        Arc::new(StoreCounters::default())
+    }
+
+    /// Number of successful `store` calls.
+    pub fn stores(&self) -> u64 {
+        self.stores.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes across successful `store` calls.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of `retrieve` calls.
+    pub fn retrieves(&self) -> u64 {
+        self.retrieves.load(Ordering::Relaxed)
+    }
+
+    /// Resets all counters to zero (e.g. between benchmark phases).
+    pub fn reset(&self) {
+        self.stores.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+        self.retrieves.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A [`StableStorage`] decorator that counts traffic into shared
+/// [`StoreCounters`].
+#[derive(Debug)]
+pub struct CountingStorage<S> {
+    inner: S,
+    counters: Arc<StoreCounters>,
+}
+
+impl<S: StableStorage> CountingStorage<S> {
+    /// Wraps `inner`, reporting into `counters`.
+    pub fn new(inner: S, counters: Arc<StoreCounters>) -> Self {
+        CountingStorage { inner, counters }
+    }
+
+    /// The shared counters.
+    pub fn counters(&self) -> &Arc<StoreCounters> {
+        &self.counters
+    }
+
+    /// Unwraps the inner storage.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: StableStorage> StableStorage for CountingStorage<S> {
+    fn store(&mut self, key: &str, bytes: Bytes) -> Result<(), StorageError> {
+        let len = bytes.len() as u64;
+        self.inner.store(key, bytes)?;
+        self.counters.stores.fetch_add(1, Ordering::Relaxed);
+        self.counters.bytes.fetch_add(len, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn retrieve(&self, key: &str) -> Result<Option<Bytes>, StorageError> {
+        self.counters.retrieves.fetch_add(1, Ordering::Relaxed);
+        self.inner.retrieve(key)
+    }
+
+    fn keys(&self) -> Vec<String> {
+        self.inner.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemStorage;
+
+    #[test]
+    fn counts_stores_bytes_and_retrieves() {
+        let counters = StoreCounters::new();
+        let mut s = CountingStorage::new(MemStorage::new(), counters.clone());
+        s.store("a", Bytes::from_static(b"12345")).unwrap();
+        s.store("b", Bytes::from_static(b"123")).unwrap();
+        let _ = s.retrieve("a").unwrap();
+        let _ = s.retrieve("missing").unwrap();
+        assert_eq!(counters.stores(), 2);
+        assert_eq!(counters.bytes(), 8);
+        assert_eq!(counters.retrieves(), 2);
+    }
+
+    #[test]
+    fn failed_store_is_not_counted() {
+        use crate::{FaultPlan, FaultyStorage};
+        let counters = StoreCounters::new();
+        let inner = FaultyStorage::new(MemStorage::new(), FaultPlan::fail_every(1));
+        let mut s = CountingStorage::new(inner, counters.clone());
+        assert!(s.store("a", Bytes::from_static(b"x")).is_err());
+        assert_eq!(counters.stores(), 0);
+        assert_eq!(counters.bytes(), 0);
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let counters = StoreCounters::new();
+        let mut s = CountingStorage::new(MemStorage::new(), counters.clone());
+        s.store("a", Bytes::from_static(b"x")).unwrap();
+        counters.reset();
+        assert_eq!(counters.stores(), 0);
+        assert_eq!(counters.bytes(), 0);
+        assert_eq!(counters.retrieves(), 0);
+    }
+
+    #[test]
+    fn passthrough_keys_and_into_inner() {
+        let counters = StoreCounters::new();
+        let mut s = CountingStorage::new(MemStorage::new(), counters);
+        s.store("k", Bytes::new()).unwrap();
+        assert_eq!(s.keys(), vec!["k".to_string()]);
+        let inner = s.into_inner();
+        assert_eq!(inner.keys(), vec!["k".to_string()]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Storage failure type.
+
+use std::sync::Arc;
+
+use rmem_types::DecodeError;
+
+/// A stable-storage operation failed.
+#[derive(Debug, Clone)]
+pub enum StorageError {
+    /// An underlying I/O operation failed.
+    Io {
+        /// The slot being accessed.
+        key: String,
+        /// The operating-system error (shared so the error stays `Clone`).
+        source: Arc<std::io::Error>,
+    },
+    /// A record was present but failed to decode — stable storage was
+    /// corrupted outside the process's control.
+    Corrupt {
+        /// The slot being accessed.
+        key: String,
+        /// The decode failure.
+        source: DecodeError,
+    },
+    /// A deliberately injected fault (testing only; see
+    /// [`FaultyStorage`](crate::FaultyStorage)).
+    Injected {
+        /// The slot being accessed.
+        key: String,
+    },
+}
+
+impl StorageError {
+    /// Convenience constructor for I/O failures.
+    pub fn io(key: impl Into<String>, source: std::io::Error) -> Self {
+        StorageError::Io { key: key.into(), source: Arc::new(source) }
+    }
+
+    /// The slot the failing operation addressed.
+    pub fn key(&self) -> &str {
+        match self {
+            StorageError::Io { key, .. }
+            | StorageError::Corrupt { key, .. }
+            | StorageError::Injected { key } => key,
+        }
+    }
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io { key, source } => {
+                write!(f, "stable storage i/o failure on slot {key:?}: {source}")
+            }
+            StorageError::Corrupt { key, source } => {
+                write!(f, "corrupt record in slot {key:?}: {source}")
+            }
+            StorageError::Injected { key } => {
+                write!(f, "injected fault on slot {key:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io { source, .. } => Some(source.as_ref()),
+            StorageError::Corrupt { source, .. } => Some(source),
+            StorageError::Injected { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_accessor_and_display() {
+        let e = StorageError::io("writing", std::io::Error::other("disk on fire"));
+        assert_eq!(e.key(), "writing");
+        assert!(e.to_string().contains("disk on fire"));
+
+        let e = StorageError::Injected { key: "written".into() };
+        assert_eq!(e.key(), "written");
+        assert!(e.to_string().contains("injected"));
+    }
+
+    #[test]
+    fn error_is_send_sync_clone() {
+        fn check<E: std::error::Error + Send + Sync + Clone + 'static>(_: &E) {}
+        check(&StorageError::Injected { key: "k".into() });
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e = StorageError::io("k", std::io::Error::other("inner"));
+        assert!(e.source().is_some());
+        let e2 = StorageError::Injected { key: "k".into() };
+        assert!(e2.source().is_none());
+    }
+}

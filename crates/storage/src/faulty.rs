@@ -1,0 +1,167 @@
+//! Fault-injecting storage decorator for robustness tests.
+
+use bytes::Bytes;
+
+use crate::{StableStorage, StorageError};
+
+/// Deterministic schedule of injected store failures.
+///
+/// The plan is consulted on every `store`; when it says "fail", the store
+/// returns [`StorageError::Injected`] and the underlying storage is left
+/// untouched (matching the [`StableStorage`] contract that a failed store
+/// preserves the previous record).
+#[derive(Debug, Clone)]
+pub enum FaultPlan {
+    /// Never inject (pass-through).
+    None,
+    /// Fail every `n`-th store, 1-indexed: `fail_every(3)` fails stores
+    /// 3, 6, 9, …
+    EveryNth {
+        /// The period.
+        n: u64,
+        /// Stores seen so far.
+        seen: u64,
+    },
+    /// Fail the stores whose 1-indexed positions are listed (sorted).
+    AtPositions {
+        /// Sorted positions to fail.
+        positions: Vec<u64>,
+        /// Stores seen so far.
+        seen: u64,
+    },
+    /// Fail every store to the given slot.
+    OnKey(
+        /// The slot name to fail.
+        String,
+    ),
+}
+
+impl FaultPlan {
+    /// Plan failing every `n`-th store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn fail_every(n: u64) -> Self {
+        assert!(n > 0, "period must be positive");
+        FaultPlan::EveryNth { n, seen: 0 }
+    }
+
+    /// Plan failing the stores at the given 1-indexed positions.
+    pub fn fail_at(mut positions: Vec<u64>) -> Self {
+        positions.sort_unstable();
+        FaultPlan::AtPositions { positions, seen: 0 }
+    }
+
+    /// Plan failing every store to `key`.
+    pub fn fail_key(key: impl Into<String>) -> Self {
+        FaultPlan::OnKey(key.into())
+    }
+
+    fn should_fail(&mut self, key: &str) -> bool {
+        match self {
+            FaultPlan::None => false,
+            FaultPlan::EveryNth { n, seen } => {
+                *seen += 1;
+                *seen % *n == 0
+            }
+            FaultPlan::AtPositions { positions, seen } => {
+                *seen += 1;
+                positions.binary_search(seen).is_ok()
+            }
+            FaultPlan::OnKey(k) => k == key,
+        }
+    }
+}
+
+/// A [`StableStorage`] decorator that injects failures per a [`FaultPlan`].
+#[derive(Debug)]
+pub struct FaultyStorage<S> {
+    inner: S,
+    plan: FaultPlan,
+    injected: u64,
+}
+
+impl<S: StableStorage> FaultyStorage<S> {
+    /// Wraps `inner` with the given plan.
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        FaultyStorage { inner, plan, injected: 0 }
+    }
+
+    /// How many failures have been injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Unwraps the inner storage.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: StableStorage> StableStorage for FaultyStorage<S> {
+    fn store(&mut self, key: &str, bytes: Bytes) -> Result<(), StorageError> {
+        if self.plan.should_fail(key) {
+            self.injected += 1;
+            return Err(StorageError::Injected { key: key.to_string() });
+        }
+        self.inner.store(key, bytes)
+    }
+
+    fn retrieve(&self, key: &str) -> Result<Option<Bytes>, StorageError> {
+        self.inner.retrieve(key)
+    }
+
+    fn keys(&self) -> Vec<String> {
+        self.inner.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemStorage;
+
+    #[test]
+    fn every_nth_fails_periodically() {
+        let mut s = FaultyStorage::new(MemStorage::new(), FaultPlan::fail_every(3));
+        let results: Vec<bool> = (0..6)
+            .map(|i| s.store("k", Bytes::from(vec![i as u8])).is_ok())
+            .collect();
+        assert_eq!(results, vec![true, true, false, true, true, false]);
+        assert_eq!(s.injected(), 2);
+    }
+
+    #[test]
+    fn failed_store_preserves_previous_record() {
+        let mut s = FaultyStorage::new(MemStorage::new(), FaultPlan::fail_at(vec![2]));
+        s.store("slot", Bytes::from_static(b"old")).unwrap();
+        assert!(s.store("slot", Bytes::from_static(b"new")).is_err());
+        assert_eq!(s.retrieve("slot").unwrap(), Some(Bytes::from_static(b"old")));
+    }
+
+    #[test]
+    fn on_key_targets_only_that_slot() {
+        let mut s = FaultyStorage::new(MemStorage::new(), FaultPlan::fail_key("writing"));
+        assert!(s.store("writing", Bytes::new()).is_err());
+        assert!(s.store("written", Bytes::new()).is_ok());
+        assert!(s.store("writing", Bytes::new()).is_err());
+        assert_eq!(s.injected(), 2);
+    }
+
+    #[test]
+    fn none_plan_is_transparent() {
+        let mut s = FaultyStorage::new(MemStorage::new(), FaultPlan::None);
+        for i in 0..10u8 {
+            s.store("k", Bytes::from(vec![i])).unwrap();
+        }
+        assert_eq!(s.injected(), 0);
+        assert_eq!(s.retrieve("k").unwrap(), Some(Bytes::from(vec![9u8])));
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        let _ = FaultPlan::fail_every(0);
+    }
+}

@@ -1,0 +1,106 @@
+//! In-memory stable storage for simulated processes.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+
+use crate::{StableStorage, StorageError};
+
+/// An in-memory [`StableStorage`].
+///
+/// The deterministic simulator owns one `MemStorage` per simulated process
+/// and holds it *outside* the process automaton: crashing a process
+/// destroys the automaton (volatile state) while the `MemStorage` persists,
+/// which is exactly the durability boundary of the crash-recovery model.
+///
+/// `BTreeMap` rather than `HashMap` keeps [`keys`](StableStorage::keys)
+/// deterministic, which the reproducible-simulation guarantee relies on.
+#[derive(Debug, Clone, Default)]
+pub struct MemStorage {
+    slots: BTreeMap<String, Bytes>,
+    /// Total number of successful stores ever performed (diagnostics).
+    stores: u64,
+}
+
+impl MemStorage {
+    /// Creates empty storage.
+    pub fn new() -> Self {
+        MemStorage::default()
+    }
+
+    /// Number of successful stores performed over the storage's lifetime.
+    pub fn store_count(&self) -> u64 {
+        self.stores
+    }
+
+    /// Removes every record — models replacing the disk, *not* a crash
+    /// (crashes preserve stable storage).
+    pub fn wipe(&mut self) {
+        self.slots.clear();
+    }
+}
+
+impl StableStorage for MemStorage {
+    fn store(&mut self, key: &str, bytes: Bytes) -> Result<(), StorageError> {
+        self.slots.insert(key.to_string(), bytes);
+        self.stores += 1;
+        Ok(())
+    }
+
+    fn retrieve(&self, key: &str) -> Result<Option<Bytes>, StorageError> {
+        Ok(self.slots.get(key).cloned())
+    }
+
+    fn keys(&self) -> Vec<String> {
+        self.slots.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_then_retrieve() {
+        let mut s = MemStorage::new();
+        assert_eq!(s.retrieve("a").unwrap(), None);
+        s.store("a", Bytes::from_static(b"1")).unwrap();
+        assert_eq!(s.retrieve("a").unwrap(), Some(Bytes::from_static(b"1")));
+    }
+
+    #[test]
+    fn store_overwrites_slot() {
+        let mut s = MemStorage::new();
+        s.store("writing", Bytes::from_static(b"old")).unwrap();
+        s.store("writing", Bytes::from_static(b"new")).unwrap();
+        assert_eq!(s.retrieve("writing").unwrap(), Some(Bytes::from_static(b"new")));
+        assert_eq!(s.store_count(), 2);
+    }
+
+    #[test]
+    fn keys_are_sorted_and_deduplicated() {
+        let mut s = MemStorage::new();
+        s.store("written", Bytes::new()).unwrap();
+        s.store("recovered", Bytes::new()).unwrap();
+        s.store("written", Bytes::new()).unwrap();
+        assert_eq!(s.keys(), vec!["recovered".to_string(), "written".to_string()]);
+    }
+
+    #[test]
+    fn wipe_clears_slots() {
+        let mut s = MemStorage::new();
+        s.store("a", Bytes::new()).unwrap();
+        s.wipe();
+        assert_eq!(s.retrieve("a").unwrap(), None);
+        assert!(s.keys().is_empty());
+    }
+
+    #[test]
+    fn clone_is_a_disk_image() {
+        let mut s = MemStorage::new();
+        s.store("a", Bytes::from_static(b"v")).unwrap();
+        let snapshot = s.clone();
+        s.store("a", Bytes::from_static(b"w")).unwrap();
+        assert_eq!(snapshot.retrieve("a").unwrap(), Some(Bytes::from_static(b"v")));
+    }
+}

@@ -1,0 +1,346 @@
+//! Self-contained binary codec for wire messages and storage records.
+//!
+//! The real UDP/TCP transports serialize [`Message`]s with this codec, and
+//! `rmem-storage` reuses the primitive helpers for its on-disk records, so
+//! no external serialization framework touches the wire or disk format.
+//! The encoding is deliberately simple: fixed-width big-endian integers and
+//! length-prefixed byte strings.
+//!
+//! # Example
+//!
+//! ```
+//! use rmem_types::codec;
+//! use rmem_types::{Message, ProcessId, RequestId, Timestamp, Value};
+//!
+//! let msg = Message::Write {
+//!     req: RequestId::new(ProcessId(2), 40),
+//!     ts: Timestamp::new(7, ProcessId(2)),
+//!     value: Value::from_u32(123),
+//! };
+//! let bytes = codec::encode_message(&msg);
+//! assert_eq!(codec::decode_message(&bytes)?, msg);
+//! # Ok::<(), rmem_types::DecodeError>(())
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::DecodeError;
+use crate::message::{Message, RequestId};
+use crate::process::ProcessId;
+use crate::timestamp::Timestamp;
+use crate::value::Value;
+
+/// Upper bound accepted for a length prefix: a value may be up to 64 KiB
+/// (the UDP datagram limit the paper works under, §V-B) plus generous
+/// header room.
+pub const MAX_LEN: usize = 1 << 20;
+
+// ---------------------------------------------------------------------
+// Primitive helpers (shared with rmem-storage's record encoding)
+// ---------------------------------------------------------------------
+
+/// Appends a `u64` in big-endian order.
+pub fn put_u64(buf: &mut BytesMut, v: u64) {
+    buf.put_u64(v);
+}
+
+/// Reads a big-endian `u64`.
+pub fn get_u64(buf: &mut impl Buf, context: &'static str) -> Result<u64, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::UnexpectedEof { context });
+    }
+    Ok(buf.get_u64())
+}
+
+/// Appends a `u16` in big-endian order.
+pub fn put_u16(buf: &mut BytesMut, v: u16) {
+    buf.put_u16(v);
+}
+
+/// Reads a big-endian `u16`.
+pub fn get_u16(buf: &mut impl Buf, context: &'static str) -> Result<u16, DecodeError> {
+    if buf.remaining() < 2 {
+        return Err(DecodeError::UnexpectedEof { context });
+    }
+    Ok(buf.get_u16())
+}
+
+/// Appends a single byte.
+pub fn put_u8(buf: &mut BytesMut, v: u8) {
+    buf.put_u8(v);
+}
+
+/// Reads a single byte.
+pub fn get_u8(buf: &mut impl Buf, context: &'static str) -> Result<u8, DecodeError> {
+    if !buf.has_remaining() {
+        return Err(DecodeError::UnexpectedEof { context });
+    }
+    Ok(buf.get_u8())
+}
+
+/// Appends a length-prefixed byte string (`u32` length, then the bytes).
+pub fn put_bytes(buf: &mut BytesMut, bytes: &[u8]) {
+    debug_assert!(bytes.len() <= MAX_LEN);
+    buf.put_u32(bytes.len() as u32);
+    buf.put_slice(bytes);
+}
+
+/// Reads a length-prefixed byte string.
+pub fn get_bytes(buf: &mut impl Buf, context: &'static str) -> Result<Bytes, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::UnexpectedEof { context });
+    }
+    let len = buf.get_u32() as usize;
+    if len > MAX_LEN {
+        return Err(DecodeError::BadLength { context, len });
+    }
+    if buf.remaining() < len {
+        return Err(DecodeError::UnexpectedEof { context });
+    }
+    Ok(buf.copy_to_bytes(len))
+}
+
+// ---------------------------------------------------------------------
+// Composite helpers
+// ---------------------------------------------------------------------
+
+/// Appends a [`ProcessId`].
+pub fn put_process_id(buf: &mut BytesMut, pid: ProcessId) {
+    put_u16(buf, pid.0);
+}
+
+/// Reads a [`ProcessId`].
+pub fn get_process_id(buf: &mut impl Buf, context: &'static str) -> Result<ProcessId, DecodeError> {
+    Ok(ProcessId(get_u16(buf, context)?))
+}
+
+/// Appends a [`Timestamp`].
+pub fn put_timestamp(buf: &mut BytesMut, ts: Timestamp) {
+    put_u64(buf, ts.seq);
+    put_process_id(buf, ts.pid);
+}
+
+/// Reads a [`Timestamp`].
+pub fn get_timestamp(buf: &mut impl Buf, context: &'static str) -> Result<Timestamp, DecodeError> {
+    let seq = get_u64(buf, context)?;
+    let pid = get_process_id(buf, context)?;
+    Ok(Timestamp { seq, pid })
+}
+
+/// Appends a [`RequestId`].
+pub fn put_request_id(buf: &mut BytesMut, req: RequestId) {
+    put_process_id(buf, req.origin);
+    put_u64(buf, req.nonce);
+    put_u16(buf, req.reg.0);
+}
+
+/// Reads a [`RequestId`].
+pub fn get_request_id(buf: &mut impl Buf, context: &'static str) -> Result<RequestId, DecodeError> {
+    let origin = get_process_id(buf, context)?;
+    let nonce = get_u64(buf, context)?;
+    let reg = crate::RegisterId(get_u16(buf, context)?);
+    Ok(RequestId { origin, nonce, reg })
+}
+
+/// Appends a [`Value`], preserving the ⊥/non-⊥ distinction.
+pub fn put_value(buf: &mut BytesMut, value: &Value) {
+    put_u8(buf, if value.is_bottom() { 0 } else { 1 });
+    put_bytes(buf, value.bytes());
+}
+
+/// Reads a [`Value`].
+pub fn get_value(buf: &mut impl Buf, context: &'static str) -> Result<Value, DecodeError> {
+    let marker = get_u8(buf, context)?;
+    let bytes = get_bytes(buf, context)?;
+    match marker {
+        0 => Ok(Value::bottom()),
+        1 => Ok(Value::new(bytes)),
+        tag => Err(DecodeError::BadTag { context, tag }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Message codec
+// ---------------------------------------------------------------------
+
+const TAG_SN_REQ: u8 = 1;
+const TAG_SN_ACK: u8 = 2;
+const TAG_WRITE: u8 = 3;
+const TAG_WRITE_ACK: u8 = 4;
+const TAG_READ: u8 = 5;
+const TAG_READ_ACK: u8 = 6;
+
+/// Serializes a [`Message`] to a standalone datagram payload.
+pub fn encode_message(msg: &Message) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32 + msg.payload_len());
+    match msg {
+        Message::SnReq { req } => {
+            put_u8(&mut buf, TAG_SN_REQ);
+            put_request_id(&mut buf, *req);
+        }
+        Message::SnAck { req, seq } => {
+            put_u8(&mut buf, TAG_SN_ACK);
+            put_request_id(&mut buf, *req);
+            put_u64(&mut buf, *seq);
+        }
+        Message::Write { req, ts, value } => {
+            put_u8(&mut buf, TAG_WRITE);
+            put_request_id(&mut buf, *req);
+            put_timestamp(&mut buf, *ts);
+            put_value(&mut buf, value);
+        }
+        Message::WriteAck { req } => {
+            put_u8(&mut buf, TAG_WRITE_ACK);
+            put_request_id(&mut buf, *req);
+        }
+        Message::Read { req } => {
+            put_u8(&mut buf, TAG_READ);
+            put_request_id(&mut buf, *req);
+        }
+        Message::ReadAck { req, ts, value } => {
+            put_u8(&mut buf, TAG_READ_ACK);
+            put_request_id(&mut buf, *req);
+            put_timestamp(&mut buf, *ts);
+            put_value(&mut buf, value);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a [`Message`] from a datagram payload.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the buffer is truncated, carries an unknown
+/// discriminant, declares an implausible length, or has trailing garbage.
+pub fn decode_message(bytes: &[u8]) -> Result<Message, DecodeError> {
+    let mut buf = bytes;
+    const CTX: &str = "Message";
+    let tag = get_u8(&mut buf, CTX)?;
+    let msg = match tag {
+        TAG_SN_REQ => Message::SnReq { req: get_request_id(&mut buf, CTX)? },
+        TAG_SN_ACK => Message::SnAck {
+            req: get_request_id(&mut buf, CTX)?,
+            seq: get_u64(&mut buf, CTX)?,
+        },
+        TAG_WRITE => Message::Write {
+            req: get_request_id(&mut buf, CTX)?,
+            ts: get_timestamp(&mut buf, CTX)?,
+            value: get_value(&mut buf, CTX)?,
+        },
+        TAG_WRITE_ACK => Message::WriteAck { req: get_request_id(&mut buf, CTX)? },
+        TAG_READ => Message::Read { req: get_request_id(&mut buf, CTX)? },
+        TAG_READ_ACK => Message::ReadAck {
+            req: get_request_id(&mut buf, CTX)?,
+            ts: get_timestamp(&mut buf, CTX)?,
+            value: get_value(&mut buf, CTX)?,
+        },
+        tag => return Err(DecodeError::BadTag { context: CTX, tag }),
+    };
+    if !buf.is_empty() {
+        return Err(DecodeError::TrailingBytes { remaining: buf.len() });
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_messages() -> Vec<Message> {
+        let req = RequestId::new(ProcessId(3), 99);
+        let ts = Timestamp::new(12, ProcessId(3));
+        vec![
+            Message::SnReq { req },
+            Message::SnAck { req, seq: 12 },
+            Message::Write { req, ts, value: Value::from_u32(77) },
+            Message::Write { req, ts, value: Value::bottom() },
+            Message::Write { req, ts, value: Value::new(vec![0u8; 65536]) },
+            Message::WriteAck { req },
+            Message::Read { req },
+            Message::ReadAck { req, ts, value: Value::from("payload") },
+            Message::ReadAck { req, ts, value: Value::bottom() },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_variant() {
+        for msg in sample_messages() {
+            let bytes = encode_message(&msg);
+            let back = decode_message(&bytes).expect("decode");
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn bottom_survives_roundtrip_distinct_from_empty() {
+        let req = RequestId::new(ProcessId(0), 0);
+        let ts = Timestamp::ZERO;
+        let bot = Message::Write { req, ts, value: Value::bottom() };
+        let empty = Message::Write { req, ts, value: Value::new(Vec::new()) };
+        let b1 = encode_message(&bot);
+        let b2 = encode_message(&empty);
+        assert_ne!(b1, b2);
+        assert_eq!(decode_message(&b1).unwrap(), bot);
+        assert_eq!(decode_message(&b2).unwrap(), empty);
+    }
+
+    #[test]
+    fn truncated_buffers_error_cleanly() {
+        for msg in sample_messages() {
+            let bytes = encode_message(&msg);
+            for cut in 0..bytes.len() {
+                let err = decode_message(&bytes[..cut]);
+                assert!(err.is_err(), "decoding a truncated {} must fail", msg.label());
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_message(&Message::SnReq {
+            req: RequestId::new(ProcessId(0), 1),
+        })
+        .to_vec();
+        bytes.push(0);
+        assert_eq!(decode_message(&bytes), Err(DecodeError::TrailingBytes { remaining: 1 }));
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        assert!(matches!(
+            decode_message(&[0x7f]),
+            Err(DecodeError::BadTag { tag: 0x7f, .. })
+        ));
+    }
+
+    #[test]
+    fn implausible_length_is_rejected() {
+        // Hand-craft a Write whose value length prefix is absurd.
+        let mut buf = BytesMut::new();
+        put_u8(&mut buf, TAG_WRITE);
+        put_request_id(&mut buf, RequestId::new(ProcessId(0), 0));
+        put_timestamp(&mut buf, Timestamp::ZERO);
+        put_u8(&mut buf, 1);
+        buf.put_u32(u32::MAX);
+        assert!(matches!(
+            decode_message(&buf),
+            Err(DecodeError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        let mut buf = BytesMut::new();
+        put_u64(&mut buf, 0xDEAD_BEEF_0000_0001);
+        put_u16(&mut buf, 515);
+        put_bytes(&mut buf, b"xyz");
+        put_timestamp(&mut buf, Timestamp::new(9, ProcessId(2)));
+        let mut r: &[u8] = &buf;
+        assert_eq!(get_u64(&mut r, "t").unwrap(), 0xDEAD_BEEF_0000_0001);
+        assert_eq!(get_u16(&mut r, "t").unwrap(), 515);
+        assert_eq!(get_bytes(&mut r, "t").unwrap().as_ref(), b"xyz");
+        assert_eq!(get_timestamp(&mut r, "t").unwrap(), Timestamp::new(9, ProcessId(2)));
+        assert!(r.is_empty());
+    }
+}

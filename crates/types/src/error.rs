@@ -1,0 +1,76 @@
+//! Error types shared across the workspace.
+
+/// Failure to decode a wire message or a stable-storage record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the expected field.
+    UnexpectedEof {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// An enum discriminant byte had no known mapping.
+    BadTag {
+        /// What was being decoded.
+        context: &'static str,
+        /// The offending discriminant.
+        tag: u8,
+    },
+    /// A declared length prefix exceeds the remaining buffer or a sanity
+    /// bound.
+    BadLength {
+        /// What was being decoded.
+        context: &'static str,
+        /// The declared length.
+        len: usize,
+    },
+    /// Trailing bytes remained after a complete decode where none were
+    /// expected.
+    TrailingBytes {
+        /// How many bytes remained.
+        remaining: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { context } => {
+                write!(f, "unexpected end of buffer while decoding {context}")
+            }
+            DecodeError::BadTag { context, tag } => {
+                write!(f, "unknown discriminant {tag:#04x} while decoding {context}")
+            }
+            DecodeError::BadLength { context, len } => {
+                write!(f, "implausible length {len} while decoding {context}")
+            }
+            DecodeError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after a complete decode")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = DecodeError::UnexpectedEof { context: "Message" };
+        assert!(e.to_string().contains("unexpected end"));
+        let e = DecodeError::BadTag { context: "Message", tag: 0xff };
+        assert!(e.to_string().contains("0xff"));
+        let e = DecodeError::BadLength { context: "Value", len: 1 << 40 };
+        assert!(e.to_string().contains("implausible"));
+        let e = DecodeError::TrailingBytes { remaining: 3 };
+        assert!(e.to_string().contains("3 trailing"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_err(DecodeError::TrailingBytes { remaining: 0 });
+    }
+}

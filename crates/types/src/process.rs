@@ -1,0 +1,98 @@
+//! Process identifiers.
+
+/// Identifier of one of the `n` static processes participating in the
+/// emulation.
+///
+/// The paper's model (§II) has a static set of processes; ids double as the
+/// tie-breaking component of [`Timestamp`](crate::Timestamp)s, so their
+/// ordering is semantically meaningful: two concurrent writes with the same
+/// sequence number are ordered by writer id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessId(pub u16);
+
+impl ProcessId {
+    /// Returns the raw id.
+    pub fn as_u16(self) -> u16 {
+        self.0
+    }
+
+    /// Returns the id as a `usize`, convenient for indexing per-process
+    /// tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Enumerates the ids `0..n` of a cluster of `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds `u16::MAX`.
+    pub fn all(n: usize) -> impl Iterator<Item = ProcessId> {
+        assert!(n <= u16::MAX as usize, "cluster size {n} exceeds u16::MAX");
+        (0..n as u16).map(ProcessId)
+    }
+}
+
+impl std::fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u16> for ProcessId {
+    fn from(v: u16) -> Self {
+        ProcessId(v)
+    }
+}
+
+/// Returns the majority threshold ⌈(n+1)/2⌉ used by every quorum round in
+/// the paper's algorithms (Fig. 4 lines 9/15/34/38, Fig. 5 lines 9/14).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(rmem_types::process::majority(3), 2);
+/// assert_eq!(rmem_types::process::majority(4), 3);
+/// assert_eq!(rmem_types::process::majority(5), 3);
+/// assert_eq!(rmem_types::process::majority(9), 5);
+/// ```
+pub fn majority(n: usize) -> usize {
+    n / 2 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_thresholds() {
+        assert_eq!(majority(1), 1);
+        assert_eq!(majority(2), 2);
+        assert_eq!(majority(3), 2);
+        assert_eq!(majority(5), 3);
+        assert_eq!(majority(7), 4);
+        assert_eq!(majority(9), 5);
+        // Two majorities always intersect.
+        for n in 1..=64 {
+            assert!(2 * majority(n) > n, "majorities must intersect for n={n}");
+        }
+    }
+
+    #[test]
+    fn all_enumerates_in_order() {
+        let ids: Vec<_> = ProcessId::all(4).collect();
+        assert_eq!(ids, vec![ProcessId(0), ProcessId(1), ProcessId(2), ProcessId(3)]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ProcessId(7).to_string(), "p7");
+    }
+
+    #[test]
+    fn index_and_from() {
+        let p: ProcessId = 9u16.into();
+        assert_eq!(p.index(), 9);
+        assert_eq!(p.as_u16(), 9);
+    }
+}

@@ -1,0 +1,118 @@
+//! Lexicographic write tags.
+
+use crate::process::ProcessId;
+
+/// Monotonically increasing sequence number component of a [`Timestamp`].
+pub type Seq = u64;
+
+/// The tag `[sn, pid]` associated with every written value.
+///
+/// The multi-writer algorithms of the paper (§IV-B) order written values by
+/// the pair *(sequence number, writer id)* compared **lexicographically** —
+/// sequence number first, writer id as tie-break — written `>lex` in the
+/// pseudocode of Fig. 4 (line 22). The derived `Ord` on this struct is
+/// exactly that order because the fields are declared in that order.
+///
+/// # Examples
+///
+/// ```
+/// use rmem_types::{ProcessId, Timestamp};
+///
+/// let t0 = Timestamp::ZERO;
+/// let t1 = Timestamp::new(1, ProcessId(4));
+/// let t2 = Timestamp::new(1, ProcessId(5));
+/// assert!(t0 < t1 && t1 < t2);
+/// assert_eq!(t2.next(ProcessId(0)), Timestamp::new(2, ProcessId(0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp {
+    /// Sequence number (majority-queried maximum plus an increment).
+    pub seq: Seq,
+    /// Id of the writer that produced this tag (tie-break component).
+    pub pid: ProcessId,
+}
+
+impl Timestamp {
+    /// The initial tag `[0, p0]` shared by all processes before any write.
+    pub const ZERO: Timestamp = Timestamp { seq: 0, pid: ProcessId(0) };
+
+    /// Creates a tag from its components.
+    pub fn new(seq: Seq, pid: ProcessId) -> Self {
+        Timestamp { seq, pid }
+    }
+
+    /// The tag a writer `pid` forms after observing this tag as the highest
+    /// in its query round: `[seq + 1, pid]` (Fig. 4 line 11).
+    pub fn next(self, pid: ProcessId) -> Timestamp {
+        Timestamp { seq: self.seq + 1, pid }
+    }
+
+    /// The tag a *recovered transient* writer forms: `[seq + rec + 1, pid]`
+    /// (Fig. 5 line 11). Adding the stable recovery counter `rec`
+    /// guarantees the new tag dominates any tag the writer may have used in
+    /// a write that was cut short by a crash and never logged locally.
+    pub fn next_after_recoveries(self, pid: ProcessId, rec: u64) -> Timestamp {
+        Timestamp { seq: self.seq + rec + 1, pid }
+    }
+}
+
+impl std::fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{},{}]", self.seq, self.pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicographic_order_seq_dominates() {
+        let low = Timestamp::new(1, ProcessId(9));
+        let high = Timestamp::new(2, ProcessId(0));
+        assert!(low < high, "sequence number must dominate the pid tie-break");
+    }
+
+    #[test]
+    fn lexicographic_order_pid_breaks_ties() {
+        let a = Timestamp::new(7, ProcessId(1));
+        let b = Timestamp::new(7, ProcessId(2));
+        assert!(a < b);
+        assert_ne!(a, b, "concurrent writes by distinct writers never share a tag");
+    }
+
+    #[test]
+    fn next_increments_and_rebrands() {
+        let t = Timestamp::new(5, ProcessId(3));
+        let n = t.next(ProcessId(1));
+        assert_eq!(n, Timestamp::new(6, ProcessId(1)));
+        assert!(t < n);
+    }
+
+    #[test]
+    fn next_after_recoveries_dominates_unlogged_tags() {
+        // A writer at seq 5 crashed mid-write (it may have injected seq 6
+        // at some replica without logging it). After rec = 1 recovery the
+        // new tag must exceed 6.
+        let queried_max = Timestamp::new(5, ProcessId(0));
+        let fresh = queried_max.next_after_recoveries(ProcessId(0), 1);
+        assert!(fresh.seq > 6);
+        // With zero recoveries it degenerates to `next`.
+        assert_eq!(
+            queried_max.next_after_recoveries(ProcessId(0), 0),
+            queried_max.next(ProcessId(0))
+        );
+    }
+
+    #[test]
+    fn zero_is_minimum() {
+        assert!(Timestamp::ZERO <= Timestamp::new(0, ProcessId(0)));
+        assert!(Timestamp::ZERO < Timestamp::new(0, ProcessId(1)));
+        assert!(Timestamp::ZERO < Timestamp::new(1, ProcessId(0)));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Timestamp::new(3, ProcessId(2)).to_string(), "[3,p2]");
+    }
+}

@@ -1,0 +1,182 @@
+//! Register payloads.
+
+use bytes::Bytes;
+
+/// An opaque register payload.
+///
+/// The paper's experiments write 4-byte integers (Fig. 6 top) and payloads
+/// up to the 64 KB UDP datagram limit (Fig. 6 bottom); `Value` wraps
+/// [`Bytes`] so cloning a value while fanning a write out to `n` replicas
+/// is a cheap reference-count bump.
+///
+/// The initial register content ⊥ is represented by [`Value::bottom`] — an
+/// empty payload flagged as unwritten, so it is distinguishable from a
+/// deliberately written empty byte string.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Value {
+    bytes: Bytes,
+    bottom: bool,
+}
+
+impl Value {
+    /// The unwritten value ⊥ every register starts with (Fig. 4 line 2).
+    pub fn bottom() -> Self {
+        Value { bytes: Bytes::new(), bottom: true }
+    }
+
+    /// Wraps a payload.
+    pub fn new(bytes: impl Into<Bytes>) -> Self {
+        Value { bytes: bytes.into(), bottom: false }
+    }
+
+    /// Convenience constructor for the 4-byte integer payloads used by the
+    /// paper's first experiment.
+    pub fn from_u32(v: u32) -> Self {
+        Value::new(v.to_be_bytes().to_vec())
+    }
+
+    /// Convenience constructor for 8-byte integer payloads.
+    pub fn from_u64(v: u64) -> Self {
+        Value::new(v.to_be_bytes().to_vec())
+    }
+
+    /// Attempts to reinterpret the payload as the `u32` it was created
+    /// from. Returns `None` for ⊥ or payloads of a different length.
+    pub fn as_u32(&self) -> Option<u32> {
+        if self.bottom {
+            return None;
+        }
+        let arr: [u8; 4] = self.bytes.as_ref().try_into().ok()?;
+        Some(u32::from_be_bytes(arr))
+    }
+
+    /// Attempts to reinterpret the payload as the `u64` it was created from.
+    pub fn as_u64(&self) -> Option<u64> {
+        if self.bottom {
+            return None;
+        }
+        let arr: [u8; 8] = self.bytes.as_ref().try_into().ok()?;
+        Some(u64::from_be_bytes(arr))
+    }
+
+    /// Whether this is the unwritten initial value ⊥.
+    pub fn is_bottom(&self) -> bool {
+        self.bottom
+    }
+
+    /// The raw payload bytes (empty for ⊥).
+    pub fn bytes(&self) -> &Bytes {
+        &self.bytes
+    }
+
+    /// Payload length in bytes (0 for ⊥).
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the payload is empty (true for ⊥ and for written empty
+    /// strings alike).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+impl Default for Value {
+    /// The default value is ⊥, matching register initialisation.
+    fn default() -> Self {
+        Value::bottom()
+    }
+}
+
+impl From<&[u8]> for Value {
+    fn from(b: &[u8]) -> Self {
+        Value::new(b.to_vec())
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(b: Vec<u8>) -> Self {
+        Value::new(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::new(s.as_bytes().to_vec())
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.bottom {
+            write!(f, "⊥")
+        } else if let Some(v) = self.as_u32() {
+            write!(f, "{v}")
+        } else if let Ok(s) = std::str::from_utf8(&self.bytes) {
+            write!(f, "{s:?}")
+        } else {
+            write!(f, "<{} bytes>", self.bytes.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bottom_is_distinct_from_written_empty() {
+        let bot = Value::bottom();
+        let empty = Value::new(Vec::new());
+        assert!(bot.is_bottom());
+        assert!(!empty.is_bottom());
+        assert_ne!(bot, empty);
+        assert!(bot.is_empty() && empty.is_empty());
+    }
+
+    #[test]
+    fn u32_roundtrip() {
+        let v = Value::from_u32(0xDEAD_BEEF);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.as_u32(), Some(0xDEAD_BEEF));
+        assert_eq!(v.as_u64(), None);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let v = Value::from_u64(42);
+        assert_eq!(v.as_u64(), Some(42));
+        assert_eq!(v.as_u32(), None);
+    }
+
+    #[test]
+    fn bottom_has_no_integer_view() {
+        assert_eq!(Value::bottom().as_u32(), None);
+        assert_eq!(Value::bottom().as_u64(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::bottom().to_string(), "⊥");
+        assert_eq!(Value::from_u32(7).to_string(), "7");
+        assert_eq!(Value::from("hi").to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Value = b"abc"[..].into();
+        let b: Value = vec![97, 98, 99].into();
+        let c: Value = "abc".into();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(Value::default(), Value::bottom());
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let v = Value::new(vec![0u8; 65536]);
+        let w = v.clone();
+        assert_eq!(v, w);
+        assert_eq!(w.len(), 65536);
+    }
+}

@@ -1,0 +1,74 @@
+//! A tour of the fault model: message loss, duplication, partitions and
+//! crash storms — with every run certified by the atomicity checkers.
+//!
+//! ```text
+//! cargo run --example fault_tour [seed]
+//! ```
+
+use rmem_consistency::check_persistent;
+use rmem_core::Persistent;
+use rmem_sim::workload::ClosedLoop;
+use rmem_sim::{ClusterConfig, NetConfig, PlannedEvent, Schedule, Simulation};
+use rmem_types::{OpKind, ProcessId, Value};
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2024);
+
+    // A hostile network: 20% loss, 10% duplication, jittered delays …
+    let net = NetConfig::lossy(0.20, 0.10);
+    let config = ClusterConfig::new(5).with_net(net);
+
+    // … plus a crash storm: every process crashes at least once, two of
+    // them simultaneously, all while clients keep issuing operations.
+    let schedule = Schedule::new()
+        .at(30_000, PlannedEvent::Crash(ProcessId(1)))
+        .at(30_000, PlannedEvent::Crash(ProcessId(3)))
+        .at(60_000, PlannedEvent::Recover(ProcessId(1)))
+        .at(65_000, PlannedEvent::Recover(ProcessId(3)))
+        .at(90_000, PlannedEvent::Crash(ProcessId(0)))
+        .at(120_000, PlannedEvent::Recover(ProcessId(0)))
+        .at(150_000, PlannedEvent::Crash(ProcessId(2)))
+        .at(150_500, PlannedEvent::Crash(ProcessId(4)))
+        .at(180_000, PlannedEvent::Recover(ProcessId(2)))
+        .at(185_000, PlannedEvent::Recover(ProcessId(4)));
+
+    let mut sim =
+        Simulation::new(config, Persistent::factory(), seed).with_schedule(schedule);
+    sim.add_closed_loop(
+        ClosedLoop::writes(ProcessId(0), Value::from_u32(1), 25)
+            .with_think(rmem_types::Micros(5_000)),
+    );
+    sim.add_closed_loop(
+        ClosedLoop::reads(ProcessId(2), 25).with_think(rmem_types::Micros(5_000)),
+    );
+    let report = sim.run();
+
+    let writes = report.trace.latencies(OpKind::Write);
+    let reads = report.trace.latencies(OpKind::Read);
+    println!("seed {seed}:");
+    println!(
+        "  {} writes and {} reads completed despite {} dropped and {} duplicated messages",
+        writes.len(),
+        reads.len(),
+        report.messages_dropped,
+        report.messages_duplicated
+    );
+    println!(
+        "  {} crashes, {} recoveries, {} invocations lost to downtime",
+        report.trace.crashes, report.trace.recoveries, report.trace.invokes_dropped
+    );
+    if let Some(stats) = rmem_sim::LatencyStats::from_sample(writes) {
+        println!("  write latency: {stats}");
+    }
+    if let Some(stats) = rmem_sim::LatencyStats::from_sample(reads) {
+        println!("  read latency:  {stats}");
+    }
+
+    match check_persistent(&report.trace.to_history()) {
+        Ok(_) => println!("  persistent atomicity: SATISFIED"),
+        Err(e) => {
+            println!("  persistent atomicity: VIOLATED — {e}");
+            std::process::exit(1);
+        }
+    }
+}

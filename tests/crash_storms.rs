@@ -1,0 +1,127 @@
+//! Crash-storm robustness: heavy randomized fault schedules over many
+//! seeds, every run certified. The paper's liveness condition —
+//! eventually a majority stays up long enough — is satisfied by
+//! construction (storms end and everyone recovers), so operations at
+//! never-crashed processes must all terminate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rmem_consistency::{check_persistent, check_transient};
+use rmem_core::{Persistent, Transient};
+use rmem_sim::workload::ClosedLoop;
+use rmem_sim::{ClusterConfig, NetConfig, PlannedEvent, Schedule, Simulation};
+use rmem_types::{Micros, ProcessId, Value};
+
+/// Builds a random storm over processes `first..n`: each crashes and
+/// recovers up to twice at random instants.
+fn random_storm(first: u16, n: u16, rng: &mut StdRng) -> Schedule {
+    let mut schedule = Schedule::new();
+    for i in first..n {
+        let mut t = 10_000u64;
+        let cycles = rng.gen_range(0..3);
+        for _ in 0..cycles {
+            let crash_at = t + rng.gen_range(0..60_000);
+            let down_for = rng.gen_range(5_000..40_000);
+            schedule = schedule
+                .at(crash_at, PlannedEvent::Crash(ProcessId(i)))
+                .at(crash_at + down_for, PlannedEvent::Recover(ProcessId(i)));
+            t = crash_at + down_for + 5_000;
+        }
+    }
+    schedule
+}
+
+#[test]
+fn persistent_survives_random_crash_storms() {
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // p0 and p2 (the clients) stay up; the rest may flap.
+        let schedule = random_storm(3, 5, &mut rng);
+        let config = ClusterConfig::new(5).with_net(NetConfig::lossy(0.10, 0.05));
+        let mut sim = Simulation::new(config, Persistent::factory(), seed).with_schedule(schedule);
+        sim.add_closed_loop(
+            ClosedLoop::writes(ProcessId(0), Value::from_u32(seed as u32), 12)
+                .with_think(Micros(8_000)),
+        );
+        sim.add_closed_loop(ClosedLoop::reads(ProcessId(2), 12).with_think(Micros(8_000)));
+        let report = sim.run();
+        check_persistent(&report.trace.to_history())
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let all_done = report.trace.operations().iter().all(|o| o.is_completed());
+        assert!(all_done, "seed {seed}: clients never crash, all their ops must finish");
+    }
+}
+
+#[test]
+fn transient_survives_random_crash_storms() {
+    for seed in 20..30u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schedule = random_storm(2, 5, &mut rng);
+        let config = ClusterConfig::new(5).with_net(NetConfig::lossy(0.10, 0.05));
+        let mut sim = Simulation::new(config, Transient::factory(), seed).with_schedule(schedule);
+        sim.add_closed_loop(
+            ClosedLoop::writes(ProcessId(1), Value::from_u32(seed as u32), 12)
+                .with_think(Micros(8_000)),
+        );
+        sim.add_closed_loop(ClosedLoop::reads(ProcessId(0), 12).with_think(Micros(8_000)));
+        let report = sim.run();
+        check_transient(&report.trace.to_history())
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+/// Simultaneous crash of everyone — the paper explicitly includes this —
+/// repeated three times in one run, with writes between blackouts.
+#[test]
+fn repeated_total_crashes_are_survived() {
+    let mut schedule = Schedule::new()
+        .at(5_000, PlannedEvent::Invoke(ProcessId(0), rmem_types::Op::Write(Value::from_u32(1))));
+    for round in 0..3u64 {
+        let t = 20_000 + round * 30_000;
+        for i in 0..3u16 {
+            schedule = schedule.at(t, PlannedEvent::Crash(ProcessId(i)));
+        }
+        for i in 0..3u16 {
+            schedule = schedule.at(t + 10_000, PlannedEvent::Recover(ProcessId(i)));
+        }
+        schedule = schedule.at(
+            t + 20_000,
+            PlannedEvent::Invoke(
+                ProcessId((round % 3) as u16),
+                rmem_types::Op::Write(Value::from_u32(round as u32 + 2)),
+            ),
+        );
+    }
+    schedule = schedule.at(130_000, PlannedEvent::Invoke(ProcessId(1), rmem_types::Op::Read));
+    let mut sim =
+        Simulation::new(ClusterConfig::new(3), Persistent::factory(), 99).with_schedule(schedule);
+    let report = sim.run();
+    check_persistent(&report.trace.to_history()).expect("persistent through repeated blackouts");
+    let last_read = report.trace.operations().iter().last().unwrap();
+    assert!(last_read.is_completed());
+    assert_eq!(
+        last_read.result.as_ref().unwrap().read_value().unwrap().as_u32(),
+        Some(4),
+        "the final read sees the last completed write"
+    );
+}
+
+/// A permanently dead minority is tolerated indefinitely.
+#[test]
+fn permanent_minority_death_is_tolerated() {
+    let schedule = Schedule::new()
+        .at(5_000, PlannedEvent::Crash(ProcessId(3)))
+        .at(5_000, PlannedEvent::Crash(ProcessId(4)));
+    let mut sim =
+        Simulation::new(ClusterConfig::new(5), Persistent::factory(), 5).with_schedule(schedule);
+    sim.add_closed_loop(
+        ClosedLoop::writes(ProcessId(0), Value::from_u32(6), 10).with_think(Micros(2_000)),
+    );
+    sim.add_closed_loop(ClosedLoop::reads(ProcessId(1), 10).with_think(Micros(2_000)));
+    let report = sim.run();
+    assert!(
+        report.trace.operations().iter().all(|o| o.is_completed()),
+        "a 3-of-5 majority suffices forever"
+    );
+    check_persistent(&report.trace.to_history()).expect("persistent");
+}

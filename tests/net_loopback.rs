@@ -1,0 +1,113 @@
+//! Real-runtime integration: the same automata on real threads, channels,
+//! UDP and TCP sockets, with kill/restart cycles and file-backed logs.
+
+use rmem_core::{Persistent, Transient};
+use rmem_net::LocalCluster;
+use rmem_types::{ProcessId, Value};
+
+fn p(i: u16) -> ProcessId {
+    ProcessId(i)
+}
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("rmem-it-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn channel_cluster_serves_writes_and_reads() {
+    let mut cluster = LocalCluster::channel(3, Persistent::factory()).unwrap();
+    for i in 0..5u32 {
+        cluster.client(p(0)).write(Value::from_u32(i)).unwrap();
+        let v = cluster.client(p((i % 3) as u16)).read().unwrap();
+        assert_eq!(v.as_u32(), Some(i));
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn udp_cluster_with_file_logs_survives_restart() {
+    let dir = tmp("udp");
+    {
+        let mut cluster = LocalCluster::udp(3, Persistent::factory(), &dir).unwrap();
+        cluster.client(p(0)).write(Value::from_u32(31)).unwrap();
+        cluster.kill(p(0));
+        cluster.client(p(1)).write(Value::from_u32(32)).unwrap();
+        cluster.restart(p(0)).unwrap();
+        let v = cluster.client(p(0)).read().unwrap();
+        assert_eq!(v.as_u32(), Some(32), "restarted node must recover and see the latest value");
+        cluster.shutdown();
+    }
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn tcp_cluster_carries_payloads_beyond_the_udp_limit() {
+    let dir = tmp("tcp");
+    {
+        let mut cluster = LocalCluster::tcp(3, Transient::factory(), &dir).unwrap();
+        let big = Value::new(vec![0x42u8; 100_000]); // > 64 KB
+        cluster.client(p(0)).write(big.clone()).unwrap();
+        let v = cluster.client(p(2)).read().unwrap();
+        assert_eq!(v, big);
+        cluster.shutdown();
+    }
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn total_crash_on_real_runtime_keeps_completed_writes() {
+    let mut cluster = LocalCluster::channel(3, Transient::factory()).unwrap();
+    cluster.client(p(1)).write(Value::from("precious")).unwrap();
+    for pid in ProcessId::all(3) {
+        cluster.kill(pid);
+    }
+    for pid in ProcessId::all(3) {
+        cluster.restart(pid).unwrap();
+    }
+    let v = cluster.client(p(0)).read().unwrap();
+    assert_eq!(v, Value::from("precious"));
+    cluster.shutdown();
+}
+
+#[test]
+fn concurrent_clients_from_different_nodes_linearize() {
+    use std::sync::Mutex;
+    let cluster = LocalCluster::channel(5, Persistent::factory()).unwrap();
+    let history = std::sync::Arc::new(Mutex::new(rmem_consistency::History::new()));
+
+    // Two writer threads and two reader threads, each going through its
+    // own node; record a coarse history (invocation/reply interleaving is
+    // approximated by lock acquisition order around the blocking calls —
+    // conservative: the recorded intervals are contained in the real
+    // ones… so violations found are real, and we assert none are found).
+    std::thread::scope(|s| {
+        for (node, base) in [(0u16, 100u32), (1, 200)] {
+            let client = cluster.client(p(node));
+            let history = history.clone();
+            s.spawn(move || {
+                for k in 0..5u32 {
+                    let value = Value::from_u32(base + k);
+                    let op = history.lock().unwrap().invoke(p(node), rmem_types::Op::Write(value.clone()));
+                    client.write(value).unwrap();
+                    history.lock().unwrap().reply(op, rmem_types::OpResult::Written);
+                }
+            });
+        }
+        for node in [2u16, 3] {
+            let client = cluster.client(p(node));
+            let history = history.clone();
+            s.spawn(move || {
+                for _ in 0..5 {
+                    let op = history.lock().unwrap().invoke(p(node), rmem_types::Op::Read);
+                    let v = client.read().unwrap();
+                    history.lock().unwrap().reply(op, rmem_types::OpResult::ReadValue(v));
+                }
+            });
+        }
+    });
+
+    let h = history.lock().unwrap().clone();
+    rmem_consistency::check_linearizable(&h)
+        .unwrap_or_else(|e| panic!("real-thread run not linearizable: {e}\n{h:?}"));
+    drop(cluster);
+}
