@@ -70,9 +70,11 @@ fn bench_checkers(c: &mut Criterion) {
     }
     for writers in [4usize, 8, 12] {
         let h = concurrent_history(writers);
-        group.bench_with_input(BenchmarkId::new("concurrent_writers", writers), &h, |b, h| {
-            b.iter(|| check_persistent(h).expect("atomic"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("concurrent_writers", writers),
+            &h,
+            |b, h| b.iter(|| check_persistent(h).expect("atomic")),
+        );
     }
     for rounds in [2usize, 4, 6] {
         let h = crashy_history(rounds);

@@ -11,16 +11,16 @@ use rmem_types::{Message, Micros, OpKind, ProcessId, RequestId, Timestamp, Value
 
 fn bench_sim_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_engine");
-    for (label, net) in [("reliable", NetConfig::default()), ("lossy", NetConfig::lossy(0.1, 0.05))]
-    {
+    for (label, net) in [
+        ("reliable", NetConfig::default()),
+        ("lossy", NetConfig::lossy(0.1, 0.05)),
+    ] {
         group.bench_with_input(BenchmarkId::new("50_writes_n5", label), &net, |b, net| {
             b.iter(|| {
                 let config = ClusterConfig::new(5).with_net(net.clone());
-                let mut sim =
-                    Simulation::new(config, AlgoChoice::Persistent.factory(), 7);
+                let mut sim = Simulation::new(config, AlgoChoice::Persistent.factory(), 7);
                 sim.add_closed_loop(
-                    ClosedLoop::writes(ProcessId(0), Value::from_u32(1), 50)
-                        .with_think(Micros(50)),
+                    ClosedLoop::writes(ProcessId(0), Value::from_u32(1), 50).with_think(Micros(50)),
                 );
                 let report = sim.run();
                 assert_eq!(report.trace.latencies(OpKind::Write).len(), 50);

@@ -48,5 +48,10 @@ fn bench_record_codec(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_mem_store, bench_file_store_fsync, bench_record_codec);
+criterion_group!(
+    benches,
+    bench_mem_store,
+    bench_file_store_fsync,
+    bench_record_codec
+);
 criterion_main!(benches);

@@ -7,7 +7,11 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let which = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
     let csv = args.iter().any(|a| a == "--csv");
 
     if which == "top" || which == "all" {

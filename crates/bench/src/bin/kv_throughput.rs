@@ -1,0 +1,30 @@
+//! Runs the `kv_throughput` scenario: sharded-store throughput for the
+//! persistent, transient and regular register flavors under uniform and
+//! Zipf-skewed key popularity.
+//!
+//! ```text
+//! cargo run --release -p rmem-bench --bin kv_throughput [-- --csv]
+//! ```
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let (rows, table) = rmem_bench::kv::kv_throughput();
+    println!("{}", table.to_text());
+    println!("per-key certification: atomic flavors checked before reporting");
+    println!(
+        "(log counts per put: persistent = 2, transient = 1, regular = 1; \
+         virtual time, so differences are purely algorithmic)"
+    );
+    let fastest = rows
+        .iter()
+        .max_by(|a, b| a.ops_per_sec.partial_cmp(&b.ops_per_sec).expect("finite"))
+        .expect("rows");
+    println!(
+        "fastest cell: {} / {} at {:.0} ops/s",
+        fastest.flavor, fastest.distribution, fastest.ops_per_sec
+    );
+    if csv {
+        let path = table.write_csv("kv_throughput").expect("writing CSV");
+        println!("wrote {}", path.display());
+    }
+}

@@ -50,7 +50,10 @@ fn ablations() {
     println!("== Ablations on the lower-bound proof runs (Figs. 2–3) ==");
 
     // Theorem 1 / ρ1: a write with only one causal log.
-    let ablated = Arc::new(FlavorFactory::new(ablation::no_pre_log(), DEFAULT_RETRANSMIT));
+    let ablated = Arc::new(FlavorFactory::new(
+        ablation::no_pre_log(),
+        DEFAULT_RETRANSMIT,
+    ));
     let report = Simulation::new(ClusterConfig::new(3), ablated, 1)
         .with_schedule(scenarios::rho1())
         .run();
@@ -72,8 +75,10 @@ fn ablations() {
     );
 
     // Theorem 2 / ρ4: reads without any log.
-    let ablated =
-        Arc::new(FlavorFactory::new(ablation::no_read_write_back(), DEFAULT_RETRANSMIT));
+    let ablated = Arc::new(FlavorFactory::new(
+        ablation::no_read_write_back(),
+        DEFAULT_RETRANSMIT,
+    ));
     let report = Simulation::new(ClusterConfig::new(3), ablated, 2)
         .with_schedule(scenarios::rho4())
         .run();

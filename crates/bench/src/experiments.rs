@@ -24,8 +24,11 @@ pub enum AlgoChoice {
 
 impl AlgoChoice {
     /// The three algorithms of Fig. 6.
-    pub const FIG6: [AlgoChoice; 3] =
-        [AlgoChoice::CrashStop, AlgoChoice::Transient, AlgoChoice::Persistent];
+    pub const FIG6: [AlgoChoice; 3] = [
+        AlgoChoice::CrashStop,
+        AlgoChoice::Transient,
+        AlgoChoice::Persistent,
+    ];
 
     /// Factory for this choice.
     pub fn factory(self) -> Arc<FlavorFactory> {
@@ -61,12 +64,15 @@ fn measure_writes(
 ) -> LatencyStats {
     let value = Value::new(vec![0xA5u8; payload]);
     let mut sim = Simulation::new(ClusterConfig::new(n), algo.factory(), seed);
-    sim.add_closed_loop(
-        ClosedLoop::writes(ProcessId(0), value, writes).with_think(Micros(50)),
-    );
+    sim.add_closed_loop(ClosedLoop::writes(ProcessId(0), value, writes).with_think(Micros(50)));
     let report = sim.run();
     let lats = report.trace.latencies(OpKind::Write);
-    assert_eq!(lats.len(), writes, "{}: every write must complete", algo.name());
+    assert_eq!(
+        lats.len(),
+        writes,
+        "{}: every write must complete",
+        algo.name()
+    );
     LatencyStats::from_sample(lats).expect("non-empty sample")
 }
 
@@ -108,7 +114,12 @@ pub fn fig6_top() -> (Vec<Fig6TopRow>, Table) {
                     }),
                 });
             } else {
-                rows.push(Fig6TopRow { n, algo, mean_us: stats.mean, paper_us_at_5: None });
+                rows.push(Fig6TopRow {
+                    n,
+                    algo,
+                    mean_us: stats.mean,
+                    paper_us_at_5: None,
+                });
             }
             cells.push(format!("{:.0}", stats.mean));
         }
@@ -131,7 +142,15 @@ pub struct Fig6BottomRow {
 /// Reproduces **Fig. 6 (bottom)**: average write time vs. payload size at
 /// N = 5 (sizes capped at the 64 KB UDP datagram limit, §V-B).
 pub fn fig6_bottom() -> (Vec<Fig6BottomRow>, Table) {
-    let sizes = [4usize, 1 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10];
+    let sizes = [
+        4usize,
+        1 << 10,
+        4 << 10,
+        8 << 10,
+        16 << 10,
+        32 << 10,
+        64 << 10,
+    ];
     let mut rows = Vec::new();
     let mut table = Table::new(
         "Fig. 6 (bottom): avg write latency [µs] vs payload size (N=5, 50 writes)",
@@ -141,7 +160,11 @@ pub fn fig6_bottom() -> (Vec<Fig6BottomRow>, Table) {
         let mut cells = vec![size.to_string()];
         for algo in AlgoChoice::FIG6 {
             let stats = measure_writes(algo, 5, 50, size, 0xB070 + i as u64);
-            rows.push(Fig6BottomRow { size, algo, mean_us: stats.mean });
+            rows.push(Fig6BottomRow {
+                size,
+                algo,
+                mean_us: stats.mean,
+            });
             cells.push(format!("{:.0}", stats.mean));
         }
         table.row(&cells);
@@ -180,31 +203,48 @@ pub fn log_table() -> (Vec<LogTableRow>, Table) {
     let mut rows = Vec::new();
     let mut table = Table::new(
         "Causal logs per operation: measured vs the paper's tight bounds (§IV)",
-        &["algorithm", "write", "read (idle)", "read (contended)", "bound W", "bound R"],
+        &[
+            "algorithm",
+            "write",
+            "read (idle)",
+            "read (contended)",
+            "bound W",
+            "bound R",
+        ],
     );
     for (algo, bound_w, bound_r) in algos {
         // Uncontended: spaced sequential ops.
-        let mut sim = Simulation::new(ClusterConfig::new(5), algo.factory(), 0x10)
-            .with_schedule(
-                Schedule::new()
-                    .at(1_000, PlannedEvent::Invoke(ProcessId(0), Op::Write(Value::from_u32(1))))
-                    .at(20_000, PlannedEvent::Invoke(ProcessId(1), Op::Read))
-                    .at(40_000, PlannedEvent::Invoke(ProcessId(0), Op::Write(Value::from_u32(2))))
-                    .at(60_000, PlannedEvent::Invoke(ProcessId(2), Op::Read)),
-            );
+        let mut sim = Simulation::new(ClusterConfig::new(5), algo.factory(), 0x10).with_schedule(
+            Schedule::new()
+                .at(
+                    1_000,
+                    PlannedEvent::Invoke(ProcessId(0), Op::Write(Value::from_u32(1))),
+                )
+                .at(20_000, PlannedEvent::Invoke(ProcessId(1), Op::Read))
+                .at(
+                    40_000,
+                    PlannedEvent::Invoke(ProcessId(0), Op::Write(Value::from_u32(2))),
+                )
+                .at(60_000, PlannedEvent::Invoke(ProcessId(2), Op::Read)),
+        );
         let report = sim.run();
         let write_logs = report.trace.max_causal_logs(OpKind::Write);
         let read_idle = report.trace.max_causal_logs(OpKind::Read);
 
         // Contended: a read racing a write's propagation phase.
-        let mut sim = Simulation::new(ClusterConfig::new(5), algo.factory(), 0x11)
-            .with_schedule(
-                Schedule::new()
-                    .at(1_000, PlannedEvent::Invoke(ProcessId(0), Op::Write(Value::from_u32(9))))
-                    .at(1_450, PlannedEvent::Invoke(ProcessId(1), Op::Read))
-                    .at(10_000, PlannedEvent::Invoke(ProcessId(0), Op::Write(Value::from_u32(10))))
-                    .at(10_250, PlannedEvent::Invoke(ProcessId(2), Op::Read)),
-            );
+        let mut sim = Simulation::new(ClusterConfig::new(5), algo.factory(), 0x11).with_schedule(
+            Schedule::new()
+                .at(
+                    1_000,
+                    PlannedEvent::Invoke(ProcessId(0), Op::Write(Value::from_u32(9))),
+                )
+                .at(1_450, PlannedEvent::Invoke(ProcessId(1), Op::Read))
+                .at(
+                    10_000,
+                    PlannedEvent::Invoke(ProcessId(0), Op::Write(Value::from_u32(10))),
+                )
+                .at(10_250, PlannedEvent::Invoke(ProcessId(2), Op::Read)),
+        );
         let report = sim.run();
         let read_contended = report.trace.max_causal_logs(OpKind::Read);
 
@@ -253,13 +293,23 @@ pub fn recovery_table() -> (Vec<RecoveryRow>, Table) {
         "Recovery cost [µs]: Recover event → process ready (extension experiment)",
         &["algorithm", "after mid-write crash", "after idle crash"],
     );
-    for algo in [AlgoChoice::Persistent, AlgoChoice::Transient, AlgoChoice::CrashStop, AlgoChoice::Regular] {
+    for algo in [
+        AlgoChoice::Persistent,
+        AlgoChoice::Transient,
+        AlgoChoice::CrashStop,
+        AlgoChoice::Regular,
+    ] {
         let measure = |busy: bool, seed: u64| -> f64 {
-            let mut schedule = Schedule::new()
-                .at(1_000, PlannedEvent::Invoke(ProcessId(0), Op::Write(Value::from_u32(1))));
+            let mut schedule = Schedule::new().at(
+                1_000,
+                PlannedEvent::Invoke(ProcessId(0), Op::Write(Value::from_u32(1))),
+            );
             if busy {
                 schedule = schedule
-                    .at(10_000, PlannedEvent::Invoke(ProcessId(0), Op::Write(Value::from_u32(2))))
+                    .at(
+                        10_000,
+                        PlannedEvent::Invoke(ProcessId(0), Op::Write(Value::from_u32(2))),
+                    )
                     .at(10_500, PlannedEvent::Crash(ProcessId(0)));
             } else {
                 schedule = schedule.at(10_500, PlannedEvent::Crash(ProcessId(0)));
@@ -267,8 +317,8 @@ pub fn recovery_table() -> (Vec<RecoveryRow>, Table) {
             schedule = schedule
                 .at(20_000, PlannedEvent::Recover(ProcessId(0)))
                 .at(40_000, PlannedEvent::Invoke(ProcessId(0), Op::Read));
-            let mut sim =
-                Simulation::new(ClusterConfig::new(5), algo.factory(), seed).with_schedule(schedule);
+            let mut sim = Simulation::new(ClusterConfig::new(5), algo.factory(), seed)
+                .with_schedule(schedule);
             let report = sim.run();
             let d = &report.trace.recovery_durations;
             assert_eq!(d.len(), 1, "{}: one recovery expected", algo.name());
@@ -277,7 +327,11 @@ pub fn recovery_table() -> (Vec<RecoveryRow>, Table) {
         let busy = measure(true, 0x5EC);
         let idle = measure(false, 0x1D7E);
         let name = algo.factory().flavor().name;
-        rows.push(RecoveryRow { algo: name, busy_crash_us: busy, idle_crash_us: idle });
+        rows.push(RecoveryRow {
+            algo: name,
+            busy_crash_us: busy,
+            idle_crash_us: idle,
+        });
         table.row(&[name.to_string(), format!("{busy:.0}"), format!("{idle:.0}")]);
     }
     (rows, table)
@@ -329,11 +383,13 @@ pub fn ablation_table() -> (Vec<AblationRow>, Table) {
 
     let survives = |flavor: rmem_core::Flavor, rho1: bool| -> bool {
         let factory = Arc::new(FlavorFactory::new(flavor, DEFAULT_RETRANSMIT));
-        let schedule =
-            if rho1 { crate::scenarios::rho1() } else { crate::scenarios::rho4() };
-        let mut sim =
-            Simulation::new(ClusterConfig::new(3), factory, if rho1 { 1 } else { 2 })
-                .with_schedule(schedule);
+        let schedule = if rho1 {
+            crate::scenarios::rho1()
+        } else {
+            crate::scenarios::rho4()
+        };
+        let mut sim = Simulation::new(ClusterConfig::new(3), factory, if rho1 { 1 } else { 2 })
+            .with_schedule(schedule);
         let report = sim.run();
         let h = report.trace.to_history();
         if flavor.name.contains("transient") || flavor == rmem_core::Flavor::transient() {
@@ -354,7 +410,15 @@ pub fn ablation_table() -> (Vec<AblationRow>, Table) {
     let mut rows = Vec::new();
     let mut table = Table::new(
         "Ablation cost/benefit: latency saved by removing a log vs the criterion lost",
-        &["variant", "write µs", "read µs", "logs W", "logs R", "run", "verdict"],
+        &[
+            "variant",
+            "write µs",
+            "read µs",
+            "logs W",
+            "logs R",
+            "run",
+            "verdict",
+        ],
     );
     for (flavor, run, rho1) in variants {
         let (w, r) = measure(flavor);
@@ -375,7 +439,11 @@ pub fn ablation_table() -> (Vec<AblationRow>, Table) {
             flavor.causal_logs_per_write().to_string(),
             flavor.causal_logs_per_read().to_string(),
             run.to_string(),
-            if ok { "SATISFIED".into() } else { "VIOLATED".into() },
+            if ok {
+                "SATISFIED".into()
+            } else {
+                "VIOLATED".into()
+            },
         ]);
     }
     (rows, table)
@@ -400,7 +468,8 @@ pub fn real_mode(dir: &std::path::Path) -> Table {
     let t0 = std::time::Instant::now();
     let rounds = 50;
     for i in 0..rounds {
-        fs.store(&format!("slot{}", i % 4), payload.clone()).expect("store");
+        fs.store(&format!("slot{}", i % 4), payload.clone())
+            .expect("store");
     }
     let lambda = t0.elapsed().as_micros() as f64 / rounds as f64;
     table.row(&["fsync log latency λ [µs]".into(), format!("{lambda:.0}")]);
@@ -422,7 +491,10 @@ pub fn real_mode(dir: &std::path::Path) -> Table {
             client.write(Value::from_u32(i)).expect("write");
         }
         let mean = t0.elapsed().as_micros() as f64 / count as f64;
-        table.row(&[format!("UDP write latency, {name} [µs]"), format!("{mean:.0}")]);
+        table.row(&[
+            format!("UDP write latency, {name} [µs]"),
+            format!("{mean:.0}"),
+        ]);
         cluster.shutdown();
     }
     table
@@ -440,20 +512,39 @@ mod tests {
         // Ordering at every N: crash-stop < transient < persistent.
         for n in [3usize, 5, 7, 9] {
             let at = |a: AlgoChoice| {
-                rows.iter().find(|r| r.n == n && r.algo == a).unwrap().mean_us
+                rows.iter()
+                    .find(|r| r.n == n && r.algo == a)
+                    .unwrap()
+                    .mean_us
             };
-            let (cs, tr, pe) =
-                (at(AlgoChoice::CrashStop), at(AlgoChoice::Transient), at(AlgoChoice::Persistent));
+            let (cs, tr, pe) = (
+                at(AlgoChoice::CrashStop),
+                at(AlgoChoice::Transient),
+                at(AlgoChoice::Persistent),
+            );
             assert!(cs < tr && tr < pe, "N={n}: {cs} {tr} {pe}");
             // The gaps are each ≈ λ = 200µs (within 25%).
-            assert!((tr - cs - 200.0).abs() < 50.0, "N={n}: transient gap {}", tr - cs);
-            assert!((pe - tr - 200.0).abs() < 50.0, "N={n}: persistent gap {}", pe - tr);
+            assert!(
+                (tr - cs - 200.0).abs() < 50.0,
+                "N={n}: transient gap {}",
+                tr - cs
+            );
+            assert!(
+                (pe - tr - 200.0).abs() < 50.0,
+                "N={n}: persistent gap {}",
+                pe - tr
+            );
         }
         // Latency grows (mildly) with N for each algorithm.
         for algo in AlgoChoice::FIG6 {
             let series: Vec<f64> = [3usize, 5, 7, 9]
                 .iter()
-                .map(|&n| rows.iter().find(|r| r.n == n && r.algo == algo).unwrap().mean_us)
+                .map(|&n| {
+                    rows.iter()
+                        .find(|r| r.n == n && r.algo == algo)
+                        .unwrap()
+                        .mean_us
+                })
                 .collect();
             assert!(
                 series.windows(2).all(|w| w[1] >= w[0]),
@@ -473,7 +564,11 @@ mod tests {
                 .map(|r| (r.size, r.mean_us))
                 .collect();
             // Monotone growth.
-            assert!(series.windows(2).all(|w| w[1].1 > w[0].1), "{}: {series:?}", algo.name());
+            assert!(
+                series.windows(2).all(|w| w[1].1 > w[0].1),
+                "{}: {series:?}",
+                algo.name()
+            );
             // Roughly linear: latency(64K)-latency(32K) ≈ latency(32K)-latency(16K) × 2 … check
             // the ratio of increments against size increments.
             let base = series[0].1;
@@ -533,7 +628,11 @@ mod tests {
                 "{}: contended reads exceed the bound",
                 row.algo
             );
-            assert_eq!(row.read_logs_uncontended, 0, "{}: idle reads must be log-free", row.algo);
+            assert_eq!(
+                row.read_logs_uncontended, 0,
+                "{}: idle reads must be log-free",
+                row.algo
+            );
         }
     }
 }

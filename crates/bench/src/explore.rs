@@ -30,7 +30,11 @@ pub enum Target {
 
 impl Target {
     /// All targets.
-    pub const ALL: [Target; 3] = [Target::Persistent, Target::Transient, Target::PersistentMemory];
+    pub const ALL: [Target; 3] = [
+        Target::Persistent,
+        Target::Transient,
+        Target::PersistentMemory,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -137,7 +141,12 @@ pub fn explore_one(target: Target, seed: u64) -> RunOutcome {
     };
     RunOutcome {
         seed,
-        completed: report.trace.operations().iter().filter(|o| o.is_completed()).count(),
+        completed: report
+            .trace
+            .operations()
+            .iter()
+            .filter(|o| o.is_completed())
+            .count(),
         crashes: report.trace.crashes,
         dropped: report.messages_dropped,
         verdict,

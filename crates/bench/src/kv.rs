@@ -1,0 +1,184 @@
+//! The `kv_throughput` scenario: store throughput per register flavor and
+//! key-popularity shape, measured on the simulated testbed.
+//!
+//! Each cell runs the same closed-loop store workload (`rmem-kv`'s
+//! generator) against a shared memory of one flavor, in deterministic
+//! virtual time, and reports completed operations per virtual second plus
+//! latency percentiles. Because virtual time eliminates measurement
+//! noise, differences between rows are purely algorithmic: the persistent
+//! flavor pays 2 causal logs per put, the transient flavor 1, and the
+//! regular flavor (single writer per key) skips the query round entirely.
+//!
+//! Every run is also certified per key before its row is reported — a
+//! throughput number for a run that broke atomicity would be
+//! meaningless. The regular flavor is exercised with single-writer key
+//! ownership (its model) and skips certification: regularity, not
+//! atomicity, is its criterion.
+
+use rmem_consistency::Criterion;
+use rmem_core::{Flavor, SharedMemory};
+use rmem_kv::history::certify_per_key;
+use rmem_kv::workload::{generate, KeyDist, KvWorkloadSpec};
+use rmem_sim::{ClusterConfig, LatencyStats, Simulation};
+use rmem_types::OpKind;
+
+use crate::table::Table;
+
+/// Which flavors the scenario compares.
+fn flavors() -> Vec<(Flavor, Option<Criterion>, bool)> {
+    vec![
+        (Flavor::persistent(), Some(Criterion::Persistent), false),
+        (Flavor::transient(), Some(Criterion::Transient), false),
+        // Single-writer regular registers: no atomicity certification
+        // (regularity is the criterion), writes partitioned by ownership.
+        (Flavor::regular(), None, true),
+    ]
+}
+
+/// One measured cell of the scenario.
+#[derive(Debug, Clone)]
+pub struct KvThroughputRow {
+    /// Register flavor under test.
+    pub flavor: &'static str,
+    /// Key distribution label.
+    pub distribution: String,
+    /// Operations completed.
+    pub completed: usize,
+    /// Virtual duration of the run, in seconds.
+    pub virtual_secs: f64,
+    /// Completed operations per virtual second.
+    pub ops_per_sec: f64,
+    /// Get-latency statistics (µs).
+    pub get_latency: Option<LatencyStats>,
+    /// Put-latency statistics (µs).
+    pub put_latency: Option<LatencyStats>,
+}
+
+/// Runs the full scenario: 3 flavors × {uniform, zipf(0.99)}.
+///
+/// # Panics
+///
+/// Panics if an atomic flavor's run fails its per-key certification —
+/// that would be a correctness bug, not a performance result.
+pub fn kv_throughput() -> (Vec<KvThroughputRow>, Table) {
+    let mut rows = Vec::new();
+    for (flavor, criterion, single_writer) in flavors() {
+        for dist in [KeyDist::Uniform, KeyDist::Zipf(0.99)] {
+            let spec = KvWorkloadSpec {
+                shards: 16,
+                clients: 5,
+                ops_per_client: 60,
+                write_fraction: 0.5,
+                distribution: dist,
+                value_len: 64,
+                single_writer,
+                seed: 1234,
+                ..KvWorkloadSpec::default()
+            };
+            let run = generate(&spec);
+            let mut sim = Simulation::new(
+                ClusterConfig::new(spec.clients),
+                SharedMemory::factory(flavor),
+                99,
+            )
+            .with_schedule(run.schedule.clone());
+            for lp in &run.loops {
+                sim.add_closed_loop(lp.clone());
+            }
+            let report = sim.run();
+
+            if let Some(criterion) = criterion {
+                certify_per_key(&report.trace.to_history(), &run.key_map, criterion)
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "{} / {}: run failed certification: {e}",
+                            flavor.name,
+                            dist.label()
+                        )
+                    });
+            }
+
+            let completed = report
+                .trace
+                .operations()
+                .iter()
+                .filter(|o| o.is_completed())
+                .count();
+            let virtual_secs = report.final_time.as_micros() as f64 / 1e6;
+            rows.push(KvThroughputRow {
+                flavor: flavor.name,
+                distribution: dist.label(),
+                completed,
+                virtual_secs,
+                ops_per_sec: completed as f64 / virtual_secs,
+                get_latency: LatencyStats::from_sample(report.trace.latencies(OpKind::Read)),
+                put_latency: LatencyStats::from_sample(report.trace.latencies(OpKind::Write)),
+            });
+        }
+    }
+
+    let mut table = Table::new(
+        "kv_throughput — sharded store, 5 clients, 16 shards, 50% puts",
+        &[
+            "flavor",
+            "key dist",
+            "ops",
+            "virtual s",
+            "ops/s",
+            "get p50µs",
+            "put p50µs",
+        ],
+    );
+    for r in &rows {
+        table.row(&[
+            r.flavor.to_string(),
+            r.distribution.clone(),
+            r.completed.to_string(),
+            format!("{:.3}", r.virtual_secs),
+            format!("{:.0}", r.ops_per_sec),
+            r.get_latency
+                .as_ref()
+                .map(|s| s.p50.to_string())
+                .unwrap_or_else(|| "-".into()),
+            r.put_latency
+                .as_ref()
+                .map(|s| s.p50.to_string())
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    (rows, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_produces_all_cells_and_certifies() {
+        let (rows, table) = kv_throughput();
+        assert_eq!(rows.len(), 6, "3 flavors × 2 distributions");
+        assert_eq!(table.len(), 6);
+        for r in &rows {
+            assert!(
+                r.completed > 0,
+                "{}/{} completed nothing",
+                r.flavor,
+                r.distribution
+            );
+            assert!(r.ops_per_sec > 0.0);
+        }
+        // The transient flavor logs less than the persistent one on puts;
+        // in noise-free virtual time that must show as cheaper puts.
+        let put_p50 = |flavor: &str, dist: &str| {
+            rows.iter()
+                .find(|r| r.flavor == flavor && r.distribution == dist)
+                .and_then(|r| r.put_latency.as_ref())
+                .map(|s| s.p50)
+                .unwrap()
+        };
+        assert!(
+            put_p50("transient", "uniform") <= put_p50("persistent", "uniform"),
+            "transient puts must not be slower than persistent ones"
+        );
+    }
+}

@@ -7,6 +7,7 @@
 //! | write latency vs. payload size | Fig. 6 (bottom) | `cargo run -p rmem-bench --bin fig6 -- bottom` |
 //! | causal logs per operation (+ ablation violations) | §IV Theorems 1–2 | `cargo run -p rmem-bench --bin log_table` |
 //! | real-mode calibration (loopback UDP + fsync) | §V-A setup | `cargo run -p rmem-bench --bin real_mode` |
+//! | sharded-store throughput per flavor (uniform/Zipf keys) | store layer over §V | `cargo run -p rmem-bench --bin kv_throughput` |
 //!
 //! The simulator is calibrated to the paper's constants — one-way message
 //! delay δ ≈ 100 µs, synchronous log λ ≈ 200 µs (§I-B) — so the *shape*
@@ -18,6 +19,7 @@
 
 pub mod experiments;
 pub mod explore;
+pub mod kv;
 pub mod scenarios;
 pub mod table;
 

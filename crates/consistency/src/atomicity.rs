@@ -65,12 +65,18 @@ fn check_with_rule(history: &History, rule: CompletionRule) -> Result<Verdict, V
             witness.extend(v.witness);
             kept_pending.extend(v.kept_pending);
         }
-        return Ok(Verdict { witness, kept_pending });
+        return Ok(Verdict {
+            witness,
+            kept_pending,
+        });
     }
 
     let intervals = extract(history, rule);
     let w = intervals.optional_writes.len();
-    assert!(w < 20, "too many pending writes to enumerate completions ({w})");
+    assert!(
+        w < 20,
+        "too many pending writes to enumerate completions ({w})"
+    );
 
     // Enumerate keep/drop subsets of pending writes, smallest first: the
     // most common witness keeps nothing.
@@ -84,7 +90,10 @@ fn check_with_rule(history: &History, rule: CompletionRule) -> Result<Verdict, V
             }
         }
         if let Some(witness) = linearize_register(&ops) {
-            return Ok(Verdict { witness, kept_pending: kept });
+            return Ok(Verdict {
+                witness,
+                kept_pending: kept,
+            });
         }
     }
     Err(Violation::NotAtomic {
@@ -118,6 +127,66 @@ pub fn check_persistent(history: &History) -> Result<Verdict, Violation> {
 /// linearizes.
 pub fn check_transient(history: &History) -> Result<Verdict, Violation> {
     check_with_rule(history, CompletionRule::Transient)
+}
+
+/// Per-register verdicts for a multi-register history — locality made
+/// explicit.
+///
+/// [`check_persistent`]/[`check_transient`] already exploit locality
+/// internally (a multi-register history satisfies the criterion iff every
+/// per-register restriction does) but stop at the first violation. Layers
+/// that name registers — the `rmem-kv` store maps keys onto registers and
+/// wants checker output per *key* — need the full partition: this returns
+/// the verdict of every register's restriction, keyed by register.
+///
+/// An empty map means the history addresses no register at all (vacuously
+/// atomic).
+pub fn check_per_register(
+    history: &History,
+    criterion: Criterion,
+) -> std::collections::BTreeMap<rmem_types::RegisterId, Result<Verdict, Violation>> {
+    let rule = CompletionRule::from(criterion);
+    history
+        .registers()
+        .into_iter()
+        .map(|reg| {
+            let sub = history.restrict_to_register(reg);
+            (reg, check_with_rule(&sub, rule))
+        })
+        .collect()
+}
+
+/// Which crash-recovery criterion to apply (for APIs parametric in the
+/// criterion, e.g. [`check_per_register`]).
+///
+/// This is the caller-facing *name* of a criterion; each maps onto the
+/// checker-internal completion rule
+/// ([`CompletionRule`](crate::intervals::CompletionRule)) implementing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Criterion {
+    /// Persistent atomicity (§III-B).
+    Persistent,
+    /// Transient atomicity (§III-C).
+    Transient,
+}
+
+impl Criterion {
+    /// Human-readable criterion name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Criterion::Persistent => "persistent atomicity",
+            Criterion::Transient => "transient atomicity",
+        }
+    }
+}
+
+impl From<Criterion> for CompletionRule {
+    fn from(criterion: Criterion) -> CompletionRule {
+        match criterion {
+            Criterion::Persistent => CompletionRule::Persistent,
+            Criterion::Transient => CompletionRule::Transient,
+        }
+    }
 }
 
 /// Checks plain linearizability for a crash-free history (the crash-stop
@@ -219,13 +288,16 @@ mod tests {
         let r2 = h.invoke(p(2), Op::Read); // 8
         h.reply(r2, OpResult::ReadValue(v(2))); // 9
         h.reply(w3, OpResult::Written); // 10
-        // Transient: W(v2) may linearize between the two reads (its reply
-        // bound is W(v3)'s reply at event 10).
+                                        // Transient: W(v2) may linearize between the two reads (its reply
+                                        // bound is W(v3)'s reply at event 10).
         let verdict = check_transient(&h).expect("transient must accept");
         assert_eq!(verdict.kept_pending.len(), 1);
         // Persistent: W(v2) must complete before event 5 — before both
         // reads — so R1 returning v1 is a new-old inversion.
-        assert!(matches!(check_persistent(&h), Err(Violation::NotAtomic { .. })));
+        assert!(matches!(
+            check_persistent(&h),
+            Err(Violation::NotAtomic { .. })
+        ));
     }
 
     /// Dropping an unread pending write must be allowed: a crashed write
@@ -346,7 +418,10 @@ mod tests {
     fn malformed_history_is_flagged() {
         let mut h = History::new();
         h.reply(rmem_types::OpId::new(p(0), 3), OpResult::Written);
-        assert!(matches!(check_persistent(&h), Err(Violation::NotWellFormed(_))));
+        assert!(matches!(
+            check_persistent(&h),
+            Err(Violation::NotWellFormed(_))
+        ));
     }
 
     /// Rejected invocations are ignored by the checkers.

@@ -99,7 +99,9 @@ pub enum WellFormedError {
 impl std::fmt::Display for WellFormedError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            WellFormedError::UnmatchedReply { op } => write!(f, "reply without invocation for {op}"),
+            WellFormedError::UnmatchedReply { op } => {
+                write!(f, "reply without invocation for {op}")
+            }
             WellFormedError::OverlappingInvocation { op } => {
                 write!(f, "invocation {op} while a previous operation is pending")
             }
@@ -242,7 +244,9 @@ impl History {
                 }
                 Event::Reply { op, .. } => match *st {
                     PState::Pending(pending) if pending == *op => *st = PState::Idle,
-                    PState::Crashed => return Err(WellFormedError::EventWhileCrashed { pid, index }),
+                    PState::Crashed => {
+                        return Err(WellFormedError::EventWhileCrashed { pid, index })
+                    }
                     _ => {
                         return Err(if ever_invoked.get(op).copied().unwrap_or(false) {
                             WellFormedError::ReplyAfterCrash { op: *op }
@@ -293,7 +297,10 @@ impl History {
 
     /// Number of crash events.
     pub fn crash_count(&self) -> usize {
-        self.events.iter().filter(|e| matches!(e, Event::Crash { .. })).count()
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::Crash { .. }))
+            .count()
     }
 
     /// The registers addressed by this history's operations.
@@ -337,7 +344,10 @@ impl History {
                 }
                 Event::Reply { op, result } => {
                     if ops_in_reg.contains(op) {
-                        out.push(Event::Reply { op: *op, result: result.clone() });
+                        out.push(Event::Reply {
+                            op: *op,
+                            result: result.clone(),
+                        });
                     }
                 }
                 Event::Crash { pid } => out.push(Event::Crash { pid: *pid }),
@@ -389,14 +399,20 @@ mod tests {
         let mut h = History::new();
         let _a = h.invoke(p(0), Op::Read);
         let b = h.invoke(p(0), Op::Read);
-        assert_eq!(h.well_formed(), Err(WellFormedError::OverlappingInvocation { op: b }));
+        assert_eq!(
+            h.well_formed(),
+            Err(WellFormedError::OverlappingInvocation { op: b })
+        );
     }
 
     #[test]
     fn unmatched_reply_rejected() {
         let mut h = History::new();
         h.reply(OpId::new(p(0), 0), OpResult::Written);
-        assert!(matches!(h.well_formed(), Err(WellFormedError::UnmatchedReply { .. })));
+        assert!(matches!(
+            h.well_formed(),
+            Err(WellFormedError::UnmatchedReply { .. })
+        ));
     }
 
     #[test]
@@ -406,22 +422,34 @@ mod tests {
         h.crash(p(0));
         h.recover(p(0));
         h.reply(w, OpResult::Written);
-        assert_eq!(h.well_formed(), Err(WellFormedError::ReplyAfterCrash { op: w }));
+        assert_eq!(
+            h.well_formed(),
+            Err(WellFormedError::ReplyAfterCrash { op: w })
+        );
     }
 
     #[test]
     fn event_while_crashed_rejected() {
         let mut h = History::new();
         h.crash(p(0));
-        h.push(Event::Invoke { op: OpId::new(p(0), 0), operation: Op::Read });
-        assert!(matches!(h.well_formed(), Err(WellFormedError::EventWhileCrashed { .. })));
+        h.push(Event::Invoke {
+            op: OpId::new(p(0), 0),
+            operation: Op::Read,
+        });
+        assert!(matches!(
+            h.well_formed(),
+            Err(WellFormedError::EventWhileCrashed { .. })
+        ));
     }
 
     #[test]
     fn spurious_recovery_rejected() {
         let mut h = History::new();
         h.recover(p(2));
-        assert!(matches!(h.well_formed(), Err(WellFormedError::SpuriousRecovery { .. })));
+        assert!(matches!(
+            h.well_formed(),
+            Err(WellFormedError::SpuriousRecovery { .. })
+        ));
     }
 
     #[test]
@@ -429,16 +457,28 @@ mod tests {
         let mut h = History::new();
         h.crash(p(0));
         h.crash(p(0));
-        assert!(matches!(h.well_formed(), Err(WellFormedError::DoubleCrash { .. })));
+        assert!(matches!(
+            h.well_formed(),
+            Err(WellFormedError::DoubleCrash { .. })
+        ));
     }
 
     #[test]
     fn duplicate_op_id_rejected() {
         let mut h = History::new();
         let op = OpId::new(p(0), 0);
-        h.push(Event::Invoke { op, operation: Op::Read });
-        h.push(Event::Reply { op, result: OpResult::Written });
-        h.push(Event::Invoke { op, operation: Op::Read });
+        h.push(Event::Invoke {
+            op,
+            operation: Op::Read,
+        });
+        h.push(Event::Reply {
+            op,
+            result: OpResult::Written,
+        });
+        h.push(Event::Invoke {
+            op,
+            operation: Op::Read,
+        });
         assert_eq!(h.well_formed(), Err(WellFormedError::DuplicateOp { op }));
     }
 

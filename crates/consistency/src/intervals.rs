@@ -137,7 +137,11 @@ pub fn extract(history: &History, rule: CompletionRule) -> Intervals {
                 let mut write_ops: std::collections::HashSet<OpId> =
                     std::collections::HashSet::new();
                 for ev in events {
-                    if let Event::Invoke { op, operation: Op::Write(_) } = ev {
+                    if let Event::Invoke {
+                        op,
+                        operation: Op::Write(_),
+                    } = ev
+                    {
                         if op.pid == pid {
                             write_ops.insert(*op);
                         }
@@ -196,7 +200,10 @@ pub fn extract(history: &History, rule: CompletionRule) -> Intervals {
         }
     }
 
-    Intervals { fixed, optional_writes }
+    Intervals {
+        fixed,
+        optional_writes,
+    }
 }
 
 #[cfg(test)]
@@ -304,8 +311,18 @@ mod tests {
             end: 1,
             pending: false,
         };
-        let b = IntervalOp { op: OpId::new(p(1), 0), inv: 2, end: 3, ..a.clone() };
-        let c = IntervalOp { op: OpId::new(p(2), 0), inv: 1, end: 4, ..a.clone() };
+        let b = IntervalOp {
+            op: OpId::new(p(1), 0),
+            inv: 2,
+            end: 3,
+            ..a.clone()
+        };
+        let c = IntervalOp {
+            op: OpId::new(p(2), 0),
+            inv: 1,
+            end: 4,
+            ..a.clone()
+        };
         assert!(a.precedes(&b));
         assert!(!a.precedes(&c)); // c starts at 1, a ends at 1: concurrent
         assert!(!b.precedes(&a));

@@ -50,7 +50,10 @@ pub mod oracle;
 pub mod regular;
 pub mod shrink;
 
-pub use atomicity::{check_linearizable, check_persistent, check_transient, Verdict, Violation};
+pub use atomicity::{
+    check_linearizable, check_per_register, check_persistent, check_transient, Criterion, Verdict,
+    Violation,
+};
 pub use history::{Event, History, WellFormedError};
 pub use regular::{check_regular_swmr, check_safe_swmr};
 pub use shrink::shrink;

@@ -36,7 +36,11 @@ pub fn linearize_register(ops: &[IntervalOp]) -> Option<Vec<OpId>> {
     }
 
     let n = ops.len();
-    let full: u128 = if n == 128 { u128::MAX } else { (1u128 << n) - 1 };
+    let full: u128 = if n == 128 {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    };
 
     // `last_write` encodes the register value: usize::MAX = initial ⊥.
     const INITIAL: usize = usize::MAX;
@@ -232,7 +236,10 @@ mod tests {
         // Pending W(2) (interval open to MAX): a much later read may see 2.
         let ops = [
             write(0, 0, 1, 0, 1),
-            IntervalOp { pending: true, ..write(0, 1, 2, 2, usize::MAX) },
+            IntervalOp {
+                pending: true,
+                ..write(0, 1, 2, 2, usize::MAX)
+            },
             read(1, 0, Some(2), 10, 11),
         ];
         assert!(linearize_register(&ops).is_some());
@@ -267,7 +274,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "checker supports at most")]
     fn too_many_ops_panics() {
-        let ops: Vec<_> = (0..129).map(|i| write(0, i as u64, 0, 2 * i, 2 * i + 1)).collect();
+        let ops: Vec<_> = (0..129)
+            .map(|i| write(0, i as u64, 0, 2 * i, 2 * i + 1))
+            .collect();
         let _ = linearize_register(&ops);
     }
 }

@@ -19,7 +19,10 @@ pub const MAX_ORACLE_OPS: usize = 9;
 ///
 /// Panics if `ops.len() > MAX_ORACLE_OPS`.
 pub fn brute_force_linearize(ops: &[IntervalOp]) -> Option<Vec<OpId>> {
-    assert!(ops.len() <= MAX_ORACLE_OPS, "oracle limited to {MAX_ORACLE_OPS} ops");
+    assert!(
+        ops.len() <= MAX_ORACLE_OPS,
+        "oracle limited to {MAX_ORACLE_OPS} ops"
+    );
     let n = ops.len();
     let mut perm: Vec<usize> = (0..n).collect();
     loop {
@@ -110,8 +113,14 @@ mod tests {
     fn oracle_agrees_with_checker_on_fixed_cases() {
         let cases: Vec<Vec<IntervalOp>> = vec![
             vec![],
-            vec![op(0, 0, OpKind::Write, 1, 0, 1), op(1, 0, OpKind::Read, 1, 2, 3)],
-            vec![op(0, 0, OpKind::Write, 1, 0, 1), op(1, 0, OpKind::Read, 2, 2, 3)],
+            vec![
+                op(0, 0, OpKind::Write, 1, 0, 1),
+                op(1, 0, OpKind::Read, 1, 2, 3),
+            ],
+            vec![
+                op(0, 0, OpKind::Write, 1, 0, 1),
+                op(1, 0, OpKind::Read, 2, 2, 3),
+            ],
             vec![
                 op(0, 0, OpKind::Write, 1, 0, 3),
                 op(1, 0, OpKind::Write, 2, 1, 2),
@@ -144,8 +153,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "oracle limited")]
     fn oracle_rejects_large_inputs() {
-        let ops: Vec<_> =
-            (0..10).map(|i| op(0, i as u64, OpKind::Write, 0, 2 * i, 2 * i + 1)).collect();
+        let ops: Vec<_> = (0..10)
+            .map(|i| op(0, i as u64, OpKind::Write, 0, 2 * i, 2 * i + 1))
+            .collect();
         let _ = brute_force_linearize(&ops);
     }
 }

@@ -44,7 +44,11 @@ impl std::fmt::Display for RegularViolation {
         match self {
             RegularViolation::NotWellFormed(e) => write!(f, "history not well-formed: {e}"),
             RegularViolation::MultipleWriters { writers } => {
-                write!(f, "single-writer criterion, but {} and {} both wrote", writers.0, writers.1)
+                write!(
+                    f,
+                    "single-writer criterion, but {} and {} both wrote",
+                    writers.0, writers.1
+                )
             }
             RegularViolation::Violated { criterion } => {
                 write!(f, "history is not {criterion}")
@@ -62,7 +66,9 @@ fn single_writer(ops: &[&IntervalOp]) -> Result<(), RegularViolation> {
             match writer {
                 None => writer = Some(op.op.pid),
                 Some(w) if w != op.op.pid => {
-                    return Err(RegularViolation::MultipleWriters { writers: (w, op.op.pid) })
+                    return Err(RegularViolation::MultipleWriters {
+                        writers: (w, op.op.pid),
+                    })
                 }
                 _ => {}
             }
@@ -88,8 +94,7 @@ fn check_reads(
     for read in ops.iter().filter(|o| o.kind == OpKind::Read) {
         let Some(rv) = &read.read_value else { continue };
         // Last write whose interval ends before the read begins.
-        let last_preceding: Option<&&IntervalOp> =
-            writes.iter().rev().find(|w| w.precedes(read));
+        let last_preceding: Option<&&IntervalOp> = writes.iter().rev().find(|w| w.precedes(read));
         let concurrent: Vec<&&IntervalOp> = writes
             .iter()
             .filter(|w| !w.precedes(read) && !read.precedes(w))
@@ -119,7 +124,9 @@ fn check_with_completions(
     criterion: &'static str,
     concurrent_unconstrained: bool,
 ) -> Result<(), RegularViolation> {
-    history.well_formed().map_err(RegularViolation::NotWellFormed)?;
+    history
+        .well_formed()
+        .map_err(RegularViolation::NotWellFormed)?;
     let intervals = extract(history, CompletionRule::Persistent);
     let w = intervals.optional_writes.len();
     assert!(w < 20, "too many pending writes to enumerate ({w})");
@@ -210,7 +217,10 @@ mod tests {
         h.reply(r, OpResult::ReadValue(v(7)));
         h.reply(w, OpResult::Written);
         assert!(check_regular_swmr(&h).is_err());
-        assert!(check_safe_swmr(&h).is_ok(), "safe tolerates garbage under concurrency");
+        assert!(
+            check_safe_swmr(&h).is_ok(),
+            "safe tolerates garbage under concurrency"
+        );
     }
 
     #[test]

@@ -153,7 +153,7 @@ mod tests {
         h.complete_write(p(0), v(2));
         h.complete_read(p(1), v(2));
         h.complete_read(p(1), v(1)); // inversion
-        // More noise after.
+                                     // More noise after.
         h.complete_write(p(0), v(99));
         h.complete_read(p(2), v(99));
         assert!(check_persistent(&h).is_err());

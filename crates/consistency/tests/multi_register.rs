@@ -142,6 +142,9 @@ fn shrinking_works_on_multi_register_histories() {
     assert!(check_persistent(&h).is_err());
     let minimal = rmem_consistency::shrink(&h, |h| check_persistent(h).is_err());
     assert!(check_persistent(&minimal).is_err());
-    assert!(minimal.registers().len() == 1, "only register 2 should remain: {minimal:?}");
+    assert!(
+        minimal.registers().len() == 1,
+        "only register 2 should remain: {minimal:?}"
+    );
     assert!(minimal.len() <= 8);
 }

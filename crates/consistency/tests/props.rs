@@ -15,11 +15,11 @@ use rmem_types::{Op, OpId, OpKind, OpResult, ProcessId, Value};
 fn arb_interval_ops(max_ops: usize) -> impl Strategy<Value = Vec<IntervalOp>> {
     proptest::collection::vec(
         (
-            0u16..3,              // pid
-            prop::bool::ANY,      // is write
-            0u32..3,              // value
-            0usize..12,           // inv
-            1usize..6,            // duration
+            0u16..3,         // pid
+            prop::bool::ANY, // is write
+            0u32..3,         // value
+            0usize..12,      // inv
+            1usize..6,       // duration
         ),
         0..=max_ops,
     )
@@ -27,7 +27,11 @@ fn arb_interval_ops(max_ops: usize) -> impl Strategy<Value = Vec<IntervalOp>> {
         raw.into_iter()
             .enumerate()
             .map(|(i, (pid, is_write, v, inv, dur))| {
-                let kind = if is_write { OpKind::Write } else { OpKind::Read };
+                let kind = if is_write {
+                    OpKind::Write
+                } else {
+                    OpKind::Read
+                };
                 IntervalOp {
                     op: OpId::new(ProcessId(pid), i as u64),
                     kind,

@@ -43,7 +43,10 @@ pub const fn no_pre_log() -> Flavor {
 /// "the `rec` variable … guarantees that sequence numbers always increase
 /// monotonically"; without it they do not.
 pub const fn no_rec_counter() -> Flavor {
-    Flavor { name: "ablation:no-rec-counter", ..no_pre_log() }
+    Flavor {
+        name: "ablation:no-rec-counter",
+        ..no_pre_log()
+    }
 }
 
 /// The persistent algorithm with the read's write-back round removed:
@@ -76,11 +79,19 @@ mod tests {
         assert_eq!(a.replica_logs, p.replica_logs);
         assert_eq!(a.write_query_round, p.write_query_round);
         assert!(!a.write_pre_log);
-        assert_eq!(a.causal_logs_per_write(), 1, "exactly the saving Theorem 1 forbids");
+        assert_eq!(
+            a.causal_logs_per_write(),
+            1,
+            "exactly the saving Theorem 1 forbids"
+        );
 
         let b = no_read_write_back();
         assert!(b.write_pre_log);
-        assert_eq!(b.causal_logs_per_read(), 0, "exactly the saving Theorem 2 forbids");
+        assert_eq!(
+            b.causal_logs_per_read(),
+            0,
+            "exactly the saving Theorem 2 forbids"
+        );
     }
 
     #[test]

@@ -165,7 +165,11 @@ mod tests {
     fn comm_steps_match_paper() {
         // "Our algorithms use the same number of communication steps as
         // [2], namely 4 for any operation."
-        for f in [Flavor::persistent(), Flavor::transient(), Flavor::crash_stop()] {
+        for f in [
+            Flavor::persistent(),
+            Flavor::transient(),
+            Flavor::crash_stop(),
+        ] {
             assert_eq!(f.write_comm_steps(), 4, "{}", f.name);
             assert_eq!(f.read_comm_steps(), 4, "{}", f.name);
         }

@@ -12,7 +12,7 @@ use rmem_storage::records::{
 };
 use rmem_types::{
     Action, Automaton, AutomatonFactory, Input, Message, Micros, Op, OpId, OpResult, ProcessId,
-    RejectReason, RequestId, Seq, StableSnapshot, StoreToken, Timestamp, TimerToken, Value,
+    RejectReason, RequestId, Seq, StableSnapshot, StoreToken, TimerToken, Timestamp, Value,
 };
 
 use crate::flavor::{Flavor, RecoveryPolicy};
@@ -23,17 +23,41 @@ use crate::replica::Replica;
 #[derive(Debug)]
 enum OpPhase {
     /// Write, round 1: collecting sequence numbers (Fig. 4 lines 7–10).
-    WriteQuery { value: Value, call: QuorumCall, max_seq: Seq, timer: TimerToken },
+    WriteQuery {
+        value: Value,
+        call: QuorumCall,
+        max_seq: Seq,
+        timer: TimerToken,
+    },
     /// Persistent write, between rounds: waiting for the `writing` pre-log
     /// (Fig. 4 line 12).
-    WritePreLog { ts: Timestamp, value: Value, token: StoreToken },
+    WritePreLog {
+        ts: Timestamp,
+        value: Value,
+        token: StoreToken,
+    },
     /// Write, round 2: propagating the tagged value (Fig. 4 lines 13–15).
-    WritePropagate { ts: Timestamp, value: Value, call: QuorumCall, timer: TimerToken },
+    WritePropagate {
+        ts: Timestamp,
+        value: Value,
+        call: QuorumCall,
+        timer: TimerToken,
+    },
     /// Read, round 1: collecting tagged values (Fig. 4 lines 32–35).
-    ReadQuery { call: QuorumCall, best_ts: Timestamp, best_value: Value, timer: TimerToken },
+    ReadQuery {
+        call: QuorumCall,
+        best_ts: Timestamp,
+        best_value: Value,
+        timer: TimerToken,
+    },
     /// Read, round 2: writing back the freshest value (Fig. 4 lines
     /// 36–38).
-    ReadWriteBack { ts: Timestamp, value: Value, call: QuorumCall, timer: TimerToken },
+    ReadWriteBack {
+        ts: Timestamp,
+        value: Value,
+        call: QuorumCall,
+        timer: TimerToken,
+    },
 }
 
 /// The recovery procedure's phase (between `Start` and readiness).
@@ -42,10 +66,19 @@ enum RecoveryPhase {
     /// Waiting for the `recovered` counter store (Fig. 5 lines 19–21).
     StoreRec { token: StoreToken },
     /// Re-propagating the logged `writing` record (Fig. 4 lines 43–46).
-    FinishWrite { ts: Timestamp, value: Value, call: QuorumCall, timer: TimerToken },
+    FinishWrite {
+        ts: Timestamp,
+        value: Value,
+        call: QuorumCall,
+        timer: TimerToken,
+    },
     /// Regular register only: re-learning the write frontier from a
     /// majority.
-    QuerySeq { call: QuorumCall, max_seq: Seq, timer: TimerToken },
+    QuerySeq {
+        call: QuorumCall,
+        max_seq: Seq,
+        timer: TimerToken,
+    },
 }
 
 /// Which path constructed the automaton (drives `Start` handling).
@@ -137,7 +170,9 @@ impl RegisterAutomaton {
             .and_then(|b| RecoveredRecord::decode(&b).ok())
             .map(|r| r.count)
             .unwrap_or(0);
-        let writing = stable.get(KEY_WRITING).and_then(|b| WritingRecord::decode(&b).ok());
+        let writing = stable
+            .get(KEY_WRITING)
+            .and_then(|b| WritingRecord::decode(&b).ok());
         let next_wsn = replica.timestamp().seq + 1;
         RegisterAutomaton {
             me,
@@ -195,7 +230,10 @@ impl RegisterAutomaton {
 
     fn arm_timer(&mut self, out: &mut Vec<Action>) -> TimerToken {
         let timer = self.next_timer();
-        out.push(Action::SetTimer { token: timer, after: self.retransmit });
+        out.push(Action::SetTimer {
+            token: timer,
+            after: self.retransmit,
+        });
         timer
     }
 
@@ -217,15 +255,25 @@ impl RegisterAutomaton {
                 }
                 if self.flavor.write_pre_log {
                     let token = self.next_token();
-                    let record =
-                        WritingRecord { ts: Timestamp::new(0, self.me), value: Value::bottom() };
+                    let record = WritingRecord {
+                        ts: Timestamp::new(0, self.me),
+                        value: Value::bottom(),
+                    };
                     self.writing = Some(record.clone());
-                    out.push(Action::Store { token, key: KEY_WRITING.to_string(), bytes: record.encode() });
+                    out.push(Action::Store {
+                        token,
+                        key: KEY_WRITING.to_string(),
+                        bytes: record.encode(),
+                    });
                 }
                 if self.flavor.rec_in_timestamp {
                     let token = self.next_token();
                     let record = RecoveredRecord { count: 0 };
-                    out.push(Action::Store { token, key: KEY_RECOVERED.to_string(), bytes: record.encode() });
+                    out.push(Action::Store {
+                        token,
+                        key: KEY_RECOVERED.to_string(),
+                        bytes: record.encode(),
+                    });
                 }
                 self.ready = true;
             }
@@ -247,7 +295,11 @@ impl RegisterAutomaton {
                         let req = self.next_req();
                         let call = QuorumCall::new(req, self.majority);
                         self.broadcast(
-                            &Message::Write { req, ts: rec.ts, value: rec.value.clone() },
+                            &Message::Write {
+                                req,
+                                ts: rec.ts,
+                                value: rec.value.clone(),
+                            },
                             out,
                         );
                         let timer = self.arm_timer(out);
@@ -271,7 +323,11 @@ impl RegisterAutomaton {
                 self.rec += 1;
                 let token = self.next_token();
                 let record = RecoveredRecord { count: self.rec };
-                out.push(Action::Store { token, key: KEY_RECOVERED.to_string(), bytes: record.encode() });
+                out.push(Action::Store {
+                    token,
+                    key: KEY_RECOVERED.to_string(),
+                    bytes: record.encode(),
+                });
                 self.recovery = Some(RecoveryPhase::StoreRec { token });
             }
         }
@@ -283,7 +339,11 @@ impl RegisterAutomaton {
             let call = QuorumCall::new(req, self.majority);
             self.broadcast(&Message::SnReq { req }, out);
             let timer = self.arm_timer(out);
-            self.recovery = Some(RecoveryPhase::QuerySeq { call, max_seq: 0, timer });
+            self.recovery = Some(RecoveryPhase::QuerySeq {
+                call,
+                max_seq: 0,
+                timer,
+            });
         } else {
             self.finish_recovery(out);
         }
@@ -309,7 +369,10 @@ impl RegisterAutomaton {
         if self.op.is_some() {
             // The runtime normally prevents this (§III-A sequential
             // processes); refuse rather than corrupt state.
-            out.push(Action::Complete { op, result: OpResult::Rejected(RejectReason::Busy) });
+            out.push(Action::Complete {
+                op,
+                result: OpResult::Rejected(RejectReason::Busy),
+            });
             return;
         }
         if !self.ready {
@@ -332,7 +395,15 @@ impl RegisterAutomaton {
                     let call = QuorumCall::new(req, self.majority);
                     self.broadcast(&Message::SnReq { req }, out);
                     let timer = self.arm_timer(out);
-                    self.op = Some((op, OpPhase::WriteQuery { value, call, max_seq: 0, timer }));
+                    self.op = Some((
+                        op,
+                        OpPhase::WriteQuery {
+                            value,
+                            call,
+                            max_seq: 0,
+                            timer,
+                        },
+                    ));
                 } else {
                     // Regular register: the single writer numbers writes
                     // locally.
@@ -366,9 +437,24 @@ impl RegisterAutomaton {
         // Fig. 4 lines 13–15 (and Fig. 5 lines 12–14).
         let req = self.next_req();
         let call = QuorumCall::new(req, self.majority);
-        self.broadcast(&Message::Write { req, ts, value: value.clone() }, out);
+        self.broadcast(
+            &Message::Write {
+                req,
+                ts,
+                value: value.clone(),
+            },
+            out,
+        );
         let timer = self.arm_timer(out);
-        self.op = Some((op, OpPhase::WritePropagate { ts, value, call, timer }));
+        self.op = Some((
+            op,
+            OpPhase::WritePropagate {
+                ts,
+                value,
+                call,
+                timer,
+            },
+        ));
     }
 
     fn query_majority_reached(
@@ -379,15 +465,26 @@ impl RegisterAutomaton {
         out: &mut Vec<Action>,
     ) {
         // Fig. 4 line 11: sn := sn + 1 — Fig. 5 line 11: sn := sn + rec + 1.
-        let rec_component = if self.flavor.rec_in_timestamp { self.rec } else { 0 };
+        let rec_component = if self.flavor.rec_in_timestamp {
+            self.rec
+        } else {
+            0
+        };
         let ts = Timestamp::new(max_seq + rec_component + 1, self.me);
         if self.flavor.write_pre_log {
             // Fig. 4 line 12: the pre-log — the first causal log of a
             // persistent write. The propagation round waits for it.
             let token = self.next_token();
-            let record = WritingRecord { ts, value: value.clone() };
+            let record = WritingRecord {
+                ts,
+                value: value.clone(),
+            };
             self.writing = Some(record.clone());
-            out.push(Action::Store { token, key: KEY_WRITING.to_string(), bytes: record.encode() });
+            out.push(Action::Store {
+                token,
+                key: KEY_WRITING.to_string(),
+                bytes: record.encode(),
+            });
             self.op = Some((op, OpPhase::WritePreLog { ts, value, token }));
         } else {
             self.start_propagate(op, ts, value, out);
@@ -443,7 +540,16 @@ impl RegisterAutomaton {
 
         // Write query round.
         let mut reached: Option<(OpId, Value, Seq)> = None;
-        if let Some((op, OpPhase::WriteQuery { value, call, max_seq, .. })) = &mut self.op {
+        if let Some((
+            op,
+            OpPhase::WriteQuery {
+                value,
+                call,
+                max_seq,
+                ..
+            },
+        )) = &mut self.op
+        {
             if call.matches(req) {
                 *max_seq = (*max_seq).max(seq);
                 if call.record(from) {
@@ -501,13 +607,19 @@ impl RegisterAutomaton {
             Done::Write(op) => {
                 self.op = None;
                 // Fig. 4 line 16: the write returns.
-                out.push(Action::Complete { op, result: OpResult::Written });
+                out.push(Action::Complete {
+                    op,
+                    result: OpResult::Written,
+                });
                 self.drain_queue(out);
             }
             Done::Read(op, value) => {
                 self.op = None;
                 // Fig. 4 line 39: the read returns the written-back value.
-                out.push(Action::Complete { op, result: OpResult::ReadValue(value) });
+                out.push(Action::Complete {
+                    op,
+                    result: OpResult::ReadValue(value),
+                });
                 self.drain_queue(out);
             }
         }
@@ -522,7 +634,16 @@ impl RegisterAutomaton {
         out: &mut Vec<Action>,
     ) {
         let mut reached: Option<(OpId, Timestamp, Value)> = None;
-        if let Some((op, OpPhase::ReadQuery { call, best_ts, best_value, .. })) = &mut self.op {
+        if let Some((
+            op,
+            OpPhase::ReadQuery {
+                call,
+                best_ts,
+                best_value,
+                ..
+            },
+        )) = &mut self.op
+        {
             if call.matches(req) {
                 // Fig. 4 line 35: select the value with the highest tag.
                 if ts > *best_ts {
@@ -534,18 +655,38 @@ impl RegisterAutomaton {
                 }
             }
         }
-        let Some((op, ts, value)) = reached else { return };
+        let Some((op, ts, value)) = reached else {
+            return;
+        };
         self.op = None;
         if self.flavor.read_write_back {
             // Fig. 4 lines 36–38: write back before returning.
             let req = self.next_req();
             let call = QuorumCall::new(req, self.majority);
-            self.broadcast(&Message::Write { req, ts, value: value.clone() }, out);
+            self.broadcast(
+                &Message::Write {
+                    req,
+                    ts,
+                    value: value.clone(),
+                },
+                out,
+            );
             let timer = self.arm_timer(out);
-            self.op = Some((op, OpPhase::ReadWriteBack { ts, value, call, timer }));
+            self.op = Some((
+                op,
+                OpPhase::ReadWriteBack {
+                    ts,
+                    value,
+                    call,
+                    timer,
+                },
+            ));
         } else {
             // Regular register: single-round read.
-            out.push(Action::Complete { op, result: OpResult::ReadValue(value) });
+            out.push(Action::Complete {
+                op,
+                result: OpResult::ReadValue(value),
+            });
             self.drain_queue(out);
         }
     }
@@ -561,7 +702,15 @@ impl RegisterAutomaton {
             }
         }
         let mut prelogged: Option<(OpId, Timestamp, Value)> = None;
-        if let Some((op, OpPhase::WritePreLog { ts, value, token: t })) = &self.op {
+        if let Some((
+            op,
+            OpPhase::WritePreLog {
+                ts,
+                value,
+                token: t,
+            },
+        )) = &self.op
+        {
             if *t == token {
                 prelogged = Some((*op, *ts, value.clone()));
             }
@@ -579,27 +728,52 @@ impl RegisterAutomaton {
         // die silently.
         let resend: Option<Message> = {
             let from_recovery = self.recovery.as_ref().and_then(|phase| match phase {
-                RecoveryPhase::FinishWrite { ts, value, call, timer } if *timer == token => {
-                    Some(Message::Write { req: call.request_id(), ts: *ts, value: value.clone() })
-                }
+                RecoveryPhase::FinishWrite {
+                    ts,
+                    value,
+                    call,
+                    timer,
+                } if *timer == token => Some(Message::Write {
+                    req: call.request_id(),
+                    ts: *ts,
+                    value: value.clone(),
+                }),
                 RecoveryPhase::QuerySeq { call, timer, .. } if *timer == token => {
-                    Some(Message::SnReq { req: call.request_id() })
+                    Some(Message::SnReq {
+                        req: call.request_id(),
+                    })
                 }
                 _ => None,
             });
             let from_op = self.op.as_ref().and_then(|(_, phase)| match phase {
                 OpPhase::WriteQuery { call, timer, .. } if *timer == token => {
-                    Some(Message::SnReq { req: call.request_id() })
+                    Some(Message::SnReq {
+                        req: call.request_id(),
+                    })
                 }
-                OpPhase::WritePropagate { ts, value, call, timer } if *timer == token => {
-                    Some(Message::Write { req: call.request_id(), ts: *ts, value: value.clone() })
-                }
-                OpPhase::ReadQuery { call, timer, .. } if *timer == token => {
-                    Some(Message::Read { req: call.request_id() })
-                }
-                OpPhase::ReadWriteBack { ts, value, call, timer } if *timer == token => {
-                    Some(Message::Write { req: call.request_id(), ts: *ts, value: value.clone() })
-                }
+                OpPhase::WritePropagate {
+                    ts,
+                    value,
+                    call,
+                    timer,
+                } if *timer == token => Some(Message::Write {
+                    req: call.request_id(),
+                    ts: *ts,
+                    value: value.clone(),
+                }),
+                OpPhase::ReadQuery { call, timer, .. } if *timer == token => Some(Message::Read {
+                    req: call.request_id(),
+                }),
+                OpPhase::ReadWriteBack {
+                    ts,
+                    value,
+                    call,
+                    timer,
+                } if *timer == token => Some(Message::Write {
+                    req: call.request_id(),
+                    ts: *ts,
+                    value: value.clone(),
+                }),
                 _ => None,
             });
             from_recovery.or(from_op)
@@ -610,7 +784,8 @@ impl RegisterAutomaton {
         let new_timer = self.arm_timer(out);
         if let Some(phase) = &mut self.recovery {
             match phase {
-                RecoveryPhase::FinishWrite { timer, .. } | RecoveryPhase::QuerySeq { timer, .. }
+                RecoveryPhase::FinishWrite { timer, .. }
+                | RecoveryPhase::QuerySeq { timer, .. }
                     if *timer == token =>
                 {
                     *timer = new_timer;
@@ -677,7 +852,12 @@ impl FlavorFactory {
 
 impl AutomatonFactory for FlavorFactory {
     fn fresh(&self, me: ProcessId, n: usize) -> Box<dyn Automaton> {
-        Box::new(RegisterAutomaton::fresh(me, n, self.flavor, self.retransmit))
+        Box::new(RegisterAutomaton::fresh(
+            me,
+            n,
+            self.flavor,
+            self.retransmit,
+        ))
     }
 
     fn recover(
@@ -731,7 +911,10 @@ mod tests {
         a.on_input(Input::Start, &mut out);
         assert!(a.is_ready());
         // Initial written + writing records.
-        let stores = out.iter().filter(|a| matches!(a, Action::Store { .. })).count();
+        let stores = out
+            .iter()
+            .filter(|a| matches!(a, Action::Store { .. }))
+            .count();
         assert_eq!(stores, 2);
     }
 
@@ -749,7 +932,10 @@ mod tests {
         let mut a = fresh(Flavor::persistent());
         let mut out = Vec::new();
         a.on_input(
-            Input::Invoke { op: OpId::new(ProcessId(0), 0), operation: Op::Write(Value::from_u32(1)) },
+            Input::Invoke {
+                op: OpId::new(ProcessId(0), 0),
+                operation: Op::Write(Value::from_u32(1)),
+            },
             &mut out,
         );
         let sends = sends_of(&out);
@@ -763,7 +949,10 @@ mod tests {
         let mut a = fresh(Flavor::regular());
         let mut out = Vec::new();
         a.on_input(
-            Input::Invoke { op: OpId::new(ProcessId(0), 0), operation: Op::Write(Value::from_u32(1)) },
+            Input::Invoke {
+                op: OpId::new(ProcessId(0), 0),
+                operation: Op::Write(Value::from_u32(1)),
+            },
             &mut out,
         );
         let sends = sends_of(&out);
@@ -779,17 +968,26 @@ mod tests {
         let mut a = fresh(Flavor::persistent());
         let mut out = Vec::new();
         a.on_input(
-            Input::Invoke { op: OpId::new(ProcessId(0), 0), operation: Op::Read },
+            Input::Invoke {
+                op: OpId::new(ProcessId(0), 0),
+                operation: Op::Read,
+            },
             &mut out,
         );
         out.clear();
         a.on_input(
-            Input::Invoke { op: OpId::new(ProcessId(0), 1), operation: Op::Read },
+            Input::Invoke {
+                op: OpId::new(ProcessId(0), 1),
+                operation: Op::Read,
+            },
             &mut out,
         );
         assert!(matches!(
             out[0],
-            Action::Complete { result: OpResult::Rejected(RejectReason::Busy), .. }
+            Action::Complete {
+                result: OpResult::Rejected(RejectReason::Busy),
+                ..
+            }
         ));
     }
 
@@ -817,7 +1015,10 @@ mod tests {
             .expect("recovery must store the rec counter");
         out.clear();
         a.on_input(
-            Input::Invoke { op: OpId::new(ProcessId(0), 0), operation: Op::Read },
+            Input::Invoke {
+                op: OpId::new(ProcessId(0), 0),
+                operation: Op::Read,
+            },
             &mut out,
         );
         assert!(out.is_empty(), "queued, not started: {out:?}");
@@ -825,7 +1026,13 @@ mod tests {
         a.on_input(Input::StoreDone(store_token), &mut out);
         assert!(a.is_ready());
         assert!(
-            out.iter().any(|x| matches!(x, Action::Send { msg: Message::Read { .. }, .. })),
+            out.iter().any(|x| matches!(
+                x,
+                Action::Send {
+                    msg: Message::Read { .. },
+                    ..
+                }
+            )),
             "queued read must start: {out:?}"
         );
     }
@@ -874,7 +1081,9 @@ mod tests {
         let sends = sends_of(&out);
         assert_eq!(sends.len(), 3);
         for m in sends {
-            let Message::Write { ts, value, .. } = m else { panic!("expected W, got {m}") };
+            let Message::Write { ts, value, .. } = m else {
+                panic!("expected W, got {m}")
+            };
             assert_eq!(*ts, Timestamp::new(7, ProcessId(0)));
             assert_eq!(value.as_u32(), Some(42));
         }
@@ -885,12 +1094,18 @@ mod tests {
         };
         let mut out2 = Vec::new();
         a.on_input(
-            Input::Message { from: ProcessId(1), msg: Message::WriteAck { req } },
+            Input::Message {
+                from: ProcessId(1),
+                msg: Message::WriteAck { req },
+            },
             &mut out2,
         );
         assert!(!a.is_ready());
         a.on_input(
-            Input::Message { from: ProcessId(2), msg: Message::WriteAck { req } },
+            Input::Message {
+                from: ProcessId(2),
+                msg: Message::WriteAck { req },
+            },
             &mut out2,
         );
         assert!(a.is_ready());
@@ -901,7 +1116,10 @@ mod tests {
         let mut fresh_a = fresh(Flavor::transient());
         let mut out = Vec::new();
         fresh_a.on_input(
-            Input::Invoke { op: OpId::new(ProcessId(0), 0), operation: Op::Read },
+            Input::Invoke {
+                op: OpId::new(ProcessId(0), 0),
+                operation: Op::Read,
+            },
             &mut out,
         );
         let fresh_req = match sends_of(&out)[0] {
@@ -919,19 +1137,27 @@ mod tests {
         );
         let mut out2 = Vec::new();
         rec_a.on_input(Input::Start, &mut out2);
-        let Some(Action::Store { token, .. }) = out2.first().cloned() else { panic!() };
+        let Some(Action::Store { token, .. }) = out2.first().cloned() else {
+            panic!()
+        };
         out2.clear();
         rec_a.on_input(Input::StoreDone(token), &mut out2);
         out2.clear();
         rec_a.on_input(
-            Input::Invoke { op: OpId::new(ProcessId(0), 1), operation: Op::Read },
+            Input::Invoke {
+                op: OpId::new(ProcessId(0), 1),
+                operation: Op::Read,
+            },
             &mut out2,
         );
         let rec_req = match sends_of(&out2)[0] {
             Message::Read { req } => *req,
             m => panic!("{m}"),
         };
-        assert_ne!(fresh_req, rec_req, "nonce spaces of incarnations must be disjoint");
+        assert_ne!(
+            fresh_req, rec_req,
+            "nonce spaces of incarnations must be disjoint"
+        );
     }
 
     #[test]
@@ -939,7 +1165,10 @@ mod tests {
         let mut a = fresh(Flavor::persistent());
         let mut out = Vec::new();
         a.on_input(
-            Input::Invoke { op: OpId::new(ProcessId(0), 0), operation: Op::Read },
+            Input::Invoke {
+                op: OpId::new(ProcessId(0), 0),
+                operation: Op::Read,
+            },
             &mut out,
         );
         let timer = out

@@ -161,15 +161,19 @@ impl SharedMemoryAutomaton {
     /// Translates one inner action into the outer coordinate space.
     fn translate_out(reg: RegisterId, action: Action) -> Action {
         match action {
-            Action::Send { to, msg } => Action::Send { to, msg: readdress(msg, reg) },
+            Action::Send { to, msg } => Action::Send {
+                to,
+                msg: readdress(msg, reg),
+            },
             Action::Store { token, key, bytes } => Action::Store {
                 token: StoreToken(scope_token(reg, token.0)),
                 key: scope_key(reg, &key),
                 bytes,
             },
-            Action::SetTimer { token, after } => {
-                Action::SetTimer { token: TimerToken(scope_token(reg, token.0)), after }
-            }
+            Action::SetTimer { token, after } => Action::SetTimer {
+                token: TimerToken(scope_token(reg, token.0)),
+                after,
+            },
             complete @ Action::Complete { .. } => complete,
         }
     }
@@ -212,16 +216,29 @@ impl SharedMemoryAutomaton {
 /// Rewrites the request id's register component of a message.
 fn readdress(msg: Message, reg: RegisterId) -> Message {
     match msg {
-        Message::SnReq { req } => Message::SnReq { req: req.with_register(reg) },
-        Message::SnAck { req, seq } => Message::SnAck { req: req.with_register(reg), seq },
-        Message::Write { req, ts, value } => {
-            Message::Write { req: req.with_register(reg), ts, value }
-        }
-        Message::WriteAck { req } => Message::WriteAck { req: req.with_register(reg) },
-        Message::Read { req } => Message::Read { req: req.with_register(reg) },
-        Message::ReadAck { req, ts, value } => {
-            Message::ReadAck { req: req.with_register(reg), ts, value }
-        }
+        Message::SnReq { req } => Message::SnReq {
+            req: req.with_register(reg),
+        },
+        Message::SnAck { req, seq } => Message::SnAck {
+            req: req.with_register(reg),
+            seq,
+        },
+        Message::Write { req, ts, value } => Message::Write {
+            req: req.with_register(reg),
+            ts,
+            value,
+        },
+        Message::WriteAck { req } => Message::WriteAck {
+            req: req.with_register(reg),
+        },
+        Message::Read { req } => Message::Read {
+            req: req.with_register(reg),
+        },
+        Message::ReadAck { req, ts, value } => Message::ReadAck {
+            req: req.with_register(reg),
+            ts,
+            value,
+        },
     }
 }
 
@@ -238,12 +255,26 @@ impl Automaton for SharedMemoryAutomaton {
             Input::Invoke { op, operation } => {
                 let reg = operation.register();
                 let normalized = operation.normalized();
-                self.feed(reg, Input::Invoke { op, operation: normalized }, out);
+                self.feed(
+                    reg,
+                    Input::Invoke {
+                        op,
+                        operation: normalized,
+                    },
+                    out,
+                );
             }
             Input::Message { from, msg } => {
                 let reg = msg.request_id().reg;
                 let inner_msg = readdress(msg, RegisterId::ZERO);
-                self.feed(reg, Input::Message { from, msg: inner_msg }, out);
+                self.feed(
+                    reg,
+                    Input::Message {
+                        from,
+                        msg: inner_msg,
+                    },
+                    out,
+                );
             }
             Input::StoreDone(token) => {
                 let (reg, inner) = unscope_token(token.0);
@@ -301,7 +332,10 @@ impl SharedMemory {
     /// A factory producing shared memories running `flavor` per register,
     /// with the default retransmission period.
     pub fn factory(flavor: Flavor) -> std::sync::Arc<SharedMemory> {
-        std::sync::Arc::new(SharedMemory { flavor, retransmit: crate::DEFAULT_RETRANSMIT })
+        std::sync::Arc::new(SharedMemory {
+            flavor,
+            retransmit: crate::DEFAULT_RETRANSMIT,
+        })
     }
 
     /// As [`factory`](Self::factory) with a custom retransmission period.
@@ -320,7 +354,12 @@ impl SharedMemory {
 
 impl AutomatonFactory for SharedMemory {
     fn fresh(&self, me: ProcessId, n: usize) -> Box<dyn Automaton> {
-        Box::new(SharedMemoryAutomaton::fresh(me, n, self.flavor, self.retransmit))
+        Box::new(SharedMemoryAutomaton::fresh(
+            me,
+            n,
+            self.flavor,
+            self.retransmit,
+        ))
     }
 
     fn recover(
@@ -379,8 +418,7 @@ mod tests {
 
     #[test]
     fn invocations_create_registers_lazily() {
-        let mut mem =
-            SharedMemoryAutomaton::fresh(p(0), 3, Flavor::transient(), Micros(1_000));
+        let mut mem = SharedMemoryAutomaton::fresh(p(0), 3, Flavor::transient(), Micros(1_000));
         let mut out = Vec::new();
         mem.on_input(Input::Start, &mut out);
         assert_eq!(mem.register_count(), 0);
@@ -406,8 +444,7 @@ mod tests {
 
     #[test]
     fn stores_are_scoped_per_register() {
-        let mut mem =
-            SharedMemoryAutomaton::fresh(p(0), 1, Flavor::transient(), Micros(1_000));
+        let mut mem = SharedMemoryAutomaton::fresh(p(0), 1, Flavor::transient(), Micros(1_000));
         let mut out = Vec::new();
         mem.on_input(Input::Start, &mut out);
         out.clear();
@@ -448,7 +485,10 @@ mod tests {
         assert!(
             out.iter().any(|a| matches!(
                 a,
-                Action::Complete { result: OpResult::Written, .. }
+                Action::Complete {
+                    result: OpResult::Written,
+                    ..
+                }
             )),
             "the single-process write must complete: {out:?}"
         );

@@ -28,7 +28,12 @@ impl QuorumCall {
     /// Panics if `threshold` is zero.
     pub fn new(req: RequestId, threshold: usize) -> Self {
         assert!(threshold > 0, "a quorum threshold must be positive");
-        QuorumCall { req, acked: HashSet::new(), threshold, reached: false }
+        QuorumCall {
+            req,
+            acked: HashSet::new(),
+            threshold,
+            reached: false,
+        }
     }
 
     /// The round this call tracks.
@@ -79,7 +84,10 @@ mod tests {
         let mut q = QuorumCall::new(req(), 3);
         assert!(!q.record(ProcessId(0)));
         assert!(!q.record(ProcessId(1)));
-        assert!(q.record(ProcessId(2)), "third distinct ack reaches the threshold");
+        assert!(
+            q.record(ProcessId(2)),
+            "third distinct ack reaches the threshold"
+        );
         assert!(!q.record(ProcessId(3)), "later acks do not re-trigger");
         assert!(q.is_reached());
     }

@@ -20,9 +20,7 @@
 use std::collections::HashMap;
 
 use rmem_storage::records::{WrittenRecord, KEY_WRITTEN};
-use rmem_types::{
-    Action, Message, ProcessId, RequestId, StoreToken, Timestamp, Value,
-};
+use rmem_types::{Action, Message, ProcessId, RequestId, StoreToken, Timestamp, Value};
 
 /// Replica state and behaviour.
 #[derive(Debug)]
@@ -97,7 +95,10 @@ impl Replica {
                 // Fig. 4 lines 18–20.
                 out.push(Action::Send {
                     to: from,
-                    msg: Message::SnAck { req: *req, seq: self.ts.seq },
+                    msg: Message::SnAck {
+                        req: *req,
+                        seq: self.ts.seq,
+                    },
                 });
                 true
             }
@@ -105,7 +106,11 @@ impl Replica {
                 // Fig. 4 lines 28–30.
                 out.push(Action::Send {
                     to: from,
-                    msg: Message::ReadAck { req: *req, ts: self.ts, value: self.value.clone() },
+                    msg: Message::ReadAck {
+                        req: *req,
+                        ts: self.ts,
+                        value: self.value.clone(),
+                    },
                 });
                 true
             }
@@ -116,23 +121,38 @@ impl Replica {
                     self.value = value.clone();
                 }
                 if !self.logging {
-                    out.push(Action::Send { to: from, msg: Message::WriteAck { req: *req } });
+                    out.push(Action::Send {
+                        to: from,
+                        msg: Message::WriteAck { req: *req },
+                    });
                     return true;
                 }
                 if *ts <= self.durable_ts {
                     // Already durable at a covering tag: safe to ack now.
-                    out.push(Action::Send { to: from, msg: Message::WriteAck { req: *req } });
+                    out.push(Action::Send {
+                        to: from,
+                        msg: Message::WriteAck { req: *req },
+                    });
                     return true;
                 }
                 // Need durability first. Issue a store for the *current*
                 // volatile state if none in flight covers it; park the ack.
-                let covered_by_pending =
-                    self.pending_stores.values().any(|pending| *pending >= self.ts);
+                let covered_by_pending = self
+                    .pending_stores
+                    .values()
+                    .any(|pending| *pending >= self.ts);
                 if !covered_by_pending {
                     let token = next_token();
-                    let record = WrittenRecord { ts: self.ts, value: self.value.clone() };
+                    let record = WrittenRecord {
+                        ts: self.ts,
+                        value: self.value.clone(),
+                    };
                     self.pending_stores.insert(token, self.ts);
-                    out.push(Action::Store { token, key: KEY_WRITTEN.to_string(), bytes: record.encode() });
+                    out.push(Action::Store {
+                        token,
+                        key: KEY_WRITTEN.to_string(),
+                        bytes: record.encode(),
+                    });
                 }
                 self.waiters.push((from, *req, *ts));
                 true
@@ -152,23 +172,36 @@ impl Replica {
         }
         // Release every waiter whose required tag is now durable.
         let durable = self.durable_ts;
-        let (ready, parked): (Vec<_>, Vec<_>) =
-            self.waiters.drain(..).partition(|(_, _, need)| *need <= durable);
+        let (ready, parked): (Vec<_>, Vec<_>) = self
+            .waiters
+            .drain(..)
+            .partition(|(_, _, need)| *need <= durable);
         self.waiters = parked;
         for (to, req, _) in ready {
-            out.push(Action::Send { to, msg: Message::WriteAck { req } });
+            out.push(Action::Send {
+                to,
+                msg: Message::WriteAck { req },
+            });
         }
         true
     }
 
     /// The initialisation stores of a fresh boot (Fig. 4 line 4): the
     /// initial `written` record. Not ack-gated.
-    pub fn initial_store(&mut self, next_token: &mut impl FnMut() -> StoreToken, out: &mut Vec<Action>) {
+    pub fn initial_store(
+        &mut self,
+        next_token: &mut impl FnMut() -> StoreToken,
+        out: &mut Vec<Action>,
+    ) {
         if self.logging {
             let token = next_token();
             let record = WrittenRecord::initial(self.me);
             self.pending_stores.insert(token, record.ts);
-            out.push(Action::Store { token, key: KEY_WRITTEN.to_string(), bytes: record.encode() });
+            out.push(Action::Store {
+                token,
+                key: KEY_WRITTEN.to_string(),
+                bytes: record.encode(),
+            });
         }
     }
 }
@@ -177,7 +210,10 @@ impl Replica {
 mod tests {
     use super::*;
 
-    fn token_gen() -> (impl FnMut() -> StoreToken, std::rc::Rc<std::cell::Cell<u64>>) {
+    fn token_gen() -> (
+        impl FnMut() -> StoreToken,
+        std::rc::Rc<std::cell::Cell<u64>>,
+    ) {
         let counter = std::rc::Rc::new(std::cell::Cell::new(0u64));
         let c2 = counter.clone();
         (
@@ -207,8 +243,20 @@ mod tests {
         assert!(r.on_message(ProcessId(0), &Message::SnReq { req }, &mut gen, &mut out));
         assert!(r.on_message(ProcessId(0), &Message::Read { req }, &mut gen, &mut out));
         assert_eq!(out.len(), 2);
-        assert!(matches!(out[0], Action::Send { msg: Message::SnAck { seq: 0, .. }, .. }));
-        assert!(matches!(out[1], Action::Send { msg: Message::ReadAck { .. }, .. }));
+        assert!(matches!(
+            out[0],
+            Action::Send {
+                msg: Message::SnAck { seq: 0, .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            out[1],
+            Action::Send {
+                msg: Message::ReadAck { .. },
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -218,7 +266,13 @@ mod tests {
         let mut out = Vec::new();
         r.on_message(ProcessId(0), &write_msg(1, 0, 7, 1), &mut gen, &mut out);
         assert_eq!(out.len(), 1);
-        assert!(matches!(out[0], Action::Send { msg: Message::WriteAck { .. }, .. }));
+        assert!(matches!(
+            out[0],
+            Action::Send {
+                msg: Message::WriteAck { .. },
+                ..
+            }
+        ));
         assert_eq!(r.timestamp().seq, 1);
         assert_eq!(r.value().as_u32(), Some(7));
     }
@@ -238,7 +292,13 @@ mod tests {
         out.clear();
         assert!(r.on_store_done(token, &mut out));
         assert_eq!(out.len(), 1);
-        assert!(matches!(out[0], Action::Send { msg: Message::WriteAck { .. }, .. }));
+        assert!(matches!(
+            out[0],
+            Action::Send {
+                msg: Message::WriteAck { .. },
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -247,7 +307,9 @@ mod tests {
         let (mut gen, _) = token_gen();
         let mut out = Vec::new();
         r.on_message(ProcessId(0), &write_msg(1, 0, 7, 1), &mut gen, &mut out);
-        let Action::Store { token, .. } = out[0].clone() else { panic!() };
+        let Action::Store { token, .. } = out[0].clone() else {
+            panic!()
+        };
         out.clear();
         // Retransmission of the same write arrives before the store
         // completes: no ack, and no second store either.
@@ -264,7 +326,9 @@ mod tests {
         let (mut gen, _) = token_gen();
         let mut out = Vec::new();
         r.on_message(ProcessId(0), &write_msg(5, 0, 7, 1), &mut gen, &mut out);
-        let Action::Store { token, .. } = out[0].clone() else { panic!() };
+        let Action::Store { token, .. } = out[0].clone() else {
+            panic!()
+        };
         out.clear();
         r.on_store_done(token, &mut out);
         out.clear();
@@ -272,7 +336,13 @@ mod tests {
         // covering tag → immediate ack.
         r.on_message(ProcessId(2), &write_msg(3, 2, 9, 4), &mut gen, &mut out);
         assert_eq!(out.len(), 1);
-        assert!(matches!(out[0], Action::Send { msg: Message::WriteAck { .. }, .. }));
+        assert!(matches!(
+            out[0],
+            Action::Send {
+                msg: Message::WriteAck { .. },
+                ..
+            }
+        ));
         // And the replica still holds the newer value.
         assert_eq!(r.value().as_u32(), Some(7));
     }
@@ -283,13 +353,17 @@ mod tests {
         let (mut gen, _) = token_gen();
         let mut out = Vec::new();
         r.on_message(ProcessId(0), &write_msg(1, 0, 7, 1), &mut gen, &mut out);
-        let Action::Store { token: t1, .. } = out[0].clone() else { panic!() };
+        let Action::Store { token: t1, .. } = out[0].clone() else {
+            panic!()
+        };
         out.clear();
         // A newer write arrives while the first store is in flight: it
         // needs its own store (higher tag).
         r.on_message(ProcessId(2), &write_msg(2, 2, 8, 9), &mut gen, &mut out);
         assert_eq!(out.len(), 1, "newer tag needs a new store");
-        let Action::Store { token: t2, .. } = out[0].clone() else { panic!() };
+        let Action::Store { token: t2, .. } = out[0].clone() else {
+            panic!()
+        };
         out.clear();
         // First store completes: only the first waiter is released.
         r.on_store_done(t1, &mut out);
@@ -303,7 +377,10 @@ mod tests {
 
     #[test]
     fn restored_replica_resumes_from_record() {
-        let rec = WrittenRecord { ts: Timestamp::new(9, ProcessId(3)), value: Value::from_u32(4) };
+        let rec = WrittenRecord {
+            ts: Timestamp::new(9, ProcessId(3)),
+            value: Value::from_u32(4),
+        };
         let r = Replica::restored(ProcessId(1), true, &rec);
         assert_eq!(r.timestamp(), Timestamp::new(9, ProcessId(3)));
         assert_eq!(r.value().as_u32(), Some(4));
@@ -316,7 +393,12 @@ mod tests {
         let mut out = Vec::new();
         let req = RequestId::new(ProcessId(1), 0);
         assert!(!r.on_message(ProcessId(0), &Message::WriteAck { req }, &mut gen, &mut out));
-        assert!(!r.on_message(ProcessId(0), &Message::SnAck { req, seq: 0 }, &mut gen, &mut out));
+        assert!(!r.on_message(
+            ProcessId(0),
+            &Message::SnAck { req, seq: 0 },
+            &mut gen,
+            &mut out
+        ));
         assert!(out.is_empty());
     }
 }

@@ -6,7 +6,7 @@
 use rmem_core::{Flavor, RegisterAutomaton};
 use rmem_types::{
     Action, Automaton, EmptySnapshot, Input, Message, Micros, Op, OpId, OpResult, ProcessId,
-    RequestId, Timestamp, TimerToken, Value,
+    RequestId, TimerToken, Timestamp, Value,
 };
 
 fn p(i: u16) -> ProcessId {
@@ -53,7 +53,10 @@ fn transient_write_full_exchange() {
     let mut a = started(Flavor::transient());
     let mut out = Vec::new();
     a.on_input(
-        Input::Invoke { op: OpId::new(p(0), 0), operation: Op::Write(Value::from_u32(9)) },
+        Input::Invoke {
+            op: OpId::new(p(0), 0),
+            operation: Op::Write(Value::from_u32(9)),
+        },
         &mut out,
     );
     let query_req = first_req(&out);
@@ -61,23 +64,46 @@ fn transient_write_full_exchange() {
 
     // Majority of SN acks (p1 and p2; dedup tested by repeating p1).
     a.on_input(
-        Input::Message { from: p(1), msg: Message::SnAck { req: query_req, seq: 4 } },
+        Input::Message {
+            from: p(1),
+            msg: Message::SnAck {
+                req: query_req,
+                seq: 4,
+            },
+        },
         &mut out,
     );
     assert!(out.is_empty(), "one ack is not a majority of 3");
     a.on_input(
-        Input::Message { from: p(1), msg: Message::SnAck { req: query_req, seq: 4 } },
+        Input::Message {
+            from: p(1),
+            msg: Message::SnAck {
+                req: query_req,
+                seq: 4,
+            },
+        },
         &mut out,
     );
     assert!(out.is_empty(), "duplicate acks must not count");
     a.on_input(
-        Input::Message { from: p(2), msg: Message::SnAck { req: query_req, seq: 6 } },
+        Input::Message {
+            from: p(2),
+            msg: Message::SnAck {
+                req: query_req,
+                seq: 6,
+            },
+        },
         &mut out,
     );
     // Propagation begins: W with seq = max(4,6) + rec(0) + 1 = 7.
     let w_sends = sends(&out);
     assert_eq!(w_sends.len(), 3);
-    let Message::Write { req: prop_req, ts, value } = w_sends[0] else {
+    let Message::Write {
+        req: prop_req,
+        ts,
+        value,
+    } = w_sends[0]
+    else {
         panic!("expected W, got {}", w_sends[0])
     };
     assert_eq!(*ts, Timestamp::new(7, p(0)));
@@ -88,28 +114,46 @@ fn transient_write_full_exchange() {
 
     // A stale SN ack from the finished round must be ignored now.
     a.on_input(
-        Input::Message { from: p(1), msg: Message::SnAck { req: query_req, seq: 99 } },
+        Input::Message {
+            from: p(1),
+            msg: Message::SnAck {
+                req: query_req,
+                seq: 99,
+            },
+        },
         &mut out,
     );
     assert!(out.is_empty(), "stale SN ack changed state: {out:?}");
 
     // Majority of write acks completes the operation exactly once.
     a.on_input(
-        Input::Message { from: p(1), msg: Message::WriteAck { req: prop_req } },
+        Input::Message {
+            from: p(1),
+            msg: Message::WriteAck { req: prop_req },
+        },
         &mut out,
     );
     assert!(completion(&out).is_none());
     a.on_input(
-        Input::Message { from: p(2), msg: Message::WriteAck { req: prop_req } },
+        Input::Message {
+            from: p(2),
+            msg: Message::WriteAck { req: prop_req },
+        },
         &mut out,
     );
     assert_eq!(completion(&out), Some(&OpResult::Written));
     out.clear();
     a.on_input(
-        Input::Message { from: p(0), msg: Message::WriteAck { req: prop_req } },
+        Input::Message {
+            from: p(0),
+            msg: Message::WriteAck { req: prop_req },
+        },
         &mut out,
     );
-    assert!(completion(&out).is_none(), "late acks must not double-complete");
+    assert!(
+        completion(&out).is_none(),
+        "late acks must not double-complete"
+    );
 }
 
 /// A read picks the maximum-timestamp value among its quorum and writes
@@ -118,7 +162,13 @@ fn transient_write_full_exchange() {
 fn read_selects_max_and_writes_back() {
     let mut a = started(Flavor::persistent());
     let mut out = Vec::new();
-    a.on_input(Input::Invoke { op: OpId::new(p(0), 0), operation: Op::Read }, &mut out);
+    a.on_input(
+        Input::Invoke {
+            op: OpId::new(p(0), 0),
+            operation: Op::Read,
+        },
+        &mut out,
+    );
     let read_req = first_req(&out);
     out.clear();
 
@@ -127,7 +177,11 @@ fn read_selects_max_and_writes_back() {
     a.on_input(
         Input::Message {
             from: p(1),
-            msg: Message::ReadAck { req: read_req, ts: old.0, value: old.1 },
+            msg: Message::ReadAck {
+                req: read_req,
+                ts: old.0,
+                value: old.1,
+            },
         },
         &mut out,
     );
@@ -135,14 +189,25 @@ fn read_selects_max_and_writes_back() {
     a.on_input(
         Input::Message {
             from: p(2),
-            msg: Message::ReadAck { req: read_req, ts: new.0, value: new.1.clone() },
+            msg: Message::ReadAck {
+                req: read_req,
+                ts: new.0,
+                value: new.1.clone(),
+            },
         },
         &mut out,
     );
     // Write-back of the *newest* value.
     let wb = sends(&out);
     assert_eq!(wb.len(), 3);
-    let Message::Write { req: wb_req, ts, value } = wb[0] else { panic!("{}", wb[0]) };
+    let Message::Write {
+        req: wb_req,
+        ts,
+        value,
+    } = wb[0]
+    else {
+        panic!("{}", wb[0])
+    };
     assert_eq!(*ts, new.0);
     assert_eq!(value.as_u32(), Some(50));
     assert_ne!(*wb_req, read_req);
@@ -150,8 +215,20 @@ fn read_selects_max_and_writes_back() {
     out.clear();
 
     // Majority of write-back acks returns the value.
-    a.on_input(Input::Message { from: p(1), msg: Message::WriteAck { req: wb_req } }, &mut out);
-    a.on_input(Input::Message { from: p(2), msg: Message::WriteAck { req: wb_req } }, &mut out);
+    a.on_input(
+        Input::Message {
+            from: p(1),
+            msg: Message::WriteAck { req: wb_req },
+        },
+        &mut out,
+    );
+    a.on_input(
+        Input::Message {
+            from: p(2),
+            msg: Message::WriteAck { req: wb_req },
+        },
+        &mut out,
+    );
     let Some(OpResult::ReadValue(v)) = completion(&out) else {
         panic!("read must complete: {out:?}")
     };
@@ -164,7 +241,13 @@ fn read_selects_max_and_writes_back() {
 fn regular_read_is_single_round() {
     let mut a = started(Flavor::regular());
     let mut out = Vec::new();
-    a.on_input(Input::Invoke { op: OpId::new(p(0), 0), operation: Op::Read }, &mut out);
+    a.on_input(
+        Input::Invoke {
+            op: OpId::new(p(0), 0),
+            operation: Op::Read,
+        },
+        &mut out,
+    );
     let read_req = first_req(&out);
     out.clear();
     a.on_input(
@@ -231,18 +314,39 @@ fn regular_recovery_reseeds_the_write_counter() {
     let req = q[0].request_id();
     out.clear();
     assert!(!a.is_ready());
-    a.on_input(Input::Message { from: p(1), msg: Message::SnAck { req, seq: 10 } }, &mut out);
-    a.on_input(Input::Message { from: p(2), msg: Message::SnAck { req, seq: 41 } }, &mut out);
+    a.on_input(
+        Input::Message {
+            from: p(1),
+            msg: Message::SnAck { req, seq: 10 },
+        },
+        &mut out,
+    );
+    a.on_input(
+        Input::Message {
+            from: p(2),
+            msg: Message::SnAck { req, seq: 41 },
+        },
+        &mut out,
+    );
     assert!(a.is_ready(), "majority of SN acks completes recovery");
 
     // The next write must start above 41 + rec(1) → seq ≥ 43.
     out.clear();
     a.on_input(
-        Input::Invoke { op: OpId::new(p(0), 0), operation: Op::Write(Value::from_u32(1)) },
+        Input::Invoke {
+            op: OpId::new(p(0), 0),
+            operation: Op::Write(Value::from_u32(1)),
+        },
         &mut out,
     );
-    let Message::Write { ts, .. } = sends(&out)[0] else { panic!() };
-    assert!(ts.seq >= 43, "write counter must clear the observed frontier, got {}", ts.seq);
+    let Message::Write { ts, .. } = sends(&out)[0] else {
+        panic!()
+    };
+    assert!(
+        ts.seq >= 43,
+        "write counter must clear the observed frontier, got {}",
+        ts.seq
+    );
 }
 
 /// Acks addressed to someone else's rounds are ignored even when phases
@@ -252,15 +356,39 @@ fn foreign_acks_are_ignored() {
     let mut a = started(Flavor::transient());
     let mut out = Vec::new();
     a.on_input(
-        Input::Invoke { op: OpId::new(p(0), 0), operation: Op::Write(Value::from_u32(1)) },
+        Input::Invoke {
+            op: OpId::new(p(0), 0),
+            operation: Op::Write(Value::from_u32(1)),
+        },
         &mut out,
     );
     out.clear();
     // Acks with a different origin/nonce: nothing may happen.
     let foreign = RequestId::new(p(1), 12345);
-    a.on_input(Input::Message { from: p(1), msg: Message::SnAck { req: foreign, seq: 9 } }, &mut out);
-    a.on_input(Input::Message { from: p(2), msg: Message::SnAck { req: foreign, seq: 9 } }, &mut out);
-    assert!(out.is_empty(), "foreign acks advanced the state machine: {out:?}");
+    a.on_input(
+        Input::Message {
+            from: p(1),
+            msg: Message::SnAck {
+                req: foreign,
+                seq: 9,
+            },
+        },
+        &mut out,
+    );
+    a.on_input(
+        Input::Message {
+            from: p(2),
+            msg: Message::SnAck {
+                req: foreign,
+                seq: 9,
+            },
+        },
+        &mut out,
+    );
+    assert!(
+        out.is_empty(),
+        "foreign acks advanced the state machine: {out:?}"
+    );
 }
 
 /// While an operation runs, the automaton keeps serving its replica role:
@@ -269,11 +397,23 @@ fn foreign_acks_are_ignored() {
 fn replica_role_keeps_serving_mid_operation() {
     let mut a = started(Flavor::persistent());
     let mut out = Vec::new();
-    a.on_input(Input::Invoke { op: OpId::new(p(0), 0), operation: Op::Read }, &mut out);
+    a.on_input(
+        Input::Invoke {
+            op: OpId::new(p(0), 0),
+            operation: Op::Read,
+        },
+        &mut out,
+    );
     out.clear();
     // A peer's own query arrives while our read is in flight.
     let peer_req = RequestId::new(p(2), 7);
-    a.on_input(Input::Message { from: p(2), msg: Message::SnReq { req: peer_req } }, &mut out);
+    a.on_input(
+        Input::Message {
+            from: p(2),
+            msg: Message::SnReq { req: peer_req },
+        },
+        &mut out,
+    );
     let replies = sends(&out);
     assert_eq!(replies.len(), 1);
     assert!(matches!(replies[0], Message::SnAck { .. }));
@@ -287,7 +427,10 @@ fn retransmission_reuses_the_request_id() {
     let mut a = started(Flavor::transient());
     let mut out = Vec::new();
     a.on_input(
-        Input::Invoke { op: OpId::new(p(0), 0), operation: Op::Write(Value::from_u32(1)) },
+        Input::Invoke {
+            op: OpId::new(p(0), 0),
+            operation: Op::Write(Value::from_u32(1)),
+        },
         &mut out,
     );
     let req = first_req(&out);
@@ -302,8 +445,15 @@ fn retransmission_reuses_the_request_id() {
     a.on_input(Input::Timer(timer), &mut out);
     let re = sends(&out);
     assert_eq!(re.len(), 3);
-    assert_eq!(re[0].request_id(), req, "retransmission must reuse the round id");
-    assert!(out.iter().any(|x| matches!(x, Action::SetTimer { .. })), "must re-arm");
+    assert_eq!(
+        re[0].request_id(),
+        req,
+        "retransmission must reuse the round id"
+    );
+    assert!(
+        out.iter().any(|x| matches!(x, Action::SetTimer { .. })),
+        "must re-arm"
+    );
     // An unknown/stale timer is silent.
     out.clear();
     a.on_input(Input::Timer(TimerToken(999_999)), &mut out);

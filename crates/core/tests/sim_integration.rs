@@ -4,8 +4,8 @@
 
 use rmem_consistency::{check_linearizable, check_persistent, check_transient};
 use rmem_core::{CrashStop, Persistent, Regular, Transient};
-use rmem_sim::{ClusterConfig, PlannedEvent, Schedule, Simulation};
 use rmem_sim::workload::ClosedLoop;
+use rmem_sim::{ClusterConfig, PlannedEvent, Schedule, Simulation};
 use rmem_types::{AutomatonFactory, Op, OpKind, ProcessId, Value};
 
 fn p(i: u16) -> ProcessId {
@@ -28,10 +28,31 @@ fn persistent_sequential_writes_and_reads() {
     let report = sim.run();
     let ops = report.trace.operations();
     assert_eq!(ops.len(), 4);
-    assert!(ops.iter().all(|o| o.is_completed()), "all ops complete: {ops:#?}");
+    assert!(
+        ops.iter().all(|o| o.is_completed()),
+        "all ops complete: {ops:#?}"
+    );
     // Reads see the latest completed writes.
-    assert_eq!(ops[1].result.as_ref().unwrap().read_value().unwrap().as_u32(), Some(1));
-    assert_eq!(ops[3].result.as_ref().unwrap().read_value().unwrap().as_u32(), Some(2));
+    assert_eq!(
+        ops[1]
+            .result
+            .as_ref()
+            .unwrap()
+            .read_value()
+            .unwrap()
+            .as_u32(),
+        Some(1)
+    );
+    assert_eq!(
+        ops[3]
+            .result
+            .as_ref()
+            .unwrap()
+            .read_value()
+            .unwrap()
+            .as_u32(),
+        Some(2)
+    );
     // Crash-free run: plain linearizability holds.
     let h = report.trace.to_history();
     check_linearizable(&h).expect("crash-free persistent run must linearize");
@@ -51,7 +72,12 @@ fn all_flavors_complete_a_mixed_workload() {
         sim.add_closed_loop(ClosedLoop::reads(p(2), 10));
         sim.add_closed_loop(ClosedLoop::reads(p(3), 10));
         let report = sim.run();
-        let completed = report.trace.operations().iter().filter(|o| o.is_completed()).count();
+        let completed = report
+            .trace
+            .operations()
+            .iter()
+            .filter(|o| o.is_completed())
+            .count();
         assert_eq!(completed, 40, "{name}: all 40 ops complete");
         let h = report.trace.to_history();
         check_linearizable(&h)
@@ -140,9 +166,8 @@ fn persistent_survives_writer_crash_mid_write() {
     );
     let report = sim.run();
     let h = report.trace.to_history();
-    check_persistent(&h).unwrap_or_else(|e| {
-        panic!("persistent atomicity violated: {e}\nhistory: {h:#?}")
-    });
+    check_persistent(&h)
+        .unwrap_or_else(|e| panic!("persistent atomicity violated: {e}\nhistory: {h:#?}"));
     // The recovery round re-propagated the pre-logged value: both reads
     // return v2 (the interrupted write was completed by recovery).
     let reads: Vec<_> = report
@@ -175,9 +200,8 @@ fn transient_survives_writer_crash_mid_write() {
     );
     let report = sim.run();
     let h = report.trace.to_history();
-    check_transient(&h).unwrap_or_else(|e| {
-        panic!("transient atomicity violated: {e}\nhistory: {h:#?}")
-    });
+    check_transient(&h)
+        .unwrap_or_else(|e| panic!("transient atomicity violated: {e}\nhistory: {h:#?}"));
 }
 
 #[test]
@@ -202,7 +226,10 @@ fn all_processes_crash_and_majority_recovers() {
         .iter()
         .find(|o| o.kind == OpKind::Read)
         .expect("read recorded");
-    assert!(read.is_completed(), "read must terminate with a majority up");
+    assert!(
+        read.is_completed(),
+        "read must terminate with a majority up"
+    );
     assert_eq!(
         read.result.as_ref().unwrap().read_value().unwrap().as_u32(),
         Some(7),
@@ -227,10 +254,20 @@ fn crash_stop_baseline_forgets_values_after_total_crash() {
             .at(40_000, PlannedEvent::Invoke(p(1), Op::Read)),
     );
     let report = sim.run();
-    let read = report.trace.operations().iter().find(|o| o.kind == OpKind::Read).unwrap();
+    let read = report
+        .trace
+        .operations()
+        .iter()
+        .find(|o| o.kind == OpKind::Read)
+        .unwrap();
     assert!(read.is_completed());
     assert!(
-        read.result.as_ref().unwrap().read_value().unwrap().is_bottom(),
+        read.result
+            .as_ref()
+            .unwrap()
+            .read_value()
+            .unwrap()
+            .is_bottom(),
         "the baseline must forget the value"
     );
     // And the checker certifies the violation.
@@ -268,9 +305,20 @@ fn lossy_network_is_survived_by_retransmission() {
     sim.add_closed_loop(ClosedLoop::writes(p(0), v(1), 15));
     sim.add_closed_loop(ClosedLoop::reads(p(1), 15));
     let report = sim.run();
-    let completed = report.trace.operations().iter().filter(|o| o.is_completed()).count();
-    assert_eq!(completed, 30, "fair-lossy loss must not prevent termination");
-    assert!(report.messages_dropped > 0, "the lossy net must actually drop");
+    let completed = report
+        .trace
+        .operations()
+        .iter()
+        .filter(|o| o.is_completed())
+        .count();
+    assert_eq!(
+        completed, 30,
+        "fair-lossy loss must not prevent termination"
+    );
+    assert!(
+        report.messages_dropped > 0,
+        "the lossy net must actually drop"
+    );
     check_linearizable(&report.trace.to_history()).expect("loss must not break atomicity");
 }
 
@@ -312,7 +360,11 @@ fn same_seed_same_run() {
         )
     };
     assert_eq!(run(99), run(99), "identical seeds must replay identically");
-    assert_ne!(run(99).1, run(100).1, "different seeds should differ (event counts)");
+    assert_ne!(
+        run(99).1,
+        run(100).1,
+        "different seeds should differ (event counts)"
+    );
 }
 
 #[test]
@@ -332,9 +384,18 @@ fn latency_composition_matches_paper_model() {
     let cs = measure(CrashStop::factory());
     let tr = measure(Transient::factory());
     let pe = measure(Persistent::factory());
-    assert!((380.0..480.0).contains(&cs), "crash-stop ≈ 4δ, measured {cs}");
-    assert!((580.0..700.0).contains(&tr), "transient ≈ 4δ+λ, measured {tr}");
-    assert!((780.0..920.0).contains(&pe), "persistent ≈ 4δ+2λ, measured {pe}");
+    assert!(
+        (380.0..480.0).contains(&cs),
+        "crash-stop ≈ 4δ, measured {cs}"
+    );
+    assert!(
+        (580.0..700.0).contains(&tr),
+        "transient ≈ 4δ+λ, measured {tr}"
+    );
+    assert!(
+        (780.0..920.0).contains(&pe),
+        "persistent ≈ 4δ+2λ, measured {pe}"
+    );
     // The paper's headline: the transient→persistent gap is another λ.
     assert!(pe > tr && tr > cs);
 }

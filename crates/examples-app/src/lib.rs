@@ -30,7 +30,10 @@ pub fn describe_op(record: &OpRecord) -> String {
         (Some(_), OpKind::Write) => "→ OK".to_string(),
         (None, _) => "… lost to a crash".to_string(),
     };
-    let latency = record.latency().map(|l| format!(" [{l}]")).unwrap_or_default();
+    let latency = record
+        .latency()
+        .map(|l| format!(" [{l}]"))
+        .unwrap_or_default();
     let reg = record.operation.register();
     let target = if reg == rmem_types::RegisterId::ZERO {
         String::new()
@@ -43,7 +46,11 @@ pub fn describe_op(record: &OpRecord) -> String {
         record.op.pid,
         record.kind,
         target,
-        record.operation.write_value().map(|v| v.to_string()).unwrap_or_default(),
+        record
+            .operation
+            .write_value()
+            .map(|v| v.to_string())
+            .unwrap_or_default(),
         outcome,
         latency,
     )
@@ -60,7 +67,10 @@ mod tests {
         let mut sim = Simulation::new(ClusterConfig::new(3), rmem_core::Persistent::factory(), 1)
             .with_schedule(
                 Schedule::new()
-                    .at(1_000, PlannedEvent::Invoke(ProcessId(0), Op::Write(Value::from_u32(1))))
+                    .at(
+                        1_000,
+                        PlannedEvent::Invoke(ProcessId(0), Op::Write(Value::from_u32(1))),
+                    )
                     .at(10_000, PlannedEvent::Invoke(ProcessId(1), Op::Read)),
             );
         let report = sim.run();

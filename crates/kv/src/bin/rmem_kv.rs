@@ -1,0 +1,118 @@
+//! `rmem_kv` — the sharded store demo on the real runtime.
+//!
+//! Boots a 3-node cluster on this machine (UDP loopback sockets and
+//! fsync'd file logs by default — the paper's §V-A setup), runs store
+//! traffic through a [`KvClient`], kills and recovers a node mid-traffic,
+//! and prints what survived.
+//!
+//! ```text
+//! cargo run -p rmem-kv --bin rmem_kv                  # UDP + file logs
+//! cargo run -p rmem-kv --bin rmem_kv -- --channel     # in-memory wiring
+//! cargo run -p rmem-kv --bin rmem_kv -- --shards 16
+//! ```
+
+use bytes::Bytes;
+use rmem_core::{Persistent, SharedMemory};
+use rmem_kv::{KvClient, ShardRouter};
+use rmem_net::LocalCluster;
+use rmem_types::ProcessId;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let channel = args.iter().any(|a| a == "--channel");
+    let shards: u16 = match args.iter().position(|a| a == "--shards") {
+        None => 8,
+        Some(i) => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => {
+                eprintln!("error: --shards takes a number ≥ 1");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    let factory = SharedMemory::factory(Persistent::flavor());
+    let dir = std::env::temp_dir().join(format!("rmem-kv-demo-{}", std::process::id()));
+    let mut cluster = if channel {
+        println!("• 3-node cluster, in-memory transport, persistent-atomic registers");
+        LocalCluster::channel(3, factory).expect("cluster")
+    } else {
+        println!(
+            "• 3-node cluster, UDP loopback + fsync file logs under {}",
+            dir.display()
+        );
+        LocalCluster::udp(3, factory, &dir).expect("cluster")
+    };
+
+    let router = ShardRouter::new(shards);
+    let kv = KvClient::new(cluster.clients(), router).expect("client");
+    println!(
+        "• router: {} shards, stable FNV-1a placement\n",
+        router.shards()
+    );
+
+    // Seed one key per shard (collision-free by construction).
+    let keys = router.covering_keys("user:");
+    let entries: Vec<(String, Bytes)> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (k.clone(), Bytes::from(format!("v{i}").into_bytes())))
+        .collect();
+    kv.multi_put(&entries).expect("seeding puts");
+    println!(
+        "phase 1  multi_put of {} keys across {} shards: OK",
+        entries.len(),
+        shards
+    );
+
+    // Kill a node mid-traffic.
+    cluster.kill(ProcessId(1));
+    println!("phase 2  killed p1 (majority {{p0, p2}} still up)");
+
+    // The *same* client keeps serving with a majority: shards homed on
+    // the dead node fail over to the survivors. Overwrite half the keys,
+    // read everything back through the degraded cluster.
+    for (i, key) in keys.iter().enumerate().filter(|(i, _)| i % 2 == 0) {
+        kv.put(key, Bytes::from(format!("v{i}-degraded").into_bytes()))
+            .expect("put with majority up");
+    }
+    let read_back = kv.multi_get(&keys).expect("gets with majority up");
+    let hits = read_back.iter().filter(|v| v.is_some()).count();
+    println!(
+        "phase 3  {hits}/{} keys served while p1 is down (same client, failover)",
+        keys.len()
+    );
+    assert_eq!(
+        hits,
+        keys.len(),
+        "every key must stay readable with a majority"
+    );
+
+    // Recover the node: it replays its logs and rejoins.
+    cluster.restart(ProcessId(1)).expect("restart");
+    println!("phase 4  p1 recovered from its stable logs");
+
+    let healed = KvClient::new(cluster.clients(), router).expect("client");
+    for (i, key) in keys.iter().enumerate() {
+        let expect = if i % 2 == 0 {
+            format!("v{i}-degraded")
+        } else {
+            format!("v{i}")
+        };
+        let got = healed
+            .get(key)
+            .expect("get after recovery")
+            .expect("value present");
+        assert_eq!(got.as_ref(), expect.as_bytes(), "stale read of {key}");
+    }
+    println!(
+        "phase 5  all {} keys read their latest value after recovery",
+        keys.len()
+    );
+
+    cluster.shutdown();
+    if !channel {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    println!("\n✓ the sharded store survived the crash with every committed write intact");
+}

@@ -1,0 +1,353 @@
+//! The real-runtime store client: routes keys to shards and pipelines
+//! independent per-shard operations across the cluster's nodes.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use rmem_net::{Client, ClientError};
+use rmem_types::RegisterId;
+
+use crate::codec;
+use crate::router::ShardRouter;
+
+/// Why a store operation failed.
+#[derive(Debug)]
+pub enum KvError {
+    /// The underlying register operation failed at the node serving the
+    /// key's shard.
+    Register {
+        /// The key whose operation failed.
+        key: String,
+        /// The transport/runtime error.
+        source: ClientError,
+    },
+    /// The client was constructed without any node handles.
+    NoNodes,
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::Register { key, source } => write!(f, "operation on key {key:?}: {source}"),
+            KvError::NoNodes => write!(f, "KvClient needs at least one node handle"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// A sharded key-value client over an emulated shared memory.
+///
+/// Keys route deterministically to shard registers ([`ShardRouter`]);
+/// each shard prefers one of the cluster's node handles (`shard % nodes`,
+/// so shard traffic spreads across the cluster) and fails over to the
+/// remaining nodes when its home node is down or unresponsive — any node
+/// can serve any register.
+/// [`multi_get`](KvClient::multi_get)/[`multi_put`](KvClient::multi_put)
+/// run the per-node batches **concurrently** — operations on different
+/// shards touch different registers and are independent by locality, so
+/// the only serialization kept is the per-node operation order.
+///
+/// Reads and writes inherit the register emulation's guarantees: with a
+/// majority of nodes up, every operation terminates, and per-key histories
+/// satisfy the configured flavor's atomicity criterion.
+#[derive(Debug, Clone)]
+pub struct KvClient {
+    nodes: Vec<Client>,
+    router: ShardRouter,
+    busy_retries: u32,
+}
+
+impl KvClient {
+    /// A client over `nodes` (e.g. `LocalCluster::clients()`) with the
+    /// given router.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::NoNodes`] if `nodes` is empty.
+    pub fn new(nodes: Vec<Client>, router: ShardRouter) -> Result<Self, KvError> {
+        if nodes.is_empty() {
+            return Err(KvError::NoNodes);
+        }
+        Ok(KvClient {
+            nodes,
+            router,
+            busy_retries: 32,
+        })
+    }
+
+    /// Replaces the number of retries on `Busy` rejections (another client
+    /// racing an operation through the same node; default 32).
+    pub fn with_busy_retries(mut self, busy_retries: u32) -> Self {
+        self.busy_retries = busy_retries;
+        self
+    }
+
+    /// The router in use.
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// Runs one register operation for `key`, preferring the shard's home
+    /// node but failing over to the other nodes when it is unreachable:
+    /// every node can serve every register, so as long as a majority is
+    /// up the operation terminates through *some* handle. `Busy`
+    /// rejections (another client racing this node) retry with backoff on
+    /// the same node first, then fail over like any other unavailability —
+    /// register operations are idempotent, so a retry after an ambiguous
+    /// timeout is safe.
+    fn with_failover<T>(
+        &self,
+        key: &str,
+        reg: RegisterId,
+        mut op: impl FnMut(&Client) -> Result<T, ClientError>,
+    ) -> Result<T, KvError> {
+        let home = reg.0 as usize % self.nodes.len();
+        let mut last_err = None;
+        for offset in 0..self.nodes.len() {
+            let node = &self.nodes[(home + offset) % self.nodes.len()];
+            let mut attempts = 0;
+            loop {
+                match op(node) {
+                    Err(ClientError::Busy) if attempts < self.busy_retries => {
+                        attempts += 1;
+                        std::thread::sleep(std::time::Duration::from_micros(200 * attempts as u64));
+                    }
+                    // This node is gone, wedged, or permanently saturated
+                    // (Busy retries exhausted); the next one serves the
+                    // same register.
+                    Err(source) => {
+                        last_err = Some(source);
+                        break;
+                    }
+                    Ok(v) => return Ok(v),
+                }
+            }
+        }
+        Err(KvError::Register {
+            key: key.to_string(),
+            source: last_err.expect("at least one node was tried"),
+        })
+    }
+
+    /// Stores `value` under `key`, blocking until the write is durable at
+    /// a majority.
+    ///
+    /// The encoded entry (`2 + key + value` bytes plus protocol framing)
+    /// must fit the cluster's transport frame: UDP transports cap
+    /// datagrams at 64 KB, and an oversized entry surfaces as a
+    /// [`ClientError::TimedOut`] after exhausting failover (the fair-lossy
+    /// runtime treats untransmittable sends as losses) — use a TCP-backed
+    /// cluster for larger values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::Register`] if the register operation fails.
+    pub fn put(&self, key: &str, value: impl Into<Bytes>) -> Result<(), KvError> {
+        let reg = self.router.register_for(key);
+        let payload = codec::encode_entry(key, &value.into());
+        self.with_failover(key, reg, |node| node.write_at(reg, payload.clone()))
+    }
+
+    /// Reads the value stored under `key` (`None` if absent — never
+    /// written, or displaced by a shard-colliding key).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::Register`] if the register operation fails.
+    pub fn get(&self, key: &str) -> Result<Option<Bytes>, KvError> {
+        let reg = self.router.register_for(key);
+        let payload = self.with_failover(key, reg, |node| node.read_at(reg))?;
+        Ok(codec::value_for_key(&payload, key))
+    }
+
+    /// Groups the operation indices by serving node, preserving input
+    /// order within each group.
+    fn group_by_node(&self, keys: impl Iterator<Item = RegisterId>) -> BTreeMap<usize, Vec<usize>> {
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, reg) in keys.enumerate() {
+            groups
+                .entry(reg.0 as usize % self.nodes.len())
+                .or_default()
+                .push(i);
+        }
+        groups
+    }
+
+    /// Reads many keys, pipelining across nodes: each node's batch runs in
+    /// its own thread, concurrently with the others. Results align with
+    /// the input order.
+    ///
+    /// Failover state is per operation, not per batch: a *wedged* (alive
+    /// but unresponsive) node costs each of its keys a full client
+    /// timeout before failing over. Cluster-health memory is a planned
+    /// follow-on (see ROADMAP).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing key's [`KvError`]; other batches still
+    /// ran to completion.
+    pub fn multi_get<K: AsRef<str> + Sync>(
+        &self,
+        keys: &[K],
+    ) -> Result<Vec<Option<Bytes>>, KvError> {
+        type BatchResult = Result<Vec<(usize, Option<Bytes>)>, KvError>;
+        let groups = self.group_by_node(keys.iter().map(|k| self.router.register_for(k.as_ref())));
+        let mut results: Vec<Option<Option<Bytes>>> = vec![None; keys.len()];
+        let outcomes: Vec<BatchResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .values()
+                .map(|indices| {
+                    scope.spawn(move || {
+                        indices
+                            .iter()
+                            .map(|&i| self.get(keys[i].as_ref()).map(|v| (i, v)))
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("kv batch thread panicked"))
+                .collect()
+        });
+        for outcome in outcomes {
+            for (i, value) in outcome? {
+                results[i] = Some(value);
+            }
+        }
+        Ok(results
+            .into_iter()
+            .map(|slot| slot.expect("every index answered"))
+            .collect())
+    }
+
+    /// Writes many entries, pipelining across nodes (see
+    /// [`multi_get`](KvClient::multi_get)).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing key's [`KvError`]; other batches still
+    /// ran to completion.
+    pub fn multi_put<K: AsRef<str> + Sync>(&self, entries: &[(K, Bytes)]) -> Result<(), KvError> {
+        let groups = self.group_by_node(
+            entries
+                .iter()
+                .map(|(k, _)| self.router.register_for(k.as_ref())),
+        );
+        let outcomes: Vec<Result<(), KvError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .values()
+                .map(|indices| {
+                    scope.spawn(move || {
+                        for &i in indices {
+                            let (key, value) = &entries[i];
+                            self.put(key.as_ref(), value.clone())?;
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("kv batch thread panicked"))
+                .collect()
+        });
+        outcomes.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmem_core::{SharedMemory, Transient};
+    use rmem_net::LocalCluster;
+
+    fn cluster_client(shards: u16) -> (LocalCluster, KvClient) {
+        let cluster = LocalCluster::channel(3, SharedMemory::factory(Transient::flavor())).unwrap();
+        let client = KvClient::new(cluster.clients(), ShardRouter::new(shards)).unwrap();
+        (cluster, client)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let (mut cluster, kv) = cluster_client(8);
+        kv.put("alpha", b"1".to_vec()).unwrap();
+        assert_eq!(kv.get("alpha").unwrap().as_deref(), Some(b"1".as_ref()));
+        assert_eq!(kv.get("never-written").unwrap(), None);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn multi_ops_roundtrip_across_shards() {
+        let (mut cluster, kv) = cluster_client(8);
+        let keys = kv.router().covering_keys("k-");
+        let entries: Vec<(String, Bytes)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.clone(), Bytes::from(vec![i as u8])))
+            .collect();
+        kv.multi_put(&entries).unwrap();
+        let got = kv.multi_get(&keys).unwrap();
+        for (i, value) in got.iter().enumerate() {
+            assert_eq!(
+                value.as_deref(),
+                Some([i as u8].as_ref()),
+                "key {}",
+                keys[i]
+            );
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn overwrite_returns_latest() {
+        let (mut cluster, kv) = cluster_client(4);
+        kv.put("k", b"old".to_vec()).unwrap();
+        kv.put("k", b"new".to_vec()).unwrap();
+        assert_eq!(kv.get("k").unwrap().as_deref(), Some(b"new".as_ref()));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn colliding_key_displaces_previous_tenant() {
+        // One shard: every key collides by construction. The displaced
+        // key's get must report absence, not foreign bytes.
+        let (mut cluster, kv) = cluster_client(1);
+        kv.put("first", b"1".to_vec()).unwrap();
+        kv.put("second", b"2".to_vec()).unwrap();
+        assert_eq!(kv.get("second").unwrap().as_deref(), Some(b"2".as_ref()));
+        assert_eq!(kv.get("first").unwrap(), None);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn client_fails_over_when_a_node_dies() {
+        // The same KvClient (handles to all 3 nodes) must keep serving
+        // every key after one node is killed — shards homed on the dead
+        // node fail over to the survivors.
+        let (mut cluster, kv) = cluster_client(8);
+        let keys = kv.router().covering_keys("f-");
+        for (i, key) in keys.iter().enumerate() {
+            kv.put(key, vec![i as u8]).unwrap();
+        }
+        cluster.kill(rmem_types::ProcessId(1));
+        for (i, key) in keys.iter().enumerate() {
+            assert_eq!(
+                kv.get(key).unwrap().as_deref(),
+                Some([i as u8].as_ref()),
+                "key {key} must survive the node death"
+            );
+            kv.put(key, vec![i as u8 + 100]).unwrap();
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn empty_node_list_is_rejected() {
+        assert!(matches!(
+            KvClient::new(Vec::new(), ShardRouter::new(4)),
+            Err(KvError::NoNodes)
+        ));
+    }
+}

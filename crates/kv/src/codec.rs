@@ -1,0 +1,105 @@
+//! Register-payload encoding for store entries.
+//!
+//! A shard register holds the latest entry written to it. The payload
+//! embeds the *key* next to the value —
+//! `[key length: u16 BE][key bytes][value bytes]` — because hashing is
+//! lossy: when two keys collide onto one shard, the tag is what lets a
+//! `get` distinguish "my value" from "someone else's value parked in my
+//! cell" and report the latter as absent instead of serving foreign bytes.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rmem_types::Value;
+
+/// Longest accepted key, in bytes (fits the `u16` length prefix).
+pub const MAX_KEY_LEN: usize = u16::MAX as usize;
+
+/// Encodes a store entry into a register payload.
+///
+/// # Panics
+///
+/// Panics if `key` exceeds [`MAX_KEY_LEN`].
+pub fn encode_entry(key: &str, value: &Bytes) -> Value {
+    assert!(
+        key.len() <= MAX_KEY_LEN,
+        "key longer than {MAX_KEY_LEN} bytes"
+    );
+    let mut buf = BytesMut::with_capacity(2 + key.len() + value.len());
+    buf.put_u16(key.len() as u16);
+    buf.put_slice(key.as_bytes());
+    buf.put_slice(value);
+    Value::new(buf.freeze().to_vec())
+}
+
+/// Decodes a register payload into `(key, value)`.
+///
+/// Returns `None` for ⊥ (the register was never written) and for
+/// malformed payloads (a register written through a non-KV client).
+pub fn decode_entry(payload: &Value) -> Option<(String, Bytes)> {
+    if payload.is_bottom() {
+        return None;
+    }
+    let mut buf: &[u8] = payload.bytes().as_ref();
+    if buf.remaining() < 2 {
+        return None;
+    }
+    let key_len = buf.get_u16() as usize;
+    if buf.remaining() < key_len {
+        return None;
+    }
+    let key_bytes = buf.copy_to_bytes(key_len);
+    let key = String::from_utf8(key_bytes.to_vec()).ok()?;
+    Some((key, Bytes::copy_from_slice(buf.chunk())))
+}
+
+/// Decodes a payload and keeps the value only if the entry belongs to
+/// `key` (collision-aware `get`).
+pub fn value_for_key(payload: &Value, key: &str) -> Option<Bytes> {
+    match decode_entry(payload) {
+        Some((stored, value)) if stored == key => Some(value),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let v = encode_entry("user:7", &Bytes::from(b"payload".to_vec()));
+        let (key, value) = decode_entry(&v).unwrap();
+        assert_eq!(key, "user:7");
+        assert_eq!(value.as_ref(), b"payload");
+    }
+
+    #[test]
+    fn empty_value_roundtrips() {
+        let v = encode_entry("k", &Bytes::new());
+        let (key, value) = decode_entry(&v).unwrap();
+        assert_eq!(key, "k");
+        assert!(value.is_empty());
+    }
+
+    #[test]
+    fn bottom_and_garbage_decode_to_none() {
+        assert_eq!(decode_entry(&Value::bottom()), None);
+        assert_eq!(decode_entry(&Value::new(vec![0xff])), None);
+        // Declared key length exceeds the payload.
+        assert_eq!(decode_entry(&Value::new(vec![0x00, 0x09, b'a'])), None);
+    }
+
+    #[test]
+    fn value_for_key_filters_collisions() {
+        let payload = encode_entry("mine", &Bytes::from(b"1".to_vec()));
+        assert!(value_for_key(&payload, "mine").is_some());
+        assert!(value_for_key(&payload, "theirs").is_none());
+        assert!(value_for_key(&Value::bottom(), "mine").is_none());
+    }
+
+    #[test]
+    fn unicode_keys_roundtrip() {
+        let v = encode_entry("ключ-🔑", &Bytes::from(vec![1, 2]));
+        let (key, _) = decode_entry(&v).unwrap();
+        assert_eq!(key, "ключ-🔑");
+    }
+}

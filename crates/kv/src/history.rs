@@ -1,0 +1,454 @@
+//! Per-key atomicity certification of store runs.
+//!
+//! The register emulation's checkers certify histories per *register*
+//! (linearizability is local). The store adds one indirection — keys route
+//! to registers — so certification has two steps:
+//!
+//! 1. **Decode**: rewrite a register-level history of encoded entries
+//!    (`[key][value]` payloads, see [`crate::codec`]) into one whose
+//!    values are the raw store values, verifying along the way that every
+//!    payload in a register belongs to the key the [`KeyMap`] assigns it
+//!    (a foreign key would mean a shard collision — the certificate would
+//!    be about the cell, not the key).
+//! 2. **Check**: run [`rmem_consistency::check_per_register`] on the
+//!    decoded history and relabel each register's verdict with its key.
+//!
+//! The result is checker output that *names keys*: "key `user:7` is
+//! persistent-atomic", or a [`KeyViolation`] naming the key that is not.
+
+use std::collections::BTreeMap;
+
+use rmem_consistency::{check_per_register, Criterion, Event, History, Verdict, Violation};
+use rmem_types::{Op, OpResult, RegisterId, Value};
+
+use crate::codec;
+use crate::router::ShardRouter;
+
+/// The key ↔ register mapping of one run: which keys the workload uses and
+/// which register each routes to.
+#[derive(Debug, Clone)]
+pub struct KeyMap {
+    by_register: BTreeMap<RegisterId, Vec<String>>,
+}
+
+impl KeyMap {
+    /// Builds the mapping for `keys` under `router`.
+    pub fn new<'a>(router: &ShardRouter, keys: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut by_register: BTreeMap<RegisterId, Vec<String>> = BTreeMap::new();
+        for key in keys {
+            let reg = router.register_for(key);
+            let keys = by_register.entry(reg).or_default();
+            if !keys.iter().any(|k| k == key) {
+                keys.push(key.to_string());
+            }
+        }
+        KeyMap { by_register }
+    }
+
+    /// The keys hosted by `reg` (empty if none).
+    pub fn keys_of(&self, reg: RegisterId) -> &[String] {
+        self.by_register.get(&reg).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Registers that host more than one key — hash collisions, where a
+    /// per-register certificate cannot be read as a per-key one.
+    pub fn collisions(&self) -> Vec<(RegisterId, &[String])> {
+        self.by_register
+            .iter()
+            .filter(|(_, keys)| keys.len() > 1)
+            .map(|(reg, keys)| (*reg, keys.as_slice()))
+            .collect()
+    }
+
+    /// Whether every register hosts at most one key.
+    pub fn is_injective(&self) -> bool {
+        self.by_register.values().all(|keys| keys.len() <= 1)
+    }
+
+    /// Iterates `(register, key)` pairs of the injective part.
+    pub fn pairs(&self) -> impl Iterator<Item = (RegisterId, &str)> {
+        self.by_register
+            .iter()
+            .filter(|(_, keys)| keys.len() == 1)
+            .map(|(reg, keys)| (*reg, keys[0].as_str()))
+    }
+}
+
+/// Why a store run could not be certified per key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvCertError {
+    /// Two keys share a register; the per-key reading of locality does not
+    /// apply. Re-run with more shards or different keys.
+    ShardCollision {
+        /// The shared register.
+        register: RegisterId,
+        /// The colliding keys.
+        keys: Vec<String>,
+    },
+    /// The history addresses a register the map knows nothing about.
+    UnmappedRegister {
+        /// The unknown register.
+        register: RegisterId,
+    },
+    /// A payload in a register decodes to a different key than the map
+    /// assigns it (a router mismatch between writer and certifier).
+    ForeignEntry {
+        /// The register in question.
+        register: RegisterId,
+        /// The key the map expects there.
+        expected: String,
+        /// The key found in the payload.
+        found: String,
+    },
+    /// A payload was not a well-formed store entry.
+    MalformedEntry {
+        /// The register in question.
+        register: RegisterId,
+    },
+    /// The history itself is malformed: a reply appeared with no matching
+    /// invocation, so the value cannot be attributed to a register.
+    StrayReply {
+        /// The orphaned operation id.
+        op: rmem_types::OpId,
+    },
+}
+
+impl std::fmt::Display for KvCertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvCertError::ShardCollision { register, keys } => {
+                write!(f, "keys {keys:?} collide on {register}")
+            }
+            KvCertError::UnmappedRegister { register } => {
+                write!(f, "history touches unmapped register {register}")
+            }
+            KvCertError::ForeignEntry {
+                register,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "{register} hosts {expected:?} but carries an entry for {found:?}"
+                )
+            }
+            KvCertError::MalformedEntry { register } => {
+                write!(f, "non-store payload in {register}")
+            }
+            KvCertError::StrayReply { op } => {
+                write!(f, "reply to {op} without a matching invocation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KvCertError {}
+
+/// A per-key atomicity violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyViolation {
+    /// The key whose history violates the criterion.
+    pub key: String,
+    /// The register hosting it.
+    pub register: RegisterId,
+    /// The underlying checker verdict.
+    pub violation: Violation,
+}
+
+impl std::fmt::Display for KeyViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "key {:?} (on {}): {}",
+            self.key, self.register, self.violation
+        )
+    }
+}
+
+impl std::error::Error for KeyViolation {}
+
+/// A successful certificate: per-key witnesses, named by key.
+#[derive(Debug, Clone)]
+pub struct KvCertificate {
+    /// Each certified key's witnessing linearization.
+    pub per_key: BTreeMap<String, Verdict>,
+}
+
+/// Rewrites a register-level store history into raw-value form: every
+/// written/read payload `[key][value]` becomes just `value`, validated
+/// against the key `map` assigns the register. Reads of ⊥ stay ⊥.
+///
+/// # Errors
+///
+/// Returns [`KvCertError`] on collisions, unmapped registers, or payloads
+/// that do not belong (see the variants).
+pub fn decode_history(history: &History, map: &KeyMap) -> Result<History, KvCertError> {
+    // Reject collisions up front: the per-key reading needs injectivity.
+    if let Some((register, keys)) = map.collisions().into_iter().next() {
+        return Err(KvCertError::ShardCollision {
+            register,
+            keys: keys.to_vec(),
+        });
+    }
+    for register in history.registers() {
+        if map.keys_of(register).is_empty() {
+            return Err(KvCertError::UnmappedRegister { register });
+        }
+    }
+
+    let decode = |register: RegisterId, payload: &Value| -> Result<Value, KvCertError> {
+        if payload.is_bottom() {
+            // A read of a never-written register: ⊥ is ⊥ at the store
+            // level too.
+            return Ok(Value::bottom());
+        }
+        let expected = &map.keys_of(register)[0];
+        match codec::decode_entry(payload) {
+            Some((found, value)) if found == *expected => Ok(Value::new(value.to_vec())),
+            Some((found, _)) => Err(KvCertError::ForeignEntry {
+                register,
+                expected: expected.clone(),
+                found,
+            }),
+            None => Err(KvCertError::MalformedEntry { register }),
+        }
+    };
+
+    // Invocations carry the register; remember it per op so replies can be
+    // decoded against the right key.
+    let mut register_of_op = std::collections::HashMap::new();
+    let mut out = History::new();
+    for event in history.events() {
+        match event {
+            Event::Invoke { op, operation } => {
+                let register = operation.register();
+                register_of_op.insert(*op, register);
+                let operation = match operation {
+                    Op::WriteAt(_, payload) | Op::Write(payload) => {
+                        Op::WriteAt(register, decode(register, payload)?)
+                    }
+                    Op::ReadAt(_) | Op::Read => Op::ReadAt(register),
+                };
+                out.push(Event::Invoke { op: *op, operation });
+            }
+            Event::Reply { op, result } => {
+                let result = match result {
+                    OpResult::ReadValue(payload) => {
+                        let register = register_of_op
+                            .get(op)
+                            .copied()
+                            .ok_or(KvCertError::StrayReply { op: *op })?;
+                        OpResult::ReadValue(decode(register, payload)?)
+                    }
+                    other => other.clone(),
+                };
+                out.push(Event::Reply { op: *op, result });
+            }
+            Event::Crash { pid } => out.push(Event::Crash { pid: *pid }),
+            Event::Recover { pid } => out.push(Event::Recover { pid: *pid }),
+        }
+    }
+    Ok(out)
+}
+
+/// Certifies a store run per key: decodes the history, checks every
+/// register's restriction under `criterion`, and names each verdict with
+/// its key.
+///
+/// # Errors
+///
+/// Returns `Err(Ok(KvCertError))`-style layered errors flattened into one
+/// enum: [`CertifyError::Setup`] when the history cannot be decoded (the
+/// run is not a clean store run), [`CertifyError::Violation`] when a key's
+/// history fails the criterion.
+pub fn certify_per_key(
+    history: &History,
+    map: &KeyMap,
+    criterion: Criterion,
+) -> Result<KvCertificate, CertifyError> {
+    let decoded = decode_history(history, map).map_err(CertifyError::Setup)?;
+    let mut per_key = BTreeMap::new();
+    for (register, outcome) in check_per_register(&decoded, criterion) {
+        let key = map.keys_of(register)[0].clone();
+        match outcome {
+            Ok(verdict) => {
+                per_key.insert(key, verdict);
+            }
+            Err(violation) => {
+                return Err(CertifyError::Violation(KeyViolation {
+                    key,
+                    register,
+                    violation,
+                }));
+            }
+        }
+    }
+    Ok(KvCertificate { per_key })
+}
+
+/// Failure modes of [`certify_per_key`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertifyError {
+    /// The run is not a certifiable store run (collision, foreign
+    /// payload, …).
+    Setup(KvCertError),
+    /// A key's history violates the criterion.
+    Violation(KeyViolation),
+}
+
+impl std::fmt::Display for CertifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertifyError::Setup(e) => write!(f, "cannot certify: {e}"),
+            CertifyError::Violation(v) => write!(f, "atomicity violation: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for CertifyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use rmem_types::ProcessId;
+
+    fn payload(key: &str, v: &[u8]) -> Value {
+        codec::encode_entry(key, &Bytes::copy_from_slice(v))
+    }
+
+    fn injective_map(shards: u16) -> (ShardRouter, Vec<String>, KeyMap) {
+        let router = ShardRouter::new(shards);
+        let keys = router.covering_keys("k-");
+        let map = KeyMap::new(&router, keys.iter().map(String::as_str));
+        (router, keys, map)
+    }
+
+    #[test]
+    fn key_map_reports_collisions() {
+        let router = ShardRouter::new(1);
+        let map = KeyMap::new(&router, ["a", "b"]);
+        assert!(!map.is_injective());
+        assert_eq!(map.collisions().len(), 1);
+        let (_, keys, map) = injective_map(8);
+        assert!(map.is_injective());
+        assert_eq!(map.pairs().count(), keys.len());
+    }
+
+    #[test]
+    fn sequential_store_run_certifies_per_key() {
+        let (router, keys, map) = injective_map(4);
+        let mut h = History::new();
+        for (i, key) in keys.iter().enumerate() {
+            let reg = router.register_for(key);
+            let w = h.invoke(ProcessId(0), Op::WriteAt(reg, payload(key, &[i as u8])));
+            h.reply(w, OpResult::Written);
+            let r = h.invoke(ProcessId(1), Op::ReadAt(reg));
+            h.reply(r, OpResult::ReadValue(payload(key, &[i as u8])));
+        }
+        let cert = certify_per_key(&h, &map, Criterion::Persistent).unwrap();
+        assert_eq!(cert.per_key.len(), keys.len());
+        for key in &keys {
+            assert!(
+                cert.per_key.contains_key(key),
+                "missing certificate for {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn stale_read_is_reported_against_its_key() {
+        let (router, keys, map) = injective_map(2);
+        let key = &keys[0];
+        let reg = router.register_for(key);
+        let mut h = History::new();
+        let w1 = h.invoke(ProcessId(0), Op::WriteAt(reg, payload(key, b"1")));
+        h.reply(w1, OpResult::Written);
+        let w2 = h.invoke(ProcessId(0), Op::WriteAt(reg, payload(key, b"2")));
+        h.reply(w2, OpResult::Written);
+        // A read strictly after both writes returning the older value:
+        // not atomic.
+        let r = h.invoke(ProcessId(1), Op::ReadAt(reg));
+        h.reply(r, OpResult::ReadValue(payload(key, b"1")));
+        match certify_per_key(&h, &map, Criterion::Persistent) {
+            Err(CertifyError::Violation(v)) => {
+                assert_eq!(&v.key, key, "violation must name the key");
+                assert_eq!(v.register, reg);
+            }
+            other => panic!("expected a named violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collisions_refuse_certification() {
+        let router = ShardRouter::new(1);
+        let map = KeyMap::new(&router, ["a", "b"]);
+        let h = History::new();
+        assert!(matches!(
+            certify_per_key(&h, &map, Criterion::Transient),
+            Err(CertifyError::Setup(KvCertError::ShardCollision { .. }))
+        ));
+    }
+
+    #[test]
+    fn foreign_payload_is_detected() {
+        let (router, keys, map) = injective_map(2);
+        let reg = router.register_for(&keys[0]);
+        let mut h = History::new();
+        // A payload written under the *other* key's name into this
+        // register.
+        let w = h.invoke(ProcessId(0), Op::WriteAt(reg, payload(&keys[1], b"x")));
+        h.reply(w, OpResult::Written);
+        assert!(matches!(
+            certify_per_key(&h, &map, Criterion::Persistent),
+            Err(CertifyError::Setup(KvCertError::ForeignEntry { .. }))
+        ));
+    }
+
+    #[test]
+    fn unmapped_register_is_detected() {
+        let (_, _, map) = injective_map(2);
+        let mut h = History::new();
+        let w = h.invoke(
+            ProcessId(0),
+            Op::WriteAt(RegisterId(7), payload("zzz", b"x")),
+        );
+        h.reply(w, OpResult::Written);
+        assert!(matches!(
+            certify_per_key(&h, &map, Criterion::Persistent),
+            Err(CertifyError::Setup(KvCertError::UnmappedRegister { .. }))
+        ));
+    }
+
+    #[test]
+    fn stray_reply_is_an_error_not_a_panic() {
+        let (_, _, map) = injective_map(2);
+        let mut h = History::new();
+        // A reply with no invocation: malformed, but must come back as an
+        // error the caller can handle.
+        h.push(rmem_consistency::Event::Reply {
+            op: rmem_types::OpId::new(ProcessId(0), 0),
+            result: OpResult::ReadValue(payload("k", b"x")),
+        });
+        assert!(matches!(
+            certify_per_key(&h, &map, Criterion::Persistent),
+            Err(CertifyError::Setup(KvCertError::StrayReply { .. }))
+        ));
+    }
+
+    #[test]
+    fn crash_events_survive_decoding() {
+        let (router, keys, map) = injective_map(2);
+        let key = &keys[0];
+        let reg = router.register_for(key);
+        let mut h = History::new();
+        let w = h.invoke(ProcessId(0), Op::WriteAt(reg, payload(key, b"1")));
+        h.reply(w, OpResult::Written);
+        h.crash(ProcessId(0));
+        h.recover(ProcessId(0));
+        let r = h.invoke(ProcessId(0), Op::ReadAt(reg));
+        h.reply(r, OpResult::ReadValue(payload(key, b"1")));
+        let cert = certify_per_key(&h, &map, Criterion::Persistent).unwrap();
+        assert!(cert.per_key.contains_key(key));
+    }
+}

@@ -1,0 +1,65 @@
+//! `rmem-kv`: a sharded key-value store over the crash-recovery register
+//! emulations.
+//!
+//! The register algorithms (Guerraoui & Levy, ICDCS 2004 — see
+//! `rmem-core`) emulate an addressable shared memory whose registers stay
+//! atomic through crashes and recoveries. This crate turns that memory
+//! into a *store*:
+//!
+//! * [`ShardRouter`] — a pure, stable hash mapping string keys onto
+//!   registers (`hash(key) % shards`); no shard map is ever exchanged,
+//!   the function is the map ([`router`]).
+//! * [`codec`] — register payloads tag values with their key, so shard
+//!   collisions degrade to explicit misses instead of serving foreign
+//!   bytes.
+//! * [`KvClient`] — `get`/`put`/`multi_get`/`multi_put` over a real
+//!   cluster (`rmem-net`), pipelining independent per-shard operations
+//!   across nodes concurrently ([`client`]).
+//! * [`workload`] — simulated closed-loop store clients with uniform or
+//!   Zipf key popularity and scripted crash/recovery, for `rmem-sim`.
+//! * [`history`] — per-**key** atomicity certification: decode a run's
+//!   register-level history, check each register's restriction
+//!   (linearizability locality), and name every verdict with its key.
+//!
+//! Every store guarantee is inherited, not re-proved: a key's operations
+//! are exactly its register's operations, so the paper's per-register
+//! criteria (persistent/transient atomicity) lift to per-key criteria
+//! word for word — which [`history::certify_per_key`] checks on real
+//! traces.
+//!
+//! # Example: a simulated, certified store run
+//!
+//! ```
+//! use rmem_consistency::Criterion;
+//! use rmem_core::{Persistent, SharedMemory};
+//! use rmem_kv::workload::{generate, KvWorkloadSpec};
+//! use rmem_kv::history::certify_per_key;
+//! use rmem_sim::{ClusterConfig, Simulation};
+//!
+//! let run = generate(&KvWorkloadSpec { ops_per_client: 6, ..KvWorkloadSpec::default() });
+//! let mut sim = Simulation::new(
+//!     ClusterConfig::new(3),
+//!     SharedMemory::factory(Persistent::flavor()),
+//!     7,
+//! ).with_schedule(run.schedule.clone());
+//! for lp in &run.loops {
+//!     sim.add_closed_loop(lp.clone());
+//! }
+//! let report = sim.run();
+//! let cert = certify_per_key(&report.trace.to_history(), &run.key_map, Criterion::Persistent)
+//!     .expect("the persistent store must be atomic per key");
+//! assert!(!cert.per_key.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod codec;
+pub mod history;
+pub mod router;
+pub mod workload;
+
+pub use client::{KvClient, KvError};
+pub use history::{certify_per_key, CertifyError, KeyMap, KeyViolation, KvCertificate};
+pub use router::ShardRouter;

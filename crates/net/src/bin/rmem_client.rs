@@ -39,19 +39,24 @@ fn main() {
             _ => rest.push(arg),
         }
     }
-    let Some(node) = node else { usage("--node is required") };
+    let Some(node) = node else {
+        usage("--node is required")
+    };
 
     let command = match rest.first().map(String::as_str) {
         Some("ping") => "PING".to_string(),
         Some("read") => {
             let reg = rest.get(1).map(String::as_str).unwrap_or("0");
-            reg.parse::<u16>().unwrap_or_else(|_| usage("reg must be a number"));
+            reg.parse::<u16>()
+                .unwrap_or_else(|_| usage("reg must be a number"));
             format!("READ {reg}")
         }
         Some("write") => match rest.len() {
             2 => format!("WRITE 0 {}", rest[1]),
             3 => {
-                rest[1].parse::<u16>().unwrap_or_else(|_| usage("reg must be a number"));
+                rest[1]
+                    .parse::<u16>()
+                    .unwrap_or_else(|_| usage("reg must be a number"));
                 format!("WRITE {} {}", rest[1], rest[2])
             }
             _ => usage("write takes [<reg>] <value>"),

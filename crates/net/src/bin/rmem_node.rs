@@ -61,13 +61,19 @@ fn parse_args() -> Args {
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| it.next().unwrap_or_else(|| usage(&format!("{name} needs a value")));
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{name} needs a value")))
+        };
         match arg.as_str() {
             "--id" => id = value("--id").parse().ok(),
             "--peers" => {
                 peers = value("--peers")
                     .split(',')
-                    .map(|a| a.parse().unwrap_or_else(|_| usage(&format!("bad peer address {a:?}"))))
+                    .map(|a| {
+                        a.parse()
+                            .unwrap_or_else(|_| usage(&format!("bad peer address {a:?}")))
+                    })
                     .collect();
             }
             "--algo" => algo = value("--algo"),
@@ -78,7 +84,9 @@ fn parse_args() -> Args {
             other => usage(&format!("unknown argument {other:?}")),
         }
     }
-    let Some(id) = id else { usage("--id is required") };
+    let Some(id) = id else {
+        usage("--id is required")
+    };
     if peers.is_empty() {
         usage("--peers is required");
     }
@@ -86,7 +94,14 @@ fn parse_args() -> Args {
         usage("--id must index into --peers");
     }
     let dir = dir.unwrap_or_else(|| std::path::PathBuf::from(format!("rmem-node-{id}")));
-    Args { id, peers, algo, dir, transport, control }
+    Args {
+        id,
+        peers,
+        algo,
+        dir,
+        transport,
+        control,
+    }
 }
 
 fn factory_for(algo: &str) -> Arc<dyn AutomatonFactory> {

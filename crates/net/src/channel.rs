@@ -19,7 +19,9 @@ pub struct Switchboard {
 impl Switchboard {
     /// Creates a switchboard for `n` processes.
     pub fn new(n: usize) -> Arc<Self> {
-        Arc::new(Switchboard { inboxes: RwLock::new(vec![None; n]) })
+        Arc::new(Switchboard {
+            inboxes: RwLock::new(vec![None; n]),
+        })
     }
 
     /// Registers the inbox of `pid`.
@@ -44,12 +46,7 @@ pub struct ChannelTransport {
 
 impl ChannelTransport {
     /// Creates the endpoint for `me`, registering `inbox` on the board.
-    pub fn new(
-        me: ProcessId,
-        n: usize,
-        board: Arc<Switchboard>,
-        inbox: Sender<Inbound>,
-    ) -> Self {
+    pub fn new(me: ProcessId, n: usize, board: Arc<Switchboard>, inbox: Sender<Inbound>) -> Self {
         board.register(me, inbox);
         ChannelTransport { me, n, board }
     }
@@ -71,7 +68,10 @@ impl Transport for ChannelTransport {
         let inboxes = self.board.inboxes.read();
         if let Some(Some(tx)) = inboxes.get(to.index()) {
             // A full or disconnected inbox is packet loss.
-            let _ = tx.try_send(Inbound { from: self.me, msg: msg.clone() });
+            let _ = tx.try_send(Inbound {
+                from: self.me,
+                msg: msg.clone(),
+            });
         }
         Ok(())
     }
@@ -88,7 +88,9 @@ mod tests {
     use rmem_types::RequestId;
 
     fn msg() -> Message {
-        Message::SnReq { req: RequestId::new(ProcessId(0), 1) }
+        Message::SnReq {
+            req: RequestId::new(ProcessId(0), 1),
+        }
     }
 
     #[test]
@@ -119,7 +121,10 @@ mod tests {
         let board = Switchboard::new(1);
         let (tx, _rx) = unbounded();
         let t = ChannelTransport::new(ProcessId(0), 1, board, tx);
-        assert!(matches!(t.send(ProcessId(5), &msg()), Err(NetError::UnknownPeer { .. })));
+        assert!(matches!(
+            t.send(ProcessId(5), &msg()),
+            Err(NetError::UnknownPeer { .. })
+        ));
     }
 
     #[test]

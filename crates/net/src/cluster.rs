@@ -108,7 +108,9 @@ impl LocalCluster {
     /// socket-backed constructors.
     pub fn channel(n: usize, factory: Arc<dyn AutomatonFactory>) -> Result<Self, NetError> {
         let board = Switchboard::new(n);
-        let disks = (0..n).map(|_| NodeDisk::Shared(SharedStorage::new())).collect();
+        let disks = (0..n)
+            .map(|_| NodeDisk::Shared(SharedStorage::new()))
+            .collect();
         let mut cluster = LocalCluster {
             factory,
             kind: TransportKind::Channel(board),
@@ -135,7 +137,9 @@ impl LocalCluster {
         let base = free_udp_base(n);
         let peers = UdpTransport::loopback_peers(n, base);
         let dir = dir.into();
-        let disks = (0..n).map(|i| NodeDisk::Dir(dir.join(format!("p{i}")))).collect();
+        let disks = (0..n)
+            .map(|i| NodeDisk::Dir(dir.join(format!("p{i}"))))
+            .collect();
         let mut cluster = LocalCluster {
             factory,
             kind: TransportKind::Udp(peers),
@@ -161,7 +165,9 @@ impl LocalCluster {
         let base = free_tcp_base(n);
         let peers = TcpTransport::loopback_peers(n, base);
         let dir = dir.into();
-        let disks = (0..n).map(|i| NodeDisk::Dir(dir.join(format!("p{i}")))).collect();
+        let disks = (0..n)
+            .map(|i| NodeDisk::Dir(dir.join(format!("p{i}"))))
+            .collect();
         let mut cluster = LocalCluster {
             factory,
             kind: TransportKind::Tcp(peers),
@@ -210,6 +216,17 @@ impl LocalCluster {
             .as_ref()
             .unwrap_or_else(|| panic!("{pid} is down"))
             .client()
+    }
+
+    /// Client handles for every process that is currently up, in process
+    /// order. The natural input for `rmem-kv`'s `KvClient`, which spreads
+    /// per-shard traffic across the cluster.
+    pub fn clients(&self) -> Vec<Client> {
+        self.nodes
+            .iter()
+            .flatten()
+            .map(ProcessRunner::client)
+            .collect()
     }
 
     /// Whether `pid` is currently running.
@@ -280,7 +297,10 @@ mod tests {
     #[test]
     fn channel_cluster_write_read() {
         let mut cluster = LocalCluster::channel(3, Transient::factory()).unwrap();
-        cluster.client(ProcessId(0)).write(Value::from_u32(11)).unwrap();
+        cluster
+            .client(ProcessId(0))
+            .write(Value::from_u32(11))
+            .unwrap();
         let v = cluster.client(ProcessId(2)).read().unwrap();
         assert_eq!(v.as_u32(), Some(11));
         cluster.shutdown();
@@ -289,7 +309,10 @@ mod tests {
     #[test]
     fn kill_and_restart_preserves_written_values() {
         let mut cluster = LocalCluster::channel(3, Persistent::factory()).unwrap();
-        cluster.client(ProcessId(0)).write(Value::from_u32(77)).unwrap();
+        cluster
+            .client(ProcessId(0))
+            .write(Value::from_u32(77))
+            .unwrap();
         cluster.kill(ProcessId(0));
         assert!(!cluster.is_up(ProcessId(0)));
         // Reads still work with a majority up.
@@ -306,7 +329,10 @@ mod tests {
     #[test]
     fn total_crash_with_full_recovery_keeps_the_value() {
         let mut cluster = LocalCluster::channel(3, Persistent::factory()).unwrap();
-        cluster.client(ProcessId(1)).write(Value::from_u32(5)).unwrap();
+        cluster
+            .client(ProcessId(1))
+            .write(Value::from_u32(5))
+            .unwrap();
         for pid in ProcessId::all(3) {
             cluster.kill(pid);
         }
@@ -314,7 +340,11 @@ mod tests {
             cluster.restart(pid).unwrap();
         }
         let v = cluster.client(ProcessId(2)).read().unwrap();
-        assert_eq!(v.as_u32(), Some(5), "the completed write must survive a total crash");
+        assert_eq!(
+            v.as_u32(),
+            Some(5),
+            "the completed write must survive a total crash"
+        );
         cluster.shutdown();
     }
 }

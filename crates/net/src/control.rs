@@ -70,7 +70,9 @@ pub struct ControlServer {
 
 impl std::fmt::Debug for ControlServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ControlServer").field("addr", &self.addr).finish()
+        f.debug_struct("ControlServer")
+            .field("addr", &self.addr)
+            .finish()
     }
 }
 
@@ -81,14 +83,18 @@ impl ControlServer {
     ///
     /// Returns [`NetError::Bind`] if the listener cannot be bound.
     pub fn bind(addr: SocketAddr, client: Client) -> Result<Self, NetError> {
-        let listener = TcpListener::bind(addr)
-            .map_err(|e| NetError::Bind { addr: addr.to_string(), source: Arc::new(e) })?;
-        let local = listener
-            .local_addr()
-            .map_err(|e| NetError::Bind { addr: addr.to_string(), source: Arc::new(e) })?;
-        listener
-            .set_nonblocking(true)
-            .map_err(|e| NetError::Bind { addr: addr.to_string(), source: Arc::new(e) })?;
+        let listener = TcpListener::bind(addr).map_err(|e| NetError::Bind {
+            addr: addr.to_string(),
+            source: Arc::new(e),
+        })?;
+        let local = listener.local_addr().map_err(|e| NetError::Bind {
+            addr: addr.to_string(),
+            source: Arc::new(e),
+        })?;
+        listener.set_nonblocking(true).map_err(|e| NetError::Bind {
+            addr: addr.to_string(),
+            source: Arc::new(e),
+        })?;
         let stop = Arc::new(AtomicBool::new(false));
         let accept_stop = stop.clone();
         let handle = std::thread::Builder::new()
@@ -99,9 +105,7 @@ impl ControlServer {
                         Ok((stream, _)) => {
                             let client = client.clone();
                             let conn_stop = accept_stop.clone();
-                            std::thread::spawn(move ||
-
-                                serve_connection(stream, client, conn_stop));
+                            std::thread::spawn(move || serve_connection(stream, client, conn_stop));
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(std::time::Duration::from_millis(20));
@@ -111,7 +115,11 @@ impl ControlServer {
                 }
             })
             .expect("spawning the control acceptor");
-        Ok(ControlServer { addr: local, stop, handle: parking_lot::Mutex::new(Some(handle)) })
+        Ok(ControlServer {
+            addr: local,
+            stop,
+            handle: parking_lot::Mutex::new(Some(handle)),
+        })
     }
 
     /// The bound address (useful with port 0).
@@ -195,11 +203,9 @@ mod tests {
         let cluster =
             LocalCluster::channel(3, rmem_core::SharedMemory::factory(Transient::flavor()))
                 .unwrap();
-        let server = ControlServer::bind(
-            "127.0.0.1:0".parse().unwrap(),
-            cluster.client(ProcessId(0)),
-        )
-        .unwrap();
+        let server =
+            ControlServer::bind("127.0.0.1:0".parse().unwrap(), cluster.client(ProcessId(0)))
+                .unwrap();
         let addr = server.addr();
 
         assert_eq!(send_command(addr, "PING").unwrap(), "PONG");

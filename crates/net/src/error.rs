@@ -83,17 +83,27 @@ mod tests {
 
     #[test]
     fn displays() {
-        let e = NetError::UnknownPeer { pid: rmem_types::ProcessId(3) };
+        let e = NetError::UnknownPeer {
+            pid: rmem_types::ProcessId(3),
+        };
         assert!(e.to_string().contains("p3"));
-        let e = NetError::TooLarge { size: 70_000, limit: 65_000 };
+        let e = NetError::TooLarge {
+            size: 70_000,
+            limit: 65_000,
+        };
         assert!(e.to_string().contains("70000"));
-        assert_eq!(ClientError::Busy.to_string(), "an operation is already in flight");
+        assert_eq!(
+            ClientError::Busy.to_string(),
+            "an operation is already in flight"
+        );
     }
 
     #[test]
     fn errors_are_send_sync() {
         fn check<E: std::error::Error + Send + Sync>(_: &E) {}
         check(&ClientError::TimedOut);
-        check(&NetError::UnknownPeer { pid: rmem_types::ProcessId(0) });
+        check(&NetError::UnknownPeer {
+            pid: rmem_types::ProcessId(0),
+        });
     }
 }

@@ -48,7 +48,7 @@ pub mod udp;
 
 pub use channel::ChannelTransport;
 pub use cluster::LocalCluster;
-pub use control::{ControlServer, handle_command, send_command};
+pub use control::{handle_command, send_command, ControlServer};
 pub use error::{ClientError, NetError};
 pub use runner::{Client, ProcessRunner};
 pub use tcp::TcpTransport;

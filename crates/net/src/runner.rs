@@ -22,7 +22,10 @@ use crate::transport::{Inbound, Transport};
 pub const KEY_BOOT_COUNT: &str = "_boot_count";
 
 enum RunnerEvent {
-    Invoke { operation: Op, reply: Sender<OpResult> },
+    Invoke {
+        operation: Op,
+        reply: Sender<OpResult>,
+    },
     Shutdown,
 }
 
@@ -40,7 +43,9 @@ pub struct Client {
 
 impl std::fmt::Debug for Client {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Client").field("timeout", &self.timeout).finish()
+        f.debug_struct("Client")
+            .field("timeout", &self.timeout)
+            .finish()
     }
 }
 
@@ -54,7 +59,10 @@ impl Client {
     fn invoke(&self, operation: Op) -> Result<OpResult, ClientError> {
         let (reply_tx, reply_rx) = bounded(1);
         self.tx
-            .send(RunnerEvent::Invoke { operation, reply: reply_tx })
+            .send(RunnerEvent::Invoke {
+                operation,
+                reply: reply_tx,
+            })
             .map_err(|_| ClientError::ProcessDown)?;
         match reply_rx.recv_timeout(self.timeout) {
             Ok(OpResult::Rejected(_)) => Err(ClientError::Busy),
@@ -128,7 +136,9 @@ pub struct ProcessRunner {
 
 impl std::fmt::Debug for ProcessRunner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ProcessRunner").field("me", &self.me).finish()
+        f.debug_struct("ProcessRunner")
+            .field("me", &self.me)
+            .finish()
     }
 }
 
@@ -157,23 +167,40 @@ impl ProcessRunner {
         // A process that has durably adopted anything before has run
         // before: treat it as recovering even if the boot counter is
         // missing (e.g. pre-upgrade data).
-        let has_history = boot_count > 0
-            || storage.retrieve(KEY_WRITTEN).ok().flatten().is_some();
+        let has_history = boot_count > 0 || storage.retrieve(KEY_WRITTEN).ok().flatten().is_some();
         let automaton = if has_history {
             factory.recover(me, n, boot_count, &SnapshotView::new(storage.as_ref()))
         } else {
             factory.fresh(me, n)
         };
-        let _ = storage.store(KEY_BOOT_COUNT, bytes::Bytes::from((boot_count + 1).to_be_bytes().to_vec()));
+        let _ = storage.store(
+            KEY_BOOT_COUNT,
+            bytes::Bytes::from((boot_count + 1).to_be_bytes().to_vec()),
+        );
 
         let (tx, rx) = unbounded::<RunnerEvent>();
         let loop_transport = transport.clone();
         let handle = std::thread::Builder::new()
             .name(format!("rmem-proc-{me}"))
-            .spawn(move || run_loop(automaton, storage, loop_transport, rx, inbox, me, boot_count))
+            .spawn(move || {
+                run_loop(
+                    automaton,
+                    storage,
+                    loop_transport,
+                    rx,
+                    inbox,
+                    me,
+                    boot_count,
+                )
+            })
             .expect("spawning the process event loop");
 
-        ProcessRunner { me, tx, handle: Some(handle), transport }
+        ProcessRunner {
+            me,
+            tx,
+            handle: Some(handle),
+            transport,
+        }
     }
 
     /// This process's id.
@@ -183,7 +210,10 @@ impl ProcessRunner {
 
     /// A client handle for this process.
     pub fn client(&self) -> Client {
-        Client { tx: self.tx.clone(), timeout: Duration::from_secs(10) }
+        Client {
+            tx: self.tx.clone(),
+            timeout: Duration::from_secs(10),
+        }
     }
 
     /// Stops the process (gracefully for the thread; abruptly from the
@@ -227,12 +257,12 @@ fn run_loop(
 
     // Process one input plus the synchronous-store cascade it triggers.
     let step = |automaton: &mut Box<dyn Automaton>,
-                    storage: &mut Box<dyn StableStorage>,
-                    timers: &mut BinaryHeap<Reverse<(Instant, u64)>>,
-                    timer_tokens: &mut std::collections::HashMap<u64, TimerToken>,
-                    timer_seq: &mut u64,
-                    pending: &mut Option<(OpId, Sender<OpResult>)>,
-                    input: Input| {
+                storage: &mut Box<dyn StableStorage>,
+                timers: &mut BinaryHeap<Reverse<(Instant, u64)>>,
+                timer_tokens: &mut std::collections::HashMap<u64, TimerToken>,
+                timer_seq: &mut u64,
+                pending: &mut Option<(OpId, Sender<OpResult>)>,
+                input: Input| {
         let mut inputs = std::collections::VecDeque::new();
         inputs.push_back(input);
         while let Some(input) = inputs.pop_front() {
@@ -369,14 +399,8 @@ mod tests {
         (0..n as u16)
             .map(|i| {
                 let (tx, rx) = unbounded();
-                let transport =
-                    Arc::new(ChannelTransport::new(ProcessId(i), n, board.clone(), tx));
-                ProcessRunner::start(
-                    factory.as_ref(),
-                    Box::new(MemStorage::new()),
-                    transport,
-                    rx,
-                )
+                let transport = Arc::new(ChannelTransport::new(ProcessId(i), n, board.clone(), tx));
+                ProcessRunner::start(factory.as_ref(), Box::new(MemStorage::new()), transport, rx)
             })
             .collect()
     }
@@ -384,7 +408,10 @@ mod tests {
     #[test]
     fn write_then_read_through_real_threads() {
         let runners = spin_cluster(3);
-        runners[0].client().write(Value::from_u32(7)).expect("write");
+        runners[0]
+            .client()
+            .write(Value::from_u32(7))
+            .expect("write");
         let v = runners[1].client().read().expect("read");
         assert_eq!(v.as_u32(), Some(7));
         for r in runners {
@@ -430,9 +457,7 @@ mod tests {
                 s.retrieve(rmem_storage::records::KEY_WRITTEN)
                     .ok()
                     .flatten()
-                    .and_then(|b| {
-                        rmem_storage::records::WrittenRecord::decode(&b).ok()
-                    })
+                    .and_then(|b| rmem_storage::records::WrittenRecord::decode(&b).ok())
                     .is_some_and(|r| r.value.as_u32() == Some(5))
             })
             .count();

@@ -60,11 +60,14 @@ impl TcpTransport {
         inbox: Sender<Inbound>,
     ) -> Result<Self, NetError> {
         let addr = peers[me.index()];
-        let listener = TcpListener::bind(addr)
-            .map_err(|e| NetError::Bind { addr: addr.to_string(), source: Arc::new(e) })?;
-        listener
-            .set_nonblocking(true)
-            .map_err(|e| NetError::Bind { addr: addr.to_string(), source: Arc::new(e) })?;
+        let listener = TcpListener::bind(addr).map_err(|e| NetError::Bind {
+            addr: addr.to_string(),
+            source: Arc::new(e),
+        })?;
+        listener.set_nonblocking(true).map_err(|e| NetError::Bind {
+            addr: addr.to_string(),
+            source: Arc::new(e),
+        })?;
         let stop = Arc::new(AtomicBool::new(false));
 
         let accept_stop = stop.clone();
@@ -138,7 +141,13 @@ impl TcpTransport {
             .expect("spawning the TCP acceptor thread");
 
         let outgoing = (0..peers.len()).map(|_| Mutex::new(None)).collect();
-        Ok(TcpTransport { me, peers, outgoing, stop, acceptor: Mutex::new(Some(acceptor)) })
+        Ok(TcpTransport {
+            me,
+            peers,
+            outgoing,
+            stop,
+            acceptor: Mutex::new(Some(acceptor)),
+        })
     }
 
     /// Convenience: loopback addresses for an `n`-process cluster starting
@@ -174,7 +183,10 @@ impl Transport for TcpTransport {
         }
         let body = codec::encode_message(msg);
         if body.len() > MAX_FRAME {
-            return Err(NetError::TooLarge { size: body.len(), limit: MAX_FRAME });
+            return Err(NetError::TooLarge {
+                size: body.len(),
+                limit: MAX_FRAME,
+            });
         }
         let mut frame = Vec::with_capacity(4 + body.len());
         frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
@@ -240,7 +252,9 @@ mod tests {
             value: Value::new(vec![0xAB; 100_000]),
         };
         t0.send(ProcessId(1), &msg).unwrap();
-        let got = rx1.recv_timeout(std::time::Duration::from_secs(5)).expect("delivery");
+        let got = rx1
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .expect("delivery");
         assert_eq!(got.msg, msg);
         assert_eq!(got.from, ProcessId(0));
         t0.shutdown();
@@ -254,7 +268,9 @@ mod tests {
         let (tx0, _rx0) = unbounded();
         let t0 = TcpTransport::bind(ProcessId(0), peers, tx0).unwrap();
         // Peer 1 never bound.
-        let msg = Message::SnReq { req: RequestId::new(ProcessId(0), 1) };
+        let msg = Message::SnReq {
+            req: RequestId::new(ProcessId(0), 1),
+        };
         assert!(t0.send(ProcessId(1), &msg).is_ok());
         t0.shutdown();
     }

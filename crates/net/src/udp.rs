@@ -51,16 +51,22 @@ impl UdpTransport {
         inbox: Sender<Inbound>,
     ) -> Result<Self, NetError> {
         let addr = peers[me.index()];
-        let socket = UdpSocket::bind(addr)
-            .map_err(|e| NetError::Bind { addr: addr.to_string(), source: Arc::new(e) })?;
+        let socket = UdpSocket::bind(addr).map_err(|e| NetError::Bind {
+            addr: addr.to_string(),
+            source: Arc::new(e),
+        })?;
         socket
             .set_read_timeout(Some(std::time::Duration::from_millis(50)))
-            .map_err(|e| NetError::Bind { addr: addr.to_string(), source: Arc::new(e) })?;
+            .map_err(|e| NetError::Bind {
+                addr: addr.to_string(),
+                source: Arc::new(e),
+            })?;
         let stop = Arc::new(AtomicBool::new(false));
 
-        let recv_socket = socket
-            .try_clone()
-            .map_err(|e| NetError::Bind { addr: addr.to_string(), source: Arc::new(e) })?;
+        let recv_socket = socket.try_clone().map_err(|e| NetError::Bind {
+            addr: addr.to_string(),
+            source: Arc::new(e),
+        })?;
         let recv_stop = stop.clone();
         let handle = std::thread::Builder::new()
             .name(format!("udp-recv-{me}"))
@@ -76,11 +82,11 @@ impl UdpTransport {
                                 }
                             }
                         }
-                        Ok(_) => {}                                  // runt datagram: drop
+                        Ok(_) => {} // runt datagram: drop
                         Err(e)
                             if e.kind() == std::io::ErrorKind::WouldBlock
                                 || e.kind() == std::io::ErrorKind::TimedOut => {}
-                        Err(_) => {}                                 // transient: drop
+                        Err(_) => {} // transient: drop
                     }
                 }
             })
@@ -119,7 +125,10 @@ impl Transport for UdpTransport {
         };
         let body = codec::encode_message(msg);
         if body.len() + 2 > MAX_DATAGRAM {
-            return Err(NetError::TooLarge { size: body.len() + 2, limit: MAX_DATAGRAM });
+            return Err(NetError::TooLarge {
+                size: body.len() + 2,
+                limit: MAX_DATAGRAM,
+            });
         }
         let mut datagram = Vec::with_capacity(body.len() + 2);
         datagram.extend_from_slice(&self.me.0.to_be_bytes());
@@ -173,7 +182,9 @@ mod tests {
             value: Value::from_u32(1234),
         };
         t0.send(ProcessId(1), &msg).unwrap();
-        let got = rx1.recv_timeout(std::time::Duration::from_secs(2)).expect("delivery");
+        let got = rx1
+            .recv_timeout(std::time::Duration::from_secs(2))
+            .expect("delivery");
         assert_eq!(got.from, ProcessId(0));
         assert_eq!(got.msg, msg);
         t0.shutdown();
@@ -191,7 +202,10 @@ mod tests {
             ts: Timestamp::new(1, ProcessId(0)),
             value: Value::new(vec![0u8; 70_000]),
         };
-        assert!(matches!(t.send(ProcessId(0), &msg), Err(NetError::TooLarge { .. })));
+        assert!(matches!(
+            t.send(ProcessId(0), &msg),
+            Err(NetError::TooLarge { .. })
+        ));
         t.shutdown();
     }
 
@@ -205,7 +219,9 @@ mod tests {
         raw.send_to(&[0, 0, 0xFF, 0xFF, 0xFF], peers[0]).unwrap();
         raw.send_to(&[7], peers[0]).unwrap();
         // Then a valid message to prove the receiver survived.
-        let msg = Message::SnReq { req: RequestId::new(ProcessId(0), 3) };
+        let msg = Message::SnReq {
+            req: RequestId::new(ProcessId(0), 3),
+        };
         t.send(ProcessId(0), &msg).unwrap();
         let got = rx.recv_timeout(std::time::Duration::from_secs(2)).unwrap();
         assert_eq!(got.msg, msg);

@@ -48,9 +48,20 @@ impl Default for NetConfig {
 impl NetConfig {
     /// A lossy variant of the default LAN (for fault-injection tests).
     pub fn lossy(drop_prob: f64, duplicate_prob: f64) -> Self {
-        assert!((0.0..1.0).contains(&drop_prob), "drop_prob must be in [0,1)");
-        assert!((0.0..1.0).contains(&duplicate_prob), "duplicate_prob must be in [0,1)");
-        NetConfig { drop_prob, duplicate_prob, jitter: Micros(50), ..NetConfig::default() }
+        assert!(
+            (0.0..1.0).contains(&drop_prob),
+            "drop_prob must be in [0,1)"
+        );
+        assert!(
+            (0.0..1.0).contains(&duplicate_prob),
+            "duplicate_prob must be in [0,1)"
+        );
+        NetConfig {
+            drop_prob,
+            duplicate_prob,
+            jitter: Micros(50),
+            ..NetConfig::default()
+        }
     }
 }
 
@@ -71,7 +82,11 @@ pub struct DiskConfig {
 
 impl Default for DiskConfig {
     fn default() -> Self {
-        DiskConfig { base_latency: Micros(200), jitter: Micros(0), ns_per_byte: 33 }
+        DiskConfig {
+            base_latency: Micros(200),
+            jitter: Micros(0),
+            ns_per_byte: 33,
+        }
     }
 }
 
@@ -146,7 +161,11 @@ mod tests {
     fn builder_methods_replace_fields() {
         let c = ClusterConfig::new(3)
             .with_net(NetConfig::lossy(0.1, 0.05))
-            .with_disk(DiskConfig { base_latency: Micros(500), jitter: Micros(0), ns_per_byte: 0 })
+            .with_disk(DiskConfig {
+                base_latency: Micros(500),
+                jitter: Micros(0),
+                ns_per_byte: 0,
+            })
             .with_max_time(crate::VirtualTime(1_000));
         assert_eq!(c.net.drop_prob, 0.1);
         assert_eq!(c.disk.base_latency, Micros(500));

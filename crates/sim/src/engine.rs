@@ -132,7 +132,11 @@ impl Simulation {
 
     /// Attaches a closed-loop client.
     pub fn add_closed_loop(&mut self, cl: ClosedLoop) {
-        assert!(cl.pid.index() < self.config.n, "closed loop bound to unknown process {}", cl.pid);
+        assert!(
+            cl.pid.index() < self.config.n,
+            "closed loop bound to unknown process {}",
+            cl.pid
+        );
         self.loops.push(LoopState {
             pid: cl.pid,
             remaining: cl.ops.clone().into(),
@@ -147,7 +151,14 @@ impl Simulation {
         if let Some(op) = self.loops[idx].remaining.pop_front() {
             self.loops[idx].in_flight = true;
             let op_id = self.fresh_op_id(cl.pid);
-            self.queue.push(first_at, EventKind::Invoke { pid: cl.pid, op: op_id, operation: op });
+            self.queue.push(
+                first_at,
+                EventKind::Invoke {
+                    pid: cl.pid,
+                    op: op_id,
+                    operation: op,
+                },
+            );
         }
     }
 
@@ -184,12 +195,24 @@ impl Simulation {
             let kind = match ev {
                 PlannedEvent::Invoke(pid, op) => {
                     let op_id = self.fresh_op_id(pid);
-                    EventKind::Invoke { pid, op: op_id, operation: op }
+                    EventKind::Invoke {
+                        pid,
+                        op: op_id,
+                        operation: op,
+                    }
                 }
                 PlannedEvent::Crash(pid) => EventKind::Crash { pid },
                 PlannedEvent::Recover(pid) => EventKind::Recover { pid },
-                PlannedEvent::Block(from, to) => EventKind::SetLink { from, to, blocked: true },
-                PlannedEvent::Unblock(from, to) => EventKind::SetLink { from, to, blocked: false },
+                PlannedEvent::Block(from, to) => EventKind::SetLink {
+                    from,
+                    to,
+                    blocked: true,
+                },
+                PlannedEvent::Unblock(from, to) => EventKind::SetLink {
+                    from,
+                    to,
+                    blocked: false,
+                },
             };
             self.queue.push(at, kind);
         }
@@ -248,10 +271,14 @@ impl Simulation {
     }
 
     fn is_idle(&self) -> bool {
-        let procs_idle = self.procs.iter().all(|s| {
-            s.pending.is_none() && s.automaton.as_ref().is_none_or(|a| a.is_ready())
-        });
-        let loops_done = self.loops.iter().all(|l| l.remaining.is_empty() && !l.in_flight);
+        let procs_idle = self
+            .procs
+            .iter()
+            .all(|s| s.pending.is_none() && s.automaton.as_ref().is_none_or(|a| a.is_ready()));
+        let loops_done = self
+            .loops
+            .iter()
+            .all(|l| l.remaining.is_empty() && !l.in_flight);
         procs_idle && loops_done
     }
 
@@ -262,12 +289,19 @@ impl Simulation {
     }
 
     fn queue_iter_all_timers(&self) -> bool {
-        self.queue.iter().all(|s| matches!(s.kind, EventKind::TimerFire { .. }))
+        self.queue
+            .iter()
+            .all(|s| matches!(s.kind, EventKind::TimerFire { .. }))
     }
 
     fn dispatch(&mut self, kind: EventKind) {
         match kind {
-            EventKind::Deliver { to, from, msg, chain } => {
+            EventKind::Deliver {
+                to,
+                from,
+                msg,
+                chain,
+            } => {
                 if self.procs[to.index()].automaton.is_none() {
                     return; // crashed receivers hear nothing
                 }
@@ -276,12 +310,22 @@ impl Simulation {
                 self.feed(to, Input::Message { from, msg }, chain, attributed);
                 self.note_if_recovered(to);
             }
-            EventKind::StoreDone { pid, token, key, bytes, incarnation, chain, attributed_op } => {
+            EventKind::StoreDone {
+                pid,
+                token,
+                key,
+                bytes,
+                incarnation,
+                chain,
+                attributed_op,
+            } => {
                 let slot = &mut self.procs[pid.index()];
                 if slot.incarnation != incarnation {
                     return; // the store was in flight when the process crashed: lost
                 }
-                slot.storage.store(&key, bytes).expect("MemStorage store cannot fail");
+                slot.storage
+                    .store(&key, bytes)
+                    .expect("MemStorage store cannot fail");
                 self.trace.stores_applied += 1;
                 if slot.pending.is_none() {
                     self.trace.background_stores += 1;
@@ -293,7 +337,12 @@ impl Simulation {
                 self.feed(pid, Input::StoreDone(token), chain, attributed);
                 self.note_if_recovered(pid);
             }
-            EventKind::TimerFire { pid, token, incarnation, chain } => {
+            EventKind::TimerFire {
+                pid,
+                token,
+                incarnation,
+                chain,
+            } => {
                 let slot = &self.procs[pid.index()];
                 if slot.incarnation != incarnation || slot.automaton.is_none() {
                     return;
@@ -339,7 +388,8 @@ impl Simulation {
                 let automaton = {
                     let slot = &self.procs[pid.index()];
                     let snapshot = SnapshotView::new(&slot.storage);
-                    self.factory.recover(pid, self.config.n, slot.incarnation as u64, &snapshot)
+                    self.factory
+                        .recover(pid, self.config.n, slot.incarnation as u64, &snapshot)
                 };
                 self.procs[pid.index()].automaton = Some(automaton);
                 self.procs[pid.index()].recovering_since = Some(self.now);
@@ -372,7 +422,9 @@ impl Simulation {
         let mut out = Vec::new();
         {
             let slot = &mut self.procs[pid.index()];
-            let Some(automaton) = slot.automaton.as_mut() else { return };
+            let Some(automaton) = slot.automaton.as_mut() else {
+                return;
+            };
             automaton.on_input(input, &mut out);
         }
         if let Some(req) = request_id {
@@ -400,11 +452,13 @@ impl Simulation {
                 let chain = if msg.is_request() {
                     chain
                 } else {
-                    self.deferred_acks.get(&(pid, msg.request_id())).copied().unwrap_or(chain)
+                    self.deferred_acks
+                        .get(&(pid, msg.request_id()))
+                        .copied()
+                        .unwrap_or(chain)
                 };
-                let serialization = Micros(
-                    self.sends_this_event as u64 * self.config.net.serialize_per_msg.0,
-                );
+                let serialization =
+                    Micros(self.sends_this_event as u64 * self.config.net.serialize_per_msg.0);
                 self.sends_this_event += 1;
                 let fate = self.net.fate(pid, to, msg.payload_len(), &mut self.rng);
                 match fate {
@@ -412,17 +466,32 @@ impl Simulation {
                     Fate::Deliver(d) => {
                         self.queue.push(
                             self.now.after(serialization + d),
-                            EventKind::Deliver { to, from: pid, msg, chain },
+                            EventKind::Deliver {
+                                to,
+                                from: pid,
+                                msg,
+                                chain,
+                            },
                         );
                     }
                     Fate::Duplicate(d1, d2) => {
                         self.queue.push(
                             self.now.after(serialization + d1),
-                            EventKind::Deliver { to, from: pid, msg: msg.clone(), chain },
+                            EventKind::Deliver {
+                                to,
+                                from: pid,
+                                msg: msg.clone(),
+                                chain,
+                            },
                         );
                         self.queue.push(
                             self.now.after(serialization + d2),
-                            EventKind::Deliver { to, from: pid, msg, chain },
+                            EventKind::Deliver {
+                                to,
+                                from: pid,
+                                msg,
+                                chain,
+                            },
                         );
                     }
                 }
@@ -456,7 +525,12 @@ impl Simulation {
                 let slot = &self.procs[pid.index()];
                 self.queue.push(
                     self.now.after(after),
-                    EventKind::TimerFire { pid, token, incarnation: slot.incarnation, chain },
+                    EventKind::TimerFire {
+                        pid,
+                        token,
+                        incarnation: slot.incarnation,
+                        chain,
+                    },
                 );
             }
             Action::Complete { op, result } => {
@@ -482,7 +556,14 @@ impl Simulation {
         if let Some(op) = self.loops[idx].remaining.pop_front() {
             self.loops[idx].in_flight = true;
             let op_id = self.fresh_op_id(pid);
-            self.queue.push(self.now.after(think), EventKind::Invoke { pid, op: op_id, operation: op });
+            self.queue.push(
+                self.now.after(think),
+                EventKind::Invoke {
+                    pid,
+                    op: op_id,
+                    operation: op,
+                },
+            );
         }
     }
 
@@ -500,7 +581,14 @@ impl Simulation {
         if let Some(op) = self.loops[idx].remaining.pop_front() {
             self.loops[idx].in_flight = true;
             let op_id = self.fresh_op_id(pid);
-            self.queue.push(self.now.after(think), EventKind::Invoke { pid, op: op_id, operation: op });
+            self.queue.push(
+                self.now.after(think),
+                EventKind::Invoke {
+                    pid,
+                    op: op_id,
+                    operation: op,
+                },
+            );
         }
     }
 }

@@ -67,4 +67,4 @@ pub use engine::{SimReport, Simulation};
 pub use stats::LatencyStats;
 pub use time::VirtualTime;
 pub use trace::{OpRecord, Trace};
-pub use workload::{PlannedEvent, Schedule};
+pub use workload::{KeyDistribution, PlannedEvent, Schedule};

@@ -35,7 +35,12 @@ pub struct NetworkModel {
 impl NetworkModel {
     /// Creates a model from its configuration.
     pub fn new(config: NetConfig) -> Self {
-        NetworkModel { config, blocked: HashSet::new(), dropped: 0, duplicated: 0 }
+        NetworkModel {
+            config,
+            blocked: HashSet::new(),
+            dropped: 0,
+            duplicated: 0,
+        }
     }
 
     /// Blocks or unblocks the directed link `from → to`.
@@ -52,8 +57,18 @@ impl NetworkModel {
         self.blocked.contains(&(from, to))
     }
 
-    fn one_delay(&self, from: ProcessId, to: ProcessId, payload_len: usize, rng: &mut StdRng) -> Micros {
-        let base = if from == to { self.config.self_delay } else { self.config.base_delay };
+    fn one_delay(
+        &self,
+        from: ProcessId,
+        to: ProcessId,
+        payload_len: usize,
+        rng: &mut StdRng,
+    ) -> Micros {
+        let base = if from == to {
+            self.config.self_delay
+        } else {
+            self.config.base_delay
+        };
         let jitter = if self.config.jitter.0 > 0 {
             Micros(rng.gen_range(0..=self.config.jitter.0))
         } else {
@@ -142,9 +157,15 @@ mod tests {
         net.set_link(ProcessId(0), ProcessId(1), true);
         assert_eq!(net.fate(ProcessId(0), ProcessId(1), 0, &mut r), Fate::Drop);
         // The reverse direction is unaffected.
-        assert!(matches!(net.fate(ProcessId(1), ProcessId(0), 0, &mut r), Fate::Deliver(_)));
+        assert!(matches!(
+            net.fate(ProcessId(1), ProcessId(0), 0, &mut r),
+            Fate::Deliver(_)
+        ));
         net.set_link(ProcessId(0), ProcessId(1), false);
-        assert!(matches!(net.fate(ProcessId(0), ProcessId(1), 0, &mut r), Fate::Deliver(_)));
+        assert!(matches!(
+            net.fate(ProcessId(0), ProcessId(1), 0, &mut r),
+            Fate::Deliver(_)
+        ));
     }
 
     #[test]

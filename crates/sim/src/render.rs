@@ -22,7 +22,12 @@ pub fn render_timeline(trace: &Trace, n: usize, width: usize) -> String {
     let end_time = trace
         .operations()
         .iter()
-        .flat_map(|o| [Some(o.invoked_at.as_micros()), o.completed_at.map(|t| t.as_micros())])
+        .flat_map(|o| {
+            [
+                Some(o.invoked_at.as_micros()),
+                o.completed_at.map(|t| t.as_micros()),
+            ]
+        })
         .flatten()
         .chain(trace.lifecycle_marks().iter().map(|(t, _, _)| *t))
         .max()
@@ -44,11 +49,17 @@ pub fn render_timeline(trace: &Trace, n: usize, width: usize) -> String {
             },
             (Some(_), OpKind::Write) => format!(
                 "W({})",
-                op.operation.write_value().map(|v| v.to_string()).unwrap_or_default()
+                op.operation
+                    .write_value()
+                    .map(|v| v.to_string())
+                    .unwrap_or_default()
             ),
             (None, OpKind::Write) => format!(
                 "W({})…",
-                op.operation.write_value().map(|v| v.to_string()).unwrap_or_default()
+                op.operation
+                    .write_value()
+                    .map(|v| v.to_string())
+                    .unwrap_or_default()
             ),
             (None, OpKind::Read) => "R…".to_string(),
         };
@@ -108,7 +119,11 @@ mod tests {
         trace.record_recover(VirtualTime(15_000), ProcessId(0));
         let r = OpId::new(ProcessId(1), 0);
         trace.record_invoke(VirtualTime(20_000), r, Op::Read);
-        trace.record_complete(VirtualTime(21_000), r, OpResult::ReadValue(Value::from_u32(1)));
+        trace.record_complete(
+            VirtualTime(21_000),
+            r,
+            OpResult::ReadValue(Value::from_u32(1)),
+        );
 
         let art = render_timeline(&trace, 2, 80);
         assert!(art.contains("p0"), "{art}");

@@ -32,7 +32,10 @@ impl VirtualTime {
     ///
     /// Panics if `earlier` is later than `self`.
     pub fn since(self, earlier: VirtualTime) -> Micros {
-        assert!(earlier.0 <= self.0, "time ran backwards: {earlier} > {self}");
+        assert!(
+            earlier.0 <= self.0,
+            "time ran backwards: {earlier} > {self}"
+        );
         Micros(self.0 - earlier.0)
     }
 }

@@ -180,7 +180,10 @@ impl Trace {
                     });
                 }
                 TraceEvent::Reply(op, result) => {
-                    h.push(rmem_consistency::Event::Reply { op: *op, result: result.clone() });
+                    h.push(rmem_consistency::Event::Reply {
+                        op: *op,
+                        result: result.clone(),
+                    });
                 }
                 TraceEvent::Crash(pid) => h.push(rmem_consistency::Event::Crash { pid: *pid }),
                 TraceEvent::Recover(pid) => h.push(rmem_consistency::Event::Recover { pid: *pid }),
@@ -287,7 +290,11 @@ mod tests {
         let mut t = Trace::new();
         let r = OpId::new(p(1), 0);
         t.record_invoke(VirtualTime(0), r, Op::Read);
-        t.record_complete(VirtualTime(1), r, OpResult::Rejected(rmem_types::RejectReason::Busy));
+        t.record_complete(
+            VirtualTime(1),
+            r,
+            OpResult::Rejected(rmem_types::RejectReason::Busy),
+        );
         assert!(!t.operation(r).unwrap().is_completed());
         assert!(t.latencies(OpKind::Read).is_empty());
     }

@@ -1,6 +1,8 @@
-//! Workload description: scripted adversary schedules and closed-loop
-//! clients.
+//! Workload description: scripted adversary schedules, closed-loop
+//! clients, and key-popularity distributions for store-level workloads.
 
+use rand::rngs::StdRng;
+use rand::Rng;
 use rmem_types::{Micros, Op, ProcessId};
 
 use crate::time::VirtualTime;
@@ -73,7 +75,9 @@ impl ClosedLoop {
     pub fn writes(pid: ProcessId, value: rmem_types::Value, count: usize) -> Self {
         ClosedLoop {
             pid,
-            ops: std::iter::repeat_with(|| Op::Write(value.clone())).take(count).collect(),
+            ops: std::iter::repeat_with(|| Op::Write(value.clone()))
+                .take(count)
+                .collect(),
             think: Micros(10),
             start_after: Micros(10),
         }
@@ -102,9 +106,81 @@ impl ClosedLoop {
     }
 }
 
+/// A discrete key-popularity distribution over indices `0..n`: Zipf with
+/// parameter `s` (`weight(i) ∝ 1/(i+1)^s`), degenerating to uniform at
+/// `s = 0`.
+///
+/// This is the standard skewed-access model for key-value workloads (YCSB
+/// uses s ≈ 0.99): a handful of hot keys take most of the traffic, which
+/// is exactly the regime where per-shard independence pays or hurts.
+/// Sampling is by binary search over the precomputed CDF — O(log n) per
+/// draw, deterministic given the caller's seeded [`StdRng`].
+#[derive(Debug, Clone)]
+pub struct KeyDistribution {
+    cdf: Vec<f64>,
+}
+
+impl KeyDistribution {
+    /// A uniform distribution over `n` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn uniform(n: usize) -> Self {
+        KeyDistribution::zipf(n, 0.0)
+    }
+
+    /// A Zipf distribution over `n` keys with exponent `s ≥ 0` (index 0 is
+    /// the hottest key).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn zipf(n: usize, s: f64) -> Self {
+        assert!(n > 0, "a key distribution needs at least one key");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "the Zipf exponent must be finite and ≥ 0"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for w in &mut cdf {
+            *w /= total;
+        }
+        KeyDistribution { cdf }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is over zero keys (never true).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a key index.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let coin: f64 = rng.gen_range(0.0..1.0);
+        match self
+            .cdf
+            .binary_search_by(|w| w.partial_cmp(&coin).expect("finite weights"))
+        {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
     use rmem_types::Value;
 
     #[test]
@@ -117,11 +193,61 @@ mod tests {
     }
 
     #[test]
+    fn uniform_distribution_covers_all_keys_evenly() {
+        let dist = KeyDistribution::uniform(8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 8];
+        for _ in 0..8_000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "uniform draw skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_distribution_is_head_heavy() {
+        let dist = KeyDistribution::zipf(16, 0.99);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 16];
+        for _ in 0..10_000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert!(
+            counts[0] > counts[8] * 3,
+            "index 0 must be much hotter: {counts:?}"
+        );
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "every key must still appear: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn zipf_samples_are_deterministic_per_seed() {
+        let dist = KeyDistribution::zipf(10, 0.7);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50).map(|_| dist.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn empty_distribution_panics() {
+        let _ = KeyDistribution::uniform(0);
+    }
+
+    #[test]
     fn closed_loop_constructors() {
         let w = ClosedLoop::writes(ProcessId(1), Value::from_u32(7), 50);
         assert_eq!(w.ops.len(), 50);
         assert!(matches!(w.ops[0], Op::Write(_)));
-        let r = ClosedLoop::reads(ProcessId(2), 3).with_think(Micros(100)).with_start_after(Micros(5));
+        let r = ClosedLoop::reads(ProcessId(2), 3)
+            .with_think(Micros(100))
+            .with_start_after(Micros(5));
         assert_eq!(r.ops.len(), 3);
         assert_eq!(r.think, Micros(100));
         assert_eq!(r.start_after, Micros(5));

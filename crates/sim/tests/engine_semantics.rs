@@ -33,7 +33,9 @@ impl Automaton for StoreThenSend {
             Input::StoreDone(StoreToken(1)) => {
                 out.push(Action::Send {
                     to: ProcessId(1),
-                    msg: Message::SnReq { req: RequestId::new(self.me, 7) },
+                    msg: Message::SnReq {
+                        req: RequestId::new(self.me, 7),
+                    },
                 });
             }
             _ => {}
@@ -73,9 +75,8 @@ impl AutomatonFactory for StoreThenSendFactory {
 fn in_flight_stores_die_with_the_crash() {
     // Stores take 200µs (default λ); crash p0 at t=100µs, mid-store.
     let schedule = Schedule::new().at(100, PlannedEvent::Crash(ProcessId(0)));
-    let mut sim =
-        Simulation::new(ClusterConfig::new(2), Arc::new(StoreThenSendFactory), 1)
-            .with_schedule(schedule);
+    let mut sim = Simulation::new(ClusterConfig::new(2), Arc::new(StoreThenSendFactory), 1)
+        .with_schedule(schedule);
     let report = sim.run();
     assert_eq!(
         sim.storage(ProcessId(0)).retrieve("probe").unwrap(),
@@ -83,7 +84,11 @@ fn in_flight_stores_die_with_the_crash() {
         "the in-flight store must be lost"
     );
     // p1's store (uninterrupted) landed.
-    assert!(sim.storage(ProcessId(1)).retrieve("probe").unwrap().is_some());
+    assert!(sim
+        .storage(ProcessId(1))
+        .retrieve("probe")
+        .unwrap()
+        .is_some());
     // p0 never sent its follow-up message (store never completed); p1 did.
     // p1's SnReq went to p1 itself (self-send).
     assert_eq!(report.trace.messages_sent, 1, "only p1's send happens");
@@ -97,14 +102,17 @@ fn recovered_incarnation_gets_no_stale_store_done() {
     let schedule = Schedule::new()
         .at(100, PlannedEvent::Crash(ProcessId(0)))
         .at(150, PlannedEvent::Recover(ProcessId(0)));
-    let mut sim =
-        Simulation::new(ClusterConfig::new(2), Arc::new(StoreThenSendFactory), 1)
-            .with_schedule(schedule);
+    let mut sim = Simulation::new(ClusterConfig::new(2), Arc::new(StoreThenSendFactory), 1)
+        .with_schedule(schedule);
     let report = sim.run();
     // The recovered incarnation stored "probe" again on Start at t=150,
     // completing ≈t=350; both processes end with durable probes and each
     // sent exactly one message.
-    assert!(sim.storage(ProcessId(0)).retrieve("probe").unwrap().is_some());
+    assert!(sim
+        .storage(ProcessId(0))
+        .retrieve("probe")
+        .unwrap()
+        .is_some());
     assert_eq!(report.trace.messages_sent, 2);
 }
 
@@ -114,14 +122,16 @@ fn messages_to_crashed_processes_vanish() {
     // p0's send departs ≈t=201 (after its 200µs store) and would arrive
     // at p1 ≈t=301; crash p1 at t=250 while the message is in flight.
     let schedule = Schedule::new().at(250, PlannedEvent::Crash(ProcessId(1)));
-    let mut sim =
-        Simulation::new(ClusterConfig::new(2), Arc::new(StoreThenSendFactory), 1)
-            .with_schedule(schedule);
+    let mut sim = Simulation::new(ClusterConfig::new(2), Arc::new(StoreThenSendFactory), 1)
+        .with_schedule(schedule);
     let report = sim.run();
     // Two sends happened (p0→p1, p1→p1-self... p1's self-send at ~t=201
     // arrives ~t=202, before its crash).
     assert_eq!(report.trace.messages_sent, 2);
-    assert_eq!(report.trace.messages_delivered, 1, "p0's message found p1 dead");
+    assert_eq!(
+        report.trace.messages_delivered, 1,
+        "p0's message found p1 dead"
+    );
 }
 
 /// Blocks are directional: blocking p0→p1 leaves p1→p0 intact.
@@ -130,9 +140,8 @@ fn partitions_are_directional() {
     let schedule = Schedule::new()
         // Block p0's direction before anything is sent.
         .at(10, PlannedEvent::Block(ProcessId(0), ProcessId(1)));
-    let mut sim =
-        Simulation::new(ClusterConfig::new(2), Arc::new(StoreThenSendFactory), 1)
-            .with_schedule(schedule);
+    let mut sim = Simulation::new(ClusterConfig::new(2), Arc::new(StoreThenSendFactory), 1)
+        .with_schedule(schedule);
     let report = sim.run();
     // p0's message to p1 dropped; p1's self-send unaffected.
     assert_eq!(report.trace.messages_sent, 2);
@@ -150,7 +159,10 @@ impl Automaton for TimerLoop {
     fn on_input(&mut self, input: Input, out: &mut Vec<Action>) {
         match input {
             Input::Start | Input::Timer(_) => {
-                out.push(Action::SetTimer { token: TimerToken(1), after: Micros(1_000) });
+                out.push(Action::SetTimer {
+                    token: TimerToken(1),
+                    after: Micros(1_000),
+                });
             }
             _ => {}
         }
@@ -195,7 +207,11 @@ fn max_time_stops_perpetual_timers() {
     assert!(!report.quiescent, "a never-ready timer loop cannot quiesce");
     assert!(report.final_time <= VirtualTime(50_000));
     // ~50 timer firings.
-    assert!((40..=60).contains(&report.events_processed), "{}", report.events_processed);
+    assert!(
+        (40..=60).contains(&report.events_processed),
+        "{}",
+        report.events_processed
+    );
 }
 
 /// The flip side: a *ready*, idle automaton whose only pending events are
@@ -207,7 +223,10 @@ fn ready_idle_timers_are_quiescent() {
     impl Automaton for ReadyTimer {
         fn on_input(&mut self, input: Input, out: &mut Vec<Action>) {
             if matches!(input, Input::Start) {
-                out.push(Action::SetTimer { token: TimerToken(1), after: Micros(1_000) });
+                out.push(Action::SetTimer {
+                    token: TimerToken(1),
+                    after: Micros(1_000),
+                });
             }
         }
         fn algorithm(&self) -> &'static str {
@@ -237,7 +256,10 @@ fn ready_idle_timers_are_quiescent() {
     assert!(report.quiescent);
     // The quiescence check runs after each processed event, so exactly one
     // timer fires before the engine notices nothing meaningful remains.
-    assert_eq!(report.events_processed, 1, "stop after the first idle timer");
+    assert_eq!(
+        report.events_processed, 1,
+        "stop after the first idle timer"
+    );
 }
 
 /// Timers set before a crash never fire in the next incarnation.
@@ -257,7 +279,11 @@ fn timers_die_with_their_incarnation() {
     // timer (counted but not delivered) + timers at 1600, 2600, …, 9600
     // (9 of them) = 12. Had the stale timer actually fired, it would have
     // re-armed and added a 1000-spaced second train of firings.
-    assert_eq!(report.events_processed, 3 + 9, "stale timer fired (or one was lost)");
+    assert_eq!(
+        report.events_processed,
+        3 + 9,
+        "stale timer fired (or one was lost)"
+    );
 }
 
 /// The engine rejects overlapping invocations per process, keeping
@@ -267,13 +293,20 @@ fn overlapping_invocations_are_refused_by_the_engine() {
     use rmem_core::Persistent;
     use rmem_types::{Op, Value};
     let schedule = Schedule::new()
-        .at(1_000, PlannedEvent::Invoke(ProcessId(0), Op::Write(Value::from_u32(1))))
+        .at(
+            1_000,
+            PlannedEvent::Invoke(ProcessId(0), Op::Write(Value::from_u32(1))),
+        )
         // 100µs later the first write is still running (it needs ≈800µs).
         .at(1_100, PlannedEvent::Invoke(ProcessId(0), Op::Read));
     let mut sim =
         Simulation::new(ClusterConfig::new(3), Persistent::factory(), 3).with_schedule(schedule);
     let report = sim.run();
-    assert_eq!(report.trace.operations().len(), 1, "the overlapping read never started");
+    assert_eq!(
+        report.trace.operations().len(),
+        1,
+        "the overlapping read never started"
+    );
     assert_eq!(report.trace.invokes_dropped, 1);
     assert!(report.trace.to_history().well_formed().is_ok());
 }
@@ -295,7 +328,11 @@ fn simultaneous_events_replay_identically() {
         )
         .with_schedule(schedule);
         let report = sim.run();
-        (report.events_processed, report.trace.messages_sent, report.final_time)
+        (
+            report.events_processed,
+            report.trace.messages_sent,
+            report.final_time,
+        )
     };
     assert_eq!(run(), run());
 }
@@ -309,8 +346,7 @@ fn recovery_durations_are_recorded() {
         let schedule = Schedule::new()
             .at(1_000, PlannedEvent::Crash(ProcessId(0)))
             .at(2_000, PlannedEvent::Recover(ProcessId(0)));
-        let mut sim =
-            Simulation::new(ClusterConfig::new(3), factory, 11).with_schedule(schedule);
+        let mut sim = Simulation::new(ClusterConfig::new(3), factory, 11).with_schedule(schedule);
         let report = sim.run();
         assert_eq!(report.trace.recovery_durations.len(), 1);
         let d = report.trace.recovery_durations[0];

@@ -33,7 +33,10 @@ pub enum StorageError {
 impl StorageError {
     /// Convenience constructor for I/O failures.
     pub fn io(key: impl Into<String>, source: std::io::Error) -> Self {
-        StorageError::Io { key: key.into(), source: Arc::new(source) }
+        StorageError::Io {
+            key: key.into(),
+            source: Arc::new(source),
+        }
     }
 
     /// The slot the failing operation addressed.
@@ -82,7 +85,9 @@ mod tests {
         assert_eq!(e.key(), "writing");
         assert!(e.to_string().contains("disk on fire"));
 
-        let e = StorageError::Injected { key: "written".into() };
+        let e = StorageError::Injected {
+            key: "written".into(),
+        };
         assert_eq!(e.key(), "written");
         assert!(e.to_string().contains("injected"));
     }

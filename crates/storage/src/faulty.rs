@@ -85,7 +85,11 @@ pub struct FaultyStorage<S> {
 impl<S: StableStorage> FaultyStorage<S> {
     /// Wraps `inner` with the given plan.
     pub fn new(inner: S, plan: FaultPlan) -> Self {
-        FaultyStorage { inner, plan, injected: 0 }
+        FaultyStorage {
+            inner,
+            plan,
+            injected: 0,
+        }
     }
 
     /// How many failures have been injected so far.
@@ -103,7 +107,9 @@ impl<S: StableStorage> StableStorage for FaultyStorage<S> {
     fn store(&mut self, key: &str, bytes: Bytes) -> Result<(), StorageError> {
         if self.plan.should_fail(key) {
             self.injected += 1;
-            return Err(StorageError::Injected { key: key.to_string() });
+            return Err(StorageError::Injected {
+                key: key.to_string(),
+            });
         }
         self.inner.store(key, bytes)
     }
@@ -137,7 +143,10 @@ mod tests {
         let mut s = FaultyStorage::new(MemStorage::new(), FaultPlan::fail_at(vec![2]));
         s.store("slot", Bytes::from_static(b"old")).unwrap();
         assert!(s.store("slot", Bytes::from_static(b"new")).is_err());
-        assert_eq!(s.retrieve("slot").unwrap(), Some(Bytes::from_static(b"old")));
+        assert_eq!(
+            s.retrieve("slot").unwrap(),
+            Some(Bytes::from_static(b"old"))
+        );
     }
 
     #[test]

@@ -137,7 +137,10 @@ mod tests {
         let mut s = FileStorage::open(&dir).unwrap();
         assert_eq!(s.retrieve("written").unwrap(), None);
         s.store("written", Bytes::from_static(b"hello")).unwrap();
-        assert_eq!(s.retrieve("written").unwrap(), Some(Bytes::from_static(b"hello")));
+        assert_eq!(
+            s.retrieve("written").unwrap(),
+            Some(Bytes::from_static(b"hello"))
+        );
         fs::remove_dir_all(dir).unwrap();
     }
 
@@ -146,12 +149,16 @@ mod tests {
         let dir = tmpdir("reopen");
         {
             let mut s = FileStorage::open(&dir).unwrap();
-            s.store("writing", Bytes::from_static(b"persist-me")).unwrap();
+            s.store("writing", Bytes::from_static(b"persist-me"))
+                .unwrap();
         }
         // Simulates the process crashing and a new incarnation reopening
         // the same directory.
         let s = FileStorage::open(&dir).unwrap();
-        assert_eq!(s.retrieve("writing").unwrap(), Some(Bytes::from_static(b"persist-me")));
+        assert_eq!(
+            s.retrieve("writing").unwrap(),
+            Some(Bytes::from_static(b"persist-me"))
+        );
         fs::remove_dir_all(dir).unwrap();
     }
 
@@ -187,10 +194,17 @@ mod tests {
     fn distinct_keys_do_not_collide() {
         let dir = tmpdir("collide");
         let mut s = FileStorage::open(&dir).unwrap();
-        s.store("a%2fb", Bytes::from_static(b"literal-percent")).unwrap();
+        s.store("a%2fb", Bytes::from_static(b"literal-percent"))
+            .unwrap();
         s.store("a/b", Bytes::from_static(b"slash")).unwrap();
-        assert_eq!(s.retrieve("a%2fb").unwrap(), Some(Bytes::from_static(b"literal-percent")));
-        assert_eq!(s.retrieve("a/b").unwrap(), Some(Bytes::from_static(b"slash")));
+        assert_eq!(
+            s.retrieve("a%2fb").unwrap(),
+            Some(Bytes::from_static(b"literal-percent"))
+        );
+        assert_eq!(
+            s.retrieve("a/b").unwrap(),
+            Some(Bytes::from_static(b"slash"))
+        );
         fs::remove_dir_all(dir).unwrap();
     }
 }

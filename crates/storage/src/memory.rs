@@ -73,7 +73,10 @@ mod tests {
         let mut s = MemStorage::new();
         s.store("writing", Bytes::from_static(b"old")).unwrap();
         s.store("writing", Bytes::from_static(b"new")).unwrap();
-        assert_eq!(s.retrieve("writing").unwrap(), Some(Bytes::from_static(b"new")));
+        assert_eq!(
+            s.retrieve("writing").unwrap(),
+            Some(Bytes::from_static(b"new"))
+        );
         assert_eq!(s.store_count(), 2);
     }
 
@@ -83,7 +86,10 @@ mod tests {
         s.store("written", Bytes::new()).unwrap();
         s.store("recovered", Bytes::new()).unwrap();
         s.store("written", Bytes::new()).unwrap();
-        assert_eq!(s.keys(), vec!["recovered".to_string(), "written".to_string()]);
+        assert_eq!(
+            s.keys(),
+            vec!["recovered".to_string(), "written".to_string()]
+        );
     }
 
     #[test]
@@ -101,6 +107,9 @@ mod tests {
         s.store("a", Bytes::from_static(b"v")).unwrap();
         let snapshot = s.clone();
         s.store("a", Bytes::from_static(b"w")).unwrap();
-        assert_eq!(snapshot.retrieve("a").unwrap(), Some(Bytes::from_static(b"v")));
+        assert_eq!(
+            snapshot.retrieve("a").unwrap(),
+            Some(Bytes::from_static(b"v"))
+        );
     }
 }

@@ -37,7 +37,9 @@ fn finish(buf: &[u8]) -> Result<(), DecodeError> {
     if buf.is_empty() {
         Ok(())
     } else {
-        Err(DecodeError::TrailingBytes { remaining: buf.len() })
+        Err(DecodeError::TrailingBytes {
+            remaining: buf.len(),
+        })
     }
 }
 
@@ -91,7 +93,10 @@ impl WrittenRecord {
     /// The record `Initialize` writes before any write is seen (Fig. 4
     /// line 4): tag `[0, me]`… the paper stores `(0, i, ⊥)`.
     pub fn initial(me: rmem_types::ProcessId) -> Self {
-        WrittenRecord { ts: Timestamp::new(0, me), value: Value::bottom() }
+        WrittenRecord {
+            ts: Timestamp::new(0, me),
+            value: Value::bottom(),
+        }
     }
 
     /// Encodes the record for storage.

@@ -166,7 +166,10 @@ impl Action {
     /// destination in `0..n`, **including the sender itself** (see
     /// [`Action::Send`]).
     pub fn broadcast(n: usize, msg: &Message) -> impl Iterator<Item = Action> + '_ {
-        ProcessId::all(n).map(move |to| Action::Send { to, msg: msg.clone() })
+        ProcessId::all(n).map(move |to| Action::Send {
+            to,
+            msg: msg.clone(),
+        })
     }
 }
 
@@ -232,7 +235,9 @@ mod tests {
 
     #[test]
     fn broadcast_targets_every_process_including_self() {
-        let msg = Message::SnReq { req: RequestId::new(ProcessId(1), 4) };
+        let msg = Message::SnReq {
+            req: RequestId::new(ProcessId(1), 4),
+        };
         let actions: Vec<_> = Action::broadcast(3, &msg).collect();
         assert_eq!(actions.len(), 3);
         let targets: Vec<_> = actions

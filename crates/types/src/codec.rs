@@ -218,7 +218,9 @@ pub fn decode_message(bytes: &[u8]) -> Result<Message, DecodeError> {
     const CTX: &str = "Message";
     let tag = get_u8(&mut buf, CTX)?;
     let msg = match tag {
-        TAG_SN_REQ => Message::SnReq { req: get_request_id(&mut buf, CTX)? },
+        TAG_SN_REQ => Message::SnReq {
+            req: get_request_id(&mut buf, CTX)?,
+        },
         TAG_SN_ACK => Message::SnAck {
             req: get_request_id(&mut buf, CTX)?,
             seq: get_u64(&mut buf, CTX)?,
@@ -228,8 +230,12 @@ pub fn decode_message(bytes: &[u8]) -> Result<Message, DecodeError> {
             ts: get_timestamp(&mut buf, CTX)?,
             value: get_value(&mut buf, CTX)?,
         },
-        TAG_WRITE_ACK => Message::WriteAck { req: get_request_id(&mut buf, CTX)? },
-        TAG_READ => Message::Read { req: get_request_id(&mut buf, CTX)? },
+        TAG_WRITE_ACK => Message::WriteAck {
+            req: get_request_id(&mut buf, CTX)?,
+        },
+        TAG_READ => Message::Read {
+            req: get_request_id(&mut buf, CTX)?,
+        },
         TAG_READ_ACK => Message::ReadAck {
             req: get_request_id(&mut buf, CTX)?,
             ts: get_timestamp(&mut buf, CTX)?,
@@ -238,7 +244,9 @@ pub fn decode_message(bytes: &[u8]) -> Result<Message, DecodeError> {
         tag => return Err(DecodeError::BadTag { context: CTX, tag }),
     };
     if !buf.is_empty() {
-        return Err(DecodeError::TrailingBytes { remaining: buf.len() });
+        return Err(DecodeError::TrailingBytes {
+            remaining: buf.len(),
+        });
     }
     Ok(msg)
 }
@@ -253,13 +261,33 @@ mod tests {
         vec![
             Message::SnReq { req },
             Message::SnAck { req, seq: 12 },
-            Message::Write { req, ts, value: Value::from_u32(77) },
-            Message::Write { req, ts, value: Value::bottom() },
-            Message::Write { req, ts, value: Value::new(vec![0u8; 65536]) },
+            Message::Write {
+                req,
+                ts,
+                value: Value::from_u32(77),
+            },
+            Message::Write {
+                req,
+                ts,
+                value: Value::bottom(),
+            },
+            Message::Write {
+                req,
+                ts,
+                value: Value::new(vec![0u8; 65536]),
+            },
             Message::WriteAck { req },
             Message::Read { req },
-            Message::ReadAck { req, ts, value: Value::from("payload") },
-            Message::ReadAck { req, ts, value: Value::bottom() },
+            Message::ReadAck {
+                req,
+                ts,
+                value: Value::from("payload"),
+            },
+            Message::ReadAck {
+                req,
+                ts,
+                value: Value::bottom(),
+            },
         ]
     }
 
@@ -276,8 +304,16 @@ mod tests {
     fn bottom_survives_roundtrip_distinct_from_empty() {
         let req = RequestId::new(ProcessId(0), 0);
         let ts = Timestamp::ZERO;
-        let bot = Message::Write { req, ts, value: Value::bottom() };
-        let empty = Message::Write { req, ts, value: Value::new(Vec::new()) };
+        let bot = Message::Write {
+            req,
+            ts,
+            value: Value::bottom(),
+        };
+        let empty = Message::Write {
+            req,
+            ts,
+            value: Value::new(Vec::new()),
+        };
         let b1 = encode_message(&bot);
         let b2 = encode_message(&empty);
         assert_ne!(b1, b2);
@@ -291,7 +327,11 @@ mod tests {
             let bytes = encode_message(&msg);
             for cut in 0..bytes.len() {
                 let err = decode_message(&bytes[..cut]);
-                assert!(err.is_err(), "decoding a truncated {} must fail", msg.label());
+                assert!(
+                    err.is_err(),
+                    "decoding a truncated {} must fail",
+                    msg.label()
+                );
             }
         }
     }
@@ -303,7 +343,10 @@ mod tests {
         })
         .to_vec();
         bytes.push(0);
-        assert_eq!(decode_message(&bytes), Err(DecodeError::TrailingBytes { remaining: 1 }));
+        assert_eq!(
+            decode_message(&bytes),
+            Err(DecodeError::TrailingBytes { remaining: 1 })
+        );
     }
 
     #[test]
@@ -340,7 +383,10 @@ mod tests {
         assert_eq!(get_u64(&mut r, "t").unwrap(), 0xDEAD_BEEF_0000_0001);
         assert_eq!(get_u16(&mut r, "t").unwrap(), 515);
         assert_eq!(get_bytes(&mut r, "t").unwrap().as_ref(), b"xyz");
-        assert_eq!(get_timestamp(&mut r, "t").unwrap(), Timestamp::new(9, ProcessId(2)));
+        assert_eq!(
+            get_timestamp(&mut r, "t").unwrap(),
+            Timestamp::new(9, ProcessId(2))
+        );
         assert!(r.is_empty());
     }
 }

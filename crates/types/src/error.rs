@@ -38,7 +38,10 @@ impl std::fmt::Display for DecodeError {
                 write!(f, "unexpected end of buffer while decoding {context}")
             }
             DecodeError::BadTag { context, tag } => {
-                write!(f, "unknown discriminant {tag:#04x} while decoding {context}")
+                write!(
+                    f,
+                    "unknown discriminant {tag:#04x} while decoding {context}"
+                )
             }
             DecodeError::BadLength { context, len } => {
                 write!(f, "implausible length {len} while decoding {context}")
@@ -60,9 +63,15 @@ mod tests {
     fn display_messages_are_lowercase_and_informative() {
         let e = DecodeError::UnexpectedEof { context: "Message" };
         assert!(e.to_string().contains("unexpected end"));
-        let e = DecodeError::BadTag { context: "Message", tag: 0xff };
+        let e = DecodeError::BadTag {
+            context: "Message",
+            tag: 0xff,
+        };
         assert!(e.to_string().contains("0xff"));
-        let e = DecodeError::BadLength { context: "Value", len: 1 << 40 };
+        let e = DecodeError::BadLength {
+            context: "Value",
+            len: 1 << 40,
+        };
         assert!(e.to_string().contains("implausible"));
         let e = DecodeError::TrailingBytes { remaining: 3 };
         assert!(e.to_string().contains("3 trailing"));

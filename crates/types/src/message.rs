@@ -37,7 +37,11 @@ pub struct RequestId {
 impl RequestId {
     /// Creates a request id for the default register.
     pub fn new(origin: ProcessId, nonce: u64) -> Self {
-        RequestId { origin, nonce, reg: crate::RegisterId::ZERO }
+        RequestId {
+            origin,
+            nonce,
+            reg: crate::RegisterId::ZERO,
+        }
     }
 
     /// Creates a request id addressing a specific register.
@@ -186,10 +190,18 @@ mod tests {
         let msgs = [
             Message::SnReq { req: rid() },
             Message::SnAck { req: rid(), seq: 3 },
-            Message::Write { req: rid(), ts, value: v.clone() },
+            Message::Write {
+                req: rid(),
+                ts,
+                value: v.clone(),
+            },
             Message::WriteAck { req: rid() },
             Message::Read { req: rid() },
-            Message::ReadAck { req: rid(), ts, value: v },
+            Message::ReadAck {
+                req: rid(),
+                ts,
+                value: v,
+            },
         ];
         for m in &msgs {
             assert_eq!(m.request_id(), rid());
@@ -208,8 +220,24 @@ mod tests {
     fn payload_len_counts_only_value_bearing_messages() {
         let v = Value::new(vec![0u8; 1024]);
         let ts = Timestamp::ZERO;
-        assert_eq!(Message::Write { req: rid(), ts, value: v.clone() }.payload_len(), 1024);
-        assert_eq!(Message::ReadAck { req: rid(), ts, value: v }.payload_len(), 1024);
+        assert_eq!(
+            Message::Write {
+                req: rid(),
+                ts,
+                value: v.clone()
+            }
+            .payload_len(),
+            1024
+        );
+        assert_eq!(
+            Message::ReadAck {
+                req: rid(),
+                ts,
+                value: v
+            }
+            .payload_len(),
+            1024
+        );
         assert_eq!(Message::SnReq { req: rid() }.payload_len(), 0);
     }
 

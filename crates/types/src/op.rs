@@ -182,7 +182,10 @@ mod tests {
         assert_eq!(Op::Read.kind(), OpKind::Read);
         assert_eq!(Op::Write(Value::from_u32(1)).kind(), OpKind::Write);
         assert_eq!(Op::ReadAt(RegisterId(3)).kind(), OpKind::Read);
-        assert_eq!(Op::WriteAt(RegisterId(3), Value::from_u32(1)).kind(), OpKind::Write);
+        assert_eq!(
+            Op::WriteAt(RegisterId(3), Value::from_u32(1)).kind(),
+            OpKind::Write
+        );
         assert_eq!(OpKind::Read.to_string(), "R");
         assert_eq!(OpKind::Write.to_string(), "W");
     }
@@ -193,11 +196,20 @@ mod tests {
         assert_eq!(Op::Read.register(), RegisterId::ZERO);
         assert_eq!(Op::Write(v.clone()).register(), RegisterId::ZERO);
         assert_eq!(Op::ReadAt(RegisterId(7)).register(), RegisterId(7));
-        assert_eq!(Op::WriteAt(RegisterId(7), v.clone()).register(), RegisterId(7));
+        assert_eq!(
+            Op::WriteAt(RegisterId(7), v.clone()).register(),
+            RegisterId(7)
+        );
         assert_eq!(Op::ReadAt(RegisterId(7)).normalized(), Op::Read);
-        assert_eq!(Op::WriteAt(RegisterId(7), v.clone()).normalized(), Op::Write(v.clone()));
+        assert_eq!(
+            Op::WriteAt(RegisterId(7), v.clone()).normalized(),
+            Op::Write(v.clone())
+        );
         assert_eq!(Op::Read.normalized(), Op::Read);
-        assert_eq!(Op::WriteAt(RegisterId(1), v.clone()).write_value(), Some(&v));
+        assert_eq!(
+            Op::WriteAt(RegisterId(1), v.clone()).write_value(),
+            Some(&v)
+        );
         assert_eq!(Op::ReadAt(RegisterId(1)).write_value(), None);
     }
 

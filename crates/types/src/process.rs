@@ -81,7 +81,10 @@ mod tests {
     #[test]
     fn all_enumerates_in_order() {
         let ids: Vec<_> = ProcessId::all(4).collect();
-        assert_eq!(ids, vec![ProcessId(0), ProcessId(1), ProcessId(2), ProcessId(3)]);
+        assert_eq!(
+            ids,
+            vec![ProcessId(0), ProcessId(1), ProcessId(2), ProcessId(3)]
+        );
     }
 
     #[test]

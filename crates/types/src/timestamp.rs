@@ -34,7 +34,10 @@ pub struct Timestamp {
 
 impl Timestamp {
     /// The initial tag `[0, p0]` shared by all processes before any write.
-    pub const ZERO: Timestamp = Timestamp { seq: 0, pid: ProcessId(0) };
+    pub const ZERO: Timestamp = Timestamp {
+        seq: 0,
+        pid: ProcessId(0),
+    };
 
     /// Creates a tag from its components.
     pub fn new(seq: Seq, pid: ProcessId) -> Self {
@@ -44,7 +47,10 @@ impl Timestamp {
     /// The tag a writer `pid` forms after observing this tag as the highest
     /// in its query round: `[seq + 1, pid]` (Fig. 4 line 11).
     pub fn next(self, pid: ProcessId) -> Timestamp {
-        Timestamp { seq: self.seq + 1, pid }
+        Timestamp {
+            seq: self.seq + 1,
+            pid,
+        }
     }
 
     /// The tag a *recovered transient* writer forms: `[seq + rec + 1, pid]`
@@ -52,7 +58,10 @@ impl Timestamp {
     /// guarantees the new tag dominates any tag the writer may have used in
     /// a write that was cut short by a crash and never logged locally.
     pub fn next_after_recoveries(self, pid: ProcessId, rec: u64) -> Timestamp {
-        Timestamp { seq: self.seq + rec + 1, pid }
+        Timestamp {
+            seq: self.seq + rec + 1,
+            pid,
+        }
     }
 }
 
@@ -70,7 +79,10 @@ mod tests {
     fn lexicographic_order_seq_dominates() {
         let low = Timestamp::new(1, ProcessId(9));
         let high = Timestamp::new(2, ProcessId(0));
-        assert!(low < high, "sequence number must dominate the pid tie-break");
+        assert!(
+            low < high,
+            "sequence number must dominate the pid tie-break"
+        );
     }
 
     #[test]
@@ -78,7 +90,10 @@ mod tests {
         let a = Timestamp::new(7, ProcessId(1));
         let b = Timestamp::new(7, ProcessId(2));
         assert!(a < b);
-        assert_ne!(a, b, "concurrent writes by distinct writers never share a tag");
+        assert_ne!(
+            a, b,
+            "concurrent writes by distinct writers never share a tag"
+        );
     }
 
     #[test]

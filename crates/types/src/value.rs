@@ -21,12 +21,18 @@ pub struct Value {
 impl Value {
     /// The unwritten value ⊥ every register starts with (Fig. 4 line 2).
     pub fn bottom() -> Self {
-        Value { bytes: Bytes::new(), bottom: true }
+        Value {
+            bytes: Bytes::new(),
+            bottom: true,
+        }
     }
 
     /// Wraps a payload.
     pub fn new(bytes: impl Into<Bytes>) -> Self {
-        Value { bytes: bytes.into(), bottom: false }
+        Value {
+            bytes: bytes.into(),
+            bottom: false,
+        }
     }
 
     /// Convenience constructor for the 4-byte integer payloads used by the

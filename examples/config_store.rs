@@ -43,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cluster.restart(ProcessId(4))?;
     let v = cluster.client(ProcessId(0)).read()?;
     println!("recovered p0 reads: {v}");
-    assert_eq!(v, config_blob(2, 5), "recovered node must see the latest configuration");
+    assert_eq!(
+        v,
+        config_blob(2, 5),
+        "recovered node must see the latest configuration"
+    );
 
     // Even a full-cluster power failure keeps the configuration: every
     // node crashes, every node recovers.

@@ -33,10 +33,17 @@ fn main() {
         for op in report.trace.operations() {
             println!("  {}", rmem_examples::describe_op(op));
         }
-        println!("{}", rmem_sim::render::render_timeline(&report.trace, 3, 90));
+        println!(
+            "{}",
+            rmem_sim::render::render_timeline(&report.trace, 3, 90)
+        );
         let history = report.trace.to_history();
-        let persistent = check_persistent(&history).map(|_| ()).map_err(|e| e.to_string());
-        let transient = check_transient(&history).map(|_| ()).map_err(|e| e.to_string());
+        let persistent = check_persistent(&history)
+            .map(|_| ())
+            .map_err(|e| e.to_string());
+        let transient = check_transient(&history)
+            .map(|_| ())
+            .map_err(|e| e.to_string());
         println!("  persistent atomicity: {}", verdict(&persistent));
         println!("  transient atomicity:  {}", verdict(&transient));
         println!();

@@ -12,7 +12,10 @@ use rmem_sim::{ClusterConfig, NetConfig, PlannedEvent, Schedule, Simulation};
 use rmem_types::{OpKind, ProcessId, Value};
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2024);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2024);
 
     // A hostile network: 20% loss, 10% duplication, jittered delays …
     let net = NetConfig::lossy(0.20, 0.10);
@@ -32,15 +35,12 @@ fn main() {
         .at(180_000, PlannedEvent::Recover(ProcessId(2)))
         .at(185_000, PlannedEvent::Recover(ProcessId(4)));
 
-    let mut sim =
-        Simulation::new(config, Persistent::factory(), seed).with_schedule(schedule);
+    let mut sim = Simulation::new(config, Persistent::factory(), seed).with_schedule(schedule);
     sim.add_closed_loop(
         ClosedLoop::writes(ProcessId(0), Value::from_u32(1), 25)
             .with_think(rmem_types::Micros(5_000)),
     );
-    sim.add_closed_loop(
-        ClosedLoop::reads(ProcessId(2), 25).with_think(rmem_types::Micros(5_000)),
-    );
+    sim.add_closed_loop(ClosedLoop::reads(ProcessId(2), 25).with_think(rmem_types::Micros(5_000)));
     let report = sim.run();
 
     let writes = report.trace.latencies(OpKind::Write);

@@ -18,9 +18,15 @@ fn main() {
     // A scripted run: p0 writes, p1 reads, p0 crashes mid-write and
     // recovers, p2 reads what the recovery finished.
     let schedule = Schedule::new()
-        .at(1_000, PlannedEvent::Invoke(ProcessId(0), Op::Write(Value::from("hello"))))
+        .at(
+            1_000,
+            PlannedEvent::Invoke(ProcessId(0), Op::Write(Value::from("hello"))),
+        )
         .at(10_000, PlannedEvent::Invoke(ProcessId(1), Op::Read))
-        .at(20_000, PlannedEvent::Invoke(ProcessId(0), Op::Write(Value::from("world"))))
+        .at(
+            20_000,
+            PlannedEvent::Invoke(ProcessId(0), Op::Write(Value::from("world"))),
+        )
         .at(20_500, PlannedEvent::Crash(ProcessId(0))) // mid-write, after its pre-log
         .at(25_000, PlannedEvent::Recover(ProcessId(0)))
         .at(35_000, PlannedEvent::Invoke(ProcessId(2), Op::Read));

@@ -12,7 +12,10 @@ use rmem_types::{ProcessId, Value};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join(format!("rmem-real-cluster-{}", std::process::id()));
-    println!("3-node persistent-atomic cluster over loopback UDP; logs under {}", dir.display());
+    println!(
+        "3-node persistent-atomic cluster over loopback UDP; logs under {}",
+        dir.display()
+    );
 
     let mut cluster = LocalCluster::udp(3, Persistent::factory(), &dir)?;
 
@@ -24,7 +27,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         client.write(Value::from_u32(i))?;
     }
     let mean = start.elapsed().as_micros() as f64 / f64::from(rounds);
-    println!("{rounds} writes done, mean latency {mean:.0}µs (2 UDP round-trips + 2 causal fsync logs)");
+    println!(
+        "{rounds} writes done, mean latency {mean:.0}µs (2 UDP round-trips + 2 causal fsync logs)"
+    );
 
     let v = cluster.client(ProcessId(1)).read()?;
     println!("read via p1: {}", v.as_u32().expect("u32 payload"));
@@ -35,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cluster.client(ProcessId(2)).write(Value::from_u32(4242))?;
     cluster.restart(ProcessId(0))?;
     let v = cluster.client(ProcessId(0)).read()?;
-    println!("p0 restarted from its fsync'd logs and reads: {}", v.as_u32().unwrap());
+    println!(
+        "p0 restarted from its fsync'd logs and reads: {}",
+        v.as_u32().unwrap()
+    );
     assert_eq!(v.as_u32(), Some(4242));
 
     cluster.shutdown();

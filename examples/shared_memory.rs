@@ -24,7 +24,10 @@ const KEYS: &[(&str, RegisterId)] = &[
 ];
 
 fn reg_of(key: &str) -> RegisterId {
-    KEYS.iter().find(|(k, _)| *k == key).map(|(_, r)| *r).expect("known key")
+    KEYS.iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, r)| *r)
+        .expect("known key")
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -32,9 +35,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("3-node shared memory (persistent-atomic per register)");
 
     // Different processes write different slots concurrently-ish.
-    cluster.client(ProcessId(0)).write_at(reg_of("leader"), Value::from("node-0"))?;
-    cluster.client(ProcessId(1)).write_at(reg_of("epoch"), Value::from_u32(1))?;
-    cluster.client(ProcessId(2)).write_at(reg_of("quota"), Value::from_u32(1000))?;
+    cluster
+        .client(ProcessId(0))
+        .write_at(reg_of("leader"), Value::from("node-0"))?;
+    cluster
+        .client(ProcessId(1))
+        .write_at(reg_of("epoch"), Value::from_u32(1))?;
+    cluster
+        .client(ProcessId(2))
+        .write_at(reg_of("quota"), Value::from_u32(1000))?;
 
     for (key, reg) in KEYS {
         let v = cluster.client(ProcessId(0)).read_at(*reg)?;
@@ -42,7 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Bump the epoch through another node, then a full blackout.
-    cluster.client(ProcessId(2)).write_at(reg_of("epoch"), Value::from_u32(2))?;
+    cluster
+        .client(ProcessId(2))
+        .write_at(reg_of("epoch"), Value::from_u32(2))?;
     println!("total power failure…");
     for pid in ProcessId::all(3) {
         cluster.kill(pid);
@@ -60,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     assert!(all_good, "every slot must survive the blackout");
     assert_eq!(
-        cluster.client(ProcessId(1)).read_at(reg_of("epoch"))?.as_u32(),
+        cluster
+            .client(ProcessId(1))
+            .read_at(reg_of("epoch"))?
+            .as_u32(),
         Some(2),
         "the last epoch bump must be the one that survives"
     );

@@ -45,10 +45,12 @@ fn persistent_survives_random_crash_storms() {
         );
         sim.add_closed_loop(ClosedLoop::reads(ProcessId(2), 12).with_think(Micros(8_000)));
         let report = sim.run();
-        check_persistent(&report.trace.to_history())
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        check_persistent(&report.trace.to_history()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         let all_done = report.trace.operations().iter().all(|o| o.is_completed());
-        assert!(all_done, "seed {seed}: clients never crash, all their ops must finish");
+        assert!(
+            all_done,
+            "seed {seed}: clients never crash, all their ops must finish"
+        );
     }
 }
 
@@ -65,8 +67,7 @@ fn transient_survives_random_crash_storms() {
         );
         sim.add_closed_loop(ClosedLoop::reads(ProcessId(0), 12).with_think(Micros(8_000)));
         let report = sim.run();
-        check_transient(&report.trace.to_history())
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        check_transient(&report.trace.to_history()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
 }
 
@@ -74,8 +75,10 @@ fn transient_survives_random_crash_storms() {
 /// repeated three times in one run, with writes between blackouts.
 #[test]
 fn repeated_total_crashes_are_survived() {
-    let mut schedule = Schedule::new()
-        .at(5_000, PlannedEvent::Invoke(ProcessId(0), rmem_types::Op::Write(Value::from_u32(1))));
+    let mut schedule = Schedule::new().at(
+        5_000,
+        PlannedEvent::Invoke(ProcessId(0), rmem_types::Op::Write(Value::from_u32(1))),
+    );
     for round in 0..3u64 {
         let t = 20_000 + round * 30_000;
         for i in 0..3u16 {
@@ -92,7 +95,10 @@ fn repeated_total_crashes_are_survived() {
             ),
         );
     }
-    schedule = schedule.at(130_000, PlannedEvent::Invoke(ProcessId(1), rmem_types::Op::Read));
+    schedule = schedule.at(
+        130_000,
+        PlannedEvent::Invoke(ProcessId(1), rmem_types::Op::Read),
+    );
     let mut sim =
         Simulation::new(ClusterConfig::new(3), Persistent::factory(), 99).with_schedule(schedule);
     let report = sim.run();
@@ -100,7 +106,13 @@ fn repeated_total_crashes_are_survived() {
     let last_read = report.trace.operations().iter().last().unwrap();
     assert!(last_read.is_completed());
     assert_eq!(
-        last_read.result.as_ref().unwrap().read_value().unwrap().as_u32(),
+        last_read
+            .result
+            .as_ref()
+            .unwrap()
+            .read_value()
+            .unwrap()
+            .as_u32(),
         Some(4),
         "the final read sees the last completed write"
     );

@@ -23,10 +23,20 @@ fn ablated(flavor: rmem_core::Flavor) -> Arc<FlavorFactory> {
 fn rho1_without_pre_log_violates_both_criteria() {
     let report = run_scheduled(3, ablated(ablation::no_pre_log()), scenarios::rho1(), 1);
     let reads = read_values(&report);
-    assert_eq!(reads, vec![Some(2), Some(3), Some(2)], "the confused-values read pattern");
+    assert_eq!(
+        reads,
+        vec![Some(2), Some(3), Some(2)],
+        "the confused-values read pattern"
+    );
     let h = report.trace.to_history();
-    assert!(check_persistent(&h).is_err(), "Theorem 1: persistent atomicity must fail");
-    assert!(check_transient(&h).is_err(), "the orphan tag breaks even transient atomicity");
+    assert!(
+        check_persistent(&h).is_err(),
+        "Theorem 1: persistent atomicity must fail"
+    );
+    assert!(
+        check_transient(&h).is_err(),
+        "the orphan tag breaks even transient atomicity"
+    );
 }
 
 /// The same run under the intact persistent algorithm: the pre-log +
@@ -54,7 +64,10 @@ fn rho1_with_transient_algorithm_is_atomic() {
 fn rho1_without_rec_counter_violates_transient_atomicity() {
     let report = run_scheduled(3, ablated(ablation::no_rec_counter()), scenarios::rho1(), 1);
     let h = report.trace.to_history();
-    assert!(check_transient(&h).is_err(), "without rec the tag collision returns");
+    assert!(
+        check_transient(&h).is_err(),
+        "without rec the tag collision returns"
+    );
 }
 
 /// Theorem 2 (ρ4): with log-free reads (no write-back round), the reader
@@ -62,11 +75,23 @@ fn rho1_without_rec_counter_violates_transient_atomicity() {
 /// inversion across its crash.
 #[test]
 fn rho4_without_read_write_back_violates_both_criteria() {
-    let report = run_scheduled(3, ablated(ablation::no_read_write_back()), scenarios::rho4(), 2);
+    let report = run_scheduled(
+        3,
+        ablated(ablation::no_read_write_back()),
+        scenarios::rho4(),
+        2,
+    );
     let reads = read_values(&report);
-    assert_eq!(reads, vec![Some(2), Some(1)], "the ρ4 inversion: v2 then v1");
+    assert_eq!(
+        reads,
+        vec![Some(2), Some(1)],
+        "the ρ4 inversion: v2 then v1"
+    );
     let h = report.trace.to_history();
-    assert!(check_persistent(&h).is_err(), "Theorem 2: persistent atomicity must fail");
+    assert!(
+        check_persistent(&h).is_err(),
+        "Theorem 2: persistent atomicity must fail"
+    );
     assert!(check_transient(&h).is_err(), "and transient atomicity too");
 }
 

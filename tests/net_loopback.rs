@@ -34,7 +34,11 @@ fn udp_cluster_with_file_logs_survives_restart() {
         cluster.client(p(1)).write(Value::from_u32(32)).unwrap();
         cluster.restart(p(0)).unwrap();
         let v = cluster.client(p(0)).read().unwrap();
-        assert_eq!(v.as_u32(), Some(32), "restarted node must recover and see the latest value");
+        assert_eq!(
+            v.as_u32(),
+            Some(32),
+            "restarted node must recover and see the latest value"
+        );
         cluster.shutdown();
     }
     std::fs::remove_dir_all(dir).unwrap();
@@ -87,9 +91,15 @@ fn concurrent_clients_from_different_nodes_linearize() {
             s.spawn(move || {
                 for k in 0..5u32 {
                     let value = Value::from_u32(base + k);
-                    let op = history.lock().unwrap().invoke(p(node), rmem_types::Op::Write(value.clone()));
+                    let op = history
+                        .lock()
+                        .unwrap()
+                        .invoke(p(node), rmem_types::Op::Write(value.clone()));
                     client.write(value).unwrap();
-                    history.lock().unwrap().reply(op, rmem_types::OpResult::Written);
+                    history
+                        .lock()
+                        .unwrap()
+                        .reply(op, rmem_types::OpResult::Written);
                 }
             });
         }
@@ -98,9 +108,15 @@ fn concurrent_clients_from_different_nodes_linearize() {
             let history = history.clone();
             s.spawn(move || {
                 for _ in 0..5 {
-                    let op = history.lock().unwrap().invoke(p(node), rmem_types::Op::Read);
+                    let op = history
+                        .lock()
+                        .unwrap()
+                        .invoke(p(node), rmem_types::Op::Read);
                     let v = client.read().unwrap();
-                    history.lock().unwrap().reply(op, rmem_types::OpResult::ReadValue(v));
+                    history
+                        .lock()
+                        .unwrap()
+                        .reply(op, rmem_types::OpResult::ReadValue(v));
                 }
             });
         }

@@ -33,12 +33,16 @@ fn random_crash_free_workloads_are_atomic() {
         sim.add_closed_loop(ClosedLoop::reads(p(3), 8));
         let report = sim.run();
         assert_eq!(
-            report.trace.operations().iter().filter(|o| o.is_completed()).count(),
+            report
+                .trace
+                .operations()
+                .iter()
+                .filter(|o| o.is_completed())
+                .count(),
             32,
             "seed {seed}: all ops complete"
         );
-        check_persistent(&report.trace.to_history())
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        check_persistent(&report.trace.to_history()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
 }
 
@@ -62,7 +66,10 @@ fn crash_sweep_across_a_write_is_atomic() {
         let report = run_scheduled(3, Persistent::factory(), schedule, crash_at);
         let h = report.trace.to_history();
         check_persistent(&h).unwrap_or_else(|e| {
-            panic!("crash at t={crash_at}: {e}\nreads: {:?}", read_values(&report))
+            panic!(
+                "crash at t={crash_at}: {e}\nreads: {:?}",
+                read_values(&report)
+            )
         });
         // All three reads agree (they are sequential and crash-free).
         let reads = read_values(&report);
@@ -92,7 +99,11 @@ fn recovery_finishes_prelogged_writes() {
         .at(15_000, PlannedEvent::Recover(p(0)))
         .at(25_000, PlannedEvent::Invoke(p(1), Op::Read));
     let report = run_scheduled(3, Persistent::factory(), schedule, 9);
-    assert_eq!(read_values(&report), vec![Some(2)], "the pre-logged write must be finished");
+    assert_eq!(
+        read_values(&report),
+        vec![Some(2)],
+        "the pre-logged write must be finished"
+    );
     check_persistent(&report.trace.to_history()).expect("persistent");
 }
 
@@ -112,8 +123,7 @@ fn contended_multi_writer_with_crashes_is_atomic() {
             .at(20_000, PlannedEvent::Invoke(p(4), Op::Write(v(30))))
             .at(26_000, PlannedEvent::Invoke(p(2), Op::Read));
         let report = run_scheduled(5, Persistent::factory(), schedule, seed);
-        check_persistent(&report.trace.to_history())
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        check_persistent(&report.trace.to_history()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
 }
 
@@ -124,7 +134,10 @@ fn large_payloads_are_atomic() {
     for size in [0usize, 1, 4096, 65536] {
         let payload = Value::new(vec![0x5Au8; size]);
         let schedule = Schedule::new()
-            .at(1_000, PlannedEvent::Invoke(p(0), Op::Write(payload.clone())))
+            .at(
+                1_000,
+                PlannedEvent::Invoke(p(0), Op::Write(payload.clone())),
+            )
             .at(40_000, PlannedEvent::Invoke(p(1), Op::Read));
         let report = run_scheduled(3, Persistent::factory(), schedule, size as u64);
         let ops = report.trace.operations();

@@ -37,9 +37,16 @@ fn stable_records_after_a_persistent_write() {
             }
         }
     }
-    assert!(holders >= 2, "a majority must hold the written record, got {holders}");
+    assert!(
+        holders >= 2,
+        "a majority must hold the written record, got {holders}"
+    );
 
-    let writing = sim.storage(p(0)).retrieve("writing").unwrap().expect("writer pre-log");
+    let writing = sim
+        .storage(p(0))
+        .retrieve("writing")
+        .unwrap()
+        .expect("writer pre-log");
     let rec = WritingRecord::decode(&writing).unwrap();
     assert_eq!(rec.value.as_u32(), Some(7));
     assert_eq!(rec.ts.pid, p(0));
@@ -56,11 +63,15 @@ fn recovered_counter_accumulates_across_recoveries() {
         .at(6_000, PlannedEvent::Recover(p(0)))
         .at(9_000, PlannedEvent::Crash(p(0)))
         .at(10_000, PlannedEvent::Recover(p(0)));
-    let mut sim = Simulation::new(ClusterConfig::new(3), Transient::factory(), 2)
-        .with_schedule(schedule);
+    let mut sim =
+        Simulation::new(ClusterConfig::new(3), Transient::factory(), 2).with_schedule(schedule);
     let report = sim.run();
     assert_eq!(report.trace.recoveries, 3);
-    let bytes = sim.storage(p(0)).retrieve("recovered").unwrap().expect("rec record");
+    let bytes = sim
+        .storage(p(0))
+        .retrieve("recovered")
+        .unwrap()
+        .expect("rec record");
     assert_eq!(RecoveredRecord::decode(&bytes).unwrap().count, 3);
 }
 
@@ -69,9 +80,11 @@ fn recovered_counter_accumulates_across_recoveries() {
 /// causal-log bound.
 #[test]
 fn recovery_logging_is_outside_operations() {
-    for (factory, expected_write_logs) in
-        [(Persistent::factory(), 2u32), (Transient::factory(), 1), (Regular::factory(), 1)]
-    {
+    for (factory, expected_write_logs) in [
+        (Persistent::factory(), 2u32),
+        (Transient::factory(), 1),
+        (Regular::factory(), 1),
+    ] {
         let name = factory.flavor().name;
         let schedule = Schedule::new()
             .at(1_000, PlannedEvent::Invoke(p(0), Op::Write(v(1))))
@@ -114,7 +127,11 @@ fn invocations_during_recovery_are_served_after_it() {
         let name = factory.flavor().name;
         let report = run_scheduled(3, factory, schedule.clone(), 4);
         let reads = read_values(&report);
-        assert_eq!(reads, vec![Some(5)], "{name}: the queued read must run and see the write");
+        assert_eq!(
+            reads,
+            vec![Some(5)],
+            "{name}: the queued read must run and see the write"
+        );
     }
 }
 
@@ -131,7 +148,11 @@ fn corrupt_stable_records_do_not_panic_recovery() {
         }
     }
 
-    for factory in [Persistent::factory(), Transient::factory(), Regular::factory()] {
+    for factory in [
+        Persistent::factory(),
+        Transient::factory(),
+        Regular::factory(),
+    ] {
         let mut automaton = factory.recover(p(0), 3, 1, &Corrupt);
         let mut out = Vec::new();
         automaton.on_input(Input::Start, &mut out); // must not panic

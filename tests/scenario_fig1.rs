@@ -61,7 +61,10 @@ fn fig1_run_shape_matches_the_figure() {
     // W(v3) replies after both reads, as drawn.
     let w3_done = writes[2].completed_at.unwrap();
     for read in ops.iter().filter(|o| o.kind == OpKind::Read) {
-        assert!(read.completed_at.unwrap() < w3_done, "reads finish inside W(v3)'s window");
+        assert!(
+            read.completed_at.unwrap() < w3_done,
+            "reads finish inside W(v3)'s window"
+        );
     }
     assert_eq!(report.trace.crashes, 1);
     assert_eq!(report.trace.recoveries, 1);

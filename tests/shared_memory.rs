@@ -29,8 +29,7 @@ fn registers_are_independent() {
         .at(20_000, PlannedEvent::Invoke(p(2), Op::ReadAt(r(1))))
         .at(30_000, PlannedEvent::Invoke(p(2), Op::ReadAt(r(2))))
         .at(40_000, PlannedEvent::Invoke(p(2), Op::ReadAt(r(3)))); // never written
-    let report =
-        run_scheduled(3, SharedMemory::factory(Persistent::flavor()), schedule, 1);
+    let report = run_scheduled(3, SharedMemory::factory(Persistent::flavor()), schedule, 1);
     let reads: Vec<Option<u32>> = report
         .trace
         .operations()
@@ -38,7 +37,11 @@ fn registers_are_independent() {
         .filter(|o| o.kind == OpKind::Read)
         .map(|o| o.result.as_ref().unwrap().read_value().unwrap().as_u32())
         .collect();
-    assert_eq!(reads, vec![Some(11), Some(22), None], "each register holds its own value");
+    assert_eq!(
+        reads,
+        vec![Some(11), Some(22), None],
+        "each register holds its own value"
+    );
     check_persistent(&report.trace.to_history()).expect("multi-register persistent atomicity");
 }
 
@@ -54,8 +57,12 @@ fn concurrent_writers_on_different_registers_do_not_interfere() {
             .at(10_000, PlannedEvent::Invoke(p(0), Op::ReadAt(r(2))))
             .at(10_000, PlannedEvent::Invoke(p(1), Op::ReadAt(r(3))))
             .at(10_000, PlannedEvent::Invoke(p(2), Op::ReadAt(r(1))));
-        let report =
-            run_scheduled(5, SharedMemory::factory(Transient::flavor()), schedule, seed);
+        let report = run_scheduled(
+            5,
+            SharedMemory::factory(Transient::flavor()),
+            schedule,
+            seed,
+        );
         let ops = report.trace.operations();
         assert!(ops.iter().all(|o| o.is_completed()), "seed {seed}");
         let read_of = |reg: RegisterId| {
@@ -74,7 +81,10 @@ fn concurrent_writers_on_different_registers_do_not_interfere() {
 fn crash_recovery_restores_every_register() {
     let schedule = Schedule::new()
         .at(1_000, PlannedEvent::Invoke(p(0), Op::WriteAt(r(1), v(100))))
-        .at(10_000, PlannedEvent::Invoke(p(0), Op::WriteAt(r(7), v(700))))
+        .at(
+            10_000,
+            PlannedEvent::Invoke(p(0), Op::WriteAt(r(7), v(700))),
+        )
         // Total blackout.
         .at(20_000, PlannedEvent::Crash(p(0)))
         .at(20_000, PlannedEvent::Crash(p(1)))
@@ -84,8 +94,7 @@ fn crash_recovery_restores_every_register() {
         .at(30_000, PlannedEvent::Recover(p(2)))
         .at(50_000, PlannedEvent::Invoke(p(1), Op::ReadAt(r(1))))
         .at(60_000, PlannedEvent::Invoke(p(2), Op::ReadAt(r(7))));
-    let report =
-        run_scheduled(3, SharedMemory::factory(Persistent::flavor()), schedule, 2);
+    let report = run_scheduled(3, SharedMemory::factory(Persistent::flavor()), schedule, 2);
     let reads: Vec<Option<u32>> = report
         .trace
         .operations()
@@ -93,7 +102,11 @@ fn crash_recovery_restores_every_register() {
         .filter(|o| o.kind == OpKind::Read)
         .map(|o| o.result.as_ref().unwrap().read_value().unwrap().as_u32())
         .collect();
-    assert_eq!(reads, vec![Some(100), Some(700)], "both registers survive the blackout");
+    assert_eq!(
+        reads,
+        vec![Some(100), Some(700)],
+        "both registers survive the blackout"
+    );
     check_persistent(&report.trace.to_history()).expect("persistent across registers");
 }
 
@@ -107,12 +120,20 @@ fn writer_crash_mid_write_affects_only_its_register() {
         .at(15_000, PlannedEvent::Recover(p(0)))
         .at(30_000, PlannedEvent::Invoke(p(1), Op::ReadAt(r(1))))
         .at(40_000, PlannedEvent::Invoke(p(2), Op::ReadAt(r(2))));
-    let report =
-        run_scheduled(3, SharedMemory::factory(Persistent::flavor()), schedule, 3);
+    let report = run_scheduled(3, SharedMemory::factory(Persistent::flavor()), schedule, 3);
     let ops = report.trace.operations();
-    let read1 = ops.iter().find(|o| o.operation == Op::ReadAt(r(1))).unwrap();
+    let read1 = ops
+        .iter()
+        .find(|o| o.operation == Op::ReadAt(r(1)))
+        .unwrap();
     assert_eq!(
-        read1.result.as_ref().unwrap().read_value().unwrap().as_u32(),
+        read1
+            .result
+            .as_ref()
+            .unwrap()
+            .read_value()
+            .unwrap()
+            .as_u32(),
         Some(1),
         "register 1's completed write is untouched by the register-2 crash"
     );
@@ -127,8 +148,7 @@ fn mixed_default_and_addressed_operations_coexist() {
         .at(10_000, PlannedEvent::Invoke(p(1), Op::WriteAt(r(0), v(6))))
         .at(20_000, PlannedEvent::Invoke(p(2), Op::ReadAt(r(0))))
         .at(30_000, PlannedEvent::Invoke(p(2), Op::Read));
-    let report =
-        run_scheduled(3, SharedMemory::factory(Transient::flavor()), schedule, 4);
+    let report = run_scheduled(3, SharedMemory::factory(Transient::flavor()), schedule, 4);
     let reads: Vec<Option<u32>> = report
         .trace
         .operations()
@@ -136,7 +156,11 @@ fn mixed_default_and_addressed_operations_coexist() {
         .filter(|o| o.kind == OpKind::Read)
         .map(|o| o.result.as_ref().unwrap().read_value().unwrap().as_u32())
         .collect();
-    assert_eq!(reads, vec![Some(6), Some(6)], "both addressings reach the same register");
+    assert_eq!(
+        reads,
+        vec![Some(6), Some(6)],
+        "both addressings reach the same register"
+    );
     check_transient(&report.trace.to_history()).expect("transient");
 }
 
@@ -148,8 +172,7 @@ fn per_register_causal_log_bounds_still_hold() {
         .at(1_000, PlannedEvent::Invoke(p(0), Op::WriteAt(r(4), v(1))))
         .at(20_000, PlannedEvent::Invoke(p(1), Op::ReadAt(r(4))))
         .at(40_000, PlannedEvent::Invoke(p(2), Op::WriteAt(r(8), v(2))));
-    let report =
-        run_scheduled(5, SharedMemory::factory(Persistent::flavor()), schedule, 5);
+    let report = run_scheduled(5, SharedMemory::factory(Persistent::flavor()), schedule, 5);
     for op in report.trace.operations() {
         let expect = match op.kind {
             OpKind::Write => 2,

@@ -3,7 +3,7 @@
 //! the `rec` counter that keeps it from being weaker still.
 
 use rmem_consistency::{check_persistent, check_transient};
-use rmem_core::{Transient, CrashStop};
+use rmem_core::{CrashStop, Transient};
 use rmem_integration_tests::{read_values, run_scheduled};
 use rmem_sim::workload::ClosedLoop;
 use rmem_sim::{ClusterConfig, NetConfig, PlannedEvent, Schedule, Simulation};
@@ -30,8 +30,7 @@ fn crash_free_transient_runs_are_atomic() {
         sim.add_closed_loop(ClosedLoop::writes(p(4), v(2), 10));
         sim.add_closed_loop(ClosedLoop::reads(p(2), 10));
         let report = sim.run();
-        check_persistent(&report.trace.to_history())
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        check_persistent(&report.trace.to_history()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
 }
 
@@ -92,14 +91,8 @@ fn reader_crashes_do_not_break_transient_atomicity() {
             .at(16_000, PlannedEvent::Invoke(p(0), Op::Write(v(2))))
             .at(22_000, PlannedEvent::Invoke(p(1), Op::Read))
             .at(28_000, PlannedEvent::Invoke(p(2), Op::Read));
-        let report = run_scheduled(
-            3,
-            Transient::factory(),
-            schedule,
-            seed,
-        );
-        check_transient(&report.trace.to_history())
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let report = run_scheduled(3, Transient::factory(), schedule, seed);
+        check_transient(&report.trace.to_history()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
 }
 
@@ -124,6 +117,10 @@ fn transient_survives_total_crash_where_crash_stop_forgets() {
     check_transient(&transient.trace.to_history()).expect("transient");
 
     let baseline = run_scheduled(3, CrashStop::factory(), schedule(), 3);
-    assert_eq!(read_values(&baseline), vec![None], "the baseline must forget");
+    assert_eq!(
+        read_values(&baseline),
+        vec![None],
+        "the baseline must forget"
+    );
     assert!(check_transient(&baseline.trace.to_history()).is_err());
 }

@@ -1,0 +1,236 @@
+//! Offline drop-in subset of [`criterion`](https://docs.rs/criterion).
+//!
+//! Provides the macro/struct surface the workspace's benches use —
+//! [`Criterion`], benchmark groups, [`BenchmarkId`], [`Throughput`],
+//! `criterion_group!`/`criterion_main!` — with a simple measurement loop:
+//! warm up briefly, then time a fixed batch and report mean ns/iter to
+//! stdout. No statistics, plots or baselines; the point is that
+//! `cargo bench` runs and prints comparable numbers offline.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group (printed, not analyzed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter component.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by [`iter`](Bencher::iter).
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`: short warm-up, then enough iterations to fill the
+    /// measurement window, reporting the mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that runs
+        // ≈ the measurement window.
+        let calibration_start = Instant::now();
+        let mut calibration_iters: u64 = 0;
+        while calibration_start.elapsed() < Duration::from_millis(50) {
+            std::hint::black_box(routine());
+            calibration_iters += 1;
+        }
+        let per_iter = Duration::from_millis(50).as_nanos() as f64 / calibration_iters as f64;
+        let target = Duration::from_millis(300).as_nanos() as f64;
+        let iters = ((target / per_iter) as u64).clamp(1, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn print_result(name: &str, throughput: Option<Throughput>, ns: f64) {
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            format!("  ({:.1} MiB/s)", b as f64 / (ns / 1e9) / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(e)) => format!("  ({:.0} elem/s)", e as f64 / (ns / 1e9)),
+        None => String::new(),
+    };
+    if ns >= 1_000_000.0 {
+        println!("{name:<50} {:>12.3} ms/iter{rate}", ns / 1e6);
+    } else if ns >= 1_000.0 {
+        println!("{name:<50} {:>12.3} µs/iter{rate}", ns / 1e3);
+    } else {
+        println!("{name:<50} {ns:>12.1} ns/iter{rate}");
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Overrides the sample count (accepted for compatibility; the simple
+    /// loop has no sampling).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Overrides the measurement window (accepted for compatibility).
+    pub fn measurement_time(&mut self, _window: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b, input);
+        print_result(
+            &format!("{}/{}", self.name, id),
+            self.throughput,
+            b.ns_per_iter,
+        );
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId2>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        print_result(
+            &format!("{}/{}", self.name, id.into().0),
+            self.throughput,
+            b.ns_per_iter,
+        );
+    }
+
+    /// Ends the group (prints nothing; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Either a string or a [`BenchmarkId`] (what `bench_function` accepts).
+pub struct BenchmarkId2(String);
+
+impl From<&str> for BenchmarkId2 {
+    fn from(s: &str) -> Self {
+        BenchmarkId2(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId2 {
+    fn from(s: String) -> Self {
+        BenchmarkId2(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchmarkId2 {
+    fn from(id: BenchmarkId) -> Self {
+        BenchmarkId2(id.label)
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        print_result(name, None, b.ns_per_iter);
+        self
+    }
+}
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("enc", 64).to_string(), "enc/64");
+        assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
+    }
+}

@@ -1,0 +1,177 @@
+//! Offline drop-in subset of [`crossbeam`](https://docs.rs/crossbeam):
+//! MPMC channels with timeout/try receives and a `select!` macro covering
+//! the `recv/recv/default(timeout)` shape the workspace uses.
+
+#![forbid(unsafe_code)]
+
+pub mod channel;
+
+/// Two-receiver + default-timeout `select!`.
+///
+/// Supports exactly the shape
+/// `select! { recv(a) -> x => ..., recv(b) -> y => ..., default(d) => ... }`
+/// (what upstream crossbeam calls a biased ready-select is here a fair-ish
+/// poll loop: receivers are tried in order, sleeping briefly between
+/// rounds until the default deadline passes). A disconnected channel is
+/// ready with `Err`, exactly like upstream.
+#[macro_export]
+macro_rules! select {
+    (
+        recv($r1:expr) -> $p1:pat => $e1:expr,
+        recv($r2:expr) -> $p2:pat => $e2:expr,
+        default($d:expr) => $e3:expr $(,)?
+    ) => {{
+        // The readiness poll runs in its own labeled loop and *returns a
+        // decision*; the arm bodies execute outside it, so a `break` or
+        // `continue` written in an arm binds to the caller's loop, exactly
+        // as with upstream crossbeam's select!.
+        enum __Select<A, B> {
+            First(A),
+            Second(B),
+            Timeout,
+        }
+        let __decision = {
+            let deadline = ::std::time::Instant::now() + $d;
+            '__select: loop {
+                // Messages first, on either channel; disconnection is also
+                // "ready" (as in upstream crossbeam) but at the lowest
+                // priority, so a disconnected channel cannot starve a
+                // queued message on the other one.
+                let mut __disconnected1 = false;
+                let mut __disconnected2 = false;
+                match $crate::channel::Receiver::try_recv(&$r1) {
+                    Ok(v) => break '__select __Select::First($crate::channel::ok_result(&$r1, v)),
+                    Err($crate::channel::TryRecvError::Disconnected) => __disconnected1 = true,
+                    Err($crate::channel::TryRecvError::Empty) => {}
+                }
+                match $crate::channel::Receiver::try_recv(&$r2) {
+                    Ok(v) => break '__select __Select::Second($crate::channel::ok_result(&$r2, v)),
+                    Err($crate::channel::TryRecvError::Disconnected) => __disconnected2 = true,
+                    Err($crate::channel::TryRecvError::Empty) => {}
+                }
+                if __disconnected1 {
+                    break '__select __Select::First($crate::channel::disconnected_result(&$r1));
+                }
+                if __disconnected2 {
+                    break '__select __Select::Second($crate::channel::disconnected_result(&$r2));
+                }
+                let now = ::std::time::Instant::now();
+                if now >= deadline {
+                    break '__select __Select::Timeout;
+                }
+                // Wait for the first channel to signal, bounded by the
+                // deadline and a polling floor (the second channel cannot
+                // wake this sleeper, so cap the nap).
+                let nap = ::std::cmp::min(
+                    deadline.saturating_duration_since(now),
+                    ::std::time::Duration::from_micros(500),
+                );
+                $crate::channel::Receiver::wait(&$r1, nap);
+            }
+        };
+        match __decision {
+            __Select::First(r) => {
+                let $p1 = r;
+                $e1
+            }
+            __Select::Second(r) => {
+                let $p2 = r;
+                $e2
+            }
+            __Select::Timeout => $e3,
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::channel::{bounded, unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv().unwrap(), 5);
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = bounded::<u8>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn drop_sender_disconnects() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn drop_receiver_fails_send() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn select_prefers_ready_channel() {
+        let (tx1, rx1) = unbounded::<u8>();
+        let (_tx2, rx2) = unbounded::<u8>();
+        tx1.send(9).unwrap();
+        let mut got = None;
+        select! {
+            recv(rx1) -> v => got = Some(v.unwrap()),
+            recv(rx2) -> _v => unreachable!(),
+            default(Duration::from_millis(50)) => {}
+        }
+        assert_eq!(got, Some(9));
+    }
+
+    #[test]
+    fn select_falls_through_to_default() {
+        let (_tx1, rx1) = unbounded::<u8>();
+        let (_tx2, rx2) = unbounded::<u8>();
+        let mut defaults = 0;
+        select! {
+            recv(rx1) -> _v => unreachable!(),
+            recv(rx2) -> _v => unreachable!(),
+            default(Duration::from_millis(5)) => defaults += 1,
+        }
+        assert_eq!(defaults, 1);
+    }
+
+    #[test]
+    fn select_sees_disconnect() {
+        let (tx1, rx1) = unbounded::<u8>();
+        let (_tx2, rx2) = unbounded::<u8>();
+        drop(tx1);
+        let mut disconnected = false;
+        select! {
+            recv(rx1) -> v => disconnected = v.is_err(),
+            recv(rx2) -> _v => unreachable!(),
+            default(Duration::from_millis(50)) => {}
+        }
+        assert!(disconnected);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let (tx, rx) = unbounded();
+        let t = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut sum = 0;
+        for _ in 0..100 {
+            sum += rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        }
+        t.join().unwrap();
+        assert_eq!(sum, 4950);
+    }
+}

@@ -1,0 +1,58 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::{Strategy, TestRng};
+
+/// Strategy producing `Vec`s of values from `element`, with a length drawn
+/// from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+/// A vector strategy: lengths drawn uniformly from `size`, elements from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: impl std::ops::RangeBounds<usize>) -> VecStrategy<S> {
+    use std::ops::Bound;
+    let min = match size.start_bound() {
+        Bound::Included(&v) => v,
+        Bound::Excluded(&v) => v + 1,
+        Bound::Unbounded => 0,
+    };
+    let max = match size.end_bound() {
+        Bound::Included(&v) => v,
+        Bound::Excluded(&v) => v.checked_sub(1).expect("empty size range"),
+        Bound::Unbounded => min + 64,
+    };
+    assert!(min <= max, "empty size range");
+    VecStrategy { element, min, max }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.between(self.min as u64, self.max as u64) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let mut rng = TestRng::seed(5);
+        let strat = vec(any::<u8>(), 2..5);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+        let inclusive = vec(any::<u8>(), 0..=3);
+        for _ in 0..100 {
+            assert!(inclusive.generate(&mut rng).len() <= 3);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! String strategies (`proptest::string::string_regex`).
+//!
+//! Supports the pattern shape the workspace uses: one character class with
+//! a bounded repeat, `"[<chars and a-z ranges>]{m,n}"`. Anything fancier
+//! returns an error.
+
+use crate::{Strategy, TestRng};
+
+/// Error parsing an unsupported regex.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unsupported regex: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Strategy generating strings matching a (restricted) regex.
+pub struct RegexStrategy {
+    alphabet: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Parses `pattern` (`"[class]{m,n}"`) into a string strategy.
+///
+/// # Errors
+///
+/// Returns [`Error`] if the pattern uses anything beyond a single
+/// character class with a `{m,n}` repeat.
+pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+    let err = || Error(pattern.to_string());
+    let rest = pattern.strip_prefix('[').ok_or_else(err)?;
+    let (class, repeat) = rest.split_once(']').ok_or_else(err)?;
+
+    let mut alphabet = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            if lo > hi {
+                return Err(err());
+            }
+            alphabet.extend(lo..=hi);
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        return Err(err());
+    }
+
+    let repeat = repeat
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .ok_or_else(err)?;
+    let (m, n) = repeat.split_once(',').ok_or_else(err)?;
+    let min: usize = m.trim().parse().map_err(|_| err())?;
+    let max: usize = n.trim().parse().map_err(|_| err())?;
+    if min > max {
+        return Err(err());
+    }
+    Ok(RegexStrategy { alphabet, min, max })
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let len = rng.between(self.min as u64, self.max as u64) as usize;
+        (0..len)
+            .map(|_| self.alphabet[rng.below(self.alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_class_with_ranges_and_literals() {
+        let strat = string_regex("[a-zA-Z0-9_@/ .%-]{1,24}").unwrap();
+        let mut rng = TestRng::seed(11);
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!((1..=24).contains(&s.chars().count()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "_@/ .%-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_patterns() {
+        assert!(string_regex("abc+").is_err());
+        assert!(string_regex("[a-z]*").is_err());
+        assert!(string_regex("[]{1,2}").is_err());
+    }
+}

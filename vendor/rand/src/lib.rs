@@ -1,0 +1,282 @@
+//! Offline drop-in subset of the [`rand`](https://docs.rs/rand) 0.8 API.
+//!
+//! Provides [`rngs::StdRng`] (an xoshiro256++ generator), the
+//! [`SeedableRng`] and [`Rng`] traits, and uniform sampling over integer
+//! and float ranges — the surface the workspace uses. Streams are
+//! deterministic per seed (which is all the simulator requires) but are
+//! *not* bit-compatible with upstream `rand`.
+
+#![forbid(unsafe_code)]
+
+/// Random number generator trait: typed draws and uniform ranges.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a uniformly random value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        self.gen::<f64>() < p
+    }
+
+    /// Draws a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformSample,
+        R: std::ops::RangeBounds<T>,
+    {
+        T::sample_range(self, &range)
+    }
+}
+
+/// Types drawable uniformly over their whole domain via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Maps 64 uniform bits onto the type.
+    fn sample(bits: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl Standard for u32 {
+    fn sample(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for u16 {
+    fn sample(bits: u64) -> Self {
+        (bits >> 48) as u16
+    }
+}
+
+impl Standard for u8 {
+    fn sample(bits: u64) -> Self {
+        (bits >> 56) as u8
+    }
+}
+
+impl Standard for bool {
+    fn sample(bits: u64) -> Self {
+        bits >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)`: the top 53 bits over 2^53.
+    fn sample(bits: u64) -> Self {
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Types uniformly samplable from a range by [`Rng::gen_range`].
+pub trait UniformSample: Sized {
+    /// Draws uniformly from `range` (the caller guarantees `R` came from a
+    /// `gen_range` call; empty ranges panic).
+    fn sample_range<G: Rng + ?Sized, R: std::ops::RangeBounds<Self>>(
+        rng: &mut G,
+        range: &R,
+    ) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_range<G: Rng + ?Sized, R: std::ops::RangeBounds<Self>>(
+                rng: &mut G,
+                range: &R,
+            ) -> Self {
+                use std::ops::Bound;
+                let lo: u128 = match range.start_bound() {
+                    Bound::Included(&v) => v as u128,
+                    Bound::Excluded(&v) => v as u128 + 1,
+                    Bound::Unbounded => 0,
+                };
+                let hi: u128 = match range.end_bound() {
+                    Bound::Included(&v) => v as u128,
+                    Bound::Excluded(&v) => {
+                        (v as u128).checked_sub(1).expect("cannot sample from an empty range")
+                    }
+                    Bound::Unbounded => <$t>::MAX as u128,
+                };
+                assert!(lo <= hi, "cannot sample from an empty range");
+                let span = hi - lo + 1;
+                // Modulo reduction: the bias over a 128-bit draw is
+                // negligible for simulation workloads.
+                let draw = (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) % span;
+                (lo + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_int_signed {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_range<G: Rng + ?Sized, R: std::ops::RangeBounds<Self>>(
+                rng: &mut G,
+                range: &R,
+            ) -> Self {
+                use std::ops::Bound;
+                let lo: i128 = match range.start_bound() {
+                    Bound::Included(&v) => v as i128,
+                    Bound::Excluded(&v) => v as i128 + 1,
+                    Bound::Unbounded => <$t>::MIN as i128,
+                };
+                let hi: i128 = match range.end_bound() {
+                    Bound::Included(&v) => v as i128,
+                    Bound::Excluded(&v) => v as i128 - 1,
+                    Bound::Unbounded => <$t>::MAX as i128,
+                };
+                assert!(lo <= hi, "cannot sample from an empty range");
+                let span = (hi - lo + 1) as u128;
+                let draw = (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) % span;
+                (lo + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int_signed!(i8, i16, i32, i64, isize);
+
+impl UniformSample for f64 {
+    fn sample_range<G: Rng + ?Sized, R: std::ops::RangeBounds<Self>>(
+        rng: &mut G,
+        range: &R,
+    ) -> Self {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&v) | Bound::Excluded(&v) => v,
+            Bound::Unbounded => 0.0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&v) | Bound::Excluded(&v) => v,
+            Bound::Unbounded => 1.0,
+        };
+        assert!(lo < hi, "cannot sample from an empty range");
+        lo + (hi - lo) * rng.gen::<f64>()
+    }
+}
+
+/// Construction of reproducible generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The standard seedable generator: xoshiro256++ seeded via splitmix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 expansion, the canonical xoshiro seeding routine.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: u16 = rng.gen_range(0..=3);
+            assert!(w <= 3);
+            let f: f64 = rng.gen_range(0.0..0.25);
+            assert!((0.0..0.25).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}
