@@ -1,0 +1,61 @@
+//! Flush policy: when a forming batch stops waiting and ships.
+
+use std::time::Duration;
+
+/// When a shard's forming batch flushes.
+///
+/// A batch flushes as soon as **either** bound is hit:
+///
+/// * `max_batch` — the batch holds this many operations (a full batch has
+///   nothing to gain from waiting);
+/// * `max_linger` — this much time passed since the batch opened (bounds
+///   the latency cost batching can impose on a lone operation).
+///
+/// The one-shot batching of `multi_put`/`multi_get` ignores `max_linger` —
+/// the batch is already fully formed when the call arrives — but still
+/// honours `max_batch` as the per-quorum-round chunk size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushPolicy {
+    /// Operations per batch before an immediate flush (and the chunk size
+    /// of one-shot batches). At least 1.
+    pub max_batch: usize,
+    /// Longest a batch may wait for company before flushing anyway.
+    pub max_linger: Duration,
+}
+
+impl FlushPolicy {
+    /// The defaults: 16 operations, 500 µs linger (about the cost of one
+    /// quorum round-trip on a LAN — waiting longer than a round costs more
+    /// than it amortizes).
+    pub const DEFAULT: FlushPolicy = FlushPolicy {
+        max_batch: 16,
+        max_linger: Duration::from_micros(500),
+    };
+
+    /// A policy that never waits: every operation flushes alone unless
+    /// concurrent operations are already queued. Useful as the unbatched
+    /// baseline in comparisons.
+    pub const EAGER: FlushPolicy = FlushPolicy {
+        max_batch: 1,
+        max_linger: Duration::ZERO,
+    };
+}
+
+impl Default for FlushPolicy {
+    fn default() -> Self {
+        FlushPolicy::DEFAULT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let p = FlushPolicy::default();
+        assert!(p.max_batch >= 1);
+        assert!(p.max_linger > Duration::ZERO);
+        assert_eq!(FlushPolicy::EAGER.max_batch, 1);
+    }
+}

@@ -1,0 +1,221 @@
+//! The concurrent operation table: per-shard queues of in-flight store
+//! operations, with leader election per flush.
+//!
+//! Every shard owns one queue. The first operation to enqueue onto an
+//! empty-of-leader queue becomes that flush's **leader**: it waits for
+//! company (up to the policy's linger, or until the batch is full — a
+//! full queue wakes the leader early through the condvar) and then takes
+//! the whole queue in one step. Everyone else is a **follower**: their
+//! operation rides the leader's quorum round and they just block on their
+//! reply channel. Leadership is per flush, not per shard lifetime — the
+//! moment a leader takes the queue, the next arrival elects itself leader
+//! of the next batch, so flushes pipeline under sustained load.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use bytes::Bytes;
+use crossbeam::channel::Sender;
+use rmem_kv::KvError;
+
+use crate::policy::FlushPolicy;
+
+/// A queued put waiting to ride a flush.
+pub(crate) struct QueuedPut {
+    pub key: String,
+    pub value: Bytes,
+    pub done: Sender<Result<(), KvError>>,
+}
+
+/// A queued get waiting to ride a flush.
+pub(crate) struct QueuedGet {
+    pub key: String,
+    pub done: Sender<Result<Option<Bytes>, KvError>>,
+}
+
+/// What [`OpTable::enqueue_put`]/[`OpTable::enqueue_get`] made the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Enqueued {
+    /// The caller opened this batch and must run the flush
+    /// ([`OpTable::collect`], then execute the quorum rounds).
+    Leader,
+    /// The caller's operation rides the current leader's flush; just wait
+    /// on the reply channel.
+    Follower,
+}
+
+#[derive(Default)]
+struct ShardQueue {
+    puts: Vec<QueuedPut>,
+    gets: Vec<QueuedGet>,
+    /// Whether a leader is currently collecting this queue.
+    leader: bool,
+}
+
+impl ShardQueue {
+    fn len(&self) -> usize {
+        self.puts.len() + self.gets.len()
+    }
+}
+
+struct Slot {
+    queue: Mutex<ShardQueue>,
+    /// Wakes a lingering leader early when the batch fills.
+    full: Condvar,
+}
+
+/// Per-shard operation queues (see module docs).
+pub(crate) struct OpTable {
+    slots: Vec<Slot>,
+}
+
+impl OpTable {
+    pub(crate) fn new(shards: usize) -> Self {
+        OpTable {
+            slots: (0..shards)
+                .map(|_| Slot {
+                    queue: Mutex::new(ShardQueue::default()),
+                    full: Condvar::new(),
+                })
+                .collect(),
+        }
+    }
+
+    fn enqueue(
+        &self,
+        shard: usize,
+        push: impl FnOnce(&mut ShardQueue),
+        policy: &FlushPolicy,
+    ) -> Enqueued {
+        let slot = &self.slots[shard];
+        let mut q = slot.queue.lock().expect("op-table lock");
+        push(&mut q);
+        if q.len() >= policy.max_batch {
+            slot.full.notify_one();
+        }
+        if q.leader {
+            Enqueued::Follower
+        } else {
+            q.leader = true;
+            Enqueued::Leader
+        }
+    }
+
+    pub(crate) fn enqueue_put(
+        &self,
+        shard: usize,
+        put: QueuedPut,
+        policy: &FlushPolicy,
+    ) -> Enqueued {
+        self.enqueue(shard, |q| q.puts.push(put), policy)
+    }
+
+    pub(crate) fn enqueue_get(
+        &self,
+        shard: usize,
+        get: QueuedGet,
+        policy: &FlushPolicy,
+    ) -> Enqueued {
+        self.enqueue(shard, |q| q.gets.push(get), policy)
+    }
+
+    /// Leader only: linger for company, then take the whole queue. Clears
+    /// the leader bit in the same critical section as the take, so no
+    /// operation can slip between "taken" and "next leader electable".
+    pub(crate) fn collect(
+        &self,
+        shard: usize,
+        policy: &FlushPolicy,
+    ) -> (Vec<QueuedPut>, Vec<QueuedGet>) {
+        let slot = &self.slots[shard];
+        let deadline = Instant::now() + policy.max_linger;
+        let mut q = slot.queue.lock().expect("op-table lock");
+        debug_assert!(q.leader, "collect called by a non-leader");
+        while q.len() < policy.max_batch {
+            let now = Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                break;
+            };
+            let (guard, timeout) = slot.full.wait_timeout(q, remaining).expect("op-table lock");
+            q = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        q.leader = false;
+        (std::mem::take(&mut q.puts), std::mem::take(&mut q.gets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+    use std::time::Duration;
+
+    fn put(key: &str) -> (QueuedPut, crossbeam::channel::Receiver<Result<(), KvError>>) {
+        let (tx, rx) = bounded(1);
+        (
+            QueuedPut {
+                key: key.to_string(),
+                value: Bytes::from(b"v".to_vec()),
+                done: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn first_in_leads_rest_follow_until_collected() {
+        let table = OpTable::new(2);
+        let policy = FlushPolicy {
+            max_batch: 8,
+            max_linger: Duration::ZERO,
+        };
+        let (p1, _r1) = put("a");
+        let (p2, _r2) = put("b");
+        assert_eq!(table.enqueue_put(0, p1, &policy), Enqueued::Leader);
+        assert_eq!(table.enqueue_put(0, p2, &policy), Enqueued::Follower);
+        // A different shard elects its own leader.
+        let (p3, _r3) = put("c");
+        assert_eq!(table.enqueue_put(1, p3, &policy), Enqueued::Leader);
+        let (puts, gets) = table.collect(0, &policy);
+        assert_eq!(puts.len(), 2);
+        assert!(gets.is_empty());
+        // After the take, the next arrival leads the next batch.
+        let (p4, _r4) = put("d");
+        assert_eq!(table.enqueue_put(0, p4, &policy), Enqueued::Leader);
+    }
+
+    #[test]
+    fn a_full_queue_releases_a_lingering_leader_early() {
+        let table = std::sync::Arc::new(OpTable::new(1));
+        let policy = FlushPolicy {
+            max_batch: 2,
+            max_linger: Duration::from_secs(30), // must not matter
+        };
+        let (p1, _r1) = put("a");
+        assert_eq!(table.enqueue_put(0, p1, &policy), Enqueued::Leader);
+        let t = {
+            let table = table.clone();
+            std::thread::spawn(move || {
+                // Fill the batch shortly after the leader starts waiting.
+                std::thread::sleep(Duration::from_millis(20));
+                let (p2, r2) = put("b");
+                assert_eq!(table.enqueue_put(0, p2, &policy), Enqueued::Follower);
+                r2
+            })
+        };
+        let started = Instant::now();
+        let (puts, _) = table.collect(0, &policy);
+        assert_eq!(puts.len(), 2);
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "the full batch must wake the leader, not the 30s linger"
+        );
+        t.join().unwrap();
+    }
+}

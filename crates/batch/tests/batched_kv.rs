@@ -1,0 +1,199 @@
+//! End-to-end tests of the batching engine over a real-threaded cluster.
+
+use bytes::Bytes;
+use rmem_batch::{BatchedKv, FlushPolicy};
+use rmem_core::{SharedMemory, Transient};
+use rmem_kv::{KvClient, ShardRouter};
+use rmem_net::LocalCluster;
+
+fn batched(shards: u16, policy: FlushPolicy) -> (LocalCluster, BatchedKv) {
+    let cluster = LocalCluster::channel(3, SharedMemory::factory(Transient::flavor())).unwrap();
+    let kv = KvClient::new(cluster.clients(), ShardRouter::new(shards)).unwrap();
+    (cluster, BatchedKv::new(kv, policy))
+}
+
+#[test]
+fn multi_ops_roundtrip_and_amortize() {
+    let (mut cluster, store) = batched(4, FlushPolicy::default());
+    // 64 keys over 4 shards: heavy coalescing is guaranteed.
+    let entries: Vec<(String, Bytes)> = (0..64)
+        .map(|i| (format!("k{i}"), Bytes::from(vec![i as u8])))
+        .collect();
+    store.multi_put(&entries).unwrap();
+    let keys: Vec<String> = entries.iter().map(|(k, _)| k.clone()).collect();
+    let got = store.multi_get(&keys).unwrap();
+    for (i, value) in got.iter().enumerate() {
+        assert_eq!(value.as_deref(), Some([i as u8].as_ref()), "key k{i}");
+    }
+    let stats = store.stats();
+    assert_eq!(stats.logical_ops, 128, "64 puts + 64 gets");
+    // 4 shards × (≤ ceil(16/16)+… write chunks + 1 read round) — the exact
+    // chunk count depends on key placement, but 128 logical ops must cost
+    // far fewer register ops than 128.
+    assert!(
+        stats.register_ops <= 16,
+        "expected ≤ 2 rounds per shard-ish, got {}",
+        stats.register_ops
+    );
+    assert!(stats.amortization() > 4.0);
+    cluster.shutdown();
+}
+
+#[test]
+fn same_key_puts_coalesce_to_the_last_value() {
+    let (mut cluster, store) = batched(2, FlushPolicy::default());
+    let entries: Vec<(String, Bytes)> = (0..10)
+        .map(|i| ("hot".to_string(), Bytes::from(vec![i as u8])))
+        .collect();
+    store.multi_put(&entries).unwrap();
+    assert_eq!(
+        store.get("hot").unwrap().as_deref(),
+        Some([9u8].as_ref()),
+        "last write of the batch wins"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn colliding_keys_share_a_bundle_and_both_resolve() {
+    // One shard: every key collides. A multi_put of distinct keys must
+    // store a bundle that serves *both* keys — unlike unbatched puts,
+    // where the second displaces the first.
+    let (mut cluster, store) = batched(1, FlushPolicy::default());
+    store
+        .multi_put(&[
+            ("a".to_string(), Bytes::from(b"1".to_vec())),
+            ("b".to_string(), Bytes::from(b"2".to_vec())),
+        ])
+        .unwrap();
+    assert_eq!(store.get("a").unwrap().as_deref(), Some(b"1".as_ref()));
+    assert_eq!(store.get("b").unwrap().as_deref(), Some(b"2".as_ref()));
+    // A later single put replaces the whole cell (displacement semantics).
+    store.put("c", b"3".to_vec()).unwrap();
+    assert_eq!(store.get("a").unwrap(), None);
+    assert_eq!(store.get("c").unwrap().as_deref(), Some(b"3".as_ref()));
+    cluster.shutdown();
+}
+
+#[test]
+fn concurrent_singles_coalesce_through_the_table() {
+    let (mut cluster, store) = batched(
+        2,
+        FlushPolicy {
+            max_batch: 32,
+            max_linger: std::time::Duration::from_millis(30),
+        },
+    );
+    // 16 threads put 16 distinct keys at once; the linger window lets
+    // them share rounds.
+    std::thread::scope(|scope| {
+        for i in 0..16 {
+            let store = store.clone();
+            scope.spawn(move || {
+                store
+                    .put(&format!("t{i}"), Bytes::from(vec![i as u8]))
+                    .unwrap();
+            });
+        }
+    });
+    for i in 0..16 {
+        assert_eq!(
+            store.get(&format!("t{i}")).unwrap().as_deref(),
+            Some([i as u8].as_ref())
+        );
+    }
+    let stats = store.stats();
+    assert!(
+        stats.amortization() > 1.0,
+        "concurrent singles never shared a round: {stats:?}"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn eager_policy_serves_singles_alone() {
+    let (mut cluster, store) = batched(4, FlushPolicy::EAGER);
+    store.put("x", b"1".to_vec()).unwrap();
+    assert_eq!(store.get("x").unwrap().as_deref(), Some(b"1".as_ref()));
+    assert_eq!(store.get("never").unwrap(), None);
+    let stats = store.stats();
+    assert_eq!(stats.logical_ops, 3);
+    assert_eq!(stats.register_ops, 3, "eager singles flush alone");
+    cluster.shutdown();
+}
+
+#[test]
+fn batches_survive_a_node_death() {
+    let (mut cluster, store) = batched(8, FlushPolicy::default());
+    let entries: Vec<(String, Bytes)> = (0..24)
+        .map(|i| (format!("d{i}"), Bytes::from(vec![i as u8])))
+        .collect();
+    store.multi_put(&entries).unwrap();
+    cluster.kill(rmem_types::ProcessId(1));
+    let keys: Vec<String> = entries.iter().map(|(k, _)| k.clone()).collect();
+    let got = store.multi_get(&keys).unwrap();
+    for (i, value) in got.iter().enumerate() {
+        assert_eq!(
+            value.as_deref(),
+            Some([i as u8].as_ref()),
+            "key d{i} must survive the node death"
+        );
+    }
+    store.multi_put(&entries).unwrap();
+    cluster.shutdown();
+}
+
+#[test]
+fn oversized_entries_split_across_write_rounds() {
+    // Frame-budget chunking: entries that cannot share one UDP-sized
+    // payload must land in separate rounds, all still readable.
+    let dir = std::env::temp_dir().join(format!("rmem-batch-split-{}", std::process::id()));
+    let cluster = LocalCluster::udp(3, SharedMemory::factory(Transient::flavor()), &dir).unwrap();
+    let kv = KvClient::new(cluster.clients(), ShardRouter::new(1)).unwrap();
+    let store = BatchedKv::new(kv, FlushPolicy::default());
+    // Three 30 KB values: any two fit a 64 KB frame, three do not.
+    let entries: Vec<(String, Bytes)> = (0..3)
+        .map(|i| (format!("big{i}"), Bytes::from(vec![i as u8; 30_000])))
+        .collect();
+    store.multi_put(&entries).unwrap();
+    assert!(
+        store.stats().register_ops >= 2,
+        "three 30KB entries cannot share one UDP frame"
+    );
+    // The last chunk owns the cell; its keys resolve, the earlier chunk's
+    // were displaced (the store's usual collision semantics).
+    let keys: Vec<String> = entries.iter().map(|(k, _)| k.clone()).collect();
+    let got = store.multi_get(&keys).unwrap();
+    assert!(
+        got.iter().any(Option::is_some),
+        "the final chunk's keys must resolve"
+    );
+    let mut cluster = cluster;
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn an_entry_over_any_frame_fails_with_too_large() {
+    let dir = std::env::temp_dir().join(format!("rmem-batch-toolarge-{}", std::process::id()));
+    let mut cluster =
+        LocalCluster::udp(3, SharedMemory::factory(Transient::flavor()), &dir).unwrap();
+    let kv = KvClient::new(cluster.clients(), ShardRouter::new(2)).unwrap();
+    let store = BatchedKv::new(kv, FlushPolicy::default());
+    let err = store
+        .multi_put(&[("huge".to_string(), Bytes::from(vec![0u8; 80_000]))])
+        .unwrap_err();
+    assert!(
+        matches!(err, rmem_kv::KvError::TooLarge { .. }),
+        "expected TooLarge, got {err}"
+    );
+    // The table path refuses at enqueue time, on the offender's thread —
+    // before the operation can poison a shared flush.
+    let err = store.put("huge", vec![0u8; 80_000]).unwrap_err();
+    assert!(
+        matches!(err, rmem_kv::KvError::TooLarge { .. }),
+        "expected TooLarge from the single-put path, got {err}"
+    );
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

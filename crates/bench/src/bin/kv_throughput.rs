@@ -1,16 +1,21 @@
 //! Runs the `kv_throughput` scenario: sharded-store throughput for the
 //! persistent, transient and regular register flavors under uniform and
-//! Zipf-skewed key popularity.
+//! Zipf-skewed key popularity, unbatched vs per-shard batched
+//! (`rmem-batch`'s coalescing model).
 //!
 //! ```text
-//! cargo run --release -p rmem-bench --bin kv_throughput [-- --csv]
+//! cargo run --release -p rmem-bench --bin kv_throughput [-- --csv] [-- --smoke]
 //! ```
+//!
+//! `--smoke` runs the same grid on a reduced workload (CI-sized); every
+//! reported run is still certified per key before its row prints.
 
 fn main() {
     let csv = std::env::args().any(|a| a == "--csv");
-    let (rows, table) = rmem_bench::kv::kv_throughput();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (rows, table) = rmem_bench::kv::kv_throughput_with(smoke);
     println!("{}", table.to_text());
-    println!("per-key certification: atomic flavors checked before reporting");
+    println!("per-key certification: atomic flavors checked before reporting (batched included)");
     println!(
         "(log counts per put: persistent = 2, transient = 1, regular = 1; \
          virtual time, so differences are purely algorithmic)"
@@ -20,9 +25,31 @@ fn main() {
         .max_by(|a, b| a.ops_per_sec.partial_cmp(&b.ops_per_sec).expect("finite"))
         .expect("rows");
     println!(
-        "fastest cell: {} / {} at {:.0} ops/s",
-        fastest.flavor, fastest.distribution, fastest.ops_per_sec
+        "fastest cell: {} / {} / {} at {:.0} ops/s",
+        fastest.flavor, fastest.distribution, fastest.mode, fastest.ops_per_sec
     );
+    for flavor in ["persistent", "transient"] {
+        let pick = |mode: &str| {
+            rows.iter()
+                .find(|r| {
+                    r.flavor == flavor && r.distribution == "zipf(0.99)" && r.mode.starts_with(mode)
+                })
+                .expect("cell")
+        };
+        let (un, ba) = (pick("unbatched"), pick("batched"));
+        assert!(
+            ba.ops_per_sec > un.ops_per_sec,
+            "{flavor}/zipf: batched must beat unbatched"
+        );
+        println!(
+            "{flavor}/zipf: batched {:.0} ops/s vs unbatched {:.0} ops/s ({:.2}× , {} vs {} register ops)",
+            ba.ops_per_sec,
+            un.ops_per_sec,
+            ba.ops_per_sec / un.ops_per_sec,
+            ba.register_ops,
+            un.register_ops,
+        );
+    }
     if csv {
         let path = table.write_csv("kv_throughput").expect("writing CSV");
         println!("wrote {}", path.display());

@@ -1,5 +1,6 @@
-//! The `kv_throughput` scenario: store throughput per register flavor and
-//! key-popularity shape, measured on the simulated testbed.
+//! The `kv_throughput` scenario: store throughput per register flavor,
+//! key-popularity shape and batching mode, measured on the simulated
+//! testbed.
 //!
 //! Each cell runs the same closed-loop store workload (`rmem-kv`'s
 //! generator) against a shared memory of one flavor, in deterministic
@@ -9,11 +10,21 @@
 //! flavor pays 2 causal logs per put, the transient flavor 1, and the
 //! regular flavor (single writer per key) skips the query round entirely.
 //!
+//! The **mode** column compares the unbatched path (every store operation
+//! is its own two-round register operation) against `rmem-batch`-style
+//! per-shard batching (each client's stream grouped into rounds of 8,
+//! coalesced per shard: one `Read` round serves the round's gets on a
+//! shard, one write round carries its coalesced puts). Both modes report
+//! **logical** (store-level) throughput over the same workload, so the
+//! batched gain is real amortization, not bookkeeping: under Zipf skew
+//! the hot shard absorbs many ops per round at the cost of one.
+//!
 //! Every run is also certified per key before its row is reported — a
 //! throughput number for a run that broke atomicity would be
-//! meaningless. The regular flavor is exercised with single-writer key
-//! ownership (its model) and skips certification: regularity, not
-//! atomicity, is its criterion.
+//! meaningless, and for batched runs the per-key certifier is the
+//! subsystem's correctness oracle. The regular flavor is exercised with
+//! single-writer key ownership (its model) and skips certification:
+//! regularity, not atomicity, is its criterion.
 
 use rmem_consistency::Criterion;
 use rmem_core::{Flavor, SharedMemory};
@@ -23,6 +34,9 @@ use rmem_sim::{ClusterConfig, LatencyStats, Simulation};
 use rmem_types::OpKind;
 
 use crate::table::Table;
+
+/// Round size of the batched mode (the `FlushPolicy::max_batch` analogue).
+pub const BATCH_ROUND: usize = 8;
 
 /// Which flavors the scenario compares.
 fn flavors() -> Vec<(Flavor, Option<Criterion>, bool)> {
@@ -42,87 +56,116 @@ pub struct KvThroughputRow {
     pub flavor: &'static str,
     /// Key distribution label.
     pub distribution: String,
-    /// Operations completed.
+    /// Batching mode label (`unbatched` / `batched(k)`).
+    pub mode: String,
+    /// Store-level (logical) operations completed.
     pub completed: usize,
+    /// Register operations executed to serve them.
+    pub register_ops: usize,
     /// Virtual duration of the run, in seconds.
     pub virtual_secs: f64,
-    /// Completed operations per virtual second.
+    /// Completed logical operations per virtual second.
     pub ops_per_sec: f64,
-    /// Get-latency statistics (µs).
+    /// Get-latency statistics (µs, per register round).
     pub get_latency: Option<LatencyStats>,
-    /// Put-latency statistics (µs).
+    /// Put-latency statistics (µs, per register round).
     pub put_latency: Option<LatencyStats>,
 }
 
-/// Runs the full scenario: 3 flavors × {uniform, zipf(0.99)}.
+/// Runs the full scenario: 3 flavors × {uniform, zipf(0.99)} ×
+/// {unbatched, batched}. `smoke` shrinks the workload for CI (same grid,
+/// same certification, a fraction of the virtual traffic).
 ///
 /// # Panics
 ///
-/// Panics if an atomic flavor's run fails its per-key certification —
-/// that would be a correctness bug, not a performance result.
-pub fn kv_throughput() -> (Vec<KvThroughputRow>, Table) {
+/// Panics if an atomic flavor's run fails its per-key certification, or
+/// if a crash-free run fails to complete every scheduled operation —
+/// either would make the throughput numbers meaningless.
+pub fn kv_throughput_with(smoke: bool) -> (Vec<KvThroughputRow>, Table) {
+    let ops_per_client = if smoke { 24 } else { 60 };
     let mut rows = Vec::new();
     for (flavor, criterion, single_writer) in flavors() {
         for dist in [KeyDist::Uniform, KeyDist::Zipf(0.99)] {
-            let spec = KvWorkloadSpec {
-                shards: 16,
-                clients: 5,
-                ops_per_client: 60,
-                write_fraction: 0.5,
-                distribution: dist,
-                value_len: 64,
-                single_writer,
-                seed: 1234,
-                ..KvWorkloadSpec::default()
-            };
-            let run = generate(&spec);
-            let mut sim = Simulation::new(
-                ClusterConfig::new(spec.clients),
-                SharedMemory::factory(flavor),
-                99,
-            )
-            .with_schedule(run.schedule.clone());
-            for lp in &run.loops {
-                sim.add_closed_loop(lp.clone());
-            }
-            let report = sim.run();
+            for batch in [1usize, BATCH_ROUND] {
+                let spec = KvWorkloadSpec {
+                    shards: 16,
+                    clients: 5,
+                    ops_per_client,
+                    write_fraction: 0.5,
+                    distribution: dist,
+                    value_len: 64,
+                    single_writer,
+                    batch,
+                    seed: 1234,
+                    ..KvWorkloadSpec::default()
+                };
+                let run = generate(&spec);
+                let mut sim = Simulation::new(
+                    ClusterConfig::new(spec.clients),
+                    SharedMemory::factory(flavor),
+                    99,
+                )
+                .with_schedule(run.schedule.clone());
+                for lp in &run.loops {
+                    sim.add_closed_loop(lp.clone());
+                }
+                let report = sim.run();
 
-            if let Some(criterion) = criterion {
-                certify_per_key(&report.trace.to_history(), &run.key_map, criterion)
-                    .unwrap_or_else(|e| {
-                        panic!(
-                            "{} / {}: run failed certification: {e}",
-                            flavor.name,
-                            dist.label()
-                        )
-                    });
-            }
+                if let Some(criterion) = criterion {
+                    certify_per_key(&report.trace.to_history(), &run.key_map, criterion)
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "{} / {} / batch={batch}: run failed certification: {e}",
+                                flavor.name,
+                                dist.label()
+                            )
+                        });
+                }
 
-            let completed = report
-                .trace
-                .operations()
-                .iter()
-                .filter(|o| o.is_completed())
-                .count();
-            let virtual_secs = report.final_time.as_micros() as f64 / 1e6;
-            rows.push(KvThroughputRow {
-                flavor: flavor.name,
-                distribution: dist.label(),
-                completed,
-                virtual_secs,
-                ops_per_sec: completed as f64 / virtual_secs,
-                get_latency: LatencyStats::from_sample(report.trace.latencies(OpKind::Read)),
-                put_latency: LatencyStats::from_sample(report.trace.latencies(OpKind::Write)),
-            });
+                let completed_registers = report
+                    .trace
+                    .operations()
+                    .iter()
+                    .filter(|o| o.is_completed())
+                    .count();
+                // Crash-free closed loops must drain completely; only then
+                // does "completed logical ops" equal the generated count.
+                assert_eq!(
+                    completed_registers,
+                    run.register_ops,
+                    "{} / {} / batch={batch}: a crash-free run left work behind",
+                    flavor.name,
+                    dist.label()
+                );
+                let virtual_secs = report.final_time.as_micros() as f64 / 1e6;
+                rows.push(KvThroughputRow {
+                    flavor: flavor.name,
+                    distribution: dist.label(),
+                    mode: if batch == 1 {
+                        "unbatched".to_string()
+                    } else {
+                        format!("batched({batch})")
+                    },
+                    completed: run.logical_ops,
+                    register_ops: run.register_ops,
+                    virtual_secs,
+                    ops_per_sec: run.logical_ops as f64 / virtual_secs,
+                    get_latency: LatencyStats::from_sample(report.trace.latencies(OpKind::Read)),
+                    put_latency: LatencyStats::from_sample(report.trace.latencies(OpKind::Write)),
+                });
+            }
         }
     }
 
     let mut table = Table::new(
-        "kv_throughput — sharded store, 5 clients, 16 shards, 50% puts",
+        "kv_throughput — sharded store, 5 clients, 16 shards, 50% puts; \
+         ops/s is store-level work over the same workload per mode",
         &[
             "flavor",
             "key dist",
+            "mode",
             "ops",
+            "reg ops",
             "virtual s",
             "ops/s",
             "get p50µs",
@@ -133,7 +176,9 @@ pub fn kv_throughput() -> (Vec<KvThroughputRow>, Table) {
         table.row(&[
             r.flavor.to_string(),
             r.distribution.clone(),
+            r.mode.clone(),
             r.completed.to_string(),
+            r.register_ops.to_string(),
             format!("{:.3}", r.virtual_secs),
             format!("{:.0}", r.ops_per_sec),
             r.get_latency
@@ -149,30 +194,49 @@ pub fn kv_throughput() -> (Vec<KvThroughputRow>, Table) {
     (rows, table)
 }
 
+/// The full scenario at its default size (see [`kv_throughput_with`]).
+pub fn kv_throughput() -> (Vec<KvThroughputRow>, Table) {
+    kv_throughput_with(false)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn cell<'a>(
+        rows: &'a [KvThroughputRow],
+        flavor: &str,
+        dist: &str,
+        mode_prefix: &str,
+    ) -> &'a KvThroughputRow {
+        rows.iter()
+            .find(|r| {
+                r.flavor == flavor && r.distribution == dist && r.mode.starts_with(mode_prefix)
+            })
+            .unwrap_or_else(|| panic!("missing cell {flavor}/{dist}/{mode_prefix}"))
+    }
+
     #[test]
     fn scenario_produces_all_cells_and_certifies() {
-        let (rows, table) = kv_throughput();
-        assert_eq!(rows.len(), 6, "3 flavors × 2 distributions");
-        assert_eq!(table.len(), 6);
+        let (rows, table) = kv_throughput_with(true);
+        assert_eq!(rows.len(), 12, "3 flavors × 2 distributions × 2 modes");
+        assert_eq!(table.len(), 12);
         for r in &rows {
             assert!(
                 r.completed > 0,
-                "{}/{} completed nothing",
+                "{}/{}/{} completed nothing",
                 r.flavor,
-                r.distribution
+                r.distribution,
+                r.mode
             );
             assert!(r.ops_per_sec > 0.0);
         }
         // The transient flavor logs less than the persistent one on puts;
         // in noise-free virtual time that must show as cheaper puts.
         let put_p50 = |flavor: &str, dist: &str| {
-            rows.iter()
-                .find(|r| r.flavor == flavor && r.distribution == dist)
-                .and_then(|r| r.put_latency.as_ref())
+            cell(&rows, flavor, dist, "unbatched")
+                .put_latency
+                .as_ref()
                 .map(|s| s.p50)
                 .unwrap()
         };
@@ -180,5 +244,24 @@ mod tests {
             put_p50("transient", "uniform") <= put_p50("persistent", "uniform"),
             "transient puts must not be slower than persistent ones"
         );
+    }
+
+    #[test]
+    fn batching_beats_the_unbatched_path_under_zipf() {
+        let (rows, _) = kv_throughput_with(true);
+        for flavor in ["persistent", "transient"] {
+            let unbatched = cell(&rows, flavor, "zipf(0.99)", "unbatched");
+            let batched = cell(&rows, flavor, "zipf(0.99)", "batched");
+            assert!(
+                batched.register_ops < unbatched.register_ops,
+                "{flavor}: batching must coalesce register ops"
+            );
+            assert!(
+                batched.ops_per_sec > unbatched.ops_per_sec,
+                "{flavor}/zipf: batched {:.0} ops/s must beat unbatched {:.0} ops/s",
+                batched.ops_per_sec,
+                unbatched.ops_per_sec
+            );
+        }
     }
 }

@@ -2,16 +2,19 @@
 //! independent per-shard operations across the cluster's nodes.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
 
 use bytes::Bytes;
 use rmem_net::{Client, ClientError};
-use rmem_types::RegisterId;
+use rmem_types::{RegisterId, Value};
 
 use crate::codec;
+use crate::health::HealthMemory;
 use crate::router::ShardRouter;
 
 /// Why a store operation failed.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum KvError {
     /// The underlying register operation failed at the node serving the
     /// key's shard.
@@ -21,6 +24,18 @@ pub enum KvError {
         /// The transport/runtime error.
         source: ClientError,
     },
+    /// The encoded entry cannot fit the cluster's transport frame (e.g.
+    /// the 64 KB UDP datagram ceiling). Surfaced *before* anything is
+    /// sent — the fair-lossy runtime would otherwise retransmit the
+    /// untransmittable message until the patience window expired.
+    TooLarge {
+        /// The key whose entry is oversized.
+        key: String,
+        /// The wire size the entry would produce.
+        size: usize,
+        /// The transport's frame limit.
+        limit: usize,
+    },
     /// The client was constructed without any node handles.
     NoNodes,
 }
@@ -29,6 +44,10 @@ impl std::fmt::Display for KvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             KvError::Register { key, source } => write!(f, "operation on key {key:?}: {source}"),
+            KvError::TooLarge { key, size, limit } => write!(
+                f,
+                "entry for key {key:?} needs a {size}-byte message, over the transport's {limit}-byte frame"
+            ),
             KvError::NoNodes => write!(f, "KvClient needs at least one node handle"),
         }
     }
@@ -56,6 +75,7 @@ pub struct KvClient {
     nodes: Vec<Client>,
     router: ShardRouter,
     busy_retries: u32,
+    health: Arc<HealthMemory>,
 }
 
 impl KvClient {
@@ -69,10 +89,12 @@ impl KvClient {
         if nodes.is_empty() {
             return Err(KvError::NoNodes);
         }
+        let health = Arc::new(HealthMemory::new(nodes.len(), Duration::from_secs(5)));
         Ok(KvClient {
             nodes,
             router,
             busy_retries: 32,
+            health,
         })
     }
 
@@ -83,9 +105,36 @@ impl KvClient {
         self
     }
 
+    /// Replaces the cluster-health mark cooldown (default 5 s): how long a
+    /// node that timed out is deprioritized before failover tries it first
+    /// again. Resets the marks.
+    pub fn with_health_cooldown(mut self, cooldown: Duration) -> Self {
+        self.health = Arc::new(HealthMemory::new(self.nodes.len(), cooldown));
+        self
+    }
+
+    /// The shared cluster-health memory (clones of this client observe and
+    /// update the same marks).
+    pub fn health(&self) -> &HealthMemory {
+        &self.health
+    }
+
     /// The router in use.
     pub fn router(&self) -> ShardRouter {
         self.router
+    }
+
+    /// Number of node handles.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The largest *register value* this client can write, if any node's
+    /// transport is bounded (the minimum across nodes — a value must fit
+    /// every replica's frame, not just the contacted node's, because the
+    /// protocol forwards it to all of them).
+    pub fn max_value_len(&self) -> Option<usize> {
+        self.nodes.iter().filter_map(Client::max_value_len).min()
     }
 
     /// Runs one register operation for `key`, preferring the shard's home
@@ -96,6 +145,14 @@ impl KvClient {
     /// the same node first, then fail over like any other unavailability —
     /// register operations are idempotent, so a retry after an ambiguous
     /// timeout is safe.
+    ///
+    /// Nodes the shared [`HealthMemory`] marks as recently failed are
+    /// tried *last* (never skipped), and a timeout/down outcome marks the
+    /// node — so across the concurrent threads of a multi-key batch, a
+    /// wedged node costs one patience window, not one per key.
+    /// [`ClientError::TooLarge`] short-circuits without marking: the value
+    /// cannot fit *any* node's frame, so failing over would only repeat
+    /// the refusal.
     fn with_failover<T>(
         &self,
         key: &str,
@@ -103,9 +160,12 @@ impl KvClient {
         mut op: impl FnMut(&Client) -> Result<T, ClientError>,
     ) -> Result<T, KvError> {
         let home = reg.0 as usize % self.nodes.len();
+        let rotation = (0..self.nodes.len()).map(|o| (home + o) % self.nodes.len());
+        let (fresh, suspect): (Vec<usize>, Vec<usize>) =
+            rotation.partition(|&i| !self.health.is_suspect(i));
         let mut last_err = None;
-        for offset in 0..self.nodes.len() {
-            let node = &self.nodes[(home + offset) % self.nodes.len()];
+        for i in fresh.into_iter().chain(suspect) {
+            let node = &self.nodes[i];
             let mut attempts = 0;
             loop {
                 match op(node) {
@@ -113,14 +173,27 @@ impl KvClient {
                         attempts += 1;
                         std::thread::sleep(std::time::Duration::from_micros(200 * attempts as u64));
                     }
+                    Err(ClientError::TooLarge { size, limit }) => {
+                        return Err(KvError::TooLarge {
+                            key: key.to_string(),
+                            size,
+                            limit,
+                        });
+                    }
                     // This node is gone, wedged, or permanently saturated
                     // (Busy retries exhausted); the next one serves the
                     // same register.
                     Err(source) => {
+                        if matches!(source, ClientError::TimedOut | ClientError::ProcessDown) {
+                            self.health.mark(i);
+                        }
                         last_err = Some(source);
                         break;
                     }
-                    Ok(v) => return Ok(v),
+                    Ok(v) => {
+                        self.health.clear(i);
+                        return Ok(v);
+                    }
                 }
             }
         }
@@ -130,19 +203,42 @@ impl KvClient {
         })
     }
 
+    /// One failover-protected register **write** of an already-encoded
+    /// payload (single entry or bundle). The building block of the
+    /// batching layer (`rmem-batch`); `label` names the operation in
+    /// errors (a key, or a `"batch:<shard>"` tag).
+    ///
+    /// # Errors
+    ///
+    /// As for [`put`](Self::put).
+    pub fn raw_write(&self, reg: RegisterId, payload: Value, label: &str) -> Result<(), KvError> {
+        self.with_failover(label, reg, |node| node.write_at(reg, payload.clone()))
+    }
+
+    /// One failover-protected register **read** returning the raw payload
+    /// (⊥, a single entry, or a bundle). The building block of the
+    /// batching layer; see [`raw_write`](Self::raw_write).
+    ///
+    /// # Errors
+    ///
+    /// As for [`get`](Self::get).
+    pub fn raw_read(&self, reg: RegisterId, label: &str) -> Result<Value, KvError> {
+        self.with_failover(label, reg, |node| node.read_at(reg))
+    }
+
     /// Stores `value` under `key`, blocking until the write is durable at
     /// a majority.
     ///
     /// The encoded entry (`2 + key + value` bytes plus protocol framing)
     /// must fit the cluster's transport frame: UDP transports cap
-    /// datagrams at 64 KB, and an oversized entry surfaces as a
-    /// [`ClientError::TimedOut`] after exhausting failover (the fair-lossy
-    /// runtime treats untransmittable sends as losses) — use a TCP-backed
+    /// datagrams at 64 KB, and an oversized entry fails fast with
+    /// [`KvError::TooLarge`] before anything is sent — use a TCP-backed
     /// cluster for larger values.
     ///
     /// # Errors
     ///
-    /// Returns [`KvError::Register`] if the register operation fails.
+    /// Returns [`KvError::TooLarge`] for an entry over the transport
+    /// frame, [`KvError::Register`] if the register operation fails.
     pub fn put(&self, key: &str, value: impl Into<Bytes>) -> Result<(), KvError> {
         let reg = self.router.register_for(key);
         let payload = codec::encode_entry(key, &value.into());
@@ -178,10 +274,10 @@ impl KvClient {
     /// its own thread, concurrently with the others. Results align with
     /// the input order.
     ///
-    /// Failover state is per operation, not per batch: a *wedged* (alive
-    /// but unresponsive) node costs each of its keys a full client
-    /// timeout before failing over. Cluster-health memory is a planned
-    /// follow-on (see ROADMAP).
+    /// Failover state is shared through the [`HealthMemory`]: the first
+    /// key to time out on a wedged node marks it, and the batch's other
+    /// threads then try that node last — one patience window per batch,
+    /// not one per key.
     ///
     /// # Errors
     ///
@@ -341,6 +437,71 @@ mod tests {
             kv.put(key, vec![i as u8 + 100]).unwrap();
         }
         cluster.shutdown();
+    }
+
+    #[test]
+    fn dead_node_is_marked_and_deprioritized() {
+        let (mut cluster, kv) = cluster_client(8);
+        let kv = kv.with_health_cooldown(std::time::Duration::from_secs(30));
+        let keys = kv.router().covering_keys("h-");
+        let entries: Vec<(String, Bytes)> = keys
+            .iter()
+            .map(|k| (k.clone(), Bytes::from(b"v".to_vec())))
+            .collect();
+        kv.multi_put(&entries).unwrap();
+        cluster.kill(rmem_types::ProcessId(1));
+        // Every key still resolves; the batch's failovers mark node 1.
+        let got = kv.multi_get(&keys).unwrap();
+        assert!(got.iter().all(Option::is_some));
+        assert!(
+            kv.health().is_suspect(1),
+            "the killed node must be marked as recently failed"
+        );
+        assert!(!kv.health().is_suspect(0));
+        // A clone shares the same marks.
+        assert!(kv.clone().health().is_suspect(1));
+        // Marks are hints, not bans: with *every* node marked the store
+        // still serves (suspects are tried in home order), and the node
+        // that answers clears its own mark.
+        cluster.restart(rmem_types::ProcessId(1)).unwrap();
+        for i in 0..3 {
+            kv.health().mark(i);
+        }
+        assert_eq!(kv.health().suspects().len(), 3);
+        let got = kv.multi_get(&keys).unwrap();
+        assert!(got.iter().all(Option::is_some));
+        assert!(
+            kv.health().suspects().len() < 3,
+            "successful operations must clear the serving nodes' marks"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn oversized_entry_fails_fast_with_a_named_error() {
+        // UDP transport: 64 KB datagram ceiling. The put must fail
+        // immediately with TooLarge, not retransmit into a timeout.
+        let dir = std::env::temp_dir().join(format!("rmem-kv-toolarge-{}", std::process::id()));
+        let mut cluster =
+            LocalCluster::udp(3, SharedMemory::factory(Transient::flavor()), &dir).unwrap();
+        let kv = KvClient::new(cluster.clients(), ShardRouter::new(4)).unwrap();
+        assert!(kv.max_value_len().is_some());
+        let started = std::time::Instant::now();
+        let err = kv.put("big", vec![0u8; 80_000]).unwrap_err();
+        assert!(
+            matches!(err, KvError::TooLarge { ref key, size, limit }
+                if key == "big" && size > limit),
+            "expected TooLarge, got {err}"
+        );
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(2),
+            "TooLarge must surface fast, not after a patience window"
+        );
+        // A value that fits still works on the same cluster.
+        kv.put("small", b"ok".to_vec()).unwrap();
+        assert_eq!(kv.get("small").unwrap().as_deref(), Some(b"ok".as_ref()));
+        cluster.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -6,12 +6,50 @@
 //! lossy: when two keys collide onto one shard, the tag is what lets a
 //! `get` distinguish "my value" from "someone else's value parked in my
 //! cell" and report the latter as absent instead of serving foreign bytes.
+//!
+//! # Bundles
+//!
+//! The batching layer (`rmem-batch`) coalesces the puts of a multi-key
+//! operation that land on one shard into a **single register write**. When
+//! those puts carry more than one distinct key, the payload is a *bundle*:
+//!
+//! ```text
+//! [0xFFFF][count: u16][ (key length: u16, key, value length: u32, value) × count ]
+//! ```
+//!
+//! The `0xFFFF` marker cannot open a single entry (keys are capped at
+//! [`MAX_KEY_LEN`] = 65 534 bytes), so the two forms are self-describing.
+//! A bundle is still *one* register value — it replaces the cell's whole
+//! content, exactly as a single entry displaces a colliding tenant — and
+//! [`value_for_key`] serves `get`s from either form transparently.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rmem_types::Value;
 
-/// Longest accepted key, in bytes (fits the `u16` length prefix).
-pub const MAX_KEY_LEN: usize = u16::MAX as usize;
+/// Longest accepted key, in bytes: one less than the `u16` range so the
+/// all-ones length prefix can mark a [bundle](self#bundles).
+pub const MAX_KEY_LEN: usize = u16::MAX as usize - 1;
+
+/// Length-prefix marker opening a bundle payload.
+const BUNDLE_MARKER: u16 = u16::MAX;
+
+/// Most entries one bundle can carry (the `u16` count field).
+pub const MAX_BUNDLE_ENTRIES: usize = u16::MAX as usize;
+
+/// Encoded bytes a single entry costs beyond its key and value bytes
+/// (the key length prefix). Pinned by a test against [`encode_entry`].
+pub const ENTRY_OVERHEAD: usize = 2;
+
+/// Encoded bytes a bundle costs beyond its entries (marker + count).
+///
+/// Exposed with [`BUNDLE_ENTRY_OVERHEAD`] so batching layers can size
+/// payloads against a transport frame budget without re-deriving the
+/// wire format; pinned by a test against [`encode_entries`].
+pub const BUNDLE_OVERHEAD: usize = 4;
+
+/// Encoded bytes each bundle entry costs beyond its key and value bytes
+/// (key length prefix + value length prefix).
+pub const BUNDLE_ENTRY_OVERHEAD: usize = 6;
 
 /// Encodes a store entry into a register payload.
 ///
@@ -23,7 +61,7 @@ pub fn encode_entry(key: &str, value: &Bytes) -> Value {
         key.len() <= MAX_KEY_LEN,
         "key longer than {MAX_KEY_LEN} bytes"
     );
-    let mut buf = BytesMut::with_capacity(2 + key.len() + value.len());
+    let mut buf = BytesMut::with_capacity(ENTRY_OVERHEAD + key.len() + value.len());
     buf.put_u16(key.len() as u16);
     buf.put_slice(key.as_bytes());
     buf.put_slice(value);
@@ -32,8 +70,9 @@ pub fn encode_entry(key: &str, value: &Bytes) -> Value {
 
 /// Decodes a register payload into `(key, value)`.
 ///
-/// Returns `None` for ⊥ (the register was never written) and for
-/// malformed payloads (a register written through a non-KV client).
+/// Returns `None` for ⊥ (the register was never written), for
+/// malformed payloads (a register written through a non-KV client), and
+/// for [bundles](self#bundles) (use [`decode_entries`]).
 pub fn decode_entry(payload: &Value) -> Option<(String, Bytes)> {
     if payload.is_bottom() {
         return None;
@@ -42,7 +81,11 @@ pub fn decode_entry(payload: &Value) -> Option<(String, Bytes)> {
     if buf.remaining() < 2 {
         return None;
     }
-    let key_len = buf.get_u16() as usize;
+    let key_len = buf.get_u16();
+    if key_len == BUNDLE_MARKER {
+        return None;
+    }
+    let key_len = key_len as usize;
     if buf.remaining() < key_len {
         return None;
     }
@@ -51,13 +94,101 @@ pub fn decode_entry(payload: &Value) -> Option<(String, Bytes)> {
     Some((key, Bytes::copy_from_slice(buf.chunk())))
 }
 
-/// Decodes a payload and keeps the value only if the entry belongs to
-/// `key` (collision-aware `get`).
-pub fn value_for_key(payload: &Value, key: &str) -> Option<Bytes> {
-    match decode_entry(payload) {
-        Some((stored, value)) if stored == key => Some(value),
-        _ => None,
+/// Encodes a batch of entries into one register payload: a single entry
+/// for one key, a [bundle](self#bundles) for several. Keys must be
+/// distinct — the batching layer coalesces same-key puts (last wins)
+/// before encoding.
+///
+/// # Panics
+///
+/// Panics on an empty batch, a batch over [`MAX_BUNDLE_ENTRIES`], a
+/// duplicate key, or a key over [`MAX_KEY_LEN`].
+pub fn encode_entries(entries: &[(&str, Bytes)]) -> Value {
+    assert!(!entries.is_empty(), "a batch holds at least one entry");
+    assert!(
+        entries.len() <= MAX_BUNDLE_ENTRIES,
+        "a bundle holds at most {MAX_BUNDLE_ENTRIES} entries"
+    );
+    if let [(key, value)] = entries {
+        return encode_entry(key, value);
     }
+    let mut seen = std::collections::BTreeSet::new();
+    let mut size = BUNDLE_OVERHEAD;
+    for (key, value) in entries {
+        assert!(
+            key.len() <= MAX_KEY_LEN,
+            "key longer than {MAX_KEY_LEN} bytes"
+        );
+        assert!(seen.insert(*key), "duplicate key {key:?} in a bundle");
+        size += BUNDLE_ENTRY_OVERHEAD + key.len() + value.len();
+    }
+    let mut buf = BytesMut::with_capacity(size);
+    buf.put_u16(BUNDLE_MARKER);
+    buf.put_u16(entries.len() as u16);
+    for (key, value) in entries {
+        buf.put_u16(key.len() as u16);
+        buf.put_slice(key.as_bytes());
+        buf.put_u32(value.len() as u32);
+        buf.put_slice(value);
+    }
+    Value::new(buf.freeze().to_vec())
+}
+
+/// Decodes a register payload into its entries — one for a single entry,
+/// several for a [bundle](self#bundles). `None` for ⊥ and malformed
+/// payloads.
+pub fn decode_entries(payload: &Value) -> Option<Vec<(String, Bytes)>> {
+    if payload.is_bottom() {
+        return None;
+    }
+    let mut buf: &[u8] = payload.bytes().as_ref();
+    if buf.remaining() < 2 {
+        return None;
+    }
+    let marker = u16::from_be_bytes([buf[0], buf[1]]);
+    if marker != BUNDLE_MARKER {
+        return decode_entry(payload).map(|e| vec![e]);
+    }
+    buf.advance(2);
+    if buf.remaining() < 2 {
+        return None;
+    }
+    let count = buf.get_u16() as usize;
+    if count == 0 {
+        return None;
+    }
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 2 {
+            return None;
+        }
+        let key_len = buf.get_u16() as usize;
+        if key_len > MAX_KEY_LEN || buf.remaining() < key_len {
+            return None;
+        }
+        let key = String::from_utf8(buf.copy_to_bytes(key_len).to_vec()).ok()?;
+        if buf.remaining() < 4 {
+            return None;
+        }
+        let value_len = buf.get_u32() as usize;
+        if buf.remaining() < value_len {
+            return None;
+        }
+        entries.push((key, buf.copy_to_bytes(value_len)));
+    }
+    if buf.has_remaining() {
+        return None; // trailing garbage
+    }
+    Some(entries)
+}
+
+/// Decodes a payload and keeps the value only if an entry belongs to
+/// `key` (collision-aware `get`; serves singles and bundles alike).
+pub fn value_for_key(payload: &Value, key: &str) -> Option<Bytes> {
+    decode_entries(payload)?
+        .into_iter()
+        .find(|(stored, _)| stored == key)
+        .map(|(_, value)| value)
 }
 
 #[cfg(test)]
@@ -94,6 +225,86 @@ mod tests {
         assert!(value_for_key(&payload, "mine").is_some());
         assert!(value_for_key(&payload, "theirs").is_none());
         assert!(value_for_key(&Value::bottom(), "mine").is_none());
+    }
+
+    #[test]
+    fn bundle_roundtrips_and_serves_every_key() {
+        let entries: Vec<(&str, Bytes)> = vec![
+            ("a", Bytes::from(b"1".to_vec())),
+            ("b", Bytes::from(b"22".to_vec())),
+            ("c", Bytes::new()),
+        ];
+        let payload = encode_entries(&entries);
+        let decoded = decode_entries(&payload).unwrap();
+        assert_eq!(decoded.len(), 3);
+        for (key, value) in &entries {
+            assert_eq!(value_for_key(&payload, key).as_ref(), Some(value));
+        }
+        assert_eq!(value_for_key(&payload, "absent"), None);
+        // A bundle is not a single entry.
+        assert_eq!(decode_entry(&payload), None);
+    }
+
+    #[test]
+    fn single_entry_batch_encodes_as_plain_entry() {
+        let payload = encode_entries(&[("solo", Bytes::from(b"v".to_vec()))]);
+        assert_eq!(
+            decode_entry(&payload).unwrap(),
+            ("solo".to_string(), Bytes::from(b"v".to_vec()))
+        );
+        assert_eq!(
+            decode_entries(&payload).unwrap(),
+            vec![("solo".to_string(), Bytes::from(b"v".to_vec()))]
+        );
+    }
+
+    #[test]
+    fn malformed_bundles_decode_to_none() {
+        // Marker with no count.
+        assert_eq!(decode_entries(&Value::new(vec![0xff, 0xff])), None);
+        // Count of zero.
+        assert_eq!(decode_entries(&Value::new(vec![0xff, 0xff, 0, 0])), None);
+        // Truncated entry.
+        assert_eq!(
+            decode_entries(&Value::new(vec![0xff, 0xff, 0, 1, 0, 5, b'a'])),
+            None
+        );
+        // Trailing garbage after a valid bundle.
+        let mut bytes = encode_entries(&[
+            ("a", Bytes::from(b"1".to_vec())),
+            ("b", Bytes::from(b"2".to_vec())),
+        ])
+        .bytes()
+        .to_vec();
+        bytes.push(0);
+        assert_eq!(decode_entries(&Value::new(bytes)), None);
+        assert_eq!(decode_entries(&Value::bottom()), None);
+    }
+
+    #[test]
+    fn bundle_overhead_constants_are_exact() {
+        let entries: Vec<(&str, Bytes)> = vec![
+            ("k1", Bytes::from(b"abc".to_vec())),
+            ("key2", Bytes::new()),
+            ("k3", Bytes::from(vec![0u8; 100])),
+        ];
+        let expected: usize = BUNDLE_OVERHEAD
+            + entries
+                .iter()
+                .map(|(k, v)| BUNDLE_ENTRY_OVERHEAD + k.len() + v.len())
+                .sum::<usize>();
+        assert_eq!(encode_entries(&entries).bytes().len(), expected);
+        let single = encode_entry("key", &Bytes::from(b"val".to_vec()));
+        assert_eq!(single.bytes().len(), ENTRY_OVERHEAD + 3 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate key")]
+    fn duplicate_bundle_keys_panic() {
+        let _ = encode_entries(&[
+            ("same", Bytes::from(b"1".to_vec())),
+            ("same", Bytes::from(b"2".to_vec())),
+        ]);
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Client-side cluster-health memory.
+//!
+//! `KvClient` failover is per operation: without shared state, a *wedged*
+//! node (alive but unresponsive — the worst case, because only the client
+//! timeout detects it) costs every key homed on it a full patience window
+//! before failing over, even within one `multi_get`. [`HealthMemory`] is
+//! the shared fix: a per-node "recently failed" mark with decay. The first
+//! operation to time out on a node marks it; every subsequent operation —
+//! including the concurrent per-shard threads of a multi-key batch — tries
+//! the marked node *last* instead of first, so a wedged node costs one
+//! timeout per batch rather than one per key.
+//!
+//! Marks are hints, never bans: a fully marked cluster is still tried in
+//! home order, a successful operation clears its node's mark, and marks
+//! expire after a cooldown so a recovered node regains its traffic without
+//! any explicit signal. Correctness is therefore untouched — the register
+//! emulations tolerate operations landing on any node — only tail latency
+//! changes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Shared per-node failure marks with decay (see module docs).
+///
+/// Clones of a `KvClient` share one `HealthMemory` through an `Arc`; all
+/// operations, from any thread, read and write the same marks.
+#[derive(Debug)]
+pub struct HealthMemory {
+    /// Construction instant; marks are stored as micros since this base,
+    /// offset by 1 so that 0 means "never failed".
+    base: Instant,
+    cooldown: Duration,
+    marks: Vec<AtomicU64>,
+}
+
+impl HealthMemory {
+    /// Fresh memory for `nodes` nodes with the given mark cooldown.
+    pub fn new(nodes: usize, cooldown: Duration) -> Self {
+        HealthMemory {
+            base: Instant::now(),
+            cooldown,
+            marks: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn now_micros(&self) -> u64 {
+        self.base.elapsed().as_micros() as u64
+    }
+
+    /// Records a failure (timeout / down) of `node`.
+    pub fn mark(&self, node: usize) {
+        self.marks[node].store(self.now_micros() + 1, Ordering::Relaxed);
+    }
+
+    /// Clears `node`'s mark (a successful operation went through it).
+    pub fn clear(&self, node: usize) {
+        self.marks[node].store(0, Ordering::Relaxed);
+    }
+
+    /// Whether `node` failed within the cooldown window.
+    pub fn is_suspect(&self, node: usize) -> bool {
+        match self.marks[node].load(Ordering::Relaxed) {
+            0 => false,
+            stamp => {
+                let age = self.now_micros().saturating_sub(stamp - 1);
+                age < self.cooldown.as_micros() as u64
+            }
+        }
+    }
+
+    /// Indices of currently suspect nodes.
+    pub fn suspects(&self) -> Vec<usize> {
+        (0..self.marks.len())
+            .filter(|&i| self.is_suspect(i))
+            .collect()
+    }
+
+    /// The configured mark cooldown.
+    pub fn cooldown(&self) -> Duration {
+        self.cooldown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_decay_and_clear() {
+        let h = HealthMemory::new(3, Duration::from_millis(20));
+        assert!(h.suspects().is_empty());
+        h.mark(1);
+        assert!(h.is_suspect(1));
+        assert!(!h.is_suspect(0));
+        assert_eq!(h.suspects(), vec![1]);
+        h.clear(1);
+        assert!(!h.is_suspect(1));
+        h.mark(2);
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(!h.is_suspect(2), "marks must decay after the cooldown");
+    }
+
+    #[test]
+    fn remarking_refreshes_the_window() {
+        let h = HealthMemory::new(1, Duration::from_millis(30));
+        h.mark(0);
+        std::thread::sleep(Duration::from_millis(20));
+        h.mark(0);
+        std::thread::sleep(Duration::from_millis(15));
+        // 35ms after the first mark but only 15ms after the second.
+        assert!(h.is_suspect(0));
+    }
+}

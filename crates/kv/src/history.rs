@@ -203,13 +203,25 @@ pub fn decode_history(history: &History, map: &KeyMap) -> Result<History, KvCert
             return Ok(Value::bottom());
         }
         let expected = &map.keys_of(register)[0];
-        match codec::decode_entry(payload) {
-            Some((found, value)) if found == *expected => Ok(Value::new(value.to_vec())),
-            Some((found, _)) => Err(KvCertError::ForeignEntry {
-                register,
-                expected: expected.clone(),
-                found,
-            }),
+        // Batched writes may carry bundles. Under an injective key map a
+        // certifiable bundle holds exactly one entry — the register's own
+        // key (batching coalesces same-key puts; a second *key* in the
+        // payload would mean a shard collision, which injectivity already
+        // rules out) — so bundle decoding degrades to entry decoding and
+        // the per-register criterion keeps reading as the per-key one.
+        match codec::decode_entries(payload) {
+            Some(entries) => {
+                if let Some((found, _)) = entries.iter().find(|(found, _)| found != expected) {
+                    return Err(KvCertError::ForeignEntry {
+                        register,
+                        expected: expected.clone(),
+                        found: found.clone(),
+                    });
+                }
+                // All entries carry the expected key; distinctness of
+                // bundle keys means there is exactly one.
+                Ok(Value::new(entries[0].1.to_vec()))
+            }
             None => Err(KvCertError::MalformedEntry { register }),
         }
     };

@@ -56,10 +56,12 @@
 
 pub mod client;
 pub mod codec;
+pub mod health;
 pub mod history;
 pub mod router;
 pub mod workload;
 
 pub use client::{KvClient, KvError};
+pub use health::HealthMemory;
 pub use history::{certify_per_key, CertifyError, KeyMap, KeyViolation, KvCertificate};
 pub use router::ShardRouter;

@@ -72,6 +72,15 @@ pub struct KvWorkloadSpec {
     /// — required for the single-writer `Regular` flavor, optional
     /// elsewhere.
     pub single_writer: bool,
+    /// Multi-op round size, modelling `rmem-batch`'s per-shard batching:
+    /// `1` issues every store operation as its own register operation
+    /// (the unbatched baseline); `k > 1` groups each client's stream into
+    /// rounds of `k` and coalesces each round per shard — the round's
+    /// gets on one shard become a single `ReadAt`, its puts one `WriteAt`
+    /// of the coalesced payload (last write per key wins, exactly the
+    /// engine's semantics). [`KvRun::logical_ops`] /
+    /// [`KvRun::register_ops`] report the amortization.
+    pub batch: usize,
     /// Scripted crashes: `(at µs, process, down-for µs)`.
     pub crashes: Vec<(u64, u16, u64)>,
 }
@@ -88,6 +97,7 @@ impl Default for KvWorkloadSpec {
             think: Micros(200),
             seed: 42,
             single_writer: false,
+            batch: 1,
             crashes: Vec::new(),
         }
     }
@@ -108,6 +118,84 @@ pub struct KvRun {
     pub key_map: KeyMap,
     /// The router used.
     pub router: ShardRouter,
+    /// Store-level operations the run represents (puts + gets before any
+    /// coalescing). Equal to [`register_ops`](KvRun::register_ops) for
+    /// unbatched runs.
+    pub logical_ops: usize,
+    /// Register operations actually scheduled (after per-shard
+    /// coalescing). Throughput reports divide completed *logical* work by
+    /// time, so batched and unbatched rows compare the same workload.
+    pub register_ops: usize,
+}
+
+/// One store-level operation before lowering to register operations.
+enum LogicalOp {
+    /// Write this pre-built value under key `keys[index]`.
+    Put(usize, Vec<u8>),
+    /// Read key `keys[index]`.
+    Get(usize),
+}
+
+/// Lowers one client's logical stream to register operations: 1:1 for
+/// `batch == 1`, per-shard coalesced rounds otherwise (see
+/// [`KvWorkloadSpec::batch`]).
+fn lower(logical: Vec<LogicalOp>, batch: usize, keys: &[String], router: &ShardRouter) -> Vec<Op> {
+    if batch <= 1 {
+        return logical
+            .into_iter()
+            .map(|op| match op {
+                LogicalOp::Put(i, value) => Op::WriteAt(
+                    router.register_for(&keys[i]),
+                    codec::encode_entry(&keys[i], &Bytes::from(value)),
+                ),
+                LogicalOp::Get(i) => Op::ReadAt(router.register_for(&keys[i])),
+            })
+            .collect();
+    }
+    let mut ops = Vec::new();
+    for round in logical.chunks(batch) {
+        // The round's gets: one Read round per touched shard.
+        let mut read_regs = std::collections::BTreeSet::new();
+        // The round's puts: per shard, last write per key wins (key order
+        // by first appearance — the engine's coalescing). Indexed so a
+        // hot key under heavy skew coalesces in linear time.
+        let mut writes: std::collections::BTreeMap<u16, Vec<(usize, Vec<u8>)>> =
+            std::collections::BTreeMap::new();
+        let mut index: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        for op in round {
+            match op {
+                LogicalOp::Get(i) => {
+                    read_regs.insert(router.register_for(&keys[*i]));
+                }
+                LogicalOp::Put(i, value) => {
+                    let reg = router.register_for(&keys[*i]);
+                    let entries = writes.entry(reg.0).or_default();
+                    match index.get(i) {
+                        Some(&pos) => entries[pos].1 = value.clone(),
+                        None => {
+                            index.insert(*i, entries.len());
+                            entries.push((*i, value.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        // Reads first, then writes: everything in a round is concurrent
+        // at the store level, so any serialization is legal; this one
+        // mirrors the engine's flush order.
+        ops.extend(read_regs.into_iter().map(Op::ReadAt));
+        for (reg, entries) in writes {
+            let entries: Vec<(&str, Bytes)> = entries
+                .iter()
+                .map(|(i, v)| (keys[*i].as_str(), Bytes::from(v.clone())))
+                .collect();
+            ops.push(Op::WriteAt(
+                rmem_types::RegisterId(reg),
+                codec::encode_entries(&entries),
+            ));
+        }
+    }
+    ops
 }
 
 /// Generates a workload from `spec`.
@@ -129,11 +217,13 @@ pub fn generate(spec: &KvWorkloadSpec) -> KvRun {
 
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let mut loops = Vec::with_capacity(spec.clients);
+    let mut logical_ops = 0;
+    let mut register_ops = 0;
     for client in 0..spec.clients {
         let owned: Vec<usize> = (0..keys.len())
             .filter(|i| i % spec.clients == client)
             .collect();
-        let mut ops = Vec::with_capacity(spec.ops_per_client);
+        let mut logical = Vec::with_capacity(spec.ops_per_client);
         let mut write_counter = 0u64;
         for _ in 0..spec.ops_per_client {
             let key_index = dist.sample(&mut rng);
@@ -145,25 +235,24 @@ pub fn generate(spec: &KvWorkloadSpec) -> KvRun {
                 let key_index = if spec.single_writer {
                     if owned.is_empty() {
                         // More clients than keys: this client only reads.
-                        ops.push(Op::ReadAt(router.register_for(&keys[key_index])));
+                        logical.push(LogicalOp::Get(key_index));
                         continue;
                     }
                     owned[key_index % owned.len()]
                 } else {
                     key_index
                 };
-                let key = &keys[key_index];
                 let mut value = vec![0u8; spec.value_len.max(8)];
                 value[..8].copy_from_slice(&((client as u64) << 32 | write_counter).to_be_bytes());
                 write_counter += 1;
-                ops.push(Op::WriteAt(
-                    router.register_for(key),
-                    codec::encode_entry(key, &Bytes::from(value)),
-                ));
+                logical.push(LogicalOp::Put(key_index, value));
             } else {
-                ops.push(Op::ReadAt(router.register_for(&keys[key_index])));
+                logical.push(LogicalOp::Get(key_index));
             }
         }
+        logical_ops += logical.len();
+        let ops = lower(logical, spec.batch, &keys, &router);
+        register_ops += ops.len();
         loops.push(ClosedLoop {
             pid: ProcessId(client as u16),
             ops,
@@ -185,6 +274,8 @@ pub fn generate(spec: &KvWorkloadSpec) -> KvRun {
         keys,
         key_map,
         router,
+        logical_ops,
+        register_ops,
     }
 }
 
@@ -244,6 +335,56 @@ mod tests {
             ..KvWorkloadSpec::default()
         });
         assert_eq!(run.schedule.entries().len(), 2);
+    }
+
+    #[test]
+    fn batched_lowering_coalesces_and_accounts() {
+        let base = KvWorkloadSpec {
+            shards: 8,
+            clients: 3,
+            ops_per_client: 40,
+            distribution: KeyDist::Zipf(0.99),
+            ..KvWorkloadSpec::default()
+        };
+        let unbatched = generate(&base);
+        assert_eq!(unbatched.logical_ops, 120);
+        assert_eq!(unbatched.register_ops, 120, "batch=1 lowers 1:1");
+        let batched = generate(&KvWorkloadSpec { batch: 8, ..base });
+        assert_eq!(batched.logical_ops, 120, "same workload");
+        assert!(
+            batched.register_ops < unbatched.register_ops,
+            "coalescing must drop register ops ({} vs {})",
+            batched.register_ops,
+            unbatched.register_ops
+        );
+        assert_eq!(
+            batched.register_ops,
+            batched.loops.iter().map(|l| l.ops.len()).sum::<usize>()
+        );
+        // Every lowered write is decodable, single-key (injective
+        // universe), and correctly routed.
+        for lp in &batched.loops {
+            for op in &lp.ops {
+                if let Op::WriteAt(reg, payload) = op {
+                    let entries = crate::codec::decode_entries(payload).expect("decodable");
+                    assert_eq!(entries.len(), 1, "one key per shard ⇒ one entry");
+                    assert_eq!(batched.router.register_for(&entries[0].0), *reg);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_generation_is_deterministic() {
+        let spec = KvWorkloadSpec {
+            batch: 4,
+            ..KvWorkloadSpec::default()
+        };
+        let a = generate(&spec);
+        let b = generate(&spec);
+        for (la, lb) in a.loops.iter().zip(&b.loops) {
+            assert_eq!(la.ops, lb.ops);
+        }
     }
 
     #[test]

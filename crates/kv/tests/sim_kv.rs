@@ -86,6 +86,32 @@ fn workload_operations_all_terminate() {
     }
 }
 
+/// Batched runs (per-shard coalesced rounds, the `rmem-batch` model) stay
+/// certified per key — the per-key checker is the correctness oracle of
+/// the batching subsystem — including through a crash.
+#[test]
+fn batched_store_run_is_certified_atomic_per_key() {
+    let spec = KvWorkloadSpec {
+        shards: 8,
+        clients: 3,
+        ops_per_client: 32,
+        batch: 8,
+        distribution: KeyDist::Zipf(0.99),
+        crashes: vec![(8_000, 1, 4_000)],
+        ..KvWorkloadSpec::default()
+    };
+    let kv_run = generate(&spec);
+    assert!(
+        kv_run.register_ops < kv_run.logical_ops,
+        "the batched run must actually coalesce"
+    );
+    let (report, key_map) = run(&spec, Persistent::flavor(), 11);
+    let h = report.trace.to_history();
+    let cert = certify_per_key(&h, &key_map, Criterion::Persistent)
+        .expect("batched persistent store run must certify per key");
+    assert!(!cert.per_key.is_empty());
+}
+
 /// Several seeds, several crash points: the certificate holds across the
 /// space (a cheap randomized sweep on top of the scripted acceptance run).
 #[test]

@@ -55,14 +55,29 @@ impl std::error::Error for NetError {
 /// A client-visible operation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientError {
-    /// The process already has an operation in flight (processes are
-    /// sequential, §III-A).
+    /// The register this operation addresses already has an operation in
+    /// flight at this process (per-register sequentiality; operations on
+    /// *distinct* registers proceed concurrently through one runner).
     Busy,
     /// The runner was shut down (or killed to simulate a crash) before the
     /// operation completed.
     ProcessDown,
     /// The operation did not complete within the client's patience window.
     TimedOut,
+    /// The written value cannot fit the transport's frame (e.g. the 64 KB
+    /// UDP datagram ceiling): without this check the fair-lossy runtime
+    /// would treat every send of the oversized message as a loss and the
+    /// operation would retransmit forever into a [`TimedOut`]. Surfaced
+    /// *before* anything is sent or logged — use a TCP-backed cluster for
+    /// larger values.
+    ///
+    /// [`TimedOut`]: ClientError::TimedOut
+    TooLarge {
+        /// The message size the value would produce on the wire.
+        size: usize,
+        /// The transport's frame limit.
+        limit: usize,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -71,6 +86,12 @@ impl std::fmt::Display for ClientError {
             ClientError::Busy => write!(f, "an operation is already in flight"),
             ClientError::ProcessDown => write!(f, "the process is down"),
             ClientError::TimedOut => write!(f, "the operation timed out"),
+            ClientError::TooLarge { size, limit } => {
+                write!(
+                    f,
+                    "a {size}-byte message exceeds the transport frame limit of {limit} bytes"
+                )
+            }
         }
     }
 }

@@ -1,14 +1,15 @@
 //! Hosting one automaton on real threads, sockets, timers and disk.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use rmem_storage::records::KEY_WRITTEN;
 use rmem_storage::{SnapshotView, StableStorage};
 use rmem_types::{
-    Action, Automaton, AutomatonFactory, Input, Op, OpId, OpResult, ProcessId, TimerToken,
+    Action, Automaton, AutomatonFactory, Input, Op, OpId, OpResult, ProcessId, RegisterId,
+    TimerToken,
 };
 use std::sync::Arc;
 
@@ -29,6 +30,47 @@ enum RunnerEvent {
     Shutdown,
 }
 
+/// The runner's **operation table**: every client operation currently in
+/// flight at this process, keyed by operation id with a per-register busy
+/// index.
+///
+/// The paper's model (§III-A) makes *each process of the emulation*
+/// sequential — and each register of a shared memory is its own
+/// independent emulation (`rmem_core::SharedMemoryAutomaton` hosts one
+/// register automaton per id, unaware of the others). The table enforces
+/// sequentiality exactly at that granularity: a second operation on a
+/// register with one already in flight is rejected `Busy`, while
+/// operations on distinct registers — independent shards hosted by this
+/// node — proceed concurrently through the one event loop.
+#[derive(Default)]
+struct OpTable {
+    in_flight: HashMap<OpId, (RegisterId, Sender<OpResult>)>,
+    by_register: HashMap<RegisterId, OpId>,
+}
+
+impl OpTable {
+    /// Whether `reg` already has an operation in flight.
+    fn is_busy(&self, reg: RegisterId) -> bool {
+        self.by_register.contains_key(&reg)
+    }
+
+    /// Admits `op` on `reg`. Callers must have checked [`is_busy`] first.
+    ///
+    /// [`is_busy`]: OpTable::is_busy
+    fn admit(&mut self, op: OpId, reg: RegisterId, reply: Sender<OpResult>) {
+        debug_assert!(!self.is_busy(reg), "admitting onto a busy register");
+        self.by_register.insert(reg, op);
+        self.in_flight.insert(op, (reg, reply));
+    }
+
+    /// Completes `op` if it is in flight, returning its reply channel.
+    fn complete(&mut self, op: OpId) -> Option<Sender<OpResult>> {
+        let (reg, reply) = self.in_flight.remove(&op)?;
+        self.by_register.remove(&reg);
+        Some(reply)
+    }
+}
+
 /// A handle for issuing operations to a running process.
 ///
 /// Cheap to clone; operations block until the emulation completes them (or
@@ -39,12 +81,14 @@ enum RunnerEvent {
 pub struct Client {
     tx: Sender<RunnerEvent>,
     timeout: Duration,
+    max_payload: Option<usize>,
 }
 
 impl std::fmt::Debug for Client {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Client")
             .field("timeout", &self.timeout)
+            .field("max_payload", &self.max_payload)
             .finish()
     }
 }
@@ -56,7 +100,37 @@ impl Client {
         self
     }
 
+    /// The transport's frame ceiling for encoded messages, if any (e.g.
+    /// `Some(64 998)` for UDP). `None` means unbounded.
+    pub fn max_payload(&self) -> Option<usize> {
+        self.max_payload
+    }
+
+    /// The largest value a write through this client can carry, if the
+    /// transport is bounded: the frame ceiling minus the fixed wire
+    /// overhead of a value-carrying protocol message.
+    pub fn max_value_len(&self) -> Option<usize> {
+        self.max_payload
+            .map(|limit| limit.saturating_sub(rmem_types::codec::VALUE_MSG_OVERHEAD))
+    }
+
+    /// Rejects a value the transport could never deliver — without this,
+    /// the fair-lossy runtime retransmits the untransmittable message
+    /// until the patience window expires.
+    fn check_frame(&self, value: &rmem_types::Value) -> Result<(), ClientError> {
+        if let Some(limit) = self.max_payload {
+            let size = value.bytes().len() + rmem_types::codec::VALUE_MSG_OVERHEAD;
+            if size > limit {
+                return Err(ClientError::TooLarge { size, limit });
+            }
+        }
+        Ok(())
+    }
+
     fn invoke(&self, operation: Op) -> Result<OpResult, ClientError> {
+        if let Some(value) = operation.write_value() {
+            self.check_frame(value)?;
+        }
         let (reply_tx, reply_rx) = bounded(1);
         self.tx
             .send(RunnerEvent::Invoke {
@@ -77,9 +151,11 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// [`ClientError::Busy`] if an operation is already in flight,
-    /// [`ClientError::ProcessDown`] / [`ClientError::TimedOut`] as their
-    /// names say.
+    /// [`ClientError::Busy`] if an operation is already in flight *on the
+    /// same register* (operations on distinct registers run concurrently),
+    /// [`ClientError::TooLarge`] if the value cannot fit the transport
+    /// frame, [`ClientError::ProcessDown`] / [`ClientError::TimedOut`] as
+    /// their names say.
     pub fn write(&self, value: rmem_types::Value) -> Result<(), ClientError> {
         self.invoke(Op::Write(value)).map(|_| ())
     }
@@ -213,6 +289,7 @@ impl ProcessRunner {
         Client {
             tx: self.tx.clone(),
             timeout: Duration::from_secs(10),
+            max_payload: self.transport.max_payload(),
         }
     }
 
@@ -252,7 +329,7 @@ fn run_loop(
     let mut timer_tokens: std::collections::HashMap<u64, TimerToken> =
         std::collections::HashMap::new();
     let mut timer_seq = 0u64;
-    let mut pending: Option<(OpId, Sender<OpResult>)> = None;
+    let mut pending = OpTable::default();
     let mut op_counter = boot_count << 32;
 
     // Process one input plus the synchronous-store cascade it triggers.
@@ -261,7 +338,7 @@ fn run_loop(
                 timers: &mut BinaryHeap<Reverse<(Instant, u64)>>,
                 timer_tokens: &mut std::collections::HashMap<u64, TimerToken>,
                 timer_seq: &mut u64,
-                pending: &mut Option<(OpId, Sender<OpResult>)>,
+                pending: &mut OpTable,
                 input: Input| {
         let mut inputs = std::collections::VecDeque::new();
         inputs.push_back(input);
@@ -294,12 +371,8 @@ fn run_loop(
                         timers.push(Reverse((Instant::now() + Duration::from(after), seq)));
                     }
                     Action::Complete { op, result } => {
-                        if let Some((pending_op, reply)) = pending.take() {
-                            if pending_op == op {
-                                let _ = reply.send(result);
-                            } else {
-                                *pending = Some((pending_op, reply));
-                            }
+                        if let Some(reply) = pending.complete(op) {
+                            let _ = reply.send(result);
                         }
                     }
                 }
@@ -360,12 +433,13 @@ fn run_loop(
             },
             recv(control) -> ctl => match ctl {
                 Ok(RunnerEvent::Invoke { operation, reply }) => {
-                    if pending.is_some() {
+                    let reg = operation.register();
+                    if pending.is_busy(reg) {
                         let _ = reply.send(OpResult::Rejected(rmem_types::RejectReason::Busy));
                     } else {
                         let op = OpId::new(me, op_counter);
                         op_counter += 1;
-                        pending = Some((op, reply));
+                        pending.admit(op, reg, reply);
                         step(
                             &mut automaton,
                             &mut storage,
@@ -440,6 +514,39 @@ mod tests {
             read_result.is_ok() || write_result.is_ok(),
             "at most one of the racing operations may be refused"
         );
+        for r in runners {
+            r.stop();
+        }
+    }
+
+    #[test]
+    fn distinct_registers_run_concurrently_through_one_runner() {
+        use rmem_core::SharedMemory;
+        let board = Switchboard::new(3);
+        let factory = SharedMemory::factory(Transient::flavor());
+        let runners: Vec<_> = (0..3u16)
+            .map(|i| {
+                let (tx, rx) = unbounded();
+                let transport = Arc::new(ChannelTransport::new(ProcessId(i), 3, board.clone(), tx));
+                ProcessRunner::start(factory.as_ref(), Box::new(MemStorage::new()), transport, rx)
+            })
+            .collect();
+        let client = runners[0].client();
+        // Many threads, one register each: every operation must succeed —
+        // Busy would mean the runner still serializes across registers.
+        let handles: Vec<_> = (0..8u16)
+            .map(|r| {
+                let c = client.clone();
+                std::thread::spawn(move || {
+                    c.write_at(rmem_types::RegisterId(r), Value::from_u32(r as u32 + 1))?;
+                    c.read_at(rmem_types::RegisterId(r))
+                })
+            })
+            .collect();
+        for (r, h) in handles.into_iter().enumerate() {
+            let v = h.join().unwrap().expect("concurrent op must complete");
+            assert_eq!(v.as_u32(), Some(r as u32 + 1));
+        }
         for r in runners {
             r.stop();
         }

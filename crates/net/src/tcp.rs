@@ -206,6 +206,10 @@ impl Transport for TcpTransport {
         Ok(())
     }
 
+    fn max_payload(&self) -> Option<usize> {
+        Some(MAX_FRAME)
+    }
+
     fn shutdown(&self) {
         self.stop.store(true, Ordering::Relaxed);
         for slot in &self.outgoing {

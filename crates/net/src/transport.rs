@@ -39,6 +39,18 @@ pub trait Transport: Send + Sync + 'static {
     /// they are indistinguishable from packet loss.
     fn send(&self, to: ProcessId, msg: &Message) -> Result<(), NetError>;
 
+    /// The largest encoded [`Message`] this transport can carry, if it has
+    /// a hard ceiling (`None` for unbounded transports).
+    ///
+    /// Clients use this hint to fail oversized operations fast with
+    /// [`ClientError::TooLarge`](crate::ClientError::TooLarge) instead of
+    /// retransmitting an untransmittable message until the patience window
+    /// runs out — under fair-lossy semantics a `send` that can never
+    /// succeed is indistinguishable from 100% packet loss.
+    fn max_payload(&self) -> Option<usize> {
+        None
+    }
+
     /// Stops the receiver machinery (idempotent).
     fn shutdown(&self);
 }

@@ -138,6 +138,11 @@ impl Transport for UdpTransport {
         Ok(())
     }
 
+    fn max_payload(&self) -> Option<usize> {
+        // The 2-byte sender-id prefix shares the datagram with the message.
+        Some(MAX_DATAGRAM - 2)
+    }
+
     fn shutdown(&self) {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.receiver.lock().take() {

@@ -22,13 +22,24 @@ struct ProcSlot {
     /// Bumped at every crash; store completions and timers from older
     /// incarnations are discarded.
     incarnation: u32,
-    /// The operation currently in flight at this process, if any.
-    pending: Option<OpId>,
+    /// The process's **operation table**: in-flight client operations
+    /// keyed by the register they address. Mirrors the real runner's
+    /// table (`rmem-net`): at most one operation per register — §III-A
+    /// sequentiality applied per register emulation — while operations on
+    /// distinct registers overlap freely.
+    pending: std::collections::BTreeMap<rmem_types::RegisterId, OpId>,
     next_op_counter: u64,
     /// Set while the process runs its recovery procedure (between the
     /// Recover event and the automaton reporting ready); drives the
     /// recovery-duration measurement.
     recovering_since: Option<VirtualTime>,
+}
+
+impl ProcSlot {
+    /// Whether `op` is still in flight at this process.
+    fn is_pending(&self, op: OpId) -> bool {
+        self.pending.values().any(|&p| p == op)
+    }
 }
 
 struct LoopState {
@@ -100,7 +111,7 @@ impl Simulation {
                 automaton: None,
                 storage: MemStorage::new(),
                 incarnation: 0,
-                pending: None,
+                pending: std::collections::BTreeMap::new(),
                 next_op_counter: 0,
                 recovering_since: None,
             })
@@ -223,7 +234,7 @@ impl Simulation {
             self.procs[pid.index()].automaton = Some(automaton);
         }
         for pid in ProcessId::all(self.config.n) {
-            self.feed(pid, Input::Start, 0, false);
+            self.feed(pid, Input::Start, 0, None);
         }
 
         let mut quiescent = false;
@@ -274,7 +285,7 @@ impl Simulation {
         let procs_idle = self
             .procs
             .iter()
-            .all(|s| s.pending.is_none() && s.automaton.as_ref().is_none_or(|a| a.is_ready()));
+            .all(|s| s.pending.is_empty() && s.automaton.as_ref().is_none_or(|a| a.is_ready()));
         let loops_done = self
             .loops
             .iter()
@@ -306,7 +317,18 @@ impl Simulation {
                     return; // crashed receivers hear nothing
                 }
                 self.trace.messages_delivered += 1;
-                let attributed = msg.request_id().origin == to;
+                // A message belongs to the receiver's own operation on the
+                // register its request id names (request ids carry the
+                // register, so concurrent operations on distinct registers
+                // attribute independently).
+                let attributed = if msg.request_id().origin == to {
+                    self.procs[to.index()]
+                        .pending
+                        .get(&msg.request_id().reg)
+                        .copied()
+                } else {
+                    None
+                };
                 self.feed(to, Input::Message { from, msg }, chain, attributed);
                 self.note_if_recovered(to);
             }
@@ -327,10 +349,10 @@ impl Simulation {
                     .store(&key, bytes)
                     .expect("MemStorage store cannot fail");
                 self.trace.stores_applied += 1;
-                if slot.pending.is_none() {
+                if slot.pending.is_empty() {
                     self.trace.background_stores += 1;
                 }
-                let attributed = attributed_op.is_some() && attributed_op == slot.pending;
+                let attributed = attributed_op.filter(|&op| slot.is_pending(op));
                 if slot.automaton.is_none() {
                     return;
                 }
@@ -347,7 +369,7 @@ impl Simulation {
                 if slot.incarnation != incarnation || slot.automaton.is_none() {
                     return;
                 }
-                self.feed(pid, Input::Timer(token), chain, false);
+                self.feed(pid, Input::Timer(token), chain, None);
                 self.note_if_recovered(pid);
             }
             EventKind::Invoke { pid, op, operation } => {
@@ -357,16 +379,18 @@ impl Simulation {
                     self.loop_op_lost(pid);
                     return;
                 }
-                if slot.pending.is_some() {
-                    // The paper's processes are sequential (§III-A); the
-                    // engine refuses overlapping invocations so histories
-                    // stay well-formed.
+                let reg = operation.register();
+                if slot.pending.contains_key(&reg) {
+                    // §III-A sequentiality, per register emulation (as in
+                    // the real runner): a register serves one operation at
+                    // a time, so its restriction of the history stays
+                    // well-formed; distinct registers overlap freely.
                     self.trace.invokes_dropped += 1;
                     return;
                 }
-                slot.pending = Some(op);
+                slot.pending.insert(reg, op);
                 self.trace.record_invoke(self.now, op, operation.clone());
-                self.feed(pid, Input::Invoke { op, operation }, 0, true);
+                self.feed(pid, Input::Invoke { op, operation }, 0, Some(op));
             }
             EventKind::Crash { pid } => {
                 let slot = &mut self.procs[pid.index()];
@@ -375,7 +399,7 @@ impl Simulation {
                 }
                 slot.automaton = None;
                 slot.incarnation += 1;
-                slot.pending = None; // the op is lost; its record stays pending
+                slot.pending.clear(); // the ops are lost; their records stay pending
                 slot.recovering_since = None;
                 self.deferred_acks.retain(|(p, _), _| *p != pid);
                 self.trace.record_crash(self.now, pid);
@@ -394,7 +418,7 @@ impl Simulation {
                 self.procs[pid.index()].automaton = Some(automaton);
                 self.procs[pid.index()].recovering_since = Some(self.now);
                 self.trace.record_recover(self.now, pid);
-                self.feed(pid, Input::Start, 0, false);
+                self.feed(pid, Input::Start, 0, None);
                 self.note_if_recovered(pid);
                 self.loop_resume(pid);
             }
@@ -406,12 +430,12 @@ impl Simulation {
 
     /// Delivers `input` to `pid`'s automaton and executes the resulting
     /// actions. `chain` is the causal-log count carried by the input;
-    /// `attributed` says whether it belongs to `pid`'s pending operation.
-    fn feed(&mut self, pid: ProcessId, input: Input, chain: u32, attributed: bool) {
-        if attributed {
-            if let Some(op) = self.procs[pid.index()].pending {
-                self.trace.bump_chain(op, chain);
-            }
+    /// `attributed` names the in-flight operation the input belongs to,
+    /// if any (with the per-register operation table, several operations
+    /// can be in flight — attribution is per register, not per process).
+    fn feed(&mut self, pid: ProcessId, input: Input, chain: u32, attributed: Option<OpId>) {
+        if let Some(op) = attributed {
+            self.trace.bump_chain(op, chain);
         }
         // If the input is a protocol request, note it so a deferred ack
         // can be assigned its requester-relative chain (see field docs).
@@ -440,7 +464,13 @@ impl Simulation {
         }
     }
 
-    fn apply_action(&mut self, pid: ProcessId, action: Action, chain: u32, attributed: bool) {
+    fn apply_action(
+        &mut self,
+        pid: ProcessId,
+        action: Action,
+        chain: u32,
+        attributed: Option<OpId>,
+    ) {
         match action {
             Action::Send { to, msg } => {
                 assert!(to.index() < self.config.n, "send to unknown process {to}");
@@ -507,7 +537,7 @@ impl Simulation {
                     + jitter
                     + Micros((bytes.len() as u64 * disk.ns_per_byte) / 1_000);
                 let slot = &self.procs[pid.index()];
-                let attributed_op = if attributed { slot.pending } else { None };
+                let attributed_op = attributed;
                 self.queue.push(
                     self.now.after(latency),
                     EventKind::StoreDone {
@@ -535,9 +565,7 @@ impl Simulation {
             }
             Action::Complete { op, result } => {
                 let slot = &mut self.procs[pid.index()];
-                if slot.pending == Some(op) {
-                    slot.pending = None;
-                }
+                slot.pending.retain(|_, &mut p| p != op);
                 self.trace.bump_chain(op, chain);
                 self.trace.record_complete(self.now, op, result);
                 self.loop_advance(pid);

@@ -311,6 +311,74 @@ fn overlapping_invocations_are_refused_by_the_engine() {
     assert!(report.trace.to_history().well_formed().is_ok());
 }
 
+/// The per-register operation table: overlapping invocations on
+/// *distinct* registers of a shared memory run concurrently through one
+/// process and all complete; each register's restriction of the history
+/// stays well-formed and certifies.
+#[test]
+fn overlapping_invocations_on_distinct_registers_all_complete() {
+    use rmem_core::{Persistent, SharedMemory};
+    use rmem_types::{Op, RegisterId, Value};
+    let mut schedule = Schedule::new();
+    for r in 0..4u16 {
+        // All four writes start within 40µs — far less than one
+        // operation's two quorum round-trips — so they genuinely overlap.
+        schedule = schedule.at(
+            1_000 + r as u64 * 10,
+            PlannedEvent::Invoke(
+                ProcessId(0),
+                Op::WriteAt(RegisterId(r), Value::from_u32(r as u32 + 1)),
+            ),
+        );
+    }
+    let mut sim = Simulation::new(
+        ClusterConfig::new(3),
+        SharedMemory::factory(Persistent::flavor()),
+        5,
+    )
+    .with_schedule(schedule);
+    let report = sim.run();
+    assert_eq!(report.trace.invokes_dropped, 0, "no overlap was refused");
+    let completed = report
+        .trace
+        .operations()
+        .iter()
+        .filter(|o| o.is_completed())
+        .count();
+    assert_eq!(completed, 4, "every concurrent register op completes");
+    let history = report.trace.to_history();
+    for (reg, outcome) in
+        rmem_consistency::check_per_register(&history, rmem_consistency::Criterion::Persistent)
+    {
+        outcome.unwrap_or_else(|e| panic!("register {reg} not atomic: {e}"));
+    }
+}
+
+/// Same-register overlap is still refused (per-register sequentiality).
+#[test]
+fn overlapping_invocations_on_the_same_register_are_refused() {
+    use rmem_core::{Persistent, SharedMemory};
+    use rmem_types::{Op, RegisterId, Value};
+    let schedule = Schedule::new()
+        .at(
+            1_000,
+            PlannedEvent::Invoke(ProcessId(0), Op::WriteAt(RegisterId(3), Value::from_u32(1))),
+        )
+        .at(
+            1_100,
+            PlannedEvent::Invoke(ProcessId(0), Op::ReadAt(RegisterId(3))),
+        );
+    let mut sim = Simulation::new(
+        ClusterConfig::new(3),
+        SharedMemory::factory(Persistent::flavor()),
+        3,
+    )
+    .with_schedule(schedule);
+    let report = sim.run();
+    assert_eq!(report.trace.operations().len(), 1);
+    assert_eq!(report.trace.invokes_dropped, 1);
+}
+
 /// Deterministic tie-breaking: two events at the same instant execute in
 /// insertion order, and the whole run replays identically.
 #[test]

@@ -35,6 +35,16 @@ use crate::value::Value;
 /// header room.
 pub const MAX_LEN: usize = 1 << 20;
 
+/// Encoded size of a value-carrying message (`Write`/`ReadAck`) minus the
+/// value bytes: tag (1) + request id (12) + timestamp (10) + value marker
+/// and length prefix (5).
+///
+/// Transports cap whole encoded messages; layers that admit *values* (the
+/// runner's client API, the store) subtract this overhead from the
+/// transport's frame limit to decide whether a value can ever reach a
+/// quorum. Pinned by a test against [`encode_message`].
+pub const VALUE_MSG_OVERHEAD: usize = 28;
+
 // ---------------------------------------------------------------------
 // Primitive helpers (shared with rmem-storage's record encoding)
 // ---------------------------------------------------------------------
@@ -370,6 +380,25 @@ mod tests {
             decode_message(&buf),
             Err(DecodeError::BadLength { .. })
         ));
+    }
+
+    #[test]
+    fn value_msg_overhead_is_exact() {
+        // Worst-case field widths: the encoding is fixed-width, so any
+        // req/ts works, but use max values to prove there is no varint.
+        let req = RequestId::new(ProcessId(u16::MAX), u64::MAX);
+        let ts = Timestamp::new(u64::MAX, ProcessId(u16::MAX));
+        for len in [0usize, 1, 1000] {
+            let value = Value::new(vec![7u8; len]);
+            let write = Message::Write {
+                req,
+                ts,
+                value: value.clone(),
+            };
+            assert_eq!(encode_message(&write).len(), VALUE_MSG_OVERHEAD + len);
+            let ack = Message::ReadAck { req, ts, value };
+            assert_eq!(encode_message(&ack).len(), VALUE_MSG_OVERHEAD + len);
+        }
     }
 
     #[test]
