@@ -11,6 +11,14 @@ use std::time::Duration;
 /// * `max_linger` — this much time passed since the batch opened (bounds
 ///   the latency cost batching can impose on a lone operation).
 ///
+/// With [`adaptive`](FlushPolicy::adaptive) set, `max_linger` becomes a
+/// *ceiling* instead of the operating point: each shard's effective linger
+/// starts at zero (a lone operation never waits), **grows** while flushes
+/// keep coming back full (sustained queue depth — waiting demonstrably
+/// amortizes), and **collapses** back toward zero the moment a flush
+/// drains the queue to a lone operation. Tail latency thus stays flat at
+/// low load while heavy load gets the full coalescing window.
+///
 /// The one-shot batching of `multi_put`/`multi_get` ignores `max_linger` —
 /// the batch is already fully formed when the call arrives — but still
 /// honours `max_batch` as the per-quorum-round chunk size.
@@ -19,8 +27,12 @@ pub struct FlushPolicy {
     /// Operations per batch before an immediate flush (and the chunk size
     /// of one-shot batches). At least 1.
     pub max_batch: usize,
-    /// Longest a batch may wait for company before flushing anyway.
+    /// Longest a batch may wait for company before flushing anyway (the
+    /// *ceiling* of the adaptive controller).
     pub max_linger: Duration,
+    /// Load-adaptive linger (see type docs). `false` lingers the full
+    /// `max_linger` on every flush.
+    pub adaptive: bool,
 }
 
 impl FlushPolicy {
@@ -30,6 +42,7 @@ impl FlushPolicy {
     pub const DEFAULT: FlushPolicy = FlushPolicy {
         max_batch: 16,
         max_linger: Duration::from_micros(500),
+        adaptive: false,
     };
 
     /// A policy that never waits: every operation flushes alone unless
@@ -38,7 +51,24 @@ impl FlushPolicy {
     pub const EAGER: FlushPolicy = FlushPolicy {
         max_batch: 1,
         max_linger: Duration::ZERO,
+        adaptive: false,
     };
+
+    /// The load-adaptive policy (ROADMAP item): default batch size and
+    /// linger ceiling, with the per-shard effective linger governed by
+    /// observed queue depth — ~0 when traffic is sparse, growing toward
+    /// `max_linger` under sustained queueing.
+    pub const fn adaptive() -> FlushPolicy {
+        FlushPolicy {
+            adaptive: true,
+            ..FlushPolicy::DEFAULT
+        }
+    }
+
+    /// This policy with the adaptive controller switched on/off.
+    pub const fn with_adaptive(self, adaptive: bool) -> FlushPolicy {
+        FlushPolicy { adaptive, ..self }
+    }
 }
 
 impl Default for FlushPolicy {
@@ -56,6 +86,16 @@ mod tests {
         let p = FlushPolicy::default();
         assert!(p.max_batch >= 1);
         assert!(p.max_linger > Duration::ZERO);
+        assert!(!p.adaptive);
         assert_eq!(FlushPolicy::EAGER.max_batch, 1);
+    }
+
+    #[test]
+    fn adaptive_shares_the_default_shape() {
+        let a = FlushPolicy::adaptive();
+        assert!(a.adaptive);
+        assert_eq!(a.max_batch, FlushPolicy::DEFAULT.max_batch);
+        assert_eq!(a.max_linger, FlushPolicy::DEFAULT.max_linger);
+        assert_eq!(a.with_adaptive(false), FlushPolicy::DEFAULT);
     }
 }

@@ -133,6 +133,22 @@ impl BatchedKv {
         self.shared.policy
     }
 
+    /// The linger window the next single-operation flush on `shard` would
+    /// wait: the fixed policy value, or — under
+    /// [`FlushPolicy::adaptive`] — the shard's current controller state
+    /// (grows with sustained queue depth, collapses when traffic dries
+    /// up). Observability hook for operators and tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is not below the wrapped router's shard count
+    /// (`self.kv().router().shards()`).
+    pub fn effective_linger(&self, shard: usize) -> std::time::Duration {
+        self.shared
+            .table
+            .effective_linger(shard, &self.shared.policy)
+    }
+
     /// Amortization counters since construction.
     pub fn stats(&self) -> BatchStats {
         BatchStats {

@@ -11,8 +11,9 @@
 //! moment a leader takes the queue, the next arrival elects itself leader
 //! of the next batch, so flushes pipeline under sustained load.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::Sender;
@@ -62,6 +63,10 @@ struct Slot {
     queue: Mutex<ShardQueue>,
     /// Wakes a lingering leader early when the batch fills.
     full: Condvar,
+    /// The adaptive controller's per-shard effective linger, in micros.
+    /// Starts at 0 (a lone operation never waits); full flushes grow it
+    /// toward the policy ceiling, drained flushes collapse it back.
+    linger_micros: AtomicU64,
 }
 
 /// Per-shard operation queues (see module docs).
@@ -76,6 +81,7 @@ impl OpTable {
                 .map(|_| Slot {
                     queue: Mutex::new(ShardQueue::default()),
                     full: Condvar::new(),
+                    linger_micros: AtomicU64::new(0),
                 })
                 .collect(),
         }
@@ -119,6 +125,42 @@ impl OpTable {
         self.enqueue(shard, |q| q.gets.push(get), policy)
     }
 
+    /// The linger window [`collect`](Self::collect) would use right now:
+    /// the policy's fixed `max_linger`, or — adaptive mode — the shard's
+    /// controller state.
+    pub(crate) fn effective_linger(&self, shard: usize, policy: &FlushPolicy) -> Duration {
+        if policy.adaptive {
+            Duration::from_micros(self.slots[shard].linger_micros.load(Ordering::Relaxed))
+        } else {
+            policy.max_linger
+        }
+    }
+
+    /// Adaptive-mode controller step, applied after a flush takes `taken`
+    /// operations: a **full** batch is evidence of sustained queue depth
+    /// (another batch is already forming behind it), so the window grows —
+    /// doubling from a 1/8-ceiling floor up to the policy ceiling; a flush
+    /// that found the queue **drained** (the leader alone) collapses it to
+    /// ~0 so sparse traffic never pays a waiting tax. In-between batch
+    /// sizes leave the window where it is.
+    fn adapt_linger(slot: &Slot, policy: &FlushPolicy, taken: usize) {
+        let ceiling = policy.max_linger.as_micros() as u64;
+        if ceiling == 0 {
+            return;
+        }
+        let cur = slot.linger_micros.load(Ordering::Relaxed);
+        let next = if taken >= policy.max_batch {
+            (cur * 2).clamp(ceiling.div_ceil(8).max(1), ceiling)
+        } else if taken <= 1 {
+            // Collapse fast: one idle flush quarters the window, a couple
+            // more zero it.
+            cur / 4
+        } else {
+            cur
+        };
+        slot.linger_micros.store(next, Ordering::Relaxed);
+    }
+
     /// Leader only: linger for company, then take the whole queue. Clears
     /// the leader bit in the same critical section as the take, so no
     /// operation can slip between "taken" and "next leader electable".
@@ -128,7 +170,7 @@ impl OpTable {
         policy: &FlushPolicy,
     ) -> (Vec<QueuedPut>, Vec<QueuedGet>) {
         let slot = &self.slots[shard];
-        let deadline = Instant::now() + policy.max_linger;
+        let deadline = Instant::now() + self.effective_linger(shard, policy);
         let mut q = slot.queue.lock().expect("op-table lock");
         debug_assert!(q.leader, "collect called by a non-leader");
         while q.len() < policy.max_batch {
@@ -146,7 +188,11 @@ impl OpTable {
             }
         }
         q.leader = false;
-        (std::mem::take(&mut q.puts), std::mem::take(&mut q.gets))
+        let (puts, gets) = (std::mem::take(&mut q.puts), std::mem::take(&mut q.gets));
+        if policy.adaptive {
+            Self::adapt_linger(slot, policy, puts.len() + gets.len());
+        }
+        (puts, gets)
     }
 }
 
@@ -154,7 +200,6 @@ impl OpTable {
 mod tests {
     use super::*;
     use crossbeam::channel::bounded;
-    use std::time::Duration;
 
     fn put(key: &str) -> (QueuedPut, crossbeam::channel::Receiver<Result<(), KvError>>) {
         let (tx, rx) = bounded(1);
@@ -174,6 +219,7 @@ mod tests {
         let policy = FlushPolicy {
             max_batch: 8,
             max_linger: Duration::ZERO,
+            adaptive: false,
         };
         let (p1, _r1) = put("a");
         let (p2, _r2) = put("b");
@@ -191,11 +237,78 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_linger_grows_under_sustained_depth() {
+        let table = OpTable::new(1);
+        let policy = FlushPolicy {
+            max_batch: 2,
+            max_linger: Duration::from_micros(800),
+            adaptive: true,
+        };
+        assert_eq!(table.effective_linger(0, &policy), Duration::ZERO);
+        let mut receivers = Vec::new();
+        let mut last = Duration::ZERO;
+        // Every flush comes back full: the window must grow monotonically
+        // toward (and get clamped at) the policy ceiling.
+        for round in 0..5 {
+            let (p1, r1) = put("a");
+            let (p2, r2) = put("b");
+            table.enqueue_put(0, p1, &policy);
+            table.enqueue_put(0, p2, &policy);
+            receivers.push((r1, r2));
+            let (puts, _) = table.collect(0, &policy);
+            assert_eq!(puts.len(), 2);
+            let now = table.effective_linger(0, &policy);
+            assert!(
+                now >= last,
+                "round {round}: window must not shrink under depth ({now:?} < {last:?})"
+            );
+            assert!(now <= policy.max_linger, "clamped at the ceiling");
+            last = now;
+        }
+        assert_eq!(
+            last, policy.max_linger,
+            "sustained full flushes must reach the ceiling"
+        );
+    }
+
+    #[test]
+    fn adaptive_linger_collapses_when_the_queue_drains() {
+        let table = OpTable::new(1);
+        let policy = FlushPolicy {
+            max_batch: 2,
+            max_linger: Duration::from_micros(800),
+            adaptive: true,
+        };
+        // Pump the window up…
+        for _ in 0..4 {
+            let (p1, _r1) = put("a");
+            let (p2, _r2) = put("b");
+            table.enqueue_put(0, p1, &policy);
+            table.enqueue_put(0, p2, &policy);
+            let _ = table.collect(0, &policy);
+        }
+        assert_eq!(table.effective_linger(0, &policy), policy.max_linger);
+        // …then let the traffic dry up: lone flushes collapse it to ~0
+        // within a few rounds, so sparse operations stop paying any tax.
+        for _ in 0..6 {
+            let (p, _r) = put("solo");
+            table.enqueue_put(0, p, &policy);
+            let _ = table.collect(0, &policy);
+        }
+        assert_eq!(
+            table.effective_linger(0, &policy),
+            Duration::ZERO,
+            "a drained queue must collapse the window to zero"
+        );
+    }
+
+    #[test]
     fn a_full_queue_releases_a_lingering_leader_early() {
         let table = std::sync::Arc::new(OpTable::new(1));
         let policy = FlushPolicy {
             max_batch: 2,
             max_linger: Duration::from_secs(30), // must not matter
+            adaptive: false,
         };
         let (p1, _r1) = put("a");
         assert_eq!(table.enqueue_put(0, p1, &policy), Enqueued::Leader);

@@ -82,6 +82,7 @@ fn concurrent_singles_coalesce_through_the_table() {
         FlushPolicy {
             max_batch: 32,
             max_linger: std::time::Duration::from_millis(30),
+            adaptive: false,
         },
     );
     // 16 threads put 16 distinct keys at once; the linger window lets

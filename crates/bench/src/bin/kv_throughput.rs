@@ -1,19 +1,37 @@
 //! Runs the `kv_throughput` scenario: sharded-store throughput for the
 //! persistent, transient and regular register flavors under uniform and
 //! Zipf-skewed key popularity, unbatched vs per-shard batched
-//! (`rmem-batch`'s coalescing model).
+//! (`rmem-batch`'s coalescing model), plus the read-heavy fast-path
+//! section (confirmed-timestamp reads vs the legacy two-round path).
 //!
 //! ```text
-//! cargo run --release -p rmem-bench --bin kv_throughput [-- --csv] [-- --smoke]
+//! cargo run --release -p rmem-bench --bin kv_throughput \
+//!     [-- --csv] [-- --smoke] [-- --json PATH] [-- --no-fastpath]
 //! ```
 //!
-//! `--smoke` runs the same grid on a reduced workload (CI-sized); every
-//! reported run is still certified per key before its row prints.
+//! `--smoke` runs the same grid on a reduced workload (CI-sized);
+//! `--no-fastpath` forces every cell onto the legacy always-write-back
+//! read path (CI runs both modes so the fallback cannot rot); `--json
+//! PATH` writes the rows as machine-readable JSON for perf diffing
+//! (`BENCH_kv.json` is the committed baseline). Every reported run is
+//! certified per key before its row prints.
 
 fn main() {
-    let csv = std::env::args().any(|a| a == "--csv");
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let (rows, table) = rmem_bench::kv::kv_throughput_with(smoke);
+    let args: Vec<String> = std::env::args().collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let fastpath = !args.iter().any(|a| a == "--no-fastpath");
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1)
+            .filter(|p| !p.starts_with("--"))
+            .unwrap_or_else(|| {
+                eprintln!("--json requires a path operand (e.g. --json BENCH_kv.json)");
+                std::process::exit(2);
+            })
+            .clone()
+    });
+
+    let (rows, table) = rmem_bench::kv::kv_throughput_with_mode(smoke, fastpath);
     println!("{}", table.to_text());
     println!("per-key certification: atomic flavors checked before reporting (batched included)");
     println!(
@@ -32,7 +50,10 @@ fn main() {
         let pick = |mode: &str| {
             rows.iter()
                 .find(|r| {
-                    r.flavor == flavor && r.distribution == "zipf(0.99)" && r.mode.starts_with(mode)
+                    r.flavor == flavor
+                        && r.distribution == "zipf(0.99)"
+                        && r.mode.starts_with(mode)
+                        && (r.write_fraction - rmem_bench::kv::MIXED_WRITE_FRACTION).abs() < 1e-9
                 })
                 .expect("cell")
         };
@@ -49,6 +70,52 @@ fn main() {
             ba.register_ops,
             un.register_ops,
         );
+    }
+    if fastpath {
+        // The fast-path headline: read-heavy Zipf, fast vs legacy at
+        // otherwise identical settings. Asserted here so the CI smoke run
+        // cannot let the win rot silently. The full-size workload clears
+        // 1.3× on every cell; the smoke workload is a quarter the size,
+        // so its guard is slightly looser.
+        let threshold = if smoke { 1.25 } else { 1.3 };
+        for flavor in ["persistent", "transient"] {
+            for mode in ["unbatched", "batched"] {
+                let pick = |fast: bool| {
+                    rows.iter()
+                        .find(|r| {
+                            r.flavor == flavor
+                                && r.distribution == "zipf(0.99)"
+                                && r.mode.starts_with(mode)
+                                && (r.write_fraction - rmem_bench::kv::READ_HEAVY_WRITE_FRACTION)
+                                    .abs()
+                                    < 1e-9
+                                && r.fastpath == fast
+                        })
+                        .expect("fast-path cell")
+                };
+                let (fast, legacy) = (pick(true), pick(false));
+                let speedup = fast.ops_per_sec / legacy.ops_per_sec;
+                assert!(
+                    speedup >= threshold,
+                    "{flavor}/{mode}: fast path regressed below {threshold}× ({speedup:.2}×)"
+                );
+                assert!(fast.read_rounds_mean < 2.0);
+                println!(
+                    "{flavor}/zipf read-heavy/{mode}: fast {:.0} ops/s vs legacy {:.0} ops/s \
+                     ({speedup:.2}×; mean read rounds {:.2} vs {:.2})",
+                    fast.ops_per_sec,
+                    legacy.ops_per_sec,
+                    fast.read_rounds_mean,
+                    legacy.read_rounds_mean,
+                );
+            }
+        }
+    } else {
+        println!("legacy mode (--no-fastpath): every read paid its write-back round");
+    }
+    if let Some(path) = json_path {
+        std::fs::write(&path, rmem_bench::kv::rows_to_json(&rows)).expect("writing JSON rows");
+        println!("wrote {path}");
     }
     if csv {
         let path = table.write_csv("kv_throughput").expect("writing CSV");

@@ -1,14 +1,15 @@
 //! The `kv_throughput` scenario: store throughput per register flavor,
-//! key-popularity shape and batching mode, measured on the simulated
-//! testbed.
+//! key-popularity shape, batching mode and read fast path, measured on
+//! the simulated testbed.
 //!
 //! Each cell runs the same closed-loop store workload (`rmem-kv`'s
 //! generator) against a shared memory of one flavor, in deterministic
 //! virtual time, and reports completed operations per virtual second plus
-//! latency percentiles. Because virtual time eliminates measurement
-//! noise, differences between rows are purely algorithmic: the persistent
-//! flavor pays 2 causal logs per put, the transient flavor 1, and the
-//! regular flavor (single writer per key) skips the query round entirely.
+//! latency percentiles and **per-read quorum-round counts**. Because
+//! virtual time eliminates measurement noise, differences between rows
+//! are purely algorithmic: the persistent flavor pays 2 causal logs per
+//! put, the transient flavor 1, and the regular flavor (single writer per
+//! key) skips the query round entirely.
 //!
 //! The **mode** column compares the unbatched path (every store operation
 //! is its own two-round register operation) against `rmem-batch`-style
@@ -16,15 +17,20 @@
 //! coalesced per shard: one `Read` round serves the round's gets on a
 //! shard, one write round carries its coalesced puts). Both modes report
 //! **logical** (store-level) throughput over the same workload, so the
-//! batched gain is real amortization, not bookkeeping: under Zipf skew
-//! the hot shard absorbs many ops per round at the cost of one.
+//! batched gain is real amortization, not bookkeeping.
+//!
+//! The **fast** column is the read fast path (confirmed timestamps): the
+//! read-heavy Zipf section runs every cell twice — fast path on vs the
+//! legacy always-write-back configuration — at otherwise identical
+//! settings, and the `rd rounds` columns show the mechanism: mean read
+//! rounds collapse from 2.0 toward 1.0 on quiescent keys while contended
+//! reads still pay their write-back.
 //!
 //! Every run is also certified per key before its row is reported — a
 //! throughput number for a run that broke atomicity would be
-//! meaningless, and for batched runs the per-key certifier is the
-//! subsystem's correctness oracle. The regular flavor is exercised with
-//! single-writer key ownership (its model) and skips certification:
-//! regularity, not atomicity, is its criterion.
+//! meaningless. The regular flavor is exercised with single-writer key
+//! ownership (its model) and skips certification: regularity, not
+//! atomicity, is its criterion.
 
 use rmem_consistency::Criterion;
 use rmem_core::{Flavor, SharedMemory};
@@ -37,6 +43,12 @@ use crate::table::Table;
 
 /// Round size of the batched mode (the `FlushPolicy::max_batch` analogue).
 pub const BATCH_ROUND: usize = 8;
+
+/// Write fraction of the mixed (default) section.
+pub const MIXED_WRITE_FRACTION: f64 = 0.5;
+
+/// Write fraction of the read-heavy fast-path section.
+pub const READ_HEAVY_WRITE_FRACTION: f64 = 0.1;
 
 /// Which flavors the scenario compares.
 fn flavors() -> Vec<(Flavor, Option<Criterion>, bool)> {
@@ -58,6 +70,10 @@ pub struct KvThroughputRow {
     pub distribution: String,
     /// Batching mode label (`unbatched` / `batched(k)`).
     pub mode: String,
+    /// Fraction of store operations that are puts.
+    pub write_fraction: f64,
+    /// Whether the read fast path was enabled for this cell.
+    pub fastpath: bool,
     /// Store-level (logical) operations completed.
     pub completed: usize,
     /// Register operations executed to serve them.
@@ -66,108 +82,209 @@ pub struct KvThroughputRow {
     pub virtual_secs: f64,
     /// Completed logical operations per virtual second.
     pub ops_per_sec: f64,
+    /// Mean quorum rounds per register read (2.0 = every read wrote back,
+    /// 1.0 = every read took the fast path; 0.0 with no reads).
+    pub read_rounds_mean: f64,
+    /// 99th-percentile quorum rounds per register read.
+    pub read_rounds_p99: u32,
     /// Get-latency statistics (µs, per register round).
     pub get_latency: Option<LatencyStats>,
     /// Put-latency statistics (µs, per register round).
     pub put_latency: Option<LatencyStats>,
 }
 
-/// Runs the full scenario: 3 flavors × {uniform, zipf(0.99)} ×
-/// {unbatched, batched}. `smoke` shrinks the workload for CI (same grid,
-/// same certification, a fraction of the virtual traffic).
+struct Cell {
+    flavor: Flavor,
+    criterion: Option<Criterion>,
+    single_writer: bool,
+    dist: KeyDist,
+    batch: usize,
+    write_fraction: f64,
+    fastpath: bool,
+}
+
+fn run_cell(cell: &Cell, smoke: bool) -> KvThroughputRow {
+    let ops_per_client = if smoke { 24 } else { 60 };
+    let flavor = cell.flavor.with_read_fast_path(
+        // `fastpath: true` means "the flavor's own default"; forcing it on
+        // for flavors that never had it (regular, crash-stop) would be a
+        // different algorithm, not a knob.
+        cell.fastpath && cell.flavor.read_fast_path,
+    );
+    let spec = KvWorkloadSpec {
+        shards: 16,
+        clients: 5,
+        ops_per_client,
+        write_fraction: cell.write_fraction,
+        distribution: cell.dist,
+        value_len: 64,
+        single_writer: cell.single_writer,
+        batch: cell.batch,
+        seed: 1234,
+        ..KvWorkloadSpec::default()
+    };
+    let run = generate(&spec);
+    let mut sim = Simulation::new(
+        ClusterConfig::new(spec.clients),
+        SharedMemory::factory(flavor),
+        99,
+    )
+    .with_schedule(run.schedule.clone());
+    for lp in &run.loops {
+        sim.add_closed_loop(lp.clone());
+    }
+    let report = sim.run();
+
+    if let Some(criterion) = cell.criterion {
+        certify_per_key(&report.trace.to_history(), &run.key_map, criterion).unwrap_or_else(|e| {
+            panic!(
+                "{} / {} / batch={} / fastpath={}: run failed certification: {e}",
+                flavor.name,
+                cell.dist.label(),
+                cell.batch,
+                cell.fastpath,
+            )
+        });
+    }
+
+    let completed_registers = report
+        .trace
+        .operations()
+        .iter()
+        .filter(|o| o.is_completed())
+        .count();
+    // Crash-free closed loops must drain completely; only then does
+    // "completed logical ops" equal the generated count.
+    assert_eq!(
+        completed_registers,
+        run.register_ops,
+        "{} / {} / batch={}: a crash-free run left work behind",
+        flavor.name,
+        cell.dist.label(),
+        cell.batch,
+    );
+    // Round counts are just another sample; the shared stats helper
+    // supplies the same mean/nearest-rank-p99 the latency columns use.
+    let rounds = LatencyStats::from_sample(
+        report
+            .trace
+            .rounds(OpKind::Read)
+            .into_iter()
+            .map(u64::from)
+            .collect(),
+    );
+    let (rounds_mean, rounds_p99) = rounds
+        .as_ref()
+        .map(|s| (s.mean, s.p99 as u32))
+        .unwrap_or((0.0, 0));
+    let virtual_secs = report.final_time.as_micros() as f64 / 1e6;
+    KvThroughputRow {
+        flavor: cell.flavor.name,
+        distribution: cell.dist.label(),
+        mode: if cell.batch == 1 {
+            "unbatched".to_string()
+        } else {
+            format!("batched({})", cell.batch)
+        },
+        write_fraction: cell.write_fraction,
+        fastpath: flavor.read_fast_path,
+        completed: run.logical_ops,
+        register_ops: run.register_ops,
+        virtual_secs,
+        ops_per_sec: run.logical_ops as f64 / virtual_secs,
+        read_rounds_mean: rounds_mean,
+        read_rounds_p99: rounds_p99,
+        get_latency: LatencyStats::from_sample(report.trace.latencies(OpKind::Read)),
+        put_latency: LatencyStats::from_sample(report.trace.latencies(OpKind::Write)),
+    }
+}
+
+/// Runs the full scenario. The mixed section: 3 flavors × {uniform,
+/// zipf(0.99)} × {unbatched, batched} at 50% puts. The read-heavy
+/// fast-path section: persistent/transient × zipf(0.99) × {unbatched,
+/// batched} × {fast path, legacy} at 10% puts. `smoke` shrinks the
+/// workload for CI (same grid, same certification); `fastpath_default =
+/// false` forces *every* cell onto the legacy two-round read path, so CI
+/// can exercise the fallback end to end.
 ///
 /// # Panics
 ///
 /// Panics if an atomic flavor's run fails its per-key certification, or
 /// if a crash-free run fails to complete every scheduled operation —
 /// either would make the throughput numbers meaningless.
-pub fn kv_throughput_with(smoke: bool) -> (Vec<KvThroughputRow>, Table) {
-    let ops_per_client = if smoke { 24 } else { 60 };
-    let mut rows = Vec::new();
+pub fn kv_throughput_with_mode(
+    smoke: bool,
+    fastpath_default: bool,
+) -> (Vec<KvThroughputRow>, Table) {
+    let mut cells = Vec::new();
     for (flavor, criterion, single_writer) in flavors() {
         for dist in [KeyDist::Uniform, KeyDist::Zipf(0.99)] {
             for batch in [1usize, BATCH_ROUND] {
-                let spec = KvWorkloadSpec {
-                    shards: 16,
-                    clients: 5,
-                    ops_per_client,
-                    write_fraction: 0.5,
-                    distribution: dist,
-                    value_len: 64,
+                cells.push(Cell {
+                    flavor,
+                    criterion,
                     single_writer,
+                    dist,
                     batch,
-                    seed: 1234,
-                    ..KvWorkloadSpec::default()
-                };
-                let run = generate(&spec);
-                let mut sim = Simulation::new(
-                    ClusterConfig::new(spec.clients),
-                    SharedMemory::factory(flavor),
-                    99,
-                )
-                .with_schedule(run.schedule.clone());
-                for lp in &run.loops {
-                    sim.add_closed_loop(lp.clone());
-                }
-                let report = sim.run();
-
-                if let Some(criterion) = criterion {
-                    certify_per_key(&report.trace.to_history(), &run.key_map, criterion)
-                        .unwrap_or_else(|e| {
-                            panic!(
-                                "{} / {} / batch={batch}: run failed certification: {e}",
-                                flavor.name,
-                                dist.label()
-                            )
-                        });
-                }
-
-                let completed_registers = report
-                    .trace
-                    .operations()
-                    .iter()
-                    .filter(|o| o.is_completed())
-                    .count();
-                // Crash-free closed loops must drain completely; only then
-                // does "completed logical ops" equal the generated count.
-                assert_eq!(
-                    completed_registers,
-                    run.register_ops,
-                    "{} / {} / batch={batch}: a crash-free run left work behind",
-                    flavor.name,
-                    dist.label()
-                );
-                let virtual_secs = report.final_time.as_micros() as f64 / 1e6;
-                rows.push(KvThroughputRow {
-                    flavor: flavor.name,
-                    distribution: dist.label(),
-                    mode: if batch == 1 {
-                        "unbatched".to_string()
-                    } else {
-                        format!("batched({batch})")
-                    },
-                    completed: run.logical_ops,
-                    register_ops: run.register_ops,
-                    virtual_secs,
-                    ops_per_sec: run.logical_ops as f64 / virtual_secs,
-                    get_latency: LatencyStats::from_sample(report.trace.latencies(OpKind::Read)),
-                    put_latency: LatencyStats::from_sample(report.trace.latencies(OpKind::Write)),
+                    write_fraction: MIXED_WRITE_FRACTION,
+                    fastpath: fastpath_default,
                 });
             }
         }
     }
+    // The fast-path section: the atomic flavors under a read-heavy Zipf
+    // load, each cell twice — optimised vs legacy — at otherwise
+    // identical settings.
+    for (flavor, criterion, single_writer) in flavors() {
+        if !flavor.read_fast_path {
+            continue;
+        }
+        for batch in [1usize, BATCH_ROUND] {
+            for fastpath in [fastpath_default, false] {
+                cells.push(Cell {
+                    flavor,
+                    criterion,
+                    single_writer,
+                    dist: KeyDist::Zipf(0.99),
+                    batch,
+                    write_fraction: READ_HEAVY_WRITE_FRACTION,
+                    fastpath,
+                });
+            }
+        }
+    }
+    // Forcing legacy everywhere makes the fast/legacy pairs identical;
+    // drop the duplicates so every row stays a distinct cell.
+    if !fastpath_default {
+        let mut seen = std::collections::BTreeSet::new();
+        cells.retain(|c| {
+            seen.insert((
+                c.flavor.name,
+                c.dist.label(),
+                c.batch,
+                (c.write_fraction * 100.0) as u32,
+            ))
+        });
+    }
+
+    let rows: Vec<KvThroughputRow> = cells.iter().map(|c| run_cell(c, smoke)).collect();
 
     let mut table = Table::new(
-        "kv_throughput — sharded store, 5 clients, 16 shards, 50% puts; \
-         ops/s is store-level work over the same workload per mode",
+        "kv_throughput — sharded store, 5 clients, 16 shards; wf = put \
+         fraction, fast = read fast path; ops/s is store-level work over \
+         the same workload per mode",
         &[
             "flavor",
             "key dist",
             "mode",
+            "wf",
+            "fast",
             "ops",
             "reg ops",
             "virtual s",
             "ops/s",
+            "rd rounds",
+            "rd p99",
             "get p50µs",
             "put p50µs",
         ],
@@ -177,10 +294,14 @@ pub fn kv_throughput_with(smoke: bool) -> (Vec<KvThroughputRow>, Table) {
             r.flavor.to_string(),
             r.distribution.clone(),
             r.mode.clone(),
+            format!("{:.1}", r.write_fraction),
+            if r.fastpath { "on" } else { "off" }.to_string(),
             r.completed.to_string(),
             r.register_ops.to_string(),
             format!("{:.3}", r.virtual_secs),
             format!("{:.0}", r.ops_per_sec),
+            format!("{:.2}", r.read_rounds_mean),
+            r.read_rounds_p99.to_string(),
             r.get_latency
                 .as_ref()
                 .map(|s| s.p50.to_string())
@@ -194,9 +315,54 @@ pub fn kv_throughput_with(smoke: bool) -> (Vec<KvThroughputRow>, Table) {
     (rows, table)
 }
 
+/// [`kv_throughput_with_mode`] with the shipping fast-path defaults.
+pub fn kv_throughput_with(smoke: bool) -> (Vec<KvThroughputRow>, Table) {
+    kv_throughput_with_mode(smoke, true)
+}
+
 /// The full scenario at its default size (see [`kv_throughput_with`]).
 pub fn kv_throughput() -> (Vec<KvThroughputRow>, Table) {
     kv_throughput_with(false)
+}
+
+/// Serializes rows as a JSON array (one object per cell) for the perf
+/// trajectory file (`BENCH_kv.json`): machine-readable so future changes
+/// can diff ops/s and read-round numbers against the committed baseline.
+pub fn rows_to_json(rows: &[KvThroughputRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"flavor\": \"{}\", \"distribution\": \"{}\", \"mode\": \"{}\", \
+             \"write_fraction\": {:.2}, \"fastpath\": {}, \"logical_ops\": {}, \
+             \"register_ops\": {}, \"virtual_secs\": {:.6}, \"ops_per_sec\": {:.1}, \
+             \"read_rounds_mean\": {:.4}, \"read_rounds_p99\": {}, \
+             \"get_p50_us\": {}, \"put_p50_us\": {}}}",
+            r.flavor,
+            r.distribution,
+            r.mode,
+            r.write_fraction,
+            r.fastpath,
+            r.completed,
+            r.register_ops,
+            r.virtual_secs,
+            r.ops_per_sec,
+            r.read_rounds_mean,
+            r.read_rounds_p99,
+            r.get_latency
+                .as_ref()
+                .map(|s| s.p50.to_string())
+                .unwrap_or_else(|| "null".into()),
+            r.put_latency
+                .as_ref()
+                .map(|s| s.p50.to_string())
+                .unwrap_or_else(|| "null".into()),
+        ));
+    }
+    out.push_str("\n]\n");
+    out
 }
 
 #[cfg(test)]
@@ -208,19 +374,28 @@ mod tests {
         flavor: &str,
         dist: &str,
         mode_prefix: &str,
+        wf: f64,
+        fastpath: bool,
     ) -> &'a KvThroughputRow {
         rows.iter()
             .find(|r| {
-                r.flavor == flavor && r.distribution == dist && r.mode.starts_with(mode_prefix)
+                r.flavor == flavor
+                    && r.distribution == dist
+                    && r.mode.starts_with(mode_prefix)
+                    && (r.write_fraction - wf).abs() < 1e-9
+                    && r.fastpath == fastpath
             })
-            .unwrap_or_else(|| panic!("missing cell {flavor}/{dist}/{mode_prefix}"))
+            .unwrap_or_else(|| {
+                panic!("missing cell {flavor}/{dist}/{mode_prefix}/wf={wf}/fast={fastpath}")
+            })
     }
 
     #[test]
     fn scenario_produces_all_cells_and_certifies() {
         let (rows, table) = kv_throughput_with(true);
-        assert_eq!(rows.len(), 12, "3 flavors × 2 distributions × 2 modes");
-        assert_eq!(table.len(), 12);
+        // 12 mixed cells + 8 read-heavy fast/legacy cells.
+        assert_eq!(rows.len(), 20, "3×2×2 mixed + 2×2×2 read-heavy");
+        assert_eq!(table.len(), 20);
         for r in &rows {
             assert!(
                 r.completed > 0,
@@ -234,7 +409,7 @@ mod tests {
         // The transient flavor logs less than the persistent one on puts;
         // in noise-free virtual time that must show as cheaper puts.
         let put_p50 = |flavor: &str, dist: &str| {
-            cell(&rows, flavor, dist, "unbatched")
+            cell(&rows, flavor, dist, "unbatched", MIXED_WRITE_FRACTION, true)
                 .put_latency
                 .as_ref()
                 .map(|s| s.p50)
@@ -250,8 +425,22 @@ mod tests {
     fn batching_beats_the_unbatched_path_under_zipf() {
         let (rows, _) = kv_throughput_with(true);
         for flavor in ["persistent", "transient"] {
-            let unbatched = cell(&rows, flavor, "zipf(0.99)", "unbatched");
-            let batched = cell(&rows, flavor, "zipf(0.99)", "batched");
+            let unbatched = cell(
+                &rows,
+                flavor,
+                "zipf(0.99)",
+                "unbatched",
+                MIXED_WRITE_FRACTION,
+                true,
+            );
+            let batched = cell(
+                &rows,
+                flavor,
+                "zipf(0.99)",
+                "batched",
+                MIXED_WRITE_FRACTION,
+                true,
+            );
             assert!(
                 batched.register_ops < unbatched.register_ops,
                 "{flavor}: batching must coalesce register ops"
@@ -263,5 +452,75 @@ mod tests {
                 unbatched.ops_per_sec
             );
         }
+    }
+
+    #[test]
+    fn fast_path_wins_the_read_heavy_zipf_rows() {
+        let (rows, _) = kv_throughput_with(true);
+        for flavor in ["persistent", "transient"] {
+            for mode in ["unbatched", "batched"] {
+                let fast = cell(
+                    &rows,
+                    flavor,
+                    "zipf(0.99)",
+                    mode,
+                    READ_HEAVY_WRITE_FRACTION,
+                    true,
+                );
+                let legacy = cell(
+                    &rows,
+                    flavor,
+                    "zipf(0.99)",
+                    mode,
+                    READ_HEAVY_WRITE_FRACTION,
+                    false,
+                );
+                let speedup = fast.ops_per_sec / legacy.ops_per_sec;
+                // The full-size workload clears 1.3× on every cell (the
+                // bin asserts that); the smoke grid used here is a
+                // quarter the size, so the guard is slightly looser.
+                assert!(
+                    speedup >= 1.25,
+                    "{flavor}/{mode}: fast path must win on read-heavy zipf, got {speedup:.2}×"
+                );
+                assert!(
+                    fast.read_rounds_mean < 2.0,
+                    "{flavor}/{mode}: mean read rounds must drop below 2.0, got {:.2}",
+                    fast.read_rounds_mean
+                );
+                assert!(
+                    (legacy.read_rounds_mean - 2.0).abs() < f64::EPSILON,
+                    "{flavor}/{mode}: the legacy path must pay 2 rounds per read, got {:.2}",
+                    legacy.read_rounds_mean
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_mode_runs_the_whole_grid_without_fast_reads() {
+        let (rows, _) = kv_throughput_with_mode(true, false);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(!r.fastpath, "legacy mode must disable every cell");
+            if r.flavor != "regular" && r.read_rounds_mean > 0.0 {
+                assert!(
+                    (r.read_rounds_mean - 2.0).abs() < f64::EPSILON,
+                    "{}/{}: legacy reads must pay both rounds",
+                    r.flavor,
+                    r.distribution
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn json_rows_are_parseable_shape() {
+        let (rows, _) = kv_throughput_with(true);
+        let json = rows_to_json(&rows);
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert_eq!(json.matches("\"flavor\"").count(), rows.len());
+        assert!(json.contains("\"read_rounds_mean\""));
     }
 }

@@ -1,0 +1,139 @@
+//! Regression oracle for the one-round read fast path.
+//!
+//! The fast path changes **when** a read may return (after one round, on
+//! a unanimous quorum of durable tags) but not **what** the checkers must
+//! accept: a fast-path read is still a two-sided interval of the history,
+//! and the criteria are unchanged. What must never happen is the fast
+//! path firing where it is unsafe — under contended tags, the write-back
+//! has to run or the new-old inversion of Theorem 2 comes back. These
+//! tests hammer exactly those races and let the checkers adjudicate: the
+//! emulation keeps its criterion on every seed, the contended reads
+//! demonstrably fall back (2 rounds), and the quiescent ones demonstrably
+//! use the optimisation (1 round) — so a regression in either direction
+//! fails loudly.
+
+use std::sync::Arc;
+
+use rmem_consistency::{check_persistent, check_transient};
+use rmem_core::{Persistent, Transient};
+use rmem_sim::workload::ClosedLoop;
+use rmem_sim::{ClusterConfig, PlannedEvent, Schedule, Simulation};
+use rmem_types::{AutomatonFactory, Micros, Op, OpKind, ProcessId, Value};
+
+fn p(i: u16) -> ProcessId {
+    ProcessId(i)
+}
+
+fn v(x: u32) -> Value {
+    Value::from_u32(x)
+}
+
+/// Write/read races across many seeds: every run must keep its criterion,
+/// and across the sweep both read paths must be exercised — the fallback
+/// under contention and the fast path in the quiescent stretches.
+#[test]
+fn contended_runs_certify_and_exercise_both_read_paths() {
+    type Check = fn(rmem_consistency::History) -> Result<(), String>;
+    let cases: Vec<(Arc<dyn AutomatonFactory>, &str, Check)> = vec![
+        (Persistent::factory(), "persistent", |h| {
+            check_persistent(&h).map(|_| ()).map_err(|e| e.to_string())
+        }),
+        (Transient::factory(), "transient", |h| {
+            check_transient(&h).map(|_| ()).map_err(|e| e.to_string())
+        }),
+    ];
+    for (factory, name, check) in cases {
+        let mut fast_reads = 0u32;
+        let mut fallback_reads = 0u32;
+        for seed in 0..12u64 {
+            let mut sim = Simulation::new(ClusterConfig::new(3), factory.clone(), seed);
+            // A writer hammering the register with barely any think time,
+            // and two readers racing it: most reads land inside some
+            // write's propagation window.
+            sim.add_closed_loop(ClosedLoop::writes(p(0), v(1), 12).with_think(Micros(60)));
+            sim.add_closed_loop(ClosedLoop::reads(p(1), 12).with_think(Micros(40)));
+            sim.add_closed_loop(ClosedLoop::reads(p(2), 12).with_think(Micros(90)));
+            let report = sim.run();
+            let completed = report
+                .trace
+                .operations()
+                .iter()
+                .filter(|o| o.is_completed())
+                .count();
+            assert_eq!(completed, 36, "{name}/seed {seed}: all ops complete");
+            check(report.trace.to_history())
+                .unwrap_or_else(|e| panic!("{name}/seed {seed}: criterion violated: {e}"));
+            for rounds in report.trace.rounds(OpKind::Read) {
+                match rounds {
+                    1 => fast_reads += 1,
+                    2 => fallback_reads += 1,
+                    other => panic!("{name}/seed {seed}: impossible round count {other}"),
+                }
+            }
+        }
+        assert!(
+            fallback_reads > 0,
+            "{name}: the contended sweep must force fallbacks — if every read \
+             fast-pathed, the agreement gate is broken"
+        );
+        assert!(
+            fast_reads > 0,
+            "{name}: the sweep must also exercise the fast path"
+        );
+    }
+}
+
+/// A pinned mid-propagation race: the read's quorum sees the racing
+/// write's tag volatile at one replica — the fast path must not fire, the
+/// read pays its write-back (2 rounds), and the history stays atomic.
+#[test]
+fn read_racing_a_write_propagation_pays_the_write_back() {
+    let mut sim = Simulation::new(ClusterConfig::new(3), Persistent::factory(), 5).with_schedule(
+        Schedule::new()
+            .at(1_000, PlannedEvent::Invoke(p(0), Op::Write(v(7))))
+            // The persistent write's query round + pre-log take ≈400µs;
+            // the propagation broadcast lands at the replicas ≈1510µs and
+            // their logs complete ≈1710µs. A read at 1450µs collects its
+            // acks inside that window: one replica answers with the new
+            // tag still volatile (durable = false) or the quorum
+            // disagrees — either way the fast path must stand down.
+            .at(1_450, PlannedEvent::Invoke(p(1), Op::Read)),
+    );
+    let report = sim.run();
+    let ops = report.trace.operations();
+    assert!(ops.iter().all(|o| o.is_completed()));
+    let read = ops.iter().find(|o| o.kind == OpKind::Read).unwrap();
+    assert_eq!(
+        read.rounds, 2,
+        "a read racing the propagation must fall back to the write-back"
+    );
+    check_persistent(&report.trace.to_history()).expect("the race must stay persistent atomic");
+}
+
+/// The flip side, same shape: a read well clear of any write completes in
+/// one round — and the history is just as atomic. Together with the race
+/// above this pins that the *condition* (unanimous durable tags), not the
+/// timing, decides the path.
+#[test]
+fn quiescent_read_after_the_same_write_fast_paths() {
+    let mut sim = Simulation::new(ClusterConfig::new(3), Persistent::factory(), 5).with_schedule(
+        Schedule::new()
+            .at(1_000, PlannedEvent::Invoke(p(0), Op::Write(v(7))))
+            // 20ms later everything is durable everywhere.
+            .at(21_000, PlannedEvent::Invoke(p(1), Op::Read)),
+    );
+    let report = sim.run();
+    let read = report
+        .trace
+        .operations()
+        .iter()
+        .find(|o| o.kind == OpKind::Read)
+        .unwrap();
+    assert!(read.is_completed());
+    assert_eq!(read.rounds, 1, "the quiescent read must take the fast path");
+    assert_eq!(
+        read.result.as_ref().unwrap().read_value().unwrap().as_u32(),
+        Some(7)
+    );
+    check_persistent(&report.trace.to_history()).expect("persistent atomicity");
+}

@@ -31,6 +31,9 @@ pub const fn no_pre_log() -> Flavor {
         write_pre_log: false,
         rec_in_timestamp: false,
         read_write_back: true,
+        // Ablations run the unoptimised paper rounds so the proof-run
+        // schedules keep their timing.
+        read_fast_path: false,
         recovery: RecoveryPolicy::Nothing,
     }
 }
@@ -64,6 +67,7 @@ pub const fn no_read_write_back() -> Flavor {
         write_pre_log: true,
         rec_in_timestamp: false,
         read_write_back: false,
+        read_fast_path: false,
         recovery: RecoveryPolicy::FinishWrite,
     }
 }

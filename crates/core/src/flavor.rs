@@ -46,6 +46,15 @@ pub struct Flavor {
     /// lines 36–38). `false` for the regular register (and the no-read-log
     /// ablation), which returns straight after the query round.
     pub read_write_back: bool,
+    /// The confirmed-timestamp read optimisation: when every replier in
+    /// the read quorum reports the *same* tag **and** attests it durable,
+    /// the write-back round is provably redundant (a majority already
+    /// holds the tag on stable storage, so no later quorum can miss it)
+    /// and the read completes after one round. Repliers that disagree —
+    /// or report a volatile tag — fall back to the unmodified two-round
+    /// path. Inert when [`read_write_back`](Flavor::read_write_back) is
+    /// already `false`.
+    pub read_fast_path: bool,
     /// Recovery behaviour.
     pub recovery: RecoveryPolicy,
 }
@@ -61,6 +70,7 @@ impl Flavor {
             write_pre_log: true,
             rec_in_timestamp: false,
             read_write_back: true,
+            read_fast_path: true,
             recovery: RecoveryPolicy::FinishWrite,
         }
     }
@@ -75,6 +85,7 @@ impl Flavor {
             write_pre_log: false,
             rec_in_timestamp: true,
             read_write_back: true,
+            read_fast_path: true,
             recovery: RecoveryPolicy::RecCounter,
         }
     }
@@ -88,6 +99,9 @@ impl Flavor {
             write_pre_log: false,
             rec_in_timestamp: false,
             read_write_back: true,
+            // The baseline keeps the paper's fixed 4-step reads so the
+            // logging-cost comparisons measure logs, not round counts.
+            read_fast_path: false,
             recovery: RecoveryPolicy::Nothing,
         }
     }
@@ -102,6 +116,8 @@ impl Flavor {
             write_pre_log: false,
             rec_in_timestamp: true,
             read_write_back: false,
+            // Already single-round; the knob is inert.
+            read_fast_path: false,
             recovery: RecoveryPolicy::RecCounterAndQuery,
         }
     }
@@ -116,12 +132,36 @@ impl Flavor {
         }
     }
 
-    /// Communication steps per read.
+    /// Communication steps per read — the worst case. With the fast path
+    /// this is still the bound: disagreement or volatile tags fall back to
+    /// the full write-back.
     pub fn read_comm_steps(&self) -> u32 {
         if self.read_write_back {
             4
         } else {
             2
+        }
+    }
+
+    /// Communication steps of a *fast-path* read (quiescent register,
+    /// unanimous durable tags): 2 whenever single-round completion is
+    /// possible — either the flavor never writes back, or the fast path
+    /// may suppress the write-back.
+    pub fn fast_read_comm_steps(&self) -> u32 {
+        if self.read_write_back && !self.read_fast_path {
+            4
+        } else {
+            2
+        }
+    }
+
+    /// This flavor with the read fast path switched on/off — the legacy
+    /// (always-write-back) configuration used as the benchmark baseline
+    /// and exercised by CI so the fallback path cannot rot.
+    pub const fn with_read_fast_path(self, enabled: bool) -> Flavor {
+        Flavor {
+            read_fast_path: enabled,
+            ..self
         }
     }
 
@@ -176,6 +216,26 @@ mod tests {
         // The regular register halves both.
         assert_eq!(Flavor::regular().write_comm_steps(), 2);
         assert_eq!(Flavor::regular().read_comm_steps(), 2);
+    }
+
+    #[test]
+    fn fast_path_defaults_and_step_counts() {
+        // On for the crash-recovery atomic flavors, inert/off elsewhere.
+        assert!(Flavor::persistent().read_fast_path);
+        assert!(Flavor::transient().read_fast_path);
+        assert!(!Flavor::crash_stop().read_fast_path);
+        assert!(!Flavor::regular().read_fast_path);
+        // The fast path halves the best-case read without moving the
+        // worst-case bound.
+        for f in [Flavor::persistent(), Flavor::transient()] {
+            assert_eq!(f.read_comm_steps(), 4, "{}", f.name);
+            assert_eq!(f.fast_read_comm_steps(), 2, "{}", f.name);
+            let legacy = f.with_read_fast_path(false);
+            assert_eq!(legacy.fast_read_comm_steps(), 4, "{}", f.name);
+            assert_eq!(legacy.with_read_fast_path(true), f);
+        }
+        assert_eq!(Flavor::regular().fast_read_comm_steps(), 2);
+        assert_eq!(Flavor::crash_stop().fast_read_comm_steps(), 4);
     }
 
     #[test]

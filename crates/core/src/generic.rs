@@ -48,6 +48,15 @@ enum OpPhase {
         call: QuorumCall,
         best_ts: Timestamp,
         best_value: Value,
+        /// Tag reported by the first ack, for the confirmed-timestamp
+        /// fast path: the write-back may be skipped only if every later
+        /// ack matches it (`None` until the first ack arrives).
+        agreed: Option<Timestamp>,
+        /// Whether every ack so far reported the agreed tag *and*
+        /// attested it durable. Conservative across duplicates: a replica
+        /// whose retransmitted ack carries a newer tag clears the flag
+        /// even though the quorum might still be unanimous.
+        all_agree: bool,
         timer: TimerToken,
     },
     /// Read, round 2: writing back the freshest value (Fig. 4 lines
@@ -372,6 +381,7 @@ impl RegisterAutomaton {
             out.push(Action::Complete {
                 op,
                 result: OpResult::Rejected(RejectReason::Busy),
+                rounds: 0,
             });
             return;
         }
@@ -424,6 +434,8 @@ impl RegisterAutomaton {
                         call,
                         best_ts: Timestamp::new(0, self.me),
                         best_value: Value::bottom(),
+                        agreed: None,
+                        all_agree: true,
                         timer,
                     },
                 ));
@@ -511,7 +523,12 @@ impl RegisterAutomaton {
         match msg {
             Message::SnAck { req, seq } => self.on_sn_ack(from, req, seq, out),
             Message::WriteAck { req } => self.on_write_ack(from, req, out),
-            Message::ReadAck { req, ts, value } => self.on_read_ack(from, req, ts, value, out),
+            Message::ReadAck {
+                req,
+                ts,
+                value,
+                durable,
+            } => self.on_read_ack(from, req, ts, value, durable, out),
             _ => {}
         }
     }
@@ -606,10 +623,13 @@ impl RegisterAutomaton {
             Done::No => {}
             Done::Write(op) => {
                 self.op = None;
-                // Fig. 4 line 16: the write returns.
+                // Fig. 4 line 16: the write returns (after its query and
+                // propagation rounds; the regular writer skips the query).
+                let rounds = if self.flavor.write_query_round { 2 } else { 1 };
                 out.push(Action::Complete {
                     op,
                     result: OpResult::Written,
+                    rounds,
                 });
                 self.drain_queue(out);
             }
@@ -619,6 +639,7 @@ impl RegisterAutomaton {
                 out.push(Action::Complete {
                     op,
                     result: OpResult::ReadValue(value),
+                    rounds: 2,
                 });
                 self.drain_queue(out);
             }
@@ -631,35 +652,60 @@ impl RegisterAutomaton {
         req: RequestId,
         ts: Timestamp,
         value: Value,
+        durable: bool,
         out: &mut Vec<Action>,
     ) {
-        let mut reached: Option<(OpId, Timestamp, Value)> = None;
+        let mut reached: Option<(OpId, Timestamp, Value, bool)> = None;
         if let Some((
             op,
             OpPhase::ReadQuery {
                 call,
                 best_ts,
                 best_value,
+                agreed,
+                all_agree,
                 ..
             },
         )) = &mut self.op
         {
             if call.matches(req) {
+                // Confirmed-timestamp bookkeeping: unanimity requires
+                // every ack to carry the agreed tag and attest it durable.
+                // Two never-written replicas "agree" even though their
+                // initial tags differ in the pid component — both report
+                // seq 0 and ⊥, and ⊥ cannot be new-old inverted.
+                match agreed {
+                    None => *agreed = Some(ts),
+                    Some(first) => {
+                        let both_initial = ts.seq == 0 && first.seq == 0;
+                        if ts != *first && !both_initial {
+                            *all_agree = false;
+                        }
+                    }
+                }
+                if !durable {
+                    *all_agree = false;
+                }
                 // Fig. 4 line 35: select the value with the highest tag.
                 if ts > *best_ts {
                     *best_ts = ts;
                     *best_value = value;
                 }
                 if call.record(from) {
-                    reached = Some((*op, *best_ts, best_value.clone()));
+                    reached = Some((*op, *best_ts, best_value.clone(), *all_agree));
                 }
             }
         }
-        let Some((op, ts, value)) = reached else {
+        let Some((op, ts, value, all_agree)) = reached else {
             return;
         };
         self.op = None;
-        if self.flavor.read_write_back {
+        // The fast path: a unanimous quorum of durable tags proves a
+        // majority already stably holds `ts`, so the write-back (Fig. 4
+        // lines 36–38) would be redundant — every later quorum intersects
+        // this one in a replica that can never again report less than `ts`.
+        let fast = self.flavor.read_fast_path && all_agree;
+        if self.flavor.read_write_back && !fast {
             // Fig. 4 lines 36–38: write back before returning.
             let req = self.next_req();
             let call = QuorumCall::new(req, self.majority);
@@ -682,10 +728,12 @@ impl RegisterAutomaton {
                 },
             ));
         } else {
-            // Regular register: single-round read.
+            // Single-round read: the regular register always, the atomic
+            // flavors when the fast path fired.
             out.push(Action::Complete {
                 op,
                 result: OpResult::ReadValue(value),
+                rounds: 1,
             });
             self.drain_queue(out);
         }

@@ -234,10 +234,16 @@ fn readdress(msg: Message, reg: RegisterId) -> Message {
         Message::Read { req } => Message::Read {
             req: req.with_register(reg),
         },
-        Message::ReadAck { req, ts, value } => Message::ReadAck {
+        Message::ReadAck {
+            req,
+            ts,
+            value,
+            durable,
+        } => Message::ReadAck {
             req: req.with_register(reg),
             ts,
             value,
+            durable,
         },
     }
 }

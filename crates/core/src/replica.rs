@@ -103,13 +103,18 @@ impl Replica {
                 true
             }
             Message::Read { req } => {
-                // Fig. 4 lines 28–30.
+                // Fig. 4 lines 28–30, plus the durability attestation the
+                // reader's fast path gates on: the reported tag is durable
+                // when the stable `written` record covers it. A
+                // non-logging replica's volatile state is as stable as its
+                // (crash-stop) model gets, so it always attests.
                 out.push(Action::Send {
                     to: from,
                     msg: Message::ReadAck {
                         req: *req,
                         ts: self.ts,
                         value: self.value.clone(),
+                        durable: !self.logging || self.ts <= self.durable_ts,
                     },
                 });
                 true
@@ -296,6 +301,66 @@ mod tests {
             out[0],
             Action::Send {
                 msg: Message::WriteAck { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn read_acks_attest_durability_truthfully() {
+        let mut r = Replica::new(ProcessId(1), true);
+        let (mut gen, _) = token_gen();
+        let mut out = Vec::new();
+        let req = RequestId::new(ProcessId(0), 5);
+        // Fresh replica: the initial tag counts as durable (covered by
+        // the initial `written` record's tag).
+        r.on_message(ProcessId(0), &Message::Read { req }, &mut gen, &mut out);
+        assert!(matches!(
+            out[0],
+            Action::Send {
+                msg: Message::ReadAck { durable: true, .. },
+                ..
+            }
+        ));
+        out.clear();
+        // A newly adopted value is volatile until its store completes:
+        // the ack must say so, or the reader's fast path would trust a
+        // tag a total crash could forget.
+        r.on_message(ProcessId(0), &write_msg(3, 0, 9, 7), &mut gen, &mut out);
+        let Action::Store { token, .. } = out[0].clone() else {
+            panic!("expected the adoption store, got {:?}", out[0]);
+        };
+        out.clear();
+        r.on_message(ProcessId(0), &Message::Read { req }, &mut gen, &mut out);
+        assert!(matches!(
+            out[0],
+            Action::Send {
+                msg: Message::ReadAck { durable: false, .. },
+                ..
+            }
+        ));
+        out.clear();
+        r.on_store_done(token, &mut out);
+        out.clear();
+        r.on_message(ProcessId(0), &Message::Read { req }, &mut gen, &mut out);
+        assert!(matches!(
+            out[0],
+            Action::Send {
+                msg: Message::ReadAck { durable: true, .. },
+                ..
+            }
+        ));
+        // Non-logging replicas always attest: volatile is as stable as
+        // the crash-stop model gets.
+        let mut cs = Replica::new(ProcessId(2), false);
+        let mut out2 = Vec::new();
+        cs.on_message(ProcessId(0), &write_msg(3, 0, 9, 8), &mut gen, &mut out2);
+        out2.clear();
+        cs.on_message(ProcessId(0), &Message::Read { req }, &mut gen, &mut out2);
+        assert!(matches!(
+            out2[0],
+            Action::Send {
+                msg: Message::ReadAck { durable: true, .. },
                 ..
             }
         ));

@@ -181,6 +181,7 @@ fn read_selects_max_and_writes_back() {
                 req: read_req,
                 ts: old.0,
                 value: old.1,
+                durable: true,
             },
         },
         &mut out,
@@ -193,6 +194,7 @@ fn read_selects_max_and_writes_back() {
                 req: read_req,
                 ts: new.0,
                 value: new.1.clone(),
+                durable: true,
             },
         },
         &mut out,
@@ -235,6 +237,213 @@ fn read_selects_max_and_writes_back() {
     assert_eq!(v.as_u32(), Some(50));
 }
 
+/// The fast path: a read quorum unanimous on one durable tag completes in
+/// a single round — no write-back round is broadcast, and the completion
+/// reports 1 round.
+#[test]
+fn unanimous_durable_read_completes_in_one_round() {
+    let mut a = started(Flavor::persistent());
+    let mut out = Vec::new();
+    a.on_input(
+        Input::Invoke {
+            op: OpId::new(p(0), 0),
+            operation: Op::Read,
+        },
+        &mut out,
+    );
+    let read_req = first_req(&out);
+    out.clear();
+    for replier in [1u16, 2] {
+        a.on_input(
+            Input::Message {
+                from: p(replier),
+                msg: Message::ReadAck {
+                    req: read_req,
+                    ts: Timestamp::new(4, p(1)),
+                    value: Value::from_u32(44),
+                    durable: true,
+                },
+            },
+            &mut out,
+        );
+    }
+    let Some(OpResult::ReadValue(v)) = completion(&out) else {
+        panic!("fast-path read must complete: {out:?}")
+    };
+    assert_eq!(v.as_u32(), Some(44));
+    assert!(
+        sends(&out).is_empty(),
+        "the write-back round must be suppressed: {out:?}"
+    );
+    let rounds = out
+        .iter()
+        .find_map(|x| match x {
+            Action::Complete { rounds, .. } => Some(*rounds),
+            _ => None,
+        })
+        .unwrap();
+    assert_eq!(rounds, 1, "the completion must report the single round");
+}
+
+/// The race guard: unanimous tags that are **not** durable everywhere
+/// must not trigger the fast path — a volatile tag could be forgotten by
+/// a total crash, re-enabling the new-old inversion. The read falls back
+/// to the full write-back.
+#[test]
+fn contended_volatile_tags_fall_back_to_the_write_back() {
+    let mut a = started(Flavor::persistent());
+    let mut out = Vec::new();
+    a.on_input(
+        Input::Invoke {
+            op: OpId::new(p(0), 0),
+            operation: Op::Read,
+        },
+        &mut out,
+    );
+    let read_req = first_req(&out);
+    out.clear();
+    // Both repliers agree on the tag, but one is still logging it (a
+    // write races this read): no fast path.
+    a.on_input(
+        Input::Message {
+            from: p(1),
+            msg: Message::ReadAck {
+                req: read_req,
+                ts: Timestamp::new(4, p(1)),
+                value: Value::from_u32(44),
+                durable: true,
+            },
+        },
+        &mut out,
+    );
+    a.on_input(
+        Input::Message {
+            from: p(2),
+            msg: Message::ReadAck {
+                req: read_req,
+                ts: Timestamp::new(4, p(1)),
+                value: Value::from_u32(44),
+                durable: false,
+            },
+        },
+        &mut out,
+    );
+    assert!(completion(&out).is_none(), "must not complete in one round");
+    let wb = sends(&out);
+    assert_eq!(wb.len(), 3, "the write-back must be broadcast");
+    assert!(matches!(wb[0], Message::Write { .. }));
+    // The write-back quorum then completes the read with 2 rounds.
+    let wb_req = wb[0].request_id();
+    out.clear();
+    for replier in [1u16, 2] {
+        a.on_input(
+            Input::Message {
+                from: p(replier),
+                msg: Message::WriteAck { req: wb_req },
+            },
+            &mut out,
+        );
+    }
+    let Some(OpResult::ReadValue(v)) = completion(&out) else {
+        panic!("fallback read must complete: {out:?}")
+    };
+    assert_eq!(v.as_u32(), Some(44));
+    let rounds = out
+        .iter()
+        .find_map(|x| match x {
+            Action::Complete { rounds, .. } => Some(*rounds),
+            _ => None,
+        })
+        .unwrap();
+    assert_eq!(rounds, 2);
+}
+
+/// With the fast path disabled (legacy mode / crash-stop baseline), even
+/// a unanimous durable quorum pays the write-back.
+#[test]
+fn legacy_mode_always_writes_back() {
+    for flavor in [
+        Flavor::persistent().with_read_fast_path(false),
+        Flavor::crash_stop(),
+    ] {
+        let mut a = started(flavor);
+        let mut out = Vec::new();
+        a.on_input(
+            Input::Invoke {
+                op: OpId::new(p(0), 0),
+                operation: Op::Read,
+            },
+            &mut out,
+        );
+        let read_req = first_req(&out);
+        out.clear();
+        for replier in [1u16, 2] {
+            a.on_input(
+                Input::Message {
+                    from: p(replier),
+                    msg: Message::ReadAck {
+                        req: read_req,
+                        ts: Timestamp::new(4, p(1)),
+                        value: Value::from_u32(44),
+                        durable: true,
+                    },
+                },
+                &mut out,
+            );
+        }
+        assert!(
+            completion(&out).is_none(),
+            "{}: legacy read must not fast-complete",
+            flavor.name
+        );
+        assert!(
+            sends(&out)
+                .iter()
+                .all(|m| matches!(m, Message::Write { .. })),
+            "{}: the write-back must run",
+            flavor.name
+        );
+    }
+}
+
+/// Never-written registers agree by seq: the initial tags differ in the
+/// pid component across replicas, but a unanimous seq-0/⊥ quorum is just
+/// as safe (⊥ cannot be new-old inverted) and completes in one round.
+#[test]
+fn unanimous_bottom_read_takes_the_fast_path() {
+    let mut a = started(Flavor::transient());
+    let mut out = Vec::new();
+    a.on_input(
+        Input::Invoke {
+            op: OpId::new(p(0), 0),
+            operation: Op::Read,
+        },
+        &mut out,
+    );
+    let read_req = first_req(&out);
+    out.clear();
+    for replier in [1u16, 2] {
+        a.on_input(
+            Input::Message {
+                from: p(replier),
+                msg: Message::ReadAck {
+                    req: read_req,
+                    // Initial tags: same seq 0, different pids.
+                    ts: Timestamp::new(0, p(replier)),
+                    value: Value::bottom(),
+                    durable: true,
+                },
+            },
+            &mut out,
+        );
+    }
+    let Some(OpResult::ReadValue(v)) = completion(&out) else {
+        panic!("⊥ fast-path read must complete: {out:?}")
+    };
+    assert!(v.is_bottom());
+    assert!(sends(&out).is_empty(), "no write-back for unanimous ⊥");
+}
+
 /// The regular register's single-round read returns straight from the
 /// query quorum, with no write-back and no logging anywhere.
 #[test]
@@ -257,6 +466,7 @@ fn regular_read_is_single_round() {
                 req: read_req,
                 ts: Timestamp::new(2, p(1)),
                 value: Value::from_u32(7),
+                durable: true,
             },
         },
         &mut out,
@@ -268,6 +478,7 @@ fn regular_read_is_single_round() {
                 req: read_req,
                 ts: Timestamp::new(1, p(2)),
                 value: Value::from_u32(6),
+                durable: true,
             },
         },
         &mut out,

@@ -2,6 +2,7 @@
 //! independent per-shard operations across the cluster's nodes.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -10,8 +11,69 @@ use rmem_net::{Client, ClientError};
 use rmem_types::{RegisterId, Value};
 
 use crate::codec;
-use crate::health::HealthMemory;
+use crate::health::{HealthMemory, NodeGate};
 use crate::router::ShardRouter;
+
+/// Shared per-client operation counters (all clones update one set).
+#[derive(Debug, Default)]
+struct OpStatsInner {
+    reads: AtomicU64,
+    read_rounds: AtomicU64,
+    fast_reads: AtomicU64,
+    writes: AtomicU64,
+    write_rounds: AtomicU64,
+}
+
+/// Snapshot of a client's per-operation quorum-round statistics.
+///
+/// Rounds are reported by the register automaton with each completion, so
+/// the numbers measure what the emulation actually did: a read costs 1
+/// round when the confirmed-timestamp fast path fired (unanimous durable
+/// tags in the read quorum) and 2 when it fell back to the write-back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KvOpStats {
+    /// Register reads completed through this client (and its clones).
+    pub reads: u64,
+    /// Total quorum round-trips those reads performed.
+    pub read_rounds: u64,
+    /// Reads that completed in a single round (fast path / single-round
+    /// flavor).
+    pub fast_reads: u64,
+    /// Register writes completed.
+    pub writes: u64,
+    /// Total quorum round-trips those writes performed.
+    pub write_rounds: u64,
+}
+
+impl KvOpStats {
+    /// Mean rounds per read (2.0 = every read paid the write-back,
+    /// 1.0 = every read took the fast path; 0.0 with no reads).
+    pub fn mean_read_rounds(&self) -> f64 {
+        if self.reads == 0 {
+            return 0.0;
+        }
+        self.read_rounds as f64 / self.reads as f64
+    }
+
+    /// Fraction of reads served by the one-round fast path.
+    pub fn fast_read_fraction(&self) -> f64 {
+        if self.reads == 0 {
+            return 0.0;
+        }
+        self.fast_reads as f64 / self.reads as f64
+    }
+}
+
+/// Snapshot of the shared cluster-health memory's operator counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthStats {
+    /// Failures recorded (timeouts / downs) since construction.
+    pub marks: u64,
+    /// Probe operations started for decayed suspects since construction.
+    pub probes: u64,
+    /// Nodes currently inside their mark cooldown.
+    pub suspects: Vec<usize>,
+}
 
 /// Why a store operation failed.
 #[derive(Debug, Clone)]
@@ -76,6 +138,7 @@ pub struct KvClient {
     router: ShardRouter,
     busy_retries: u32,
     health: Arc<HealthMemory>,
+    stats: Arc<OpStatsInner>,
 }
 
 impl KvClient {
@@ -95,6 +158,7 @@ impl KvClient {
             router,
             busy_retries: 32,
             health,
+            stats: Arc::new(OpStatsInner::default()),
         })
     }
 
@@ -117,6 +181,44 @@ impl KvClient {
     /// update the same marks).
     pub fn health(&self) -> &HealthMemory {
         &self.health
+    }
+
+    /// Operator counters of the shared health memory: total marks, total
+    /// probes issued for decayed suspects, and the current suspect set.
+    pub fn health_stats(&self) -> HealthStats {
+        HealthStats {
+            marks: self.health.marks_total(),
+            probes: self.health.probes_total(),
+            suspects: self.health.suspects(),
+        }
+    }
+
+    /// Per-operation quorum-round statistics (shared with clones).
+    pub fn stats(&self) -> KvOpStats {
+        KvOpStats {
+            reads: self.stats.reads.load(Ordering::Relaxed),
+            read_rounds: self.stats.read_rounds.load(Ordering::Relaxed),
+            fast_reads: self.stats.fast_reads.load(Ordering::Relaxed),
+            writes: self.stats.writes.load(Ordering::Relaxed),
+            write_rounds: self.stats.write_rounds.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record_read(&self, rounds: u32) {
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .read_rounds
+            .fetch_add(u64::from(rounds), Ordering::Relaxed);
+        if rounds <= 1 {
+            self.stats.fast_reads.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn record_write(&self, rounds: u32) {
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .write_rounds
+            .fetch_add(u64::from(rounds), Ordering::Relaxed);
     }
 
     /// The router in use.
@@ -149,7 +251,11 @@ impl KvClient {
     /// Nodes the shared [`HealthMemory`] marks as recently failed are
     /// tried *last* (never skipped), and a timeout/down outcome marks the
     /// node — so across the concurrent threads of a multi-key batch, a
-    /// wedged node costs one patience window, not one per key.
+    /// wedged node costs one patience window, not one per key. A node
+    /// whose mark has decayed must first serve one **probe** operation
+    /// before rejoining full rotation: exactly one caller wins the probe
+    /// (and routes its operation through the node, first), everyone else
+    /// keeps trying it last until the probe clears it.
     /// [`ClientError::TooLarge`] short-circuits without marking: the value
     /// cannot fit *any* node's frame, so failing over would only repeat
     /// the refusal.
@@ -161,10 +267,28 @@ impl KvClient {
     ) -> Result<T, KvError> {
         let home = reg.0 as usize % self.nodes.len();
         let rotation = (0..self.nodes.len()).map(|o| (home + o) % self.nodes.len());
-        let (fresh, suspect): (Vec<usize>, Vec<usize>) =
-            rotation.partition(|&i| !self.health.is_suspect(i));
+        let mut fresh = Vec::new();
+        let mut suspect = Vec::new();
+        let mut probing: Option<usize> = None;
+        for i in rotation {
+            match self.health.gate(i) {
+                NodeGate::Fresh => fresh.push(i),
+                NodeGate::Suspect => suspect.push(i),
+                NodeGate::NeedsProbe => {
+                    if probing.is_none() && self.health.try_begin_probe(i) {
+                        // The probe winner's operation *is* the probe: the
+                        // node goes first so this operation definitely
+                        // exercises it (success clears, failure re-marks).
+                        probing = Some(i);
+                    } else {
+                        suspect.push(i);
+                    }
+                }
+            }
+        }
+        let order = probing.into_iter().chain(fresh).chain(suspect);
         let mut last_err = None;
-        for i in fresh.into_iter().chain(suspect) {
+        for i in order {
             let node = &self.nodes[i];
             let mut attempts = 0;
             loop {
@@ -174,6 +298,11 @@ impl KvClient {
                         std::thread::sleep(std::time::Duration::from_micros(200 * attempts as u64));
                     }
                     Err(ClientError::TooLarge { size, limit }) => {
+                        if probing == Some(i) {
+                            // The probe never reached the node (client-side
+                            // refusal): hand the debt back.
+                            self.health.reopen_probe(i);
+                        }
                         return Err(KvError::TooLarge {
                             key: key.to_string(),
                             size,
@@ -186,6 +315,10 @@ impl KvClient {
                     Err(source) => {
                         if matches!(source, ClientError::TimedOut | ClientError::ProcessDown) {
                             self.health.mark(i);
+                        } else if probing == Some(i) {
+                            // Inconclusive probe (e.g. Busy exhaustion):
+                            // the node still owes one.
+                            self.health.reopen_probe(i);
                         }
                         last_err = Some(source);
                         break;
@@ -212,7 +345,11 @@ impl KvClient {
     ///
     /// As for [`put`](Self::put).
     pub fn raw_write(&self, reg: RegisterId, payload: Value, label: &str) -> Result<(), KvError> {
-        self.with_failover(label, reg, |node| node.write_at(reg, payload.clone()))
+        let rounds = self.with_failover(label, reg, |node| {
+            node.write_at_counted(reg, payload.clone())
+        })?;
+        self.record_write(rounds);
+        Ok(())
     }
 
     /// One failover-protected register **read** returning the raw payload
@@ -223,7 +360,9 @@ impl KvClient {
     ///
     /// As for [`get`](Self::get).
     pub fn raw_read(&self, reg: RegisterId, label: &str) -> Result<Value, KvError> {
-        self.with_failover(label, reg, |node| node.read_at(reg))
+        let (payload, rounds) = self.with_failover(label, reg, |node| node.read_at_counted(reg))?;
+        self.record_read(rounds);
+        Ok(payload)
     }
 
     /// Stores `value` under `key`, blocking until the write is durable at
@@ -242,7 +381,10 @@ impl KvClient {
     pub fn put(&self, key: &str, value: impl Into<Bytes>) -> Result<(), KvError> {
         let reg = self.router.register_for(key);
         let payload = codec::encode_entry(key, &value.into());
-        self.with_failover(key, reg, |node| node.write_at(reg, payload.clone()))
+        let rounds =
+            self.with_failover(key, reg, |node| node.write_at_counted(reg, payload.clone()))?;
+        self.record_write(rounds);
+        Ok(())
     }
 
     /// Reads the value stored under `key` (`None` if absent — never
@@ -253,7 +395,8 @@ impl KvClient {
     /// Returns [`KvError::Register`] if the register operation fails.
     pub fn get(&self, key: &str) -> Result<Option<Bytes>, KvError> {
         let reg = self.router.register_for(key);
-        let payload = self.with_failover(key, reg, |node| node.read_at(reg))?;
+        let (payload, rounds) = self.with_failover(key, reg, |node| node.read_at_counted(reg))?;
+        self.record_read(rounds);
         Ok(codec::value_for_key(&payload, key))
     }
 
@@ -502,6 +645,109 @@ mod tests {
         assert_eq!(kv.get("small").unwrap().as_deref(), Some(b"ok".as_ref()));
         cluster.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn op_stats_count_reads_writes_and_fast_paths() {
+        let (mut cluster, kv) = cluster_client(8);
+        assert_eq!(kv.stats(), KvOpStats::default());
+        kv.put("s", b"1".to_vec()).unwrap();
+        // Quiescent key: the fast path answers the read in one round.
+        assert_eq!(kv.get("s").unwrap().as_deref(), Some(b"1".as_ref()));
+        let stats = kv.stats();
+        assert_eq!(stats.writes, 1);
+        assert_eq!(stats.write_rounds, 2, "transient write = query + propagate");
+        assert_eq!(stats.reads, 1);
+        assert_eq!(
+            stats.read_rounds, 1,
+            "a quiescent read must take the fast path"
+        );
+        assert_eq!(stats.fast_reads, 1);
+        assert!(stats.mean_read_rounds() < 2.0);
+        assert_eq!(stats.fast_read_fraction(), 1.0);
+        // Clones share the counters.
+        kv.clone().get("s").unwrap();
+        assert_eq!(kv.stats().reads, 2);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn decayed_suspect_is_probed_before_full_rotation() {
+        let (mut cluster, kv) = cluster_client(8);
+        let kv = kv.with_health_cooldown(std::time::Duration::from_millis(40));
+        let keys = kv.router().covering_keys("p-");
+        for key in &keys {
+            kv.put(key, b"v".to_vec()).unwrap();
+        }
+        // A healthy node that got (spuriously) marked: after the decay it
+        // owes one probe, the first batch issues exactly one, and the
+        // success restores full rotation.
+        kv.health().mark(1);
+        assert_eq!(kv.health_stats().marks, 1);
+        assert_eq!(kv.health().gate(1), NodeGate::Suspect);
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        assert_eq!(kv.health().gate(1), NodeGate::NeedsProbe);
+        let got = kv.multi_get(&keys).unwrap();
+        assert!(got.iter().all(Option::is_some));
+        let stats = kv.health_stats();
+        assert_eq!(stats.probes, 1, "exactly one probe per owed debt");
+        assert_eq!(
+            kv.health().gate(1),
+            NodeGate::Fresh,
+            "the successful probe must restore full rotation"
+        );
+        assert!(stats.suspects.is_empty());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn failed_probe_remarks_instead_of_restoring() {
+        let (mut cluster, kv) = cluster_client(8);
+        let kv = kv
+            .with_health_cooldown(std::time::Duration::from_millis(40))
+            .with_busy_retries(0);
+        // Shrink patience so the dead node costs milliseconds, not 10s.
+        let kv = KvClient {
+            nodes: kv
+                .nodes
+                .iter()
+                .map(|n| {
+                    n.clone()
+                        .with_timeout(std::time::Duration::from_millis(300))
+                })
+                .collect(),
+            ..kv
+        };
+        let keys = kv.router().covering_keys("f-");
+        for key in &keys {
+            kv.put(key, b"v".to_vec()).unwrap();
+        }
+        cluster.kill(rmem_types::ProcessId(1));
+        // The batch marks the dead node (one timeout, shared marks).
+        let got = kv.multi_get(&keys).unwrap();
+        assert!(got.iter().all(Option::is_some));
+        assert!(kv.health_stats().marks >= 1, "the dead node must be marked");
+        assert_eq!(
+            kv.health_stats().probes,
+            0,
+            "no probe while the mark is hot"
+        );
+        // Mark decays, node is still dead: the next batch spends exactly
+        // one probe on it and re-marks it — the probe gate is what keeps
+        // the cost at one operation instead of one per key.
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        assert_eq!(kv.health().gate(1), NodeGate::NeedsProbe);
+        let marks_before = kv.health_stats().marks;
+        let got = kv.multi_get(&keys).unwrap();
+        assert!(got.iter().all(Option::is_some));
+        let stats = kv.health_stats();
+        assert_eq!(stats.probes, 1, "one probe, not one per key");
+        assert!(
+            stats.marks > marks_before,
+            "the failed probe must re-mark the node"
+        );
+        assert_eq!(kv.health().gate(1), NodeGate::Suspect);
+        cluster.shutdown();
     }
 
     #[test]

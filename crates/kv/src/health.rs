@@ -10,17 +10,42 @@
 //! the marked node *last* instead of first, so a wedged node costs one
 //! timeout per batch rather than one per key.
 //!
+//! # Probe gating
+//!
+//! A decayed mark does not restore the node to full rotation outright: the
+//! node first owes one **probe** — a single ordinary operation that one
+//! caller (the probe winner, elected by compare-and-swap) routes through
+//! it. Everyone else keeps treating the node as suspect until the probe
+//! clears it, so a node that is *still* wedged after its cooldown costs
+//! the cluster one more patience window, not a whole batch's worth. A
+//! successful operation through the node (probe or not) clears all state.
+//!
 //! Marks are hints, never bans: a fully marked cluster is still tried in
-//! home order, a successful operation clears its node's mark, and marks
-//! expire after a cooldown so a recovered node regains its traffic without
-//! any explicit signal. Correctness is therefore untouched — the register
-//! emulations tolerate operations landing on any node — only tail latency
-//! changes.
+//! home order, and correctness is untouched — the register emulations
+//! tolerate operations landing on any node; only tail latency changes.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::time::{Duration, Instant};
 
-/// Shared per-node failure marks with decay (see module docs).
+/// What the failover rotation should do with a node right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeGate {
+    /// Healthy (or already probed back): full rotation.
+    Fresh,
+    /// Recently failed, cooldown still running: try last.
+    Suspect,
+    /// Cooldown expired but the node has not served a probe yet: one
+    /// caller should win [`HealthMemory::try_begin_probe`] and route a
+    /// single operation through it; everyone else treats it as suspect.
+    NeedsProbe,
+}
+
+const PROBE_NONE: u8 = 0;
+const PROBE_OWED: u8 = 1;
+const PROBE_IN_FLIGHT: u8 = 2;
+
+/// Shared per-node failure marks with decay and probe gating (see module
+/// docs).
 ///
 /// Clones of a `KvClient` share one `HealthMemory` through an `Arc`; all
 /// operations, from any thread, read and write the same marks.
@@ -31,6 +56,12 @@ pub struct HealthMemory {
     base: Instant,
     cooldown: Duration,
     marks: Vec<AtomicU64>,
+    /// Per-node probe state (`PROBE_*`).
+    probe: Vec<AtomicU8>,
+    /// Failures recorded since construction.
+    marks_total: AtomicU64,
+    /// Probe operations started since construction.
+    probes_total: AtomicU64,
 }
 
 impl HealthMemory {
@@ -40,6 +71,9 @@ impl HealthMemory {
             base: Instant::now(),
             cooldown,
             marks: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            probe: (0..nodes).map(|_| AtomicU8::new(PROBE_NONE)).collect(),
+            marks_total: AtomicU64::new(0),
+            probes_total: AtomicU64::new(0),
         }
     }
 
@@ -47,14 +81,19 @@ impl HealthMemory {
         self.base.elapsed().as_micros() as u64
     }
 
-    /// Records a failure (timeout / down) of `node`.
+    /// Records a failure (timeout / down) of `node`. The node re-owes a
+    /// probe even if one was in flight — that probe evidently failed.
     pub fn mark(&self, node: usize) {
         self.marks[node].store(self.now_micros() + 1, Ordering::Relaxed);
+        self.probe[node].store(PROBE_OWED, Ordering::Relaxed);
+        self.marks_total.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Clears `node`'s mark (a successful operation went through it).
+    /// Clears `node`'s mark and probe debt (a successful operation went
+    /// through it).
     pub fn clear(&self, node: usize) {
         self.marks[node].store(0, Ordering::Relaxed);
+        self.probe[node].store(PROBE_NONE, Ordering::Relaxed);
     }
 
     /// Whether `node` failed within the cooldown window.
@@ -68,11 +107,68 @@ impl HealthMemory {
         }
     }
 
+    /// The failover gate for `node` (see [`NodeGate`]).
+    pub fn gate(&self, node: usize) -> NodeGate {
+        if self.is_suspect(node) {
+            return NodeGate::Suspect;
+        }
+        match self.probe[node].load(Ordering::Relaxed) {
+            PROBE_NONE => NodeGate::Fresh,
+            // A decayed mark still owing a probe — and a probe already in
+            // flight means this caller is not the winner: stay cautious.
+            _ => NodeGate::NeedsProbe,
+        }
+    }
+
+    /// Tries to become the one caller that routes a probe operation
+    /// through a [`NodeGate::NeedsProbe`] node. Returns `true` for exactly
+    /// one caller per owed probe; losers keep treating the node as
+    /// suspect. The winner's operation clears the node on success
+    /// ([`clear`](Self::clear)) or re-marks it on failure
+    /// ([`mark`](Self::mark)).
+    pub fn try_begin_probe(&self, node: usize) -> bool {
+        let won = self.probe[node]
+            .compare_exchange(
+                PROBE_OWED,
+                PROBE_IN_FLIGHT,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            )
+            .is_ok();
+        if won {
+            self.probes_total.fetch_add(1, Ordering::Relaxed);
+        }
+        won
+    }
+
+    /// Hands a won probe back (the probe operation never conclusively
+    /// exercised the node — e.g. a client-side refusal or Busy
+    /// exhaustion): the node owes a probe again and another caller may
+    /// win it.
+    pub fn reopen_probe(&self, node: usize) {
+        let _ = self.probe[node].compare_exchange(
+            PROBE_IN_FLIGHT,
+            PROBE_OWED,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
     /// Indices of currently suspect nodes.
     pub fn suspects(&self) -> Vec<usize> {
         (0..self.marks.len())
             .filter(|&i| self.is_suspect(i))
             .collect()
+    }
+
+    /// Total failures recorded since construction.
+    pub fn marks_total(&self) -> u64 {
+        self.marks_total.load(Ordering::Relaxed)
+    }
+
+    /// Total probe operations started since construction.
+    pub fn probes_total(&self) -> u64 {
+        self.probes_total.load(Ordering::Relaxed)
     }
 
     /// The configured mark cooldown.
@@ -109,5 +205,44 @@ mod tests {
         std::thread::sleep(Duration::from_millis(15));
         // 35ms after the first mark but only 15ms after the second.
         assert!(h.is_suspect(0));
+    }
+
+    #[test]
+    fn decayed_mark_owes_exactly_one_probe() {
+        let h = HealthMemory::new(2, Duration::from_millis(5));
+        h.mark(0);
+        assert_eq!(h.gate(0), NodeGate::Suspect);
+        assert_eq!(h.gate(1), NodeGate::Fresh);
+        std::thread::sleep(Duration::from_millis(8));
+        // Cooldown decayed: the node is no longer suspect but owes a
+        // probe before full rotation.
+        assert!(!h.is_suspect(0));
+        assert_eq!(h.gate(0), NodeGate::NeedsProbe);
+        // Exactly one winner; the loser stays cautious.
+        assert!(h.try_begin_probe(0));
+        assert!(!h.try_begin_probe(0));
+        assert_eq!(h.gate(0), NodeGate::NeedsProbe);
+        // Probe success restores full rotation.
+        h.clear(0);
+        assert_eq!(h.gate(0), NodeGate::Fresh);
+        assert_eq!(h.marks_total(), 1);
+        assert_eq!(h.probes_total(), 1);
+    }
+
+    #[test]
+    fn failed_probe_remarks_and_reowes() {
+        let h = HealthMemory::new(1, Duration::from_millis(5));
+        h.mark(0);
+        std::thread::sleep(Duration::from_millis(8));
+        assert!(h.try_begin_probe(0));
+        // The probe operation failed: back to suspect, owing a new probe
+        // after the next decay.
+        h.mark(0);
+        assert_eq!(h.gate(0), NodeGate::Suspect);
+        std::thread::sleep(Duration::from_millis(8));
+        assert_eq!(h.gate(0), NodeGate::NeedsProbe);
+        assert!(h.try_begin_probe(0));
+        assert_eq!(h.marks_total(), 2);
+        assert_eq!(h.probes_total(), 2);
     }
 }

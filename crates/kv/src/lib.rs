@@ -61,7 +61,7 @@ pub mod history;
 pub mod router;
 pub mod workload;
 
-pub use client::{KvClient, KvError};
-pub use health::HealthMemory;
+pub use client::{HealthStats, KvClient, KvError, KvOpStats};
+pub use health::{HealthMemory, NodeGate};
 pub use history::{certify_per_key, CertifyError, KeyMap, KeyViolation, KvCertificate};
 pub use router::ShardRouter;

@@ -25,7 +25,7 @@ pub const KEY_BOOT_COUNT: &str = "_boot_count";
 enum RunnerEvent {
     Invoke {
         operation: Op,
-        reply: Sender<OpResult>,
+        reply: Sender<(OpResult, u32)>,
     },
     Shutdown,
 }
@@ -44,7 +44,7 @@ enum RunnerEvent {
 /// node — proceed concurrently through the one event loop.
 #[derive(Default)]
 struct OpTable {
-    in_flight: HashMap<OpId, (RegisterId, Sender<OpResult>)>,
+    in_flight: HashMap<OpId, (RegisterId, Sender<(OpResult, u32)>)>,
     by_register: HashMap<RegisterId, OpId>,
 }
 
@@ -57,14 +57,14 @@ impl OpTable {
     /// Admits `op` on `reg`. Callers must have checked [`is_busy`] first.
     ///
     /// [`is_busy`]: OpTable::is_busy
-    fn admit(&mut self, op: OpId, reg: RegisterId, reply: Sender<OpResult>) {
+    fn admit(&mut self, op: OpId, reg: RegisterId, reply: Sender<(OpResult, u32)>) {
         debug_assert!(!self.is_busy(reg), "admitting onto a busy register");
         self.by_register.insert(reg, op);
         self.in_flight.insert(op, (reg, reply));
     }
 
     /// Completes `op` if it is in flight, returning its reply channel.
-    fn complete(&mut self, op: OpId) -> Option<Sender<OpResult>> {
+    fn complete(&mut self, op: OpId) -> Option<Sender<(OpResult, u32)>> {
         let (reg, reply) = self.in_flight.remove(&op)?;
         self.by_register.remove(&reg);
         Some(reply)
@@ -127,7 +127,7 @@ impl Client {
         Ok(())
     }
 
-    fn invoke(&self, operation: Op) -> Result<OpResult, ClientError> {
+    fn invoke(&self, operation: Op) -> Result<(OpResult, u32), ClientError> {
         if let Some(value) = operation.write_value() {
             self.check_frame(value)?;
         }
@@ -139,7 +139,7 @@ impl Client {
             })
             .map_err(|_| ClientError::ProcessDown)?;
         match reply_rx.recv_timeout(self.timeout) {
-            Ok(OpResult::Rejected(_)) => Err(ClientError::Busy),
+            Ok((OpResult::Rejected(_), _)) => Err(ClientError::Busy),
             Ok(result) => Ok(result),
             Err(RecvTimeoutError::Timeout) => Err(ClientError::TimedOut),
             Err(RecvTimeoutError::Disconnected) => Err(ClientError::ProcessDown),
@@ -167,7 +167,7 @@ impl Client {
     /// As for [`write`](Self::write).
     pub fn read(&self) -> Result<rmem_types::Value, ClientError> {
         match self.invoke(Op::Read)? {
-            OpResult::ReadValue(v) => Ok(v),
+            (OpResult::ReadValue(v), _) => Ok(v),
             // A Written result for a read cannot happen; treat as down.
             _ => Err(ClientError::ProcessDown),
         }
@@ -194,10 +194,42 @@ impl Client {
     ///
     /// As for [`write`](Self::write).
     pub fn read_at(&self, reg: rmem_types::RegisterId) -> Result<rmem_types::Value, ClientError> {
+        self.read_at_counted(reg).map(|(v, _)| v)
+    }
+
+    /// As [`read_at`](Self::read_at), additionally reporting how many
+    /// quorum round-trips the read performed: 1 when the register
+    /// emulation's fast path (or single-round flavor) answered from the
+    /// query round alone, 2 when it paid the write-back round. The store
+    /// layers aggregate these into their per-operation round statistics.
+    ///
+    /// # Errors
+    ///
+    /// As for [`write`](Self::write).
+    pub fn read_at_counted(
+        &self,
+        reg: rmem_types::RegisterId,
+    ) -> Result<(rmem_types::Value, u32), ClientError> {
         match self.invoke(Op::ReadAt(reg))? {
-            OpResult::ReadValue(v) => Ok(v),
+            (OpResult::ReadValue(v), rounds) => Ok((v, rounds)),
             _ => Err(ClientError::ProcessDown),
         }
+    }
+
+    /// As [`write_at`](Self::write_at), additionally reporting the quorum
+    /// round-trips the write performed (2 with the query round, 1 for the
+    /// single-writer regular flavor).
+    ///
+    /// # Errors
+    ///
+    /// As for [`write`](Self::write).
+    pub fn write_at_counted(
+        &self,
+        reg: rmem_types::RegisterId,
+        value: rmem_types::Value,
+    ) -> Result<u32, ClientError> {
+        self.invoke(Op::WriteAt(reg, value))
+            .map(|(_, rounds)| rounds)
     }
 }
 
@@ -370,9 +402,9 @@ fn run_loop(
                         timer_tokens.insert(seq, token);
                         timers.push(Reverse((Instant::now() + Duration::from(after), seq)));
                     }
-                    Action::Complete { op, result } => {
+                    Action::Complete { op, result, rounds } => {
                         if let Some(reply) = pending.complete(op) {
-                            let _ = reply.send(result);
+                            let _ = reply.send((result, rounds));
                         }
                     }
                 }
@@ -435,7 +467,7 @@ fn run_loop(
                 Ok(RunnerEvent::Invoke { operation, reply }) => {
                     let reg = operation.register();
                     if pending.is_busy(reg) {
-                        let _ = reply.send(OpResult::Rejected(rmem_types::RejectReason::Busy));
+                        let _ = reply.send((OpResult::Rejected(rmem_types::RejectReason::Busy), 0));
                     } else {
                         let op = OpId::new(me, op_counter);
                         op_counter += 1;

@@ -563,10 +563,11 @@ impl Simulation {
                     },
                 );
             }
-            Action::Complete { op, result } => {
+            Action::Complete { op, result, rounds } => {
                 let slot = &mut self.procs[pid.index()];
                 slot.pending.retain(|_, &mut p| p != op);
                 self.trace.bump_chain(op, chain);
+                self.trace.record_rounds(op, rounds);
                 self.trace.record_complete(self.now, op, result);
                 self.loop_advance(pid);
             }

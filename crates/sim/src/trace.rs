@@ -48,6 +48,10 @@ pub struct OpRecord {
     pub result: Option<OpResult>,
     /// Causal logs on the operation's critical path (see module docs).
     pub causal_logs: u32,
+    /// Quorum round-trips the operation performed, as reported by the
+    /// automaton at completion (0 while pending): 1 for fast-path and
+    /// regular reads, 2 for written-back reads and queried writes.
+    pub rounds: u32,
 }
 
 impl OpRecord {
@@ -115,6 +119,7 @@ impl Trace {
             completed_at: None,
             result: None,
             causal_logs: 0,
+            rounds: 0,
         };
         self.index.insert(op, self.ops.len());
         self.ops.push(record);
@@ -128,6 +133,13 @@ impl Trace {
             if r.completed_at.is_none() {
                 r.causal_logs = r.causal_logs.max(chain);
             }
+        }
+    }
+
+    /// Records the quorum-round count the automaton reported for `op`.
+    pub fn record_rounds(&mut self, op: OpId, rounds: u32) {
+        if let Some(&i) = self.index.get(&op) {
+            self.ops[i].rounds = rounds;
         }
     }
 
@@ -201,6 +213,18 @@ impl Trace {
             .collect()
     }
 
+    /// Quorum-round counts of completed operations of `kind`, in
+    /// invocation order — the fast-path observability hook: a read-heavy
+    /// quiescent run shows a mean well below 2.0, a contended one shows
+    /// the fallback's 2s.
+    pub fn rounds(&self, kind: OpKind) -> Vec<u32> {
+        self.ops
+            .iter()
+            .filter(|r| r.kind == kind && r.is_completed())
+            .map(|r| r.rounds)
+            .collect()
+    }
+
     /// Crash/recovery marks for rendering: `(time µs, process, is_crash)`.
     pub fn lifecycle_marks(&self) -> Vec<(u64, ProcessId, bool)> {
         self.events
@@ -246,6 +270,26 @@ mod tests {
         assert_eq!(r.latency(), Some(rmem_types::Micros(800)));
         assert_eq!(r.causal_logs, 2);
         assert!(r.is_completed());
+    }
+
+    #[test]
+    fn rounds_are_recorded_per_op_and_filterable() {
+        let mut t = Trace::new();
+        let r1 = OpId::new(p(0), 0);
+        t.record_invoke(VirtualTime(0), r1, Op::Read);
+        t.record_rounds(r1, 1);
+        t.record_complete(VirtualTime(5), r1, OpResult::ReadValue(Value::bottom()));
+        let r2 = OpId::new(p(1), 0);
+        t.record_invoke(VirtualTime(0), r2, Op::Read);
+        t.record_rounds(r2, 2);
+        t.record_complete(VirtualTime(9), r2, OpResult::ReadValue(Value::bottom()));
+        let w = OpId::new(p(2), 0);
+        t.record_invoke(VirtualTime(0), w, Op::Write(Value::from_u32(1)));
+        t.record_rounds(w, 2);
+        // w never completes: excluded from the per-kind sample.
+        assert_eq!(t.rounds(OpKind::Read), vec![1, 2]);
+        assert!(t.rounds(OpKind::Write).is_empty());
+        assert_eq!(t.operation(r1).unwrap().rounds, 1);
     }
 
     #[test]

@@ -158,6 +158,11 @@ pub enum Action {
         op: OpId,
         /// Its result.
         result: OpResult,
+        /// Quorum round-trips the operation performed (0 for rejected
+        /// invocations). Lets runtimes surface per-operation costs — in
+        /// particular whether a read completed through the one-round fast
+        /// path (1) or paid the write-back round (2).
+        rounds: u32,
     },
 }
 

@@ -35,15 +35,18 @@ use crate::value::Value;
 /// header room.
 pub const MAX_LEN: usize = 1 << 20;
 
-/// Encoded size of a value-carrying message (`Write`/`ReadAck`) minus the
-/// value bytes: tag (1) + request id (12) + timestamp (10) + value marker
-/// and length prefix (5).
+/// Worst-case encoded size of a value-carrying message (`Write`/`ReadAck`)
+/// minus the value bytes: tag (1) + request id (12) + timestamp (10) +
+/// value marker and length prefix (5) + the `ReadAck` durability flag (1).
+/// A `Write` encodes one byte smaller; the constant is the maximum because
+/// an admitted value must fit the frame in *both* directions — the write
+/// that propagates it and the read acks that later carry it back.
 ///
 /// Transports cap whole encoded messages; layers that admit *values* (the
 /// runner's client API, the store) subtract this overhead from the
 /// transport's frame limit to decide whether a value can ever reach a
 /// quorum. Pinned by a test against [`encode_message`].
-pub const VALUE_MSG_OVERHEAD: usize = 28;
+pub const VALUE_MSG_OVERHEAD: usize = 29;
 
 // ---------------------------------------------------------------------
 // Primitive helpers (shared with rmem-storage's record encoding)
@@ -207,11 +210,17 @@ pub fn encode_message(msg: &Message) -> Bytes {
             put_u8(&mut buf, TAG_READ);
             put_request_id(&mut buf, *req);
         }
-        Message::ReadAck { req, ts, value } => {
+        Message::ReadAck {
+            req,
+            ts,
+            value,
+            durable,
+        } => {
             put_u8(&mut buf, TAG_READ_ACK);
             put_request_id(&mut buf, *req);
             put_timestamp(&mut buf, *ts);
             put_value(&mut buf, value);
+            put_u8(&mut buf, u8::from(*durable));
         }
     }
     buf.freeze()
@@ -250,6 +259,11 @@ pub fn decode_message(bytes: &[u8]) -> Result<Message, DecodeError> {
             req: get_request_id(&mut buf, CTX)?,
             ts: get_timestamp(&mut buf, CTX)?,
             value: get_value(&mut buf, CTX)?,
+            durable: match get_u8(&mut buf, CTX)? {
+                0 => false,
+                1 => true,
+                tag => return Err(DecodeError::BadTag { context: CTX, tag }),
+            },
         },
         tag => return Err(DecodeError::BadTag { context: CTX, tag }),
     };
@@ -292,11 +306,13 @@ mod tests {
                 req,
                 ts,
                 value: Value::from("payload"),
+                durable: true,
             },
             Message::ReadAck {
                 req,
                 ts,
                 value: Value::bottom(),
+                durable: false,
             },
         ]
     }
@@ -395,8 +411,15 @@ mod tests {
                 ts,
                 value: value.clone(),
             };
-            assert_eq!(encode_message(&write).len(), VALUE_MSG_OVERHEAD + len);
-            let ack = Message::ReadAck { req, ts, value };
+            // Write is one byte leaner (no durability flag); the constant
+            // is the max so one admission check covers both directions.
+            assert_eq!(encode_message(&write).len(), VALUE_MSG_OVERHEAD - 1 + len);
+            let ack = Message::ReadAck {
+                req,
+                ts,
+                value,
+                durable: true,
+            };
             assert_eq!(encode_message(&ack).len(), VALUE_MSG_OVERHEAD + len);
         }
     }

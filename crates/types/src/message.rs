@@ -114,6 +114,15 @@ pub enum Message {
         ts: Timestamp,
         /// The replica's current value.
         value: Value,
+        /// Whether the reported tag is covered by the replica's stable
+        /// `written` record (always `true` for non-logging flavors, whose
+        /// volatile state is as stable as their model gets). The reader's
+        /// one-round fast path may only skip its write-back when **every**
+        /// replier in the quorum attests durability of one agreed tag —
+        /// a volatile-only tag could vanish in a total crash, and a read
+        /// that returned it without write-back would re-enable the
+        /// new-old inversion the write-back exists to prevent.
+        durable: bool,
     },
 }
 
@@ -170,7 +179,15 @@ impl std::fmt::Display for Message {
             Message::Write { req, ts, value } => write!(f, "W({req},{ts},{value})"),
             Message::WriteAck { req } => write!(f, "W_ack({req})"),
             Message::Read { req } => write!(f, "R({req})"),
-            Message::ReadAck { req, ts, value } => write!(f, "R_ack({req},{ts},{value})"),
+            Message::ReadAck {
+                req,
+                ts,
+                value,
+                durable,
+            } => {
+                let marker = if *durable { "" } else { ",volatile" };
+                write!(f, "R_ack({req},{ts},{value}{marker})")
+            }
         }
     }
 }
@@ -201,6 +218,7 @@ mod tests {
                 req: rid(),
                 ts,
                 value: v,
+                durable: true,
             },
         ];
         for m in &msgs {
@@ -233,7 +251,8 @@ mod tests {
             Message::ReadAck {
                 req: rid(),
                 ts,
-                value: v
+                value: v,
+                durable: true
             }
             .payload_len(),
             1024

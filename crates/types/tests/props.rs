@@ -36,8 +36,18 @@ fn arb_message() -> impl Strategy<Value = Message> {
             .prop_map(|(req, ts, value)| Message::Write { req, ts, value }),
         arb_request_id().prop_map(|req| Message::WriteAck { req }),
         arb_request_id().prop_map(|req| Message::Read { req }),
-        (arb_request_id(), arb_timestamp(), arb_value())
-            .prop_map(|(req, ts, value)| Message::ReadAck { req, ts, value }),
+        (
+            arb_request_id(),
+            arb_timestamp(),
+            arb_value(),
+            any::<bool>()
+        )
+            .prop_map(|(req, ts, value, durable)| Message::ReadAck {
+                req,
+                ts,
+                value,
+                durable,
+            }),
     ]
 }
 
