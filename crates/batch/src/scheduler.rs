@@ -55,7 +55,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use crossbeam::channel::bounded;
-use rmem_kv::{codec, KvClient, KvError};
+use rmem_kv::{codec, KvClient, KvError, ShardMap};
 use rmem_types::{RegisterId, Value};
 
 use crate::policy::FlushPolicy;
@@ -87,6 +87,12 @@ struct Shared {
     table: OpTable,
     logical_ops: AtomicU64,
     register_ops: AtomicU64,
+    /// The shard-map epoch the queues were last flushed under. A bundle
+    /// carries exactly one epoch stamp by construction (each flush
+    /// snapshots the map once); this additionally kicks every lingering
+    /// queue the moment the epoch moves, so no operation waits out a
+    /// linger window under routing that just changed.
+    epoch: AtomicU64,
 }
 
 /// A batching store client over a [`KvClient`] (see module docs).
@@ -112,6 +118,7 @@ impl BatchedKv {
     pub fn new(kv: KvClient, policy: FlushPolicy) -> Self {
         assert!(policy.max_batch >= 1, "max_batch must be at least 1");
         let table = OpTable::new(kv.router().shards() as usize);
+        let epoch = kv.epoch();
         BatchedKv {
             shared: Arc::new(Shared {
                 kv,
@@ -119,8 +126,52 @@ impl BatchedKv {
                 table,
                 logical_ops: AtomicU64::new(0),
                 register_ops: AtomicU64::new(0),
+                epoch: AtomicU64::new(epoch),
             }),
         }
+    }
+
+    /// The coalescing bucket of `key` under `map`: the table's buckets
+    /// are fixed at construction, later epochs fold onto them (bucket ≠
+    /// register — every flush re-derives registers from the live map).
+    fn bucket_of(&self, map: &ShardMap, key: &str) -> usize {
+        map.shard_of(key) as usize % self.shared.table.len()
+    }
+
+    /// Epoch guard, run on every entry point: when the shard map's epoch
+    /// has moved since the last flush, kick every leaderless non-empty
+    /// queue so no operation lingers under superseded routing, and no
+    /// forming bundle straddles the epochs.
+    fn roll_epoch(&self, map: &ShardMap) {
+        let seen = self.shared.epoch.load(Ordering::Relaxed);
+        if map.epoch == seen {
+            return;
+        }
+        if self
+            .shared
+            .epoch
+            .compare_exchange(seen, map.epoch, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            for bucket in 0..self.shared.table.len() {
+                if self.shared.table.try_adopt(bucket) {
+                    // No linger: these batches are as formed as they will
+                    // get, and this runs on some victim operation's
+                    // thread — it must not serially pay every bucket's
+                    // linger window.
+                    let (puts, gets) = self.shared.table.collect_immediate(bucket);
+                    self.run_flush(puts, gets);
+                }
+            }
+        }
+    }
+
+    /// Whether `key` currently sits behind the migration write barrier
+    /// (its source shard is splitting): such operations bypass the
+    /// batching table and go through the epoch-aware `KvClient` paths,
+    /// which run the barrier / old-home-then-new-home protocol per key.
+    fn is_barriered(&self, map: &ShardMap, key: &str) -> bool {
+        map.is_migrating() && map.is_split_source(map.old_shard_of(key))
     }
 
     /// The wrapped client.
@@ -177,7 +228,17 @@ impl BatchedKv {
     pub fn put(&self, key: &str, value: impl Into<Bytes>) -> Result<(), KvError> {
         let value = value.into();
         self.check_put(key, value.len())?;
-        let shard = self.shared.kv.router().shard_of(key) as usize;
+        self.shared.kv.sync_map()?;
+        let map = self.shared.kv.shard_map();
+        self.roll_epoch(&map);
+        if self.is_barriered(&map, key) {
+            // Splitting shard: the write barrier is per key — run it on
+            // the epoch-aware single-op path instead of a shared bundle.
+            self.shared.logical_ops.fetch_add(1, Ordering::Relaxed);
+            self.shared.register_ops.fetch_add(1, Ordering::Relaxed);
+            return self.shared.kv.put(key, value);
+        }
+        let bucket = self.bucket_of(&map, key);
         let (tx, rx) = bounded(1);
         let queued = QueuedPut {
             key: key.to_string(),
@@ -187,9 +248,9 @@ impl BatchedKv {
         let role = self
             .shared
             .table
-            .enqueue_put(shard, queued, &self.shared.policy);
+            .enqueue_put(bucket, queued, &self.shared.policy);
         if role == Enqueued::Leader {
-            self.lead_flush(shard);
+            self.lead_flush(bucket);
         }
         rx.recv().unwrap_or(Err(KvError::Register {
             key: key.to_string(),
@@ -214,7 +275,17 @@ impl BatchedKv {
             "key longer than {} bytes",
             codec::MAX_KEY_LEN
         );
-        let shard = self.shared.kv.router().shard_of(key) as usize;
+        self.shared.kv.sync_map()?;
+        let map = self.shared.kv.shard_map();
+        self.roll_epoch(&map);
+        if self.is_barriered(&map, key) {
+            // Splitting shard: reads need the old-home-then-new-home
+            // fallback, which is per key — bypass the shared bundle.
+            self.shared.logical_ops.fetch_add(1, Ordering::Relaxed);
+            self.shared.register_ops.fetch_add(1, Ordering::Relaxed);
+            return self.shared.kv.get(key);
+        }
+        let bucket = self.bucket_of(&map, key);
         let (tx, rx) = bounded(1);
         let queued = QueuedGet {
             key: key.to_string(),
@@ -223,9 +294,9 @@ impl BatchedKv {
         let role = self
             .shared
             .table
-            .enqueue_get(shard, queued, &self.shared.policy);
+            .enqueue_get(bucket, queued, &self.shared.policy);
         if role == Enqueued::Leader {
-            self.lead_flush(shard);
+            self.lead_flush(bucket);
         }
         rx.recv().unwrap_or(Err(KvError::Register {
             key: key.to_string(),
@@ -258,31 +329,85 @@ impl BatchedKv {
         Ok(())
     }
 
-    /// Collects the shard's queue (lingering per policy) and executes it.
-    fn lead_flush(&self, shard: usize) {
-        let (puts, gets) = self.shared.table.collect(shard, &self.shared.policy);
-        let reg = RegisterId(shard as u16);
+    /// Collects the bucket's queue (lingering per policy) and executes it.
+    fn lead_flush(&self, bucket: usize) {
+        let (puts, gets) = self.shared.table.collect(bucket, &self.shared.policy);
+        self.run_flush(puts, gets);
+    }
+
+    /// Executes collected operations: one map snapshot per flush,
+    /// operations regrouped by their *live* register under that
+    /// snapshot, every bundle stamped with that one epoch — a bundle can
+    /// never straddle epochs.
+    fn run_flush(&self, puts: Vec<QueuedPut>, gets: Vec<QueuedGet>) {
+        let map = self.shared.kv.shard_map();
         // Gets first: they observe the pre-batch cell, the batch's writes
         // land after — any order is legal (everything in one flush is
         // concurrent), this one keeps reads one round behind writes at
         // most.
-        if !gets.is_empty() {
+        let mut get_groups: std::collections::BTreeMap<RegisterId, Vec<QueuedGet>> =
+            std::collections::BTreeMap::new();
+        for get in gets {
+            if self.is_barriered(&map, &get.key) {
+                // The epoch moved between enqueue and flush: serve the
+                // now-barriered key through the per-key migration path.
+                let reply = self.shared.kv.get(&get.key);
+                self.shared.logical_ops.fetch_add(1, Ordering::Relaxed);
+                self.shared.register_ops.fetch_add(1, Ordering::Relaxed);
+                let _ = get.done.send(reply);
+                continue;
+            }
+            get_groups
+                .entry(map.register_for(&get.key))
+                .or_default()
+                .push(get);
+        }
+        for (reg, group) in get_groups {
             let outcome = self.read_round(reg);
             self.shared
                 .logical_ops
-                .fetch_add(gets.len() as u64 - 1, Ordering::Relaxed);
-            for get in gets {
+                .fetch_add(group.len() as u64 - 1, Ordering::Relaxed);
+            for get in group {
                 let reply = match &outcome {
-                    Ok(payload) => Ok(codec::value_for_key(payload, &get.key)),
+                    Ok(payload) => {
+                        let value = codec::value_for_key(payload, &get.key);
+                        if value.is_none()
+                            && !payload.is_bottom()
+                            && codec::payload_epoch(payload) != Some(map.stamp())
+                        {
+                            // Key absent under a foreign stamp: our map
+                            // may be stale (a split moved the key). The
+                            // per-key path refreshes and re-routes —
+                            // mirroring `KvClient::get`'s classification.
+                            self.shared.kv.get(&get.key)
+                        } else {
+                            Ok(value)
+                        }
+                    }
                     Err(e) => Err(e.clone()),
                 };
                 let _ = get.done.send(reply);
             }
         }
-        if !puts.is_empty() {
-            let coalesced = coalesce(puts);
+        let mut put_groups: std::collections::BTreeMap<RegisterId, Vec<QueuedPut>> =
+            std::collections::BTreeMap::new();
+        for put in puts {
+            if self.is_barriered(&map, &put.key) {
+                let reply = self.shared.kv.put(&put.key, put.value.clone());
+                self.shared.logical_ops.fetch_add(1, Ordering::Relaxed);
+                self.shared.register_ops.fetch_add(1, Ordering::Relaxed);
+                let _ = put.done.send(reply);
+                continue;
+            }
+            put_groups
+                .entry(map.register_for(&put.key))
+                .or_default()
+                .push(put);
+        }
+        for (reg, group) in put_groups {
+            let coalesced = coalesce(group);
             for chunk in self.chunks(&coalesced) {
-                let outcome = self.write_round(reg, chunk);
+                let outcome = self.write_round(reg, chunk, &map);
                 for entry in chunk {
                     for done in &entry.waiters {
                         let _ = done.send(outcome.clone());
@@ -305,17 +430,26 @@ impl BatchedKv {
     /// Returns the first failing chunk's [`KvError`]; other chunks still
     /// ran to completion.
     pub fn multi_put<K: AsRef<str> + Sync>(&self, entries: &[(K, Bytes)]) -> Result<(), KvError> {
+        self.shared.kv.sync_map()?;
+        let map = self.shared.kv.shard_map();
+        self.roll_epoch(&map);
         // Coalesce into per-register entry lists (order: first appearance
         // of each register / key, values last-wins). The index keeps the
         // pass linear under skew — a hot shard can absorb most of a large
-        // batch.
+        // batch. Keys behind the migration write barrier take the
+        // per-key path instead (the barrier is per source shard).
         let mut per_reg: std::collections::BTreeMap<u16, Vec<CoalescedPut>> =
             std::collections::BTreeMap::new();
         let mut index: std::collections::HashMap<(u16, &str), usize> =
             std::collections::HashMap::new();
+        let mut barriered: Vec<(&str, Bytes)> = Vec::new();
         for (key, value) in entries {
             let key = key.as_ref();
-            let reg = self.shared.kv.router().register_for(key);
+            if self.is_barriered(&map, key) {
+                barriered.push((key, value.clone()));
+                continue;
+            }
+            let reg = map.register_for(key);
             let list = per_reg.entry(reg.0).or_default();
             match index.get(&(reg.0, key)) {
                 Some(&i) => {
@@ -335,11 +469,30 @@ impl BatchedKv {
         }
         let outcomes: Vec<Result<(), KvError>> = self.per_node(per_reg, |reg, list| {
             for chunk in self.chunks(&list) {
-                self.write_round(reg, chunk)?;
+                self.write_round(reg, chunk, &map)?;
             }
             Ok(())
         });
-        outcomes.into_iter().collect()
+        // Barriered keys go through the per-key path; errors are
+        // deferred so every batch and every barriered key still runs
+        // (the contract: first failing error, everything attempted).
+        let mut first_err = None;
+        for (key, value) in barriered {
+            self.shared.logical_ops.fetch_add(1, Ordering::Relaxed);
+            self.shared.register_ops.fetch_add(1, Ordering::Relaxed);
+            if let Err(e) = self.shared.kv.put(key, value) {
+                first_err.get_or_insert(e);
+            }
+        }
+        for outcome in outcomes {
+            if let Err(e) = outcome {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Reads many keys, **one quorum round per shard**: every key landing
@@ -355,10 +508,18 @@ impl BatchedKv {
         &self,
         keys: &[K],
     ) -> Result<Vec<Option<Bytes>>, KvError> {
+        self.shared.kv.sync_map()?;
+        let map = self.shared.kv.shard_map();
+        self.roll_epoch(&map);
         let mut per_reg: std::collections::BTreeMap<u16, Vec<usize>> =
             std::collections::BTreeMap::new();
+        let mut barriered: Vec<usize> = Vec::new();
         for (i, key) in keys.iter().enumerate() {
-            let reg = self.shared.kv.router().register_for(key.as_ref());
+            if self.is_barriered(&map, key.as_ref()) {
+                barriered.push(i);
+                continue;
+            }
+            let reg = map.register_for(key.as_ref());
             per_reg.entry(reg.0).or_default().push(i);
         }
         let mut results: Vec<Option<Option<Bytes>>> = vec![None; keys.len()];
@@ -368,15 +529,52 @@ impl BatchedKv {
             self.shared
                 .logical_ops
                 .fetch_add(indices.len() as u64 - 1, Ordering::Relaxed);
-            Ok(indices
+            indices
                 .into_iter()
-                .map(|i| (i, codec::value_for_key(&payload, keys[i].as_ref())))
-                .collect())
+                .map(|i| {
+                    let key = keys[i].as_ref();
+                    let value = codec::value_for_key(&payload, key);
+                    if value.is_none()
+                        && !payload.is_bottom()
+                        && codec::payload_epoch(&payload) != Some(map.stamp())
+                    {
+                        // Absent under a foreign stamp: possibly a moved
+                        // key behind a stale map — re-route per key.
+                        self.shared.kv.get(key).map(|v| (i, v))
+                    } else {
+                        Ok((i, value))
+                    }
+                })
+                .collect()
         });
+        // Errors are deferred so every shard's round and every barriered
+        // key still runs before the first failure is reported.
+        let mut first_err = None;
         for outcome in outcomes {
-            for (i, value) in outcome? {
-                results[i] = Some(value);
+            match outcome {
+                Ok(served) => {
+                    for (i, value) in served {
+                        results[i] = Some(value);
+                    }
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
             }
+        }
+        for i in barriered {
+            self.shared.logical_ops.fetch_add(1, Ordering::Relaxed);
+            self.shared.register_ops.fetch_add(1, Ordering::Relaxed);
+            match self.shared.kv.get(keys[i].as_ref()) {
+                Ok(value) => results[i] = Some(value),
+                Err(e) => {
+                    results[i] = Some(None);
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
         }
         Ok(results
             .into_iter()
@@ -431,8 +629,14 @@ impl BatchedKv {
         self.shared.kv.raw_read(reg, &label)
     }
 
-    /// One write quorum round carrying a whole chunk.
-    fn write_round(&self, reg: RegisterId, chunk: &[CoalescedPut]) -> Result<(), KvError> {
+    /// One write quorum round carrying a whole chunk, stamped with and
+    /// guarded by the flush's epoch.
+    fn write_round(
+        &self,
+        reg: RegisterId,
+        chunk: &[CoalescedPut],
+        map: &ShardMap,
+    ) -> Result<(), KvError> {
         self.shared.register_ops.fetch_add(1, Ordering::Relaxed);
         let logical: u64 = chunk.iter().map(|e| e.covered as u64).sum();
         self.shared
@@ -442,13 +646,26 @@ impl BatchedKv {
             .iter()
             .map(|e| (e.key.as_str(), e.value.clone()))
             .collect();
-        let payload = codec::encode_entries(&entries);
+        let payload = codec::encode_entries(&entries, map.stamp());
         let label = if chunk.len() == 1 {
             chunk[0].key.clone()
         } else {
             format!("shard:{}×{}", reg.0, chunk.len())
         };
-        self.shared.kv.raw_write(reg, payload, &label)
+        // Epoch-guarded (mirrors `KvClient::put`): if a split publishes
+        // while this round is in flight, the bundle aborts un-issued
+        // rather than landing behind a migration seal; its entries then
+        // re-route through the epoch-aware per-key path.
+        if !self
+            .shared
+            .kv
+            .raw_write_guarded(reg, payload, &label, map.epoch)?
+        {
+            for entry in chunk {
+                self.shared.kv.put(&entry.key, entry.value.clone())?;
+            }
+        }
+        Ok(())
     }
 
     /// Splits coalesced entries into chunks, each fitting `max_batch` and

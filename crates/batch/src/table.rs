@@ -87,6 +87,25 @@ impl OpTable {
         }
     }
 
+    /// Number of coalescing buckets (fixed at construction; the scheduler
+    /// folds whatever the current epoch's shard count is onto them).
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Adopts leadership of `shard`'s queue if it holds operations nobody
+    /// is leading — the epoch-roll flush uses this to kick every stale
+    /// queue exactly once without racing the regular leader election.
+    pub(crate) fn try_adopt(&self, shard: usize) -> bool {
+        let slot = &self.slots[shard];
+        let mut q = slot.queue.lock().expect("op-table lock");
+        if q.leader || q.len() == 0 {
+            return false;
+        }
+        q.leader = true;
+        true
+    }
+
     fn enqueue(
         &self,
         shard: usize,
@@ -159,6 +178,18 @@ impl OpTable {
             cur
         };
         slot.linger_micros.store(next, Ordering::Relaxed);
+    }
+
+    /// Leader only: take the whole queue immediately, no linger — the
+    /// epoch-roll kick uses this (those batches are already as formed as
+    /// they will get, and the kick runs on some victim operation's
+    /// thread, which must not serially pay every bucket's linger).
+    pub(crate) fn collect_immediate(&self, shard: usize) -> (Vec<QueuedPut>, Vec<QueuedGet>) {
+        let slot = &self.slots[shard];
+        let mut q = slot.queue.lock().expect("op-table lock");
+        debug_assert!(q.leader, "collect called by a non-leader");
+        q.leader = false;
+        (std::mem::take(&mut q.puts), std::mem::take(&mut q.gets))
     }
 
     /// Leader only: linger for company, then take the whole queue. Clears

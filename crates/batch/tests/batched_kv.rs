@@ -198,3 +198,67 @@ fn an_entry_over_any_frame_fails_with_too_large() {
     cluster.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn batched_store_survives_a_live_split() {
+    // A 4 → 8 live split under a BatchedKv: queued routing re-derives
+    // registers from the fresh map each flush, the epoch roll kicks
+    // lingering queues, and post-split bundles carry the new stamp.
+    let (mut cluster, store) = batched(4, FlushPolicy::default());
+    let entries: Vec<(String, Bytes)> = (0..32)
+        .map(|i| (format!("e{i}"), Bytes::from(vec![i as u8])))
+        .collect();
+    store.multi_put(&entries).unwrap();
+    let report = store.kv().grow(8).unwrap();
+    assert_eq!(report.epoch, 1);
+    assert_eq!(store.kv().shard_map().shards, 8);
+    // Every key still serves through the batched read path.
+    let keys: Vec<String> = entries.iter().map(|(k, _)| k.clone()).collect();
+    let got = store.multi_get(&keys).unwrap();
+    for (i, value) in got.iter().enumerate() {
+        assert_eq!(
+            value.as_deref(),
+            Some([i as u8].as_ref()),
+            "key e{i} must survive the split under batching"
+        );
+    }
+    // New writes land under the new epoch and read back, batched.
+    let fresh: Vec<(String, Bytes)> = (0..32)
+        .map(|i| (format!("e{i}"), Bytes::from(vec![i as u8 + 100])))
+        .collect();
+    store.multi_put(&fresh).unwrap();
+    let got = store.multi_get(&keys).unwrap();
+    for (i, value) in got.iter().enumerate() {
+        assert_eq!(value.as_deref(), Some([i as u8 + 100].as_ref()));
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn singles_coalesce_across_epochs_without_stale_buckets() {
+    // Singles enqueued before and after a split must all complete and
+    // agree with the unbatched view: the coalescing buckets are fixed,
+    // the registers are not. One key per pre-split shard (singles
+    // displace colliding tenants, so the universe must be injective).
+    let (mut cluster, store) = batched(2, FlushPolicy::default());
+    let keys = ShardRouter::new(2).covering_keys("s-");
+    for (i, key) in keys.iter().enumerate() {
+        store.put(key, vec![i as u8]).unwrap();
+    }
+    store.kv().grow(5).unwrap();
+    for (i, key) in keys.iter().enumerate() {
+        assert_eq!(
+            store.get(key).unwrap().as_deref(),
+            Some([i as u8].as_ref()),
+            "{key} after 2→5 split"
+        );
+        store.put(key, vec![i as u8 + 50]).unwrap();
+    }
+    for (i, key) in keys.iter().enumerate() {
+        assert_eq!(
+            store.get(key).unwrap().as_deref(),
+            Some([i as u8 + 50].as_ref())
+        );
+    }
+    cluster.shutdown();
+}

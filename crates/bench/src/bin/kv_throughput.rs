@@ -6,13 +6,16 @@
 //!
 //! ```text
 //! cargo run --release -p rmem-bench --bin kv_throughput \
-//!     [-- --csv] [-- --smoke] [-- --json PATH] [-- --no-fastpath]
+//!     [-- --csv] [-- --smoke] [-- --json PATH] [-- --no-fastpath] [-- --reshard]
 //! ```
 //!
 //! `--smoke` runs the same grid on a reduced workload (CI-sized);
 //! `--no-fastpath` forces every cell onto the legacy always-write-back
-//! read path (CI runs both modes so the fallback cannot rot); `--json
-//! PATH` writes the rows as machine-readable JSON for perf diffing
+//! read path (CI runs both modes so the fallback cannot rot); `--reshard`
+//! additionally runs the live 4→8 shard-split scenario on the real
+//! runtime (ops/s dip during migration, recovery after, cross-epoch
+//! certified) and appends its row to the JSON output; `--json PATH`
+//! writes the rows as machine-readable JSON for perf diffing
 //! (`BENCH_kv.json` is the committed baseline). Every reported run is
 //! certified per key before its row prints.
 
@@ -20,6 +23,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let csv = args.iter().any(|a| a == "--csv");
     let smoke = args.iter().any(|a| a == "--smoke");
+    let reshard = args.iter().any(|a| a == "--reshard");
     let fastpath = !args.iter().any(|a| a == "--no-fastpath");
     let json_path = args.iter().position(|a| a == "--json").map(|i| {
         args.get(i + 1)
@@ -113,8 +117,39 @@ fn main() {
     } else {
         println!("legacy mode (--no-fastpath): every read paid its write-back round");
     }
+    let reshard_report = if reshard {
+        let r = rmem_bench::reshard::reshard_scenario(smoke);
+        println!(
+            "reshard 4→8 (live, certified across epochs): pre {:.0} ops/s, during {:.0} ops/s \
+             ({:.0}% retained), post {:.0} ops/s ({:.0}% of pre); migration {:.2} ms, \
+             {} entries moved, {} sources sealed, {} barrier waits ({} polls)",
+            r.pre_ops_per_sec,
+            r.during_ops_per_sec,
+            r.dip_ratio() * 100.0,
+            r.post_ops_per_sec,
+            r.recovery_ratio() * 100.0,
+            r.migration_ms,
+            r.entries_moved,
+            r.sources_sealed,
+            r.barrier_waits,
+            r.barrier_polls,
+        );
+        assert_eq!(r.epoch, 1, "the split must commit at epoch 1");
+        assert!(
+            r.recovery_ratio() > 0.5,
+            "post-split throughput must recover (got {:.0}% of pre)",
+            r.recovery_ratio() * 100.0
+        );
+        Some(r)
+    } else {
+        None
+    };
     if let Some(path) = json_path {
-        std::fs::write(&path, rmem_bench::kv::rows_to_json(&rows)).expect("writing JSON rows");
+        std::fs::write(
+            &path,
+            rmem_bench::kv::rows_to_json_with(&rows, reshard_report.as_ref()),
+        )
+        .expect("writing JSON rows");
         println!("wrote {path}");
     }
     if csv {

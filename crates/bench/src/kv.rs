@@ -328,6 +328,25 @@ pub fn kv_throughput() -> (Vec<KvThroughputRow>, Table) {
 /// Serializes rows as a JSON array (one object per cell) for the perf
 /// trajectory file (`BENCH_kv.json`): machine-readable so future changes
 /// can diff ops/s and read-round numbers against the committed baseline.
+/// When a [`reshard`](crate::reshard) report rides along (`--reshard`),
+/// its object is appended to the same array so the trajectory also
+/// tracks migration cost.
+pub fn rows_to_json_with(
+    rows: &[KvThroughputRow],
+    reshard: Option<&crate::reshard::ReshardReport>,
+) -> String {
+    let mut out = rows_to_json(rows);
+    if let Some(report) = reshard {
+        let closing = out.rfind("\n]").expect("rows array closes");
+        out.replace_range(
+            closing..,
+            &format!(",\n{}\n]\n", crate::reshard::reshard_to_json(report)),
+        );
+    }
+    out
+}
+
+/// [`rows_to_json_with`] without a reshard report.
 pub fn rows_to_json(rows: &[KvThroughputRow]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {

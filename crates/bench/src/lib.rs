@@ -20,6 +20,7 @@
 pub mod experiments;
 pub mod explore;
 pub mod kv;
+pub mod reshard;
 pub mod scenarios;
 pub mod table;
 

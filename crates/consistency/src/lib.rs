@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod atomicity;
+pub mod epochs;
 pub mod history;
 pub mod intervals;
 pub mod linearize;
@@ -54,6 +55,7 @@ pub use atomicity::{
     check_linearizable, check_per_register, check_persistent, check_transient, Criterion, Verdict,
     Violation,
 };
+pub use epochs::{check_per_register_epochs, stitch_moves};
 pub use history::{Event, History, WellFormedError};
 pub use regular::{check_regular_swmr, check_safe_swmr};
 pub use shrink::shrink;

@@ -1,18 +1,53 @@
-//! The real-runtime store client: routes keys to shards and pipelines
-//! independent per-shard operations across the cluster's nodes.
+//! The real-runtime store client: epoch-aware key routing over a cached
+//! shard map, with pipelined per-shard operations across the cluster's
+//! nodes and a live shard-split protocol.
+//!
+//! # Epochs
+//!
+//! The authoritative shard map lives in the store itself (register 0, see
+//! [`crate::epoch`]); each client keeps a cached [`ShardMap`] snapshot
+//! (shared by its clones) and refreshes it from the config register
+//! whenever a data payload's epoch stamp signals staleness. Data shard
+//! `i` lives at register `i + 1`.
+//!
+//! # Live shard splits
+//!
+//! [`KvClient::grow`] publishes epoch `e+1` (a *migrating* map), then for
+//! every split-source shard: reads the old home, copies each moved entry
+//! to its new home (**tag-monotonically** — the copy is the old home's
+//! latest value, and the write barrier below guarantees it still is when
+//! the seal lands), and finally **seals** the old home under the new
+//! epoch's stamp. Once every source is sealed, the committed map is
+//! published.
+//!
+//! **The barrier invariant: a writer whose key is owned by a splitting
+//! shard must observe that shard's seal before writing the key's
+//! new-epoch home.** Writers poll the old home (bounded; see
+//! [`KvError::Barrier`]) until the seal appears — so during a source
+//! shard's copy window the migrator is the only writer touching its
+//! registers, which is what makes the copy lossless. Readers during
+//! migration fall back *old-home-then-new-home*: an unsealed old home is
+//! authoritative, a sealed one forwards to the new routing.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use bytes::Bytes;
 use rmem_net::{Client, ClientError};
-use rmem_types::{RegisterId, Value};
+use rmem_types::{Op, OpResult, ProcessId, RegisterId, Value};
 
 use crate::codec;
+use crate::epoch::{data_register, ShardMap, CONFIG_REGISTER};
 use crate::health::{HealthMemory, NodeGate};
+use crate::recorder::OpRecorder;
 use crate::router::ShardRouter;
+
+/// How many times an operation re-routes after a shard-map refresh,
+/// barrier re-route or epoch-guarded abort before giving up on chasing
+/// epochs.
+const MAP_RETRIES: usize = 6;
 
 /// Shared per-client operation counters (all clones update one set).
 #[derive(Debug, Default)]
@@ -22,6 +57,9 @@ struct OpStatsInner {
     fast_reads: AtomicU64,
     writes: AtomicU64,
     write_rounds: AtomicU64,
+    barrier_waits: AtomicU64,
+    barrier_polls: AtomicU64,
+    map_refreshes: AtomicU64,
 }
 
 /// Snapshot of a client's per-operation quorum-round statistics.
@@ -32,7 +70,8 @@ struct OpStatsInner {
 /// tags in the read quorum) and 2 when it fell back to the write-back.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct KvOpStats {
-    /// Register reads completed through this client (and its clones).
+    /// Register reads completed through this client (and its clones),
+    /// including barrier polls and shard-map reads.
     pub reads: u64,
     /// Total quorum round-trips those reads performed.
     pub read_rounds: u64,
@@ -43,6 +82,14 @@ pub struct KvOpStats {
     pub writes: u64,
     /// Total quorum round-trips those writes performed.
     pub write_rounds: u64,
+    /// Writes that entered a migration write barrier and found the seal
+    /// not yet in place (i.e. actually waited).
+    pub barrier_waits: u64,
+    /// Barrier polls (old-home seal checks) performed in total; one poll
+    /// per barriered write is the protocol's floor.
+    pub barrier_polls: u64,
+    /// Shard-map refreshes from the config register.
+    pub map_refreshes: u64,
 }
 
 impl KvOpStats {
@@ -62,6 +109,15 @@ impl KvOpStats {
         }
         self.fast_reads as f64 / self.reads as f64
     }
+
+    /// Mean seal polls per barrier wait (how long barriered writers
+    /// actually stalled; 0.0 if nothing ever waited).
+    pub fn mean_barrier_polls(&self) -> f64 {
+        if self.barrier_waits == 0 {
+            return 0.0;
+        }
+        self.barrier_polls as f64 / self.barrier_waits as f64
+    }
 }
 
 /// Snapshot of the shared cluster-health memory's operator counters.
@@ -73,6 +129,22 @@ pub struct HealthStats {
     pub probes: u64,
     /// Nodes currently inside their mark cooldown.
     pub suspects: Vec<usize>,
+}
+
+/// What a completed [`KvClient::grow`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrowReport {
+    /// The committed epoch.
+    pub epoch: u64,
+    /// Shard count before the split.
+    pub from_shards: u16,
+    /// Shard count after the split.
+    pub to_shards: u16,
+    /// Split-source shards sealed by this driver (a resumed split may
+    /// find some already sealed).
+    pub sources_sealed: usize,
+    /// Entries copied to a new home register.
+    pub entries_moved: usize,
 }
 
 /// Why a store operation failed.
@@ -98,6 +170,21 @@ pub enum KvError {
         /// The transport's frame limit.
         limit: usize,
     },
+    /// A migration write barrier did not observe the source shard's seal
+    /// within the bounded wait ([`KvClient::with_barrier_polls`]) — the
+    /// migration driver is stalled or gone; run
+    /// [`KvClient::finish_split`] to drive it to completion.
+    Barrier {
+        /// The key whose write was barriered.
+        key: String,
+        /// The splitting source shard the writer waited on.
+        shard: u16,
+    },
+    /// A resharding request was invalid (e.g. shrinking the table).
+    Reshard {
+        /// What was wrong.
+        message: String,
+    },
     /// The client was constructed without any node handles.
     NoNodes,
 }
@@ -110,6 +197,11 @@ impl std::fmt::Display for KvError {
                 f,
                 "entry for key {key:?} needs a {size}-byte message, over the transport's {limit}-byte frame"
             ),
+            KvError::Barrier { key, shard } => write!(
+                f,
+                "write barrier on key {key:?} never saw shard {shard}'s migration seal"
+            ),
+            KvError::Reshard { message } => write!(f, "invalid reshard: {message}"),
             KvError::NoNodes => write!(f, "KvClient needs at least one node handle"),
         }
     }
@@ -119,11 +211,12 @@ impl std::error::Error for KvError {}
 
 /// A sharded key-value client over an emulated shared memory.
 ///
-/// Keys route deterministically to shard registers ([`ShardRouter`]);
-/// each shard prefers one of the cluster's node handles (`shard % nodes`,
-/// so shard traffic spreads across the cluster) and fails over to the
-/// remaining nodes when its home node is down or unresponsive — any node
-/// can serve any register.
+/// Keys route deterministically to shard registers through the cached
+/// epoch [`ShardMap`] (clones share the cache); each shard prefers one of
+/// the cluster's node handles (`register % nodes`, so shard traffic
+/// spreads across the cluster) and fails over to the remaining nodes when
+/// its home node is down or unresponsive — any node can serve any
+/// register.
 /// [`multi_get`](KvClient::multi_get)/[`multi_put`](KvClient::multi_put)
 /// run the per-node batches **concurrently** — operations on different
 /// shards touch different registers and are independent by locality, so
@@ -131,19 +224,34 @@ impl std::error::Error for KvError {}
 ///
 /// Reads and writes inherit the register emulation's guarantees: with a
 /// majority of nodes up, every operation terminates, and per-key histories
-/// satisfy the configured flavor's atomicity criterion.
+/// satisfy the configured flavor's atomicity criterion — across epochs,
+/// certified by [`certify_per_key_epochs`](crate::certify_per_key_epochs).
 #[derive(Debug, Clone)]
 pub struct KvClient {
     nodes: Vec<Client>,
-    router: ShardRouter,
+    map: Arc<Mutex<ShardMap>>,
+    /// Whether this client family has read the config register at least
+    /// once — until then the cache is only the constructor's guess, and
+    /// a *write* issued under it could silently land behind another
+    /// client's already-committed split (reads self-heal via stamp
+    /// mismatches; writes are blind). The first operation syncs.
+    synced: Arc<std::sync::atomic::AtomicBool>,
     busy_retries: u32,
+    barrier_polls: u32,
     health: Arc<HealthMemory>,
     stats: Arc<OpStatsInner>,
+    recorder: Option<(OpRecorder, ProcessId)>,
 }
 
 impl KvClient {
     /// A client over `nodes` (e.g. `LocalCluster::clients()`) with the
-    /// given router.
+    /// given bootstrap router: `router.shards()` becomes the genesis
+    /// shard count, superseded as soon as a published shard map is
+    /// observed (a data payload's stamp mismatch, [`refresh_map`], or
+    /// [`grow`]).
+    ///
+    /// [`refresh_map`]: KvClient::refresh_map
+    /// [`grow`]: KvClient::grow
     ///
     /// # Errors
     ///
@@ -155,10 +263,13 @@ impl KvClient {
         let health = Arc::new(HealthMemory::new(nodes.len(), Duration::from_secs(5)));
         Ok(KvClient {
             nodes,
-            router,
+            map: Arc::new(Mutex::new(ShardMap::genesis(router.shards()))),
+            synced: Arc::new(std::sync::atomic::AtomicBool::new(false)),
             busy_retries: 32,
+            barrier_polls: 512,
             health,
             stats: Arc::new(OpStatsInner::default()),
+            recorder: None,
         })
     }
 
@@ -169,12 +280,60 @@ impl KvClient {
         self
     }
 
+    /// Replaces the bounded-wait cap of the migration write barrier
+    /// (default 512 seal polls with escalating backoff): a barriered
+    /// write that exhausts the cap fails with [`KvError::Barrier`]
+    /// instead of blocking forever.
+    pub fn with_barrier_polls(mut self, barrier_polls: u32) -> Self {
+        assert!(barrier_polls > 0, "the barrier needs at least one poll");
+        self.barrier_polls = barrier_polls;
+        self
+    }
+
+    /// Replaces each node handle's patience window (default 10 s): how
+    /// long one node may sit on an operation before failover moves on.
+    pub fn with_op_timeout(mut self, timeout: Duration) -> Self {
+        self.nodes = self
+            .nodes
+            .into_iter()
+            .map(|n| n.with_timeout(timeout))
+            .collect();
+        self
+    }
+
     /// Replaces the cluster-health mark cooldown (default 5 s): how long a
     /// node that timed out is deprioritized before failover tries it first
     /// again. Resets the marks.
     pub fn with_health_cooldown(mut self, cooldown: Duration) -> Self {
         self.health = Arc::new(HealthMemory::new(self.nodes.len(), cooldown));
         self
+    }
+
+    /// Attaches a history recorder: every register operation this client
+    /// performs is recorded under a fresh history process id. Use
+    /// [`recorded_clone`](KvClient::recorded_clone) to hand each
+    /// concurrent thread its own sequential process.
+    pub fn with_recorder(mut self, recorder: OpRecorder) -> Self {
+        let pid = recorder.assign_pid();
+        self.recorder = Some((recorder, pid));
+        self
+    }
+
+    /// A clone recording under its own fresh history process id (same
+    /// shared history). Clones made with plain `clone()` share the
+    /// original's id and must not race it on one register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no recorder is attached.
+    pub fn recorded_clone(&self) -> Self {
+        let (recorder, _) = self
+            .recorder
+            .as_ref()
+            .expect("recorded_clone needs with_recorder first");
+        let mut clone = self.clone();
+        clone.recorder = Some((recorder.clone(), recorder.assign_pid()));
+        clone
     }
 
     /// The shared cluster-health memory (clones of this client observe and
@@ -201,6 +360,9 @@ impl KvClient {
             fast_reads: self.stats.fast_reads.load(Ordering::Relaxed),
             writes: self.stats.writes.load(Ordering::Relaxed),
             write_rounds: self.stats.write_rounds.load(Ordering::Relaxed),
+            barrier_waits: self.stats.barrier_waits.load(Ordering::Relaxed),
+            barrier_polls: self.stats.barrier_polls.load(Ordering::Relaxed),
+            map_refreshes: self.stats.map_refreshes.load(Ordering::Relaxed),
         }
     }
 
@@ -221,9 +383,22 @@ impl KvClient {
             .fetch_add(u64::from(rounds), Ordering::Relaxed);
     }
 
-    /// The router in use.
+    /// The current cached shard map (shared with clones).
+    pub fn shard_map(&self) -> ShardMap {
+        *self.map.lock().expect("shard map lock")
+    }
+
+    /// The current epoch (of the cached map).
+    pub fn epoch(&self) -> u64 {
+        self.shard_map().epoch
+    }
+
+    /// A pure router over the cached map's *current* shard count. Note
+    /// that it routes in shard space (register = shard), not the epoch
+    /// layer's register space — use it for shard counts and key
+    /// derivation, not raw register addressing.
     pub fn router(&self) -> ShardRouter {
-        self.router
+        ShardRouter::new(self.shard_map().shards)
     }
 
     /// Number of node handles.
@@ -239,14 +414,72 @@ impl KvClient {
         self.nodes.iter().filter_map(Client::max_value_len).min()
     }
 
-    /// Runs one register operation for `key`, preferring the shard's home
-    /// node but failing over to the other nodes when it is unreachable:
-    /// every node can serve every register, so as long as a majority is
-    /// up the operation terminates through *some* handle. `Busy`
-    /// rejections (another client racing this node) retry with backoff on
-    /// the same node first, then fail over like any other unavailability —
-    /// register operations are idempotent, so a retry after an ambiguous
-    /// timeout is safe.
+    /// Adopts `new` into the shared cache if it advances the current map
+    /// (newer epoch, or same epoch moving from migrating to committed).
+    fn adopt(&self, new: &ShardMap) {
+        let mut cur = self.map.lock().expect("shard map lock");
+        if new.epoch > cur.epoch
+            || (new.epoch == cur.epoch && cur.is_migrating() && !new.is_migrating())
+        {
+            *cur = *new;
+        }
+    }
+
+    /// Re-reads the authoritative shard map from the config register and
+    /// adopts it if it advances the cache. Returns whether the cache
+    /// changed. A ⊥ config register (no map ever published) leaves the
+    /// bootstrap map in force.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::Register`] if the config register cannot be
+    /// read.
+    pub fn refresh_map(&self) -> Result<bool, KvError> {
+        self.stats.map_refreshes.fetch_add(1, Ordering::Relaxed);
+        let payload = self.reg_read(CONFIG_REGISTER, "shard-map")?;
+        self.synced.store(true, Ordering::Relaxed);
+        let Some(published) = ShardMap::decode(&payload) else {
+            return Ok(false);
+        };
+        let before = self.shard_map();
+        self.adopt(&published);
+        Ok(self.shard_map() != before)
+    }
+
+    /// One-time bootstrap sync, run implicitly by the first operation of
+    /// a client family (clones share it): reads the config register and
+    /// adopts any published shard map, so a client joining a store that
+    /// was resharded before it existed never writes under its
+    /// constructor's guess. No-op once any config-register read has
+    /// happened (including [`refresh_map`](KvClient::refresh_map) and
+    /// [`grow`](KvClient::grow)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::Register`] if the config register cannot be
+    /// read.
+    pub fn sync_map(&self) -> Result<(), KvError> {
+        if self.synced.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let (payload, _) = self.with_failover("shard-map", CONFIG_REGISTER, |node| {
+            node.read_at_counted(CONFIG_REGISTER)
+        })?;
+        if let Some(published) = ShardMap::decode(&payload) {
+            self.adopt(&published);
+        }
+        self.synced.store(true, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Runs one register operation for `label`, preferring the register's
+    /// home node but failing over to the other nodes when it is
+    /// unreachable: every node can serve every register, so as long as a
+    /// majority is up the operation terminates through *some* handle.
+    /// `Busy` rejections (another client racing this node) retry with
+    /// backoff on the same node first, then fail over like any other
+    /// unavailability — register operations are idempotent, so a retry
+    /// after an ambiguous timeout is safe.
     ///
     /// Nodes the shared [`HealthMemory`] marks as recently failed are
     /// tried *last* (never skipped), and a timeout/down outcome marks the
@@ -263,8 +496,29 @@ impl KvClient {
         &self,
         key: &str,
         reg: RegisterId,
-        mut op: impl FnMut(&Client) -> Result<T, ClientError>,
+        op: impl FnMut(&Client) -> Result<T, ClientError>,
     ) -> Result<T, KvError> {
+        self.with_failover_abortable(key, reg, op, None)
+            .map(|v| v.expect("unabortable failover cannot abort"))
+    }
+
+    /// [`with_failover`](Self::with_failover) with an abort guard checked
+    /// before every node attempt; `Ok(None)` means the guard fired and
+    /// the operation was **not** issued to any further node.
+    ///
+    /// The epoch-aware write path uses this to keep a write from landing
+    /// *late*: a node attempt's effect lands within moments of its start,
+    /// so checking "did the shard map move?" right before each attempt
+    /// bounds how stale a landed write can be — without it, a write
+    /// stalled behind a dead node's patience window could surface on a
+    /// source register long after the shard was sealed.
+    fn with_failover_abortable<T>(
+        &self,
+        key: &str,
+        reg: RegisterId,
+        mut op: impl FnMut(&Client) -> Result<T, ClientError>,
+        abort: Option<&dyn Fn() -> bool>,
+    ) -> Result<Option<T>, KvError> {
         let home = reg.0 as usize % self.nodes.len();
         let rotation = (0..self.nodes.len()).map(|o| (home + o) % self.nodes.len());
         let mut fresh = Vec::new();
@@ -292,6 +546,14 @@ impl KvClient {
             let node = &self.nodes[i];
             let mut attempts = 0;
             loop {
+                // Checked before *every* attempt, busy retries included: a
+                // Busy storm (e.g. barrier pollers hammering a splitting
+                // register) must not delay an issue past the guard — the
+                // guarded write's contract is that its effect lands within
+                // one clean attempt of a passing check.
+                if abort.is_some_and(|guard| guard()) {
+                    return Ok(None);
+                }
                 match op(node) {
                     Err(ClientError::Busy) if attempts < self.busy_retries => {
                         attempts += 1;
@@ -325,7 +587,7 @@ impl KvClient {
                     }
                     Ok(v) => {
                         self.health.clear(i);
-                        return Ok(v);
+                        return Ok(Some(v));
                     }
                 }
             }
@@ -336,15 +598,59 @@ impl KvClient {
         })
     }
 
-    /// One failover-protected register **write** of an already-encoded
-    /// payload (single entry or bundle). The building block of the
-    /// batching layer (`rmem-batch`); `label` names the operation in
-    /// errors (a key, or a `"batch:<shard>"` tag).
+    /// Records a store-operation invocation (one per `put`/`get`, however
+    /// many register rounds serve it).
+    fn rec_invoke(&self, op: Op) -> Option<rmem_types::OpId> {
+        self.recorder.as_ref().map(|(r, pid)| r.invoke(*pid, op))
+    }
+
+    /// Records an outcome against the pending invocation `inv`: replies
+    /// for definite outcomes, the crash/recovery idiom for ambiguous
+    /// ones.
+    fn rec_outcome(&self, inv: Option<rmem_types::OpId>, outcome: Result<OpResult, &KvError>) {
+        let Some((recorder, pid)) = &self.recorder else {
+            return;
+        };
+        let Some(inv) = inv else {
+            return;
+        };
+        match outcome {
+            Ok(result) => recorder.reply(inv, result),
+            // Refused before/without taking effect: the checkers ignore
+            // rejected invocations.
+            Err(KvError::TooLarge { .. })
+            | Err(KvError::Register {
+                source: ClientError::Busy,
+                ..
+            }) => recorder.reply(inv, OpResult::Rejected(rmem_types::RejectReason::Busy)),
+            // Ambiguous (may or may not have applied): leave the op
+            // pending and record the model's crash/recovery idiom.
+            Err(_) => recorder.abandon(*pid),
+        }
+    }
+
+    /// One failover-protected register read. **Unrecorded** — recording
+    /// happens at the store-operation level (see [`rec_invoke`]), so
+    /// infrastructure reads (barrier polls, map refreshes) and the
+    /// several rounds of one logical `get` never masquerade as distinct
+    /// store operations.
     ///
-    /// # Errors
-    ///
-    /// As for [`put`](Self::put).
-    pub fn raw_write(&self, reg: RegisterId, payload: Value, label: &str) -> Result<(), KvError> {
+    /// [`rec_invoke`]: KvClient::rec_invoke
+    fn reg_read(&self, reg: RegisterId, label: &str) -> Result<Value, KvError> {
+        let (payload, rounds) = self.with_failover(label, reg, |node| node.read_at_counted(reg))?;
+        self.record_read(rounds);
+        Ok(payload)
+    }
+
+    /// One failover-protected register write. **Unrecorded** (see
+    /// [`reg_read`](KvClient::reg_read)); notably the migration *data*
+    /// writes — the copy to the new home and the seal of the old one —
+    /// must never be recorded: at the store level they relocate a value
+    /// rather than write one, and recording them would let a buggy
+    /// (non-tag-monotonic) copy read as a legitimate write, hiding
+    /// exactly the lost updates the cross-epoch certifier exists to
+    /// catch.
+    fn reg_write(&self, reg: RegisterId, payload: Value, label: &str) -> Result<(), KvError> {
         let rounds = self.with_failover(label, reg, |node| {
             node.write_at_counted(reg, payload.clone())
         })?;
@@ -352,59 +658,508 @@ impl KvClient {
         Ok(())
     }
 
+    /// One register write that aborts — returns `Ok(false)`, nothing
+    /// issued to any further node — as soon as the shard map's epoch
+    /// moves past `epoch`. The epoch-aware `put` uses this so a write
+    /// stalled in failover cannot land on a source register long after
+    /// the shard was sealed.
+    fn reg_write_guarded(
+        &self,
+        reg: RegisterId,
+        payload: Value,
+        label: &str,
+        epoch: u64,
+    ) -> Result<bool, KvError> {
+        let guard = || self.shard_map().epoch != epoch;
+        match self.with_failover_abortable(
+            label,
+            reg,
+            |node| node.write_at_counted(reg, payload.clone()),
+            Some(&guard),
+        )? {
+            Some(rounds) => {
+                self.record_write(rounds);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// One failover-protected register **write** of an already-encoded
+    /// payload (single entry or bundle), recorded as one operation. The
+    /// building block of the batching layer (`rmem-batch`); `label` names
+    /// the operation in errors (a key, or a `"batch:<shard>"` tag). The
+    /// payload's epoch stamp is the caller's responsibility
+    /// ([`ShardMap::stamp`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`put`](Self::put).
+    pub fn raw_write(&self, reg: RegisterId, payload: Value, label: &str) -> Result<(), KvError> {
+        self.sync_map()?;
+        let inv = self.rec_invoke(Op::WriteAt(reg, payload.clone()));
+        match self.reg_write(reg, payload, label) {
+            Ok(()) => {
+                self.rec_outcome(inv, Ok(OpResult::Written));
+                Ok(())
+            }
+            Err(e) => {
+                self.rec_outcome(inv, Err(&e));
+                Err(e)
+            }
+        }
+    }
+
+    /// As [`raw_write`](Self::raw_write), but epoch-guarded: the write
+    /// aborts — `Ok(false)`, nothing issued, nothing landed — as soon as
+    /// the shard map's epoch moves past `epoch`, so a bundle formed under
+    /// one epoch can never surface behind another epoch's migration seal.
+    /// The batching layer re-routes an aborted bundle's entries through
+    /// the per-key path.
+    ///
+    /// # Errors
+    ///
+    /// As for [`put`](Self::put).
+    pub fn raw_write_guarded(
+        &self,
+        reg: RegisterId,
+        payload: Value,
+        label: &str,
+        epoch: u64,
+    ) -> Result<bool, KvError> {
+        self.sync_map()?;
+        let inv = self.rec_invoke(Op::WriteAt(reg, payload.clone()));
+        match self.reg_write_guarded(reg, payload, label, epoch) {
+            Ok(true) => {
+                self.rec_outcome(inv, Ok(OpResult::Written));
+                Ok(true)
+            }
+            Ok(false) => {
+                // Never issued: a rejected invocation for the recorder.
+                self.rec_outcome(inv, Ok(OpResult::Rejected(rmem_types::RejectReason::Busy)));
+                Ok(false)
+            }
+            Err(e) => {
+                self.rec_outcome(inv, Err(&e));
+                Err(e)
+            }
+        }
+    }
+
     /// One failover-protected register **read** returning the raw payload
-    /// (⊥, a single entry, or a bundle). The building block of the
-    /// batching layer; see [`raw_write`](Self::raw_write).
+    /// (⊥, a single entry, a bundle, or a migration seal), recorded as
+    /// one operation. The building block of the batching layer; see
+    /// [`raw_write`](Self::raw_write).
     ///
     /// # Errors
     ///
     /// As for [`get`](Self::get).
     pub fn raw_read(&self, reg: RegisterId, label: &str) -> Result<Value, KvError> {
-        let (payload, rounds) = self.with_failover(label, reg, |node| node.read_at_counted(reg))?;
-        self.record_read(rounds);
-        Ok(payload)
+        self.sync_map()?;
+        let inv = self.rec_invoke(Op::ReadAt(reg));
+        match self.reg_read(reg, label) {
+            Ok(payload) => {
+                self.rec_outcome(inv, Ok(OpResult::ReadValue(payload.clone())));
+                Ok(payload)
+            }
+            Err(e) => {
+                self.rec_outcome(inv, Err(&e));
+                Err(e)
+            }
+        }
+    }
+
+    /// Waits for `old_shard`'s migration seal (bounded): the write
+    /// barrier of a key owned by a splitting shard. Returns `Ok(true)`
+    /// when the seal was observed under `map`'s epoch, `Ok(false)` when
+    /// the shard map advanced past `map` mid-wait (the caller should
+    /// re-route).
+    fn barrier_wait(&self, key: &str, old_shard: u16, map: &ShardMap) -> Result<bool, KvError> {
+        let reg = data_register(old_shard);
+        let mut waited = false;
+        for poll in 0..self.barrier_polls {
+            // The shared cache moves the moment any clone observes a
+            // newer map (e.g. the migration driver committing): always
+            // re-route rather than poll for a seal that may already be
+            // superseded.
+            if self.shard_map() != *map {
+                return Ok(false);
+            }
+            self.stats.barrier_polls.fetch_add(1, Ordering::Relaxed);
+            let payload = self.reg_read(reg, key)?;
+            if map.seals_source(&payload, old_shard) {
+                return Ok(true);
+            }
+            if !waited {
+                waited = true;
+                self.stats.barrier_waits.fetch_add(1, Ordering::Relaxed);
+            }
+            // Escalating backoff, capped: the migrator seals a shard in a
+            // handful of register rounds, so the common case is one short
+            // sleep. Every eighth poll re-reads the authoritative map in
+            // case this client is the only one still watching.
+            if poll % 8 == 7 {
+                let _ = self.refresh_map()?;
+            }
+            let backoff = (100u64 << poll.min(5)).min(2_000);
+            std::thread::sleep(Duration::from_micros(backoff));
+        }
+        Err(KvError::Barrier {
+            key: key.to_string(),
+            shard: old_shard,
+        })
     }
 
     /// Stores `value` under `key`, blocking until the write is durable at
-    /// a majority.
+    /// a majority. During a live split of the key's source shard, the
+    /// write first waits on the migration **write barrier** (see the
+    /// module docs; bounded by [`with_barrier_polls`]).
     ///
-    /// The encoded entry (`2 + key + value` bytes plus protocol framing)
+    /// The encoded entry (`3 + key + value` bytes plus protocol framing)
     /// must fit the cluster's transport frame: UDP transports cap
     /// datagrams at 64 KB, and an oversized entry fails fast with
     /// [`KvError::TooLarge`] before anything is sent — use a TCP-backed
     /// cluster for larger values.
     ///
+    /// [`with_barrier_polls`]: KvClient::with_barrier_polls
+    ///
     /// # Errors
     ///
     /// Returns [`KvError::TooLarge`] for an entry over the transport
-    /// frame, [`KvError::Register`] if the register operation fails.
+    /// frame, [`KvError::Barrier`] if a migration barrier never cleared,
+    /// [`KvError::Register`] if the register operation fails.
     pub fn put(&self, key: &str, value: impl Into<Bytes>) -> Result<(), KvError> {
-        let reg = self.router.register_for(key);
-        let payload = codec::encode_entry(key, &value.into());
-        let rounds =
-            self.with_failover(key, reg, |node| node.write_at_counted(reg, payload.clone()))?;
-        self.record_write(rounds);
-        Ok(())
+        self.sync_map()?;
+        let value = value.into();
+        // Recorded as ONE store operation however many rounds serve it:
+        // the invocation opens just before the first write attempt, the
+        // reply lands after the last — so an epoch-repair re-write (below)
+        // stays inside the operation's interval.
+        let mut inv = None;
+        for _ in 0..MAP_RETRIES {
+            let map = self.shard_map();
+            if map.is_migrating() {
+                let old_shard = map.old_shard_of(key);
+                if map.is_split_source(old_shard) && !self.barrier_wait(key, old_shard, &map)? {
+                    continue; // the map advanced mid-wait; re-route
+                }
+            }
+            let reg = map.register_for(key);
+            let payload = codec::encode_entry(key, &value, map.stamp());
+            if inv.is_none() {
+                inv = self.rec_invoke(Op::WriteAt(reg, payload.clone()));
+            }
+            // The guard makes this all-or-nothing: either the write
+            // landed under `map`'s epoch (within one clean attempt of a
+            // passing epoch check — it cannot surface late behind a
+            // seal), or nothing was issued and we re-route under the
+            // fresh map. Exactly one landing either way: a re-write
+            // after a successful landing would let pre-seal observers
+            // and post-seal observers bracket another client's write,
+            // which no single store operation can explain.
+            match self.reg_write_guarded(reg, payload, key, map.epoch) {
+                Ok(true) => {
+                    self.rec_outcome(inv, Ok(OpResult::Written));
+                    return Ok(());
+                }
+                Ok(false) => continue, // epoch moved before landing; re-route
+                Err(e) => {
+                    self.rec_outcome(inv, Err(&e));
+                    return Err(e);
+                }
+            }
+        }
+        // Epochs kept moving for every retry (pathological churn): stop
+        // chasing and write unguarded under the freshest map we have.
+        let map = self.shard_map();
+        let payload = codec::encode_entry(key, &value, map.stamp());
+        let reg = map.register_for(key);
+        if inv.is_none() {
+            inv = self.rec_invoke(Op::WriteAt(reg, payload.clone()));
+        }
+        match self.reg_write(reg, payload, key) {
+            Ok(()) => {
+                self.rec_outcome(inv, Ok(OpResult::Written));
+                Ok(())
+            }
+            Err(e) => {
+                self.rec_outcome(inv, Err(&e));
+                Err(e)
+            }
+        }
     }
 
     /// Reads the value stored under `key` (`None` if absent — never
-    /// written, or displaced by a shard-colliding key).
+    /// written, or displaced by a shard-colliding key). During a live
+    /// split of the key's source shard the read falls back
+    /// **old-home-then-new-home**; a payload whose epoch stamp does not
+    /// match the cached map triggers a map refresh and a re-routed retry.
     ///
     /// # Errors
     ///
-    /// Returns [`KvError::Register`] if the register operation fails.
+    /// Returns [`KvError::Register`] if a register operation fails.
     pub fn get(&self, key: &str) -> Result<Option<Bytes>, KvError> {
-        let reg = self.router.register_for(key);
-        let (payload, rounds) = self.with_failover(key, reg, |node| node.read_at_counted(reg))?;
-        self.record_read(rounds);
-        Ok(codec::value_for_key(&payload, key))
+        self.sync_map()?;
+        // Recorded as ONE store operation: the invocation opens before
+        // the first data read, the reply carries the payload that
+        // actually answered (fallback hops and refresh-retries included).
+        let mut inv = None;
+        let outcome = self.get_inner(key, &mut inv);
+        match &outcome {
+            Ok((payload, _)) => {
+                self.rec_outcome(inv, Ok(OpResult::ReadValue(payload.clone())));
+            }
+            Err(e) => self.rec_outcome(inv, Err(e)),
+        }
+        outcome.map(|(_, value)| value)
     }
+
+    /// [`get`](Self::get)'s engine: returns the answering payload (for
+    /// the recorder) alongside the extracted value.
+    fn get_inner(
+        &self,
+        key: &str,
+        inv: &mut Option<rmem_types::OpId>,
+    ) -> Result<(Value, Option<Bytes>), KvError> {
+        let mut last = Value::bottom();
+        for _ in 0..MAP_RETRIES {
+            let map = self.shard_map();
+            if map.is_migrating() {
+                let old_shard = map.old_shard_of(key);
+                if map.is_split_source(old_shard) {
+                    return self.get_during_split(key, &map, old_shard, inv);
+                }
+            }
+            let reg = map.register_for(key);
+            if inv.is_none() {
+                *inv = self.rec_invoke(Op::ReadAt(reg));
+            }
+            let payload = self.reg_read(reg, key)?;
+            if payload.is_bottom() {
+                return Ok((payload, None));
+            }
+            if let Some(value) = codec::value_for_key(&payload, key) {
+                return Ok((payload, Some(value)));
+            }
+            // Key absent: under the expected stamp that is a plain miss
+            // (collision displacement); under a foreign stamp our map may
+            // be stale — refresh and re-route.
+            if codec::payload_epoch(&payload) == Some(map.stamp()) || !self.refresh_map()? {
+                return Ok((payload, None));
+            }
+            last = payload;
+        }
+        Ok((last, None))
+    }
+
+    /// The migration read path for a key whose source shard is splitting:
+    /// the unsealed old home is authoritative (writers are barriered);
+    /// a sealed old home forwards to the new routing.
+    fn get_during_split(
+        &self,
+        key: &str,
+        map: &ShardMap,
+        old_shard: u16,
+        inv: &mut Option<rmem_types::OpId>,
+    ) -> Result<(Value, Option<Bytes>), KvError> {
+        let old_reg = data_register(old_shard);
+        if inv.is_none() {
+            *inv = self.rec_invoke(Op::ReadAt(old_reg));
+        }
+        let payload = self.reg_read(old_reg, key)?;
+        if map.seals_source(&payload, old_shard) {
+            // Sealed (or already rewritten post-seal): the new routing is
+            // live for this shard.
+            if let Some(value) = codec::value_for_key(&payload, key) {
+                return Ok((payload, Some(value)));
+            }
+            let new_reg = map.register_for(key);
+            if new_reg == old_reg {
+                return Ok((payload, None));
+            }
+            let forwarded = self.reg_read(new_reg, key)?;
+            let value = codec::value_for_key(&forwarded, key);
+            return Ok((forwarded, value));
+        }
+        let value = codec::value_for_key(&payload, key);
+        Ok((payload, value))
+    }
+
+    // -- Live shard splits -----------------------------------------------
+
+    /// Publishes `map` to the config register and adopts it locally.
+    fn publish_map(&self, map: &ShardMap) -> Result<(), KvError> {
+        self.reg_write(CONFIG_REGISTER, map.encode(), "shard-map")?;
+        self.adopt(map);
+        Ok(())
+    }
+
+    /// Migrates one split-source shard: reads the old home, copies every
+    /// moved entry to its new home (tag-monotonically — the barrier keeps
+    /// the old home frozen under us), then seals the old home under the
+    /// new epoch. Idempotent: an already-sealed source is skipped, and
+    /// re-running the copy rewrites the same values.
+    fn migrate_source(&self, source: u16, map: &ShardMap) -> Result<(usize, bool), KvError> {
+        let old_reg = data_register(source);
+        // The handoff's recorded evidence: whatever the final verify read
+        // returns is what the (unrecorded) copy relocates — a
+        // non-tag-monotonic copy shows up against this read in the
+        // stitched history.
+        let mut payload = self.raw_read(old_reg, "migrate")?;
+        // Copy-verify loop: a straggler write issued under the old epoch
+        // (before the split was published) may still land on the source
+        // register while we are copying. Pre-seal readers can observe it,
+        // so the copy must carry it: after writing the movers, re-read
+        // the source and redo the copy if anything changed. The epoch
+        // guard on the write path keeps new stragglers from forming, so
+        // the loop settles; the cap is a backstop against pathological
+        // churn.
+        let mut moved;
+        let mut stayers;
+        for _ in 0..16 {
+            if map.seals_source(&payload, source) {
+                return Ok((0, false)); // a previous driver already sealed it
+            }
+            let entries = codec::decode_entries(&payload).unwrap_or_default();
+            stayers = Vec::<(String, Bytes)>::new();
+            let mut movers: BTreeMap<u16, Vec<(String, Bytes)>> = BTreeMap::new();
+            for (key, value) in entries {
+                let dest = map.shard_of(&key);
+                if dest == source {
+                    stayers.push((key, value));
+                } else {
+                    movers.entry(dest).or_default().push((key, value));
+                }
+            }
+            moved = 0;
+            for (dest, items) in &movers {
+                let refs: Vec<(&str, Bytes)> =
+                    items.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+                self.reg_write(
+                    data_register(*dest),
+                    codec::encode_entries(&refs, map.stamp()),
+                    "migrate",
+                )?;
+                moved += items.len();
+            }
+            // Verify: did a straggler land since we read the source?
+            let verify = self.raw_read(old_reg, "migrate")?;
+            if verify != payload {
+                payload = verify;
+                continue;
+            }
+            // The seal: after this write the new routing is live for the
+            // shard — barriered writers proceed, readers forward.
+            let seal = if stayers.is_empty() {
+                codec::encode_seal(map.epoch)
+            } else {
+                let refs: Vec<(&str, Bytes)> = stayers
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.clone()))
+                    .collect();
+                codec::encode_entries(&refs, map.stamp())
+            };
+            self.reg_write(old_reg, seal, "seal")?;
+            return Ok((moved, true));
+        }
+        Err(KvError::Reshard {
+            message: format!("source shard {source} would not quiesce for its seal"),
+        })
+    }
+
+    /// Runs the copy/seal phase of a published split.
+    fn run_migration(&self, map: &ShardMap) -> Result<(usize, usize), KvError> {
+        let mut moved = 0;
+        let mut sealed = 0;
+        for source in map.split_sources() {
+            let (m, s) = self.migrate_source(source, map)?;
+            moved += m;
+            sealed += usize::from(s);
+        }
+        Ok((moved, sealed))
+    }
+
+    /// Grows the store to `new_shards` shards with a **live split**:
+    ///
+    /// 1. publish the *migrating* map for epoch `e+1` to the config
+    ///    register (every client that refreshes now routes through the
+    ///    split protocol);
+    /// 2. for each split-source shard, copy its moved entries to their
+    ///    new home registers and seal the old home (writers to those
+    ///    shards wait on the write barrier exactly until their shard's
+    ///    seal; readers fall back old-home-then-new-home);
+    /// 3. publish the *committed* map once every source is sealed.
+    ///
+    /// Runs synchronously on the calling thread; concurrent `get`/`put`
+    /// traffic through this client, its clones, and any client that
+    /// refreshes its map keeps flowing throughout. At most one grow may
+    /// drive the store at a time (operator action); a driver that died
+    /// mid-split is recovered by [`finish_split`](KvClient::finish_split)
+    /// — or by the next `grow`, which finishes the abandoned split before
+    /// starting its own.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::Reshard`] if `new_shards` does not grow the table;
+    /// [`KvError::Register`] if a migration register operation fails
+    /// (the split stays published; re-drive with `finish_split`).
+    pub fn grow(&self, new_shards: u16) -> Result<GrowReport, KvError> {
+        let _ = self.refresh_map()?;
+        let mut current = self.shard_map();
+        if current.is_migrating() {
+            // Finish the abandoned split first (idempotent).
+            let _ = self.run_migration(&current)?;
+            let committed = current.committed();
+            self.publish_map(&committed)?;
+            current = committed;
+        }
+        if new_shards <= current.shards {
+            return Err(KvError::Reshard {
+                message: format!(
+                    "cannot grow from {} to {new_shards} shards (tables only grow)",
+                    current.shards
+                ),
+            });
+        }
+        let migrating = current.split_to(new_shards);
+        self.publish_map(&migrating)?;
+        let (moved, sealed) = self.run_migration(&migrating)?;
+        self.publish_map(&migrating.committed())?;
+        Ok(GrowReport {
+            epoch: migrating.epoch,
+            from_shards: current.shards,
+            to_shards: new_shards,
+            sources_sealed: sealed,
+            entries_moved: moved,
+        })
+    }
+
+    /// Drives a published-but-uncommitted split (whose driver died) to
+    /// completion: re-runs the idempotent copy/seal phase for every
+    /// unsealed source and publishes the committed map. Returns `true` if
+    /// there was a split to finish.
+    ///
+    /// # Errors
+    ///
+    /// As the migration phase of [`grow`](KvClient::grow).
+    pub fn finish_split(&self) -> Result<bool, KvError> {
+        let _ = self.refresh_map()?;
+        let map = self.shard_map();
+        if !map.is_migrating() {
+            return Ok(false);
+        }
+        let _ = self.run_migration(&map)?;
+        self.publish_map(&map.committed())?;
+        Ok(true)
+    }
+
+    // -- Multi-key operations ----------------------------------------------
 
     /// Groups the operation indices by serving node, preserving input
     /// order within each group.
-    fn group_by_node(&self, keys: impl Iterator<Item = RegisterId>) -> BTreeMap<usize, Vec<usize>> {
+    fn group_by_node(&self, regs: impl Iterator<Item = RegisterId>) -> BTreeMap<usize, Vec<usize>> {
         let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-        for (i, reg) in keys.enumerate() {
+        for (i, reg) in regs.enumerate() {
             groups
                 .entry(reg.0 as usize % self.nodes.len())
                 .or_default()
@@ -431,7 +1186,9 @@ impl KvClient {
         keys: &[K],
     ) -> Result<Vec<Option<Bytes>>, KvError> {
         type BatchResult = Result<Vec<(usize, Option<Bytes>)>, KvError>;
-        let groups = self.group_by_node(keys.iter().map(|k| self.router.register_for(k.as_ref())));
+        self.sync_map()?;
+        let map = self.shard_map();
+        let groups = self.group_by_node(keys.iter().map(|k| map.register_for(k.as_ref())));
         let mut results: Vec<Option<Option<Bytes>>> = vec![None; keys.len()];
         let outcomes: Vec<BatchResult> = std::thread::scope(|scope| {
             let handles: Vec<_> = groups
@@ -469,11 +1226,9 @@ impl KvClient {
     /// Returns the first failing key's [`KvError`]; other batches still
     /// ran to completion.
     pub fn multi_put<K: AsRef<str> + Sync>(&self, entries: &[(K, Bytes)]) -> Result<(), KvError> {
-        let groups = self.group_by_node(
-            entries
-                .iter()
-                .map(|(k, _)| self.router.register_for(k.as_ref())),
-        );
+        self.sync_map()?;
+        let map = self.shard_map();
+        let groups = self.group_by_node(entries.iter().map(|(k, _)| map.register_for(k.as_ref())));
         let outcomes: Vec<Result<(), KvError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = groups
                 .values()
@@ -665,6 +1420,7 @@ mod tests {
         assert_eq!(stats.fast_reads, 1);
         assert!(stats.mean_read_rounds() < 2.0);
         assert_eq!(stats.fast_read_fraction(), 1.0);
+        assert_eq!(stats.barrier_waits, 0, "no split, no barrier");
         // Clones share the counters.
         kv.clone().get("s").unwrap();
         assert_eq!(kv.stats().reads, 2);
@@ -705,19 +1461,9 @@ mod tests {
         let (mut cluster, kv) = cluster_client(8);
         let kv = kv
             .with_health_cooldown(std::time::Duration::from_millis(40))
-            .with_busy_retries(0);
-        // Shrink patience so the dead node costs milliseconds, not 10s.
-        let kv = KvClient {
-            nodes: kv
-                .nodes
-                .iter()
-                .map(|n| {
-                    n.clone()
-                        .with_timeout(std::time::Duration::from_millis(300))
-                })
-                .collect(),
-            ..kv
-        };
+            .with_busy_retries(0)
+            // Shrink patience so the dead node costs milliseconds, not 10s.
+            .with_op_timeout(std::time::Duration::from_millis(300));
         let keys = kv.router().covering_keys("f-");
         for key in &keys {
             kv.put(key, b"v".to_vec()).unwrap();
@@ -756,5 +1502,190 @@ mod tests {
             KvClient::new(Vec::new(), ShardRouter::new(4)),
             Err(KvError::NoNodes)
         ));
+    }
+
+    // -- Epochs and live splits -------------------------------------------
+
+    #[test]
+    fn grow_moves_only_split_keys_and_serves_all() {
+        let (mut cluster, kv) = cluster_client(4);
+        let old_router = ShardRouter::new(4);
+        let keys = old_router.covering_keys("g-");
+        for (i, key) in keys.iter().enumerate() {
+            kv.put(key, vec![i as u8]).unwrap();
+        }
+        assert_eq!(kv.epoch(), 0);
+        let report = kv.grow(8).unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.from_shards, 4);
+        assert_eq!(report.to_shards, 8);
+        assert_eq!(report.sources_sealed, 4, "4 → 8 splits every old shard");
+        let map = kv.shard_map();
+        assert!(!map.is_migrating());
+        assert_eq!(map.shards, 8);
+        // Every key still serves its value, wherever it landed.
+        for (i, key) in keys.iter().enumerate() {
+            assert_eq!(
+                kv.get(key).unwrap().as_deref(),
+                Some([i as u8].as_ref()),
+                "key {key} must survive the split"
+            );
+        }
+        // Writes after the split land at the new homes and read back.
+        for (i, key) in keys.iter().enumerate() {
+            kv.put(key, vec![i as u8 + 50]).unwrap();
+            assert_eq!(
+                kv.get(key).unwrap().as_deref(),
+                Some([i as u8 + 50].as_ref())
+            );
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn fresh_client_syncs_on_first_op_and_refreshes_on_stamp_mismatch() {
+        let (mut cluster, kv) = cluster_client(4);
+        let keys = ShardRouter::new(4).covering_keys("d-");
+        for key in &keys {
+            kv.put(key, b"v0".to_vec()).unwrap();
+        }
+        kv.grow(8).unwrap();
+        // Write fresh epoch-1 values so moved keys live at new homes only.
+        for key in &keys {
+            kv.put(key, b"v1".to_vec()).unwrap();
+        }
+        // A brand-new client believes the genesis 4-shard map until its
+        // first operation, which syncs from the config register — so it
+        // can never *write* under its constructor's guess.
+        let late = KvClient::new(cluster.clients(), ShardRouter::new(4)).unwrap();
+        assert_eq!(late.epoch(), 0);
+        for key in &keys {
+            assert_eq!(
+                late.get(key).unwrap().as_deref(),
+                Some(b"v1".as_ref()),
+                "late client must discover the split for {key}"
+            );
+        }
+        assert_eq!(late.epoch(), 1, "the first-op sync must adopt the map");
+        // A *second* split by the original client: the late client's
+        // cache is now stale again (it already synced), and the sealed
+        // old homes' stamp mismatches trigger refresh-and-re-route.
+        kv.grow(16).unwrap();
+        for key in &keys {
+            kv.put(key, b"v2".to_vec()).unwrap();
+        }
+        for key in &keys {
+            assert_eq!(
+                late.get(key).unwrap().as_deref(),
+                Some(b"v2".as_ref()),
+                "stamp mismatch must re-route {key} after the second split"
+            );
+        }
+        assert_eq!(late.epoch(), 2, "the mismatch refresh must adopt epoch 2");
+        assert!(late.stats().map_refreshes >= 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn grow_rejects_non_growth() {
+        let (mut cluster, kv) = cluster_client(4);
+        assert!(matches!(kv.grow(4), Err(KvError::Reshard { .. })));
+        assert!(matches!(kv.grow(2), Err(KvError::Reshard { .. })));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn abandoned_split_is_finished_by_finish_split() {
+        let (mut cluster, kv) = cluster_client(4);
+        let keys = ShardRouter::new(4).covering_keys("a-");
+        for (i, key) in keys.iter().enumerate() {
+            kv.put(key, vec![i as u8]).unwrap();
+        }
+        // Simulate a driver that published the split and died before
+        // migrating anything.
+        let current = kv.shard_map();
+        let migrating = current.split_to(8);
+        kv.raw_write(CONFIG_REGISTER, migrating.encode(), "shard-map")
+            .unwrap();
+        // A second client discovers the stranded split and finishes it.
+        let rescuer = KvClient::new(cluster.clients(), ShardRouter::new(4)).unwrap();
+        assert!(rescuer.finish_split().unwrap());
+        assert!(!rescuer.shard_map().is_migrating());
+        assert_eq!(rescuer.shard_map().shards, 8);
+        for (i, key) in keys.iter().enumerate() {
+            assert_eq!(
+                rescuer.get(key).unwrap().as_deref(),
+                Some([i as u8].as_ref())
+            );
+        }
+        assert!(!rescuer.finish_split().unwrap(), "nothing left to finish");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn sequential_grows_stack_epochs() {
+        let (mut cluster, kv) = cluster_client(2);
+        let keys = ShardRouter::new(2).covering_keys("s-");
+        for key in &keys {
+            kv.put(key, b"x".to_vec()).unwrap();
+        }
+        kv.grow(4).unwrap();
+        kv.grow(9).unwrap();
+        assert_eq!(kv.epoch(), 2);
+        assert_eq!(kv.shard_map().shards, 9);
+        for key in &keys {
+            assert_eq!(kv.get(key).unwrap().as_deref(), Some(b"x".as_ref()));
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn fresh_client_first_write_cannot_land_behind_a_foreign_split() {
+        // Client B grows the store; a brand-new client A (separate
+        // KvClient, never synced) writes a moved key. Without the
+        // first-op sync the write would land on the sealed old home and
+        // be lost to every up-to-date reader.
+        let (mut cluster, kv) = cluster_client(4);
+        let keys = ShardRouter::new(4).covering_keys("x-");
+        for key in &keys {
+            kv.put(key, b"old".to_vec()).unwrap();
+        }
+        kv.grow(8).unwrap();
+        let fresh = KvClient::new(cluster.clients(), ShardRouter::new(4)).unwrap();
+        assert_eq!(fresh.epoch(), 0, "constructor does not contact the cluster");
+        for key in &keys {
+            fresh.put(key, b"new".to_vec()).unwrap();
+        }
+        assert_eq!(fresh.epoch(), 1, "the first put must sync the map");
+        // The up-to-date client observes every write.
+        for key in &keys {
+            assert_eq!(
+                kv.get(key).unwrap().as_deref(),
+                Some(b"new".as_ref()),
+                "{key}: a fresh client's write must be visible at the new routing"
+            );
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn recorded_clone_assigns_distinct_pids() {
+        let (mut cluster, kv) = cluster_client(4);
+        let recorder = OpRecorder::new();
+        let kv = kv.with_recorder(recorder.clone());
+        let other = kv.recorded_clone();
+        kv.put("r", b"1".to_vec()).unwrap();
+        other.get("r").unwrap();
+        let history = recorder.history();
+        let pids: std::collections::BTreeSet<_> = history
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                rmem_consistency::Event::Invoke { op, .. } => Some(op.pid),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(pids.len(), 2, "two recording clients, two processes");
+        cluster.shutdown();
     }
 }

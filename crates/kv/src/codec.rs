@@ -2,10 +2,21 @@
 //!
 //! A shard register holds the latest entry written to it. The payload
 //! embeds the *key* next to the value —
-//! `[key length: u16 BE][key bytes][value bytes]` — because hashing is
-//! lossy: when two keys collide onto one shard, the tag is what lets a
-//! `get` distinguish "my value" from "someone else's value parked in my
-//! cell" and report the latter as absent instead of serving foreign bytes.
+//! `[key length: u16 BE][key bytes][epoch: u8][value bytes]` — because
+//! hashing is lossy: when two keys collide onto one shard, the tag is what
+//! lets a `get` distinguish "my value" from "someone else's value parked in
+//! my cell" and report the latter as absent instead of serving foreign
+//! bytes.
+//!
+//! # Epoch stamps
+//!
+//! Every payload carries a one-byte **epoch stamp** (the low byte of the
+//! shard-map epoch it was written under, see [`crate::epoch`]). Stamps are
+//! *signals*, not authority: a reader that finds its key missing under an
+//! unexpected stamp refreshes its shard map from the config register and
+//! re-routes, instead of wrongly reporting absence after a live shard
+//! split moved the key. The authoritative epoch always lives in the map
+//! register; the stamp only tells a stale client *that* it should go look.
 //!
 //! # Bundles
 //!
@@ -14,49 +25,77 @@
 //! those puts carry more than one distinct key, the payload is a *bundle*:
 //!
 //! ```text
-//! [0xFFFF][count: u16][ (key length: u16, key, value length: u32, value) × count ]
+//! [0xFFFF][epoch: u8][count: u16][ (key length: u16, key, value length: u32, value) × count ]
 //! ```
 //!
-//! The `0xFFFF` marker cannot open a single entry (keys are capped at
-//! [`MAX_KEY_LEN`] = 65 534 bytes), so the two forms are self-describing.
-//! A bundle is still *one* register value — it replaces the cell's whole
-//! content, exactly as a single entry displaces a colliding tenant — and
-//! [`value_for_key`] serves `get`s from either form transparently.
+//! A bundle never straddles epochs — it has exactly one stamp, and the
+//! batching engine flushes its queues whenever the epoch moves.
+//!
+//! # Seals
+//!
+//! A live shard split ends each source register's old life with a **seal**:
+//! either a bundle of the entries that *stay* (re-stamped with the new
+//! epoch), or — when nothing stays — the two-byte seal marker
+//!
+//! ```text
+//! [0xFFFE][epoch: u8]
+//! ```
+//!
+//! which says "this register was migrated into `epoch`; whatever you were
+//! looking for lives at the new epoch's routing". Writers barriered on a
+//! splitting shard wait for the seal; readers treat it as "key absent here,
+//! re-route".
+//!
+//! The markers `0xFFFF` (bundle), `0xFFFE` (seal) and `0xFFFD` (shard map,
+//! see [`crate::epoch`]) cannot open a single entry — keys are capped at
+//! [`MAX_KEY_LEN`] = 65 532 bytes — so all payload forms are
+//! self-describing.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rmem_types::Value;
 
-/// Longest accepted key, in bytes: one less than the `u16` range so the
-/// all-ones length prefix can mark a [bundle](self#bundles).
-pub const MAX_KEY_LEN: usize = u16::MAX as usize - 1;
+/// Longest accepted key, in bytes: below every reserved length-prefix
+/// marker (bundle, seal, shard map).
+pub const MAX_KEY_LEN: usize = u16::MAX as usize - 3;
 
 /// Length-prefix marker opening a bundle payload.
 const BUNDLE_MARKER: u16 = u16::MAX;
+
+/// Length-prefix marker opening a migration seal.
+const SEAL_MARKER: u16 = u16::MAX - 1;
+
+/// Length-prefix marker opening a shard-map record (encoded by
+/// [`crate::epoch::ShardMap`]; named here so the payload forms stay
+/// disjoint by construction).
+pub(crate) const MAP_MARKER: u16 = u16::MAX - 2;
 
 /// Most entries one bundle can carry (the `u16` count field).
 pub const MAX_BUNDLE_ENTRIES: usize = u16::MAX as usize;
 
 /// Encoded bytes a single entry costs beyond its key and value bytes
-/// (the key length prefix). Pinned by a test against [`encode_entry`].
-pub const ENTRY_OVERHEAD: usize = 2;
+/// (the key length prefix + the epoch stamp). Pinned by a test against
+/// [`encode_entry`].
+pub const ENTRY_OVERHEAD: usize = 3;
 
-/// Encoded bytes a bundle costs beyond its entries (marker + count).
+/// Encoded bytes a bundle costs beyond its entries (marker + epoch stamp
+/// + count).
 ///
 /// Exposed with [`BUNDLE_ENTRY_OVERHEAD`] so batching layers can size
 /// payloads against a transport frame budget without re-deriving the
 /// wire format; pinned by a test against [`encode_entries`].
-pub const BUNDLE_OVERHEAD: usize = 4;
+pub const BUNDLE_OVERHEAD: usize = 5;
 
 /// Encoded bytes each bundle entry costs beyond its key and value bytes
 /// (key length prefix + value length prefix).
 pub const BUNDLE_ENTRY_OVERHEAD: usize = 6;
 
-/// Encodes a store entry into a register payload.
+/// Encodes a store entry into a register payload, stamped with the
+/// writing epoch's low byte.
 ///
 /// # Panics
 ///
 /// Panics if `key` exceeds [`MAX_KEY_LEN`].
-pub fn encode_entry(key: &str, value: &Bytes) -> Value {
+pub fn encode_entry(key: &str, value: &Bytes, epoch: u8) -> Value {
     assert!(
         key.len() <= MAX_KEY_LEN,
         "key longer than {MAX_KEY_LEN} bytes"
@@ -64,6 +103,7 @@ pub fn encode_entry(key: &str, value: &Bytes) -> Value {
     let mut buf = BytesMut::with_capacity(ENTRY_OVERHEAD + key.len() + value.len());
     buf.put_u16(key.len() as u16);
     buf.put_slice(key.as_bytes());
+    buf.put_u8(epoch);
     buf.put_slice(value);
     Value::new(buf.freeze().to_vec())
 }
@@ -71,8 +111,9 @@ pub fn encode_entry(key: &str, value: &Bytes) -> Value {
 /// Decodes a register payload into `(key, value)`.
 ///
 /// Returns `None` for ⊥ (the register was never written), for
-/// malformed payloads (a register written through a non-KV client), and
-/// for [bundles](self#bundles) (use [`decode_entries`]).
+/// malformed payloads (a register written through a non-KV client), for
+/// [seals](self#seals) and for [bundles](self#bundles) (use
+/// [`decode_entries`]).
 pub fn decode_entry(payload: &Value) -> Option<(String, Bytes)> {
     if payload.is_bottom() {
         return None;
@@ -82,35 +123,89 @@ pub fn decode_entry(payload: &Value) -> Option<(String, Bytes)> {
         return None;
     }
     let key_len = buf.get_u16();
-    if key_len == BUNDLE_MARKER {
+    if key_len > MAX_KEY_LEN as u16 {
         return None;
     }
     let key_len = key_len as usize;
-    if buf.remaining() < key_len {
+    if buf.remaining() < key_len + 1 {
         return None;
     }
     let key_bytes = buf.copy_to_bytes(key_len);
     let key = String::from_utf8(key_bytes.to_vec()).ok()?;
+    let _epoch = buf.get_u8();
     Some((key, Bytes::copy_from_slice(buf.chunk())))
 }
 
+/// The epoch stamp a payload carries: `Some` for entries, bundles and
+/// seals, `None` for ⊥, shard-map records and malformed payloads.
+pub fn payload_epoch(payload: &Value) -> Option<u8> {
+    if payload.is_bottom() {
+        return None;
+    }
+    let buf: &[u8] = payload.bytes().as_ref();
+    if buf.len() < 2 {
+        return None;
+    }
+    let marker = u16::from_be_bytes([buf[0], buf[1]]);
+    match marker {
+        BUNDLE_MARKER | SEAL_MARKER => buf.get(2).copied(),
+        MAP_MARKER => None,
+        key_len => {
+            let key_len = key_len as usize;
+            if key_len > MAX_KEY_LEN {
+                return None;
+            }
+            buf.get(2 + key_len).copied()
+        }
+    }
+}
+
+/// Encodes a migration seal: "this register's old-epoch content was
+/// migrated into `epoch`, and nothing stays here". The payload carries
+/// the one-byte stamp (uniform with entries and bundles) *and* the full
+/// `u64` epoch — the migration driver's resume check needs exactness
+/// that a wrapping byte cannot give (epochs 0 and 256 share a stamp).
+pub fn encode_seal(epoch: u64) -> Value {
+    let mut buf = BytesMut::with_capacity(11);
+    buf.put_u16(SEAL_MARKER);
+    buf.put_u8(epoch as u8);
+    buf.put_u64(epoch);
+    Value::new(buf.freeze().to_vec())
+}
+
+/// Whether a payload is a migration [seal](self#seals) marker.
+pub fn is_seal(payload: &Value) -> bool {
+    let buf: &[u8] = payload.bytes().as_ref();
+    !payload.is_bottom() && buf.len() == 11 && u16::from_be_bytes([buf[0], buf[1]]) == SEAL_MARKER
+}
+
+/// The full epoch a [seal](self#seals) marker names (`None` for
+/// anything that is not a seal).
+pub fn seal_epoch(payload: &Value) -> Option<u64> {
+    if !is_seal(payload) {
+        return None;
+    }
+    let bytes = payload.bytes();
+    Some(u64::from_be_bytes(bytes[3..11].try_into().ok()?))
+}
+
 /// Encodes a batch of entries into one register payload: a single entry
-/// for one key, a [bundle](self#bundles) for several. Keys must be
-/// distinct — the batching layer coalesces same-key puts (last wins)
-/// before encoding.
+/// for one key, a [bundle](self#bundles) for several, all under one epoch
+/// stamp. Keys must be distinct — the batching layer coalesces same-key
+/// puts (last wins) before encoding.
 ///
 /// # Panics
 ///
 /// Panics on an empty batch, a batch over [`MAX_BUNDLE_ENTRIES`], a
 /// duplicate key, or a key over [`MAX_KEY_LEN`].
-pub fn encode_entries(entries: &[(&str, Bytes)]) -> Value {
+pub fn encode_entries(entries: &[(&str, Bytes)], epoch: u8) -> Value {
     assert!(!entries.is_empty(), "a batch holds at least one entry");
     assert!(
         entries.len() <= MAX_BUNDLE_ENTRIES,
         "a bundle holds at most {MAX_BUNDLE_ENTRIES} entries"
     );
     if let [(key, value)] = entries {
-        return encode_entry(key, value);
+        return encode_entry(key, value, epoch);
     }
     let mut seen = std::collections::BTreeSet::new();
     let mut size = BUNDLE_OVERHEAD;
@@ -124,6 +219,7 @@ pub fn encode_entries(entries: &[(&str, Bytes)]) -> Value {
     }
     let mut buf = BytesMut::with_capacity(size);
     buf.put_u16(BUNDLE_MARKER);
+    buf.put_u8(epoch);
     buf.put_u16(entries.len() as u16);
     for (key, value) in entries {
         buf.put_u16(key.len() as u16);
@@ -135,8 +231,8 @@ pub fn encode_entries(entries: &[(&str, Bytes)]) -> Value {
 }
 
 /// Decodes a register payload into its entries — one for a single entry,
-/// several for a [bundle](self#bundles). `None` for ⊥ and malformed
-/// payloads.
+/// several for a [bundle](self#bundles). `None` for ⊥, seals, shard-map
+/// records and malformed payloads.
 pub fn decode_entries(payload: &Value) -> Option<Vec<(String, Bytes)>> {
     if payload.is_bottom() {
         return None;
@@ -146,13 +242,17 @@ pub fn decode_entries(payload: &Value) -> Option<Vec<(String, Bytes)>> {
         return None;
     }
     let marker = u16::from_be_bytes([buf[0], buf[1]]);
+    if marker == SEAL_MARKER || marker == MAP_MARKER {
+        return None;
+    }
     if marker != BUNDLE_MARKER {
         return decode_entry(payload).map(|e| vec![e]);
     }
     buf.advance(2);
-    if buf.remaining() < 2 {
+    if buf.remaining() < 3 {
         return None;
     }
+    let _epoch = buf.get_u8();
     let count = buf.get_u16() as usize;
     if count == 0 {
         return None;
@@ -183,7 +283,8 @@ pub fn decode_entries(payload: &Value) -> Option<Vec<(String, Bytes)>> {
 }
 
 /// Decodes a payload and keeps the value only if an entry belongs to
-/// `key` (collision-aware `get`; serves singles and bundles alike).
+/// `key` (collision-aware `get`; serves singles and bundles alike, and
+/// treats seals as absence).
 pub fn value_for_key(payload: &Value, key: &str) -> Option<Bytes> {
     decode_entries(payload)?
         .into_iter()
@@ -197,18 +298,20 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let v = encode_entry("user:7", &Bytes::from(b"payload".to_vec()));
+        let v = encode_entry("user:7", &Bytes::from(b"payload".to_vec()), 3);
         let (key, value) = decode_entry(&v).unwrap();
         assert_eq!(key, "user:7");
         assert_eq!(value.as_ref(), b"payload");
+        assert_eq!(payload_epoch(&v), Some(3));
     }
 
     #[test]
     fn empty_value_roundtrips() {
-        let v = encode_entry("k", &Bytes::new());
+        let v = encode_entry("k", &Bytes::new(), 0);
         let (key, value) = decode_entry(&v).unwrap();
         assert_eq!(key, "k");
         assert!(value.is_empty());
+        assert_eq!(payload_epoch(&v), Some(0));
     }
 
     #[test]
@@ -217,14 +320,37 @@ mod tests {
         assert_eq!(decode_entry(&Value::new(vec![0xff])), None);
         // Declared key length exceeds the payload.
         assert_eq!(decode_entry(&Value::new(vec![0x00, 0x09, b'a'])), None);
+        // Entry with the key but no epoch byte.
+        assert_eq!(decode_entry(&Value::new(vec![0x00, 0x01, b'a'])), None);
+        assert_eq!(payload_epoch(&Value::bottom()), None);
+        assert_eq!(payload_epoch(&Value::new(vec![0xff])), None);
     }
 
     #[test]
     fn value_for_key_filters_collisions() {
-        let payload = encode_entry("mine", &Bytes::from(b"1".to_vec()));
+        let payload = encode_entry("mine", &Bytes::from(b"1".to_vec()), 0);
         assert!(value_for_key(&payload, "mine").is_some());
         assert!(value_for_key(&payload, "theirs").is_none());
         assert!(value_for_key(&Value::bottom(), "mine").is_none());
+    }
+
+    #[test]
+    fn seal_is_recognized_and_serves_nothing() {
+        let seal = encode_seal(7);
+        assert!(is_seal(&seal));
+        assert_eq!(payload_epoch(&seal), Some(7));
+        assert_eq!(seal_epoch(&seal), Some(7));
+        assert_eq!(decode_entry(&seal), None);
+        assert_eq!(decode_entries(&seal), None);
+        assert_eq!(value_for_key(&seal, "any"), None);
+        // Entries and bundles are not seals.
+        assert!(!is_seal(&encode_entry("k", &Bytes::new(), 7)));
+        assert!(!is_seal(&Value::bottom()));
+        assert_eq!(seal_epoch(&encode_entry("k", &Bytes::new(), 7)), None);
+        // The stamp wraps; the full epoch does not.
+        let wrapped = encode_seal(256);
+        assert_eq!(payload_epoch(&wrapped), Some(0));
+        assert_eq!(seal_epoch(&wrapped), Some(256));
     }
 
     #[test]
@@ -234,7 +360,8 @@ mod tests {
             ("b", Bytes::from(b"22".to_vec())),
             ("c", Bytes::new()),
         ];
-        let payload = encode_entries(&entries);
+        let payload = encode_entries(&entries, 2);
+        assert_eq!(payload_epoch(&payload), Some(2));
         let decoded = decode_entries(&payload).unwrap();
         assert_eq!(decoded.len(), 3);
         for (key, value) in &entries {
@@ -247,7 +374,7 @@ mod tests {
 
     #[test]
     fn single_entry_batch_encodes_as_plain_entry() {
-        let payload = encode_entries(&[("solo", Bytes::from(b"v".to_vec()))]);
+        let payload = encode_entries(&[("solo", Bytes::from(b"v".to_vec()))], 1);
         assert_eq!(
             decode_entry(&payload).unwrap(),
             ("solo".to_string(), Bytes::from(b"v".to_vec()))
@@ -256,24 +383,29 @@ mod tests {
             decode_entries(&payload).unwrap(),
             vec![("solo".to_string(), Bytes::from(b"v".to_vec()))]
         );
+        assert_eq!(payload_epoch(&payload), Some(1));
     }
 
     #[test]
     fn malformed_bundles_decode_to_none() {
-        // Marker with no count.
+        // Marker with no epoch/count.
         assert_eq!(decode_entries(&Value::new(vec![0xff, 0xff])), None);
+        assert_eq!(decode_entries(&Value::new(vec![0xff, 0xff, 0])), None);
         // Count of zero.
-        assert_eq!(decode_entries(&Value::new(vec![0xff, 0xff, 0, 0])), None);
+        assert_eq!(decode_entries(&Value::new(vec![0xff, 0xff, 0, 0, 0])), None);
         // Truncated entry.
         assert_eq!(
-            decode_entries(&Value::new(vec![0xff, 0xff, 0, 1, 0, 5, b'a'])),
+            decode_entries(&Value::new(vec![0xff, 0xff, 0, 0, 1, 0, 5, b'a'])),
             None
         );
         // Trailing garbage after a valid bundle.
-        let mut bytes = encode_entries(&[
-            ("a", Bytes::from(b"1".to_vec())),
-            ("b", Bytes::from(b"2".to_vec())),
-        ])
+        let mut bytes = encode_entries(
+            &[
+                ("a", Bytes::from(b"1".to_vec())),
+                ("b", Bytes::from(b"2".to_vec())),
+            ],
+            0,
+        )
         .bytes()
         .to_vec();
         bytes.push(0);
@@ -293,24 +425,28 @@ mod tests {
                 .iter()
                 .map(|(k, v)| BUNDLE_ENTRY_OVERHEAD + k.len() + v.len())
                 .sum::<usize>();
-        assert_eq!(encode_entries(&entries).bytes().len(), expected);
-        let single = encode_entry("key", &Bytes::from(b"val".to_vec()));
+        assert_eq!(encode_entries(&entries, 0).bytes().len(), expected);
+        let single = encode_entry("key", &Bytes::from(b"val".to_vec()), 0);
         assert_eq!(single.bytes().len(), ENTRY_OVERHEAD + 3 + 3);
     }
 
     #[test]
     #[should_panic(expected = "duplicate key")]
     fn duplicate_bundle_keys_panic() {
-        let _ = encode_entries(&[
-            ("same", Bytes::from(b"1".to_vec())),
-            ("same", Bytes::from(b"2".to_vec())),
-        ]);
+        let _ = encode_entries(
+            &[
+                ("same", Bytes::from(b"1".to_vec())),
+                ("same", Bytes::from(b"2".to_vec())),
+            ],
+            0,
+        );
     }
 
     #[test]
     fn unicode_keys_roundtrip() {
-        let v = encode_entry("ключ-🔑", &Bytes::from(vec![1, 2]));
+        let v = encode_entry("ключ-🔑", &Bytes::from(vec![1, 2]), 255);
         let (key, _) = decode_entry(&v).unwrap();
         assert_eq!(key, "ключ-🔑");
+        assert_eq!(payload_epoch(&v), Some(255));
     }
 }

@@ -18,10 +18,13 @@
 
 use std::collections::BTreeMap;
 
-use rmem_consistency::{check_per_register, Criterion, Event, History, Verdict, Violation};
+use rmem_consistency::{
+    check_per_register, check_per_register_epochs, Criterion, Event, History, Verdict, Violation,
+};
 use rmem_types::{Op, OpResult, RegisterId, Value};
 
 use crate::codec;
+use crate::epoch::{data_register, CONFIG_REGISTER};
 use crate::router::ShardRouter;
 
 /// The key ↔ register mapping of one run: which keys the workload uses and
@@ -298,6 +301,247 @@ pub fn certify_per_key(
     Ok(KvCertificate { per_key })
 }
 
+/// One live split, as the cross-epoch certifier sees it: the shard
+/// counts on either side of the epoch bump.
+///
+/// Routing is re-derived from the counts (linear hashing is a pure
+/// function), and registers use the **epoch layer's numbering** — data
+/// shard `i` at register `i + 1`, register 0 reserved for the shard map —
+/// because cross-epoch histories come from real-runtime recorders
+/// ([`crate::recorder::OpRecorder`]), not the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochTransition {
+    /// Shard count before the split.
+    pub old_shards: u16,
+    /// Shard count after the split.
+    pub new_shards: u16,
+}
+
+impl EpochTransition {
+    fn old_register(&self, key: &str) -> RegisterId {
+        data_register(crate::router::shard_at(
+            crate::router::stable_hash(key),
+            self.old_shards,
+        ))
+    }
+
+    fn new_register(&self, key: &str) -> RegisterId {
+        data_register(crate::router::shard_at(
+            crate::router::stable_hash(key),
+            self.new_shards,
+        ))
+    }
+}
+
+/// How one recorded operation fares in the cross-epoch decode.
+enum OpFate {
+    /// Part of a key's logical history; carries the decoded read value
+    /// for reads.
+    Keep(Option<Value>),
+    /// Migration infrastructure (seal-marker writes, reads that observed
+    /// only a seal marker) — not a store operation on any key.
+    Skip,
+}
+
+/// Certifies a store run **across a live shard split**: every key's
+/// pre-split (old home) and post-split (new home) register operations are
+/// stitched into one logical history — via
+/// [`rmem_consistency::check_per_register_epochs`] — and checked under
+/// `criterion`, named per key.
+///
+/// The key universe must be injective under *both* epochs (one key per
+/// shard on each side; linear hashing preserves injectivity across a
+/// split, so covering keys of the old router qualify). Config-register
+/// operations (shard-map reads and publishes) are ignored; seal markers
+/// and reads that observed only a seal are migration infrastructure and
+/// are excluded from the per-key histories — a migration bug cannot hide
+/// behind that exclusion, because the migrator's own old-home read and
+/// the values later served at the new home remain in the history, and a
+/// non-tag-monotonic handoff (lost update, resurrected value, forgotten
+/// value) fails the stitched check.
+///
+/// # Errors
+///
+/// As [`certify_per_key`]: [`CertifyError::Setup`] when the run is not a
+/// clean cross-epoch store run, [`CertifyError::Violation`] when a key's
+/// stitched history fails the criterion.
+pub fn certify_per_key_epochs<'a>(
+    history: &History,
+    keys: impl IntoIterator<Item = &'a str>,
+    transition: &EpochTransition,
+    criterion: Criterion,
+) -> Result<KvCertificate, CertifyError> {
+    // Tenant maps for both epochs, refusing collisions up front.
+    let mut old_tenant: BTreeMap<RegisterId, String> = BTreeMap::new();
+    let mut new_tenant: BTreeMap<RegisterId, String> = BTreeMap::new();
+    for key in keys {
+        for (tenants, reg) in [
+            (&mut old_tenant, transition.old_register(key)),
+            (&mut new_tenant, transition.new_register(key)),
+        ] {
+            if let Some(existing) = tenants.get(&reg) {
+                if existing != key {
+                    return Err(CertifyError::Setup(KvCertError::ShardCollision {
+                        register: reg,
+                        keys: vec![existing.clone(), key.to_string()],
+                    }));
+                }
+            } else {
+                tenants.insert(reg, key.to_string());
+            }
+        }
+    }
+    let tenant_of = |reg: RegisterId| new_tenant.get(&reg).or_else(|| old_tenant.get(&reg));
+
+    // Decode a payload against the register's tenant: `None` marks
+    // migration infrastructure, `Some` carries the raw store value.
+    let decode = |reg: RegisterId, payload: &Value| -> Result<Option<Value>, KvCertError> {
+        if payload.is_bottom() {
+            return Ok(Some(Value::bottom()));
+        }
+        if codec::is_seal(payload) {
+            return Ok(None);
+        }
+        let tenant = tenant_of(reg).expect("checked before decoding");
+        match codec::decode_entries(payload) {
+            Some(entries) => {
+                if let Some((found, _)) = entries.iter().find(|(found, _)| found != tenant) {
+                    return Err(KvCertError::ForeignEntry {
+                        register: reg,
+                        expected: tenant.clone(),
+                        found: found.clone(),
+                    });
+                }
+                Ok(Some(Value::new(entries[0].1.to_vec())))
+            }
+            None => Err(KvCertError::MalformedEntry { register: reg }),
+        }
+    };
+
+    // Pass 1: classify every operation (an op is skipped as a whole, so
+    // reads that observed only a seal drop their invocation too — a
+    // dangling invoke would read as a pending operation).
+    let mut register_of_op: std::collections::HashMap<rmem_types::OpId, RegisterId> =
+        std::collections::HashMap::new();
+    let mut fates: std::collections::HashMap<rmem_types::OpId, OpFate> =
+        std::collections::HashMap::new();
+    for event in history.events() {
+        match event {
+            Event::Invoke { op, operation } => {
+                let reg = operation.register();
+                register_of_op.insert(*op, reg);
+                if reg == CONFIG_REGISTER {
+                    fates.insert(*op, OpFate::Skip);
+                    continue;
+                }
+                if tenant_of(reg).is_none() {
+                    return Err(CertifyError::Setup(KvCertError::UnmappedRegister {
+                        register: reg,
+                    }));
+                }
+                let fate = match operation {
+                    Op::WriteAt(_, payload) | Op::Write(payload) => {
+                        match decode(reg, payload).map_err(CertifyError::Setup)? {
+                            Some(_) => OpFate::Keep(None),
+                            None => OpFate::Skip, // seal-marker write
+                        }
+                    }
+                    Op::ReadAt(_) | Op::Read => OpFate::Keep(None),
+                };
+                fates.insert(*op, fate);
+            }
+            Event::Reply { op, result } => {
+                let reg = *register_of_op
+                    .get(op)
+                    .ok_or(CertifyError::Setup(KvCertError::StrayReply { op: *op }))?;
+                if reg == CONFIG_REGISTER {
+                    continue;
+                }
+                if let OpResult::ReadValue(payload) = result {
+                    match decode(reg, payload).map_err(CertifyError::Setup)? {
+                        Some(raw) => {
+                            fates.insert(*op, OpFate::Keep(Some(raw)));
+                        }
+                        None => {
+                            fates.insert(*op, OpFate::Skip); // saw only a seal
+                        }
+                    }
+                }
+            }
+            Event::Crash { .. } | Event::Recover { .. } => {}
+        }
+    }
+
+    // Pass 2: emit the decoded history, dropping skipped operations.
+    let mut decoded = History::new();
+    for event in history.events() {
+        match event {
+            Event::Invoke { op, operation } => {
+                if matches!(fates.get(op), Some(OpFate::Skip)) {
+                    continue;
+                }
+                let reg = register_of_op[op];
+                let operation = match operation {
+                    Op::WriteAt(_, payload) | Op::Write(payload) => Op::WriteAt(
+                        reg,
+                        decode(reg, payload)
+                            .map_err(CertifyError::Setup)?
+                            .expect("non-seal write classified Keep"),
+                    ),
+                    Op::ReadAt(_) | Op::Read => Op::ReadAt(reg),
+                };
+                decoded.push(Event::Invoke { op: *op, operation });
+            }
+            Event::Reply { op, result } => {
+                if matches!(fates.get(op), Some(OpFate::Skip)) {
+                    continue;
+                }
+                let result = match (result, fates.get(op)) {
+                    (OpResult::ReadValue(_), Some(OpFate::Keep(Some(raw)))) => {
+                        OpResult::ReadValue(raw.clone())
+                    }
+                    (other, _) => other.clone(),
+                };
+                decoded.push(Event::Reply { op: *op, result });
+            }
+            Event::Crash { pid } => decoded.push(Event::Crash { pid: *pid }),
+            Event::Recover { pid } => decoded.push(Event::Recover { pid: *pid }),
+        }
+    }
+
+    // The register moves of this transition: every key whose home changed.
+    let mut moves: BTreeMap<RegisterId, RegisterId> = BTreeMap::new();
+    for (reg, key) in &old_tenant {
+        let new_reg = transition.new_register(key);
+        if *reg != new_reg {
+            moves.insert(*reg, new_reg);
+        }
+    }
+
+    let mut per_key = BTreeMap::new();
+    for (register, outcome) in check_per_register_epochs(&decoded, &moves, criterion) {
+        let key = new_tenant
+            .get(&register)
+            .ok_or(CertifyError::Setup(KvCertError::UnmappedRegister {
+                register,
+            }))?
+            .clone();
+        match outcome {
+            Ok(verdict) => {
+                per_key.insert(key, verdict);
+            }
+            Err(violation) => {
+                return Err(CertifyError::Violation(KeyViolation {
+                    key,
+                    register,
+                    violation,
+                }));
+            }
+        }
+    }
+    Ok(KvCertificate { per_key })
+}
+
 /// Failure modes of [`certify_per_key`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CertifyError {
@@ -326,7 +570,7 @@ mod tests {
     use rmem_types::ProcessId;
 
     fn payload(key: &str, v: &[u8]) -> Value {
-        codec::encode_entry(key, &Bytes::copy_from_slice(v))
+        codec::encode_entry(key, &Bytes::copy_from_slice(v), 0)
     }
 
     fn injective_map(shards: u16) -> (ShardRouter, Vec<String>, KeyMap) {
@@ -445,6 +689,173 @@ mod tests {
         assert!(matches!(
             certify_per_key(&h, &map, Criterion::Persistent),
             Err(CertifyError::Setup(KvCertError::StrayReply { .. }))
+        ));
+    }
+
+    // -- Cross-epoch certification ----------------------------------------
+
+    /// A key universe injective under both sides of a split, with the
+    /// moved/stayed partition derived from the real routing.
+    fn transition_fixture() -> (EpochTransition, Vec<String>, String, String) {
+        let t = EpochTransition {
+            old_shards: 4,
+            new_shards: 8,
+        };
+        let keys = ShardRouter::new(4).covering_keys("e-");
+        let moved = keys
+            .iter()
+            .find(|k| t.old_register(k) != t.new_register(k))
+            .expect("a 4→8 split moves some covering key")
+            .clone();
+        let stayed = keys
+            .iter()
+            .find(|k| t.old_register(k) == t.new_register(k))
+            .expect("a 4→8 split keeps some covering key")
+            .clone();
+        (t, keys, moved, stayed)
+    }
+
+    fn stamped(key: &str, v: &[u8], epoch: u8) -> Value {
+        codec::encode_entry(key, &Bytes::copy_from_slice(v), epoch)
+    }
+
+    #[test]
+    fn clean_split_run_certifies_across_epochs() {
+        let (t, keys, moved, stayed) = transition_fixture();
+        let mut h = History::new();
+        // Epoch 0: both keys written and read at their old homes.
+        for (i, key) in [&moved, &stayed].into_iter().enumerate() {
+            let reg = t.old_register(key);
+            let w = h.invoke(ProcessId(0), Op::WriteAt(reg, stamped(key, &[i as u8], 0)));
+            h.reply(w, OpResult::Written);
+            let r = h.invoke(ProcessId(1), Op::ReadAt(reg));
+            h.reply(r, OpResult::ReadValue(stamped(key, &[i as u8], 0)));
+        }
+        // The migrator reads the moved key's old home (recorded), copies
+        // it (unrecorded), seals; a lagging reader observes the seal
+        // marker (excluded), then the new home serves the value.
+        let m = h.invoke(ProcessId(2), Op::ReadAt(t.old_register(&moved)));
+        h.reply(m, OpResult::ReadValue(stamped(&moved, &[0], 0)));
+        let lag = h.invoke(ProcessId(1), Op::ReadAt(t.old_register(&moved)));
+        h.reply(lag, OpResult::ReadValue(codec::encode_seal(1)));
+        let r = h.invoke(ProcessId(1), Op::ReadAt(t.new_register(&moved)));
+        h.reply(r, OpResult::ReadValue(stamped(&moved, &[0], 1)));
+        // Epoch 1 write + read at the new home.
+        let w = h.invoke(
+            ProcessId(0),
+            Op::WriteAt(t.new_register(&moved), stamped(&moved, b"n", 1)),
+        );
+        h.reply(w, OpResult::Written);
+        let r = h.invoke(ProcessId(1), Op::ReadAt(t.new_register(&moved)));
+        h.reply(r, OpResult::ReadValue(stamped(&moved, b"n", 1)));
+
+        let cert = certify_per_key_epochs(
+            &h,
+            keys.iter().map(String::as_str),
+            &t,
+            Criterion::Persistent,
+        )
+        .expect("a clean split run must certify");
+        assert!(cert.per_key.contains_key(&moved));
+        assert!(cert.per_key.contains_key(&stayed));
+    }
+
+    #[test]
+    fn lost_update_across_split_is_a_named_violation() {
+        let (t, keys, moved, _) = transition_fixture();
+        let mut h = History::new();
+        // Two completed writes at the old home…
+        for v in [b"1", b"2"] {
+            let w = h.invoke(
+                ProcessId(0),
+                Op::WriteAt(t.old_register(&moved), stamped(&moved, v, 0)),
+            );
+            h.reply(w, OpResult::Written);
+        }
+        // …but the new home serves the superseded one: the handoff was
+        // not tag-monotonic.
+        let r = h.invoke(ProcessId(1), Op::ReadAt(t.new_register(&moved)));
+        h.reply(r, OpResult::ReadValue(stamped(&moved, b"1", 1)));
+        match certify_per_key_epochs(
+            &h,
+            keys.iter().map(String::as_str),
+            &t,
+            Criterion::Transient,
+        ) {
+            Err(CertifyError::Violation(v)) => {
+                assert_eq!(v.key, moved, "the violation must name the moved key");
+                assert_eq!(v.register, t.new_register(&moved));
+            }
+            other => panic!("expected a named violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forgotten_value_across_split_fails() {
+        let (t, keys, moved, _) = transition_fixture();
+        let mut h = History::new();
+        let w = h.invoke(
+            ProcessId(0),
+            Op::WriteAt(t.old_register(&moved), stamped(&moved, b"v", 0)),
+        );
+        h.reply(w, OpResult::Written);
+        // The new home serves ⊥ although the write completed pre-split.
+        let r = h.invoke(ProcessId(1), Op::ReadAt(t.new_register(&moved)));
+        h.reply(r, OpResult::ReadValue(Value::bottom()));
+        assert!(matches!(
+            certify_per_key_epochs(
+                &h,
+                keys.iter().map(String::as_str),
+                &t,
+                Criterion::Persistent
+            ),
+            Err(CertifyError::Violation(_))
+        ));
+    }
+
+    #[test]
+    fn config_register_traffic_is_ignored() {
+        let (t, keys, _, stayed) = transition_fixture();
+        let mut h = History::new();
+        // Shard-map publishes and reads share the recorded history.
+        let w = h.invoke(
+            ProcessId(0),
+            Op::WriteAt(CONFIG_REGISTER, crate::epoch::ShardMap::genesis(4).encode()),
+        );
+        h.reply(w, OpResult::Written);
+        let r = h.invoke(ProcessId(1), Op::ReadAt(CONFIG_REGISTER));
+        h.reply(
+            r,
+            OpResult::ReadValue(crate::epoch::ShardMap::genesis(4).encode()),
+        );
+        let w = h.invoke(
+            ProcessId(0),
+            Op::WriteAt(t.old_register(&stayed), stamped(&stayed, b"v", 0)),
+        );
+        h.reply(w, OpResult::Written);
+        let cert = certify_per_key_epochs(
+            &h,
+            keys.iter().map(String::as_str),
+            &t,
+            Criterion::Persistent,
+        )
+        .expect("config traffic must not disturb certification");
+        assert!(cert.per_key.contains_key(&stayed));
+    }
+
+    #[test]
+    fn cross_epoch_collisions_are_refused() {
+        // A universe injective under the old epoch but colliding in the
+        // new one cannot happen with linear hashing; force the reverse: 2
+        // keys on one *old* shard.
+        let t = EpochTransition {
+            old_shards: 1,
+            new_shards: 2,
+        };
+        let h = History::new();
+        assert!(matches!(
+            certify_per_key_epochs(&h, ["a", "b"], &t, Criterion::Persistent),
+            Err(CertifyError::Setup(KvCertError::ShardCollision { .. }))
         ));
     }
 

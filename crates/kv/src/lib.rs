@@ -7,11 +7,16 @@
 //! into a *store*:
 //!
 //! * [`ShardRouter`] — a pure, stable hash mapping string keys onto
-//!   registers (`hash(key) % shards`); no shard map is ever exchanged,
-//!   the function is the map ([`router`]).
-//! * [`codec`] — register payloads tag values with their key, so shard
-//!   collisions degrade to explicit misses instead of serving foreign
-//!   bytes.
+//!   shards with linear-hashing addressing (= `hash % shards` for
+//!   power-of-two counts), whose splits provably move only the
+//!   split-source shards' keys ([`router`]).
+//! * [`epoch`] — the epoch-stamped shard map, stored **in the store
+//!   itself** (register 0 as a config register); [`KvClient::grow`]
+//!   runs live shard splits under a write barrier, certified across
+//!   epochs by [`certify_per_key_epochs`].
+//! * [`codec`] — register payloads tag values with their key and a
+//!   one-byte epoch stamp, so shard collisions degrade to explicit
+//!   misses and stale clients learn when to re-read the shard map.
 //! * [`KvClient`] — `get`/`put`/`multi_get`/`multi_put` over a real
 //!   cluster (`rmem-net`), pipelining independent per-shard operations
 //!   across nodes concurrently ([`client`]).
@@ -56,12 +61,19 @@
 
 pub mod client;
 pub mod codec;
+pub mod epoch;
 pub mod health;
 pub mod history;
+pub mod recorder;
 pub mod router;
 pub mod workload;
 
-pub use client::{HealthStats, KvClient, KvError, KvOpStats};
+pub use client::{GrowReport, HealthStats, KvClient, KvError, KvOpStats};
+pub use epoch::{data_register, ShardMap, CONFIG_REGISTER};
 pub use health::{HealthMemory, NodeGate};
-pub use history::{certify_per_key, CertifyError, KeyMap, KeyViolation, KvCertificate};
+pub use history::{
+    certify_per_key, certify_per_key_epochs, CertifyError, EpochTransition, KeyMap, KeyViolation,
+    KvCertificate,
+};
+pub use recorder::OpRecorder;
 pub use router::ShardRouter;

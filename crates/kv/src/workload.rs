@@ -146,7 +146,9 @@ fn lower(logical: Vec<LogicalOp>, batch: usize, keys: &[String], router: &ShardR
             .map(|op| match op {
                 LogicalOp::Put(i, value) => Op::WriteAt(
                     router.register_for(&keys[i]),
-                    codec::encode_entry(&keys[i], &Bytes::from(value)),
+                    // Simulated runs live in epoch 0 (the sim engine has
+                    // no config register or migration actors).
+                    codec::encode_entry(&keys[i], &Bytes::from(value), 0),
                 ),
                 LogicalOp::Get(i) => Op::ReadAt(router.register_for(&keys[i])),
             })
@@ -191,7 +193,7 @@ fn lower(logical: Vec<LogicalOp>, batch: usize, keys: &[String], router: &ShardR
                 .collect();
             ops.push(Op::WriteAt(
                 rmem_types::RegisterId(reg),
-                codec::encode_entries(&entries),
+                codec::encode_entries(&entries, 0),
             ));
         }
     }

@@ -1,0 +1,153 @@
+//! Scripted fault injection for real-threaded clusters: the wall-clock
+//! analogue of the simulator's crash/recovery `Schedule`.
+//!
+//! The simulator plants crashes at virtual microsecond precision; a
+//! [`LocalCluster`] lives in real time, so migration experiments (e.g. a
+//! live shard split under traffic) need their faults scheduled against
+//! the clock instead. A [`FaultSchedule`] is a sorted script of
+//! kill/restart events relative to a start instant;
+//! [`run`](FaultSchedule::run) plays it against a cluster, blocking the
+//! driving thread — spawn it next to the workload threads and join it at
+//! the end:
+//!
+//! ```no_run
+//! use std::time::Duration;
+//! use rmem_net::{FaultSchedule, LocalCluster};
+//! use rmem_types::ProcessId;
+//!
+//! # fn demo(mut cluster: LocalCluster) {
+//! let schedule = FaultSchedule::new()
+//!     .crash_for(Duration::from_millis(20), ProcessId(1), Duration::from_millis(40));
+//! std::thread::scope(|scope| {
+//!     scope.spawn(|| schedule.run(&mut cluster));
+//!     // …drive client traffic here…
+//! });
+//! # }
+//! ```
+//!
+//! Events apply defensively: killing a dead process or restarting a live
+//! one is a no-op (the schedule is a script, not an invariant), so seeds
+//! can generate overlapping windows without wedging the run.
+
+use std::time::{Duration, Instant};
+
+use rmem_types::ProcessId;
+
+use crate::cluster::LocalCluster;
+use crate::error::NetError;
+
+/// One scripted fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Kill the process (volatile state gone, stable storage survives).
+    Kill(ProcessId),
+    /// Restart the process (it runs the algorithm's recovery procedure).
+    Restart(ProcessId),
+}
+
+/// A wall-clock fault script for a [`LocalCluster`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultSchedule {
+    entries: Vec<(Duration, FaultEvent)>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Plants `event` at `after` past the run's start.
+    pub fn at(mut self, after: Duration, event: FaultEvent) -> Self {
+        self.entries.push((after, event));
+        self
+    }
+
+    /// Convenience: kill `pid` at `after` and restart it `down_for`
+    /// later.
+    pub fn crash_for(self, after: Duration, pid: ProcessId, down_for: Duration) -> Self {
+        self.at(after, FaultEvent::Kill(pid))
+            .at(after + down_for, FaultEvent::Restart(pid))
+    }
+
+    /// The planted events (unsorted, as scripted).
+    pub fn entries(&self) -> &[(Duration, FaultEvent)] {
+        &self.entries
+    }
+
+    /// Plays the schedule against `cluster`, blocking until the last
+    /// event fired. Returns the events actually applied (a kill of an
+    /// already-dead process or a restart of a live one is skipped).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] if a restart cannot rebuild its transport.
+    pub fn run(&self, cluster: &mut LocalCluster) -> Result<Vec<(Duration, FaultEvent)>, NetError> {
+        let mut script = self.entries.clone();
+        script.sort_by_key(|(after, _)| *after);
+        let start = Instant::now();
+        let mut applied = Vec::new();
+        for (after, event) in script {
+            if let Some(wait) = after.checked_sub(start.elapsed()) {
+                std::thread::sleep(wait);
+            }
+            match event {
+                FaultEvent::Kill(pid) => {
+                    if cluster.is_up(pid) {
+                        cluster.kill(pid);
+                        applied.push((start.elapsed(), event));
+                    }
+                }
+                FaultEvent::Restart(pid) => {
+                    if !cluster.is_up(pid) {
+                        cluster.restart(pid)?;
+                        applied.push((start.elapsed(), event));
+                    }
+                }
+            }
+        }
+        Ok(applied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmem_core::Transient;
+    use rmem_types::Value;
+
+    #[test]
+    fn schedule_kills_and_recovers_on_the_clock() {
+        let mut cluster = LocalCluster::channel(3, Transient::factory()).unwrap();
+        cluster
+            .client(ProcessId(0))
+            .write(Value::from_u32(9))
+            .unwrap();
+        let schedule = FaultSchedule::new().crash_for(
+            Duration::from_millis(10),
+            ProcessId(2),
+            Duration::from_millis(30),
+        );
+        let applied = schedule.run(&mut cluster).unwrap();
+        assert_eq!(applied.len(), 2, "kill + restart must both fire");
+        assert!(cluster.is_up(ProcessId(2)));
+        // The recovered cluster still serves the value.
+        let v = cluster.client(ProcessId(2)).read().unwrap();
+        assert_eq!(v.as_u32(), Some(9));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn redundant_events_are_skipped_not_fatal() {
+        let mut cluster = LocalCluster::channel(3, Transient::factory()).unwrap();
+        let schedule = FaultSchedule::new()
+            .at(Duration::ZERO, FaultEvent::Restart(ProcessId(1))) // already up
+            .at(Duration::from_millis(1), FaultEvent::Kill(ProcessId(1)))
+            .at(Duration::from_millis(2), FaultEvent::Kill(ProcessId(1))) // already down
+            .at(Duration::from_millis(3), FaultEvent::Restart(ProcessId(1)));
+        let applied = schedule.run(&mut cluster).unwrap();
+        assert_eq!(applied.len(), 2);
+        assert!(cluster.is_up(ProcessId(1)));
+        cluster.shutdown();
+    }
+}

@@ -41,6 +41,7 @@ pub mod channel;
 pub mod cluster;
 pub mod control;
 pub mod error;
+pub mod faults;
 pub mod runner;
 pub mod tcp;
 pub mod transport;
@@ -50,6 +51,7 @@ pub use channel::ChannelTransport;
 pub use cluster::LocalCluster;
 pub use control::{handle_command, send_command, ControlServer};
 pub use error::{ClientError, NetError};
+pub use faults::{FaultEvent, FaultSchedule};
 pub use runner::{Client, ProcessRunner};
 pub use tcp::TcpTransport;
 pub use transport::{Inbound, Transport};

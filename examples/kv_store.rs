@@ -34,7 +34,7 @@ impl Recorder {
                 self.pid,
                 Op::WriteAt(
                     reg,
-                    codec::encode_entry(key, &Bytes::copy_from_slice(value)),
+                    codec::encode_entry(key, &Bytes::copy_from_slice(value), 0),
                 ),
             )
         };
@@ -51,7 +51,7 @@ impl Recorder {
             .invoke(self.pid, Op::ReadAt(reg));
         let value = kv.get(key).expect("get");
         let payload = match &value {
-            Some(v) => codec::encode_entry(key, v),
+            Some(v) => codec::encode_entry(key, v, 0),
             None => rmem_types::Value::bottom(),
         };
         self.history
