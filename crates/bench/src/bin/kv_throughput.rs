@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! cargo run --release -p rmem-bench --bin kv_throughput \
-//!     [-- --csv] [-- --smoke] [-- --json PATH] [-- --no-fastpath] [-- --reshard]
+//!     [-- --csv] [-- --smoke] [-- --json PATH] [-- --no-fastpath] \
+//!     [-- --reshard] [-- --disk]
 //! ```
 //!
 //! `--smoke` runs the same grid on a reduced workload (CI-sized);
@@ -14,16 +15,20 @@
 //! read path (CI runs both modes so the fallback cannot rot); `--reshard`
 //! additionally runs the live 4→8 shard-split scenario on the real
 //! runtime (ops/s dip during migration, recovery after, cross-epoch
-//! certified) and appends its row to the JSON output; `--json PATH`
-//! writes the rows as machine-readable JSON for perf diffing
-//! (`BENCH_kv.json` is the committed baseline). Every reported run is
-//! certified per key before its row prints.
+//! certified) and appends its row to the JSON output; `--disk` runs the
+//! write-heavy Zipf rows over real disks on the UDP runtime —
+//! `FileStorage` vs the group-commit `WalStorage` — reporting fsyncs/op
+//! and group sizes, certified per key, and asserts the WAL clears 3× the
+//! slot files' ops/s; `--json PATH` writes the rows as machine-readable
+//! JSON for perf diffing (`BENCH_kv.json` is the committed baseline).
+//! Every reported run is certified per key before its row prints.
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let csv = args.iter().any(|a| a == "--csv");
     let smoke = args.iter().any(|a| a == "--smoke");
     let reshard = args.iter().any(|a| a == "--reshard");
+    let disk = args.iter().any(|a| a == "--disk");
     let fastpath = !args.iter().any(|a| a == "--no-fastpath");
     let json_path = args.iter().position(|a| a == "--json").map(|i| {
         args.get(i + 1)
@@ -144,10 +149,57 @@ fn main() {
     } else {
         None
     };
+    let disk_report = if disk {
+        let r = rmem_bench::disk::disk_scenario(smoke);
+        for row in &r.rows {
+            println!(
+                "disk/{} (udp, wf {:.1}, certified): {:.0} ops/s, {:.2} fsyncs/op, \
+                 mean group {:.2}, {:.0} bytes/commit",
+                row.backend,
+                row.write_fraction,
+                row.ops_per_sec,
+                row.fsyncs_per_op,
+                row.mean_group_size,
+                row.bytes_per_commit,
+            );
+        }
+        let speedup = r.wal_speedup();
+        // The acceptance gate: group commit must move disk-backed
+        // write-heavy throughput by multiples — the full run holds the
+        // 3× line. The smoke gate is a regression tripwire, not the
+        // claim: a 250 ms wall-clock window on an arbitrary CI host
+        // (where the temp dir may sit on a write-back cache that makes
+        // fsync nearly free) measures the syscall economy more than the
+        // fsync economy, so it only asserts the direction with margin.
+        // The mechanism itself is gated exactly in either mode by the
+        // fsyncs/op comparison below.
+        let threshold = if smoke { 1.5 } else { 3.0 };
+        assert!(
+            speedup >= threshold,
+            "WAL must clear {threshold}× FileStorage on the write-heavy row, got {speedup:.2}×"
+        );
+        assert!(
+            r.row("wal").fsyncs_per_op < r.row("file").fsyncs_per_op / 2.0,
+            "the WAL must spend well under half the slot files' fsyncs per operation \
+             ({:.2} vs {:.2})",
+            r.row("wal").fsyncs_per_op,
+            r.row("file").fsyncs_per_op,
+        );
+        println!(
+            "disk: WAL {:.2}× FileStorage ops/s on the write-heavy zipf row \
+             ({:.2} vs {:.2} fsyncs/op)",
+            speedup,
+            r.row("wal").fsyncs_per_op,
+            r.row("file").fsyncs_per_op,
+        );
+        Some(r)
+    } else {
+        None
+    };
     if let Some(path) = json_path {
         std::fs::write(
             &path,
-            rmem_bench::kv::rows_to_json_with(&rows, reshard_report.as_ref()),
+            rmem_bench::kv::rows_to_json_with(&rows, reshard_report.as_ref(), disk_report.as_ref()),
         )
         .expect("writing JSON rows");
         println!("wrote {path}");

@@ -328,25 +328,31 @@ pub fn kv_throughput() -> (Vec<KvThroughputRow>, Table) {
 /// Serializes rows as a JSON array (one object per cell) for the perf
 /// trajectory file (`BENCH_kv.json`): machine-readable so future changes
 /// can diff ops/s and read-round numbers against the committed baseline.
-/// When a [`reshard`](crate::reshard) report rides along (`--reshard`),
-/// its object is appended to the same array so the trajectory also
-/// tracks migration cost.
+/// When a [`reshard`](crate::reshard) report rides along (`--reshard`)
+/// and/or a [`disk`](crate::disk) report (`--disk`), their objects are
+/// appended to the same array so the trajectory also tracks migration
+/// cost and real-disk durability throughput.
 pub fn rows_to_json_with(
     rows: &[KvThroughputRow],
     reshard: Option<&crate::reshard::ReshardReport>,
+    disk: Option<&crate::disk::DiskReport>,
 ) -> String {
     let mut out = rows_to_json(rows);
+    let mut extras = Vec::new();
     if let Some(report) = reshard {
+        extras.push(crate::reshard::reshard_to_json(report));
+    }
+    if let Some(report) = disk {
+        extras.push(crate::disk::disk_to_json(report));
+    }
+    for extra in extras {
         let closing = out.rfind("\n]").expect("rows array closes");
-        out.replace_range(
-            closing..,
-            &format!(",\n{}\n]\n", crate::reshard::reshard_to_json(report)),
-        );
+        out.replace_range(closing.., &format!(",\n{extra}\n]\n"));
     }
     out
 }
 
-/// [`rows_to_json_with`] without a reshard report.
+/// [`rows_to_json_with`] without extra scenario reports.
 pub fn rows_to_json(rows: &[KvThroughputRow]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {

@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod disk;
 pub mod experiments;
 pub mod explore;
 pub mod kv;

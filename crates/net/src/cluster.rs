@@ -6,7 +6,10 @@ use std::sync::Arc;
 
 use crossbeam::channel::unbounded;
 use parking_lot::Mutex;
-use rmem_storage::{FileStorage, MemStorage, StableStorage, StorageError};
+use rmem_storage::{
+    CountingStorage, FileStorage, MemStorage, StableStorage, StorageError, StoreCounters,
+    WalStorage,
+};
 use rmem_types::{AutomatonFactory, ProcessId};
 
 use crate::channel::{ChannelTransport, Switchboard};
@@ -47,6 +50,11 @@ impl StableStorage for SharedStorage {
     fn keys(&self) -> Vec<String> {
         self.0.lock().keys()
     }
+
+    /// Memory needs no physical fsync.
+    fn fsyncs_per_commit(&self) -> u64 {
+        0
+    }
 }
 
 enum TransportKind {
@@ -55,19 +63,34 @@ enum TransportKind {
     Tcp(Vec<std::net::SocketAddr>),
 }
 
+/// Which disk backend a directory-backed cluster gives its nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskMode {
+    /// [`FileStorage`]: one fsync'd file per slot — the paper's §V-A
+    /// synchronous log, two physical fsyncs per store.
+    File,
+    /// [`WalStorage`]: the segmented group-commit write-ahead log — one
+    /// fsync per commit, shared by every store the syncer batched.
+    Wal,
+}
+
 enum NodeDisk {
     Shared(SharedStorage),
-    Dir(PathBuf),
+    Dir(PathBuf, DiskMode),
 }
 
 impl NodeDisk {
-    fn open(&self) -> Box<dyn StableStorage> {
-        match self {
+    fn open(&self, counters: &Arc<StoreCounters>) -> Box<dyn StableStorage> {
+        let inner: Box<dyn StableStorage> = match self {
             NodeDisk::Shared(s) => Box::new(s.clone()),
-            NodeDisk::Dir(dir) => {
+            NodeDisk::Dir(dir, DiskMode::File) => {
                 Box::new(FileStorage::open(dir).expect("opening the node's storage directory"))
             }
-        }
+            NodeDisk::Dir(dir, DiskMode::Wal) => {
+                Box::new(WalStorage::open(dir).expect("opening the node's write-ahead log"))
+            }
+        };
+        Box::new(CountingStorage::new(inner, counters.clone()))
     }
 }
 
@@ -87,6 +110,9 @@ pub struct LocalCluster {
     kind: TransportKind,
     disks: Vec<NodeDisk>,
     nodes: Vec<Option<ProcessRunner>>,
+    /// Per-node storage instrumentation (stores, bytes, commits, fsyncs);
+    /// survives kill/restart so a whole experiment accumulates.
+    counters: Vec<Arc<StoreCounters>>,
 }
 
 impl std::fmt::Debug for LocalCluster {
@@ -111,16 +137,7 @@ impl LocalCluster {
         let disks = (0..n)
             .map(|_| NodeDisk::Shared(SharedStorage::new()))
             .collect();
-        let mut cluster = LocalCluster {
-            factory,
-            kind: TransportKind::Channel(board),
-            disks,
-            nodes: (0..n).map(|_| None).collect(),
-        };
-        for pid in ProcessId::all(n) {
-            cluster.boot(pid)?;
-        }
-        Ok(cluster)
+        Self::assemble(factory, TransportKind::Channel(board), disks)
     }
 
     /// A UDP loopback cluster with file-backed storage under `dir` — the
@@ -134,22 +151,28 @@ impl LocalCluster {
         factory: Arc<dyn AutomatonFactory>,
         dir: impl Into<PathBuf>,
     ) -> Result<Self, NetError> {
+        Self::udp_with_disk(n, factory, dir, DiskMode::File)
+    }
+
+    /// [`udp`](LocalCluster::udp) with an explicit disk backend: the
+    /// paper's per-slot fsync files or the group-commit WAL.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] if sockets cannot be bound.
+    pub fn udp_with_disk(
+        n: usize,
+        factory: Arc<dyn AutomatonFactory>,
+        dir: impl Into<PathBuf>,
+        mode: DiskMode,
+    ) -> Result<Self, NetError> {
         let base = free_udp_base(n);
         let peers = UdpTransport::loopback_peers(n, base);
         let dir = dir.into();
         let disks = (0..n)
-            .map(|i| NodeDisk::Dir(dir.join(format!("p{i}"))))
+            .map(|i| NodeDisk::Dir(dir.join(format!("p{i}")), mode))
             .collect();
-        let mut cluster = LocalCluster {
-            factory,
-            kind: TransportKind::Udp(peers),
-            disks,
-            nodes: (0..n).map(|_| None).collect(),
-        };
-        for pid in ProcessId::all(n) {
-            cluster.boot(pid)?;
-        }
-        Ok(cluster)
+        Self::assemble(factory, TransportKind::Udp(peers), disks)
     }
 
     /// A TCP loopback cluster with file-backed storage under `dir`.
@@ -166,13 +189,23 @@ impl LocalCluster {
         let peers = TcpTransport::loopback_peers(n, base);
         let dir = dir.into();
         let disks = (0..n)
-            .map(|i| NodeDisk::Dir(dir.join(format!("p{i}"))))
+            .map(|i| NodeDisk::Dir(dir.join(format!("p{i}")), DiskMode::File))
             .collect();
+        Self::assemble(factory, TransportKind::Tcp(peers), disks)
+    }
+
+    fn assemble(
+        factory: Arc<dyn AutomatonFactory>,
+        kind: TransportKind,
+        disks: Vec<NodeDisk>,
+    ) -> Result<Self, NetError> {
+        let n = disks.len();
         let mut cluster = LocalCluster {
             factory,
-            kind: TransportKind::Tcp(peers),
+            kind,
             disks,
             nodes: (0..n).map(|_| None).collect(),
+            counters: (0..n).map(|_| StoreCounters::new()).collect(),
         };
         for pid in ProcessId::all(n) {
             cluster.boot(pid)?;
@@ -190,7 +223,7 @@ impl LocalCluster {
             TransportKind::Udp(peers) => Arc::new(UdpTransport::bind(pid, peers.clone(), tx)?),
             TransportKind::Tcp(peers) => Arc::new(TcpTransport::bind(pid, peers.clone(), tx)?),
         };
-        let storage = self.disks[pid.index()].open();
+        let storage = self.disks[pid.index()].open(&self.counters[pid.index()]);
         let runner = ProcessRunner::start(self.factory.as_ref(), storage, transport, rx);
         self.nodes[pid.index()] = Some(runner);
         Ok(())
@@ -232,6 +265,30 @@ impl LocalCluster {
     /// Whether `pid` is currently running.
     pub fn is_up(&self, pid: ProcessId) -> bool {
         self.nodes[pid.index()].is_some()
+    }
+
+    /// The storage instrumentation for `pid`: stores, bytes, commits,
+    /// fsyncs and group sizes, accumulated across restarts.
+    pub fn storage_counters(&self, pid: ProcessId) -> Arc<StoreCounters> {
+        self.counters[pid.index()].clone()
+    }
+
+    /// How many stable-storage commits have failed at `pid` (the first
+    /// one halts the node). 0 for a killed node slot.
+    pub fn store_failures(&self, pid: ProcessId) -> u64 {
+        self.nodes[pid.index()]
+            .as_ref()
+            .map_or(0, ProcessRunner::store_failures)
+    }
+
+    /// Whether `pid`'s event loop has exited on its own — the clean halt
+    /// a log failure forces — while the cluster still considers the slot
+    /// occupied. [`kill`](LocalCluster::kill) + [`restart`](LocalCluster::restart)
+    /// recovers such a node.
+    pub fn is_halted(&self, pid: ProcessId) -> bool {
+        self.nodes[pid.index()]
+            .as_ref()
+            .is_some_and(ProcessRunner::is_halted)
     }
 
     /// Kills `pid`: the runner stops, volatile state is gone, stable

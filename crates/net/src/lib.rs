@@ -13,11 +13,15 @@
 //!   connections, reconnect on demand), and [`ChannelTransport`]
 //!   (in-memory, for fast tests).
 //! * [`ProcessRunner`] — hosts one automaton: an event loop consuming
-//!   network messages, client invocations and timer expiries; stable
-//!   stores execute synchronously (blocking `fsync`) before the loop
-//!   proceeds, exactly like the paper's synchronous log files.
+//!   network messages, client invocations, timer expiries and completed
+//!   commits. Stable stores run on a per-node **syncer thread** that
+//!   group-commits whatever queued while the previous fsync ran; the
+//!   loop is never blocked on the disk, yet nothing is acknowledged
+//!   before the fsync covering it returns (**ack-after-durable** — the
+//!   real content of the paper's §V-A synchronous-log note).
 //! * [`LocalCluster`] — spins up `n` runners on loopback for examples,
-//!   tests and the real-mode benchmark.
+//!   tests and the real-mode benchmark, with a choice of disk backend
+//!   ([`DiskMode`]: per-slot files vs the group-commit WAL).
 //!
 //! # Example
 //!
@@ -43,12 +47,13 @@ pub mod control;
 pub mod error;
 pub mod faults;
 pub mod runner;
+mod syncer;
 pub mod tcp;
 pub mod transport;
 pub mod udp;
 
 pub use channel::ChannelTransport;
-pub use cluster::LocalCluster;
+pub use cluster::{DiskMode, LocalCluster};
 pub use control::{handle_command, send_command, ControlServer};
 pub use error::{ClientError, NetError};
 pub use faults::{FaultEvent, FaultSchedule};

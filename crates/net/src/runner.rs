@@ -1,7 +1,19 @@
 //! Hosting one automaton on real threads, sockets, timers and disk.
+//!
+//! Durability runs on its own pipeline: the event loop forwards
+//! [`Action::Store`] to the node's [`syncer`](crate::syncer) thread and
+//! keeps serving network messages, timers and other registers'
+//! operations while the fsync is in flight; the syncer group-commits
+//! whatever queued and posts `StoreDone` back through the loop only
+//! after the covering fsync returned (*ack-after-durable*, the real form
+//! of the paper's §V-A invariant). A log failure halts the node — the
+//! crash-recovery model's prescription for a process that can no longer
+//! trust its stable storage — observable via
+//! [`ProcessRunner::store_failures`] / [`ProcessRunner::is_halted`].
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
@@ -14,6 +26,7 @@ use rmem_types::{
 use std::sync::Arc;
 
 use crate::error::ClientError;
+use crate::syncer::{StoreOutcome, StoreRequest, Syncer};
 use crate::transport::{Inbound, Transport};
 
 /// Infrastructure slot counting process boots. Not one of the algorithm's
@@ -233,13 +246,14 @@ impl Client {
     }
 }
 
-/// One hosted process: an automaton, its stable storage, a transport, a
-/// timer heap and an event-loop thread.
+/// One hosted process: an automaton, a transport, a timer heap, an
+/// event-loop thread and a syncer thread owning the stable storage.
 pub struct ProcessRunner {
     me: ProcessId,
     tx: Sender<RunnerEvent>,
     handle: Option<std::thread::JoinHandle<Box<dyn StableStorage>>>,
     transport: Arc<dyn Transport>,
+    store_failures: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for ProcessRunner {
@@ -288,6 +302,8 @@ impl ProcessRunner {
 
         let (tx, rx) = unbounded::<RunnerEvent>();
         let loop_transport = transport.clone();
+        let store_failures = Arc::new(AtomicU64::new(0));
+        let loop_failures = store_failures.clone();
         let handle = std::thread::Builder::new()
             .name(format!("rmem-proc-{me}"))
             .spawn(move || {
@@ -299,6 +315,7 @@ impl ProcessRunner {
                     inbox,
                     me,
                     boot_count,
+                    loop_failures,
                 )
             })
             .expect("spawning the process event loop");
@@ -308,12 +325,27 @@ impl ProcessRunner {
             tx,
             handle: Some(handle),
             transport,
+            store_failures,
         }
     }
 
     /// This process's id.
     pub fn id(&self) -> ProcessId {
         self.me
+    }
+
+    /// How many stable-storage commits have failed on this node. Per the
+    /// crash-recovery model the first failure halts the node, so this is
+    /// effectively a halted-because-of-disk flag that health checks and
+    /// tests can poll without joining the thread.
+    pub fn store_failures(&self) -> u64 {
+        self.store_failures.load(Ordering::Relaxed)
+    }
+
+    /// Whether the event loop has exited — either an orderly shutdown or
+    /// the clean halt a log failure forces.
+    pub fn is_halted(&self) -> bool {
+        self.handle.as_ref().is_none_or(|h| h.is_finished())
     }
 
     /// A client handle for this process.
@@ -350,12 +382,13 @@ impl Drop for ProcessRunner {
 #[allow(clippy::too_many_arguments)]
 fn run_loop(
     mut automaton: Box<dyn Automaton>,
-    mut storage: Box<dyn StableStorage>,
+    storage: Box<dyn StableStorage>,
     transport: Arc<dyn Transport>,
     control: Receiver<RunnerEvent>,
     inbox: Receiver<Inbound>,
     me: ProcessId,
     boot_count: u64,
+    store_failures: Arc<AtomicU64>,
 ) -> Box<dyn StableStorage> {
     let mut timers: BinaryHeap<Reverse<(Instant, u64)>> = BinaryHeap::new();
     let mut timer_tokens: std::collections::HashMap<u64, TimerToken> =
@@ -364,48 +397,44 @@ fn run_loop(
     let mut pending = OpTable::default();
     let mut op_counter = boot_count << 32;
 
-    // Process one input plus the synchronous-store cascade it triggers.
+    // The durability pipeline: stores leave the loop through the syncer's
+    // queue and come back as StoreDone only after their group's fsync.
+    let (store_done_tx, store_done_rx) = unbounded::<StoreOutcome>();
+    let syncer = Syncer::spawn(me, storage, store_done_tx, store_failures);
+
+    // Process one input and the actions it triggers. Stores are
+    // asynchronous (paper's automaton contract): they are queued for the
+    // syncer and the loop moves on — the matching StoreDone re-enters
+    // through `store_done_rx` after the covering fsync returns, so an
+    // fsync in flight on one register never stalls another register's
+    // round.
     let step = |automaton: &mut Box<dyn Automaton>,
-                storage: &mut Box<dyn StableStorage>,
+                syncer: &Syncer,
                 timers: &mut BinaryHeap<Reverse<(Instant, u64)>>,
                 timer_tokens: &mut std::collections::HashMap<u64, TimerToken>,
                 timer_seq: &mut u64,
                 pending: &mut OpTable,
                 input: Input| {
-        let mut inputs = std::collections::VecDeque::new();
-        inputs.push_back(input);
-        while let Some(input) = inputs.pop_front() {
-            let mut actions = Vec::new();
-            automaton.on_input(input, &mut actions);
-            for action in actions {
-                match action {
-                    Action::Send { to, msg } => {
-                        // Fair-lossy: a failed send is a lost message.
-                        let _ = transport.send(to, &msg);
-                    }
-                    Action::Store { token, key, bytes } => {
-                        // Synchronous log (paper §V-A): the fsync happens
-                        // here, before anything else proceeds.
-                        match storage.store(&key, bytes) {
-                            Ok(()) => inputs.push_back(Input::StoreDone(token)),
-                            Err(e) => {
-                                // A failed log must not be acknowledged;
-                                // dropping the StoreDone stalls the round,
-                                // retransmission retries via new stores.
-                                eprintln!("rmem[{me}]: store {key:?} failed: {e}");
-                            }
-                        }
-                    }
-                    Action::SetTimer { token, after } => {
-                        let seq = *timer_seq;
-                        *timer_seq += 1;
-                        timer_tokens.insert(seq, token);
-                        timers.push(Reverse((Instant::now() + Duration::from(after), seq)));
-                    }
-                    Action::Complete { op, result, rounds } => {
-                        if let Some(reply) = pending.complete(op) {
-                            let _ = reply.send((result, rounds));
-                        }
+        let mut actions = Vec::new();
+        automaton.on_input(input, &mut actions);
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    // Fair-lossy: a failed send is a lost message.
+                    let _ = transport.send(to, &msg);
+                }
+                Action::Store { token, key, bytes } => {
+                    syncer.submit(StoreRequest { token, key, bytes });
+                }
+                Action::SetTimer { token, after } => {
+                    let seq = *timer_seq;
+                    *timer_seq += 1;
+                    timer_tokens.insert(seq, token);
+                    timers.push(Reverse((Instant::now() + Duration::from(after), seq)));
+                }
+                Action::Complete { op, result, rounds } => {
+                    if let Some(reply) = pending.complete(op) {
+                        let _ = reply.send((result, rounds));
                     }
                 }
             }
@@ -414,7 +443,7 @@ fn run_loop(
 
     step(
         &mut automaton,
-        &mut storage,
+        &syncer,
         &mut timers,
         &mut timer_tokens,
         &mut timer_seq,
@@ -433,7 +462,7 @@ fn run_loop(
             if let Some(token) = timer_tokens.remove(&seq) {
                 step(
                     &mut automaton,
-                    &mut storage,
+                    &syncer,
                     &mut timers,
                     &mut timer_tokens,
                     &mut timer_seq,
@@ -447,21 +476,44 @@ fn run_loop(
             .map(|Reverse((deadline, _))| deadline.saturating_duration_since(Instant::now()))
             .unwrap_or(Duration::from_millis(100));
 
-        // Drain the network first (bounded batch), then the control
-        // channel, then sleep until the next timer.
+        // Drain the network first (bounded batch), then completed
+        // commits, then the control channel, then sleep until the next
+        // timer.
         crossbeam::channel::select! {
             recv(inbox) -> net => if let Ok(Inbound { from, msg }) = net {
                 // (An Err means the transport is gone; the control channel
                 // decides shutdown.)
                 step(
                     &mut automaton,
-                    &mut storage,
+                    &syncer,
                     &mut timers,
                     &mut timer_tokens,
                     &mut timer_seq,
                     &mut pending,
                     Input::Message { from, msg },
                 );
+            },
+            recv(store_done_rx) -> done => match done {
+                Ok(StoreOutcome::Done(token)) => {
+                    step(
+                        &mut automaton,
+                        &syncer,
+                        &mut timers,
+                        &mut timer_tokens,
+                        &mut timer_seq,
+                        &mut pending,
+                        Input::StoreDone(token),
+                    );
+                }
+                Ok(StoreOutcome::Failed(e)) => {
+                    // The log failed: per the crash-recovery model the
+                    // process crashes rather than run ahead of its stable
+                    // storage. Halt cleanly — in-flight operations see
+                    // ProcessDown, the disk survives for a restart.
+                    eprintln!("rmem[{me}]: stable storage failed ({e}); halting the node");
+                    break;
+                }
+                Err(_) => break, // syncer gone without a verdict: halt
             },
             recv(control) -> ctl => match ctl {
                 Ok(RunnerEvent::Invoke { operation, reply }) => {
@@ -474,7 +526,7 @@ fn run_loop(
                         pending.admit(op, reg, reply);
                         step(
                             &mut automaton,
-                            &mut storage,
+                            &syncer,
                             &mut timers,
                             &mut timer_tokens,
                             &mut timer_seq,
@@ -488,7 +540,7 @@ fn run_loop(
             default(patience) => {}
         }
     }
-    storage
+    syncer.stop()
 }
 
 #[cfg(test)]

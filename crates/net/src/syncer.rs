@@ -1,0 +1,313 @@
+//! The per-node **syncer**: a thread that owns the node's stable storage
+//! and turns the runner's store requests into group commits.
+//!
+//! The event loop never touches the disk. Every [`Action::Store`] becomes
+//! a [`StoreRequest`] on the syncer's queue; the syncer drains *everything
+//! queued* into one batch, stages each record
+//! ([`StableStorage::begin_store`]), commits the batch with a single
+//! [`flush`](StableStorage::flush), and only then posts one
+//! [`StoreOutcome::Done`] per request back to the event loop — which
+//! forwards it to the automaton as `Input::StoreDone`. The ack-after-
+//! durable invariant is structural: a `Done` cannot exist before the
+//! flush covering it returned.
+//!
+//! Group commit falls out of the queue: while one fsync is in flight,
+//! every store that arrives waits in the channel and joins the *next*
+//! commit, so concurrent operations on a node amortize the disk without
+//! any timer or batching policy.
+//!
+//! A failed stage or flush is terminal: per the crash-recovery model a
+//! process whose log fails must crash rather than run ahead of its stable
+//! storage. The syncer reports [`StoreOutcome::Failed`] (after bumping
+//! the shared failure counter) and stops; the runner halts the node.
+//!
+//! [`Action::Store`]: rmem_types::Action::Store
+//! [`StableStorage::begin_store`]: rmem_storage::StableStorage::begin_store
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rmem_storage::{StableStorage, StorageError};
+use rmem_types::StoreToken;
+
+/// One store the event loop wants made durable.
+#[derive(Debug)]
+pub(crate) struct StoreRequest {
+    pub token: StoreToken,
+    pub key: String,
+    pub bytes: bytes::Bytes,
+}
+
+/// What the syncer posts back to the event loop.
+#[derive(Debug)]
+pub(crate) enum StoreOutcome {
+    /// The fsync covering this store returned: safe to acknowledge.
+    Done(StoreToken),
+    /// The log failed; the node must halt (crash-recovery semantics).
+    Failed(StorageError),
+}
+
+/// Handle the runner keeps: the request queue plus the join handle that
+/// yields the storage back at shutdown.
+pub(crate) struct Syncer {
+    tx: Sender<StoreRequest>,
+    handle: Option<std::thread::JoinHandle<Box<dyn StableStorage>>>,
+}
+
+impl Syncer {
+    /// Spawns the syncer thread for one node. `outcomes` is how commit
+    /// results re-enter the event loop; `failures` is the shared
+    /// `store_failures` counter.
+    pub(crate) fn spawn(
+        me: rmem_types::ProcessId,
+        storage: Box<dyn StableStorage>,
+        outcomes: Sender<StoreOutcome>,
+        failures: Arc<AtomicU64>,
+    ) -> Self {
+        let (tx, rx) = unbounded::<StoreRequest>();
+        let handle = std::thread::Builder::new()
+            .name(format!("rmem-sync-{me}"))
+            .spawn(move || run(storage, rx, outcomes, failures))
+            .expect("spawning the syncer thread");
+        Syncer {
+            tx,
+            handle: Some(handle),
+        }
+    }
+
+    /// Enqueues a store. A send failure means the syncer already halted
+    /// on a log failure; the caller will observe the `Failed` outcome.
+    pub(crate) fn submit(&self, req: StoreRequest) {
+        let _ = self.tx.send(req);
+    }
+
+    /// Stops the thread and returns the storage (the "disk" the next
+    /// incarnation recovers from).
+    pub(crate) fn stop(mut self) -> Box<dyn StableStorage> {
+        drop(self.tx); // closing the queue is the shutdown signal
+        self.handle
+            .take()
+            .expect("stop called once")
+            .join()
+            .expect("syncer thread panicked")
+    }
+}
+
+fn run(
+    mut storage: Box<dyn StableStorage>,
+    rx: Receiver<StoreRequest>,
+    outcomes: Sender<StoreOutcome>,
+    failures: Arc<AtomicU64>,
+) -> Box<dyn StableStorage> {
+    // Blocks until work arrives; Err means the runner dropped the queue.
+    while let Ok(first) = rx.recv() {
+        // The group: everything queued while the previous commit ran.
+        let mut batch = vec![first];
+        while let Ok(req) = rx.try_recv() {
+            batch.push(req);
+        }
+        let mut staged = Vec::with_capacity(batch.len());
+        let mut error = None;
+        for req in batch {
+            match storage.begin_store(&req.key, req.bytes.clone()) {
+                Ok(_) => staged.push(req.token),
+                Err(e) => {
+                    error = Some(e);
+                    break;
+                }
+            }
+        }
+        let error = error.or_else(|| storage.flush().err());
+        match error {
+            None => {
+                for token in staged {
+                    let _ = outcomes.send(StoreOutcome::Done(token));
+                }
+            }
+            Some(e) => {
+                // A store the log could not make durable: per the model
+                // the process crashes. Nothing staged is acknowledged —
+                // some of it may be on disk (harmless: unacknowledged
+                // stores are exactly what recovery is specified to
+                // tolerate), but no ack can have raced ahead.
+                failures.fetch_add(1, Ordering::Relaxed);
+                let _ = outcomes.send(StoreOutcome::Failed(e));
+                break;
+            }
+        }
+    }
+    storage
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use parking_lot::Mutex;
+    use rmem_storage::{FaultPlan, FaultyStorage, MemStorage, StoreTicket};
+    use rmem_types::ProcessId;
+    use std::time::Duration;
+
+    /// A storage probe that records the call sequence, so tests can
+    /// assert every `Done` was preceded by the flush covering it.
+    #[derive(Clone, Default)]
+    struct Probe {
+        log: Arc<Mutex<Vec<String>>>,
+        staged: Arc<Mutex<Vec<String>>>,
+        committed: Arc<Mutex<Vec<String>>>,
+        delay: Option<Duration>,
+    }
+
+    impl StableStorage for Probe {
+        fn store(&mut self, key: &str, bytes: Bytes) -> Result<(), StorageError> {
+            self.begin_store(key, bytes)?;
+            self.flush()
+        }
+
+        fn retrieve(&self, _key: &str) -> Result<Option<Bytes>, StorageError> {
+            Ok(None)
+        }
+
+        fn keys(&self) -> Vec<String> {
+            Vec::new()
+        }
+
+        fn begin_store(&mut self, key: &str, _bytes: Bytes) -> Result<StoreTicket, StorageError> {
+            self.log.lock().push(format!("begin:{key}"));
+            self.staged.lock().push(key.to_string());
+            Ok(StoreTicket(self.staged.lock().len() as u64))
+        }
+
+        fn flush(&mut self) -> Result<(), StorageError> {
+            if let Some(d) = self.delay {
+                std::thread::sleep(d);
+            }
+            let staged: Vec<String> = self.staged.lock().drain(..).collect();
+            self.log.lock().push(format!("flush:{}", staged.len()));
+            self.committed.lock().extend(staged);
+            Ok(())
+        }
+
+        fn poll_durable(&self, _t: StoreTicket) -> bool {
+            self.staged.lock().is_empty()
+        }
+    }
+
+    fn req(token: u64) -> StoreRequest {
+        StoreRequest {
+            token: StoreToken(token),
+            key: format!("k{token}"),
+            bytes: Bytes::from_static(b"v"),
+        }
+    }
+
+    #[test]
+    fn done_only_after_the_covering_flush() {
+        let probe = Probe::default();
+        let committed = probe.committed.clone();
+        let (out_tx, out_rx) = unbounded();
+        let syncer = Syncer::spawn(
+            ProcessId(0),
+            Box::new(probe),
+            out_tx,
+            Arc::new(AtomicU64::new(0)),
+        );
+        for t in 0..10u64 {
+            syncer.submit(req(t));
+        }
+        for _ in 0..10 {
+            match out_rx
+                .recv_timeout(Duration::from_secs(5))
+                .expect("outcome")
+            {
+                StoreOutcome::Done(token) => {
+                    // The commit covering this store must already have
+                    // happened: its key is in the committed set.
+                    assert!(
+                        committed
+                            .lock()
+                            .iter()
+                            .any(|k| k == &format!("k{}", token.0)),
+                        "ack for k{} preceded its commit",
+                        token.0
+                    );
+                }
+                StoreOutcome::Failed(e) => panic!("unexpected failure: {e}"),
+            }
+        }
+        syncer.stop();
+    }
+
+    #[test]
+    fn stores_arriving_during_a_slow_commit_coalesce() {
+        let probe = Probe {
+            delay: Some(Duration::from_millis(40)),
+            ..Probe::default()
+        };
+        let log = probe.log.clone();
+        let (out_tx, out_rx) = unbounded();
+        let syncer = Syncer::spawn(
+            ProcessId(0),
+            Box::new(probe),
+            out_tx,
+            Arc::new(AtomicU64::new(0)),
+        );
+        // First store starts a slow commit; the rest pile up behind it.
+        syncer.submit(req(0));
+        std::thread::sleep(Duration::from_millis(10));
+        for t in 1..8u64 {
+            syncer.submit(req(t));
+        }
+        let mut done = 0;
+        while done < 8 {
+            match out_rx
+                .recv_timeout(Duration::from_secs(5))
+                .expect("outcome")
+            {
+                StoreOutcome::Done(_) => done += 1,
+                StoreOutcome::Failed(e) => panic!("unexpected failure: {e}"),
+            }
+        }
+        syncer.stop();
+        let flushes: Vec<usize> = log
+            .lock()
+            .iter()
+            .filter_map(|l| l.strip_prefix("flush:").and_then(|n| n.parse().ok()))
+            .collect();
+        assert_eq!(flushes.iter().sum::<usize>(), 8, "every store committed");
+        assert!(
+            flushes.len() < 8,
+            "stores queued behind a slow fsync must share commits, got {flushes:?}"
+        );
+        assert!(
+            flushes.iter().any(|&n| n > 1),
+            "at least one commit must be a real group, got {flushes:?}"
+        );
+    }
+
+    #[test]
+    fn a_log_failure_reports_failed_and_stops() {
+        let failures = Arc::new(AtomicU64::new(0));
+        let (out_tx, out_rx) = unbounded();
+        let storage = FaultyStorage::new(MemStorage::new(), FaultPlan::fail_at(vec![2]));
+        let syncer = Syncer::spawn(ProcessId(0), Box::new(storage), out_tx, failures.clone());
+        syncer.submit(req(0));
+        // Let the first commit complete so the failing store is its own
+        // group (deterministic position 2).
+        match out_rx.recv_timeout(Duration::from_secs(5)).expect("first") {
+            StoreOutcome::Done(t) => assert_eq!(t, StoreToken(0)),
+            StoreOutcome::Failed(e) => panic!("first store must succeed: {e}"),
+        }
+        syncer.submit(req(1));
+        match out_rx.recv_timeout(Duration::from_secs(5)).expect("second") {
+            StoreOutcome::Failed(_) => {}
+            StoreOutcome::Done(t) => panic!("store {t:?} must not be acked after a log failure"),
+        }
+        assert_eq!(failures.load(Ordering::Relaxed), 1);
+        // The syncer stopped: the storage comes back even though requests
+        // may still be queued.
+        let storage = syncer.stop();
+        assert_eq!(storage.keys(), vec!["k0".to_string()]);
+    }
+}

@@ -33,6 +33,14 @@ struct ProcSlot {
     /// Recover event and the automaton reporting ready); drives the
     /// recovery-duration measurement.
     recovering_since: Option<VirtualTime>,
+    /// Group-commit disk state (`DiskConfig::coalesce`): when the fsync
+    /// currently scheduled last will complete, and the start/completion
+    /// of the commit currently accepting joiners. The disk outlives
+    /// crashes (hardware keeps spinning); only the StoreDone deliveries
+    /// die with the incarnation.
+    disk_busy_until: VirtualTime,
+    disk_group_start: VirtualTime,
+    disk_group_done: VirtualTime,
 }
 
 impl ProcSlot {
@@ -114,6 +122,9 @@ impl Simulation {
                 pending: std::collections::BTreeMap::new(),
                 next_op_counter: 0,
                 recovering_since: None,
+                disk_busy_until: VirtualTime::ZERO,
+                disk_group_start: VirtualTime::ZERO,
+                disk_group_done: VirtualTime::ZERO,
             })
             .collect();
         Simulation {
@@ -527,7 +538,7 @@ impl Simulation {
                 }
             }
             Action::Store { token, key, bytes } => {
-                let disk = &self.config.disk;
+                let disk = self.config.disk_of(pid.index()).clone();
                 let jitter = if disk.jitter.0 > 0 {
                     Micros(self.rng.gen_range(0..=disk.jitter.0))
                 } else {
@@ -536,16 +547,39 @@ impl Simulation {
                 let latency = disk.base_latency
                     + jitter
                     + Micros((bytes.len() as u64 * disk.ns_per_byte) / 1_000);
-                let slot = &self.procs[pid.index()];
+                let slot = &mut self.procs[pid.index()];
+                let done_at = if !disk.coalesce {
+                    // Unlimited parallel stores: each pays its own latency.
+                    self.now.after(latency)
+                } else if self.now >= slot.disk_busy_until {
+                    // Idle disk: this store's commit starts immediately.
+                    slot.disk_group_start = self.now;
+                    slot.disk_group_done = self.now.after(latency);
+                    slot.disk_busy_until = slot.disk_group_done;
+                    slot.disk_group_done
+                } else if self.now <= slot.disk_group_start {
+                    // A commit is queued but its fsync has not started:
+                    // join the group — same fsync, same completion.
+                    self.trace.stores_coalesced += 1;
+                    slot.disk_group_done
+                } else {
+                    // The accepting commit's fsync is already running:
+                    // open the next group, starting when the disk frees.
+                    slot.disk_group_start = slot.disk_busy_until;
+                    slot.disk_group_done = slot.disk_busy_until.after(latency);
+                    slot.disk_busy_until = slot.disk_group_done;
+                    slot.disk_group_done
+                };
                 let attributed_op = attributed;
+                let incarnation = slot.incarnation;
                 self.queue.push(
-                    self.now.after(latency),
+                    done_at,
                     EventKind::StoreDone {
                         pid,
                         token,
                         key,
                         bytes,
-                        incarnation: slot.incarnation,
+                        incarnation,
                         chain: chain + 1,
                         attributed_op,
                     },

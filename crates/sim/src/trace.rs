@@ -87,6 +87,10 @@ pub struct Trace {
     pub messages_delivered: u64,
     /// Stores applied to stable storage.
     pub stores_applied: u64,
+    /// Stores that joined an already-pending group commit instead of
+    /// starting their own (only nonzero under
+    /// `DiskConfig::coalesce` — the sim's group-commit model).
+    pub stores_coalesced: u64,
     /// Stores applied while no operation was pending at the storing
     /// process — recovery/initialisation logging, which the paper counts
     /// outside operations ("this log is outside the actual read and write

@@ -379,6 +379,169 @@ fn overlapping_invocations_on_the_same_register_are_refused() {
     assert_eq!(report.trace.invokes_dropped, 1);
 }
 
+/// An automaton probing the group-commit disk model: stores one record
+/// on `Start`, then two more from a timer that fires while the first
+/// commit is still in flight.
+struct BurstStores;
+
+impl Automaton for BurstStores {
+    fn on_input(&mut self, input: Input, out: &mut Vec<Action>) {
+        match input {
+            Input::Start => {
+                out.push(Action::Store {
+                    token: StoreToken(1),
+                    key: "a".to_string(),
+                    bytes: Bytes::from_static(b"1"),
+                });
+                out.push(Action::SetTimer {
+                    token: TimerToken(1),
+                    after: Micros(100),
+                });
+            }
+            Input::Timer(TimerToken(1)) => {
+                for t in [2u64, 3] {
+                    out.push(Action::Store {
+                        token: StoreToken(t),
+                        key: format!("k{t}"),
+                        bytes: Bytes::from_static(b"x"),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn algorithm(&self) -> &'static str {
+        "burst-stores"
+    }
+}
+
+struct BurstStoresFactory;
+
+impl AutomatonFactory for BurstStoresFactory {
+    fn fresh(&self, _me: ProcessId, _n: usize) -> Box<dyn Automaton> {
+        Box::new(BurstStores)
+    }
+
+    fn recover(
+        &self,
+        _me: ProcessId,
+        _n: usize,
+        _boots: u64,
+        _snapshot: &dyn StableSnapshot,
+    ) -> Box<dyn Automaton> {
+        Box::new(BurstStores)
+    }
+
+    fn algorithm(&self) -> &'static str {
+        "burst-stores"
+    }
+}
+
+/// The coalescing disk model: a store issued while a commit is in flight
+/// waits for the disk (next group), and stores issued together share one
+/// commit. Exact timeline with λ = 200µs, timer at 100µs:
+/// store 1 commits at 200; stores 2 and 3 arrive at 100 mid-commit, form
+/// the next group starting at 200, and both complete at 400.
+#[test]
+fn coalescing_disk_groups_and_serializes_commits() {
+    let disk = rmem_sim::DiskConfig {
+        base_latency: Micros(200),
+        jitter: Micros(0),
+        ns_per_byte: 0,
+        coalesce: true,
+    };
+    let mut sim = Simulation::new(
+        ClusterConfig::new(1)
+            .with_disk(disk)
+            .with_max_time(VirtualTime(10_000)),
+        Arc::new(BurstStoresFactory),
+        1,
+    );
+    let report = sim.run();
+    assert_eq!(report.trace.stores_applied, 3);
+    assert_eq!(
+        report.trace.stores_coalesced, 1,
+        "store 3 joins store 2's pending group"
+    );
+    assert_eq!(
+        report.final_time,
+        VirtualTime(400),
+        "the grouped commit completes one λ after the first frees the disk"
+    );
+
+    // The same run without coalescing: unlimited parallel stores, the
+    // timer's stores each pay their own λ from t=100.
+    let mut sim = Simulation::new(
+        ClusterConfig::new(1).with_max_time(VirtualTime(10_000)),
+        Arc::new(BurstStoresFactory),
+        1,
+    );
+    let report = sim.run();
+    assert_eq!(report.trace.stores_coalesced, 0);
+    assert_eq!(report.final_time, VirtualTime(300));
+}
+
+/// Delayed-durability interleavings stay deterministic and correct: one
+/// node runs a 25× slower group-committing disk, concurrent writes on
+/// distinct registers all complete (acks race ahead of the laggard's
+/// stores), certification holds, and the whole run replays identically.
+#[test]
+fn slow_coalescing_disk_on_one_node_keeps_runs_atomic_and_deterministic() {
+    use rmem_core::{Persistent, SharedMemory};
+    use rmem_types::{Op, RegisterId, Value};
+    let run = || {
+        let mut schedule = Schedule::new();
+        for r in 0..4u16 {
+            schedule = schedule.at(
+                1_000 + r as u64 * 10,
+                PlannedEvent::Invoke(
+                    ProcessId(0),
+                    Op::WriteAt(RegisterId(r), Value::from_u32(r as u32 + 1)),
+                ),
+            );
+            schedule = schedule.at(
+                9_000 + r as u64 * 10,
+                PlannedEvent::Invoke(ProcessId(1), Op::ReadAt(RegisterId(r))),
+            );
+        }
+        let mut sim = Simulation::new(
+            ClusterConfig::new(3).with_disk_at(2, rmem_sim::DiskConfig::coalescing(Micros(5_000))),
+            SharedMemory::factory(Persistent::flavor()),
+            17,
+        )
+        .with_schedule(schedule);
+        let report = sim.run();
+        let completed = report
+            .trace
+            .operations()
+            .iter()
+            .filter(|o| o.is_completed())
+            .count();
+        assert_eq!(
+            completed, 8,
+            "a slow minority disk must not block quorum operations"
+        );
+        let history = report.trace.to_history();
+        for (reg, outcome) in
+            rmem_consistency::check_per_register(&history, rmem_consistency::Criterion::Persistent)
+        {
+            outcome.unwrap_or_else(|e| panic!("register {reg} not atomic: {e}"));
+        }
+        assert!(
+            report.trace.stores_coalesced > 0,
+            "the laggard's stores must have shared commits"
+        );
+        (
+            report.events_processed,
+            report.trace.stores_applied,
+            report.trace.stores_coalesced,
+            report.final_time,
+        )
+    };
+    assert_eq!(run(), run(), "same seed, same interleaving, same trace");
+}
+
 /// Deterministic tie-breaking: two events at the same instant execute in
 /// insertion order, and the whole run replays identically.
 #[test]

@@ -1,8 +1,10 @@
 //! Fault-injecting storage decorator for robustness tests.
 
+use std::time::Duration;
+
 use bytes::Bytes;
 
-use crate::{StableStorage, StorageError};
+use crate::{StableStorage, StorageError, StoreTicket};
 
 /// Deterministic schedule of injected store failures.
 ///
@@ -74,12 +76,22 @@ impl FaultPlan {
     }
 }
 
-/// A [`StableStorage`] decorator that injects failures per a [`FaultPlan`].
+/// A [`StableStorage`] decorator that injects failures per a [`FaultPlan`]
+/// and, optionally, a fixed **commit delay** — a slow disk whose every
+/// durability point (blocking store or flush) stalls for the configured
+/// duration. The delay is what the runner's no-stall tests lean on: with
+/// the durability pipeline off the event loop, a 100 ms commit on one
+/// node must not delay operations on other registers.
 #[derive(Debug)]
 pub struct FaultyStorage<S> {
     inner: S,
     plan: FaultPlan,
     injected: u64,
+    delay: Option<Duration>,
+    /// Records staged (begin_store, not yet durable) since the last
+    /// flush: a flush is only a durability point — and only stalls —
+    /// when it covers at least one of these.
+    staged: u64,
 }
 
 impl<S: StableStorage> FaultyStorage<S> {
@@ -89,7 +101,17 @@ impl<S: StableStorage> FaultyStorage<S> {
             inner,
             plan,
             injected: 0,
+            delay: None,
+            staged: 0,
         }
+    }
+
+    /// Adds a fixed delay to every commit (blocking `store` and `flush`),
+    /// emulating a slow disk.
+    #[must_use]
+    pub fn with_commit_delay(mut self, delay: Duration) -> Self {
+        self.delay = Some(delay);
+        self
     }
 
     /// How many failures have been injected so far.
@@ -101,6 +123,12 @@ impl<S: StableStorage> FaultyStorage<S> {
     pub fn into_inner(self) -> S {
         self.inner
     }
+
+    fn stall(&self) {
+        if let Some(d) = self.delay {
+            std::thread::sleep(d);
+        }
+    }
 }
 
 impl<S: StableStorage> StableStorage for FaultyStorage<S> {
@@ -111,6 +139,7 @@ impl<S: StableStorage> StableStorage for FaultyStorage<S> {
                 key: key.to_string(),
             });
         }
+        self.stall();
         self.inner.store(key, bytes)
     }
 
@@ -120,6 +149,43 @@ impl<S: StableStorage> StableStorage for FaultyStorage<S> {
 
     fn keys(&self) -> Vec<String> {
         self.inner.keys()
+    }
+
+    fn begin_store(&mut self, key: &str, bytes: Bytes) -> Result<StoreTicket, StorageError> {
+        if self.plan.should_fail(key) {
+            self.injected += 1;
+            return Err(StorageError::Injected {
+                key: key.to_string(),
+            });
+        }
+        let ticket = self.inner.begin_store(key, bytes)?;
+        // The commit delay belongs to the durability point: a synchronous
+        // inner (ticket durable on return) commits here, an async inner
+        // stages now and commits at the covering flush.
+        if self.inner.poll_durable(ticket) {
+            self.stall();
+        } else {
+            self.staged += 1;
+        }
+        Ok(ticket)
+    }
+
+    fn flush(&mut self) -> Result<(), StorageError> {
+        // Only a covering flush is a commit: an empty flush (or one whose
+        // records already committed at begin_store) costs nothing.
+        if self.staged > 0 {
+            self.staged = 0;
+            self.stall();
+        }
+        self.inner.flush()
+    }
+
+    fn poll_durable(&self, ticket: StoreTicket) -> bool {
+        self.inner.poll_durable(ticket)
+    }
+
+    fn fsyncs_per_commit(&self) -> u64 {
+        self.inner.fsyncs_per_commit()
     }
 }
 
@@ -172,5 +238,61 @@ mod tests {
     #[should_panic(expected = "period must be positive")]
     fn zero_period_panics() {
         let _ = FaultPlan::fail_every(0);
+    }
+
+    #[test]
+    fn commit_delay_stalls_stores_and_flushes() {
+        let delay = std::time::Duration::from_millis(30);
+        let mut s = FaultyStorage::new(MemStorage::new(), FaultPlan::None).with_commit_delay(delay);
+        let t0 = std::time::Instant::now();
+        s.store("k", Bytes::from_static(b"v")).unwrap();
+        assert!(t0.elapsed() >= delay, "blocking store must stall");
+        let t1 = std::time::Instant::now();
+        let _ = s.begin_store("k", Bytes::from_static(b"w")).unwrap();
+        assert!(
+            t1.elapsed() >= delay,
+            "a synchronous inner commits at begin_store"
+        );
+        // The delay is charged per durability point, not per call: after
+        // a synchronous begin_store already committed, the covering
+        // flush is empty and must not stall again.
+        let t2 = std::time::Instant::now();
+        s.flush().unwrap();
+        assert!(
+            t2.elapsed() < delay / 2,
+            "an empty flush must not be charged a commit delay"
+        );
+    }
+
+    #[test]
+    fn commit_delay_charges_async_staging_at_the_flush() {
+        let dir = std::env::temp_dir().join(format!(
+            "rmem-faulty-wal-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let delay = std::time::Duration::from_millis(30);
+        let mut s = FaultyStorage::new(crate::WalStorage::open(&dir).unwrap(), FaultPlan::None)
+            .with_commit_delay(delay);
+        let t0 = std::time::Instant::now();
+        let _ = s.begin_store("a", Bytes::from_static(b"1")).unwrap();
+        let _ = s.begin_store("b", Bytes::from_static(b"2")).unwrap();
+        assert!(
+            t0.elapsed() < delay / 2,
+            "staging on an async inner must not stall"
+        );
+        let t1 = std::time::Instant::now();
+        s.flush().unwrap();
+        assert!(t1.elapsed() >= delay, "the covering flush is the commit");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plan_applies_to_begin_store_too() {
+        let mut s = FaultyStorage::new(MemStorage::new(), FaultPlan::fail_every(2));
+        assert!(s.begin_store("k", Bytes::new()).is_ok());
+        assert!(s.begin_store("k", Bytes::new()).is_err());
+        assert_eq!(s.injected(), 1);
     }
 }

@@ -87,6 +87,12 @@ impl StableStorage for FileStorage {
         }
     }
 
+    /// A slot store costs two physical fsyncs: the record file and the
+    /// directory holding the rename.
+    fn fsyncs_per_commit(&self) -> u64 {
+        2
+    }
+
     fn keys(&self) -> Vec<String> {
         let Ok(entries) = fs::read_dir(&self.dir) else {
             return Vec::new();

@@ -12,11 +12,20 @@
 //!   `fsync`s every store (the paper writes its log files synchronously,
 //!   §V-A, precisely because buffered writes would void even transient
 //!   atomicity);
+//! * [`WalStorage`] — a segmented, append-only write-ahead log with
+//!   **group commit**: appends are cheap ([`StableStorage::begin_store`]),
+//!   one [`flush`](StableStorage::flush) makes every outstanding append
+//!   durable at once, and recovery replays the log (CRC-guarded, torn
+//!   tails truncated) to rebuild the latest record per slot. The §V-A
+//!   invariant is preserved in its real form — *ack after durable*, not
+//!   *fsync per store* — because nothing is acknowledged before the fsync
+//!   covering it returns;
 //! * typed [`records`] for the three log slots of the paper's pseudocode
 //!   (`writing`, `written`, `recovered`) and their binary encoding;
-//! * instrumentation wrappers: [`CountingStorage`] (how many stores / how
-//!   many bytes — the raw ingredient of log-complexity measurements) and
-//!   [`FaultyStorage`] (failure injection for robustness tests).
+//! * instrumentation wrappers: [`CountingStorage`] (stores, bytes,
+//!   fsync-level commit accounting — the raw ingredient of
+//!   log-complexity and group-commit measurements) and [`FaultyStorage`]
+//!   (failure injection and slow-disk delays for robustness tests).
 //!
 //! # Example
 //!
@@ -46,14 +55,27 @@ pub mod faulty;
 pub mod file;
 pub mod memory;
 pub mod records;
+pub mod wal;
 
 pub use counting::{CountingStorage, StoreCounters};
 pub use error::StorageError;
 pub use faulty::{FaultPlan, FaultyStorage};
 pub use file::FileStorage;
 pub use memory::MemStorage;
+pub use wal::{RecoverySummary, WalOptions, WalStorage};
 
 use bytes::Bytes;
+
+/// A handle correlating one [`StableStorage::begin_store`] with the flush
+/// that makes it durable.
+///
+/// Tickets are ordered: a [`flush`](StableStorage::flush) covers every
+/// ticket issued before it, so durability is a monotone frontier and
+/// [`poll_durable`](StableStorage::poll_durable) is a simple comparison.
+/// Synchronous backends (everything but [`WalStorage`]) are durable the
+/// moment `begin_store` returns, so their tickets are born durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StoreTicket(pub u64);
 
 /// The stable-storage primitives of the crash-recovery model (§II):
 /// `store` persists a record durably under a named slot, `retrieve` reads
@@ -85,6 +107,86 @@ pub trait StableStorage: Send {
     /// Lists the currently occupied slots (order unspecified). Used by
     /// recovery snapshots and debugging tools.
     fn keys(&self) -> Vec<String>;
+
+    /// Begins a store without waiting for durability: the record is
+    /// staged (appended, buffered) and becomes durable at the next
+    /// [`flush`](StableStorage::flush). Returns a ticket the caller can
+    /// poll.
+    ///
+    /// The default implementation delegates to the blocking
+    /// [`store`](StableStorage::store) — synchronous backends are durable
+    /// on return, so the ticket is immediately
+    /// [`poll_durable`](StableStorage::poll_durable). [`WalStorage`]
+    /// overrides this with a real append-now/fsync-later split, which is
+    /// what makes group commit possible: many `begin_store`s, one flush.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError`] if the record could not be staged; the
+    /// previous record in the slot must still be intact.
+    fn begin_store(&mut self, key: &str, bytes: Bytes) -> Result<StoreTicket, StorageError> {
+        self.store(key, bytes)?;
+        Ok(StoreTicket(0))
+    }
+
+    /// Makes every record staged by
+    /// [`begin_store`](StableStorage::begin_store) durable (the group
+    /// commit: one fsync covers all of them). No-op for synchronous
+    /// backends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError`] if durability could not be achieved; in
+    /// that case **none** of the outstanding records may be acknowledged
+    /// (the crash-recovery model's answer is to crash the process).
+    fn flush(&mut self) -> Result<(), StorageError> {
+        Ok(())
+    }
+
+    /// Whether the store behind `ticket` has been covered by a flush.
+    /// Synchronous backends always answer `true`.
+    fn poll_durable(&self, _ticket: StoreTicket) -> bool {
+        true
+    }
+
+    /// How many physical fsyncs one commit (a blocking `store`, or a
+    /// `flush`) costs on this backend: 0 for memory-backed storage, 2 for
+    /// [`FileStorage`] (file + directory), 1 for [`WalStorage`]'s segment
+    /// fsync. Instrumentation ([`CountingStorage`]) multiplies commits by
+    /// this to report fsync counts.
+    fn fsyncs_per_commit(&self) -> u64 {
+        1
+    }
+}
+
+impl StableStorage for Box<dyn StableStorage> {
+    fn store(&mut self, key: &str, bytes: Bytes) -> Result<(), StorageError> {
+        (**self).store(key, bytes)
+    }
+
+    fn retrieve(&self, key: &str) -> Result<Option<Bytes>, StorageError> {
+        (**self).retrieve(key)
+    }
+
+    fn keys(&self) -> Vec<String> {
+        (**self).keys()
+    }
+
+    fn begin_store(&mut self, key: &str, bytes: Bytes) -> Result<StoreTicket, StorageError> {
+        (**self).begin_store(key, bytes)
+    }
+
+    fn flush(&mut self) -> Result<(), StorageError> {
+        (**self).flush()
+    }
+
+    fn poll_durable(&self, ticket: StoreTicket) -> bool {
+        (**self).poll_durable(ticket)
+    }
+
+    fn fsyncs_per_commit(&self) -> u64 {
+        (**self).fsyncs_per_commit()
+    }
 }
 
 /// Adapter exposing any [`StableStorage`] as the read-only

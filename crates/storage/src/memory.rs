@@ -54,6 +54,11 @@ impl StableStorage for MemStorage {
     fn keys(&self) -> Vec<String> {
         self.slots.keys().cloned().collect()
     }
+
+    /// Memory needs no physical fsync.
+    fn fsyncs_per_commit(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

@@ -6,16 +6,86 @@
 
 pub mod channel;
 
-/// Two-receiver + default-timeout `select!`.
+/// Two- or three-receiver + default-timeout `select!`.
 ///
-/// Supports exactly the shape
+/// Supports exactly the shapes
 /// `select! { recv(a) -> x => ..., recv(b) -> y => ..., default(d) => ... }`
-/// (what upstream crossbeam calls a biased ready-select is here a fair-ish
-/// poll loop: receivers are tried in order, sleeping briefly between
-/// rounds until the default deadline passes). A disconnected channel is
-/// ready with `Err`, exactly like upstream.
+/// and the same with a third `recv` arm (what upstream crossbeam calls a
+/// biased ready-select is here a fair-ish poll loop: receivers are tried
+/// in order, sleeping briefly between rounds until the default deadline
+/// passes). A disconnected channel is ready with `Err`, exactly like
+/// upstream.
 #[macro_export]
 macro_rules! select {
+    (
+        recv($r1:expr) -> $p1:pat => $e1:expr,
+        recv($r2:expr) -> $p2:pat => $e2:expr,
+        recv($r3:expr) -> $p3:pat => $e3:expr,
+        default($d:expr) => $e4:expr $(,)?
+    ) => {{
+        enum __Select<A, B, C> {
+            First(A),
+            Second(B),
+            Third(C),
+            Timeout,
+        }
+        let __decision = {
+            let deadline = ::std::time::Instant::now() + $d;
+            '__select: loop {
+                let mut __disconnected1 = false;
+                let mut __disconnected2 = false;
+                let mut __disconnected3 = false;
+                match $crate::channel::Receiver::try_recv(&$r1) {
+                    Ok(v) => break '__select __Select::First($crate::channel::ok_result(&$r1, v)),
+                    Err($crate::channel::TryRecvError::Disconnected) => __disconnected1 = true,
+                    Err($crate::channel::TryRecvError::Empty) => {}
+                }
+                match $crate::channel::Receiver::try_recv(&$r2) {
+                    Ok(v) => break '__select __Select::Second($crate::channel::ok_result(&$r2, v)),
+                    Err($crate::channel::TryRecvError::Disconnected) => __disconnected2 = true,
+                    Err($crate::channel::TryRecvError::Empty) => {}
+                }
+                match $crate::channel::Receiver::try_recv(&$r3) {
+                    Ok(v) => break '__select __Select::Third($crate::channel::ok_result(&$r3, v)),
+                    Err($crate::channel::TryRecvError::Disconnected) => __disconnected3 = true,
+                    Err($crate::channel::TryRecvError::Empty) => {}
+                }
+                if __disconnected1 {
+                    break '__select __Select::First($crate::channel::disconnected_result(&$r1));
+                }
+                if __disconnected2 {
+                    break '__select __Select::Second($crate::channel::disconnected_result(&$r2));
+                }
+                if __disconnected3 {
+                    break '__select __Select::Third($crate::channel::disconnected_result(&$r3));
+                }
+                let now = ::std::time::Instant::now();
+                if now >= deadline {
+                    break '__select __Select::Timeout;
+                }
+                let nap = ::std::cmp::min(
+                    deadline.saturating_duration_since(now),
+                    ::std::time::Duration::from_micros(500),
+                );
+                $crate::channel::Receiver::wait(&$r1, nap);
+            }
+        };
+        match __decision {
+            __Select::First(r) => {
+                let $p1 = r;
+                $e1
+            }
+            __Select::Second(r) => {
+                let $p2 = r;
+                $e2
+            }
+            __Select::Third(r) => {
+                let $p3 = r;
+                $e3
+            }
+            __Select::Timeout => $e4,
+        }
+    }};
     (
         recv($r1:expr) -> $p1:pat => $e1:expr,
         recv($r2:expr) -> $p2:pat => $e2:expr,
@@ -157,6 +227,37 @@ mod tests {
             default(Duration::from_millis(50)) => {}
         }
         assert!(disconnected);
+    }
+
+    #[test]
+    fn three_way_select_prefers_ready_channel() {
+        let (_tx1, rx1) = unbounded::<u8>();
+        let (_tx2, rx2) = unbounded::<u8>();
+        let (tx3, rx3) = unbounded::<u8>();
+        tx3.send(7).unwrap();
+        let mut got = None;
+        select! {
+            recv(rx1) -> _v => unreachable!(),
+            recv(rx2) -> _v => unreachable!(),
+            recv(rx3) -> v => got = Some(v.unwrap()),
+            default(Duration::from_millis(50)) => {}
+        }
+        assert_eq!(got, Some(7));
+    }
+
+    #[test]
+    fn three_way_select_falls_through_to_default() {
+        let (_tx1, rx1) = unbounded::<u8>();
+        let (_tx2, rx2) = unbounded::<u8>();
+        let (_tx3, rx3) = unbounded::<u8>();
+        let mut defaults = 0;
+        select! {
+            recv(rx1) -> _v => unreachable!(),
+            recv(rx2) -> _v => unreachable!(),
+            recv(rx3) -> _v => unreachable!(),
+            default(Duration::from_millis(5)) => defaults += 1,
+        }
+        assert_eq!(defaults, 1);
     }
 
     #[test]
