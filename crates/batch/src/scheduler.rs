@@ -56,6 +56,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use crossbeam::channel::bounded;
 use rmem_kv::{codec, KvClient, KvError, ShardMap};
+use rmem_obs::{Counter, Histogram};
 use rmem_types::{RegisterId, Value};
 
 use crate::policy::FlushPolicy;
@@ -85,8 +86,14 @@ struct Shared {
     kv: KvClient,
     policy: FlushPolicy,
     table: OpTable,
-    logical_ops: AtomicU64,
-    register_ops: AtomicU64,
+    /// `batch.*` instruments, registered into the wrapped client's
+    /// metrics registry so one snapshot ([`KvClient::metrics`]) covers
+    /// the store stack: the amortization counters behind
+    /// [`BatchedKv::stats`], plus the distinct-key size of every bundled
+    /// write round.
+    logical_ops: Arc<Counter>,
+    register_ops: Arc<Counter>,
+    bundle_size: Arc<Histogram>,
     /// The shard-map epoch the queues were last flushed under. A bundle
     /// carries exactly one epoch stamp by construction (each flush
     /// snapshots the map once); this additionally kicks every lingering
@@ -119,13 +126,15 @@ impl BatchedKv {
         assert!(policy.max_batch >= 1, "max_batch must be at least 1");
         let table = OpTable::new(kv.router().shards() as usize);
         let epoch = kv.epoch();
+        let m = kv.metrics_registry().clone();
         BatchedKv {
             shared: Arc::new(Shared {
+                logical_ops: m.counter("batch.logical_ops"),
+                register_ops: m.counter("batch.register_ops"),
+                bundle_size: m.histogram("batch.bundle_size"),
                 kv,
                 policy,
                 table,
-                logical_ops: AtomicU64::new(0),
-                register_ops: AtomicU64::new(0),
                 epoch: AtomicU64::new(epoch),
             }),
         }
@@ -203,8 +212,8 @@ impl BatchedKv {
     /// Amortization counters since construction.
     pub fn stats(&self) -> BatchStats {
         BatchStats {
-            logical_ops: self.shared.logical_ops.load(Ordering::Relaxed),
-            register_ops: self.shared.register_ops.load(Ordering::Relaxed),
+            logical_ops: self.shared.logical_ops.get(),
+            register_ops: self.shared.register_ops.get(),
         }
     }
 
@@ -234,8 +243,8 @@ impl BatchedKv {
         if self.is_barriered(&map, key) {
             // Splitting shard: the write barrier is per key — run it on
             // the epoch-aware single-op path instead of a shared bundle.
-            self.shared.logical_ops.fetch_add(1, Ordering::Relaxed);
-            self.shared.register_ops.fetch_add(1, Ordering::Relaxed);
+            self.shared.logical_ops.inc();
+            self.shared.register_ops.inc();
             return self.shared.kv.put(key, value);
         }
         let bucket = self.bucket_of(&map, key);
@@ -281,8 +290,8 @@ impl BatchedKv {
         if self.is_barriered(&map, key) {
             // Splitting shard: reads need the old-home-then-new-home
             // fallback, which is per key — bypass the shared bundle.
-            self.shared.logical_ops.fetch_add(1, Ordering::Relaxed);
-            self.shared.register_ops.fetch_add(1, Ordering::Relaxed);
+            self.shared.logical_ops.inc();
+            self.shared.register_ops.inc();
             return self.shared.kv.get(key);
         }
         let bucket = self.bucket_of(&map, key);
@@ -352,8 +361,8 @@ impl BatchedKv {
                 // The epoch moved between enqueue and flush: serve the
                 // now-barriered key through the per-key migration path.
                 let reply = self.shared.kv.get(&get.key);
-                self.shared.logical_ops.fetch_add(1, Ordering::Relaxed);
-                self.shared.register_ops.fetch_add(1, Ordering::Relaxed);
+                self.shared.logical_ops.inc();
+                self.shared.register_ops.inc();
                 let _ = get.done.send(reply);
                 continue;
             }
@@ -364,9 +373,7 @@ impl BatchedKv {
         }
         for (reg, group) in get_groups {
             let outcome = self.read_round(reg);
-            self.shared
-                .logical_ops
-                .fetch_add(group.len() as u64 - 1, Ordering::Relaxed);
+            self.shared.logical_ops.add(group.len() as u64 - 1);
             for get in group {
                 let reply = match &outcome {
                     Ok(payload) => {
@@ -394,8 +401,8 @@ impl BatchedKv {
         for put in puts {
             if self.is_barriered(&map, &put.key) {
                 let reply = self.shared.kv.put(&put.key, put.value.clone());
-                self.shared.logical_ops.fetch_add(1, Ordering::Relaxed);
-                self.shared.register_ops.fetch_add(1, Ordering::Relaxed);
+                self.shared.logical_ops.inc();
+                self.shared.register_ops.inc();
                 let _ = put.done.send(reply);
                 continue;
             }
@@ -478,8 +485,8 @@ impl BatchedKv {
         // (the contract: first failing error, everything attempted).
         let mut first_err = None;
         for (key, value) in barriered {
-            self.shared.logical_ops.fetch_add(1, Ordering::Relaxed);
-            self.shared.register_ops.fetch_add(1, Ordering::Relaxed);
+            self.shared.logical_ops.inc();
+            self.shared.register_ops.inc();
             if let Err(e) = self.shared.kv.put(key, value) {
                 first_err.get_or_insert(e);
             }
@@ -526,9 +533,7 @@ impl BatchedKv {
         type Served = Vec<(usize, Option<Bytes>)>;
         let outcomes: Vec<Result<Served, KvError>> = self.per_node(per_reg, |reg, indices| {
             let payload = self.read_round(reg)?;
-            self.shared
-                .logical_ops
-                .fetch_add(indices.len() as u64 - 1, Ordering::Relaxed);
+            self.shared.logical_ops.add(indices.len() as u64 - 1);
             indices
                 .into_iter()
                 .map(|i| {
@@ -563,8 +568,8 @@ impl BatchedKv {
             }
         }
         for i in barriered {
-            self.shared.logical_ops.fetch_add(1, Ordering::Relaxed);
-            self.shared.register_ops.fetch_add(1, Ordering::Relaxed);
+            self.shared.logical_ops.inc();
+            self.shared.register_ops.inc();
             match self.shared.kv.get(keys[i].as_ref()) {
                 Ok(value) => results[i] = Some(value),
                 Err(e) => {
@@ -623,8 +628,8 @@ impl BatchedKv {
 
     /// One read quorum round.
     fn read_round(&self, reg: RegisterId) -> Result<Value, KvError> {
-        self.shared.register_ops.fetch_add(1, Ordering::Relaxed);
-        self.shared.logical_ops.fetch_add(1, Ordering::Relaxed);
+        self.shared.register_ops.inc();
+        self.shared.logical_ops.inc();
         let label = format!("shard:{}", reg.0);
         self.shared.kv.raw_read(reg, &label)
     }
@@ -637,11 +642,10 @@ impl BatchedKv {
         chunk: &[CoalescedPut],
         map: &ShardMap,
     ) -> Result<(), KvError> {
-        self.shared.register_ops.fetch_add(1, Ordering::Relaxed);
+        self.shared.register_ops.inc();
+        self.shared.bundle_size.record(chunk.len() as u64);
         let logical: u64 = chunk.iter().map(|e| e.covered as u64).sum();
-        self.shared
-            .logical_ops
-            .fetch_add(logical, Ordering::Relaxed);
+        self.shared.logical_ops.add(logical);
         let entries: Vec<(&str, Bytes)> = chunk
             .iter()
             .map(|e| (e.key.as_str(), e.value.clone()))

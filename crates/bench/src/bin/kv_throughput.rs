@@ -7,7 +7,7 @@
 //! ```text
 //! cargo run --release -p rmem-bench --bin kv_throughput \
 //!     [-- --csv] [-- --smoke] [-- --json PATH] [-- --no-fastpath] \
-//!     [-- --reshard] [-- --disk]
+//!     [-- --reshard] [-- --disk] [-- --obs] [-- --obs-json PATH]
 //! ```
 //!
 //! `--smoke` runs the same grid on a reduced workload (CI-sized);
@@ -19,9 +19,17 @@
 //! write-heavy Zipf rows over real disks on the UDP runtime —
 //! `FileStorage` vs the group-commit `WalStorage` — reporting fsyncs/op
 //! and group sizes, certified per key, and asserts the WAL clears 3× the
-//! slot files' ops/s; `--json PATH` writes the rows as machine-readable
-//! JSON for perf diffing (`BENCH_kv.json` is the committed baseline).
-//! Every reported run is certified per key before its row prints.
+//! slot files' ops/s; `--obs` runs the observability scenario on the UDP
+//! runtime — wall-clock p50/p90/p99/p999 from the `rmem-obs` latency
+//! histograms, interleaved baseline/instrumented trials, and the ≤3%
+//! instrumentation-overhead gate asserted here (priced: per-op
+//! instrument firing rates × microbenched unit costs vs baseline
+//! CPU/op — see `rmem_bench::obs`) (`--obs-json PATH` also
+//! writes the merged metrics-snapshot JSON for the CI artifact);
+//! `--json PATH` writes the rows as machine-readable JSON for perf
+//! diffing (`BENCH_kv.json` is the committed baseline). The sim grid's
+//! rows are virtual-time (labeled so); every reported run is certified
+//! per key before its row prints.
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -29,16 +37,21 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let reshard = args.iter().any(|a| a == "--reshard");
     let disk = args.iter().any(|a| a == "--disk");
+    let obs = args.iter().any(|a| a == "--obs");
     let fastpath = !args.iter().any(|a| a == "--no-fastpath");
-    let json_path = args.iter().position(|a| a == "--json").map(|i| {
-        args.get(i + 1)
-            .filter(|p| !p.starts_with("--"))
-            .unwrap_or_else(|| {
-                eprintln!("--json requires a path operand (e.g. --json BENCH_kv.json)");
-                std::process::exit(2);
-            })
-            .clone()
-    });
+    let path_operand = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1)
+                .filter(|p| !p.starts_with("--"))
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} requires a path operand (e.g. {flag} out.json)");
+                    std::process::exit(2);
+                })
+                .clone()
+        })
+    };
+    let json_path = path_operand("--json");
+    let obs_json_path = path_operand("--obs-json");
 
     let (rows, table) = rmem_bench::kv::kv_throughput_with_mode(smoke, fastpath);
     println!("{}", table.to_text());
@@ -196,10 +209,75 @@ fn main() {
     } else {
         None
     };
+    let obs_report = if obs || obs_json_path.is_some() {
+        let r = rmem_bench::obs::obs_scenario(smoke);
+        let cpu_per_op = |v: Option<f64>| match v {
+            Some(ns) => format!("{:.1} µs", ns / 1_000.0),
+            None => "n/a".to_string(),
+        };
+        println!(
+            "obs (udp+wal, wall clock, wf {:.1}): instrumented {:.0} ops/s vs baseline {:.0} ops/s \
+             (cpu/op {} vs {}); priced instrument cost {:.2} µs/op \
+             ({:.1} flight events, {:.1} histogram samples, {:.1} counter incs per op) \
+             = {:.2}% overhead ({} basis); \
+             get p50/p90/p99/p999 = {}/{}/{}/{} µs, \
+             put p50/p90/p99/p999 = {}/{}/{}/{} µs",
+            rmem_bench::obs::OBS_WRITE_FRACTION,
+            r.instrumented_ops_per_sec,
+            r.baseline_ops_per_sec,
+            cpu_per_op(r.instrumented_cpu_ns_per_op),
+            cpu_per_op(r.baseline_cpu_ns_per_op),
+            r.priced_overhead_ns_per_op() / 1_000.0,
+            r.flight_events_per_op,
+            r.hist_samples_per_op,
+            r.counter_incs_per_op,
+            (1.0 - r.overhead_ratio()) * 100.0,
+            r.gate_basis(),
+            r.get_percentiles_us[0],
+            r.get_percentiles_us[1],
+            r.get_percentiles_us[2],
+            r.get_percentiles_us[3],
+            r.put_percentiles_us[0],
+            r.put_percentiles_us[1],
+            r.put_percentiles_us[2],
+            r.put_percentiles_us[3],
+        );
+        // The acceptance gate: the metrics registry and flight recorder
+        // must ride along for ≤3% of the per-op budget — their measured
+        // firing rates priced at measured unit costs, against the
+        // baseline's measured CPU per completed op (wall-clock throughput
+        // where /proc isn't readable).
+        assert!(
+            r.within_budget(),
+            "instrumentation overhead gate: priced instrument cost {:.2} µs/op must stay within \
+             {:.0}% of baseline cpu/op {} (instrumented {:.0} vs baseline {:.0} ops/s); got \
+             {:.2}% overhead on the {} basis",
+            r.priced_overhead_ns_per_op() / 1_000.0,
+            rmem_bench::obs::OVERHEAD_BUDGET * 100.0,
+            cpu_per_op(r.baseline_cpu_ns_per_op),
+            r.instrumented_ops_per_sec,
+            r.baseline_ops_per_sec,
+            (1.0 - r.overhead_ratio()) * 100.0,
+            r.gate_basis(),
+        );
+        if let Some(path) = &obs_json_path {
+            std::fs::write(path, format!("[\n{}\n]\n", r.to_json()))
+                .expect("writing obs metrics snapshot");
+            println!("wrote {path}");
+        }
+        Some(r)
+    } else {
+        None
+    };
     if let Some(path) = json_path {
         std::fs::write(
             &path,
-            rmem_bench::kv::rows_to_json_with(&rows, reshard_report.as_ref(), disk_report.as_ref()),
+            rmem_bench::kv::rows_to_json_with(
+                &rows,
+                reshard_report.as_ref(),
+                disk_report.as_ref(),
+                obs_report.as_ref(),
+            ),
         )
         .expect("writing JSON rows");
         println!("wrote {path}");

@@ -272,11 +272,14 @@ pub fn kv_throughput_with_mode(
     let mut table = Table::new(
         "kv_throughput — sharded store, 5 clients, 16 shards; wf = put \
          fraction, fast = read fast path; ops/s is store-level work over \
-         the same workload per mode",
+         the same workload per mode; time = virtual: latencies are \
+         simulated µs, not wall clock (wall-clock percentiles come from \
+         the --obs scenario)",
         &[
             "flavor",
             "key dist",
             "mode",
+            "time",
             "wf",
             "fast",
             "ops",
@@ -294,6 +297,7 @@ pub fn kv_throughput_with_mode(
             r.flavor.to_string(),
             r.distribution.clone(),
             r.mode.clone(),
+            "virtual".to_string(),
             format!("{:.1}", r.write_fraction),
             if r.fastpath { "on" } else { "off" }.to_string(),
             r.completed.to_string(),
@@ -328,14 +332,17 @@ pub fn kv_throughput() -> (Vec<KvThroughputRow>, Table) {
 /// Serializes rows as a JSON array (one object per cell) for the perf
 /// trajectory file (`BENCH_kv.json`): machine-readable so future changes
 /// can diff ops/s and read-round numbers against the committed baseline.
-/// When a [`reshard`](crate::reshard) report rides along (`--reshard`)
-/// and/or a [`disk`](crate::disk) report (`--disk`), their objects are
-/// appended to the same array so the trajectory also tracks migration
-/// cost and real-disk durability throughput.
+/// When a [`reshard`](crate::reshard) report rides along (`--reshard`),
+/// a [`disk`](crate::disk) report (`--disk`) and/or an
+/// [`obs`](crate::obs) report (`--obs`), their objects are appended to
+/// the same array so the trajectory also tracks migration cost,
+/// real-disk durability throughput and wall-clock latency percentiles
+/// with the instrumentation-overhead ratio.
 pub fn rows_to_json_with(
     rows: &[KvThroughputRow],
     reshard: Option<&crate::reshard::ReshardReport>,
     disk: Option<&crate::disk::DiskReport>,
+    obs: Option<&crate::obs::ObsReport>,
 ) -> String {
     let mut out = rows_to_json(rows);
     let mut extras = Vec::new();
@@ -344,6 +351,9 @@ pub fn rows_to_json_with(
     }
     if let Some(report) = disk {
         extras.push(crate::disk::disk_to_json(report));
+    }
+    if let Some(report) = obs {
+        extras.push(report.to_json());
     }
     for extra in extras {
         let closing = out.rfind("\n]").expect("rows array closes");
@@ -361,6 +371,7 @@ pub fn rows_to_json(rows: &[KvThroughputRow]) -> String {
         }
         out.push_str(&format!(
             "  {{\"flavor\": \"{}\", \"distribution\": \"{}\", \"mode\": \"{}\", \
+             \"time\": \"virtual\", \
              \"write_fraction\": {:.2}, \"fastpath\": {}, \"logical_ops\": {}, \
              \"register_ops\": {}, \"virtual_secs\": {:.6}, \"ops_per_sec\": {:.1}, \
              \"read_rounds_mean\": {:.4}, \"read_rounds_p99\": {}, \

@@ -21,6 +21,7 @@ pub mod disk;
 pub mod experiments;
 pub mod explore;
 pub mod kv;
+pub mod obs;
 pub mod reshard;
 pub mod scenarios;
 pub mod table;

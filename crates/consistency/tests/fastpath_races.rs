@@ -28,6 +28,29 @@ fn v(x: u32) -> Value {
     Value::from_u32(x)
 }
 
+/// Dump-on-failure: the trace-derived operation timeline (virtual-time
+/// intervals, rounds, results) — the sim-side analogue of the real
+/// runtime's flight-recorder dump, printed before a certification panic
+/// so the violating interleaving survives into the CI log.
+fn dump_trace_timeline(trace: &rmem_sim::Trace) {
+    eprintln!("--- trace timeline (virtual µs) ---");
+    for o in trace.operations() {
+        let end = o
+            .completed_at
+            .map(|t| t.as_micros().to_string())
+            .unwrap_or_else(|| "pending".into());
+        eprintln!(
+            "  [{:>7}..{:>7}] {:?} {:?} rounds={} result={:?}",
+            o.invoked_at.as_micros(),
+            end,
+            o.op,
+            o.kind,
+            o.rounds,
+            o.result,
+        );
+    }
+}
+
 /// Write/read races across many seeds: every run must keep its criterion,
 /// and across the sweep both read paths must be exercised — the fallback
 /// under contention and the fast path in the quiescent stretches.
@@ -61,8 +84,10 @@ fn contended_runs_certify_and_exercise_both_read_paths() {
                 .filter(|o| o.is_completed())
                 .count();
             assert_eq!(completed, 36, "{name}/seed {seed}: all ops complete");
-            check(report.trace.to_history())
-                .unwrap_or_else(|e| panic!("{name}/seed {seed}: criterion violated: {e}"));
+            check(report.trace.to_history()).unwrap_or_else(|e| {
+                dump_trace_timeline(&report.trace);
+                panic!("{name}/seed {seed}: criterion violated: {e}")
+            });
             for rounds in report.trace.rounds(OpKind::Read) {
                 match rounds {
                     1 => fast_reads += 1,

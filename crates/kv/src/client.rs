@@ -30,12 +30,15 @@
 //! authoritative, a sealed one forwards to the new routing.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use rmem_net::{Client, ClientError};
+use rmem_obs::{
+    Counter, EventKind, FlightEvent, FlightRecorder, Histogram, MetricsSnapshot, ObsHandle,
+};
 use rmem_types::{Op, OpResult, ProcessId, RegisterId, Value};
 
 use crate::codec;
@@ -49,17 +52,51 @@ use crate::router::ShardRouter;
 /// epochs.
 const MAP_RETRIES: usize = 6;
 
-/// Shared per-client operation counters (all clones update one set).
-#[derive(Debug, Default)]
-struct OpStatsInner {
-    reads: AtomicU64,
-    read_rounds: AtomicU64,
-    fast_reads: AtomicU64,
-    writes: AtomicU64,
-    write_rounds: AtomicU64,
-    barrier_waits: AtomicU64,
-    barrier_polls: AtomicU64,
-    map_refreshes: AtomicU64,
+/// Shared per-client observability (all clones update one set): the
+/// `rmem-obs` registry with every hot-path handle pre-resolved, plus the
+/// client-side flight recorder. The former `OpStatsInner` counters live
+/// in the registry now — [`KvClient::stats`] reads them back out, so the
+/// [`KvOpStats`] surface is unchanged while `cluster`-style snapshots
+/// ([`KvClient::metrics`]) see the same numbers.
+#[derive(Debug)]
+struct ClientObs {
+    handle: ObsHandle,
+    reads: Arc<Counter>,
+    read_rounds: Arc<Counter>,
+    fast_reads: Arc<Counter>,
+    writes: Arc<Counter>,
+    write_rounds: Arc<Counter>,
+    barrier_waits: Arc<Counter>,
+    barrier_polls: Arc<Counter>,
+    map_refreshes: Arc<Counter>,
+    get_micros: Arc<Histogram>,
+    put_micros: Arc<Histogram>,
+}
+
+impl ClientObs {
+    fn new(handle: ObsHandle) -> Self {
+        let m = &handle.metrics;
+        ClientObs {
+            reads: m.counter("kv.reads"),
+            read_rounds: m.counter("kv.read_rounds"),
+            fast_reads: m.counter("kv.fast_reads"),
+            writes: m.counter("kv.writes"),
+            write_rounds: m.counter("kv.write_rounds"),
+            barrier_waits: m.counter("kv.barrier_waits"),
+            barrier_polls: m.counter("kv.barrier_polls"),
+            map_refreshes: m.counter("kv.map_refreshes"),
+            get_micros: m.histogram("kv.get_micros"),
+            put_micros: m.histogram("kv.put_micros"),
+            handle,
+        }
+    }
+
+    /// `Instant::now` for latency histograms, skipped when observability
+    /// is disabled (the bench baseline).
+    #[inline]
+    fn op_clock(&self) -> Option<Instant> {
+        self.handle.metrics.is_enabled().then(Instant::now)
+    }
 }
 
 /// Snapshot of a client's per-operation quorum-round statistics.
@@ -239,7 +276,7 @@ pub struct KvClient {
     busy_retries: u32,
     barrier_polls: u32,
     health: Arc<HealthMemory>,
-    stats: Arc<OpStatsInner>,
+    obs: Arc<ClientObs>,
     recorder: Option<(OpRecorder, ProcessId)>,
 }
 
@@ -268,9 +305,20 @@ impl KvClient {
             busy_retries: 32,
             barrier_polls: 512,
             health,
-            stats: Arc::new(OpStatsInner::default()),
+            obs: Arc::new(ClientObs::new(ObsHandle::new())),
             recorder: None,
         })
+    }
+
+    /// Replaces the client family's observability handle (shared with
+    /// clones made *after* this call). Benches pass
+    /// [`ObsHandle::disabled`] to measure the uninstrumented baseline —
+    /// counters still count (they are too cheap to gate), but latency
+    /// clocks are skipped and flight-recorder events are dropped at the
+    /// door.
+    pub fn with_obs(mut self, handle: ObsHandle) -> Self {
+        self.obs = Arc::new(ClientObs::new(handle));
+        self
     }
 
     /// Replaces the number of retries on `Busy` rejections (another client
@@ -352,35 +400,53 @@ impl KvClient {
         }
     }
 
-    /// Per-operation quorum-round statistics (shared with clones).
+    /// Per-operation quorum-round statistics (shared with clones). Reads
+    /// the `kv.*` counters of this client family's metrics registry.
     pub fn stats(&self) -> KvOpStats {
         KvOpStats {
-            reads: self.stats.reads.load(Ordering::Relaxed),
-            read_rounds: self.stats.read_rounds.load(Ordering::Relaxed),
-            fast_reads: self.stats.fast_reads.load(Ordering::Relaxed),
-            writes: self.stats.writes.load(Ordering::Relaxed),
-            write_rounds: self.stats.write_rounds.load(Ordering::Relaxed),
-            barrier_waits: self.stats.barrier_waits.load(Ordering::Relaxed),
-            barrier_polls: self.stats.barrier_polls.load(Ordering::Relaxed),
-            map_refreshes: self.stats.map_refreshes.load(Ordering::Relaxed),
+            reads: self.obs.reads.get(),
+            read_rounds: self.obs.read_rounds.get(),
+            fast_reads: self.obs.fast_reads.get(),
+            writes: self.obs.writes.get(),
+            write_rounds: self.obs.write_rounds.get(),
+            barrier_waits: self.obs.barrier_waits.get(),
+            barrier_polls: self.obs.barrier_polls.get(),
+            map_refreshes: self.obs.map_refreshes.get(),
         }
     }
 
+    /// A snapshot of the client family's metrics registry: the `kv.*`
+    /// counters behind [`stats`](Self::stats) plus the wall-clock
+    /// `kv.get_micros` / `kv.put_micros` latency histograms (empty when
+    /// the handle is disabled or no wall-clock op has run).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.obs.handle.metrics.snapshot()
+    }
+
+    /// The metrics registry shared by this client family (for layers
+    /// stacked on top — e.g. the batching scheduler — to register their
+    /// own instruments into the same snapshot).
+    pub fn metrics_registry(&self) -> &rmem_obs::Registry {
+        &self.obs.handle.metrics
+    }
+
+    /// The client-side flight recorder: epoch refreshes, barrier waits
+    /// and observed migration seals, in event order.
+    pub fn flight_recorder(&self) -> Arc<FlightRecorder> {
+        self.obs.handle.flight.clone()
+    }
+
     fn record_read(&self, rounds: u32) {
-        self.stats.reads.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .read_rounds
-            .fetch_add(u64::from(rounds), Ordering::Relaxed);
+        self.obs.reads.inc();
+        self.obs.read_rounds.add(u64::from(rounds));
         if rounds <= 1 {
-            self.stats.fast_reads.fetch_add(1, Ordering::Relaxed);
+            self.obs.fast_reads.inc();
         }
     }
 
     fn record_write(&self, rounds: u32) {
-        self.stats.writes.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .write_rounds
-            .fetch_add(u64::from(rounds), Ordering::Relaxed);
+        self.obs.writes.inc();
+        self.obs.write_rounds.add(u64::from(rounds));
     }
 
     /// The current cached shard map (shared with clones).
@@ -435,7 +501,7 @@ impl KvClient {
     /// Returns [`KvError::Register`] if the config register cannot be
     /// read.
     pub fn refresh_map(&self) -> Result<bool, KvError> {
-        self.stats.map_refreshes.fetch_add(1, Ordering::Relaxed);
+        self.obs.map_refreshes.inc();
         let payload = self.reg_read(CONFIG_REGISTER, "shard-map")?;
         self.synced.store(true, Ordering::Relaxed);
         let Some(published) = ShardMap::decode(&payload) else {
@@ -443,7 +509,15 @@ impl KvClient {
         };
         let before = self.shard_map();
         self.adopt(&published);
-        Ok(self.shard_map() != before)
+        let changed = self.shard_map() != before;
+        if changed {
+            self.obs.handle.flight.record(
+                FlightEvent::new(EventKind::EpochRefresh)
+                    .with_epoch(published.epoch as u32)
+                    .with_aux(u64::from(published.shards)),
+            );
+        }
+        Ok(changed)
     }
 
     /// One-time bootstrap sync, run implicitly by the first operation of
@@ -785,14 +859,28 @@ impl KvClient {
             if self.shard_map() != *map {
                 return Ok(false);
             }
-            self.stats.barrier_polls.fetch_add(1, Ordering::Relaxed);
+            self.obs.barrier_polls.inc();
             let payload = self.reg_read(reg, key)?;
             if map.seals_source(&payload, old_shard) {
+                if waited {
+                    // How long the writer actually stalled, in seal polls.
+                    self.obs.handle.flight.record(
+                        FlightEvent::new(EventKind::BarrierWait)
+                            .with_register(reg.0)
+                            .with_epoch(map.epoch as u32)
+                            .with_aux(u64::from(poll)),
+                    );
+                }
+                self.obs.handle.flight.record(
+                    FlightEvent::new(EventKind::SealObserved)
+                        .with_register(reg.0)
+                        .with_epoch(map.epoch as u32),
+                );
                 return Ok(true);
             }
             if !waited {
                 waited = true;
-                self.stats.barrier_waits.fetch_add(1, Ordering::Relaxed);
+                self.obs.barrier_waits.inc();
             }
             // Escalating backoff, capped: the migrator seals a shard in a
             // handful of register rounds, so the common case is one short
@@ -804,6 +892,13 @@ impl KvClient {
             let backoff = (100u64 << poll.min(5)).min(2_000);
             std::thread::sleep(Duration::from_micros(backoff));
         }
+        // Exhausted without a seal: the stall itself is worth a trace.
+        self.obs.handle.flight.record(
+            FlightEvent::new(EventKind::BarrierWait)
+                .with_register(reg.0)
+                .with_epoch(map.epoch as u32)
+                .with_aux(u64::from(self.barrier_polls)),
+        );
         Err(KvError::Barrier {
             key: key.to_string(),
             shard: old_shard,
@@ -829,8 +924,20 @@ impl KvClient {
     /// frame, [`KvError::Barrier`] if a migration barrier never cleared,
     /// [`KvError::Register`] if the register operation fails.
     pub fn put(&self, key: &str, value: impl Into<Bytes>) -> Result<(), KvError> {
+        let clock = self.obs.op_clock();
+        let outcome = self.put_inner(key, value.into());
+        if let Some(started) = clock {
+            self.obs
+                .put_micros
+                .record(started.elapsed().as_micros() as u64);
+        }
+        outcome
+    }
+
+    /// [`put`](Self::put)'s engine (split out so the wall-clock latency
+    /// histogram brackets the whole operation, retries included).
+    fn put_inner(&self, key: &str, value: Bytes) -> Result<(), KvError> {
         self.sync_map()?;
-        let value = value.into();
         // Recorded as ONE store operation however many rounds serve it:
         // the invocation opens just before the first write attempt, the
         // reply lands after the last — so an epoch-repair re-write (below)
@@ -900,11 +1007,17 @@ impl KvClient {
     /// Returns [`KvError::Register`] if a register operation fails.
     pub fn get(&self, key: &str) -> Result<Option<Bytes>, KvError> {
         self.sync_map()?;
+        let clock = self.obs.op_clock();
         // Recorded as ONE store operation: the invocation opens before
         // the first data read, the reply carries the payload that
         // actually answered (fallback hops and refresh-retries included).
         let mut inv = None;
         let outcome = self.get_inner(key, &mut inv);
+        if let Some(started) = clock {
+            self.obs
+                .get_micros
+                .record(started.elapsed().as_micros() as u64);
+        }
         match &outcome {
             Ok((payload, _)) => {
                 self.rec_outcome(inv, Ok(OpResult::ReadValue(payload.clone())));

@@ -196,6 +196,12 @@ fn run_seed(seed: u64) -> RunOutcome {
     )
     .unwrap_or_else(|e| {
         dump_history(&history);
+        // The per-node flight recorders: what each runner actually did
+        // (rounds, store queue→durable, group commits) around the
+        // violation — evidence the decoded history alone cannot carry.
+        eprintln!("{}", cluster.dump_flight_recorders(120));
+        eprintln!("--- client flight recorder ---");
+        eprintln!("{}", kv.flight_recorder().dump_timeline(120));
         panic!("seed {seed}: cross-epoch certification failed: {e}")
     });
     assert_eq!(

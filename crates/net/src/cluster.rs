@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use crossbeam::channel::unbounded;
 use parking_lot::Mutex;
+use rmem_obs::{FlightRecorder, MetricsSnapshot, ObsHandle};
 use rmem_storage::{
     CountingStorage, FileStorage, MemStorage, StableStorage, StorageError, StoreCounters,
     WalStorage,
@@ -113,6 +114,10 @@ pub struct LocalCluster {
     /// Per-node storage instrumentation (stores, bytes, commits, fsyncs);
     /// survives kill/restart so a whole experiment accumulates.
     counters: Vec<Arc<StoreCounters>>,
+    /// Per-node observability (metrics registry + flight recorder); like
+    /// the storage counters it survives kill/restart, so a node's event
+    /// trail spans its incarnations.
+    obs: Vec<ObsHandle>,
 }
 
 impl std::fmt::Debug for LocalCluster {
@@ -166,13 +171,31 @@ impl LocalCluster {
         dir: impl Into<PathBuf>,
         mode: DiskMode,
     ) -> Result<Self, NetError> {
+        Self::udp_with_disk_obs(n, factory, dir, mode, true)
+    }
+
+    /// [`udp_with_disk`](LocalCluster::udp_with_disk) with observability
+    /// switched on or off. `obs_enabled = false` is the uninstrumented
+    /// baseline the bench harness measures overhead against: flight
+    /// recorders drop every event and latency timing is skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] if sockets cannot be bound.
+    pub fn udp_with_disk_obs(
+        n: usize,
+        factory: Arc<dyn AutomatonFactory>,
+        dir: impl Into<PathBuf>,
+        mode: DiskMode,
+        obs_enabled: bool,
+    ) -> Result<Self, NetError> {
         let base = free_udp_base(n);
         let peers = UdpTransport::loopback_peers(n, base);
         let dir = dir.into();
         let disks = (0..n)
             .map(|i| NodeDisk::Dir(dir.join(format!("p{i}")), mode))
             .collect();
-        Self::assemble(factory, TransportKind::Udp(peers), disks)
+        Self::assemble_with_obs(factory, TransportKind::Udp(peers), disks, obs_enabled)
     }
 
     /// A TCP loopback cluster with file-backed storage under `dir`.
@@ -199,6 +222,15 @@ impl LocalCluster {
         kind: TransportKind,
         disks: Vec<NodeDisk>,
     ) -> Result<Self, NetError> {
+        Self::assemble_with_obs(factory, kind, disks, true)
+    }
+
+    fn assemble_with_obs(
+        factory: Arc<dyn AutomatonFactory>,
+        kind: TransportKind,
+        disks: Vec<NodeDisk>,
+        obs_enabled: bool,
+    ) -> Result<Self, NetError> {
         let n = disks.len();
         let mut cluster = LocalCluster {
             factory,
@@ -206,6 +238,15 @@ impl LocalCluster {
             disks,
             nodes: (0..n).map(|_| None).collect(),
             counters: (0..n).map(|_| StoreCounters::new()).collect(),
+            obs: (0..n)
+                .map(|_| {
+                    if obs_enabled {
+                        ObsHandle::new()
+                    } else {
+                        ObsHandle::disabled()
+                    }
+                })
+                .collect(),
         };
         for pid in ProcessId::all(n) {
             cluster.boot(pid)?;
@@ -224,7 +265,13 @@ impl LocalCluster {
             TransportKind::Tcp(peers) => Arc::new(TcpTransport::bind(pid, peers.clone(), tx)?),
         };
         let storage = self.disks[pid.index()].open(&self.counters[pid.index()]);
-        let runner = ProcessRunner::start(self.factory.as_ref(), storage, transport, rx);
+        let runner = ProcessRunner::start_with_obs(
+            self.factory.as_ref(),
+            storage,
+            transport,
+            rx,
+            self.obs[pid.index()].clone(),
+        );
         self.nodes[pid.index()] = Some(runner);
         Ok(())
     }
@@ -271,6 +318,44 @@ impl LocalCluster {
     /// fsyncs and group sizes, accumulated across restarts.
     pub fn storage_counters(&self, pid: ProcessId) -> Arc<StoreCounters> {
         self.counters[pid.index()].clone()
+    }
+
+    /// The observability handle for `pid` (metrics registry + flight
+    /// recorder), accumulated across restarts like the storage counters.
+    pub fn obs(&self, pid: ProcessId) -> &ObsHandle {
+        &self.obs[pid.index()]
+    }
+
+    /// The flight recorder for `pid` — the event trail to dump when a
+    /// fault experiment fails certification.
+    pub fn flight_recorder(&self, pid: ProcessId) -> Arc<FlightRecorder> {
+        self.obs[pid.index()].flight.clone()
+    }
+
+    /// A point-in-time copy of `pid`'s metrics, with the storage layer's
+    /// [`StoreCounters`] bridged in as `storage.*` gauges so one snapshot
+    /// covers the whole node.
+    pub fn metrics(&self, pid: ProcessId) -> MetricsSnapshot {
+        let c = &self.counters[pid.index()];
+        let mut snap = self.obs[pid.index()].metrics.snapshot();
+        snap.set_gauge("storage.stores", c.stores());
+        snap.set_gauge("storage.bytes", c.bytes());
+        snap.set_gauge("storage.retrieves", c.retrieves());
+        snap.set_gauge("storage.commits", c.commits());
+        snap.set_gauge("storage.fsyncs", c.fsyncs());
+        snap
+    }
+
+    /// Every node's flight-recorder tail, rendered as one labelled
+    /// timeline block per node — what the fault suites print when
+    /// certification fails.
+    pub fn dump_flight_recorders(&self, last: usize) -> String {
+        let mut out = String::new();
+        for pid in ProcessId::all(self.nodes.len()) {
+            out.push_str(&format!("--- flight recorder {pid} ---\n"));
+            out.push_str(&self.obs[pid.index()].flight.dump_timeline(last));
+        }
+        out
     }
 
     /// How many stable-storage commits have failed at `pid` (the first

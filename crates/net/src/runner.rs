@@ -17,6 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use rmem_obs::{EventKind, FlightEvent, FlightRecorder, ObsHandle};
 use rmem_storage::records::KEY_WRITTEN;
 use rmem_storage::{SnapshotView, StableStorage};
 use rmem_types::{
@@ -34,6 +35,10 @@ use crate::transport::{Inbound, Transport};
 /// space (see [`AutomatonFactory::recover`]), the moral equivalent of an
 /// OS-assigned ephemeral port.
 pub const KEY_BOOT_COUNT: &str = "_boot_count";
+
+/// How many trailing flight-recorder events a halting node dumps to
+/// stderr alongside its halt reason.
+pub const HALT_DUMP_EVENTS: usize = 64;
 
 enum RunnerEvent {
     Invoke {
@@ -55,9 +60,14 @@ enum RunnerEvent {
 /// register with one already in flight is rejected `Busy`, while
 /// operations on distinct registers — independent shards hosted by this
 /// node — proceed concurrently through the one event loop.
+/// What the table remembers per in-flight operation: its register, the
+/// client's reply channel, and when it was admitted (feeds
+/// `runner.op_micros`).
+type InFlight = (RegisterId, Sender<(OpResult, u32)>, Instant);
+
 #[derive(Default)]
 struct OpTable {
-    in_flight: HashMap<OpId, (RegisterId, Sender<(OpResult, u32)>)>,
+    in_flight: HashMap<OpId, InFlight>,
     by_register: HashMap<RegisterId, OpId>,
 }
 
@@ -73,14 +83,15 @@ impl OpTable {
     fn admit(&mut self, op: OpId, reg: RegisterId, reply: Sender<(OpResult, u32)>) {
         debug_assert!(!self.is_busy(reg), "admitting onto a busy register");
         self.by_register.insert(reg, op);
-        self.in_flight.insert(op, (reg, reply));
+        self.in_flight.insert(op, (reg, reply, Instant::now()));
     }
 
-    /// Completes `op` if it is in flight, returning its reply channel.
-    fn complete(&mut self, op: OpId) -> Option<Sender<(OpResult, u32)>> {
-        let (reg, reply) = self.in_flight.remove(&op)?;
+    /// Completes `op` if it is in flight, returning its reply channel and
+    /// admission time.
+    fn complete(&mut self, op: OpId) -> Option<(Sender<(OpResult, u32)>, Instant)> {
+        let (reg, reply, started) = self.in_flight.remove(&op)?;
         self.by_register.remove(&reg);
-        Some(reply)
+        Some((reply, started))
     }
 }
 
@@ -254,6 +265,7 @@ pub struct ProcessRunner {
     handle: Option<std::thread::JoinHandle<Box<dyn StableStorage>>>,
     transport: Arc<dyn Transport>,
     store_failures: Arc<AtomicU64>,
+    obs: ObsHandle,
 }
 
 impl std::fmt::Debug for ProcessRunner {
@@ -273,9 +285,23 @@ impl ProcessRunner {
     /// pushes into.
     pub fn start(
         factory: &dyn AutomatonFactory,
+        storage: Box<dyn StableStorage>,
+        transport: Arc<dyn Transport>,
+        inbox: Receiver<Inbound>,
+    ) -> Self {
+        Self::start_with_obs(factory, storage, transport, inbox, ObsHandle::new())
+    }
+
+    /// As [`start`](Self::start), with an explicit observability handle —
+    /// how [`LocalCluster`](crate::LocalCluster) gives each node a
+    /// registry and flight recorder that survive kill/restart (the handle
+    /// outlives the incarnation, so an experiment's metrics accumulate).
+    pub fn start_with_obs(
+        factory: &dyn AutomatonFactory,
         mut storage: Box<dyn StableStorage>,
         transport: Arc<dyn Transport>,
         inbox: Receiver<Inbound>,
+        obs: ObsHandle,
     ) -> Self {
         let me = transport.local();
         let n = transport.cluster_size();
@@ -304,6 +330,7 @@ impl ProcessRunner {
         let loop_transport = transport.clone();
         let store_failures = Arc::new(AtomicU64::new(0));
         let loop_failures = store_failures.clone();
+        let loop_obs = obs.clone();
         let handle = std::thread::Builder::new()
             .name(format!("rmem-proc-{me}"))
             .spawn(move || {
@@ -316,6 +343,7 @@ impl ProcessRunner {
                     me,
                     boot_count,
                     loop_failures,
+                    loop_obs,
                 )
             })
             .expect("spawning the process event loop");
@@ -326,6 +354,7 @@ impl ProcessRunner {
             handle: Some(handle),
             transport,
             store_failures,
+            obs,
         }
     }
 
@@ -346,6 +375,22 @@ impl ProcessRunner {
     /// the clean halt a log failure forces.
     pub fn is_halted(&self) -> bool {
         self.handle.as_ref().is_none_or(|h| h.is_finished())
+    }
+
+    /// This node's observability handle (registry + flight recorder).
+    pub fn obs(&self) -> &ObsHandle {
+        &self.obs
+    }
+
+    /// This node's flight recorder — dump it after a failure to see the
+    /// event trail that led there.
+    pub fn flight_recorder(&self) -> Arc<FlightRecorder> {
+        self.obs.flight.clone()
+    }
+
+    /// A point-in-time copy of this node's metrics.
+    pub fn metrics(&self) -> rmem_obs::MetricsSnapshot {
+        self.obs.metrics.snapshot()
     }
 
     /// A client handle for this process.
@@ -379,6 +424,33 @@ impl Drop for ProcessRunner {
     }
 }
 
+/// The runner-side metric handles, resolved once per incarnation.
+struct LoopMetrics {
+    ops_started: Arc<rmem_obs::Counter>,
+    ops_completed: Arc<rmem_obs::Counter>,
+    msgs_in: Arc<rmem_obs::Counter>,
+    msgs_out: Arc<rmem_obs::Counter>,
+    stores_queued: Arc<rmem_obs::Counter>,
+    stores_durable: Arc<rmem_obs::Counter>,
+    timer_fires: Arc<rmem_obs::Counter>,
+    op_micros: Arc<rmem_obs::Histogram>,
+}
+
+impl LoopMetrics {
+    fn resolve(obs: &ObsHandle) -> Self {
+        LoopMetrics {
+            ops_started: obs.metrics.counter("runner.ops_started"),
+            ops_completed: obs.metrics.counter("runner.ops_completed"),
+            msgs_in: obs.metrics.counter("runner.msgs_in"),
+            msgs_out: obs.metrics.counter("runner.msgs_out"),
+            stores_queued: obs.metrics.counter("runner.stores_queued"),
+            stores_durable: obs.metrics.counter("runner.stores_durable"),
+            timer_fires: obs.metrics.counter("runner.timer_fires"),
+            op_micros: obs.metrics.histogram("runner.op_micros"),
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_loop(
     mut automaton: Box<dyn Automaton>,
@@ -389,6 +461,7 @@ fn run_loop(
     me: ProcessId,
     boot_count: u64,
     store_failures: Arc<AtomicU64>,
+    obs: ObsHandle,
 ) -> Box<dyn StableStorage> {
     let mut timers: BinaryHeap<Reverse<(Instant, u64)>> = BinaryHeap::new();
     let mut timer_tokens: std::collections::HashMap<u64, TimerToken> =
@@ -396,11 +469,13 @@ fn run_loop(
     let mut timer_seq = 0u64;
     let mut pending = OpTable::default();
     let mut op_counter = boot_count << 32;
+    let mx = LoopMetrics::resolve(&obs);
+    let flight = obs.flight.clone();
 
     // The durability pipeline: stores leave the loop through the syncer's
     // queue and come back as StoreDone only after their group's fsync.
     let (store_done_tx, store_done_rx) = unbounded::<StoreOutcome>();
-    let syncer = Syncer::spawn(me, storage, store_done_tx, store_failures);
+    let syncer = Syncer::spawn_with_obs(me, storage, store_done_tx, store_failures, obs.clone());
 
     // Process one input and the actions it triggers. Stores are
     // asynchronous (paper's automaton contract): they are queued for the
@@ -420,10 +495,20 @@ fn run_loop(
         for action in actions {
             match action {
                 Action::Send { to, msg } => {
+                    mx.msgs_out.inc();
+                    if msg.is_request() {
+                        flight.record(
+                            FlightEvent::new(EventKind::RoundSent)
+                                .with_register(msg.request_id().reg.0)
+                                .with_aux(u64::from(to.0)),
+                        );
+                    }
                     // Fair-lossy: a failed send is a lost message.
                     let _ = transport.send(to, &msg);
                 }
                 Action::Store { token, key, bytes } => {
+                    mx.stores_queued.inc();
+                    flight.record(FlightEvent::new(EventKind::StoreQueued).with_aux(token.0));
                     syncer.submit(StoreRequest { token, key, bytes });
                 }
                 Action::SetTimer { token, after } => {
@@ -433,7 +518,16 @@ fn run_loop(
                     timers.push(Reverse((Instant::now() + Duration::from(after), seq)));
                 }
                 Action::Complete { op, result, rounds } => {
-                    if let Some(reply) = pending.complete(op) {
+                    if let Some((reply, started)) = pending.complete(op) {
+                        mx.ops_completed.inc();
+                        if obs.metrics.is_enabled() {
+                            mx.op_micros.record(started.elapsed().as_micros() as u64);
+                        }
+                        flight.record(
+                            FlightEvent::new(EventKind::OpComplete)
+                                .with_op(op.pid.0, op.counter)
+                                .with_aux(u64::from(rounds)),
+                        );
                         let _ = reply.send((result, rounds));
                     }
                 }
@@ -460,6 +554,7 @@ fn run_loop(
             }
             timers.pop();
             if let Some(token) = timer_tokens.remove(&seq) {
+                mx.timer_fires.inc();
                 step(
                     &mut automaton,
                     &syncer,
@@ -483,6 +578,20 @@ fn run_loop(
             recv(inbox) -> net => if let Ok(Inbound { from, msg }) = net {
                 // (An Err means the transport is gone; the control channel
                 // decides shutdown.)
+                mx.msgs_in.inc();
+                if !msg.is_request() {
+                    // An ack round-trip closing: the `durable` attestation
+                    // matters for the read fast path, so it rides along.
+                    let durable = match &msg {
+                        rmem_types::Message::ReadAck { durable, .. } => u64::from(*durable),
+                        _ => 1,
+                    };
+                    flight.record(
+                        FlightEvent::new(EventKind::AckRecv)
+                            .with_register(msg.request_id().reg.0)
+                            .with_aux(u64::from(from.0) << 1 | durable),
+                    );
+                }
                 step(
                     &mut automaton,
                     &syncer,
@@ -495,6 +604,8 @@ fn run_loop(
             },
             recv(store_done_rx) -> done => match done {
                 Ok(StoreOutcome::Done(token)) => {
+                    mx.stores_durable.inc();
+                    flight.record(FlightEvent::new(EventKind::StoreDurable).with_aux(token.0));
                     step(
                         &mut automaton,
                         &syncer,
@@ -509,11 +620,30 @@ fn run_loop(
                     // The log failed: per the crash-recovery model the
                     // process crashes rather than run ahead of its stable
                     // storage. Halt cleanly — in-flight operations see
-                    // ProcessDown, the disk survives for a restart.
-                    eprintln!("rmem[{me}]: stable storage failed ({e}); halting the node");
+                    // ProcessDown, the disk survives for a restart — and
+                    // leave a postmortem: the structured Halt event plus
+                    // the tail of the flight recorder.
+                    let reason = format!("stable storage failed: {e}");
+                    flight.halt(&reason);
+                    eprintln!(
+                        "rmem[{me}]: {reason}; halting the node\n\
+                         rmem[{me}]: last events before the halt:\n{}",
+                        flight.dump_timeline(HALT_DUMP_EVENTS)
+                    );
                     break;
                 }
-                Err(_) => break, // syncer gone without a verdict: halt
+                Err(_) => {
+                    // Syncer gone without a verdict: same terminal state,
+                    // same postmortem.
+                    let reason = "syncer exited without a verdict".to_string();
+                    flight.halt(&reason);
+                    eprintln!(
+                        "rmem[{me}]: {reason}; halting the node\n\
+                         rmem[{me}]: last events before the halt:\n{}",
+                        flight.dump_timeline(HALT_DUMP_EVENTS)
+                    );
+                    break;
+                }
             },
             recv(control) -> ctl => match ctl {
                 Ok(RunnerEvent::Invoke { operation, reply }) => {
@@ -523,6 +653,12 @@ fn run_loop(
                     } else {
                         let op = OpId::new(me, op_counter);
                         op_counter += 1;
+                        mx.ops_started.inc();
+                        flight.record(
+                            FlightEvent::new(EventKind::OpStart)
+                                .with_op(op.pid.0, op.counter)
+                                .with_register(reg.0),
+                        );
                         pending.admit(op, reg, reply);
                         step(
                             &mut automaton,

@@ -26,8 +26,10 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use rmem_obs::{EventKind, FlightEvent, ObsHandle};
 use rmem_storage::{StableStorage, StorageError};
 use rmem_types::StoreToken;
 
@@ -58,17 +60,20 @@ pub(crate) struct Syncer {
 impl Syncer {
     /// Spawns the syncer thread for one node. `outcomes` is how commit
     /// results re-enter the event loop; `failures` is the shared
-    /// `store_failures` counter.
-    pub(crate) fn spawn(
+    /// `store_failures` counter; `obs` is the node's observability
+    /// handle (group commits show up in the flight recorder and the
+    /// `syncer.*` metrics).
+    pub(crate) fn spawn_with_obs(
         me: rmem_types::ProcessId,
         storage: Box<dyn StableStorage>,
         outcomes: Sender<StoreOutcome>,
         failures: Arc<AtomicU64>,
+        obs: ObsHandle,
     ) -> Self {
         let (tx, rx) = unbounded::<StoreRequest>();
         let handle = std::thread::Builder::new()
             .name(format!("rmem-sync-{me}"))
-            .spawn(move || run(storage, rx, outcomes, failures))
+            .spawn(move || run(storage, rx, outcomes, failures, obs))
             .expect("spawning the syncer thread");
         Syncer {
             tx,
@@ -99,7 +104,12 @@ fn run(
     rx: Receiver<StoreRequest>,
     outcomes: Sender<StoreOutcome>,
     failures: Arc<AtomicU64>,
+    obs: ObsHandle,
 ) -> Box<dyn StableStorage> {
+    let commits = obs.metrics.counter("syncer.commits");
+    let commit_micros = obs.metrics.histogram("syncer.commit_micros");
+    let group_size = obs.metrics.histogram("syncer.group_size");
+    let store_failures = obs.metrics.counter("syncer.store_failures");
     // Blocks until work arrives; Err means the runner dropped the queue.
     while let Ok(first) = rx.recv() {
         // The group: everything queued while the previous commit ran.
@@ -107,6 +117,7 @@ fn run(
         while let Ok(req) = rx.try_recv() {
             batch.push(req);
         }
+        let commit_started = Instant::now();
         let mut staged = Vec::with_capacity(batch.len());
         let mut error = None;
         for req in batch {
@@ -121,6 +132,13 @@ fn run(
         let error = error.or_else(|| storage.flush().err());
         match error {
             None => {
+                commits.inc();
+                group_size.record(staged.len() as u64);
+                if obs.metrics.is_enabled() {
+                    commit_micros.record(commit_started.elapsed().as_micros() as u64);
+                }
+                obs.flight
+                    .record(FlightEvent::new(EventKind::GroupCommit).with_aux(staged.len() as u64));
                 for token in staged {
                     let _ = outcomes.send(StoreOutcome::Done(token));
                 }
@@ -132,6 +150,7 @@ fn run(
                 // stores are exactly what recovery is specified to
                 // tolerate), but no ack can have raced ahead.
                 failures.fetch_add(1, Ordering::Relaxed);
+                store_failures.inc();
                 let _ = outcomes.send(StoreOutcome::Failed(e));
                 break;
             }
@@ -207,11 +226,12 @@ mod tests {
         let probe = Probe::default();
         let committed = probe.committed.clone();
         let (out_tx, out_rx) = unbounded();
-        let syncer = Syncer::spawn(
+        let syncer = Syncer::spawn_with_obs(
             ProcessId(0),
             Box::new(probe),
             out_tx,
             Arc::new(AtomicU64::new(0)),
+            ObsHandle::new(),
         );
         for t in 0..10u64 {
             syncer.submit(req(t));
@@ -247,11 +267,12 @@ mod tests {
         };
         let log = probe.log.clone();
         let (out_tx, out_rx) = unbounded();
-        let syncer = Syncer::spawn(
+        let syncer = Syncer::spawn_with_obs(
             ProcessId(0),
             Box::new(probe),
             out_tx,
             Arc::new(AtomicU64::new(0)),
+            ObsHandle::new(),
         );
         // First store starts a slow commit; the rest pile up behind it.
         syncer.submit(req(0));
@@ -291,7 +312,13 @@ mod tests {
         let failures = Arc::new(AtomicU64::new(0));
         let (out_tx, out_rx) = unbounded();
         let storage = FaultyStorage::new(MemStorage::new(), FaultPlan::fail_at(vec![2]));
-        let syncer = Syncer::spawn(ProcessId(0), Box::new(storage), out_tx, failures.clone());
+        let syncer = Syncer::spawn_with_obs(
+            ProcessId(0),
+            Box::new(storage),
+            out_tx,
+            failures.clone(),
+            ObsHandle::new(),
+        );
         syncer.submit(req(0));
         // Let the first commit complete so the failing store is its own
         // group (deterministic position 2).

@@ -235,7 +235,13 @@ fn wal_backed_cluster_survives_kill_recover_certified() {
     for (reg, outcome) in
         rmem_consistency::check_per_register(&h, rmem_consistency::Criterion::Transient)
     {
-        outcome.unwrap_or_else(|e| panic!("register {reg} not atomic: {e}\n{h:?}"));
+        outcome.unwrap_or_else(|e| {
+            // Dump every node's flight recorder before dying: the event
+            // timelines (rounds, queued stores, group commits) around the
+            // violation are the evidence a rerun cannot reproduce.
+            eprintln!("{}", cluster.dump_flight_recorders(120));
+            panic!("register {reg} not atomic: {e}\n{h:?}")
+        });
     }
 
     // The recovered node actually replayed its log.

@@ -1,0 +1,77 @@
+//! # rmem-obs — observability for the rmem stack
+//!
+//! A dependency-free (std-only) observability layer with two lock-free
+//! primitives, threaded through every runtime crate:
+//!
+//! * the **metrics registry** ([`Registry`]) — atomic [`Counter`]s,
+//!   [`Gauge`]s and power-of-two log-bucketed [`Histogram`]s, resolved
+//!   by name once at setup and updated with relaxed atomics on the hot
+//!   path; snapshots ([`MetricsSnapshot`]) are mergeable and serialize
+//!   to JSON;
+//! * the **flight recorder** ([`FlightRecorder`]) — a bounded lock-free
+//!   ring of structured [`FlightEvent`]s (`OpStart`, `RoundSent`,
+//!   `AckRecv`, `GroupCommit`, `Halt`, …) with monotonic timestamps,
+//!   dumpable as human-readable timelines or JSON when something goes
+//!   wrong.
+//!
+//! An [`ObsHandle`] bundles one of each — the unit of instrumentation a
+//! node or client carries. [`ObsHandle::disabled`] is the uninstrumented
+//! baseline the bench harness compares against to enforce the ≤3%
+//! overhead invariant.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod recorder;
+
+pub use metrics::{
+    bucket_of, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot,
+    Registry, BUCKETS,
+};
+pub use recorder::{EventKind, FlightEvent, FlightRecorder};
+
+use std::sync::Arc;
+
+/// One component's observability: a metrics registry plus a flight
+/// recorder. Cheap to clone (both sides are `Arc`-backed); clones share
+/// the same metrics and ring.
+#[derive(Debug, Clone, Default)]
+pub struct ObsHandle {
+    /// The metrics registry.
+    pub metrics: Registry,
+    /// The flight recorder.
+    pub flight: Arc<FlightRecorder>,
+}
+
+impl ObsHandle {
+    /// A fresh, enabled handle with the default ring capacity.
+    pub fn new() -> Self {
+        ObsHandle {
+            metrics: Registry::new(),
+            flight: Arc::new(FlightRecorder::default()),
+        }
+    }
+
+    /// A fresh handle with an explicit ring capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ObsHandle {
+            metrics: Registry::new(),
+            flight: Arc::new(FlightRecorder::new(capacity)),
+        }
+    }
+
+    /// The uninstrumented baseline: the registry reports disabled (so
+    /// latency timing is skipped) and the recorder drops every event.
+    pub fn disabled() -> Self {
+        ObsHandle {
+            metrics: Registry::disabled(),
+            flight: Arc::new(FlightRecorder::disabled()),
+        }
+    }
+
+    /// Whether this handle observes anything expensive.
+    pub fn is_enabled(&self) -> bool {
+        self.metrics.is_enabled()
+    }
+}

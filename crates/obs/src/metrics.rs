@@ -1,0 +1,526 @@
+//! The lock-free metrics registry: counters, gauges and log-bucketed
+//! histograms.
+//!
+//! Everything on the hot path is a relaxed atomic operation on a
+//! pre-resolved handle — instrumented code calls
+//! [`Registry::counter`]/[`Registry::histogram`] once at setup, keeps the
+//! returned `Arc`, and pays one `fetch_add` per observation afterwards.
+//! The registry's interior `Mutex` guards only name → handle resolution
+//! (setup time) and snapshotting (read time), never an increment.
+//!
+//! Histograms are HdrHistogram-style power-of-two log buckets: a fixed
+//! array of [`BUCKETS`] atomic counters where value `v` lands in bucket
+//! `64 - v.leading_zeros()` (clamped). Recording is two relaxed
+//! `fetch_add`s plus one for the sum; percentiles are computed from a
+//! [`HistogramSnapshot`] by nearest rank, reporting the inclusive upper
+//! bound of the bucket holding that rank (≤ 2× error by construction,
+//! plenty for latency distributions spanning microseconds to seconds).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: one per power of two of `u64`, plus the
+/// zero bucket.
+pub const BUCKETS: usize = 64;
+
+/// A monotonically increasing counter. Increments are relaxed atomics —
+/// no ordering, no loss (RMW operations never drop updates).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Replaces the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if larger (high-water marks).
+    #[inline]
+    pub fn raise(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The bucket value `v` lands in: 0 for 0, otherwise one bucket per
+/// power of two (`1→1`, `2..=3→2`, `4..=7→3`, …), clamped to the last
+/// bucket.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    ((u64::BITS - v.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// The largest value bucket `b` holds (`2^b − 1` for interior buckets,
+/// `u64::MAX` for the last).
+pub fn bucket_upper_bound(b: usize) -> u64 {
+    if b >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// A lock-free log-bucketed histogram (see the module docs for the
+/// bucketing scheme). `record` is three relaxed `fetch_add`s.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the distribution. Concurrent recording is
+    /// fine; the snapshot may be off by the in-flight handful.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// An owned copy of a [`Histogram`]'s state: mergeable, queryable for
+/// percentiles, serializable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Per-bucket observation counts (see [`bucket_of`]).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Folds `other` into `self` bucket-wise. Merging distributions
+    /// recorded with the same bucketing is exact.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// Mean of the recorded values (exact — the sum is tracked outside
+    /// the buckets). 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) by nearest rank, reported as the
+    /// inclusive upper bound of the bucket containing that rank. 0 when
+    /// empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(b);
+            }
+        }
+        bucket_upper_bound(BUCKETS - 1)
+    }
+
+    /// Renders the quartet of latency percentiles as a compact JSON
+    /// object (used by the bench snapshot).
+    pub fn to_json(&self) -> String {
+        let mut sparse = String::new();
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                if !sparse.is_empty() {
+                    sparse.push(',');
+                }
+                sparse.push_str(&format!("[{b},{n}]"));
+            }
+        }
+        format!(
+            "{{\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"buckets\":[{}]}}",
+            self.count,
+            self.sum,
+            self.percentile(0.50),
+            self.percentile(0.90),
+            self.percentile(0.99),
+            self.percentile(0.999),
+            sparse
+        )
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// A named collection of metrics, one per node or client.
+///
+/// Cloning shares the underlying metrics (the handle is an `Arc`).
+/// Resolution (`counter`/`gauge`/`histogram`) takes a short mutex and is
+/// meant for setup paths; the returned handles are lock-free.
+///
+/// A registry built with [`Registry::disabled`] still hands out working
+/// handles (counters count — they are too cheap to gate) but reports
+/// [`is_enabled`](Registry::is_enabled)` == false`, which instrumented
+/// code uses to skip *expensive* observations such as `Instant::now`
+/// pairs for latency histograms.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+    enabled: bool,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("enabled", &self.enabled)
+            .finish()
+    }
+}
+
+impl Registry {
+    /// A fresh, enabled registry.
+    pub fn new() -> Self {
+        Registry {
+            inner: Arc::new(RegistryInner::default()),
+            enabled: true,
+        }
+    }
+
+    /// A registry whose expensive observations are off (see the type
+    /// docs) — the bench harness's uninstrumented baseline.
+    pub fn disabled() -> Self {
+        Registry {
+            inner: Arc::new(RegistryInner::default()),
+            enabled: false,
+        }
+    }
+
+    /// Whether expensive observations (latency timing) should run.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.inner.counters.lock().expect("counter registry");
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Counter::new()))
+            .clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.inner.gauges.lock().expect("gauge registry");
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Gauge::new()))
+            .clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.inner.histograms.lock().expect("histogram registry");
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .inner
+                .counters
+                .lock()
+                .expect("counter registry")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .inner
+                .gauges
+                .lock()
+                .expect("gauge registry")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .inner
+                .histograms
+                .lock()
+                .expect("histogram registry")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// An owned point-in-time copy of a [`Registry`]: plain maps, mergeable
+/// and serializable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The counter named `name`, 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The gauge named `name`, 0 if absent.
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// The histogram named `name`, empty if absent.
+    pub fn histogram(&self, name: &str) -> HistogramSnapshot {
+        self.histograms.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Injects a gauge value — how external counter surfaces (e.g. the
+    /// storage layer's `StoreCounters`) are bridged into a snapshot.
+    pub fn set_gauge(&mut self, name: &str, v: u64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Folds `other` into `self`: counters and histograms add, gauges
+    /// take the maximum.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let e = self.gauges.entry(k.clone()).or_insert(0);
+            *e = (*e).max(*v);
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(v);
+        }
+    }
+
+    /// Serializes the snapshot as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{k}\":{v}"));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{k}\":{v}"));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, v)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{k}\":{}", v.to_json()));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders the snapshot as an aligned human-readable block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("  {k:<32} {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("  {k:<32} {v} (gauge)\n"));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!(
+                "  {k:<32} n={} mean={:.1} p50≤{} p99≤{}\n",
+                h.count,
+                h.mean(),
+                h.percentile(0.50),
+                h.percentile(0.99),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        // Every value is ≤ its bucket's upper bound and > the previous
+        // bucket's.
+        for v in [0u64, 1, 2, 3, 5, 100, 1 << 20, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(v <= bucket_upper_bound(b));
+            if b > 0 {
+                assert!(v > bucket_upper_bound(b - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_percentiles_bound_the_data() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500_500);
+        // p50 of 1..=1000 is 500; the bucket bound reports ≤ 2× above.
+        let p50 = s.percentile(0.50);
+        assert!((500..=1023).contains(&p50), "p50={p50}");
+        let p999 = s.percentile(0.999);
+        assert!((999..=1023).contains(&p999), "p999={p999}");
+        assert!(s.percentile(1.0) >= s.percentile(0.5));
+    }
+
+    #[test]
+    fn registry_hands_out_shared_handles() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.snapshot().counter("x"), 3);
+        r.gauge("g").set(7);
+        r.gauge("g").raise(3); // lower: no effect
+        assert_eq!(r.snapshot().gauge("g"), 7);
+        assert!(r.is_enabled());
+        assert!(!Registry::disabled().is_enabled());
+    }
+
+    #[test]
+    fn snapshot_merge_and_json() {
+        let r = Registry::new();
+        r.counter("ops").add(5);
+        r.histogram("lat").record(100);
+        let mut a = r.snapshot();
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.counter("ops"), 10);
+        assert_eq!(a.histogram("lat").count, 2);
+        let json = a.to_json();
+        assert!(json.contains("\"ops\":10"));
+        assert!(json.contains("\"lat\""));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        a.set_gauge("bridge", 42);
+        assert_eq!(a.gauge("bridge"), 42);
+        assert!(a.render().contains("ops"));
+    }
+}

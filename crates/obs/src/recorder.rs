@@ -1,0 +1,473 @@
+//! The per-node **flight recorder**: a bounded lock-free ring of
+//! structured events, written on the hot path and dumped on demand —
+//! the postmortem substrate for "which node, round, seal poll or fsync
+//! produced this interleaving".
+//!
+//! ## Lock-freedom without `unsafe`
+//!
+//! Writers claim a slot with one `fetch_add` on the head ticket and
+//! publish through a per-slot sequence word (a seqlock made of plain
+//! atomics, so the crate stays `forbid(unsafe_code)`):
+//!
+//! 1. `seq ← 2·ticket + 1` (odd: write in progress),
+//! 2. the five payload words are stored relaxed,
+//! 3. `seq ← 2·ticket + 2` (even: published; encodes the ticket, so a
+//!    slot overwritten by a later lap is detectable).
+//!
+//! Readers ([`FlightRecorder::dump`]) load the expected sequence, copy
+//! the words, and re-check the sequence: any concurrent overwrite makes
+//! the check fail and the entry is discarded rather than surfaced torn.
+//! The ring never blocks a writer — old events are overwritten, and
+//! [`dropped`](FlightRecorder::dropped) reports how many fell off.
+//!
+//! Timestamps are monotonic (`Instant`-based) microseconds since the
+//! recorder's creation, so one node's dump is internally ordered even
+//! across its threads (event loop + syncer).
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// What happened. The variants mirror the life of an operation through
+/// the stack: client admission, quorum rounds, the durability pipeline,
+/// the kv layer's epoch machinery, and the terminal halt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// An operation was admitted by a node's event loop.
+    OpStart = 1,
+    /// The operation replied to its client (`aux` = quorum round-trips).
+    OpComplete = 2,
+    /// A protocol request left for a peer (`aux` = destination pid).
+    RoundSent = 3,
+    /// An acknowledgement arrived (`aux` = sender pid ≪ 1 | durable bit).
+    AckRecv = 4,
+    /// A store left the event loop for the syncer (`aux` = store token).
+    StoreQueued = 5,
+    /// The fsync covering a store returned (`aux` = store token).
+    StoreDurable = 6,
+    /// The syncer committed a batch (`aux` = group size).
+    GroupCommit = 7,
+    /// A client observed a shard seal during a split (`aux` = shard).
+    SealObserved = 8,
+    /// A client adopted a newer shard map (`aux` = shard count).
+    EpochRefresh = 9,
+    /// A client entered the split write barrier (`aux` = polls so far).
+    BarrierWait = 10,
+    /// The node halted (see [`FlightRecorder::halt_reason`]).
+    Halt = 11,
+}
+
+impl EventKind {
+    fn from_u8(v: u8) -> Option<EventKind> {
+        Some(match v {
+            1 => EventKind::OpStart,
+            2 => EventKind::OpComplete,
+            3 => EventKind::RoundSent,
+            4 => EventKind::AckRecv,
+            5 => EventKind::StoreQueued,
+            6 => EventKind::StoreDurable,
+            7 => EventKind::GroupCommit,
+            8 => EventKind::SealObserved,
+            9 => EventKind::EpochRefresh,
+            10 => EventKind::BarrierWait,
+            11 => EventKind::Halt,
+            _ => return None,
+        })
+    }
+
+    /// Stable label used in timelines and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::OpStart => "OpStart",
+            EventKind::OpComplete => "OpComplete",
+            EventKind::RoundSent => "RoundSent",
+            EventKind::AckRecv => "AckRecv",
+            EventKind::StoreQueued => "StoreQueued",
+            EventKind::StoreDurable => "StoreDurable",
+            EventKind::GroupCommit => "GroupCommit",
+            EventKind::SealObserved => "SealObserved",
+            EventKind::EpochRefresh => "EpochRefresh",
+            EventKind::BarrierWait => "BarrierWait",
+            EventKind::Halt => "Halt",
+        }
+    }
+}
+
+/// One structured event. Built with the `with_*` helpers; the recorder
+/// stamps the timestamp at [`FlightRecorder::record`] time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Microseconds since the recorder's creation.
+    pub at_micros: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// The register (= shard slot) involved, 0 when not applicable.
+    pub register: u16,
+    /// The shard-map epoch in force, 0 when not applicable.
+    pub epoch: u32,
+    /// The operation involved, as `(origin pid, per-process counter)`.
+    pub op: Option<(u16, u64)>,
+    /// Kind-specific payload (see [`EventKind`]).
+    pub aux: u64,
+}
+
+impl FlightEvent {
+    /// An event of `kind` with every field defaulted.
+    pub fn new(kind: EventKind) -> Self {
+        FlightEvent {
+            at_micros: 0,
+            kind,
+            register: 0,
+            epoch: 0,
+            op: None,
+            aux: 0,
+        }
+    }
+
+    /// Sets the register.
+    pub fn with_register(mut self, reg: u16) -> Self {
+        self.register = reg;
+        self
+    }
+
+    /// Sets the epoch.
+    pub fn with_epoch(mut self, epoch: u32) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// Sets the operation id.
+    pub fn with_op(mut self, pid: u16, counter: u64) -> Self {
+        self.op = Some((pid, counter));
+        self
+    }
+
+    /// Sets the kind-specific payload.
+    pub fn with_aux(mut self, aux: u64) -> Self {
+        self.aux = aux;
+        self
+    }
+
+    /// The event as one JSON object.
+    pub fn to_json(&self) -> String {
+        let op = match self.op {
+            Some((pid, c)) => format!("\"p{pid}#{c}\""),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"t_us\":{},\"kind\":\"{}\",\"op\":{},\"reg\":{},\"epoch\":{},\"aux\":{}}}",
+            self.at_micros,
+            self.kind.label(),
+            op,
+            self.register,
+            self.epoch,
+            self.aux
+        )
+    }
+}
+
+impl std::fmt::Display for FlightEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{:>12.6}s] {:<12}",
+            self.at_micros as f64 / 1e6,
+            self.kind.label()
+        )?;
+        if let Some((pid, c)) = self.op {
+            write!(f, " op=p{pid}#{c}")?;
+        }
+        write!(f, " r{}", self.register)?;
+        if self.epoch != 0 {
+            write!(f, " e{}", self.epoch)?;
+        }
+        match self.kind {
+            EventKind::RoundSent => write!(f, " to=p{}", self.aux),
+            EventKind::AckRecv => write!(
+                f,
+                " from=p{} {}",
+                self.aux >> 1,
+                if self.aux & 1 == 1 {
+                    "durable"
+                } else {
+                    "volatile"
+                }
+            ),
+            EventKind::OpComplete => write!(f, " rounds={}", self.aux),
+            EventKind::StoreQueued | EventKind::StoreDurable => write!(f, " token={}", self.aux),
+            EventKind::GroupCommit => write!(f, " size={}", self.aux),
+            EventKind::EpochRefresh => write!(f, " shards={}", self.aux),
+            EventKind::BarrierWait => write!(f, " polls={}", self.aux),
+            _ if self.aux != 0 => write!(f, " aux={}", self.aux),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Payload words per slot (timestamp, packed kind/register/epoch, op
+/// pid, op counter, aux).
+const SLOT_WORDS: usize = 5;
+/// Sentinel for "no operation id".
+const NO_OP: u64 = u64::MAX;
+
+struct Slot {
+    seq: AtomicU64,
+    words: [AtomicU64; SLOT_WORDS],
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Slot {
+            seq: AtomicU64::new(0),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// The bounded lock-free event ring (see the module docs).
+pub struct FlightRecorder {
+    enabled: bool,
+    origin: Instant,
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+    halt: Mutex<Option<String>>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.head.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(FlightRecorder::DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// Default ring capacity: enough to hold the full event trail of a
+    /// few hundred operations.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// A recorder holding the last `capacity` events (rounded up to a
+    /// power of two, minimum 8).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(8);
+        FlightRecorder {
+            enabled: true,
+            origin: Instant::now(),
+            head: AtomicU64::new(0),
+            slots: (0..cap).map(|_| Slot::empty()).collect(),
+            halt: Mutex::new(None),
+        }
+    }
+
+    /// A recorder that drops every event at the door — the bench
+    /// harness's uninstrumented baseline.
+    pub fn disabled() -> Self {
+        FlightRecorder {
+            enabled: false,
+            ..FlightRecorder::new(8)
+        }
+    }
+
+    /// Whether this recorder keeps events.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events recorded over the recorder's lifetime (including ones the
+    /// ring has since overwritten).
+    pub fn total_recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Events that have fallen off the ring.
+    pub fn dropped(&self) -> u64 {
+        self.total_recorded()
+            .saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Records `ev`, stamping it with the current monotonic offset.
+    /// Lock-free: one ticket `fetch_add` plus the slot's seqlock stores.
+    #[inline]
+    pub fn record(&self, ev: FlightEvent) {
+        if !self.enabled {
+            return;
+        }
+        let at = self.origin.elapsed().as_micros() as u64;
+        let mask = self.slots.len() as u64 - 1;
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket & mask) as usize];
+        // Odd sequence: write in progress. The RMW with AcqRel keeps the
+        // payload stores below from being hoisted above it.
+        slot.seq.swap(2 * ticket + 1, Ordering::AcqRel);
+        let packed = ev.kind as u64 | (ev.register as u64) << 16 | (ev.epoch as u64) << 32;
+        let (op_pid, op_ctr) = match ev.op {
+            Some((pid, c)) => (pid as u64, c),
+            None => (NO_OP, 0),
+        };
+        slot.words[0].store(at, Ordering::Relaxed);
+        slot.words[1].store(packed, Ordering::Relaxed);
+        slot.words[2].store(op_pid, Ordering::Relaxed);
+        slot.words[3].store(op_ctr, Ordering::Relaxed);
+        slot.words[4].store(ev.aux, Ordering::Relaxed);
+        // Even sequence encoding the ticket: published.
+        slot.seq.store(2 * ticket + 2, Ordering::Release);
+    }
+
+    /// Marks the node halted: stores the human-readable reason and
+    /// records a [`EventKind::Halt`] event.
+    pub fn halt(&self, reason: &str) {
+        *self.halt.lock().expect("halt reason") = Some(reason.to_string());
+        self.record(FlightEvent::new(EventKind::Halt));
+    }
+
+    /// The halt reason, if [`halt`](FlightRecorder::halt) was called.
+    pub fn halt_reason(&self) -> Option<String> {
+        self.halt.lock().expect("halt reason").clone()
+    }
+
+    /// Copies out the ring's events, oldest first. Entries a concurrent
+    /// writer is mid-way through (or has lapped) fail their sequence
+    /// check and are skipped — a dump never contains a torn event.
+    pub fn dump(&self) -> Vec<FlightEvent> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let mask = cap - 1;
+        let mut out = Vec::with_capacity(head.min(cap) as usize);
+        for ticket in head.saturating_sub(cap)..head {
+            let slot = &self.slots[(ticket & mask) as usize];
+            let expect = 2 * ticket + 2;
+            if slot.seq.load(Ordering::Acquire) != expect {
+                continue; // in progress, or overwritten by a later lap
+            }
+            let words: [u64; SLOT_WORDS] =
+                std::array::from_fn(|i| slot.words[i].load(Ordering::Relaxed));
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != expect {
+                continue; // overwritten while we copied: discard
+            }
+            let Some(kind) = EventKind::from_u8((words[1] & 0xff) as u8) else {
+                continue;
+            };
+            out.push(FlightEvent {
+                at_micros: words[0],
+                kind,
+                register: (words[1] >> 16) as u16,
+                epoch: (words[1] >> 32) as u32,
+                op: if words[2] == NO_OP {
+                    None
+                } else {
+                    Some((words[2] as u16, words[3]))
+                },
+                aux: words[4],
+            });
+        }
+        out
+    }
+
+    /// The last `n` events rendered as a human-readable timeline,
+    /// prefixed with the halt reason (if any) and the drop count.
+    pub fn dump_timeline(&self, n: usize) -> String {
+        let events = self.dump();
+        let shown = &events[events.len().saturating_sub(n)..];
+        let mut out = String::new();
+        if let Some(reason) = self.halt_reason() {
+            out.push_str(&format!("  halted: {reason}\n"));
+        }
+        let dropped = self.dropped();
+        if dropped > 0 {
+            out.push_str(&format!("  ({dropped} earlier events overwritten)\n"));
+        }
+        for ev in shown {
+            out.push_str(&format!("  {ev}\n"));
+        }
+        out
+    }
+
+    /// The last `n` events as a JSON array.
+    pub fn dump_json(&self, n: usize) -> String {
+        let events = self.dump();
+        let shown = &events[events.len().saturating_sub(n)..];
+        let body: Vec<String> = shown.iter().map(FlightEvent::to_json).collect();
+        format!("[{}]", body.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_through_the_ring() {
+        let rec = FlightRecorder::new(64);
+        rec.record(
+            FlightEvent::new(EventKind::OpStart)
+                .with_op(3, 41)
+                .with_register(7)
+                .with_epoch(2),
+        );
+        rec.record(FlightEvent::new(EventKind::GroupCommit).with_aux(5));
+        let dump = rec.dump();
+        assert_eq!(dump.len(), 2);
+        assert_eq!(dump[0].kind, EventKind::OpStart);
+        assert_eq!(dump[0].op, Some((3, 41)));
+        assert_eq!(dump[0].register, 7);
+        assert_eq!(dump[0].epoch, 2);
+        assert_eq!(dump[1].kind, EventKind::GroupCommit);
+        assert_eq!(dump[1].aux, 5);
+        assert!(dump[1].at_micros >= dump[0].at_micros);
+        let text = rec.dump_timeline(10);
+        assert!(text.contains("OpStart") && text.contains("op=p3#41"));
+        assert!(text.contains("size=5"));
+        let json = rec.dump_json(10);
+        assert!(json.contains("\"GroupCommit\"") && json.contains("\"p3#41\""));
+    }
+
+    #[test]
+    fn wraparound_keeps_the_newest_events_in_order() {
+        let rec = FlightRecorder::new(8); // capacity 8
+        for i in 0..20u64 {
+            rec.record(FlightEvent::new(EventKind::OpStart).with_op(0, i));
+        }
+        let dump = rec.dump();
+        assert_eq!(dump.len(), 8);
+        let counters: Vec<u64> = dump.iter().filter_map(|e| e.op.map(|(_, c)| c)).collect();
+        assert_eq!(counters, (12..20).collect::<Vec<_>>());
+        assert_eq!(rec.dropped(), 12);
+        assert_eq!(rec.total_recorded(), 20);
+    }
+
+    #[test]
+    fn halt_is_recorded_and_rendered() {
+        let rec = FlightRecorder::new(16);
+        rec.record(FlightEvent::new(EventKind::StoreQueued).with_aux(9));
+        rec.halt("disk on fire");
+        assert_eq!(rec.halt_reason().as_deref(), Some("disk on fire"));
+        let dump = rec.dump();
+        assert_eq!(dump.last().map(|e| e.kind), Some(EventKind::Halt));
+        let text = rec.dump_timeline(16);
+        assert!(text.contains("halted: disk on fire"));
+        assert!(text.contains("Halt"));
+    }
+
+    #[test]
+    fn disabled_recorder_drops_everything() {
+        let rec = FlightRecorder::disabled();
+        rec.record(FlightEvent::new(EventKind::OpStart));
+        assert!(rec.dump().is_empty());
+        assert!(!rec.is_enabled());
+    }
+}
