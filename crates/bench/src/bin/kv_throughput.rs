@@ -7,7 +7,8 @@
 //! ```text
 //! cargo run --release -p rmem-bench --bin kv_throughput \
 //!     [-- --csv] [-- --smoke] [-- --json PATH] [-- --no-fastpath] \
-//!     [-- --reshard] [-- --disk] [-- --obs] [-- --obs-json PATH]
+//!     [-- --reshard] [-- --disk] [-- --obs] [-- --obs-json PATH] \
+//!     [-- --trace] [-- --trace-json PATH]
 //! ```
 //!
 //! `--smoke` runs the same grid on a reduced workload (CI-sized);
@@ -26,6 +27,15 @@
 //! instrument firing rates × microbenched unit costs vs baseline
 //! CPU/op — see `rmem_bench::obs`) (`--obs-json PATH` also
 //! writes the merged metrics-snapshot JSON for the CI artifact);
+//! `--trace` runs the causal-tracing scenario on the WAL-backed UDP
+//! runtime: every ring is stitched into per-op cross-node timelines
+//! (clock skew estimated from matched send/recv pairs), a per-segment
+//! p50/p99 attribution table prints, and three gates are asserted —
+//! ≥99% stitched coverage, zero effect-before-cause violations after
+//! skew correction, and per-op segment sums within 5% of wall clock —
+//! plus a re-run of the ≤3% priced instrumentation gate with tracing on
+//! (`--trace-json PATH` also writes the slowest ops' stitched timelines
+//! as JSON for the CI artifact);
 //! `--json PATH` writes the rows as machine-readable JSON for perf
 //! diffing (`BENCH_kv.json` is the committed baseline). The sim grid's
 //! rows are virtual-time (labeled so); every reported run is certified
@@ -38,6 +48,7 @@ fn main() {
     let reshard = args.iter().any(|a| a == "--reshard");
     let disk = args.iter().any(|a| a == "--disk");
     let obs = args.iter().any(|a| a == "--obs");
+    let trace = args.iter().any(|a| a == "--trace");
     let fastpath = !args.iter().any(|a| a == "--no-fastpath");
     let path_operand = |flag: &str| {
         args.iter().position(|a| a == flag).map(|i| {
@@ -52,6 +63,7 @@ fn main() {
     };
     let json_path = path_operand("--json");
     let obs_json_path = path_operand("--obs-json");
+    let trace_json_path = path_operand("--trace-json");
 
     let (rows, table) = rmem_bench::kv::kv_throughput_with_mode(smoke, fastpath);
     println!("{}", table.to_text());
@@ -209,7 +221,11 @@ fn main() {
     } else {
         None
     };
-    let obs_report = if obs || obs_json_path.is_some() {
+    // `--trace` re-asserts the priced instrumentation-overhead gate with
+    // tracing on: tracing IS part of the instrumented side of the obs
+    // scenario (a KvClient with an enabled handle traces every op), so
+    // running the obs scenario under --trace is exactly that re-check.
+    let obs_report = if obs || trace || obs_json_path.is_some() {
         let r = rmem_bench::obs::obs_scenario(smoke);
         let cpu_per_op = |v: Option<f64>| match v {
             Some(ns) => format!("{:.1} µs", ns / 1_000.0),
@@ -269,6 +285,63 @@ fn main() {
     } else {
         None
     };
+    let trace_report = if trace {
+        use rmem_bench::trace::{ATTRIBUTION_TOLERANCE, COVERAGE_FLOOR, TRACE_EXEMPLARS};
+        let r = rmem_bench::trace::trace_scenario(smoke);
+        println!(
+            "trace (udp+wal, wall clock, wf {:.1}): {} ops at {:.0} ops/s",
+            rmem_bench::trace::TRACE_WRITE_FRACTION,
+            r.completed_ops,
+            r.ops_per_sec,
+        );
+        print!("{}", r.report.render_summary());
+        print!("{}", r.render_table());
+        // The acceptance gates: near-total stitched coverage, a clock
+        // model that never lets an effect precede its cause, and an
+        // attribution that telescopes back to the client's wall clock.
+        assert!(
+            r.report.coverage() >= COVERAGE_FLOOR,
+            "stitched coverage {:.2}% under the {:.0}% floor ({} stitched / {} completed, {} incomplete)",
+            r.report.coverage() * 100.0,
+            COVERAGE_FLOOR * 100.0,
+            r.report.stitched.len(),
+            r.report.completed,
+            r.report.incomplete,
+        );
+        assert_eq!(
+            r.report.violations,
+            0,
+            "effect-before-cause violations survived skew correction:\n{}",
+            r.report.render_exemplars(3),
+        );
+        assert!(
+            r.report.max_attribution_error() <= ATTRIBUTION_TOLERANCE,
+            "per-segment attribution must sum within {:.0}% of wall clock (worst {:.2}%)",
+            ATTRIBUTION_TOLERANCE * 100.0,
+            r.report.max_attribution_error() * 100.0,
+        );
+        println!(
+            "trace gates: coverage {:.2}% (floor {:.0}%), 0 causality violations, \
+             worst attribution error {:.2}% (limit {:.0}%), max clock err ±{:.1} µs",
+            r.report.coverage() * 100.0,
+            COVERAGE_FLOOR * 100.0,
+            r.report.max_attribution_error() * 100.0,
+            ATTRIBUTION_TOLERANCE * 100.0,
+            r.report.max_clock_err_us(),
+        );
+        if let Some(path) = &trace_json_path {
+            let payload = format!(
+                "{{\"row\":\n{},\n\"exemplars\": {}\n}}\n",
+                r.to_json(),
+                r.report.exemplars_json(TRACE_EXEMPLARS),
+            );
+            std::fs::write(path, payload).expect("writing trace exemplars");
+            println!("wrote {path}");
+        }
+        Some(r)
+    } else {
+        None
+    };
     if let Some(path) = json_path {
         std::fs::write(
             &path,
@@ -276,7 +349,13 @@ fn main() {
                 &rows,
                 reshard_report.as_ref(),
                 disk_report.as_ref(),
-                obs_report.as_ref(),
+                // The obs row rides into the JSON only when asked for
+                // explicitly (--trace borrows the scenario for its gate
+                // re-check without changing the row set).
+                obs_report
+                    .as_ref()
+                    .filter(|_| obs || obs_json_path.is_some()),
+                trace_report.as_ref(),
             ),
         )
         .expect("writing JSON rows");

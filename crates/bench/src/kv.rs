@@ -343,6 +343,7 @@ pub fn rows_to_json_with(
     reshard: Option<&crate::reshard::ReshardReport>,
     disk: Option<&crate::disk::DiskReport>,
     obs: Option<&crate::obs::ObsReport>,
+    trace: Option<&crate::trace::TraceBenchReport>,
 ) -> String {
     let mut out = rows_to_json(rows);
     let mut extras = Vec::new();
@@ -353,6 +354,9 @@ pub fn rows_to_json_with(
         extras.push(crate::disk::disk_to_json(report));
     }
     if let Some(report) = obs {
+        extras.push(report.to_json());
+    }
+    if let Some(report) = trace {
         extras.push(report.to_json());
     }
     for extra in extras {

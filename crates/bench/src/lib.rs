@@ -25,6 +25,7 @@ pub mod obs;
 pub mod reshard;
 pub mod scenarios;
 pub mod table;
+pub mod trace;
 
 pub use experiments::{
     ablation_table, fig6_bottom, fig6_top, log_table, real_mode, recovery_table, AblationRow,

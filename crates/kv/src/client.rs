@@ -35,7 +35,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use rmem_net::{Client, ClientError};
+use rmem_net::{Client, ClientError, TraceCtx};
 use rmem_obs::{
     Counter, EventKind, FlightEvent, FlightRecorder, Histogram, MetricsSnapshot, ObsHandle,
 };
@@ -277,6 +277,11 @@ pub struct KvClient {
     barrier_polls: u32,
     health: Arc<HealthMemory>,
     obs: Arc<ClientObs>,
+    /// The client family's trace context, when the observability handle
+    /// is enabled: node handles issue every operation under a fresh
+    /// [`rmem_types::TraceId`] and the runtime propagates it across the
+    /// wire, so the family's ring stitches into the nodes' rings.
+    trace: Option<Arc<TraceCtx>>,
     recorder: Option<(OpRecorder, ProcessId)>,
 }
 
@@ -306,19 +311,53 @@ impl KvClient {
             barrier_polls: 512,
             health,
             obs: Arc::new(ClientObs::new(ObsHandle::new())),
+            trace: None,
             recorder: None,
-        })
+        }
+        .rewire_trace())
     }
 
     /// Replaces the client family's observability handle (shared with
     /// clones made *after* this call). Benches pass
     /// [`ObsHandle::disabled`] to measure the uninstrumented baseline —
     /// counters still count (they are too cheap to gate), but latency
-    /// clocks are skipped and flight-recorder events are dropped at the
-    /// door.
+    /// clocks are skipped, flight-recorder events are dropped at the
+    /// door, and operations are not traced.
     pub fn with_obs(mut self, handle: ObsHandle) -> Self {
         self.obs = Arc::new(ClientObs::new(handle));
+        self.rewire_trace()
+    }
+
+    /// (Re)derives the trace context from the current observability
+    /// handle and attaches it to every node handle: enabled handle →
+    /// traced family recording into the handle's flight ring; disabled →
+    /// untraced (zero wire or ring overhead).
+    fn rewire_trace(mut self) -> Self {
+        let flight = &self.obs.handle.flight;
+        self.trace = flight
+            .is_enabled()
+            .then(|| Arc::new(TraceCtx::new(flight.clone())));
+        self.nodes = self
+            .nodes
+            .into_iter()
+            .map(|n| n.with_trace(self.trace.clone()))
+            .collect();
         self
+    }
+
+    /// The family id this client's operations are traced under (the
+    /// `pid` of its ring in a stitch), if tracing is on.
+    pub fn trace_client_id(&self) -> Option<u16> {
+        self.trace.as_ref().map(|t| t.client_id())
+    }
+
+    /// This family's client-side events as a stitcher input: combine with
+    /// the cluster's node dumps (`LocalCluster::ring_dumps`) and hand to
+    /// [`rmem_obs::trace::stitch`]. `None` when tracing is off.
+    pub fn trace_ring_dump(&self) -> Option<rmem_obs::trace::RingDump> {
+        self.trace
+            .as_ref()
+            .map(|t| rmem_obs::trace::RingDump::client(t.client_id(), t.ring().dump()))
     }
 
     /// Replaces the number of retries on `Busy` rejections (another client

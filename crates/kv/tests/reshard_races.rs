@@ -202,6 +202,13 @@ fn run_seed(seed: u64) -> RunOutcome {
         eprintln!("{}", cluster.dump_flight_recorders(120));
         eprintln!("--- client flight recorder ---");
         eprintln!("{}", kv.flight_recorder().dump_timeline(120));
+        // The stitched causal view: node rings + client ring merged into
+        // per-op timelines with clock skew corrected — shows *which hop*
+        // of which op went wrong, not just what each node saw locally.
+        eprintln!(
+            "{}",
+            cluster.dump_stitched(kv.trace_ring_dump().into_iter().collect(), 5)
+        );
         panic!("seed {seed}: cross-epoch certification failed: {e}")
     });
     assert_eq!(

@@ -62,6 +62,15 @@ impl Transport for ChannelTransport {
     }
 
     fn send(&self, to: ProcessId, msg: &Message) -> Result<(), NetError> {
+        self.send_traced(to, msg, None)
+    }
+
+    fn send_traced(
+        &self,
+        to: ProcessId,
+        msg: &Message,
+        trace: Option<rmem_types::TraceId>,
+    ) -> Result<(), NetError> {
         if to.index() >= self.n {
             return Err(NetError::UnknownPeer { pid: to });
         }
@@ -71,6 +80,7 @@ impl Transport for ChannelTransport {
             let _ = tx.try_send(Inbound {
                 from: self.me,
                 msg: msg.clone(),
+                trace,
             });
         }
         Ok(())

@@ -189,13 +189,48 @@ impl LocalCluster {
         mode: DiskMode,
         obs_enabled: bool,
     ) -> Result<Self, NetError> {
+        Self::udp_with_disk_obs_sized(
+            n,
+            factory,
+            dir,
+            mode,
+            obs_enabled,
+            FlightRecorder::DEFAULT_CAPACITY,
+        )
+    }
+
+    /// [`udp_with_disk_obs`](LocalCluster::udp_with_disk_obs) with an
+    /// explicit flight-recorder ring capacity per node (rounded up to a
+    /// power of two; each slot costs
+    /// [`FlightRecorder::SLOT_BYTES`] = 48 bytes, so a 2^18-slot tracing
+    /// ring is 12 MiB per node). The default 4096-slot ring keeps only a
+    /// postmortem tail; stitched tracing over a long benchmark run needs
+    /// rings deep enough to hold every event of the window being stitched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] if sockets cannot be bound.
+    pub fn udp_with_disk_obs_sized(
+        n: usize,
+        factory: Arc<dyn AutomatonFactory>,
+        dir: impl Into<PathBuf>,
+        mode: DiskMode,
+        obs_enabled: bool,
+        ring_capacity: usize,
+    ) -> Result<Self, NetError> {
         let base = free_udp_base(n);
         let peers = UdpTransport::loopback_peers(n, base);
         let dir = dir.into();
         let disks = (0..n)
             .map(|i| NodeDisk::Dir(dir.join(format!("p{i}")), mode))
             .collect();
-        Self::assemble_with_obs(factory, TransportKind::Udp(peers), disks, obs_enabled)
+        Self::assemble_with_obs(
+            factory,
+            TransportKind::Udp(peers),
+            disks,
+            obs_enabled,
+            ring_capacity,
+        )
     }
 
     /// A TCP loopback cluster with file-backed storage under `dir`.
@@ -222,7 +257,7 @@ impl LocalCluster {
         kind: TransportKind,
         disks: Vec<NodeDisk>,
     ) -> Result<Self, NetError> {
-        Self::assemble_with_obs(factory, kind, disks, true)
+        Self::assemble_with_obs(factory, kind, disks, true, FlightRecorder::DEFAULT_CAPACITY)
     }
 
     fn assemble_with_obs(
@@ -230,6 +265,7 @@ impl LocalCluster {
         kind: TransportKind,
         disks: Vec<NodeDisk>,
         obs_enabled: bool,
+        ring_capacity: usize,
     ) -> Result<Self, NetError> {
         let n = disks.len();
         let mut cluster = LocalCluster {
@@ -241,7 +277,7 @@ impl LocalCluster {
             obs: (0..n)
                 .map(|_| {
                     if obs_enabled {
-                        ObsHandle::new()
+                        ObsHandle::with_capacity(ring_capacity)
                     } else {
                         ObsHandle::disabled()
                     }
@@ -356,6 +392,33 @@ impl LocalCluster {
             out.push_str(&self.obs[pid.index()].flight.dump_timeline(last));
         }
         out
+    }
+
+    /// Every node's flight-recorder contents as stitcher inputs — one
+    /// [`RingDump`](rmem_obs::trace::RingDump) per node. Append the
+    /// client family's dump (see [`TraceCtx`](crate::runner::TraceCtx))
+    /// and hand the lot to [`rmem_obs::trace::stitch`].
+    pub fn ring_dumps(&self) -> Vec<rmem_obs::trace::RingDump> {
+        ProcessId::all(self.nodes.len())
+            .map(|pid| rmem_obs::trace::RingDump::node(pid.0, self.obs[pid.index()].flight.dump()))
+            .collect()
+    }
+
+    /// Every node's flight recorder stitched into causal per-op timelines
+    /// (plus any `extra` rings — typically the traced client families'),
+    /// rendered as the stitch summary followed by the `n` slowest ops'
+    /// full timelines. What the fault suites print when certification
+    /// fails: unlike [`dump_flight_recorders`](Self::dump_flight_recorders)
+    /// the events of all nodes appear on one clock, in causal order.
+    pub fn dump_stitched(&self, extra: Vec<rmem_obs::trace::RingDump>, n: usize) -> String {
+        let mut rings = self.ring_dumps();
+        rings.extend(extra);
+        let report = rmem_obs::trace::stitch(&rings);
+        format!(
+            "{}\n{}",
+            report.render_summary(),
+            report.render_exemplars(n)
+        )
     }
 
     /// How many stable-storage commits have failed at `pid` (the first

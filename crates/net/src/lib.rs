@@ -57,7 +57,7 @@ pub use cluster::{DiskMode, LocalCluster};
 pub use control::{handle_command, send_command, ControlServer};
 pub use error::{ClientError, NetError};
 pub use faults::{FaultEvent, FaultSchedule};
-pub use runner::{Client, ProcessRunner};
+pub use runner::{Client, ProcessRunner, TraceCtx};
 pub use tcp::TcpTransport;
 pub use transport::{Inbound, Transport};
 pub use udp::UdpTransport;

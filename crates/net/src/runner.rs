@@ -17,12 +17,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
-use rmem_obs::{EventKind, FlightEvent, FlightRecorder, ObsHandle};
+use rmem_obs::{pack_wire_aux, EventKind, FlightEvent, FlightRecorder, ObsHandle};
 use rmem_storage::records::KEY_WRITTEN;
 use rmem_storage::{SnapshotView, StableStorage};
 use rmem_types::{
     Action, Automaton, AutomatonFactory, Input, Op, OpId, OpResult, ProcessId, RegisterId,
-    TimerToken,
+    RequestId, TimerToken, TraceId,
 };
 use std::sync::Arc;
 
@@ -44,8 +44,121 @@ enum RunnerEvent {
     Invoke {
         operation: Op,
         reply: Sender<(OpResult, u32)>,
+        trace: Option<TraceId>,
     },
     Shutdown,
+}
+
+/// Stamps a flight event with a trace op id when one is known.
+fn stamp(ev: FlightEvent, trace: Option<TraceId>) -> FlightEvent {
+    match trace {
+        Some(t) => ev.with_op(t.client, t.op),
+        None => ev,
+    }
+}
+
+/// A client family's **trace context**: the shared identity under which a
+/// [`Client`] (and every clone created from the same context) stamps its
+/// operations. Holds the family id, the per-op counter, and the client
+/// ring that `ClientSend`/`ClientRecv` events land in.
+pub struct TraceCtx {
+    client: u16,
+    counter: AtomicU64,
+    ring: Arc<FlightRecorder>,
+}
+
+impl std::fmt::Debug for TraceCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceCtx")
+            .field("client", &(self.client & !TraceId::CLIENT_BIT))
+            .finish()
+    }
+}
+
+impl TraceCtx {
+    /// A fresh family recording into `ring` (typically the kv client's
+    /// own flight recorder).
+    pub fn new(ring: Arc<FlightRecorder>) -> Self {
+        TraceCtx {
+            client: TraceId::fresh_client(),
+            counter: AtomicU64::new(0),
+            ring,
+        }
+    }
+
+    /// The family id (client bit set) — the `pid` of this family's ring
+    /// in a stitch.
+    pub fn client_id(&self) -> u16 {
+        self.client
+    }
+
+    /// The ring the family's client-side events land in.
+    pub fn ring(&self) -> &Arc<FlightRecorder> {
+        &self.ring
+    }
+
+    /// Allocates the next op id and records its `ClientSend`.
+    fn begin(&self, reg: RegisterId, node: ProcessId) -> TraceId {
+        let id = TraceId {
+            client: self.client,
+            op: self.counter.fetch_add(1, Ordering::Relaxed),
+        };
+        self.ring.record(
+            FlightEvent::new(EventKind::ClientSend)
+                .with_op(id.client, id.op)
+                .with_register(reg.0)
+                .with_aux(u64::from(node.0)),
+        );
+        id
+    }
+
+    /// Records the op's `ClientRecv` (only called for completions — a
+    /// timed-out or rejected attempt leaves an unpaired `ClientSend`,
+    /// which the stitcher ignores).
+    fn finish(&self, id: TraceId, reg: RegisterId, node: ProcessId) {
+        self.ring.record(
+            FlightEvent::new(EventKind::ClientRecv)
+                .with_op(id.client, id.op)
+                .with_register(reg.0)
+                .with_aux(u64::from(node.0)),
+        );
+    }
+}
+
+/// Remembers which trace op each in-flight replica request belongs to, so
+/// the ack (sent later, possibly from the durability pipeline) can be
+/// stamped and wire-propagated too. Bounded: oldest entries are evicted
+/// first — a replica only ever has a handful of requests between arrival
+/// and ack.
+struct ReqTraces {
+    map: HashMap<RequestId, TraceId>,
+    order: std::collections::VecDeque<RequestId>,
+    cap: usize,
+}
+
+impl ReqTraces {
+    fn new(cap: usize) -> Self {
+        ReqTraces {
+            map: HashMap::new(),
+            order: std::collections::VecDeque::new(),
+            cap,
+        }
+    }
+
+    fn insert(&mut self, req: RequestId, trace: TraceId) {
+        if self.map.insert(req, trace).is_none() {
+            self.order.push_back(req);
+            if self.order.len() > self.cap {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn get(&self, req: &RequestId) -> Option<TraceId> {
+        self.map.get(req).copied()
+    }
 }
 
 /// The runner's **operation table**: every client operation currently in
@@ -61,9 +174,19 @@ enum RunnerEvent {
 /// operations on distinct registers — independent shards hosted by this
 /// node — proceed concurrently through the one event loop.
 /// What the table remembers per in-flight operation: its register, the
-/// client's reply channel, and when it was admitted (feeds
-/// `runner.op_micros`).
-type InFlight = (RegisterId, Sender<(OpResult, u32)>, Instant);
+/// client's reply channel, when it was admitted (feeds
+/// `runner.op_micros`), and the trace context it arrived under (stamps
+/// every flight event the operation triggers).
+type InFlight = (
+    RegisterId,
+    Sender<(OpResult, u32)>,
+    Instant,
+    Option<TraceId>,
+);
+
+/// What [`OpTable::complete`] hands back: the reply channel, the
+/// admission time and the trace context.
+type Completed = (Sender<(OpResult, u32)>, Instant, Option<TraceId>);
 
 #[derive(Default)]
 struct OpTable {
@@ -80,18 +203,35 @@ impl OpTable {
     /// Admits `op` on `reg`. Callers must have checked [`is_busy`] first.
     ///
     /// [`is_busy`]: OpTable::is_busy
-    fn admit(&mut self, op: OpId, reg: RegisterId, reply: Sender<(OpResult, u32)>) {
+    fn admit(
+        &mut self,
+        op: OpId,
+        reg: RegisterId,
+        reply: Sender<(OpResult, u32)>,
+        trace: Option<TraceId>,
+    ) {
         debug_assert!(!self.is_busy(reg), "admitting onto a busy register");
         self.by_register.insert(reg, op);
-        self.in_flight.insert(op, (reg, reply, Instant::now()));
+        self.in_flight
+            .insert(op, (reg, reply, Instant::now(), trace));
     }
 
-    /// Completes `op` if it is in flight, returning its reply channel and
-    /// admission time.
-    fn complete(&mut self, op: OpId) -> Option<(Sender<(OpResult, u32)>, Instant)> {
-        let (reg, reply, started) = self.in_flight.remove(&op)?;
+    /// The trace context of the operation in flight on `reg`, if any.
+    /// Because the table admits at most one operation per register, the
+    /// register names the operation a coordinator round belongs to.
+    fn trace_of(&self, reg: RegisterId) -> Option<TraceId> {
+        self.by_register
+            .get(&reg)
+            .and_then(|op| self.in_flight.get(op))
+            .and_then(|(_, _, _, trace)| *trace)
+    }
+
+    /// Completes `op` if it is in flight, returning its reply channel,
+    /// admission time and trace context.
+    fn complete(&mut self, op: OpId) -> Option<Completed> {
+        let (reg, reply, started, trace) = self.in_flight.remove(&op)?;
         self.by_register.remove(&reg);
-        Some((reply, started))
+        Some((reply, started, trace))
     }
 }
 
@@ -104,15 +244,19 @@ impl OpTable {
 #[derive(Clone)]
 pub struct Client {
     tx: Sender<RunnerEvent>,
+    me: ProcessId,
     timeout: Duration,
     max_payload: Option<usize>,
+    trace: Option<Arc<TraceCtx>>,
 }
 
 impl std::fmt::Debug for Client {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Client")
+            .field("me", &self.me)
             .field("timeout", &self.timeout)
             .field("max_payload", &self.max_payload)
+            .field("traced", &self.trace.is_some())
             .finish()
     }
 }
@@ -121,6 +265,16 @@ impl Client {
     /// Replaces the patience window (default 10 s).
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
+        self
+    }
+
+    /// Attaches (or with `None`, detaches) a trace context: every
+    /// operation through this client is issued under a fresh [`TraceId`]
+    /// from the context, bracketed by `ClientSend`/`ClientRecv` events in
+    /// the context's ring, and the runner stamps and wire-propagates the
+    /// id through every hop the operation touches.
+    pub fn with_trace(mut self, ctx: Option<Arc<TraceCtx>>) -> Self {
+        self.trace = ctx;
         self
     }
 
@@ -155,16 +309,24 @@ impl Client {
         if let Some(value) = operation.write_value() {
             self.check_frame(value)?;
         }
+        let reg = operation.register();
+        let trace = self.trace.as_ref().map(|ctx| ctx.begin(reg, self.me));
         let (reply_tx, reply_rx) = bounded(1);
         self.tx
             .send(RunnerEvent::Invoke {
                 operation,
                 reply: reply_tx,
+                trace,
             })
             .map_err(|_| ClientError::ProcessDown)?;
         match reply_rx.recv_timeout(self.timeout) {
             Ok((OpResult::Rejected(_), _)) => Err(ClientError::Busy),
-            Ok(result) => Ok(result),
+            Ok(result) => {
+                if let (Some(ctx), Some(id)) = (self.trace.as_ref(), trace) {
+                    ctx.finish(id, reg, self.me);
+                }
+                Ok(result)
+            }
             Err(RecvTimeoutError::Timeout) => Err(ClientError::TimedOut),
             Err(RecvTimeoutError::Disconnected) => Err(ClientError::ProcessDown),
         }
@@ -397,8 +559,10 @@ impl ProcessRunner {
     pub fn client(&self) -> Client {
         Client {
             tx: self.tx.clone(),
+            me: self.me,
             timeout: Duration::from_secs(10),
             max_payload: self.transport.max_payload(),
+            trace: None,
         }
     }
 
@@ -469,6 +633,11 @@ fn run_loop(
     let mut timer_seq = 0u64;
     let mut pending = OpTable::default();
     let mut op_counter = boot_count << 32;
+    // Trace plumbing: which client op each in-flight replica request and
+    // each queued store belongs to (both maps are drained as requests are
+    // acked and stores commit; ReqTraces additionally evicts by age).
+    let mut req_traces = ReqTraces::new(4096);
+    let mut token_traces: HashMap<u64, TraceId> = HashMap::new();
     let mx = LoopMetrics::resolve(&obs);
     let flight = obs.flight.clone();
 
@@ -489,6 +658,9 @@ fn run_loop(
                 timer_tokens: &mut std::collections::HashMap<u64, TimerToken>,
                 timer_seq: &mut u64,
                 pending: &mut OpTable,
+                req_traces: &mut ReqTraces,
+                token_traces: &mut HashMap<u64, TraceId>,
+                ctx_trace: Option<TraceId>,
                 input: Input| {
         let mut actions = Vec::new();
         automaton.on_input(input, &mut actions);
@@ -496,19 +668,45 @@ fn run_loop(
             match action {
                 Action::Send { to, msg } => {
                     mx.msgs_out.inc();
-                    if msg.is_request() {
-                        flight.record(
+                    let req = msg.request_id();
+                    // Requests belong to the operation in flight on the
+                    // register (robust across retransmits from timers);
+                    // acks to the request that asked for them.
+                    let trace = if msg.is_request() {
+                        let trace = pending.trace_of(req.reg);
+                        flight.record(stamp(
                             FlightEvent::new(EventKind::RoundSent)
-                                .with_register(msg.request_id().reg.0)
-                                .with_aux(u64::from(to.0)),
-                        );
-                    }
+                                .with_register(req.reg.0)
+                                .with_aux(pack_wire_aux(to.0, req.nonce, false)),
+                            trace,
+                        ));
+                        trace
+                    } else {
+                        let trace = req_traces.get(&req);
+                        let durable = match &msg {
+                            rmem_types::Message::ReadAck { durable, .. } => *durable,
+                            _ => true,
+                        };
+                        flight.record(stamp(
+                            FlightEvent::new(EventKind::AckSent)
+                                .with_register(req.reg.0)
+                                .with_aux(pack_wire_aux(to.0, req.nonce, durable)),
+                            trace,
+                        ));
+                        trace
+                    };
                     // Fair-lossy: a failed send is a lost message.
-                    let _ = transport.send(to, &msg);
+                    let _ = transport.send_traced(to, &msg, trace);
                 }
                 Action::Store { token, key, bytes } => {
                     mx.stores_queued.inc();
-                    flight.record(FlightEvent::new(EventKind::StoreQueued).with_aux(token.0));
+                    flight.record(stamp(
+                        FlightEvent::new(EventKind::StoreQueued).with_aux(token.0),
+                        ctx_trace,
+                    ));
+                    if let Some(trace) = ctx_trace {
+                        token_traces.insert(token.0, trace);
+                    }
                     syncer.submit(StoreRequest { token, key, bytes });
                 }
                 Action::SetTimer { token, after } => {
@@ -518,16 +716,17 @@ fn run_loop(
                     timers.push(Reverse((Instant::now() + Duration::from(after), seq)));
                 }
                 Action::Complete { op, result, rounds } => {
-                    if let Some((reply, started)) = pending.complete(op) {
+                    if let Some((reply, started, trace)) = pending.complete(op) {
                         mx.ops_completed.inc();
                         if obs.metrics.is_enabled() {
                             mx.op_micros.record(started.elapsed().as_micros() as u64);
                         }
-                        flight.record(
-                            FlightEvent::new(EventKind::OpComplete)
-                                .with_op(op.pid.0, op.counter)
-                                .with_aux(u64::from(rounds)),
-                        );
+                        let ev =
+                            FlightEvent::new(EventKind::OpComplete).with_aux(u64::from(rounds));
+                        flight.record(match trace {
+                            Some(t) => ev.with_op(t.client, t.op),
+                            None => ev.with_op(op.pid.0, op.counter),
+                        });
                         let _ = reply.send((result, rounds));
                     }
                 }
@@ -542,6 +741,9 @@ fn run_loop(
         &mut timer_tokens,
         &mut timer_seq,
         &mut pending,
+        &mut req_traces,
+        &mut token_traces,
+        None,
         Input::Start,
     );
 
@@ -562,6 +764,9 @@ fn run_loop(
                     &mut timer_tokens,
                     &mut timer_seq,
                     &mut pending,
+                    &mut req_traces,
+                    &mut token_traces,
+                    None,
                     Input::Timer(token),
                 );
             }
@@ -575,22 +780,36 @@ fn run_loop(
         // commits, then the control channel, then sleep until the next
         // timer.
         crossbeam::channel::select! {
-            recv(inbox) -> net => if let Ok(Inbound { from, msg }) = net {
+            recv(inbox) -> net => if let Ok(Inbound { from, msg, trace }) = net {
                 // (An Err means the transport is gone; the control channel
                 // decides shutdown.)
                 mx.msgs_in.inc();
-                if !msg.is_request() {
+                let req = msg.request_id();
+                if msg.is_request() {
+                    flight.record(stamp(
+                        FlightEvent::new(EventKind::ReqRecv)
+                            .with_register(req.reg.0)
+                            .with_aux(pack_wire_aux(from.0, req.nonce, false)),
+                        trace,
+                    ));
+                    if let Some(trace) = trace {
+                        // Remember the op so the ack (possibly sent later,
+                        // from the durability pipeline) carries it too.
+                        req_traces.insert(req, trace);
+                    }
+                } else {
                     // An ack round-trip closing: the `durable` attestation
                     // matters for the read fast path, so it rides along.
                     let durable = match &msg {
-                        rmem_types::Message::ReadAck { durable, .. } => u64::from(*durable),
-                        _ => 1,
+                        rmem_types::Message::ReadAck { durable, .. } => *durable,
+                        _ => true,
                     };
-                    flight.record(
+                    flight.record(stamp(
                         FlightEvent::new(EventKind::AckRecv)
-                            .with_register(msg.request_id().reg.0)
-                            .with_aux(u64::from(from.0) << 1 | durable),
-                    );
+                            .with_register(req.reg.0)
+                            .with_aux(pack_wire_aux(from.0, req.nonce, durable)),
+                        trace,
+                    ));
                 }
                 step(
                     &mut automaton,
@@ -599,13 +818,20 @@ fn run_loop(
                     &mut timer_tokens,
                     &mut timer_seq,
                     &mut pending,
+                    &mut req_traces,
+                    &mut token_traces,
+                    trace,
                     Input::Message { from, msg },
                 );
             },
             recv(store_done_rx) -> done => match done {
                 Ok(StoreOutcome::Done(token)) => {
                     mx.stores_durable.inc();
-                    flight.record(FlightEvent::new(EventKind::StoreDurable).with_aux(token.0));
+                    let trace = token_traces.remove(&token.0);
+                    flight.record(stamp(
+                        FlightEvent::new(EventKind::StoreDurable).with_aux(token.0),
+                        trace,
+                    ));
                     step(
                         &mut automaton,
                         &syncer,
@@ -613,6 +839,9 @@ fn run_loop(
                         &mut timer_tokens,
                         &mut timer_seq,
                         &mut pending,
+                        &mut req_traces,
+                        &mut token_traces,
+                        trace,
                         Input::StoreDone(token),
                     );
                 }
@@ -646,7 +875,7 @@ fn run_loop(
                 }
             },
             recv(control) -> ctl => match ctl {
-                Ok(RunnerEvent::Invoke { operation, reply }) => {
+                Ok(RunnerEvent::Invoke { operation, reply, trace }) => {
                     let reg = operation.register();
                     if pending.is_busy(reg) {
                         let _ = reply.send((OpResult::Rejected(rmem_types::RejectReason::Busy), 0));
@@ -654,12 +883,12 @@ fn run_loop(
                         let op = OpId::new(me, op_counter);
                         op_counter += 1;
                         mx.ops_started.inc();
-                        flight.record(
-                            FlightEvent::new(EventKind::OpStart)
-                                .with_op(op.pid.0, op.counter)
-                                .with_register(reg.0),
-                        );
-                        pending.admit(op, reg, reply);
+                        let ev = FlightEvent::new(EventKind::OpStart).with_register(reg.0);
+                        flight.record(match trace {
+                            Some(t) => ev.with_op(t.client, t.op),
+                            None => ev.with_op(op.pid.0, op.counter),
+                        });
+                        pending.admit(op, reg, reply, trace);
                         step(
                             &mut automaton,
                             &syncer,
@@ -667,6 +896,9 @@ fn run_loop(
                             &mut timer_tokens,
                             &mut timer_seq,
                             &mut pending,
+                            &mut req_traces,
+                            &mut token_traces,
+                            trace,
                             Input::Invoke { op, operation },
                         );
                     }

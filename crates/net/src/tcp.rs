@@ -123,8 +123,8 @@ impl TcpTransport {
                                     if read_exact_or_none(&mut stream, &mut body).is_none() {
                                         return;
                                     }
-                                    if let Ok(msg) = codec::decode_message(&body) {
-                                        if inbox.send(Inbound { from, msg }).is_err() {
+                                    if let Ok((msg, trace)) = codec::decode_message_traced(&body) {
+                                        if inbox.send(Inbound { from, msg, trace }).is_err() {
                                             return;
                                         }
                                     }
@@ -178,10 +178,19 @@ impl Transport for TcpTransport {
     }
 
     fn send(&self, to: ProcessId, msg: &Message) -> Result<(), NetError> {
+        self.send_traced(to, msg, None)
+    }
+
+    fn send_traced(
+        &self,
+        to: ProcessId,
+        msg: &Message,
+        trace: Option<rmem_types::TraceId>,
+    ) -> Result<(), NetError> {
         if to.index() >= self.peers.len() {
             return Err(NetError::UnknownPeer { pid: to });
         }
-        let body = codec::encode_message(msg);
+        let body = codec::encode_message_traced(msg, trace);
         if body.len() > MAX_FRAME {
             return Err(NetError::TooLarge {
                 size: body.len(),

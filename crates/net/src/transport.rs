@@ -1,6 +1,6 @@
 //! The transport abstraction.
 
-use rmem_types::{Message, ProcessId};
+use rmem_types::{Message, ProcessId, TraceId};
 
 use crate::error::NetError;
 
@@ -11,6 +11,9 @@ pub struct Inbound {
     pub from: ProcessId,
     /// The message.
     pub msg: Message,
+    /// The originating client operation, when the sender stamped one
+    /// (see [`rmem_types::codec::encode_message_traced`]).
+    pub trace: Option<TraceId>,
 }
 
 /// Datagram delivery between the cluster's processes with **fair-lossy**
@@ -38,6 +41,25 @@ pub trait Transport: Send + Sync + 'static {
     /// message over the size limit). Transient failures are swallowed —
     /// they are indistinguishable from packet loss.
     fn send(&self, to: ProcessId, msg: &Message) -> Result<(), NetError>;
+
+    /// As [`send`](Transport::send), stamping the message with the
+    /// originating client operation so the receiver's flight events can
+    /// be attributed to it. The default drops the stamp — a transport
+    /// that does not propagate trace context still interoperates (the
+    /// receiver just sees untraced messages).
+    ///
+    /// # Errors
+    ///
+    /// As for [`send`](Transport::send).
+    fn send_traced(
+        &self,
+        to: ProcessId,
+        msg: &Message,
+        trace: Option<TraceId>,
+    ) -> Result<(), NetError> {
+        let _ = trace;
+        self.send(to, msg)
+    }
 
     /// The largest encoded [`Message`] this transport can carry, if it has
     /// a hard ceiling (`None` for unbounded transports).

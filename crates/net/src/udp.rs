@@ -76,8 +76,8 @@ impl UdpTransport {
                     match recv_socket.recv_from(&mut buf) {
                         Ok((len, _)) if len >= 2 => {
                             let from = ProcessId(u16::from_be_bytes([buf[0], buf[1]]));
-                            if let Ok(msg) = codec::decode_message(&buf[2..len]) {
-                                if inbox.send(Inbound { from, msg }).is_err() {
+                            if let Ok((msg, trace)) = codec::decode_message_traced(&buf[2..len]) {
+                                if inbox.send(Inbound { from, msg, trace }).is_err() {
                                     break; // runner gone
                                 }
                             }
@@ -120,10 +120,19 @@ impl Transport for UdpTransport {
     }
 
     fn send(&self, to: ProcessId, msg: &Message) -> Result<(), NetError> {
+        self.send_traced(to, msg, None)
+    }
+
+    fn send_traced(
+        &self,
+        to: ProcessId,
+        msg: &Message,
+        trace: Option<rmem_types::TraceId>,
+    ) -> Result<(), NetError> {
         let Some(addr) = self.peers.get(to.index()) else {
             return Err(NetError::UnknownPeer { pid: to });
         };
-        let body = codec::encode_message(msg);
+        let body = codec::encode_message_traced(msg, trace);
         if body.len() + 2 > MAX_DATAGRAM {
             return Err(NetError::TooLarge {
                 size: body.len() + 2,

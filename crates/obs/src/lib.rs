@@ -24,12 +24,16 @@
 
 mod metrics;
 mod recorder;
+pub mod trace;
 
 pub use metrics::{
     bucket_of, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot,
     Registry, BUCKETS,
 };
-pub use recorder::{EventKind, FlightEvent, FlightRecorder};
+pub use recorder::{
+    pack_wire_aux, sort_events, unpack_wire_aux, EventKind, FlightEvent, FlightRecorder,
+    CLIENT_OP_BIT,
+};
 
 use std::sync::Arc;
 

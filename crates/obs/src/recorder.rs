@@ -56,6 +56,16 @@ pub enum EventKind {
     BarrierWait = 10,
     /// The node halted (see [`FlightRecorder::halt_reason`]).
     Halt = 11,
+    /// A protocol request arrived at a replica (`aux` = wire-packed
+    /// sender pid + round nonce, see [`pack_wire_aux`]).
+    ReqRecv = 12,
+    /// A replica sent an acknowledgement (`aux` = wire-packed destination
+    /// pid + round nonce).
+    AckSent = 13,
+    /// A client handed an operation to a node (`aux` = contacted pid).
+    ClientSend = 14,
+    /// A client received its operation's result (`aux` = contacted pid).
+    ClientRecv = 15,
 }
 
 impl EventKind {
@@ -72,6 +82,10 @@ impl EventKind {
             9 => EventKind::EpochRefresh,
             10 => EventKind::BarrierWait,
             11 => EventKind::Halt,
+            12 => EventKind::ReqRecv,
+            13 => EventKind::AckSent,
+            14 => EventKind::ClientSend,
+            15 => EventKind::ClientRecv,
             _ => return None,
         })
     }
@@ -90,7 +104,36 @@ impl EventKind {
             EventKind::EpochRefresh => "EpochRefresh",
             EventKind::BarrierWait => "BarrierWait",
             EventKind::Halt => "Halt",
+            EventKind::ReqRecv => "ReqRecv",
+            EventKind::AckSent => "AckSent",
+            EventKind::ClientSend => "ClientSend",
+            EventKind::ClientRecv => "ClientRecv",
         }
+    }
+}
+
+/// High bit of a [`FlightEvent::op`] pid marking a *client-family* id
+/// rather than a node process id (mirrors `TraceId::CLIENT_BIT` in
+/// `rmem-types`; duplicated so this crate stays dependency-free).
+pub const CLIENT_OP_BIT: u16 = 0x8000;
+
+/// Packs a wire event's `aux`: the peer pid, the round nonce (low 47 bits
+/// — matching-only, both sides truncate identically) and, for acks, the
+/// durability attestation bit.
+pub fn pack_wire_aux(peer: u16, nonce: u64, durable: bool) -> u64 {
+    (nonce << 17) | u64::from(peer) << 1 | u64::from(durable)
+}
+
+/// Unpacks [`pack_wire_aux`] into `(peer, nonce, durable)`.
+pub fn unpack_wire_aux(aux: u64) -> (u16, u64, bool) {
+    ((aux >> 1) as u16, aux >> 17, aux & 1 == 1)
+}
+
+fn fmt_op(pid: u16, counter: u64) -> String {
+    if pid & CLIENT_OP_BIT != 0 {
+        format!("c{}#{}", pid & !CLIENT_OP_BIT, counter)
+    } else {
+        format!("p{pid}#{counter}")
     }
 }
 
@@ -106,10 +149,16 @@ pub struct FlightEvent {
     pub register: u16,
     /// The shard-map epoch in force, 0 when not applicable.
     pub epoch: u32,
-    /// The operation involved, as `(origin pid, per-process counter)`.
+    /// The operation involved: `(origin pid, per-process counter)` for
+    /// node-local ops, or `(client-family id | CLIENT_OP_BIT, trace op)`
+    /// for traced operations.
     pub op: Option<(u16, u64)>,
     /// Kind-specific payload (see [`EventKind`]).
     pub aux: u64,
+    /// The ring ticket this event was dumped from — a per-recorder
+    /// insertion sequence, used as the final tie-breaker when sorting.
+    /// Zero until the event has been through [`FlightRecorder::dump`].
+    pub seq: u64,
 }
 
 impl FlightEvent {
@@ -122,6 +171,7 @@ impl FlightEvent {
             epoch: 0,
             op: None,
             aux: 0,
+            seq: 0,
         }
     }
 
@@ -152,7 +202,7 @@ impl FlightEvent {
     /// The event as one JSON object.
     pub fn to_json(&self) -> String {
         let op = match self.op {
-            Some((pid, c)) => format!("\"p{pid}#{c}\""),
+            Some((pid, c)) => format!("\"{}\"", fmt_op(pid, c)),
             None => "null".to_string(),
         };
         format!(
@@ -176,24 +226,30 @@ impl std::fmt::Display for FlightEvent {
             self.kind.label()
         )?;
         if let Some((pid, c)) = self.op {
-            write!(f, " op=p{pid}#{c}")?;
+            write!(f, " op={}", fmt_op(pid, c))?;
         }
         write!(f, " r{}", self.register)?;
         if self.epoch != 0 {
             write!(f, " e{}", self.epoch)?;
         }
         match self.kind {
-            EventKind::RoundSent => write!(f, " to=p{}", self.aux),
-            EventKind::AckRecv => write!(
-                f,
-                " from=p{} {}",
-                self.aux >> 1,
-                if self.aux & 1 == 1 {
-                    "durable"
-                } else {
-                    "volatile"
-                }
-            ),
+            EventKind::RoundSent | EventKind::AckSent => {
+                let (peer, nonce, _) = unpack_wire_aux(self.aux);
+                write!(f, " to=p{peer} nonce={nonce}")
+            }
+            EventKind::ReqRecv => {
+                let (peer, nonce, _) = unpack_wire_aux(self.aux);
+                write!(f, " from=p{peer} nonce={nonce}")
+            }
+            EventKind::AckRecv => {
+                let (peer, nonce, durable) = unpack_wire_aux(self.aux);
+                write!(
+                    f,
+                    " from=p{peer} nonce={nonce} {}",
+                    if durable { "durable" } else { "volatile" }
+                )
+            }
+            EventKind::ClientSend | EventKind::ClientRecv => write!(f, " node=p{}", self.aux),
             EventKind::OpComplete => write!(f, " rounds={}", self.aux),
             EventKind::StoreQueued | EventKind::StoreDurable => write!(f, " token={}", self.aux),
             EventKind::GroupCommit => write!(f, " size={}", self.aux),
@@ -254,8 +310,16 @@ impl FlightRecorder {
     /// few hundred operations.
     pub const DEFAULT_CAPACITY: usize = 4096;
 
+    /// Memory cost per ring slot in bytes: six `AtomicU64`s (one sequence
+    /// word + five payload words). A capacity-`c` ring costs
+    /// `c × 48` bytes (capacity rounds up to a power of two), e.g. the
+    /// default 4096-slot ring is 192 KiB and a trace-bench 2^18 ring is
+    /// 12 MiB.
+    pub const SLOT_BYTES: usize = (SLOT_WORDS + 1) * 8;
+
     /// A recorder holding the last `capacity` events (rounded up to a
-    /// power of two, minimum 8).
+    /// power of two, minimum 8). Memory cost is
+    /// [`SLOT_BYTES`](FlightRecorder::SLOT_BYTES) per slot.
     pub fn new(capacity: usize) -> Self {
         let cap = capacity.next_power_of_two().max(8);
         FlightRecorder {
@@ -373,6 +437,7 @@ impl FlightRecorder {
                     Some((words[2] as u16, words[3]))
                 },
                 aux: words[4],
+                seq: ticket,
             });
         }
         out
@@ -380,8 +445,10 @@ impl FlightRecorder {
 
     /// The last `n` events rendered as a human-readable timeline,
     /// prefixed with the halt reason (if any) and the drop count.
+    /// Ordering is deterministic: see [`sort_events`].
     pub fn dump_timeline(&self, n: usize) -> String {
-        let events = self.dump();
+        let mut events = self.dump();
+        sort_events(&mut events);
         let shown = &events[events.len().saturating_sub(n)..];
         let mut out = String::new();
         if let Some(reason) = self.halt_reason() {
@@ -397,13 +464,30 @@ impl FlightRecorder {
         out
     }
 
-    /// The last `n` events as a JSON array.
+    /// The last `n` events as a JSON array, in [`sort_events`] order.
     pub fn dump_json(&self, n: usize) -> String {
-        let events = self.dump();
+        let mut events = self.dump();
+        sort_events(&mut events);
         let shown = &events[events.len().saturating_sub(n)..];
         let body: Vec<String> = shown.iter().map(FlightEvent::to_json).collect();
         format!("[{}]", body.join(","))
     }
+}
+
+/// Sorts events into the canonical dump order: timestamp first, then —
+/// for equal-microsecond timestamps — operation id (node ops before
+/// client-family ops of the same numeric pid, `None` last), then the ring
+/// insertion sequence. Total and deterministic, so repeated dumps of a
+/// quiescent ring (and the stitched traces built from them) render
+/// identically even when several events share a microsecond.
+pub fn sort_events(events: &mut [FlightEvent]) {
+    events.sort_by_key(|e| {
+        (
+            e.at_micros,
+            e.op.map_or((u16::MAX, u64::MAX), |(pid, c)| (pid, c)),
+            e.seq,
+        )
+    });
 }
 
 #[cfg(test)]
@@ -461,6 +545,59 @@ mod tests {
         let text = rec.dump_timeline(16);
         assert!(text.contains("halted: disk on fire"));
         assert!(text.contains("Halt"));
+    }
+
+    #[test]
+    fn sort_is_stable_for_equal_microsecond_timestamps() {
+        let mk = |op: Option<(u16, u64)>, seq: u64| FlightEvent {
+            at_micros: 1000,
+            op,
+            seq,
+            ..FlightEvent::new(EventKind::OpStart)
+        };
+        let mut events = vec![
+            mk(None, 9),
+            mk(Some((CLIENT_OP_BIT, 3)), 2),
+            mk(Some((1, 5)), 7),
+            mk(Some((1, 4)), 8),
+            mk(Some((1, 4)), 1),
+        ];
+        sort_events(&mut events);
+        let keys: Vec<_> = events.iter().map(|e| (e.op, e.seq)).collect();
+        assert_eq!(
+            keys,
+            vec![
+                (Some((1, 4)), 1), // op ascending, then seq
+                (Some((1, 4)), 8),
+                (Some((1, 5)), 7),
+                (Some((CLIENT_OP_BIT, 3)), 2), // client ops after node ops
+                (None, 9),                     // no-op events last
+            ]
+        );
+        // Sorting again is a no-op: the order is canonical.
+        let before = events.clone();
+        sort_events(&mut events);
+        assert_eq!(events, before);
+    }
+
+    #[test]
+    fn wire_aux_packing_round_trips() {
+        let aux = pack_wire_aux(513, 0xABCD_1234, true);
+        assert_eq!(unpack_wire_aux(aux), (513, 0xABCD_1234, true));
+        let aux = pack_wire_aux(0, u64::MAX, false);
+        // Nonces keep their low 47 bits — enough to match rounds, which
+        // only ever need uniqueness within a ring's retention window.
+        assert_eq!(unpack_wire_aux(aux), (0, u64::MAX >> 17, false));
+    }
+
+    #[test]
+    fn client_ops_render_with_family_prefix() {
+        let ev = FlightEvent::new(EventKind::ClientSend)
+            .with_op(CLIENT_OP_BIT | 4, 17)
+            .with_aux(2);
+        assert!(format!("{ev}").contains("op=c4#17"));
+        assert!(format!("{ev}").contains("node=p2"));
+        assert!(ev.to_json().contains("\"c4#17\""));
     }
 
     #[test]

@@ -4,10 +4,12 @@
 //! increments and no torn events.
 
 use proptest::prelude::*;
+use rmem_obs::trace::{stitch, RingDump};
 use rmem_obs::{
-    bucket_of, bucket_upper_bound, Counter, EventKind, FlightEvent, FlightRecorder, Histogram,
-    Registry, BUCKETS,
+    bucket_of, bucket_upper_bound, pack_wire_aux, Counter, EventKind, FlightEvent, FlightRecorder,
+    Histogram, MetricsSnapshot, Registry, BUCKETS, CLIENT_OP_BIT,
 };
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 proptest! {
@@ -124,6 +126,83 @@ fn contended_counters_lose_nothing() {
     assert_eq!(bucket_total, expect, "bucket counts must add up exactly");
 }
 
+/// Merge semantics per metric class: counters *add*, gauges take the
+/// *max*, histograms add *bucket-wise* (count, sum, and every bucket).
+#[test]
+fn snapshot_merge_adds_counters_maxes_gauges_adds_histograms() {
+    let (ra, rb) = (Registry::new(), Registry::new());
+    ra.counter("ops").add(7);
+    rb.counter("ops").add(5);
+    ra.gauge("depth").set(3);
+    rb.gauge("depth").set(9);
+    for v in [10, 20] {
+        ra.histogram("lat").record(v);
+    }
+    for v in [20, 1_000] {
+        rb.histogram("lat").record(v);
+    }
+
+    let mut merged = ra.snapshot();
+    merged.merge(&rb.snapshot());
+    assert_eq!(merged.counter("ops"), 12, "counters add");
+    assert_eq!(merged.gauge("depth"), 9, "gauges take the max");
+    let h = merged.histogram("lat");
+    assert_eq!(h.count, 4);
+    assert_eq!(h.sum, 1_050);
+    assert_eq!(h.buckets[bucket_of(20)], 2, "shared bucket adds");
+    assert_eq!(h.buckets[bucket_of(1_000)], 1);
+    // Max, not sum: merging the other way yields the same gauge.
+    let mut rev = rb.snapshot();
+    rev.merge(&ra.snapshot());
+    assert_eq!(rev.gauge("depth"), 9);
+    assert_eq!(rev, merged, "add/max/bucket-add are all commutative here");
+}
+
+/// Disjoint names union: nothing in one snapshot perturbs the other's
+/// entries, and absent names read as zero/empty rather than erroring.
+#[test]
+fn snapshot_merge_disjoint_names_is_a_union() {
+    let (ra, rb) = (Registry::new(), Registry::new());
+    ra.counter("a.only").add(1);
+    ra.histogram("a.lat").record(5);
+    rb.counter("b.only").add(2);
+    rb.gauge("b.depth").set(4);
+
+    let mut merged = ra.snapshot();
+    merged.merge(&rb.snapshot());
+    assert_eq!(merged.counter("a.only"), 1);
+    assert_eq!(merged.counter("b.only"), 2);
+    assert_eq!(merged.gauge("b.depth"), 4);
+    assert_eq!(merged.histogram("a.lat").count, 1);
+    assert_eq!(merged.counters.len(), 2);
+    // Absent names are zero/empty, not panics.
+    assert_eq!(merged.counter("nope"), 0);
+    assert_eq!(merged.gauge("nope"), 0);
+    assert!(merged.histogram("nope").is_empty());
+}
+
+/// Empty snapshots are the identity of `merge`, on both sides.
+#[test]
+fn snapshot_merge_empty_is_identity() {
+    let reg = Registry::new();
+    reg.counter("ops").add(3);
+    reg.gauge("depth").set(2);
+    reg.histogram("lat").record(42);
+    let base = reg.snapshot();
+
+    let mut left = base.clone();
+    left.merge(&MetricsSnapshot::default());
+    assert_eq!(left, base, "merging an empty snapshot changes nothing");
+
+    let mut right = MetricsSnapshot::default();
+    right.merge(&base);
+    assert_eq!(right, base, "merging into an empty snapshot copies it");
+
+    let mut both = MetricsSnapshot::default();
+    both.merge(&MetricsSnapshot::default());
+    assert_eq!(both, MetricsSnapshot::default());
+}
+
 /// Hammer the ring from many threads while a reader dumps concurrently:
 /// every event that survives into a dump must be internally consistent
 /// (no torn mixes of two writers' payloads), and a quiesced dump holds
@@ -179,4 +258,115 @@ fn contended_ring_yields_no_torn_events() {
     for ev in &dump {
         check(ev);
     }
+}
+
+/// Lap two undersized rings from concurrent writers while a stitcher
+/// repeatedly dumps and stitches them live: wraparound tears whole ops
+/// out of the window mid-read, and the stitcher must degrade those to
+/// `incomplete` — never panic, never emit a malformed stitched op. The
+/// 64-slot rings wrap hundreds of times during the run, so most dumps
+/// catch the writers mid-lap.
+#[test]
+fn stitcher_rejects_torn_windows_under_wraparound() {
+    const OPS: u64 = 20_000;
+    let family: u16 = 1 | CLIENT_OP_BIT;
+    let client_ring = Arc::new(FlightRecorder::new(64));
+    let node_ring = Arc::new(FlightRecorder::new(64));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let well_formed = |report: &rmem_obs::trace::TraceReport| {
+        assert!(
+            (0.0..=1.0).contains(&report.coverage()),
+            "coverage out of range: {}",
+            report.coverage()
+        );
+        assert_eq!(
+            report.stitched.len() + report.incomplete,
+            report.completed,
+            "every completed op is either stitched or incomplete"
+        );
+        for op in &report.stitched {
+            assert!(
+                op.wall_us.is_finite() && op.wall_us >= 0.0,
+                "bogus wall clock"
+            );
+            for (name, us) in rmem_obs::trace::SEGMENTS.iter().zip(op.segments) {
+                assert!(us.is_finite() && us >= 0.0, "segment {name} = {us}");
+            }
+            assert!(op.attributed_us().is_finite());
+            // Timelines stay sorted even when the window was torn.
+            for w in op.timeline.windows(2) {
+                assert!(
+                    w[0].corrected_us <= w[1].corrected_us,
+                    "timeline out of order"
+                );
+            }
+        }
+        // Rendering a torn window must not panic either.
+        let _ = report.render_summary();
+        let _ = report.render_exemplars(3);
+    };
+
+    std::thread::scope(|scope| {
+        // The "client": a send/recv bracket per op.
+        let cring = client_ring.clone();
+        let cdone = done.clone();
+        scope.spawn(move || {
+            for i in 0..OPS {
+                cring.record(
+                    FlightEvent::new(EventKind::ClientSend)
+                        .with_op(family, i)
+                        .with_aux(0),
+                );
+                cring.record(FlightEvent::new(EventKind::ClientRecv).with_op(family, i));
+            }
+            cdone.store(true, Ordering::Relaxed);
+        });
+        // The "coordinator": the matching op bracket plus one wire round,
+        // racing the client writer into a different ring.
+        let nring = node_ring.clone();
+        scope.spawn(move || {
+            for i in 0..OPS {
+                nring.record(FlightEvent::new(EventKind::OpStart).with_op(family, i));
+                nring.record(
+                    FlightEvent::new(EventKind::RoundSent)
+                        .with_op(family, i)
+                        .with_aux(pack_wire_aux(1, i, false)),
+                );
+                nring.record(
+                    FlightEvent::new(EventKind::AckRecv)
+                        .with_op(family, i)
+                        .with_aux(pack_wire_aux(1, i, true)),
+                );
+                nring.record(FlightEvent::new(EventKind::OpComplete).with_op(family, i));
+            }
+        });
+        // The stitcher, live against both wrapping rings.
+        let (cring, nring) = (client_ring.clone(), node_ring.clone());
+        let sdone = done.clone();
+        scope.spawn(move || {
+            let mut passes = 0u32;
+            while !sdone.load(Ordering::Relaxed) || passes < 10 {
+                let rings = vec![
+                    RingDump::client(family, cring.dump()),
+                    RingDump::node(0, nring.dump()),
+                ];
+                well_formed(&stitch(&rings));
+                passes += 1;
+                std::thread::yield_now();
+            }
+        });
+    });
+
+    // Quiesced: the surviving window still stitches into a well-formed
+    // report, and the laps are visible in the drop counter.
+    assert!(
+        client_ring.dropped() > 0,
+        "the ring must actually have lapped"
+    );
+    let rings = vec![
+        RingDump::client(family, client_ring.dump()),
+        RingDump::node(0, node_ring.dump()),
+    ];
+    well_formed(&stitch(&rings));
 }

@@ -36,17 +36,28 @@ use crate::value::Value;
 pub const MAX_LEN: usize = 1 << 20;
 
 /// Worst-case encoded size of a value-carrying message (`Write`/`ReadAck`)
-/// minus the value bytes: tag (1) + request id (12) + timestamp (10) +
-/// value marker and length prefix (5) + the `ReadAck` durability flag (1).
-/// A `Write` encodes one byte smaller; the constant is the maximum because
-/// an admitted value must fit the frame in *both* directions — the write
-/// that propagates it and the read acks that later carry it back.
+/// minus the value bytes: tag (1), request id (12), timestamp (10), value
+/// marker and length prefix (5), the `ReadAck` durability flag (1), and
+/// the optional trace envelope ([`TRACE_OVERHEAD`], 11 bytes). A `Write`
+/// encodes one byte smaller; the constant is the maximum because an
+/// admitted value must fit the frame in *both* directions — the write that
+/// propagates it and the read acks that later carry it back — whether or
+/// not tracing stamps the message.
 ///
 /// Transports cap whole encoded messages; layers that admit *values* (the
 /// runner's client API, the store) subtract this overhead from the
 /// transport's frame limit to decide whether a value can ever reach a
-/// quorum. Pinned by a test against [`encode_message`].
-pub const VALUE_MSG_OVERHEAD: usize = 29;
+/// quorum. Pinned by a test against [`encode_message_traced`].
+pub const VALUE_MSG_OVERHEAD: usize = 29 + TRACE_OVERHEAD;
+
+/// Encoded size of the optional trace envelope appended by
+/// [`encode_message_traced`]: marker (1) + client-family id (2) + op
+/// counter (8).
+pub const TRACE_OVERHEAD: usize = 11;
+
+/// Marker byte opening a trace envelope. Chosen outside the message tag
+/// range so a suffix starting with it never parses as a message.
+const TRACE_MARKER: u8 = 0xC7;
 
 // ---------------------------------------------------------------------
 // Primitive helpers (shared with rmem-storage's record encoding)
@@ -275,6 +286,54 @@ pub fn decode_message(bytes: &[u8]) -> Result<Message, DecodeError> {
     Ok(msg)
 }
 
+/// Serializes a [`Message`] with an optional trace envelope appended.
+///
+/// The envelope is [`TRACE_OVERHEAD`] bytes: marker, client-family id,
+/// per-family op counter. With `trace == None` this is byte-identical to
+/// [`encode_message`], so traced and untraced peers interoperate.
+pub fn encode_message_traced(msg: &Message, trace: Option<crate::TraceId>) -> Bytes {
+    match trace {
+        None => encode_message(msg),
+        Some(t) => {
+            let mut buf = BytesMut::with_capacity(32 + TRACE_OVERHEAD + msg.payload_len());
+            buf.extend_from_slice(&encode_message(msg));
+            put_u8(&mut buf, TRACE_MARKER);
+            put_u16(&mut buf, t.client);
+            put_u64(&mut buf, t.op);
+            buf.freeze()
+        }
+    }
+}
+
+/// Deserializes a [`Message`] that may carry a trace envelope.
+///
+/// Untraced payloads decode with `None`; a well-formed envelope is split
+/// off and returned. The envelope is recognized by length, marker byte,
+/// and the prefix decoding as a complete message — a plain message whose
+/// bytes happen to end marker-like still decodes correctly because value
+/// length prefixes pin the true message length, so the truncated-prefix
+/// parse fails and the fallback path takes over.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] when the payload decodes as neither a traced
+/// nor a plain message.
+pub fn decode_message_traced(
+    bytes: &[u8],
+) -> Result<(Message, Option<crate::TraceId>), DecodeError> {
+    if bytes.len() > TRACE_OVERHEAD && bytes[bytes.len() - TRACE_OVERHEAD] == TRACE_MARKER {
+        let (body, envelope) = bytes.split_at(bytes.len() - TRACE_OVERHEAD);
+        if let Ok(msg) = decode_message(body) {
+            let mut buf = &envelope[1..];
+            const CTX: &str = "TraceEnvelope";
+            let client = get_u16(&mut buf, CTX)?;
+            let op = get_u64(&mut buf, CTX)?;
+            return Ok((msg, Some(crate::TraceId { client, op })));
+        }
+    }
+    decode_message(bytes).map(|msg| (msg, None))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,6 +463,7 @@ mod tests {
         // req/ts works, but use max values to prove there is no varint.
         let req = RequestId::new(ProcessId(u16::MAX), u64::MAX);
         let ts = Timestamp::new(u64::MAX, ProcessId(u16::MAX));
+        let trace = crate::TraceId::new(5, u64::MAX);
         for len in [0usize, 1, 1000] {
             let value = Value::new(vec![7u8; len]);
             let write = Message::Write {
@@ -412,16 +472,73 @@ mod tests {
                 value: value.clone(),
             };
             // Write is one byte leaner (no durability flag); the constant
-            // is the max so one admission check covers both directions.
-            assert_eq!(encode_message(&write).len(), VALUE_MSG_OVERHEAD - 1 + len);
+            // is the max so one admission check covers both directions,
+            // traced or not.
+            assert_eq!(
+                encode_message_traced(&write, Some(trace)).len(),
+                VALUE_MSG_OVERHEAD - 1 + len
+            );
+            assert_eq!(
+                encode_message(&write).len(),
+                VALUE_MSG_OVERHEAD - TRACE_OVERHEAD - 1 + len
+            );
             let ack = Message::ReadAck {
                 req,
                 ts,
                 value,
                 durable: true,
             };
-            assert_eq!(encode_message(&ack).len(), VALUE_MSG_OVERHEAD + len);
+            assert_eq!(
+                encode_message_traced(&ack, Some(trace)).len(),
+                VALUE_MSG_OVERHEAD + len
+            );
+            assert_eq!(
+                encode_message(&ack).len(),
+                VALUE_MSG_OVERHEAD - TRACE_OVERHEAD + len
+            );
         }
+    }
+
+    #[test]
+    fn traced_roundtrip_every_variant() {
+        let trace = crate::TraceId::new(9, 4242);
+        for msg in sample_messages() {
+            let bytes = encode_message_traced(&msg, Some(trace));
+            let (back, t) = decode_message_traced(&bytes).expect("traced decode");
+            assert_eq!(back, msg);
+            assert_eq!(t, Some(trace));
+            // Untraced encoding decodes with None through the same entry.
+            let plain = encode_message_traced(&msg, None);
+            assert_eq!(plain, encode_message(&msg));
+            let (back, t) = decode_message_traced(&plain).expect("plain decode");
+            assert_eq!(back, msg);
+            assert_eq!(t, None);
+        }
+    }
+
+    #[test]
+    fn marker_like_value_bytes_do_not_confuse_traced_decode() {
+        // A value whose tail bytes mimic a trace envelope: the value length
+        // prefix pins the message length, so the prefix parse fails and the
+        // payload decodes as a plain message.
+        let req = RequestId::new(ProcessId(1), 2);
+        let ts = Timestamp::new(3, ProcessId(1));
+        let mut tail = vec![TRACE_MARKER];
+        tail.extend_from_slice(&[0xAA; TRACE_OVERHEAD - 1]);
+        let msg = Message::Write {
+            req,
+            ts,
+            value: Value::new(tail),
+        };
+        let bytes = encode_message(&msg);
+        let (back, t) = decode_message_traced(&bytes).expect("decode");
+        assert_eq!(back, msg);
+        assert_eq!(t, None);
+        // And the same message traced still splits the envelope correctly.
+        let trace = crate::TraceId::new(1, 7);
+        let (back, t) = decode_message_traced(&encode_message_traced(&msg, Some(trace))).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(t, Some(trace));
     }
 
     #[test]

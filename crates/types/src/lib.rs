@@ -47,7 +47,7 @@ pub use automaton::{
     TimerToken,
 };
 pub use error::DecodeError;
-pub use message::{Message, RequestId};
+pub use message::{Message, RequestId, TraceId};
 pub use op::{Op, OpId, OpKind, OpResult, RegisterId, RejectReason};
 pub use process::ProcessId;
 pub use timestamp::{Seq, Timestamp};

@@ -66,6 +66,51 @@ impl std::fmt::Display for RequestId {
     }
 }
 
+/// Identity of an originating client operation, propagated on the wire so
+/// flight-recorder events on *every* node an op touches can be stamped with
+/// the op that caused them (not just the local register), and later stitched
+/// into one cross-node causal timeline.
+///
+/// `client` is a process-wide client-family id with the high bit set
+/// ([`TraceId::CLIENT_BIT`]) so it can never collide with a node
+/// [`ProcessId`] where recorders store an op origin; `op` is a per-family
+/// monotonic counter, so every invocation attempt carries a fresh id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId {
+    /// Client-family id (always has [`TraceId::CLIENT_BIT`] set).
+    pub client: u16,
+    /// Per-family operation counter.
+    pub op: u64,
+}
+
+impl TraceId {
+    /// High bit distinguishing client-family ids from node process ids in
+    /// recorder op fields.
+    pub const CLIENT_BIT: u16 = 0x8000;
+
+    /// Creates a trace id, forcing the client bit on.
+    pub fn new(client: u16, op: u64) -> Self {
+        TraceId {
+            client: client | Self::CLIENT_BIT,
+            op,
+        }
+    }
+
+    /// Allocates a process-wide fresh client-family id (client bit set).
+    /// Wraps within 15 bits — collisions need 32k live client families.
+    pub fn fresh_client() -> u16 {
+        use std::sync::atomic::{AtomicU16, Ordering};
+        static NEXT: AtomicU16 = AtomicU16::new(0);
+        (NEXT.fetch_add(1, Ordering::Relaxed) & !Self::CLIENT_BIT) | Self::CLIENT_BIT
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}#{}", self.client & !Self::CLIENT_BIT, self.op)
+    }
+}
+
 /// A message of the emulation protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Message {
