@@ -8,7 +8,8 @@
 //! cargo run --release -p rmem-bench --bin kv_throughput \
 //!     [-- --csv] [-- --smoke] [-- --json PATH] [-- --no-fastpath] \
 //!     [-- --reshard] [-- --disk] [-- --obs] [-- --obs-json PATH] \
-//!     [-- --trace] [-- --trace-json PATH]
+//!     [-- --trace] [-- --trace-json PATH] \
+//!     [-- --chaos] [-- --chaos-dump PATH]
 //! ```
 //!
 //! `--smoke` runs the same grid on a reduced workload (CI-sized);
@@ -36,6 +37,14 @@
 //! plus a re-run of the ≤3% priced instrumentation gate with tracing on
 //! (`--trace-json PATH` also writes the slowest ops' stitched timelines
 //! as JSON for the CI artifact);
+//! `--chaos` runs the combined chaos matrix (`rmem_kv::run_chaos`) over
+//! a seed sweep: seeded node kill/recover windows with torn-WAL-tail
+//! recoveries, a live shard-split chain and client crashes at every
+//! write phase, every surviving history certified (exactly-once
+//! duplicate check included) and every crashed client's ops resolved to
+//! a definite verdict — `--smoke` shrinks the cluster for CI, and on a
+//! failed oracle the flight-recorder dumps + stitched causal trace are
+//! written to the `--chaos-dump PATH` artifact before exiting nonzero;
 //! `--json PATH` writes the rows as machine-readable JSON for perf
 //! diffing (`BENCH_kv.json` is the committed baseline). The sim grid's
 //! rows are virtual-time (labeled so); every reported run is certified
@@ -49,6 +58,7 @@ fn main() {
     let disk = args.iter().any(|a| a == "--disk");
     let obs = args.iter().any(|a| a == "--obs");
     let trace = args.iter().any(|a| a == "--trace");
+    let chaos = args.iter().any(|a| a == "--chaos");
     let fastpath = !args.iter().any(|a| a == "--no-fastpath");
     let path_operand = |flag: &str| {
         args.iter().position(|a| a == flag).map(|i| {
@@ -64,6 +74,7 @@ fn main() {
     let json_path = path_operand("--json");
     let obs_json_path = path_operand("--obs-json");
     let trace_json_path = path_operand("--trace-json");
+    let chaos_dump_path = path_operand("--chaos-dump");
 
     let (rows, table) = rmem_bench::kv::kv_throughput_with_mode(smoke, fastpath);
     println!("{}", table.to_text());
@@ -320,6 +331,11 @@ fn main() {
             ATTRIBUTION_TOLERANCE * 100.0,
             r.report.max_attribution_error() * 100.0,
         );
+        assert_eq!(
+            r.trace_evictions, 0,
+            "the runners' bounded request-trace maps must not evict in steady state \
+             (an eviction silently un-stitches an op)",
+        );
         println!(
             "trace gates: coverage {:.2}% (floor {:.0}%), 0 causality violations, \
              worst attribution error {:.2}% (limit {:.0}%), max clock err ±{:.1} µs",
@@ -342,6 +358,55 @@ fn main() {
     } else {
         None
     };
+    if chaos {
+        // The chaos matrix as a gate: every seed's run must certify and
+        // every crashed client's ops must resolve. On failure the
+        // postmortem evidence (flight-recorder dumps + stitched causal
+        // trace) lands at --chaos-dump for the CI artifact upload.
+        match rmem_bench::chaos::chaos_scenario(smoke) {
+            Ok(rows) => {
+                for row in &rows {
+                    let r = &row.report;
+                    println!(
+                        "chaos seed {} ({} nodes, splits {:?}): {} completed, {} ambiguous \
+                         (all resolved), {} faults ({} torn tails), {} recovery verdicts, \
+                         {} keys certified, {} retries",
+                        r.seed,
+                        row.nodes,
+                        row.shard_path,
+                        r.completed,
+                        r.ambiguous,
+                        r.faults_applied,
+                        r.torn_tails,
+                        r.verdicts.len(),
+                        r.certified_keys,
+                        r.retries,
+                    );
+                }
+                let total_faults: usize = rows.iter().map(|r| r.report.faults_applied).sum();
+                assert!(total_faults > 0, "the chaos sweep must inject faults");
+                println!(
+                    "chaos gates: {} seeds certified (exactly-once duplicate check included), \
+                     every crashed client's ops resolved to a definite verdict",
+                    rows.len(),
+                );
+                if let Some(path) = &chaos_dump_path {
+                    let body: Vec<String> = rows.iter().map(|r| r.to_json()).collect();
+                    std::fs::write(path, format!("[\n{}\n]\n", body.join(",\n")))
+                        .expect("writing chaos rows");
+                    println!("wrote {path}");
+                }
+            }
+            Err(failure) => {
+                if let Some(path) = &chaos_dump_path {
+                    let payload = format!("{failure}\n\n{}", failure.dumps);
+                    std::fs::write(path, payload).expect("writing chaos postmortem");
+                    eprintln!("chaos postmortem written to {path}");
+                }
+                panic!("chaos scenario failed: {failure}");
+            }
+        }
+    }
     if let Some(path) = json_path {
         std::fs::write(
             &path,

@@ -33,6 +33,10 @@ use rmem_net::{DiskMode, LocalCluster};
 use rmem_obs::trace::{TraceReport, SEGMENTS};
 use rmem_obs::ObsHandle;
 use rmem_sim::KeyDistribution;
+use rmem_types::ProcessId;
+
+/// Nodes in the traced cluster.
+pub const TRACE_NODES: u16 = 3;
 
 /// Shard count (and key universe) of the scenario.
 pub const TRACE_SHARDS: u16 = 16;
@@ -88,6 +92,12 @@ pub struct TraceBenchReport {
     pub report: TraceReport,
     /// Per-segment p50/p99 attribution across every stitched op.
     pub segments: Vec<SegmentRow>,
+    /// Total `runner.trace_evictions` across the nodes: how many
+    /// request→op trace bindings the bounded per-runner map pushed out.
+    /// In steady state this must be zero — an evicted binding leaves an
+    /// ack unstamped and its op unstitchable, which would silently eat
+    /// into the coverage gate.
+    pub trace_evictions: u64,
 }
 
 impl TraceBenchReport {
@@ -108,7 +118,7 @@ impl TraceBenchReport {
              \"completed_ops\": {}, \"ops_per_sec\": {:.1}, \
              \"stitched\": {}, \"incomplete\": {}, \"coverage\": {:.4}, \
              \"violations\": {}, \"max_attribution_error\": {:.4}, \
-             \"max_clock_err_us\": {:.1}, \"segments\": {{{}}}}}",
+             \"max_clock_err_us\": {:.1}, \"trace_evictions\": {}, \"segments\": {{{}}}}}",
             TRACE_WRITE_FRACTION,
             self.completed_ops,
             self.ops_per_sec,
@@ -118,6 +128,7 @@ impl TraceBenchReport {
             self.report.violations,
             self.report.max_attribution_error(),
             self.report.max_clock_err_us(),
+            self.trace_evictions,
             segs.join(", "),
         )
     }
@@ -158,7 +169,7 @@ pub fn trace_scenario(smoke: bool) -> TraceBenchReport {
     let dir = scratch_dir();
     let _ = std::fs::remove_dir_all(&dir);
     let cluster = LocalCluster::udp_with_disk_obs_sized(
-        3,
+        usize::from(TRACE_NODES),
         SharedMemory::factory(Transient::flavor()),
         &dir,
         DiskMode::Wal,
@@ -235,6 +246,16 @@ pub fn trace_scenario(smoke: bool) -> TraceBenchReport {
         })
         .collect();
 
+    // The request-trace maps are bounded per runner; in steady state
+    // nothing should ever be evicted (the gate in the bin asserts zero).
+    let trace_evictions = (0..TRACE_NODES)
+        .map(|i| {
+            cluster
+                .metrics(ProcessId(i))
+                .counter("runner.trace_evictions")
+        })
+        .sum();
+
     drop(kv);
     drop(cluster);
     let _ = std::fs::remove_dir_all(&dir);
@@ -243,6 +264,7 @@ pub fn trace_scenario(smoke: bool) -> TraceBenchReport {
         ops_per_sec: completed_ops as f64 / elapsed.as_secs_f64(),
         report,
         segments,
+        trace_evictions,
     }
 }
 
@@ -284,6 +306,12 @@ mod tests {
         );
         // Every ring participated in the clock model.
         assert!(r.report.offsets.iter().all(|o| o.reachable));
+        // Steady state never overflows the bounded request-trace maps —
+        // an eviction would mean a silently unstitchable op.
+        assert_eq!(
+            r.trace_evictions, 0,
+            "the runners' request-trace maps must not evict in steady state"
+        );
         // The attribution table is fully populated and shares sum to 1.
         assert_eq!(r.segments.len(), SEGMENTS.len());
         let share_sum: f64 = r.segments.iter().map(|s| s.share).sum();

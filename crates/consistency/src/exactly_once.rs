@@ -1,0 +1,193 @@
+//! The **exactly-once criterion**: no logical write is ever applied with
+//! two different effects.
+//!
+//! Detectable client recovery (see `rmem_kv`'s `KvClient::resolve`) lets
+//! a crashed client re-issue an unresolved write **under the same
+//! operation tag**. The register layer then legitimately carries several
+//! *physical* writes for one *logical* operation — the original attempt
+//! and its retries — and atomicity alone cannot tell a benign retry from
+//! a corrupted one (a retry that re-used a tag for different content
+//! would silently fork the logical write).
+//!
+//! [`check_exactly_once`] closes that gap: it scans every write
+//! invocation of a history, extracts each one's logical identity and
+//! *effect* through a caller-supplied closure (the store layer decodes
+//! its payload codec there — this crate stays payload-agnostic), and
+//! demands that **all physical writes sharing a tag have identical
+//! effects**. Under that invariant duplicate applications are
+//! observationally a re-write of the same value, so the history remains
+//! certifiable by the ordinary atomicity checkers, and every retry
+//! counts as the *same* logical write — applied exactly once as far as
+//! any reader can tell.
+//!
+//! Pending (crashed) writes are held to the same rule: even an attempt
+//! that never landed must carry its tag's one true effect, otherwise a
+//! later recovery could land the fork.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rmem_types::Op;
+
+use crate::history::{Event, History};
+
+/// Statistics of a passing [`check_exactly_once`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExactlyOnceReport {
+    /// Physical write invocations carrying a tag.
+    pub tagged_writes: u64,
+    /// Distinct logical operations (distinct tags).
+    pub logical_ops: u64,
+    /// Extra physical writes beyond the first per tag — the retries a
+    /// recovery re-issued (or a duplicate delivery repeated).
+    pub retries: u64,
+}
+
+/// A logical write applied with two different effects: the tag `tag` was
+/// carried by physical writes whose extracted effects differ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateApplication<T> {
+    /// The forked logical operation's tag.
+    pub tag: T,
+    /// How many physical writes carried the tag (including the first).
+    pub writes: u64,
+}
+
+impl<T: fmt::Display> fmt::Display for DuplicateApplication<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "logical write {} applied with diverging effects across {} physical writes",
+            self.tag, self.writes
+        )
+    }
+}
+
+impl<T: fmt::Display + fmt::Debug> std::error::Error for DuplicateApplication<T> {}
+
+/// Checks the exactly-once criterion over a history (see the [module
+/// docs](self)).
+///
+/// `extract` maps a write operation to `Some((tag, effect))` for tagged
+/// writes and `None` for untagged legacy writes (which are exempt — they
+/// have no cross-crash identity to protect). Reads never reach
+/// `extract`.
+///
+/// # Errors
+///
+/// Returns the first [`DuplicateApplication`] in history order.
+pub fn check_exactly_once<T, V>(
+    history: &History,
+    extract: impl Fn(&Op) -> Option<(T, V)>,
+) -> Result<ExactlyOnceReport, DuplicateApplication<T>>
+where
+    T: Ord + Clone,
+    V: Eq,
+{
+    let mut seen: BTreeMap<T, (V, u64)> = BTreeMap::new();
+    let mut report = ExactlyOnceReport::default();
+    for event in history.events() {
+        let Event::Invoke { operation, .. } = event else {
+            continue;
+        };
+        if operation.write_value().is_none() {
+            continue;
+        }
+        let Some((tag, effect)) = extract(operation) else {
+            continue;
+        };
+        report.tagged_writes += 1;
+        match seen.get_mut(&tag) {
+            None => {
+                report.logical_ops += 1;
+                seen.insert(tag, (effect, 1));
+            }
+            Some((first, count)) => {
+                *count += 1;
+                report.retries += 1;
+                if *first != effect {
+                    return Err(DuplicateApplication {
+                        tag,
+                        writes: *count,
+                    });
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmem_types::{OpResult, OpTag, ProcessId, RegisterId, Value};
+
+    /// Toy payload convention for the tests: `[client, seq, effect]`.
+    fn tagged(client: u8, seq: u8, effect: u8) -> Value {
+        Value::new(vec![client, seq, effect])
+    }
+
+    fn extract(op: &Op) -> Option<(OpTag, u8)> {
+        let v = op.write_value()?;
+        let bytes = v.bytes();
+        if bytes.len() != 3 {
+            return None;
+        }
+        Some((OpTag::new(bytes[0] as u16, bytes[1] as u64), bytes[2]))
+    }
+
+    #[test]
+    fn retries_with_identical_effects_pass() {
+        let mut h = History::new();
+        let w1 = h.invoke(ProcessId(0), Op::WriteAt(RegisterId(1), tagged(1, 0, 9)));
+        h.reply(w1, OpResult::Written);
+        // The client crashes and its recovery re-issues the same tag.
+        h.crash(ProcessId(0));
+        h.recover(ProcessId(0));
+        let w2 = h.invoke(ProcessId(0), Op::WriteAt(RegisterId(1), tagged(1, 0, 9)));
+        h.reply(w2, OpResult::Written);
+        let w3 = h.invoke(ProcessId(1), Op::WriteAt(RegisterId(1), tagged(2, 0, 5)));
+        h.reply(w3, OpResult::Written);
+
+        let report = check_exactly_once(&h, extract).unwrap();
+        assert_eq!(report.tagged_writes, 3);
+        assert_eq!(report.logical_ops, 2);
+        assert_eq!(report.retries, 1);
+    }
+
+    #[test]
+    fn diverging_retry_is_a_duplicate_application() {
+        let mut h = History::new();
+        let w1 = h.invoke(ProcessId(0), Op::WriteAt(RegisterId(1), tagged(1, 4, 9)));
+        h.reply(w1, OpResult::Written);
+        let w2 = h.invoke(ProcessId(0), Op::WriteAt(RegisterId(1), tagged(1, 4, 8)));
+        h.reply(w2, OpResult::Written);
+        let err = check_exactly_once(&h, extract).unwrap_err();
+        assert_eq!(err.tag, OpTag::new(1, 4));
+        assert_eq!(err.writes, 2);
+        assert!(err.to_string().contains("c1#4"));
+    }
+
+    #[test]
+    fn pending_writes_are_held_to_the_rule() {
+        let mut h = History::new();
+        let w1 = h.invoke(ProcessId(0), Op::WriteAt(RegisterId(1), tagged(3, 0, 1)));
+        h.reply(w1, OpResult::Written);
+        // A crashed, never-completed attempt forks the tag: violation,
+        // because a recovery could land it.
+        let _pending = h.invoke(ProcessId(1), Op::WriteAt(RegisterId(1), tagged(3, 0, 2)));
+        h.crash(ProcessId(1));
+        assert!(check_exactly_once(&h, extract).is_err());
+    }
+
+    #[test]
+    fn untagged_writes_and_reads_are_exempt() {
+        let mut h = History::new();
+        let w = h.invoke(ProcessId(0), Op::WriteAt(RegisterId(1), Value::from_u32(7)));
+        h.reply(w, OpResult::Written);
+        let r = h.invoke(ProcessId(1), Op::ReadAt(RegisterId(1)));
+        h.reply(r, OpResult::ReadValue(Value::from_u32(7)));
+        let report = check_exactly_once(&h, extract).unwrap();
+        assert_eq!(report, ExactlyOnceReport::default());
+    }
+}

@@ -44,6 +44,7 @@
 
 pub mod atomicity;
 pub mod epochs;
+pub mod exactly_once;
 pub mod history;
 pub mod intervals;
 pub mod linearize;
@@ -56,6 +57,7 @@ pub use atomicity::{
     Violation,
 };
 pub use epochs::{check_per_register_epochs, stitch_moves};
+pub use exactly_once::{check_exactly_once, DuplicateApplication, ExactlyOnceReport};
 pub use history::{Event, History, WellFormedError};
 pub use regular::{check_regular_swmr, check_safe_swmr};
 pub use shrink::shrink;

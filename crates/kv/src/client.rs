@@ -41,8 +41,12 @@ use rmem_obs::{
 };
 use rmem_types::{Op, OpResult, ProcessId, RegisterId, Value};
 
+use rmem_storage::StorageError;
+use rmem_types::OpTag;
+
 use crate::codec;
 use crate::epoch::{data_register, ShardMap, CONFIG_REGISTER};
+use crate::exactly_once::ExactlyOnce;
 use crate::health::{HealthMemory, NodeGate};
 use crate::recorder::OpRecorder;
 use crate::router::ShardRouter;
@@ -69,6 +73,8 @@ struct ClientObs {
     barrier_waits: Arc<Counter>,
     barrier_polls: Arc<Counter>,
     map_refreshes: Arc<Counter>,
+    retries: Arc<Counter>,
+    backoff_micros: Arc<Counter>,
     get_micros: Arc<Histogram>,
     put_micros: Arc<Histogram>,
 }
@@ -85,6 +91,8 @@ impl ClientObs {
             barrier_waits: m.counter("kv.barrier_waits"),
             barrier_polls: m.counter("kv.barrier_polls"),
             map_refreshes: m.counter("kv.map_refreshes"),
+            retries: m.counter("kv.retries"),
+            backoff_micros: m.counter("kv.backoff_micros"),
             get_micros: m.histogram("kv.get_micros"),
             put_micros: m.histogram("kv.put_micros"),
             handle,
@@ -127,6 +135,11 @@ pub struct KvOpStats {
     pub barrier_polls: u64,
     /// Shard-map refreshes from the config register.
     pub map_refreshes: u64,
+    /// Failed node attempts that made an operation retry — `Busy`
+    /// re-tries on one node plus failover hops to the next.
+    pub retries: u64,
+    /// Total microseconds slept in retry backoff (see `kv.backoff_micros`).
+    pub backoff_micros: u64,
 }
 
 impl KvOpStats {
@@ -224,6 +237,25 @@ pub enum KvError {
     },
     /// The client was constructed without any node handles.
     NoNodes,
+    /// The staged operation was fenced: a resolver already returned
+    /// `NotLanded` for this tag ([`KvClient::resolve`]), so issuing it now
+    /// would make a resolved-NotLanded op visible.
+    Fenced {
+        /// The fenced operation's tag.
+        tag: OpTag,
+    },
+    /// The intent journal has no record of this tag — it was never begun
+    /// through this journal, or it was acknowledged and tombstoned.
+    UnknownIntent {
+        /// The unrecognized tag.
+        tag: OpTag,
+    },
+    /// The client-side intent journal failed; the operation was not
+    /// issued (journal writes come first).
+    Journal {
+        /// The storage failure.
+        source: StorageError,
+    },
 }
 
 impl std::fmt::Display for KvError {
@@ -240,6 +272,14 @@ impl std::fmt::Display for KvError {
             ),
             KvError::Reshard { message } => write!(f, "invalid reshard: {message}"),
             KvError::NoNodes => write!(f, "KvClient needs at least one node handle"),
+            KvError::Fenced { tag } => write!(
+                f,
+                "operation {tag} was resolved NotLanded and is fenced from ever issuing"
+            ),
+            KvError::UnknownIntent { tag } => {
+                write!(f, "the intent journal has no record of operation {tag}")
+            }
+            KvError::Journal { source } => write!(f, "intent journal: {source}"),
         }
     }
 }
@@ -282,7 +322,11 @@ pub struct KvClient {
     /// [`rmem_types::TraceId`] and the runtime propagates it across the
     /// wire, so the family's ring stitches into the nodes' rings.
     trace: Option<Arc<TraceCtx>>,
-    recorder: Option<(OpRecorder, ProcessId)>,
+    pub(crate) recorder: Option<(OpRecorder, ProcessId)>,
+    /// Exactly-once state (intent journal + tag allocator), attached by
+    /// [`with_exactly_once`](KvClient::with_exactly_once); clones share
+    /// it. `None` = classic at-least-once client, untagged writes.
+    pub(crate) intents: Option<Arc<ExactlyOnce>>,
 }
 
 impl KvClient {
@@ -313,6 +357,7 @@ impl KvClient {
             obs: Arc::new(ClientObs::new(ObsHandle::new())),
             trace: None,
             recorder: None,
+            intents: None,
         }
         .rewire_trace())
     }
@@ -451,6 +496,8 @@ impl KvClient {
             barrier_waits: self.obs.barrier_waits.get(),
             barrier_polls: self.obs.barrier_polls.get(),
             map_refreshes: self.obs.map_refreshes.get(),
+            retries: self.obs.retries.get(),
+            backoff_micros: self.obs.backoff_micros.get(),
         }
     }
 
@@ -486,6 +533,32 @@ impl KvClient {
     fn record_write(&self, rounds: u32) {
         self.obs.writes.inc();
         self.obs.write_rounds.add(u64::from(rounds));
+    }
+
+    /// Bounded exponential backoff with jitter before retry `attempt`
+    /// (1-based): base 50 µs doubling to a 2 ms ceiling, the actual sleep
+    /// drawn uniformly from `[cap/2, cap]`. The jitter is what prevents
+    /// livelock under contention — two clients Busy-bouncing on one
+    /// register with deterministic sleeps would stay phase-locked and
+    /// collide on every retry.
+    fn backoff(&self, attempt: u32) {
+        use rand::{Rng, SeedableRng};
+        // Each thread jitters from its own stream (seeded off a global
+        // counter): contending threads decorrelate instead of sharing a
+        // sequence.
+        static NEXT_SEED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+        thread_local! {
+            static JITTER: std::cell::RefCell<rand::rngs::StdRng> =
+                std::cell::RefCell::new(rand::rngs::StdRng::seed_from_u64(
+                    NEXT_SEED
+                        .fetch_add(1, Ordering::Relaxed)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ));
+        }
+        let cap = (50u64 << attempt.min(6).saturating_sub(1)).min(2_000);
+        let sleep = JITTER.with(|rng| rng.borrow_mut().gen_range(cap / 2..=cap));
+        self.obs.backoff_micros.add(sleep);
+        std::thread::sleep(Duration::from_micros(sleep));
     }
 
     /// The current cached shard map (shared with clones).
@@ -670,7 +743,8 @@ impl KvClient {
                 match op(node) {
                     Err(ClientError::Busy) if attempts < self.busy_retries => {
                         attempts += 1;
-                        std::thread::sleep(std::time::Duration::from_micros(200 * attempts as u64));
+                        self.obs.retries.inc();
+                        self.backoff(attempts);
                     }
                     Err(ClientError::TooLarge { size, limit }) => {
                         if probing == Some(i) {
@@ -688,6 +762,7 @@ impl KvClient {
                     // (Busy retries exhausted); the next one serves the
                     // same register.
                     Err(source) => {
+                        self.obs.retries.inc();
                         if matches!(source, ClientError::TimedOut | ClientError::ProcessDown) {
                             self.health.mark(i);
                         } else if probing == Some(i) {
@@ -720,7 +795,11 @@ impl KvClient {
     /// Records an outcome against the pending invocation `inv`: replies
     /// for definite outcomes, the crash/recovery idiom for ambiguous
     /// ones.
-    fn rec_outcome(&self, inv: Option<rmem_types::OpId>, outcome: Result<OpResult, &KvError>) {
+    pub(crate) fn rec_outcome(
+        &self,
+        inv: Option<rmem_types::OpId>,
+        outcome: Result<OpResult, &KvError>,
+    ) {
         let Some((recorder, pid)) = &self.recorder else {
             return;
         };
@@ -964,7 +1043,13 @@ impl KvClient {
     /// [`KvError::Register`] if the register operation fails.
     pub fn put(&self, key: &str, value: impl Into<Bytes>) -> Result<(), KvError> {
         let clock = self.obs.op_clock();
-        let outcome = self.put_inner(key, value.into());
+        let outcome = if self.intents.is_some() {
+            // Exactly-once client: journal the intent durably, write under
+            // a client-assigned op tag, tombstone on ack.
+            self.put_exactly_once(key, value.into())
+        } else {
+            self.put_inner(key, value.into(), None)
+        };
         if let Some(started) = clock {
             self.obs
                 .put_micros
@@ -974,8 +1059,17 @@ impl KvClient {
     }
 
     /// [`put`](Self::put)'s engine (split out so the wall-clock latency
-    /// histogram brackets the whole operation, retries included).
-    fn put_inner(&self, key: &str, value: Bytes) -> Result<(), KvError> {
+    /// histogram brackets the whole operation, retries included). With
+    /// `Some(tag)` every landed payload carries the op-id frame — retries
+    /// across epoch re-routes re-encode under the *same* tag, which is
+    /// what lets the exactly-once certifier collapse them into one
+    /// logical write.
+    pub(crate) fn put_inner(
+        &self,
+        key: &str,
+        value: Bytes,
+        tag: Option<OpTag>,
+    ) -> Result<(), KvError> {
         self.sync_map()?;
         // Recorded as ONE store operation however many rounds serve it:
         // the invocation opens just before the first write attempt, the
@@ -991,7 +1085,10 @@ impl KvClient {
                 }
             }
             let reg = map.register_for(key);
-            let payload = codec::encode_entry(key, &value, map.stamp());
+            let payload = match tag {
+                Some(tag) => codec::encode_entry_tagged(key, &value, map.stamp(), tag),
+                None => codec::encode_entry(key, &value, map.stamp()),
+            };
             if inv.is_none() {
                 inv = self.rec_invoke(Op::WriteAt(reg, payload.clone()));
             }
@@ -1018,7 +1115,10 @@ impl KvClient {
         // Epochs kept moving for every retry (pathological churn): stop
         // chasing and write unguarded under the freshest map we have.
         let map = self.shard_map();
-        let payload = codec::encode_entry(key, &value, map.stamp());
+        let payload = match tag {
+            Some(tag) => codec::encode_entry_tagged(key, &value, map.stamp(), tag),
+            None => codec::encode_entry(key, &value, map.stamp()),
+        };
         let reg = map.register_for(key);
         if inv.is_none() {
             inv = self.rec_invoke(Op::WriteAt(reg, payload.clone()));
@@ -1068,7 +1168,7 @@ impl KvClient {
 
     /// [`get`](Self::get)'s engine: returns the answering payload (for
     /// the recorder) alongside the extracted value.
-    fn get_inner(
+    pub(crate) fn get_inner(
         &self,
         key: &str,
         inv: &mut Option<rmem_types::OpId>,
@@ -1654,6 +1754,46 @@ mod tests {
             KvClient::new(Vec::new(), ShardRouter::new(4)),
             Err(KvError::NoNodes)
         ));
+    }
+
+    #[test]
+    fn contended_register_makes_progress_without_livelock() {
+        // Eight writers hammering ONE key through one node family: the
+        // jittered exponential backoff must decorrelate their Busy
+        // retries so every writer completes a burst well inside the
+        // test budget (phase-locked retries would starve some writer
+        // past its busy_retries cap and fail the put).
+        let (mut cluster, kv) = cluster_client(1);
+        let done: Vec<Result<(), KvError>> = std::thread::scope(|scope| {
+            (0..8u8)
+                .map(|w| {
+                    let kv = kv.clone();
+                    scope.spawn(move || {
+                        for i in 0..10u8 {
+                            kv.put("hot", vec![w, i])?;
+                        }
+                        Ok(())
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("writer thread panicked"))
+                .collect()
+        });
+        for outcome in done {
+            outcome.expect("every contended writer must finish its burst");
+        }
+        let stats = kv.stats();
+        assert_eq!(stats.writes, 80);
+        // The backoff accounting is exported: every Busy retry slept and
+        // was counted (a contention-free run legitimately reports 0/0).
+        assert_eq!(
+            stats.backoff_micros > 0,
+            stats.retries > 0,
+            "retries and backoff accounting must move together: {stats:?}"
+        );
+        assert!(kv.get("hot").unwrap().is_some());
+        cluster.shutdown();
     }
 
     // -- Epochs and live splits -------------------------------------------

@@ -46,17 +46,33 @@
 //! splitting shard wait for the seal; readers treat it as "key absent here,
 //! re-route".
 //!
-//! The markers `0xFFFF` (bundle), `0xFFFE` (seal) and `0xFFFD` (shard map,
-//! see [`crate::epoch`]) cannot open a single entry — keys are capped at
-//! [`MAX_KEY_LEN`] = 65 532 bytes — so all payload forms are
-//! self-describing.
+//! # Op-id frames
+//!
+//! An exactly-once write (see `KvClient::resolve`) prefixes its payload —
+//! entry or bundle alike — with a 12-byte **op-id frame**:
+//!
+//! ```text
+//! [0xFFFC][client: u16][seq: u64][inner payload]
+//! ```
+//!
+//! The frame carries the client-assigned [`OpTag`] identifying the
+//! *logical* write, so a recovering client can re-read a register and
+//! decide whether its crashed operation landed, and certification can
+//! collapse duplicate applications (a retry re-issued under the same tag)
+//! into one logical write. Every decoder sees through the frame
+//! transparently; **untagged legacy payloads decode unchanged**.
+//!
+//! The markers `0xFFFF` (bundle), `0xFFFE` (seal), `0xFFFD` (shard map,
+//! see [`crate::epoch`]) and `0xFFFC` (op-id frame) cannot open a single
+//! entry — keys are capped at [`MAX_KEY_LEN`] = 65 531 bytes — so all
+//! payload forms are self-describing.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use rmem_types::Value;
+use rmem_types::{OpTag, Value};
 
 /// Longest accepted key, in bytes: below every reserved length-prefix
-/// marker (bundle, seal, shard map).
-pub const MAX_KEY_LEN: usize = u16::MAX as usize - 3;
+/// marker (bundle, seal, shard map, op-id frame).
+pub const MAX_KEY_LEN: usize = u16::MAX as usize - 4;
 
 /// Length-prefix marker opening a bundle payload.
 const BUNDLE_MARKER: u16 = u16::MAX;
@@ -69,21 +85,31 @@ const SEAL_MARKER: u16 = u16::MAX - 1;
 /// disjoint by construction).
 pub(crate) const MAP_MARKER: u16 = u16::MAX - 2;
 
+/// Length-prefix marker opening an [op-id frame](self#op-id-frames).
+const OPID_MARKER: u16 = u16::MAX - 3;
+
 /// Most entries one bundle can carry (the `u16` count field).
 pub const MAX_BUNDLE_ENTRIES: usize = u16::MAX as usize;
 
-/// Encoded bytes a single entry costs beyond its key and value bytes
-/// (the key length prefix + the epoch stamp). Pinned by a test against
-/// [`encode_entry`].
-pub const ENTRY_OVERHEAD: usize = 3;
+/// Encoded bytes the optional [op-id frame](self#op-id-frames) costs
+/// (marker + client + seq).
+pub const OP_TAG_OVERHEAD: usize = 12;
 
-/// Encoded bytes a bundle costs beyond its entries (marker + epoch stamp
-/// + count).
+/// Encoded bytes a single entry costs beyond its key and value bytes in
+/// the worst case: the key length prefix + the epoch stamp + the
+/// [op-id frame](self#op-id-frames) every exactly-once write carries.
+/// Untagged legacy entries cost [`OP_TAG_OVERHEAD`] less. Pinned by a
+/// test against [`encode_entry_tagged`].
+pub const ENTRY_OVERHEAD: usize = 3 + OP_TAG_OVERHEAD;
+
+/// Encoded bytes a bundle costs beyond its entries in the worst case
+/// (marker + epoch stamp + count + the optional
+/// [op-id frame](self#op-id-frames)).
 ///
 /// Exposed with [`BUNDLE_ENTRY_OVERHEAD`] so batching layers can size
 /// payloads against a transport frame budget without re-deriving the
 /// wire format; pinned by a test against [`encode_entries`].
-pub const BUNDLE_OVERHEAD: usize = 5;
+pub const BUNDLE_OVERHEAD: usize = 5 + OP_TAG_OVERHEAD;
 
 /// Encoded bytes each bundle entry costs beyond its key and value bytes
 /// (key length prefix + value length prefix).
@@ -100,7 +126,7 @@ pub fn encode_entry(key: &str, value: &Bytes, epoch: u8) -> Value {
         key.len() <= MAX_KEY_LEN,
         "key longer than {MAX_KEY_LEN} bytes"
     );
-    let mut buf = BytesMut::with_capacity(ENTRY_OVERHEAD + key.len() + value.len());
+    let mut buf = BytesMut::with_capacity(3 + key.len() + value.len());
     buf.put_u16(key.len() as u16);
     buf.put_slice(key.as_bytes());
     buf.put_u8(epoch);
@@ -108,7 +134,69 @@ pub fn encode_entry(key: &str, value: &Bytes, epoch: u8) -> Value {
     Value::new(buf.freeze().to_vec())
 }
 
-/// Decodes a register payload into `(key, value)`.
+/// Encodes a store entry carrying the writer's [op-id
+/// frame](self#op-id-frames): the entry of [`encode_entry`] prefixed with
+/// `tag`. Decoders see through the frame; [`payload_op_tag`] recovers it.
+///
+/// # Panics
+///
+/// Panics if `key` exceeds [`MAX_KEY_LEN`].
+pub fn encode_entry_tagged(key: &str, value: &Bytes, epoch: u8, tag: OpTag) -> Value {
+    tag_payload(tag, &encode_entry(key, value, epoch))
+}
+
+/// Prefixes an encoded entry or bundle payload with an [op-id
+/// frame](self#op-id-frames) naming the logical write `tag`.
+///
+/// # Panics
+///
+/// Panics on ⊥ (there is no write to tag) and on a payload that already
+/// carries a frame (one logical write has exactly one identity).
+pub fn tag_payload(tag: OpTag, inner: &Value) -> Value {
+    assert!(!inner.is_bottom(), "cannot tag ⊥ — there is no write");
+    assert!(
+        payload_op_tag(inner).is_none(),
+        "payload already carries an op-id frame"
+    );
+    let inner_bytes = inner.bytes();
+    let mut buf = BytesMut::with_capacity(OP_TAG_OVERHEAD + inner_bytes.len());
+    buf.put_u16(OPID_MARKER);
+    buf.put_u16(tag.client);
+    buf.put_u64(tag.seq);
+    buf.put_slice(inner_bytes);
+    Value::new(buf.freeze().to_vec())
+}
+
+/// The [`OpTag`] a payload's [op-id frame](self#op-id-frames) carries:
+/// `Some` for tagged entries and bundles, `None` for untagged legacy
+/// payloads, ⊥, seals, shard-map records and malformed payloads.
+pub fn payload_op_tag(payload: &Value) -> Option<OpTag> {
+    if payload.is_bottom() {
+        return None;
+    }
+    let buf: &[u8] = payload.bytes().as_ref();
+    if buf.len() < OP_TAG_OVERHEAD || u16::from_be_bytes([buf[0], buf[1]]) != OPID_MARKER {
+        return None;
+    }
+    Some(OpTag {
+        client: u16::from_be_bytes([buf[2], buf[3]]),
+        seq: u64::from_be_bytes(buf[4..12].try_into().ok()?),
+    })
+}
+
+/// Skips a payload's [op-id frame](self#op-id-frames) if present,
+/// returning the inner entry/bundle bytes; untagged payloads pass
+/// through unchanged.
+fn strip_op_frame(buf: &[u8]) -> &[u8] {
+    if buf.len() >= OP_TAG_OVERHEAD && u16::from_be_bytes([buf[0], buf[1]]) == OPID_MARKER {
+        &buf[OP_TAG_OVERHEAD..]
+    } else {
+        buf
+    }
+}
+
+/// Decodes a register payload into `(key, value)`, seeing through an
+/// [op-id frame](self#op-id-frames) if one is present.
 ///
 /// Returns `None` for ⊥ (the register was never written), for
 /// malformed payloads (a register written through a non-KV client), for
@@ -118,7 +206,7 @@ pub fn decode_entry(payload: &Value) -> Option<(String, Bytes)> {
     if payload.is_bottom() {
         return None;
     }
-    let mut buf: &[u8] = payload.bytes().as_ref();
+    let mut buf: &[u8] = strip_op_frame(payload.bytes().as_ref());
     if buf.remaining() < 2 {
         return None;
     }
@@ -137,12 +225,13 @@ pub fn decode_entry(payload: &Value) -> Option<(String, Bytes)> {
 }
 
 /// The epoch stamp a payload carries: `Some` for entries, bundles and
-/// seals, `None` for ⊥, shard-map records and malformed payloads.
+/// seals (tagged or not), `None` for ⊥, shard-map records and malformed
+/// payloads.
 pub fn payload_epoch(payload: &Value) -> Option<u8> {
     if payload.is_bottom() {
         return None;
     }
-    let buf: &[u8] = payload.bytes().as_ref();
+    let buf: &[u8] = strip_op_frame(payload.bytes().as_ref());
     if buf.len() < 2 {
         return None;
     }
@@ -175,8 +264,11 @@ pub fn encode_seal(epoch: u64) -> Value {
 
 /// Whether a payload is a migration [seal](self#seals) marker.
 pub fn is_seal(payload: &Value) -> bool {
-    let buf: &[u8] = payload.bytes().as_ref();
-    !payload.is_bottom() && buf.len() == 11 && u16::from_be_bytes([buf[0], buf[1]]) == SEAL_MARKER
+    if payload.is_bottom() {
+        return false;
+    }
+    let buf: &[u8] = strip_op_frame(payload.bytes().as_ref());
+    buf.len() == 11 && u16::from_be_bytes([buf[0], buf[1]]) == SEAL_MARKER
 }
 
 /// The full epoch a [seal](self#seals) marker names (`None` for
@@ -185,7 +277,7 @@ pub fn seal_epoch(payload: &Value) -> Option<u64> {
     if !is_seal(payload) {
         return None;
     }
-    let bytes = payload.bytes();
+    let bytes: &[u8] = strip_op_frame(payload.bytes().as_ref());
     Some(u64::from_be_bytes(bytes[3..11].try_into().ok()?))
 }
 
@@ -231,13 +323,14 @@ pub fn encode_entries(entries: &[(&str, Bytes)], epoch: u8) -> Value {
 }
 
 /// Decodes a register payload into its entries — one for a single entry,
-/// several for a [bundle](self#bundles). `None` for ⊥, seals, shard-map
-/// records and malformed payloads.
+/// several for a [bundle](self#bundles) — seeing through an [op-id
+/// frame](self#op-id-frames) if one is present. `None` for ⊥, seals,
+/// shard-map records and malformed payloads.
 pub fn decode_entries(payload: &Value) -> Option<Vec<(String, Bytes)>> {
     if payload.is_bottom() {
         return None;
     }
-    let mut buf: &[u8] = payload.bytes().as_ref();
+    let mut buf: &[u8] = strip_op_frame(payload.bytes().as_ref());
     if buf.remaining() < 2 {
         return None;
     }
@@ -420,14 +513,108 @@ mod tests {
             ("key2", Bytes::new()),
             ("k3", Bytes::from(vec![0u8; 100])),
         ];
-        let expected: usize = BUNDLE_OVERHEAD
-            + entries
-                .iter()
-                .map(|(k, v)| BUNDLE_ENTRY_OVERHEAD + k.len() + v.len())
-                .sum::<usize>();
-        assert_eq!(encode_entries(&entries, 0).bytes().len(), expected);
+        let entry_bytes: usize = entries
+            .iter()
+            .map(|(k, v)| BUNDLE_ENTRY_OVERHEAD + k.len() + v.len())
+            .sum();
+        // The constants describe the worst case: a payload carrying the
+        // op-id frame. Untagged legacy payloads cost OP_TAG_OVERHEAD less.
+        let bundle = encode_entries(&entries, 0);
+        assert_eq!(
+            bundle.bytes().len(),
+            BUNDLE_OVERHEAD - OP_TAG_OVERHEAD + entry_bytes
+        );
+        assert_eq!(
+            tag_payload(OpTag::new(3, 9), &bundle).bytes().len(),
+            BUNDLE_OVERHEAD + entry_bytes
+        );
         let single = encode_entry("key", &Bytes::from(b"val".to_vec()), 0);
-        assert_eq!(single.bytes().len(), ENTRY_OVERHEAD + 3 + 3);
+        assert_eq!(
+            single.bytes().len(),
+            ENTRY_OVERHEAD - OP_TAG_OVERHEAD + 3 + 3
+        );
+        let tagged = encode_entry_tagged("key", &Bytes::from(b"val".to_vec()), 0, OpTag::new(1, 2));
+        assert_eq!(tagged.bytes().len(), ENTRY_OVERHEAD + 3 + 3);
+    }
+
+    #[test]
+    fn tagged_entries_roundtrip_and_decode_transparently() {
+        let tag = OpTag::new(7, 0x0123_4567_89ab_cdef);
+        let tagged = encode_entry_tagged("user:7", &Bytes::from(b"payload".to_vec()), 3, tag);
+        // The frame is recoverable…
+        assert_eq!(payload_op_tag(&tagged), Some(tag));
+        // …and every decoder sees through it.
+        let (key, value) = decode_entry(&tagged).unwrap();
+        assert_eq!(key, "user:7");
+        assert_eq!(value.as_ref(), b"payload");
+        assert_eq!(payload_epoch(&tagged), Some(3));
+        assert_eq!(
+            value_for_key(&tagged, "user:7"),
+            Some(Bytes::from(b"payload".to_vec()))
+        );
+        assert_eq!(value_for_key(&tagged, "other"), None);
+        assert!(!is_seal(&tagged));
+        // Untagged legacy payloads carry no tag and decode unchanged.
+        let legacy = encode_entry("user:7", &Bytes::from(b"payload".to_vec()), 3);
+        assert_eq!(payload_op_tag(&legacy), None);
+        assert_eq!(decode_entry(&legacy).unwrap().0, "user:7");
+    }
+
+    #[test]
+    fn tagged_bundles_and_seals_decode_transparently() {
+        let tag = OpTag::new(2, 5);
+        let bundle = encode_entries(
+            &[
+                ("a", Bytes::from(b"1".to_vec())),
+                ("b", Bytes::from(b"2".to_vec())),
+            ],
+            4,
+        );
+        let tagged = tag_payload(tag, &bundle);
+        assert_eq!(payload_op_tag(&tagged), Some(tag));
+        assert_eq!(decode_entries(&tagged).unwrap().len(), 2);
+        assert_eq!(payload_epoch(&tagged), Some(4));
+        assert_eq!(
+            value_for_key(&tagged, "b"),
+            Some(Bytes::from(b"2".to_vec()))
+        );
+        // A tagged seal is still a seal (never produced by the store, but
+        // the decoders stay uniform).
+        let sealed = tag_payload(tag, &encode_seal(9));
+        assert!(is_seal(&sealed));
+        assert_eq!(seal_epoch(&sealed), Some(9));
+        assert_eq!(payload_epoch(&sealed), Some(9));
+    }
+
+    #[test]
+    fn malformed_op_frames_decode_to_none() {
+        // A bare marker with no tag body is not an entry (key_len 0xFFFC
+        // exceeds MAX_KEY_LEN) and not a valid frame.
+        assert_eq!(decode_entry(&Value::new(vec![0xff, 0xfc])), None);
+        assert_eq!(payload_op_tag(&Value::new(vec![0xff, 0xfc])), None);
+        // A truncated frame (marker + partial tag).
+        assert_eq!(
+            decode_entries(&Value::new(vec![0xff, 0xfc, 0, 1, 2, 3])),
+            None
+        );
+        // A frame wrapping nothing decodes to no entry.
+        let empty_frame = {
+            let mut b = vec![0xff, 0xfc];
+            b.extend_from_slice(&[0u8; 10]);
+            Value::new(b)
+        };
+        assert_eq!(payload_op_tag(&empty_frame), Some(OpTag::new(0, 0)));
+        assert_eq!(decode_entry(&empty_frame), None);
+        assert_eq!(payload_epoch(&empty_frame), None);
+        assert_eq!(payload_op_tag(&Value::bottom()), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already carries an op-id frame")]
+    fn double_tagging_panics() {
+        let tag = OpTag::new(1, 1);
+        let once = encode_entry_tagged("k", &Bytes::new(), 0, tag);
+        let _ = tag_payload(tag, &once);
     }
 
     #[test]

@@ -18,10 +18,12 @@
 
 use std::collections::BTreeMap;
 
+use bytes::Bytes;
 use rmem_consistency::{
-    check_per_register, check_per_register_epochs, Criterion, Event, History, Verdict, Violation,
+    check_per_register, check_per_register_epochs, Criterion, DuplicateApplication, Event,
+    ExactlyOnceReport, History, Verdict, Violation,
 };
-use rmem_types::{Op, OpResult, RegisterId, Value};
+use rmem_types::{Op, OpResult, OpTag, RegisterId, Value};
 
 use crate::codec;
 use crate::epoch::{data_register, CONFIG_REGISTER};
@@ -281,6 +283,7 @@ pub fn certify_per_key(
     map: &KeyMap,
     criterion: Criterion,
 ) -> Result<KvCertificate, CertifyError> {
+    check_store_exactly_once(history).map_err(CertifyError::DuplicateWrite)?;
     let decoded = decode_history(history, map).map_err(CertifyError::Setup)?;
     let mut per_key = BTreeMap::new();
     for (register, outcome) in check_per_register(&decoded, criterion) {
@@ -301,6 +304,35 @@ pub fn certify_per_key(
     Ok(KvCertificate { per_key })
 }
 
+/// The logical identity and effect of one store write, for the
+/// exactly-once criterion: the payload's op tag plus its decoded entries
+/// (the epoch stamp is deliberately excluded — a recovery may re-issue a
+/// write under a newer epoch without forking the logical op).
+fn store_effect(op: &Op) -> Option<(OpTag, Vec<(String, Bytes)>)> {
+    let payload = op.write_value()?;
+    let tag = codec::payload_op_tag(payload)?;
+    Some((tag, codec::decode_entries(payload).unwrap_or_default()))
+}
+
+/// Checks the **exactly-once criterion** over a store run: every write
+/// carrying an op-id frame (see [`crate::codec`]) must share its effect
+/// — key and value — with every other physical write under the same tag,
+/// so duplicate applications (crash-recovery retries, duplicate
+/// deliveries) collapse into one logical write. Untagged legacy writes
+/// are exempt.
+///
+/// Both certifiers run this automatically; it is exposed for callers
+/// that want the [`ExactlyOnceReport`] (retry counts) of a passing run.
+///
+/// # Errors
+///
+/// Returns the first [`DuplicateApplication`] in history order.
+pub fn check_store_exactly_once(
+    history: &History,
+) -> Result<ExactlyOnceReport, DuplicateApplication<OpTag>> {
+    rmem_consistency::check_exactly_once(history, store_effect)
+}
+
 /// One live split, as the cross-epoch certifier sees it: the shard
 /// counts on either side of the epoch bump.
 ///
@@ -318,19 +350,23 @@ pub struct EpochTransition {
 }
 
 impl EpochTransition {
-    fn old_register(&self, key: &str) -> RegisterId {
-        data_register(crate::router::shard_at(
-            crate::router::stable_hash(key),
-            self.old_shards,
-        ))
+    /// The epoch-layer register hosting `key` before the split.
+    pub fn old_register(&self, key: &str) -> RegisterId {
+        register_under(key, self.old_shards)
     }
 
-    fn new_register(&self, key: &str) -> RegisterId {
-        data_register(crate::router::shard_at(
-            crate::router::stable_hash(key),
-            self.new_shards,
-        ))
+    /// The epoch-layer register hosting `key` after the split.
+    pub fn new_register(&self, key: &str) -> RegisterId {
+        register_under(key, self.new_shards)
     }
+}
+
+/// The epoch-layer register hosting `key` under a `shards`-wide routing.
+fn register_under(key: &str, shards: u16) -> RegisterId {
+    data_register(crate::router::shard_at(
+        crate::router::stable_hash(key),
+        shards,
+    ))
 }
 
 /// How one recorded operation fares in the cross-epoch decode.
@@ -371,15 +407,65 @@ pub fn certify_per_key_epochs<'a>(
     transition: &EpochTransition,
     criterion: Criterion,
 ) -> Result<KvCertificate, CertifyError> {
-    // Tenant maps for both epochs, refusing collisions up front.
-    let mut old_tenant: BTreeMap<RegisterId, String> = BTreeMap::new();
-    let mut new_tenant: BTreeMap<RegisterId, String> = BTreeMap::new();
-    for key in keys {
-        for (tenants, reg) in [
-            (&mut old_tenant, transition.old_register(key)),
-            (&mut new_tenant, transition.new_register(key)),
-        ] {
-            if let Some(existing) = tenants.get(&reg) {
+    certify_per_key_epoch_path(
+        history,
+        keys,
+        &[transition.old_shards, transition.new_shards],
+        criterion,
+    )
+}
+
+/// Certifies a store run across a whole **chain of live splits** (e.g.
+/// the chaos matrix's 4 → 8 → 16): each key's operations at every home
+/// along the path are stitched into one logical history and checked
+/// under `criterion`. [`certify_per_key_epochs`] is the two-epoch
+/// special case.
+///
+/// `shard_path` lists the shard counts in epoch order. The key universe
+/// must be injective under *every* count on the path (covering keys of
+/// the first router qualify — linear hashing preserves injectivity
+/// across splits). With per-epoch injectivity, a register's tenant is
+/// unique across the whole path, so the composed old-home → final-home
+/// relabeling is conflict-free by construction.
+///
+/// Registers no listed key maps to may appear only as the footprint of
+/// splitting an **empty** shard — seal writes and reads observing ⊥ or a
+/// seal, which carry no store data and are skipped. Any store data on an
+/// unmapped register still fails with
+/// [`KvCertError::UnmappedRegister`].
+///
+/// # Errors
+///
+/// As [`certify_per_key`], plus [`CertifyError::DuplicateWrite`] when
+/// the run violates the exactly-once criterion
+/// ([`check_store_exactly_once`]).
+///
+/// # Panics
+///
+/// Panics on an empty `shard_path`.
+pub fn certify_per_key_epoch_path<'a>(
+    history: &History,
+    keys: impl IntoIterator<Item = &'a str>,
+    shard_path: &[u16],
+    criterion: Criterion,
+) -> Result<KvCertificate, CertifyError> {
+    assert!(
+        !shard_path.is_empty(),
+        "an epoch path names at least one shard count"
+    );
+    // The exactly-once criterion first: with it in hand, duplicate
+    // physical writes of one logical op are guaranteed same-effect, so
+    // the atomicity checkers below read them as benign re-writes.
+    check_store_exactly_once(history).map_err(CertifyError::DuplicateWrite)?;
+
+    // Tenant maps for every epoch on the path, refusing collisions up
+    // front.
+    let keys: Vec<&str> = keys.into_iter().collect();
+    let mut tenants: Vec<BTreeMap<RegisterId, String>> = vec![BTreeMap::new(); shard_path.len()];
+    for key in &keys {
+        for (tenant, &shards) in tenants.iter_mut().zip(shard_path) {
+            let reg = register_under(key, shards);
+            if let Some(existing) = tenant.get(&reg) {
                 if existing != key {
                     return Err(CertifyError::Setup(KvCertError::ShardCollision {
                         register: reg,
@@ -387,11 +473,11 @@ pub fn certify_per_key_epochs<'a>(
                     }));
                 }
             } else {
-                tenants.insert(reg, key.to_string());
+                tenant.insert(reg, key.to_string());
             }
         }
     }
-    let tenant_of = |reg: RegisterId| new_tenant.get(&reg).or_else(|| old_tenant.get(&reg));
+    let tenant_of = |reg: RegisterId| tenants.iter().rev().find_map(|t| t.get(&reg));
 
     // Decode a payload against the register's tenant: `None` marks
     // migration infrastructure, `Some` carries the raw store value.
@@ -435,9 +521,26 @@ pub fn certify_per_key_epochs<'a>(
                     continue;
                 }
                 if tenant_of(reg).is_none() {
-                    return Err(CertifyError::Setup(KvCertError::UnmappedRegister {
-                        register: reg,
-                    }));
+                    // A register no key maps to may still appear as pure
+                    // migration footprint: splitting an *empty* shard
+                    // seals its old home and reads it (observing ⊥ or the
+                    // seal). That carries no store data and is skipped;
+                    // anything else on an unmapped register is a routing
+                    // bug and fails below (writes here, reads at their
+                    // reply).
+                    match operation {
+                        Op::WriteAt(_, payload) | Op::Write(payload)
+                            if !codec::is_seal(payload) =>
+                        {
+                            return Err(CertifyError::Setup(KvCertError::UnmappedRegister {
+                                register: reg,
+                            }));
+                        }
+                        _ => {
+                            fates.insert(*op, OpFate::Skip);
+                            continue;
+                        }
+                    }
                 }
                 let fate = match operation {
                     Op::WriteAt(_, payload) | Op::Write(payload) => {
@@ -458,6 +561,16 @@ pub fn certify_per_key_epochs<'a>(
                     continue;
                 }
                 if let OpResult::ReadValue(payload) = result {
+                    if tenant_of(reg).is_none() {
+                        // Skipped unmapped-register read: legal only if it
+                        // observed no store data.
+                        if payload.is_bottom() || codec::is_seal(payload) {
+                            continue;
+                        }
+                        return Err(CertifyError::Setup(KvCertError::UnmappedRegister {
+                            register: reg,
+                        }));
+                    }
                     match decode(reg, payload).map_err(CertifyError::Setup)? {
                         Some(raw) => {
                             fates.insert(*op, OpFate::Keep(Some(raw)));
@@ -509,18 +622,26 @@ pub fn certify_per_key_epochs<'a>(
         }
     }
 
-    // The register moves of this transition: every key whose home changed.
+    // The composed register moves of the whole path: every intermediate
+    // home a key ever had relabels straight onto its final home (the
+    // one-hop relabeling of `stitch_moves` composes here, at map
+    // construction).
+    let final_shards = *shard_path.last().expect("non-empty path");
     let mut moves: BTreeMap<RegisterId, RegisterId> = BTreeMap::new();
-    for (reg, key) in &old_tenant {
-        let new_reg = transition.new_register(key);
-        if *reg != new_reg {
-            moves.insert(*reg, new_reg);
+    for key in &keys {
+        let final_reg = register_under(key, final_shards);
+        for &shards in &shard_path[..shard_path.len() - 1] {
+            let reg = register_under(key, shards);
+            if reg != final_reg {
+                moves.insert(reg, final_reg);
+            }
         }
     }
 
+    let final_tenant = tenants.last().expect("non-empty path");
     let mut per_key = BTreeMap::new();
     for (register, outcome) in check_per_register_epochs(&decoded, &moves, criterion) {
-        let key = new_tenant
+        let key = final_tenant
             .get(&register)
             .ok_or(CertifyError::Setup(KvCertError::UnmappedRegister {
                 register,
@@ -550,6 +671,9 @@ pub enum CertifyError {
     Setup(KvCertError),
     /// A key's history violates the criterion.
     Violation(KeyViolation),
+    /// A logical write (one op tag) was applied with diverging effects —
+    /// the exactly-once criterion ([`check_store_exactly_once`]) failed.
+    DuplicateWrite(DuplicateApplication<OpTag>),
 }
 
 impl std::fmt::Display for CertifyError {
@@ -557,6 +681,7 @@ impl std::fmt::Display for CertifyError {
         match self {
             CertifyError::Setup(e) => write!(f, "cannot certify: {e}"),
             CertifyError::Violation(v) => write!(f, "atomicity violation: {v}"),
+            CertifyError::DuplicateWrite(d) => write!(f, "duplicate application: {d}"),
         }
     }
 }
@@ -856,6 +981,101 @@ mod tests {
         assert!(matches!(
             certify_per_key_epochs(&h, ["a", "b"], &t, Criterion::Persistent),
             Err(CertifyError::Setup(KvCertError::ShardCollision { .. }))
+        ));
+    }
+
+    #[test]
+    fn split_chain_certifies_along_the_whole_path() {
+        // A key that moves at both hops of 4 → 8 → 16, written and read
+        // at each of its three successive homes.
+        let keys = ShardRouter::new(4).covering_keys("p-");
+        let path = [4u16, 8, 16];
+        let key = keys
+            .iter()
+            .find(|k| {
+                register_under(k, 4) != register_under(k, 8)
+                    && register_under(k, 8) != register_under(k, 16)
+            })
+            .expect("some covering key moves at both hops")
+            .clone();
+        let mut h = History::new();
+        for (i, shards) in path.iter().enumerate() {
+            let reg = register_under(&key, *shards);
+            let w = h.invoke(ProcessId(0), Op::WriteAt(reg, stamped(&key, &[i as u8], 0)));
+            h.reply(w, OpResult::Written);
+            let r = h.invoke(ProcessId(1), Op::ReadAt(reg));
+            h.reply(r, OpResult::ReadValue(stamped(&key, &[i as u8], 0)));
+        }
+        let cert = certify_per_key_epoch_path(
+            &h,
+            keys.iter().map(String::as_str),
+            &path,
+            Criterion::Persistent,
+        )
+        .expect("a clean three-epoch run must certify");
+        assert!(cert.per_key.contains_key(&key));
+
+        // A resurrected value across the chain still fails: the final
+        // home serving hop 0's value after hop 2's write completed.
+        let stale = h.invoke(ProcessId(1), Op::ReadAt(register_under(&key, 16)));
+        h.reply(stale, OpResult::ReadValue(stamped(&key, &[0], 0)));
+        assert!(matches!(
+            certify_per_key_epoch_path(
+                &h,
+                keys.iter().map(String::as_str),
+                &path,
+                Criterion::Transient
+            ),
+            Err(CertifyError::Violation(_))
+        ));
+    }
+
+    #[test]
+    fn exactly_once_retries_collapse_but_forks_fail() {
+        let (router, keys, map) = injective_map(2);
+        let key = &keys[0];
+        let reg = router.register_for(key);
+        let tag = OpTag::new(5, 0);
+        let tagged = |v: &[u8]| codec::encode_entry_tagged(key, &Bytes::copy_from_slice(v), 0, tag);
+
+        // A crashed write retried under the same tag with the same value:
+        // one logical write, certifiable.
+        let mut h = History::new();
+        let w1 = h.invoke(ProcessId(0), Op::WriteAt(reg, tagged(b"v")));
+        h.reply(w1, OpResult::Written);
+        let w2 = h.invoke(ProcessId(0), Op::WriteAt(reg, tagged(b"v")));
+        h.reply(w2, OpResult::Written);
+        let r = h.invoke(ProcessId(1), Op::ReadAt(reg));
+        h.reply(r, OpResult::ReadValue(tagged(b"v")));
+        certify_per_key(&h, &map, Criterion::Persistent).expect("same-effect retry is benign");
+        let report = check_store_exactly_once(&h).unwrap();
+        assert_eq!(report.tagged_writes, 2);
+        assert_eq!(report.logical_ops, 1);
+        assert_eq!(report.retries, 1);
+
+        // A retry that forked the value is a duplicate application even
+        // though each individual history would be atomic.
+        let mut forked = History::new();
+        let w1 = forked.invoke(ProcessId(0), Op::WriteAt(reg, tagged(b"a")));
+        forked.reply(w1, OpResult::Written);
+        let w2 = forked.invoke(ProcessId(0), Op::WriteAt(reg, tagged(b"b")));
+        forked.reply(w2, OpResult::Written);
+        match certify_per_key(&forked, &map, Criterion::Persistent) {
+            Err(CertifyError::DuplicateWrite(d)) => assert_eq!(d.tag, tag),
+            other => panic!("expected a duplicate application, got {other:?}"),
+        }
+        // The epoch certifier applies the same criterion.
+        assert!(matches!(
+            certify_per_key_epochs(
+                &forked,
+                keys.iter().map(String::as_str),
+                &EpochTransition {
+                    old_shards: 2,
+                    new_shards: 4
+                },
+                Criterion::Persistent
+            ),
+            Err(CertifyError::DuplicateWrite(_))
         ));
     }
 

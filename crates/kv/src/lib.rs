@@ -59,21 +59,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod codec;
 pub mod epoch;
+pub mod exactly_once;
 pub mod health;
 pub mod history;
 pub mod recorder;
 pub mod router;
 pub mod workload;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosFailure, ChaosReport};
 pub use client::{GrowReport, HealthStats, KvClient, KvError, KvOpStats};
 pub use epoch::{data_register, ShardMap, CONFIG_REGISTER};
+pub use exactly_once::{CrashPoint, Resolution};
 pub use health::{HealthMemory, NodeGate};
 pub use history::{
-    certify_per_key, certify_per_key_epochs, CertifyError, EpochTransition, KeyMap, KeyViolation,
-    KvCertificate,
+    certify_per_key, certify_per_key_epoch_path, certify_per_key_epochs, check_store_exactly_once,
+    CertifyError, EpochTransition, KeyMap, KeyViolation, KvCertificate,
 };
 pub use recorder::OpRecorder;
 pub use router::ShardRouter;

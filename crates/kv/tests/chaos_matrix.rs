@@ -1,0 +1,146 @@
+//! The combined chaos matrix (see `rmem_kv::chaos`): seeded schedules
+//! mixing node kill/recover windows, torn-WAL-tail recoveries, a live
+//! 4 → 8 → 16 split chain and client crashes at every write phase, on a
+//! 50-node cluster. Every surviving history must pass cross-epoch
+//! certification (including the exactly-once duplicate check), and every
+//! crashed client's ops must resolve to a definite verdict.
+//!
+//! CI runs `single_seed_smoke` (and the dedicated chaos-smoke job runs a
+//! few seeds via `rmem-bench --chaos`); the full ≥ 12-seed sweep is the
+//! release-mode acceptance run.
+
+use std::collections::BTreeSet;
+
+use rmem_consistency::Criterion;
+use rmem_core::{Persistent, SharedMemory};
+use rmem_kv::history::certify_per_key;
+use rmem_kv::workload::{generate, KeyDist, KvWorkloadSpec};
+use rmem_kv::{run_chaos, ChaosConfig, ChaosReport, Resolution};
+use rmem_sim::{ChaosPlan, ClusterConfig, MatrixSpec, Simulation};
+
+fn run_seed(seed: u64) -> ChaosReport {
+    let cfg = ChaosConfig {
+        seed,
+        ..ChaosConfig::default()
+    };
+    match run_chaos(&cfg) {
+        Ok(report) => report,
+        Err(failure) => {
+            eprintln!("{}", failure.dumps);
+            panic!("{failure}");
+        }
+    }
+}
+
+fn check_report(report: &ChaosReport) {
+    assert_eq!(
+        report.certified_keys, 4,
+        "seed {}: every key must be certified across the whole path",
+        report.seed
+    );
+    for (client, tag, resolution) in &report.verdicts {
+        // Definite by type; spot-check the tags belong to their clients.
+        assert_eq!(tag.client, *client, "seed {}: foreign tag", report.seed);
+        match resolution {
+            Resolution::Landed { tag: t } => assert_eq!(t, tag),
+            Resolution::NotLanded => {}
+        }
+    }
+}
+
+/// The CI smoke: one full seeded chaos run on the 50-node cluster.
+#[test]
+fn single_seed_smoke() {
+    let report = run_seed(0);
+    check_report(&report);
+    assert!(report.completed > 0, "traffic must have flowed");
+    assert!(report.faults_applied > 0, "faults must have fired");
+}
+
+/// The acceptance sweep: ≥ 12 seeds of combined faults — node windows,
+/// torn tails, split chains, client crashes — all certified, all
+/// resolved. Release-mode runs finish in well under a minute; debug
+/// builds should prefer `single_seed_smoke`.
+#[test]
+#[ignore = "full 12-seed sweep; run explicitly (release mode recommended)"]
+fn sweep_chaos_matrix() {
+    let mut total_completed = 0;
+    let mut total_faults = 0;
+    let mut total_torn = 0;
+    let mut total_verdicts = 0;
+    for seed in 1..=12 {
+        let report = run_seed(seed);
+        check_report(&report);
+        total_completed += report.completed;
+        total_faults += report.faults_applied;
+        total_torn += report.torn_tails;
+        total_verdicts += report.verdicts.len();
+    }
+    assert!(total_completed > 0);
+    assert!(
+        total_torn > 0,
+        "across 12 seeds some torn-tail recoveries must have happened"
+    );
+    println!(
+        "chaos sweep: {total_completed} completed, {total_faults} faults \
+         ({total_torn} torn tails), {total_verdicts} recovery verdicts"
+    );
+}
+
+/// The sim-scale arm of the matrix: the same seeded plan generator
+/// drives the discrete-event simulator at 100 processes — far past what
+/// real threads afford — and the runs stay certified per key.
+#[test]
+fn des_scale_hundred_processes_certified() {
+    for seed in [3u64, 17] {
+        let processes = 100usize;
+        let spec = KvWorkloadSpec {
+            shards: 16,
+            clients: processes,
+            ops_per_client: 2,
+            write_fraction: 0.6,
+            // Uniform, not Zipf: certification cost grows with the number
+            // of concurrent ops piled on one register, and 100 clients on
+            // a Zipf-hot register push the checker's search past reason.
+            distribution: KeyDist::Uniform,
+            seed,
+            ..KvWorkloadSpec::default()
+        };
+        let kv_run = generate(&spec);
+        let plan = ChaosPlan::generate(&MatrixSpec {
+            seed,
+            processes,
+            windows: 6,
+            max_concurrent_down: 8,
+            client_crashes: 0,
+            horizon: rmem_types::Micros(40_000),
+            ..MatrixSpec::default()
+        });
+        // Merge the plan's crash/recover windows into the workload's own
+        // schedule: combined faults at a scale only virtual time affords.
+        let mut schedule = kv_run.schedule.clone();
+        let mut crashed = BTreeSet::new();
+        for (at, event) in plan.schedule().entries() {
+            schedule = schedule.at(at.as_micros(), event.clone());
+            if let rmem_sim::PlannedEvent::Crash(pid) = event {
+                crashed.insert(*pid);
+            }
+        }
+        assert!(crashed.len() >= 6, "the plan must crash a spread of nodes");
+        let mut sim = Simulation::new(
+            ClusterConfig::new(processes),
+            SharedMemory::factory(Persistent::flavor()),
+            seed,
+        )
+        .with_schedule(schedule);
+        for lp in &kv_run.loops {
+            sim.add_closed_loop(lp.clone());
+        }
+        let report = sim.run();
+        assert!(report.quiescent, "seed {seed}: the run must drain");
+        assert!(report.trace.crashes >= 6, "the windows must have fired");
+        let h = report.trace.to_history();
+        certify_per_key(&h, &kv_run.key_map, Criterion::Persistent)
+            .unwrap_or_else(|e| panic!("seed {seed}: 100-process run failed certification: {e}"));
+    }
+}

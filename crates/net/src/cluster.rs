@@ -145,6 +145,44 @@ impl LocalCluster {
         Self::assemble(factory, TransportKind::Channel(board), disks)
     }
 
+    /// An in-memory-transport cluster with *mixed* disks: every
+    /// `wal_every`-th node (0, `wal_every`, 2·`wal_every`, …) persists to
+    /// a real group-commit [`WalStorage`] under `dir`, the rest use
+    /// [`SharedStorage`]. The chaos suites use this wiring to run big
+    /// clusters cheaply (channel transport, mostly memory disks) while
+    /// still exercising genuine WAL recoveries — including torn tails via
+    /// [`tear_wal_tail`](LocalCluster::tear_wal_tail) — on a spread of
+    /// nodes.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; `Result` keeps the signature uniform with the
+    /// socket-backed constructors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wal_every` is zero.
+    pub fn channel_mixed(
+        n: usize,
+        factory: Arc<dyn AutomatonFactory>,
+        dir: impl Into<PathBuf>,
+        wal_every: usize,
+    ) -> Result<Self, NetError> {
+        assert!(wal_every > 0, "wal_every must be at least 1");
+        let board = Switchboard::new(n);
+        let dir = dir.into();
+        let disks = (0..n)
+            .map(|i| {
+                if i % wal_every == 0 {
+                    NodeDisk::Dir(dir.join(format!("p{i}")), DiskMode::Wal)
+                } else {
+                    NodeDisk::Shared(SharedStorage::new())
+                }
+            })
+            .collect();
+        Self::assemble(factory, TransportKind::Channel(board), disks)
+    }
+
     /// A UDP loopback cluster with file-backed storage under `dir` — the
     /// closest analogue of the paper's testbed on one machine.
     ///
@@ -446,6 +484,69 @@ impl LocalCluster {
         if let Some(runner) = self.nodes[pid.index()].take() {
             let _ = runner.stop();
         }
+    }
+
+    /// Whether `pid`'s disk is a directory-backed write-ahead log — the
+    /// only disks [`tear_wal_tail`](LocalCluster::tear_wal_tail) can
+    /// corrupt.
+    pub fn has_wal_disk(&self, pid: ProcessId) -> bool {
+        matches!(self.disks[pid.index()], NodeDisk::Dir(_, DiskMode::Wal))
+    }
+
+    /// Tears the tail of a killed WAL-backed node's newest log segment by
+    /// appending garbage bytes, simulating a crash that interrupted an
+    /// in-flight append. The node's next
+    /// [`restart`](LocalCluster::restart) must recover by truncating the
+    /// torn tail (the WAL's CRC guard) — exactly the §V-A "recover from
+    /// whatever the disk holds" scenario.
+    ///
+    /// Returns the number of garbage bytes appended; `Ok(0)` if the node
+    /// has no segments yet (it never logged).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from reading the directory or
+    /// appending to the segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is still up (tearing a live log is not a crash
+    /// model, it's a data race) or if its disk is not a directory-backed
+    /// WAL (see [`has_wal_disk`](LocalCluster::has_wal_disk)).
+    pub fn tear_wal_tail(&mut self, pid: ProcessId) -> std::io::Result<usize> {
+        assert!(
+            !self.is_up(pid),
+            "{pid} is still up; kill it before tearing its log"
+        );
+        let NodeDisk::Dir(dir, DiskMode::Wal) = &self.disks[pid.index()] else {
+            panic!("{pid} has no write-ahead log to tear");
+        };
+        let mut segments: Vec<PathBuf> = match std::fs::read_dir(dir) {
+            Ok(entries) => entries
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("seg-") && n.ends_with(".wal"))
+                })
+                .collect(),
+            // The node never booted far enough to create its directory.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        segments.sort();
+        let Some(newest) = segments.pop() else {
+            return Ok(0);
+        };
+        // Half a record header's worth of garbage: enough to fail the CRC
+        // check, short enough to look like an interrupted append.
+        const GARBAGE: [u8; 7] = [0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x13, 0x37];
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new().append(true).open(&newest)?;
+        file.write_all(&GARBAGE)?;
+        file.sync_all()?;
+        Ok(GARBAGE.len())
     }
 
     /// Restarts a killed `pid`; the new incarnation recovers from the

@@ -29,6 +29,14 @@ pub enum NetError {
         /// Transport limit.
         limit: usize,
     },
+    /// A disk-level fault-injection step failed (e.g. tearing a killed
+    /// node's write-ahead-log tail).
+    Disk {
+        /// The node whose disk was being manipulated.
+        pid: rmem_types::ProcessId,
+        /// OS error.
+        source: Arc<std::io::Error>,
+    },
 }
 
 impl std::fmt::Display for NetError {
@@ -39,6 +47,9 @@ impl std::fmt::Display for NetError {
             NetError::TooLarge { size, limit } => {
                 write!(f, "message of {size} bytes exceeds transport limit {limit}")
             }
+            NetError::Disk { pid, source } => {
+                write!(f, "disk fault injection at {pid} failed: {source}")
+            }
         }
     }
 }
@@ -46,7 +57,7 @@ impl std::fmt::Display for NetError {
 impl std::error::Error for NetError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            NetError::Bind { source, .. } => Some(source.as_ref()),
+            NetError::Bind { source, .. } | NetError::Disk { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }

@@ -43,6 +43,17 @@ pub enum FaultEvent {
     Kill(ProcessId),
     /// Restart the process (it runs the algorithm's recovery procedure).
     Restart(ProcessId),
+    /// Append garbage to the killed process's newest write-ahead-log
+    /// segment (see
+    /// [`LocalCluster::tear_wal_tail`](crate::LocalCluster::tear_wal_tail)),
+    /// so its next restart recovers from a torn tail. Skipped defensively
+    /// if the process is up or has no WAL disk.
+    TearTail(ProcessId),
+    /// Signal the workload that client `u64` should crash now. The
+    /// cluster itself is untouched; the signal reaches the workload
+    /// through the handler passed to
+    /// [`run_with`](FaultSchedule::run_with).
+    ClientCrash(u64),
 }
 
 /// A wall-clock fault script for a [`LocalCluster`].
@@ -78,11 +89,29 @@ impl FaultSchedule {
     /// Plays the schedule against `cluster`, blocking until the last
     /// event fired. Returns the events actually applied (a kill of an
     /// already-dead process or a restart of a live one is skipped).
+    /// [`ClientCrash`](FaultEvent::ClientCrash) events are dropped — use
+    /// [`run_with`](FaultSchedule::run_with) to receive them.
     ///
     /// # Errors
     ///
     /// Returns [`NetError`] if a restart cannot rebuild its transport.
     pub fn run(&self, cluster: &mut LocalCluster) -> Result<Vec<(Duration, FaultEvent)>, NetError> {
+        self.run_with(cluster, |_| {})
+    }
+
+    /// [`run`](FaultSchedule::run), additionally delivering each
+    /// [`ClientCrash`](FaultEvent::ClientCrash) to `on_client` at its
+    /// scheduled instant. The handler typically flips a per-client
+    /// `AtomicBool` the workload threads watch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] if a restart cannot rebuild its transport.
+    pub fn run_with(
+        &self,
+        cluster: &mut LocalCluster,
+        mut on_client: impl FnMut(u64),
+    ) -> Result<Vec<(Duration, FaultEvent)>, NetError> {
         let mut script = self.entries.clone();
         script.sort_by_key(|(after, _)| *after);
         let start = Instant::now();
@@ -103,6 +132,19 @@ impl FaultSchedule {
                         cluster.restart(pid)?;
                         applied.push((start.elapsed(), event));
                     }
+                }
+                FaultEvent::TearTail(pid) => {
+                    if !cluster.is_up(pid) && cluster.has_wal_disk(pid) {
+                        cluster.tear_wal_tail(pid).map_err(|e| NetError::Disk {
+                            pid,
+                            source: std::sync::Arc::new(e),
+                        })?;
+                        applied.push((start.elapsed(), event));
+                    }
+                }
+                FaultEvent::ClientCrash(client) => {
+                    on_client(client);
+                    applied.push((start.elapsed(), event));
                 }
             }
         }
@@ -134,6 +176,55 @@ mod tests {
         // The recovered cluster still serves the value.
         let v = cluster.client(ProcessId(2)).read().unwrap();
         assert_eq!(v.as_u32(), Some(9));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn torn_tail_recovery_rides_the_schedule() {
+        let dir = std::env::temp_dir().join(format!("rmem-faults-tear-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Node 0 is WAL-backed (wal_every covers only p0 of 3).
+        let mut cluster = LocalCluster::channel_mixed(3, Transient::factory(), &dir, 3).unwrap();
+        cluster
+            .client(ProcessId(0))
+            .write(Value::from_u32(77))
+            .unwrap();
+        let schedule = FaultSchedule::new()
+            .at(Duration::from_millis(5), FaultEvent::Kill(ProcessId(0)))
+            .at(
+                Duration::from_millis(10),
+                FaultEvent::TearTail(ProcessId(0)),
+            )
+            // Tearing a memory-disk node is skipped, not fatal.
+            .at(
+                Duration::from_millis(11),
+                FaultEvent::TearTail(ProcessId(1)),
+            )
+            .at(Duration::from_millis(20), FaultEvent::Restart(ProcessId(0)));
+        let applied = schedule.run(&mut cluster).unwrap();
+        let torn = applied
+            .iter()
+            .filter(|(_, e)| matches!(e, FaultEvent::TearTail(_)))
+            .count();
+        assert_eq!(torn, 1, "only the WAL-backed node's tear applies");
+        // The recovered node truncated the torn tail and still serves the
+        // logged value.
+        let v = cluster.client(ProcessId(0)).read().unwrap();
+        assert_eq!(v.as_u32(), Some(77));
+        cluster.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn client_crashes_reach_the_handler_in_order() {
+        let mut cluster = LocalCluster::channel(3, Transient::factory()).unwrap();
+        let schedule = FaultSchedule::new()
+            .at(Duration::from_millis(2), FaultEvent::ClientCrash(7))
+            .at(Duration::from_millis(1), FaultEvent::ClientCrash(4));
+        let mut seen = Vec::new();
+        let applied = schedule.run_with(&mut cluster, |c| seen.push(c)).unwrap();
+        assert_eq!(seen, vec![4, 7]);
+        assert_eq!(applied.len(), 2);
         cluster.shutdown();
     }
 

@@ -145,15 +145,21 @@ impl ReqTraces {
         }
     }
 
-    fn insert(&mut self, req: RequestId, trace: TraceId) {
+    /// Remembers `req → trace`. Returns `true` when the bound forced the
+    /// oldest remembered request out (its ack, if it ever comes, will go
+    /// unstamped) — callers surface that in `runner.trace_evictions`
+    /// rather than letting the drop happen silently.
+    fn insert(&mut self, req: RequestId, trace: TraceId) -> bool {
         if self.map.insert(req, trace).is_none() {
             self.order.push_back(req);
             if self.order.len() > self.cap {
                 if let Some(old) = self.order.pop_front() {
                     self.map.remove(&old);
+                    return true;
                 }
             }
         }
+        false
     }
 
     fn get(&self, req: &RequestId) -> Option<TraceId> {
@@ -597,6 +603,7 @@ struct LoopMetrics {
     stores_queued: Arc<rmem_obs::Counter>,
     stores_durable: Arc<rmem_obs::Counter>,
     timer_fires: Arc<rmem_obs::Counter>,
+    trace_evictions: Arc<rmem_obs::Counter>,
     op_micros: Arc<rmem_obs::Histogram>,
 }
 
@@ -610,6 +617,7 @@ impl LoopMetrics {
             stores_queued: obs.metrics.counter("runner.stores_queued"),
             stores_durable: obs.metrics.counter("runner.stores_durable"),
             timer_fires: obs.metrics.counter("runner.timer_fires"),
+            trace_evictions: obs.metrics.counter("runner.trace_evictions"),
             op_micros: obs.metrics.histogram("runner.op_micros"),
         }
     }
@@ -795,7 +803,9 @@ fn run_loop(
                     if let Some(trace) = trace {
                         // Remember the op so the ack (possibly sent later,
                         // from the durability pipeline) carries it too.
-                        req_traces.insert(req, trace);
+                        if req_traces.insert(req, trace) {
+                            mx.trace_evictions.inc();
+                        }
                     }
                 } else {
                     // An ack round-trip closing: the `durable` attestation
@@ -929,6 +939,23 @@ mod tests {
                 ProcessRunner::start(factory.as_ref(), Box::new(MemStorage::new()), transport, rx)
             })
             .collect()
+    }
+
+    #[test]
+    fn req_traces_evict_oldest_first_and_report_it() {
+        let mut traces = ReqTraces::new(2);
+        let req = |nonce| RequestId::new(ProcessId(0), nonce);
+        let trace = |op| TraceId { client: 1, op };
+        assert!(!traces.insert(req(0), trace(0)));
+        assert!(!traces.insert(req(1), trace(1)));
+        // Re-inserting a known request neither grows nor evicts.
+        assert!(!traces.insert(req(1), trace(1)));
+        // The third distinct request pushes out the oldest (req 0), and
+        // the caller is told so it can count the eviction.
+        assert!(traces.insert(req(2), trace(2)));
+        assert_eq!(traces.get(&req(0)), None);
+        assert_eq!(traces.get(&req(1)), Some(trace(1)));
+        assert_eq!(traces.get(&req(2)), Some(trace(2)));
     }
 
     #[test]

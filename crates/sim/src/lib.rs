@@ -55,6 +55,7 @@
 pub mod config;
 pub mod engine;
 pub mod event;
+pub mod matrix;
 pub mod network;
 pub mod render;
 pub mod stats;
@@ -64,6 +65,7 @@ pub mod workload;
 
 pub use config::{ClusterConfig, DiskConfig, NetConfig};
 pub use engine::{SimReport, Simulation};
+pub use matrix::{ChaosPlan, ClientCrash, FaultWindow, MatrixSpec, WritePhase};
 pub use stats::LatencyStats;
 pub use time::VirtualTime;
 pub use trace::{OpRecord, Trace};

@@ -1,0 +1,418 @@
+//! The client-side **intent journal**: a tiny [`WalStorage`]-backed log
+//! of begun-but-unresolved writes, the durable half of detectable client
+//! recovery.
+//!
+//! A client that may crash mid-write journals each write's *intent* —
+//! its [`OpTag`], key and value — **before the first datagram leaves**,
+//! and tombstones it once the write is acknowledged. After a crash the
+//! journal's [`pending`](IntentJournal::pending) set is exactly the set
+//! of ops whose outcome is ambiguous; the store layer (`rmem_kv`'s
+//! `KvClient::resolve`) re-reads quorum state to settle each one.
+//!
+//! # Lifecycle
+//!
+//! ```text
+//! Prepared ──(first datagram about to leave)──► Sent ──(ack)──► tombstone
+//!     │                                           │
+//!     └──(resolve: fence, nothing ever left)──► Aborted
+//!                                                 └─(resolve)─► Landed
+//! ```
+//!
+//! * [`IntentState::Prepared`] — journaled, **nothing sent yet**. A
+//!   resolver may fence the op here (a durable
+//!   [`transition`](IntentJournal::transition) to `Aborted`): the owning
+//!   client checks the state under the journal lock before sending, so an
+//!   aborted op provably never reaches the wire.
+//! * [`IntentState::Sent`] — the first datagram may have left; only a
+//!   quorum read can settle the outcome.
+//! * Terminal states: a **tombstone** (empty record — the ack path) and
+//!   the explicit [`IntentState::Landed`]/[`IntentState::Aborted`]
+//!   verdicts written by a resolver, kept durable so repeated resolves
+//!   of one op always agree.
+//!
+//! Sequence numbers are allocated from the journal
+//! ([`next_seq`](IntentJournal::next_seq)) and never restart — slots are
+//! never deleted, only overwritten — so a recovered client cannot reuse
+//! a crashed op's identity for a new write.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rmem_types::{DecodeError, OpTag};
+
+use crate::{StableStorage, StorageError, WalStorage};
+
+/// Where one journaled write stands in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntentState {
+    /// Journaled durably; no datagram has left yet.
+    Prepared,
+    /// The first datagram may have left; the outcome is ambiguous until
+    /// resolved against quorum state.
+    Sent,
+    /// Resolved: the write is durably applied (observed, acked, or
+    /// completed by the resolver's re-issue under the same tag).
+    Landed,
+    /// Resolved: the write provably never left the client and is fenced —
+    /// it may never be issued.
+    Aborted,
+}
+
+impl IntentState {
+    fn to_byte(self) -> u8 {
+        match self {
+            IntentState::Prepared => 1,
+            IntentState::Sent => 2,
+            IntentState::Landed => 3,
+            IntentState::Aborted => 4,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(IntentState::Prepared),
+            2 => Some(IntentState::Sent),
+            3 => Some(IntentState::Landed),
+            4 => Some(IntentState::Aborted),
+            _ => None,
+        }
+    }
+
+    /// Whether the op still awaits a verdict (shows up in
+    /// [`IntentJournal::pending`]).
+    pub fn is_pending(self) -> bool {
+        matches!(self, IntentState::Prepared | IntentState::Sent)
+    }
+}
+
+/// One journaled write intent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Intent {
+    /// The logical write's client-assigned identity.
+    pub tag: OpTag,
+    /// The store key being written.
+    pub key: String,
+    /// The value being written.
+    pub value: Bytes,
+    /// Lifecycle position.
+    pub state: IntentState,
+}
+
+/// A tiny durable log of begun-but-unresolved write intents (see the
+/// [module docs](self)).
+///
+/// Backed by any [`StableStorage`]; production clients use
+/// [`WalStorage`] ([`IntentJournal::open`]) so a whole recovery journal
+/// costs one log directory and group-committed appends.
+pub struct IntentJournal {
+    storage: Box<dyn StableStorage>,
+    /// In-memory mirror of every live (non-tombstoned) slot.
+    index: BTreeMap<OpTag, Intent>,
+    /// Highest sequence number ever journaled (per this journal's
+    /// client), including tombstoned ops.
+    max_seq: Option<u64>,
+}
+
+fn slot_name(tag: OpTag) -> String {
+    format!("op-{:04x}-{:016x}", tag.client, tag.seq)
+}
+
+fn parse_slot(slot: &str) -> Option<OpTag> {
+    let rest = slot.strip_prefix("op-")?;
+    let (client, seq) = rest.split_once('-')?;
+    Some(OpTag {
+        client: u16::from_str_radix(client, 16).ok()?,
+        seq: u64::from_str_radix(seq, 16).ok()?,
+    })
+}
+
+fn encode_record(intent: &Intent) -> Bytes {
+    let mut buf = BytesMut::with_capacity(3 + intent.key.len() + intent.value.len());
+    buf.put_u8(intent.state.to_byte());
+    buf.put_u16(intent.key.len() as u16);
+    buf.put_slice(intent.key.as_bytes());
+    buf.put_slice(&intent.value);
+    buf.freeze()
+}
+
+fn decode_record(tag: OpTag, slot: &str, bytes: &Bytes) -> Result<Intent, StorageError> {
+    let corrupt = |context: &'static str| StorageError::Corrupt {
+        key: slot.to_string(),
+        source: DecodeError::UnexpectedEof { context },
+    };
+    let mut buf: &[u8] = bytes.as_ref();
+    if buf.remaining() < 3 {
+        return Err(corrupt("intent header"));
+    }
+    let state = IntentState::from_byte(buf.get_u8()).ok_or_else(|| StorageError::Corrupt {
+        key: slot.to_string(),
+        source: DecodeError::BadTag {
+            context: "intent state",
+            tag: bytes[0],
+        },
+    })?;
+    let key_len = buf.get_u16() as usize;
+    if buf.remaining() < key_len {
+        return Err(corrupt("intent key"));
+    }
+    let key = String::from_utf8(buf.copy_to_bytes(key_len).to_vec())
+        .map_err(|_| corrupt("intent key utf-8"))?;
+    Ok(Intent {
+        tag,
+        key,
+        value: Bytes::copy_from_slice(buf.chunk()),
+        state,
+    })
+}
+
+impl IntentJournal {
+    /// Opens (or creates) a [`WalStorage`]-backed journal in `dir`,
+    /// replaying any surviving intents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError`] if the log cannot be opened/replayed or
+    /// holds a corrupt intent record.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StorageError> {
+        Self::with_storage(Box::new(WalStorage::open(dir)?))
+    }
+
+    /// Wraps an existing storage (tests use [`crate::MemStorage`]),
+    /// replaying any intents it already holds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError`] if a surviving record is corrupt.
+    pub fn with_storage(storage: Box<dyn StableStorage>) -> Result<Self, StorageError> {
+        let mut journal = IntentJournal {
+            storage,
+            index: BTreeMap::new(),
+            max_seq: None,
+        };
+        for slot in journal.storage.keys() {
+            let Some(tag) = parse_slot(&slot) else {
+                continue; // foreign slot sharing the storage
+            };
+            journal.max_seq = Some(journal.max_seq.map_or(tag.seq, |m| m.max(tag.seq)));
+            let bytes = journal.storage.retrieve(&slot)?.unwrap_or_default();
+            if bytes.is_empty() {
+                continue; // tombstone: acknowledged and forgotten
+            }
+            let intent = decode_record(tag, &slot, &bytes)?;
+            journal.index.insert(tag, intent);
+        }
+        Ok(journal)
+    }
+
+    /// The next unused sequence number for this journal's client —
+    /// monotone across crashes, because slots are never deleted.
+    pub fn next_seq(&self) -> u64 {
+        self.max_seq.map_or(0, |m| m + 1)
+    }
+
+    /// Durably journals a new intent. Returns once the record is on
+    /// stable storage — the caller may release its first datagram only
+    /// after this returns (for [`IntentState::Sent`]) .
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError`] if the record could not be made durable;
+    /// the op must then not be issued.
+    pub fn begin(&mut self, intent: Intent) -> Result<(), StorageError> {
+        self.storage
+            .store(&slot_name(intent.tag), encode_record(&intent))?;
+        self.max_seq = Some(
+            self.max_seq
+                .map_or(intent.tag.seq, |m| m.max(intent.tag.seq)),
+        );
+        self.index.insert(intent.tag, intent);
+        Ok(())
+    }
+
+    /// Durably moves an intent to a new lifecycle state. Used for
+    /// `Prepared → Sent` (before the first datagram) and for the
+    /// resolver's `Landed`/`Aborted` verdicts (so repeated resolves
+    /// agree even across a resolver crash).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError`] on unknown tags or storage failure.
+    pub fn transition(&mut self, tag: OpTag, state: IntentState) -> Result<(), StorageError> {
+        let slot = slot_name(tag);
+        let mut intent = self
+            .index
+            .get(&tag)
+            .cloned()
+            .ok_or_else(|| StorageError::Corrupt {
+                key: slot.clone(),
+                source: DecodeError::UnexpectedEof {
+                    context: "unknown intent tag",
+                },
+            })?;
+        intent.state = state;
+        self.storage.store(&slot, encode_record(&intent))?;
+        self.index.insert(tag, intent);
+        Ok(())
+    }
+
+    /// Tombstones an acknowledged op (the happy path's last step). Lazy:
+    /// staged with [`StableStorage::begin_store`], made durable by a
+    /// later group commit — losing the tombstone to a crash only means
+    /// resolve re-confirms a landed op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError`] if staging fails.
+    pub fn acknowledge(&mut self, tag: OpTag) -> Result<(), StorageError> {
+        self.storage.begin_store(&slot_name(tag), Bytes::new())?;
+        self.index.remove(&tag);
+        Ok(())
+    }
+
+    /// The current lifecycle state of `tag`: `None` for tags this
+    /// journal never issued or has tombstoned (both mean "acknowledged
+    /// or unknown — nothing to recover").
+    pub fn state(&self, tag: OpTag) -> Option<IntentState> {
+        self.index.get(&tag).map(|i| i.state)
+    }
+
+    /// Looks up a live intent.
+    pub fn get(&self, tag: OpTag) -> Option<&Intent> {
+        self.index.get(&tag)
+    }
+
+    /// Every op still awaiting a verdict (`Prepared` or `Sent`), in tag
+    /// order — the recovery work list.
+    pub fn pending(&self) -> Vec<Intent> {
+        self.index
+            .values()
+            .filter(|i| i.state.is_pending())
+            .cloned()
+            .collect()
+    }
+
+    /// Forces any staged tombstones to disk (a group commit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError`] if the flush fails.
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        self.storage.flush()
+    }
+}
+
+impl std::fmt::Debug for IntentJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IntentJournal")
+            .field("live", &self.index.len())
+            .field("next_seq", &self.next_seq())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemStorage;
+
+    fn mem_journal() -> IntentJournal {
+        IntentJournal::with_storage(Box::new(MemStorage::new())).unwrap()
+    }
+
+    fn intent(seq: u64, state: IntentState) -> Intent {
+        Intent {
+            tag: OpTag::new(7, seq),
+            key: format!("k{seq}"),
+            value: Bytes::from(vec![seq as u8; 3]),
+            state,
+        }
+    }
+
+    #[test]
+    fn lifecycle_and_pending_set() {
+        let mut j = mem_journal();
+        assert_eq!(j.next_seq(), 0);
+        j.begin(intent(0, IntentState::Prepared)).unwrap();
+        assert_eq!(j.next_seq(), 1);
+        assert_eq!(j.state(OpTag::new(7, 0)), Some(IntentState::Prepared));
+        j.transition(OpTag::new(7, 0), IntentState::Sent).unwrap();
+        assert_eq!(j.pending().len(), 1);
+        j.acknowledge(OpTag::new(7, 0)).unwrap();
+        assert_eq!(j.state(OpTag::new(7, 0)), None);
+        assert!(j.pending().is_empty());
+        // Tombstoned slots still pin the sequence floor.
+        assert_eq!(j.next_seq(), 1);
+    }
+
+    #[test]
+    fn verdicts_are_remembered_but_not_pending() {
+        let mut j = mem_journal();
+        j.begin(intent(0, IntentState::Prepared)).unwrap();
+        j.begin(intent(1, IntentState::Sent)).unwrap();
+        j.transition(OpTag::new(7, 0), IntentState::Aborted)
+            .unwrap();
+        j.transition(OpTag::new(7, 1), IntentState::Landed).unwrap();
+        assert!(j.pending().is_empty());
+        assert_eq!(j.state(OpTag::new(7, 0)), Some(IntentState::Aborted));
+        assert_eq!(j.state(OpTag::new(7, 1)), Some(IntentState::Landed));
+    }
+
+    #[test]
+    fn unknown_tag_transition_errors() {
+        let mut j = mem_journal();
+        assert!(j.transition(OpTag::new(1, 1), IntentState::Sent).is_err());
+    }
+
+    #[test]
+    fn wal_journal_survives_reopen_with_pending_intents() {
+        let dir = std::env::temp_dir().join(format!("rmem-intent-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut j = IntentJournal::open(&dir).unwrap();
+            j.begin(Intent {
+                tag: OpTag::new(3, 0),
+                key: "alpha".into(),
+                value: Bytes::from_static(b"v0"),
+                state: IntentState::Sent,
+            })
+            .unwrap();
+            j.begin(Intent {
+                tag: OpTag::new(3, 1),
+                key: "beta".into(),
+                value: Bytes::from_static(b"v1"),
+                state: IntentState::Prepared,
+            })
+            .unwrap();
+            j.acknowledge(OpTag::new(3, 0)).unwrap();
+            // Crash without syncing the tombstone: losing it is legal —
+            // resolve just re-confirms a landed op. Here we sync so the
+            // reopen sees exactly one pending intent.
+            j.sync().unwrap();
+        }
+        let j = IntentJournal::open(&dir).unwrap();
+        assert_eq!(j.next_seq(), 2, "tombstones still pin the floor");
+        let pending = j.pending();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].key, "beta");
+        assert_eq!(pending[0].state, IntentState::Prepared);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_slots_are_ignored() {
+        let mut mem = MemStorage::new();
+        mem.store("written", Bytes::from_static(b"x")).unwrap();
+        let j = IntentJournal::with_storage(Box::new(mem)).unwrap();
+        assert_eq!(j.next_seq(), 0);
+        assert!(j.pending().is_empty());
+    }
+
+    #[test]
+    fn corrupt_record_is_reported() {
+        let mut mem = MemStorage::new();
+        mem.store(&slot_name(OpTag::new(1, 0)), Bytes::from_static(b"\x09"))
+            .unwrap();
+        assert!(IntentJournal::with_storage(Box::new(mem)).is_err());
+    }
+}

@@ -20,6 +20,10 @@
 //!   invariant is preserved in its real form — *ack after durable*, not
 //!   *fsync per store* — because nothing is acknowledged before the fsync
 //!   covering it returns;
+//! * [`IntentJournal`] — a tiny reusable journal of begun-but-unresolved
+//!   client writes (durable before the first datagram leaves), the
+//!   storage half of detectable client recovery (`rmem_kv`'s
+//!   `KvClient::resolve`);
 //! * typed [`records`] for the three log slots of the paper's pseudocode
 //!   (`writing`, `written`, `recovered`) and their binary encoding;
 //! * instrumentation wrappers: [`CountingStorage`] (stores, bytes,
@@ -53,6 +57,7 @@ pub mod counting;
 pub mod error;
 pub mod faulty;
 pub mod file;
+pub mod intent;
 pub mod memory;
 pub mod records;
 pub mod wal;
@@ -61,6 +66,7 @@ pub use counting::{CountingStorage, StoreCounters};
 pub use error::StorageError;
 pub use faulty::{FaultPlan, FaultyStorage};
 pub use file::FileStorage;
+pub use intent::{Intent, IntentJournal, IntentState};
 pub use memory::MemStorage;
 pub use wal::{RecoverySummary, WalOptions, WalStorage};
 

@@ -48,7 +48,7 @@ pub use automaton::{
 };
 pub use error::DecodeError;
 pub use message::{Message, RequestId, TraceId};
-pub use op::{Op, OpId, OpKind, OpResult, RegisterId, RejectReason};
+pub use op::{Op, OpId, OpKind, OpResult, OpTag, RegisterId, RejectReason};
 pub use process::ProcessId;
 pub use timestamp::{Seq, Timestamp};
 pub use value::Value;

@@ -128,6 +128,38 @@ impl std::fmt::Display for OpId {
     }
 }
 
+/// Client-assigned identity of one **logical** store write, carried
+/// inside the written payload (see `rmem_kv`'s codec op-id frame).
+///
+/// Unlike [`OpId`] — which names one *invocation* at one process and is
+/// never reused — an `OpTag` survives client crashes: a recovering client
+/// re-issues an unresolved write **under the same tag**, and every layer
+/// that sees duplicate tags for one key (replicas, certification) treats
+/// them as a single logical write. The pair (client, seq) is unique per
+/// client family; `seq` is allocated from the client's intent journal so
+/// it does not restart after a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpTag {
+    /// The issuing client's stable identity (assigned by the harness;
+    /// distinct from any transport process id).
+    pub client: u16,
+    /// Journal-allocated sequence number, monotone across crashes.
+    pub seq: u64,
+}
+
+impl OpTag {
+    /// Creates an operation tag.
+    pub fn new(client: u16, seq: u64) -> Self {
+        OpTag { client, seq }
+    }
+}
+
+impl std::fmt::Display for OpTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}#{}", self.client, self.seq)
+    }
+}
+
 /// Why a process refused to start an operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RejectReason {
