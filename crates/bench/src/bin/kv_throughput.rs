@@ -9,7 +9,7 @@
 //!     [-- --csv] [-- --smoke] [-- --json PATH] [-- --no-fastpath] \
 //!     [-- --reshard] [-- --disk] [-- --obs] [-- --obs-json PATH] \
 //!     [-- --trace] [-- --trace-json PATH] \
-//!     [-- --chaos] [-- --chaos-dump PATH]
+//!     [-- --chaos] [-- --chaos-dump PATH] [-- --pipeline-depth N]
 //! ```
 //!
 //! `--smoke` runs the same grid on a reduced workload (CI-sized);
@@ -45,6 +45,15 @@
 //! a definite verdict — `--smoke` shrinks the cluster for CI, and on a
 //! failed oracle the flight-recorder dumps + stitched causal trace are
 //! written to the `--chaos-dump PATH` artifact before exiting nonzero;
+//! `--pipeline-depth N` runs the pipeline depth sweep on the real
+//! runtime — one client thread keeping up to N operations in flight
+//! through the event-driven reactor, ops/s per depth on the uniform
+//! write-heavy row, every row backed by a certified recorded twin, the
+//! in-flight gauge asserted zero after every run — and asserts the
+//! depth-scaling gate (≥3× the depth-1 single-thread baseline at depth
+//! 64) plus a re-run of the ≤3% priced instrumentation gate with the
+//! pipelined workload driving the trials (its rows ride into `--json`
+//! labeled by depth);
 //! `--json PATH` writes the rows as machine-readable JSON for perf
 //! diffing (`BENCH_kv.json` is the committed baseline). The sim grid's
 //! rows are virtual-time (labeled so); every reported run is certified
@@ -75,6 +84,16 @@ fn main() {
     let obs_json_path = path_operand("--obs-json");
     let trace_json_path = path_operand("--trace-json");
     let chaos_dump_path = path_operand("--chaos-dump");
+    let pipeline_depth: Option<usize> =
+        args.iter().position(|a| a == "--pipeline-depth").map(|i| {
+            args.get(i + 1)
+                .and_then(|d| d.parse().ok())
+                .filter(|&d| d >= 1)
+                .unwrap_or_else(|| {
+                    eprintln!("--pipeline-depth requires a depth ≥ 1 (e.g. --pipeline-depth 64)");
+                    std::process::exit(2);
+                })
+        });
 
     let (rows, table) = rmem_bench::kv::kv_throughput_with_mode(smoke, fastpath);
     println!("{}", table.to_text());
@@ -407,6 +426,62 @@ fn main() {
             }
         }
     }
+    let pipeline_report = pipeline_depth.map(|max_depth| {
+        let r = rmem_bench::pipeline::pipeline_scenario(smoke, max_depth);
+        for row in &r.rows {
+            println!(
+                "pipeline depth {:>3} (channel, wall clock, wf {:.1}, certified): \
+                 {:.0} ops/s ({} ops in {:.3} s, observed mean depth {:.1})",
+                row.depth,
+                rmem_bench::pipeline::PIPELINE_WRITE_FRACTION,
+                row.ops_per_sec,
+                row.completed_ops,
+                row.elapsed_secs,
+                row.observed_mean_depth,
+            );
+            assert!(row.certified, "depth {}: row must be certified", row.depth);
+        }
+        // The depth-scaling gate: the full sweep must show pipelining
+        // paying for itself by multiples at depth 64; shallower sweeps
+        // (CI smoke) assert the direction with margin — a tripwire, not
+        // the claim.
+        let speedup = r.speedup();
+        let threshold = if max_depth >= 64 { 3.0 } else { 1.2 };
+        assert!(
+            speedup >= threshold,
+            "pipeline depth {max_depth} must clear {threshold}× the depth-1 \
+             single-thread baseline, got {speedup:.2}×"
+        );
+        println!(
+            "pipeline: depth {} clears {:.2}× the single-thread depth-1 baseline \
+             (gate: ≥{threshold}×)",
+            r.rows.last().expect("rows").depth,
+            speedup,
+        );
+        // The PR 6 priced-overhead gate, re-asserted with pipelining on:
+        // the same interleaved trials, but every worker drives pipelined
+        // batches, so `kv.inflight` / `kv.pipeline_depth` fire and are
+        // priced with everything else.
+        let depth = max_depth.min(rmem_bench::obs::OBS_SHARDS as usize);
+        let o = rmem_bench::obs::obs_scenario_with(smoke, Some(depth));
+        assert!(
+            o.within_budget(),
+            "instrumentation overhead gate with pipelining on (depth {depth}): priced cost \
+             {:.2} µs/op exceeds {:.0}% of baseline ({:.2}% on the {} basis)",
+            o.priced_overhead_ns_per_op() / 1_000.0,
+            rmem_bench::obs::OVERHEAD_BUDGET * 100.0,
+            (1.0 - o.overhead_ratio()) * 100.0,
+            o.gate_basis(),
+        );
+        println!(
+            "obs gate with pipelining on (depth {depth}): {:.2}% priced overhead \
+             ({} basis, budget {:.0}%)",
+            (1.0 - o.overhead_ratio()) * 100.0,
+            o.gate_basis(),
+            rmem_bench::obs::OVERHEAD_BUDGET * 100.0,
+        );
+        r
+    });
     if let Some(path) = json_path {
         std::fs::write(
             &path,
@@ -421,6 +496,7 @@ fn main() {
                     .as_ref()
                     .filter(|_| obs || obs_json_path.is_some()),
                 trace_report.as_ref(),
+                pipeline_report.as_ref(),
             ),
         )
         .expect("writing JSON rows");

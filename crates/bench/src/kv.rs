@@ -333,17 +333,19 @@ pub fn kv_throughput() -> (Vec<KvThroughputRow>, Table) {
 /// trajectory file (`BENCH_kv.json`): machine-readable so future changes
 /// can diff ops/s and read-round numbers against the committed baseline.
 /// When a [`reshard`](crate::reshard) report rides along (`--reshard`),
-/// a [`disk`](crate::disk) report (`--disk`) and/or an
-/// [`obs`](crate::obs) report (`--obs`), their objects are appended to
-/// the same array so the trajectory also tracks migration cost,
-/// real-disk durability throughput and wall-clock latency percentiles
-/// with the instrumentation-overhead ratio.
+/// a [`disk`](crate::disk) report (`--disk`), an [`obs`](crate::obs)
+/// report (`--obs`) and/or a [`pipeline`](crate::pipeline) depth sweep
+/// (`--pipeline-depth`), their objects are appended to the same array so
+/// the trajectory also tracks migration cost, real-disk durability
+/// throughput, wall-clock latency percentiles with the
+/// instrumentation-overhead ratio, and depth-labeled pipeline scaling.
 pub fn rows_to_json_with(
     rows: &[KvThroughputRow],
     reshard: Option<&crate::reshard::ReshardReport>,
     disk: Option<&crate::disk::DiskReport>,
     obs: Option<&crate::obs::ObsReport>,
     trace: Option<&crate::trace::TraceBenchReport>,
+    pipeline: Option<&crate::pipeline::PipelineReport>,
 ) -> String {
     let mut out = rows_to_json(rows);
     let mut extras = Vec::new();
@@ -357,6 +359,9 @@ pub fn rows_to_json_with(
         extras.push(report.to_json());
     }
     if let Some(report) = trace {
+        extras.push(report.to_json());
+    }
+    if let Some(report) = pipeline {
         extras.push(report.to_json());
     }
     for extra in extras {

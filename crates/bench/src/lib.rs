@@ -23,6 +23,7 @@ pub mod experiments;
 pub mod explore;
 pub mod kv;
 pub mod obs;
+pub mod pipeline;
 pub mod reshard;
 pub mod scenarios;
 pub mod table;

@@ -314,6 +314,20 @@ fn scratch_dir(tag: &str) -> std::path::PathBuf {
 ///
 /// Panics if an operation errors terminally or a node's log fails.
 pub fn obs_scenario(smoke: bool) -> ObsReport {
+    obs_scenario_with(smoke, None)
+}
+
+/// [`obs_scenario`] with an optional **pipelined** workload: with
+/// `pipeline_depth = Some(d)`, every worker drives batches of `d`
+/// distinct-shard keys through the pipelined `multi_get`/`multi_put`
+/// path instead of single blocking ops, so the reactor's own instruments
+/// (`kv.inflight` gauge, `kv.pipeline_depth` histogram) fire and are
+/// priced by the same ≤3% gate.
+///
+/// # Panics
+///
+/// As for [`obs_scenario`].
+pub fn obs_scenario_with(smoke: bool, pipeline_depth: Option<usize>) -> ObsReport {
     let window = if smoke {
         Duration::from_millis(250)
     } else {
@@ -341,7 +355,7 @@ pub fn obs_scenario(smoke: bool) -> ObsReport {
             [true, false]
         };
         for enabled in order {
-            let t = run_trial(trial, enabled, window);
+            let t = run_trial(trial, enabled, window, pipeline_depth);
             let totals = &mut cpu_totals[enabled as usize];
             *totals = match (*totals, t.cpu_ns) {
                 (Some((ns, ops)), Some(cpu)) => Some((ns + cpu, ops + t.completed_ops)),
@@ -399,8 +413,15 @@ pub fn obs_scenario(smoke: bool) -> ObsReport {
 }
 
 /// One trial: fresh WAL-backed UDP cluster and client family, both with
-/// observability `enabled` or disabled, driven closed-loop for `window`.
-fn run_trial(trial: usize, enabled: bool, window: Duration) -> Trial {
+/// observability `enabled` or disabled, driven closed-loop for `window` —
+/// by single blocking ops, or by pipelined batches of `pipeline_depth`
+/// distinct-shard keys.
+fn run_trial(
+    trial: usize,
+    enabled: bool,
+    window: Duration,
+    pipeline_depth: Option<usize>,
+) -> Trial {
     // Let the previous trial's teardown drain before the clock starts:
     // its node threads, syncers and sockets release the CPU they still
     // hold, so their shutdown cost is not charged to this trial's window.
@@ -456,16 +477,48 @@ fn run_trial(trial: usize, enabled: bool, window: Duration) -> Trial {
                 let mut rng = StdRng::seed_from_u64(71 + t);
                 let dist = KeyDistribution::zipf(keys.len(), 0.99);
                 let mut counter = 0u64;
+                let mut round = 0usize;
                 while !stop.load(Ordering::Relaxed) {
-                    let key = &keys[dist.sample(&mut rng)];
-                    if rng.gen_bool(OBS_WRITE_FRACTION) {
-                        counter += 1;
-                        let value = ((t + 1) << 32 | counter).to_be_bytes().to_vec();
-                        client.put(key, value).expect("put");
-                    } else {
-                        client.get(key).expect("get");
+                    match pipeline_depth {
+                        // Pipelined batches: a rotating window of
+                        // distinct-shard keys (staggered per worker), so
+                        // each batch occupies `depth` distinct registers
+                        // and the reactor sustains real depth.
+                        Some(depth) => {
+                            let depth = depth.min(keys.len());
+                            let start = (t as usize + round * depth) % keys.len();
+                            let picked: Vec<&str> = (0..depth)
+                                .map(|j| keys[(start + j) % keys.len()].as_str())
+                                .collect();
+                            if rng.gen_bool(OBS_WRITE_FRACTION) {
+                                let puts: Vec<(&str, bytes::Bytes)> = picked
+                                    .iter()
+                                    .map(|k| {
+                                        counter += 1;
+                                        let value =
+                                            ((t + 1) << 32 | counter).to_be_bytes().to_vec();
+                                        (*k, bytes::Bytes::from(value))
+                                    })
+                                    .collect();
+                                client.multi_put(&puts).expect("pipelined put batch");
+                            } else {
+                                client.multi_get(&picked).expect("pipelined get batch");
+                            }
+                            completed.fetch_add(depth as u64, Ordering::Relaxed);
+                            round += 1;
+                        }
+                        None => {
+                            let key = &keys[dist.sample(&mut rng)];
+                            if rng.gen_bool(OBS_WRITE_FRACTION) {
+                                counter += 1;
+                                let value = ((t + 1) << 32 | counter).to_be_bytes().to_vec();
+                                client.put(key, value).expect("put");
+                            } else {
+                                client.get(key).expect("get");
+                            }
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
-                    completed.fetch_add(1, Ordering::Relaxed);
                 }
                 match my_cpu_ns() {
                     Some(ns) => {
@@ -529,9 +582,17 @@ fn run_trial(trial: usize, enabled: bool, window: Duration) -> Trial {
     let (hist_samples, counter_incs) = metrics
         .as_ref()
         .map(|m| {
+            // The pipelined driver's `kv.inflight` gauge writes are not
+            // visible in the snapshot (gauges store values, not counts),
+            // but each `kv.pipeline_depth` sample is bracketed by at most
+            // two of them (set + zero). A gauge set is the same primitive
+            // as a counter increment (one relaxed store), so price them
+            // as two extra increments per depth sample — the gate's usual
+            // deliberate overestimate.
+            let gauge_sets = 2 * m.histogram("kv.pipeline_depth").count;
             (
                 m.histograms.values().map(|h| h.count).sum(),
-                m.counters.values().sum(),
+                m.counters.values().sum::<u64>() + gauge_sets,
             )
         })
         .unwrap_or((0, 0));

@@ -136,6 +136,7 @@ pub fn reshard_scenario(smoke: bool) -> ReshardReport {
     let epoch = AtomicU64::new(0);
     let migration_ns = AtomicU64::new(0);
     let mut durations = [Duration::ZERO; 3];
+    let mut post_start = None;
 
     std::thread::scope(|scope| {
         for t in 0..4u64 {
@@ -185,11 +186,15 @@ pub fn reshard_scenario(smoke: bool) -> ReshardReport {
         migration_ns.store(grow_elapsed.as_nanos() as u64, Ordering::Relaxed);
 
         phase.store(PHASE_POST, Ordering::Relaxed);
-        let post_start = Instant::now();
+        post_start = Some(Instant::now());
         std::thread::sleep(window);
-        durations[2] = post_start.elapsed();
         phase.store(PHASE_DONE, Ordering::Relaxed);
     });
+    // The post window's divisor is measured *after* the workers join:
+    // operations in flight when the stop flag went up still complete and
+    // count, so clocking the phase at the flag (the nominal window) would
+    // inflate its ops/s.
+    durations[2] = post_start.expect("conductor ran").elapsed();
 
     let stats = kv.stats();
     let per_sec = |i: usize| counts[i].load(Ordering::Relaxed) as f64 / durations[i].as_secs_f64();

@@ -29,13 +29,13 @@
 //! migration fall back *old-home-then-new-home*: an unsealed old home is
 //! authoritative, a sealed one forwards to the new routing.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use rmem_net::{Client, ClientError, TraceCtx};
+use rmem_net::{Client, ClientError, PipelinedClient, Ticket, TraceCtx};
 use rmem_obs::{
     Counter, EventKind, FlightEvent, FlightRecorder, Histogram, MetricsSnapshot, ObsHandle,
 };
@@ -75,6 +75,8 @@ struct ClientObs {
     map_refreshes: Arc<Counter>,
     retries: Arc<Counter>,
     backoff_micros: Arc<Counter>,
+    inflight: Arc<rmem_obs::Gauge>,
+    pipeline_depth: Arc<Histogram>,
     get_micros: Arc<Histogram>,
     put_micros: Arc<Histogram>,
 }
@@ -93,6 +95,8 @@ impl ClientObs {
             map_refreshes: m.counter("kv.map_refreshes"),
             retries: m.counter("kv.retries"),
             backoff_micros: m.counter("kv.backoff_micros"),
+            inflight: m.gauge("kv.inflight"),
+            pipeline_depth: m.histogram("kv.pipeline_depth"),
             get_micros: m.histogram("kv.get_micros"),
             put_micros: m.histogram("kv.put_micros"),
             handle,
@@ -105,6 +109,28 @@ impl ClientObs {
     fn op_clock(&self) -> Option<Instant> {
         self.handle.metrics.is_enabled().then(Instant::now)
     }
+}
+
+/// Bookkeeping for one op of a pipelined multi-key batch, kept in a twin
+/// vector alongside its [`Ticket`] (so the ticket slice feeds `wait_any`
+/// directly).
+struct InFlightOp {
+    /// Index into the caller's input slice.
+    idx: usize,
+    /// The register the op was routed to — its completion refills the
+    /// next op from this register's queue.
+    reg: RegisterId,
+    /// The serving node (fan target order == `KvClient::nodes` order).
+    node: usize,
+    /// The recorded invocation: handed to the blocking path on fallback
+    /// so a retried op never opens a second recorded operation.
+    inv: Option<rmem_types::OpId>,
+    /// Whether this op is the node's owed health probe (won via
+    /// [`HealthMemory::try_begin_probe`]): an inconclusive outcome hands
+    /// the debt back.
+    probe: bool,
+    /// Latency clock opened at submission (when metrics are on).
+    started: Option<Instant>,
 }
 
 /// Snapshot of a client's per-operation quorum-round statistics.
@@ -1042,14 +1068,36 @@ impl KvClient {
     /// frame, [`KvError::Barrier`] if a migration barrier never cleared,
     /// [`KvError::Register`] if the register operation fails.
     pub fn put(&self, key: &str, value: impl Into<Bytes>) -> Result<(), KvError> {
-        let clock = self.obs.op_clock();
-        let outcome = if self.intents.is_some() {
+        if self.intents.is_some() {
             // Exactly-once client: journal the intent durably, write under
-            // a client-assigned op tag, tombstone on ack.
-            self.put_exactly_once(key, value.into())
-        } else {
-            self.put_inner(key, value.into(), None)
-        };
+            // a client-assigned op tag, tombstone on ack. (The journal
+            // layer brackets the latency clock itself.)
+            let clock = self.obs.op_clock();
+            let outcome = self.put_exactly_once(key, value.into());
+            if let Some(started) = clock {
+                self.obs
+                    .put_micros
+                    .record(started.elapsed().as_micros() as u64);
+            }
+            return outcome;
+        }
+        self.put_settled(key, value.into(), &mut None)
+    }
+
+    /// The blocking put path with an externally-owned invocation slot:
+    /// brackets the wall-clock latency histogram around
+    /// [`put_inner`](Self::put_inner). The pipelined multi-key driver
+    /// routes a submission that errored (node down, `Busy`, epoch moved)
+    /// through here so the operation keeps its already-recorded
+    /// invocation.
+    fn put_settled(
+        &self,
+        key: &str,
+        value: Bytes,
+        inv: &mut Option<rmem_types::OpId>,
+    ) -> Result<(), KvError> {
+        let clock = self.obs.op_clock();
+        let outcome = self.put_inner(key, value, None, inv);
         if let Some(started) = clock {
             self.obs
                 .put_micros
@@ -1063,19 +1111,21 @@ impl KvClient {
     /// `Some(tag)` every landed payload carries the op-id frame — retries
     /// across epoch re-routes re-encode under the *same* tag, which is
     /// what lets the exactly-once certifier collapse them into one
-    /// logical write.
+    /// logical write. The invocation slot is caller-owned so the
+    /// pipelined driver can hand over an operation it already invoked
+    /// (and part-attempted) without opening a second recorded op.
     pub(crate) fn put_inner(
         &self,
         key: &str,
         value: Bytes,
         tag: Option<OpTag>,
+        inv: &mut Option<rmem_types::OpId>,
     ) -> Result<(), KvError> {
         self.sync_map()?;
         // Recorded as ONE store operation however many rounds serve it:
         // the invocation opens just before the first write attempt, the
         // reply lands after the last — so an epoch-repair re-write (below)
         // stays inside the operation's interval.
-        let mut inv = None;
         for _ in 0..MAP_RETRIES {
             let map = self.shard_map();
             if map.is_migrating() {
@@ -1090,7 +1140,7 @@ impl KvClient {
                 None => codec::encode_entry(key, &value, map.stamp()),
             };
             if inv.is_none() {
-                inv = self.rec_invoke(Op::WriteAt(reg, payload.clone()));
+                *inv = self.rec_invoke(Op::WriteAt(reg, payload.clone()));
             }
             // The guard makes this all-or-nothing: either the write
             // landed under `map`'s epoch (within one clean attempt of a
@@ -1102,12 +1152,12 @@ impl KvClient {
             // which no single store operation can explain.
             match self.reg_write_guarded(reg, payload, key, map.epoch) {
                 Ok(true) => {
-                    self.rec_outcome(inv, Ok(OpResult::Written));
+                    self.rec_outcome(inv.take(), Ok(OpResult::Written));
                     return Ok(());
                 }
                 Ok(false) => continue, // epoch moved before landing; re-route
                 Err(e) => {
-                    self.rec_outcome(inv, Err(&e));
+                    self.rec_outcome(inv.take(), Err(&e));
                     return Err(e);
                 }
             }
@@ -1121,15 +1171,15 @@ impl KvClient {
         };
         let reg = map.register_for(key);
         if inv.is_none() {
-            inv = self.rec_invoke(Op::WriteAt(reg, payload.clone()));
+            *inv = self.rec_invoke(Op::WriteAt(reg, payload.clone()));
         }
         match self.reg_write(reg, payload, key) {
             Ok(()) => {
-                self.rec_outcome(inv, Ok(OpResult::Written));
+                self.rec_outcome(inv.take(), Ok(OpResult::Written));
                 Ok(())
             }
             Err(e) => {
-                self.rec_outcome(inv, Err(&e));
+                self.rec_outcome(inv.take(), Err(&e));
                 Err(e)
             }
         }
@@ -1145,13 +1195,23 @@ impl KvClient {
     ///
     /// Returns [`KvError::Register`] if a register operation fails.
     pub fn get(&self, key: &str) -> Result<Option<Bytes>, KvError> {
+        self.get_settled(key, &mut None)
+    }
+
+    /// The blocking get path with an externally-owned invocation slot
+    /// (see [`put_settled`](Self::put_settled) for why the pipelined
+    /// driver needs one): records ONE store operation — the invocation
+    /// opens before the first data read, the reply carries the payload
+    /// that actually answered (fallback hops and refresh-retries
+    /// included).
+    fn get_settled(
+        &self,
+        key: &str,
+        inv: &mut Option<rmem_types::OpId>,
+    ) -> Result<Option<Bytes>, KvError> {
         self.sync_map()?;
         let clock = self.obs.op_clock();
-        // Recorded as ONE store operation: the invocation opens before
-        // the first data read, the reply carries the payload that
-        // actually answered (fallback hops and refresh-retries included).
-        let mut inv = None;
-        let outcome = self.get_inner(key, &mut inv);
+        let outcome = self.get_inner(key, inv);
         if let Some(started) = clock {
             self.obs
                 .get_micros
@@ -1159,9 +1219,9 @@ impl KvClient {
         }
         match &outcome {
             Ok((payload, _)) => {
-                self.rec_outcome(inv, Ok(OpResult::ReadValue(payload.clone())));
+                self.rec_outcome(inv.take(), Ok(OpResult::ReadValue(payload.clone())));
             }
-            Err(e) => self.rec_outcome(inv, Err(e)),
+            Err(e) => self.rec_outcome(inv.take(), Err(e)),
         }
         outcome.map(|(_, value)| value)
     }
@@ -1420,25 +1480,239 @@ impl KvClient {
         groups
     }
 
-    /// Reads many keys, pipelining across nodes: each node's batch runs in
-    /// its own thread, concurrently with the others. Results align with
+    /// The pipelined submit's health gate for a key's home node. The
+    /// pipeline has no failover rotation — a key's op goes to its home or
+    /// to the blocking fallback — so the gate maps to a three-way choice:
+    /// `Some(false)` submit normally, `Some(true)` submit *as the node's
+    /// owed probe* (this caller won [`HealthMemory::try_begin_probe`]),
+    /// `None` route through the blocking path, whose failover tries the
+    /// suspect node last instead of burning the pipeline's patience on
+    /// it.
+    fn gate_for_pipeline(&self, node: usize) -> Option<bool> {
+        match self.health.gate(node) {
+            NodeGate::Fresh => Some(false),
+            NodeGate::Suspect => None,
+            NodeGate::NeedsProbe => self.health.try_begin_probe(node).then_some(true),
+        }
+    }
+
+    /// Builds the per-register FIFO queues of a multi-key batch: the
+    /// runner admits ONE op per register at a time (§III-A per-register
+    /// sequentiality), so the pipeline keeps at most one in-flight op per
+    /// register and refills from its queue — queueing client-side instead
+    /// of eating self-inflicted `Busy` rejections. Duplicate keys keep
+    /// their input order (same register → same queue).
+    fn register_queues<'k>(
+        &self,
+        map: &ShardMap,
+        keys: impl Iterator<Item = &'k str>,
+    ) -> BTreeMap<RegisterId, VecDeque<usize>> {
+        let mut queues: BTreeMap<RegisterId, VecDeque<usize>> = BTreeMap::new();
+        for (i, key) in keys.enumerate() {
+            queues
+                .entry(map.register_for(key))
+                .or_default()
+                .push_back(i);
+        }
+        queues
+    }
+
+    /// Reads many keys, pipelined: every shard's read is submitted from
+    /// this one thread through the event-driven
+    /// [`PipelinedClient`](rmem_net::PipelinedClient) fan and settles as
+    /// its completion arrives — no per-node threads. Results align with
     /// the input order.
+    ///
+    /// An op the pipeline cannot settle cleanly (node down, timeout,
+    /// `Busy` collision with another client, a payload under a foreign
+    /// epoch stamp) falls back to the blocking [`get`](Self::get) path —
+    /// carrying its already-recorded invocation — where the full
+    /// failover/backoff/refresh machinery applies. A batch issued while
+    /// a split is migrating takes the thread-per-node path wholesale: the
+    /// barrier protocol is the blocking path's job.
     ///
     /// Failover state is shared through the [`HealthMemory`]: the first
     /// key to time out on a wedged node marks it, and the batch's other
-    /// threads then try that node last — one patience window per batch,
+    /// keys then try that node last — one patience window per batch,
     /// not one per key.
     ///
     /// # Errors
     ///
-    /// Returns the first failing key's [`KvError`]; other batches still
+    /// Returns the first failing key's [`KvError`]; other keys still
     /// ran to completion.
     pub fn multi_get<K: AsRef<str> + Sync>(
         &self,
         keys: &[K],
     ) -> Result<Vec<Option<Bytes>>, KvError> {
-        type BatchResult = Result<Vec<(usize, Option<Bytes>)>, KvError>;
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
         self.sync_map()?;
+        let map = self.shard_map();
+        if map.is_migrating() {
+            return self.multi_get_threaded(keys);
+        }
+        let mut queues = self.register_queues(&map, keys.iter().map(AsRef::as_ref));
+        let fan = PipelinedClient::fan(&self.nodes);
+        let mut results: Vec<Option<Option<Bytes>>> = vec![None; keys.len()];
+        let mut fallback: Vec<(usize, Option<rmem_types::OpId>)> = Vec::new();
+        let mut tickets: Vec<Ticket> = Vec::new();
+        let mut pending: Vec<InFlightOp> = Vec::new();
+
+        // One submission. The map-equality check right before the send is
+        // the pipelined analogue of the guarded write's per-attempt epoch
+        // check: the effect lands within one event-loop dispatch of a
+        // passing check, so a stale-routed op cannot surface long after a
+        // split moved the key (stale → blocking path, which re-syncs).
+        let try_submit = |idx: usize,
+                          reg: RegisterId|
+         -> Result<(Ticket, InFlightOp), Option<rmem_types::OpId>> {
+            if self.shard_map() != map {
+                return Err(None);
+            }
+            let node = reg.0 as usize % self.nodes.len();
+            let Some(probe) = self.gate_for_pipeline(node) else {
+                return Err(None);
+            };
+            let started = self.obs.op_clock();
+            let inv = self.rec_invoke(Op::ReadAt(reg));
+            match fan.submit_read(node, reg) {
+                Ok(ticket) => Ok((
+                    ticket,
+                    InFlightOp {
+                        idx,
+                        reg,
+                        node,
+                        inv,
+                        probe,
+                        started,
+                    },
+                )),
+                Err(_) => {
+                    // The only read submit error is `ProcessDown` (the
+                    // node's event loop is gone): mark and settle
+                    // blocking, like any other node failure.
+                    self.obs.retries.inc();
+                    self.health.mark(node);
+                    Err(inv)
+                }
+            }
+        };
+        for (&reg, queue) in queues.iter_mut() {
+            if let Some(idx) = queue.pop_front() {
+                match try_submit(idx, reg) {
+                    Ok((t, p)) => {
+                        tickets.push(t);
+                        pending.push(p);
+                    }
+                    Err(inv) => fallback.push((idx, inv)),
+                }
+            }
+        }
+        let metered = self.obs.handle.metrics.is_enabled();
+        while !pending.is_empty() {
+            if metered {
+                self.obs.inflight.set(pending.len() as u64);
+                self.obs.pipeline_depth.record(pending.len() as u64);
+            }
+            let Some((pos, outcome)) = fan.wait_any(&tickets) else {
+                // The patience window passed with nothing settling:
+                // abandon the whole flight (late acks are counted, never
+                // misdelivered) and settle blocking.
+                for (ticket, p) in tickets.drain(..).zip(pending.drain(..)) {
+                    fan.cancel(ticket);
+                    self.obs.retries.inc();
+                    self.health.mark(p.node);
+                    fallback.push((p.idx, p.inv));
+                }
+                break;
+            };
+            tickets.swap_remove(pos);
+            let done = pending.swap_remove(pos);
+            match outcome {
+                Ok((OpResult::ReadValue(payload), rounds)) => {
+                    self.record_read(rounds);
+                    self.health.clear(done.node);
+                    if let Some(started) = done.started {
+                        self.obs
+                            .get_micros
+                            .record(started.elapsed().as_micros() as u64);
+                    }
+                    if payload.is_bottom() {
+                        self.rec_outcome(done.inv, Ok(OpResult::ReadValue(payload)));
+                        results[done.idx] = Some(None);
+                    } else if let Some(value) =
+                        codec::value_for_key(&payload, keys[done.idx].as_ref())
+                    {
+                        self.rec_outcome(done.inv, Ok(OpResult::ReadValue(payload)));
+                        results[done.idx] = Some(Some(value));
+                    } else if codec::payload_epoch(&payload) == Some(map.stamp()) {
+                        // Key absent under the expected stamp: a plain
+                        // miss (collision displacement).
+                        self.rec_outcome(done.inv, Ok(OpResult::ReadValue(payload)));
+                        results[done.idx] = Some(None);
+                    } else {
+                        // Foreign stamp — the map may be stale; the
+                        // blocking path refreshes and re-routes.
+                        fallback.push((done.idx, done.inv));
+                    }
+                }
+                Ok(_) => fallback.push((done.idx, done.inv)),
+                Err(e) => {
+                    self.obs.retries.inc();
+                    if matches!(e, ClientError::TimedOut | ClientError::ProcessDown) {
+                        self.health.mark(done.node);
+                    } else if done.probe {
+                        // Inconclusive probe (`Busy`): the node still
+                        // owes one.
+                        self.health.reopen_probe(done.node);
+                    }
+                    fallback.push((done.idx, done.inv));
+                }
+            }
+            if let Some(idx) = queues.get_mut(&done.reg).and_then(VecDeque::pop_front) {
+                match try_submit(idx, done.reg) {
+                    Ok((t, p)) => {
+                        tickets.push(t);
+                        pending.push(p);
+                    }
+                    Err(inv) => fallback.push((idx, inv)),
+                }
+            }
+        }
+        if metered {
+            self.obs.inflight.set(0);
+        }
+        // Whatever never settled in the pipeline — plus queue remainders
+        // whose head went to fallback before they were submitted —
+        // settles through the blocking path.
+        for queue in queues.values_mut() {
+            fallback.extend(queue.drain(..).map(|idx| (idx, None)));
+        }
+        let mut first_err: Option<KvError> = None;
+        for (idx, mut inv) in fallback {
+            match self.get_settled(keys[idx].as_ref(), &mut inv) {
+                Ok(value) => results[idx] = Some(value),
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        Ok(results
+            .into_iter()
+            .map(|slot| slot.expect("every index answered"))
+            .collect())
+    }
+
+    /// The thread-per-node batch read: each node's keys run sequentially
+    /// in that node's thread, nodes concurrently. Used when a split is
+    /// migrating (the blocking path owns the barrier/fallback protocol).
+    fn multi_get_threaded<K: AsRef<str> + Sync>(
+        &self,
+        keys: &[K],
+    ) -> Result<Vec<Option<Bytes>>, KvError> {
+        type BatchResult = Result<Vec<(usize, Option<Bytes>)>, KvError>;
         let map = self.shard_map();
         let groups = self.group_by_node(keys.iter().map(|k| map.register_for(k.as_ref())));
         let mut results: Vec<Option<Option<Bytes>>> = vec![None; keys.len()];
@@ -1470,14 +1744,190 @@ impl KvClient {
             .collect())
     }
 
-    /// Writes many entries, pipelining across nodes (see
-    /// [`multi_get`](KvClient::multi_get)).
+    /// Writes many entries, pipelined (see
+    /// [`multi_get`](KvClient::multi_get) for the driver's shape). When
+    /// no recorder is attached the payload is encoded **zero-copy**,
+    /// straight into the op slot's reusable scratch buffer. Exactly-once
+    /// clients take the thread-per-node path: the intent journal's
+    /// durable fsync per op is a per-write barrier the pipeline has
+    /// nothing to overlap with.
     ///
     /// # Errors
     ///
-    /// Returns the first failing key's [`KvError`]; other batches still
+    /// Returns the first failing key's [`KvError`]; other keys still
     /// ran to completion.
     pub fn multi_put<K: AsRef<str> + Sync>(&self, entries: &[(K, Bytes)]) -> Result<(), KvError> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        if self.intents.is_some() {
+            return self.multi_put_threaded(entries);
+        }
+        self.sync_map()?;
+        let map = self.shard_map();
+        if map.is_migrating() {
+            return self.multi_put_threaded(entries);
+        }
+        let mut queues = self.register_queues(&map, entries.iter().map(|(k, _)| k.as_ref()));
+        let fan = PipelinedClient::fan(&self.nodes);
+        let mut first_err: Option<KvError> = None;
+        let mut fallback: Vec<(usize, Option<rmem_types::OpId>)> = Vec::new();
+        let mut tickets: Vec<Ticket> = Vec::new();
+        let mut pending: Vec<InFlightOp> = Vec::new();
+
+        // One submission (see `multi_get` on the pre-send map check). A
+        // client-side `TooLarge` refusal is terminal — no node's frame
+        // fits the value, so neither retry nor fallback can help.
+        let mut try_submit =
+            |idx: usize,
+             reg: RegisterId|
+             -> Result<(Ticket, InFlightOp), Option<Option<rmem_types::OpId>>> {
+                if self.shard_map() != map {
+                    return Err(Some(None));
+                }
+                let node = reg.0 as usize % self.nodes.len();
+                let Some(probe) = self.gate_for_pipeline(node) else {
+                    return Err(Some(None));
+                };
+                let (key, value) = &entries[idx];
+                let key = key.as_ref();
+                let started = self.obs.op_clock();
+                let (inv, submitted) = if self.recorder.is_some() {
+                    // Recorded run: the invocation needs the encoded payload,
+                    // so encode once and send the same value.
+                    let payload = codec::encode_entry(key, value, map.stamp());
+                    let inv = self.rec_invoke(Op::WriteAt(reg, payload.clone()));
+                    (inv, fan.submit_write(node, reg, payload))
+                } else {
+                    (
+                        None,
+                        fan.submit_write_with(node, reg, |buf| {
+                            codec::encode_entry_into(buf, key, value, map.stamp())
+                        }),
+                    )
+                };
+                match submitted {
+                    Ok(ticket) => Ok((
+                        ticket,
+                        InFlightOp {
+                            idx,
+                            reg,
+                            node,
+                            inv,
+                            probe,
+                            started,
+                        },
+                    )),
+                    Err(ClientError::TooLarge { size, limit }) => {
+                        // Client-side refusal: the value fits no node's
+                        // frame, so neither retry nor fallback can help —
+                        // and a won probe never exercised the node.
+                        if probe {
+                            self.health.reopen_probe(node);
+                        }
+                        let e = KvError::TooLarge {
+                            key: key.to_string(),
+                            size,
+                            limit,
+                        };
+                        self.rec_outcome(inv, Err(&e));
+                        first_err = first_err.take().or(Some(e));
+                        Err(None)
+                    }
+                    Err(_) => {
+                        self.obs.retries.inc();
+                        self.health.mark(node);
+                        Err(Some(inv))
+                    }
+                }
+            };
+        for (&reg, queue) in queues.iter_mut() {
+            if let Some(idx) = queue.pop_front() {
+                match try_submit(idx, reg) {
+                    Ok((t, p)) => {
+                        tickets.push(t);
+                        pending.push(p);
+                    }
+                    Err(Some(inv)) => fallback.push((idx, inv)),
+                    Err(None) => {} // terminal refusal, already recorded
+                }
+            }
+        }
+        let metered = self.obs.handle.metrics.is_enabled();
+        while !pending.is_empty() {
+            if metered {
+                self.obs.inflight.set(pending.len() as u64);
+                self.obs.pipeline_depth.record(pending.len() as u64);
+            }
+            let Some((pos, outcome)) = fan.wait_any(&tickets) else {
+                for (ticket, p) in tickets.drain(..).zip(pending.drain(..)) {
+                    fan.cancel(ticket);
+                    self.obs.retries.inc();
+                    self.health.mark(p.node);
+                    fallback.push((p.idx, p.inv));
+                }
+                break;
+            };
+            tickets.swap_remove(pos);
+            let done = pending.swap_remove(pos);
+            match outcome {
+                Ok((OpResult::Written, rounds)) => {
+                    self.record_write(rounds);
+                    self.health.clear(done.node);
+                    if let Some(started) = done.started {
+                        self.obs
+                            .put_micros
+                            .record(started.elapsed().as_micros() as u64);
+                    }
+                    self.rec_outcome(done.inv, Ok(OpResult::Written));
+                }
+                Ok(_) => fallback.push((done.idx, done.inv)),
+                Err(e) => {
+                    self.obs.retries.inc();
+                    if matches!(e, ClientError::TimedOut | ClientError::ProcessDown) {
+                        self.health.mark(done.node);
+                    } else if done.probe {
+                        self.health.reopen_probe(done.node);
+                    }
+                    fallback.push((done.idx, done.inv));
+                }
+            }
+            if let Some(idx) = queues.get_mut(&done.reg).and_then(VecDeque::pop_front) {
+                match try_submit(idx, done.reg) {
+                    Ok((t, p)) => {
+                        tickets.push(t);
+                        pending.push(p);
+                    }
+                    Err(Some(inv)) => fallback.push((idx, inv)),
+                    Err(None) => {}
+                }
+            }
+        }
+        if metered {
+            self.obs.inflight.set(0);
+        }
+        for queue in queues.values_mut() {
+            fallback.extend(queue.drain(..).map(|idx| (idx, None)));
+        }
+        for (idx, mut inv) in fallback {
+            let (key, value) = &entries[idx];
+            if let Err(e) = self.put_settled(key.as_ref(), value.clone(), &mut inv) {
+                first_err = first_err.take().or(Some(e));
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// The thread-per-node batch write (see
+    /// [`multi_get_threaded`](Self::multi_get_threaded)): used mid-split
+    /// and by exactly-once clients.
+    fn multi_put_threaded<K: AsRef<str> + Sync>(
+        &self,
+        entries: &[(K, Bytes)],
+    ) -> Result<(), KvError> {
         self.sync_map()?;
         let map = self.shard_map();
         let groups = self.group_by_node(entries.iter().map(|(k, _)| map.register_for(k.as_ref())));

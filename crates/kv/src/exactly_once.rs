@@ -160,7 +160,7 @@ impl KvClient {
                 state: IntentState::Sent,
             })
             .map_err(journal_err)?;
-        let outcome = self.put_inner(key, value, Some(tag));
+        let outcome = self.put_inner(key, value, Some(tag), &mut None);
         match &outcome {
             Ok(()) => ctx.lock().acknowledge(tag).map_err(journal_err)?,
             // Refused before anything was sent: settle the op now rather
@@ -238,7 +238,7 @@ impl KvClient {
             }
             intent
         };
-        let outcome = self.put_inner(&intent.key, intent.value, Some(tag));
+        let outcome = self.put_inner(&intent.key, intent.value, Some(tag), &mut None);
         if outcome.is_ok() {
             ctx.lock().acknowledge(tag).map_err(journal_err)?;
         }
@@ -291,7 +291,7 @@ impl KvClient {
             // Nothing landed yet (at read time). Completing the op
             // ourselves under the same tag makes the verdict definitive;
             // if the original landing races us, both carry one effect.
-            self.put_inner(&intent.key, intent.value, Some(tag))?;
+            self.put_inner(&intent.key, intent.value, Some(tag), &mut None)?;
         }
         // A foreign value (or our own tag) means the register moved past
         // ⊥: either our write landed (possibly since overwritten) or it
@@ -386,10 +386,10 @@ impl KvClient {
             CrashPoint::MidRound => {
                 let key = key.to_string();
                 std::thread::spawn(move || {
-                    let _ = orphan.put_inner(&key, value, Some(tag));
+                    let _ = orphan.put_inner(&key, value, Some(tag), &mut None);
                 });
             }
-            CrashPoint::PostQuorum => orphan.put_inner(key, value, Some(tag))?,
+            CrashPoint::PostQuorum => orphan.put_inner(key, value, Some(tag), &mut None)?,
         }
         Ok(tag)
     }

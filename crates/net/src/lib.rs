@@ -46,6 +46,7 @@ pub mod cluster;
 pub mod control;
 pub mod error;
 pub mod faults;
+pub mod pipeline;
 pub mod runner;
 mod syncer;
 pub mod tcp;
@@ -57,6 +58,7 @@ pub use cluster::{DiskMode, LocalCluster};
 pub use control::{handle_command, send_command, ControlServer};
 pub use error::{ClientError, NetError};
 pub use faults::{FaultEvent, FaultSchedule};
+pub use pipeline::{AnyCompletion, Claimed, InFlightTable, PipelinedClient, Routed, Ticket};
 pub use runner::{Client, ProcessRunner, TraceCtx};
 pub use tcp::TcpTransport;
 pub use transport::{Inbound, Transport};

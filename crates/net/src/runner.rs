@@ -16,17 +16,18 @@ use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use rmem_obs::{pack_wire_aux, EventKind, FlightEvent, FlightRecorder, ObsHandle};
 use rmem_storage::records::KEY_WRITTEN;
 use rmem_storage::{SnapshotView, StableStorage};
 use rmem_types::{
     Action, Automaton, AutomatonFactory, Input, Op, OpId, OpResult, ProcessId, RegisterId,
-    RequestId, TimerToken, TraceId,
+    RejectReason, RequestId, TimerToken, TraceId,
 };
 use std::sync::Arc;
 
 use crate::error::ClientError;
+use crate::pipeline::{Pipeline, PipelinedClient, Target};
 use crate::syncer::{StoreOutcome, StoreRequest, Syncer};
 use crate::transport::{Inbound, Transport};
 
@@ -40,10 +41,18 @@ pub const KEY_BOOT_COUNT: &str = "_boot_count";
 /// stderr alongside its halt reason.
 pub const HALT_DUMP_EVENTS: usize = 64;
 
-enum RunnerEvent {
+/// What the runner posts back for one submitted operation: the
+/// submission's slot token, the result, and the quorum round-trips it
+/// took. Every operation of one client family shares one completion
+/// channel; the token routes the completion to its slot (see
+/// [`crate::pipeline::InFlightTable`]).
+pub(crate) type Completion = (u64, OpResult, u32);
+
+pub(crate) enum RunnerEvent {
     Invoke {
         operation: Op,
-        reply: Sender<(OpResult, u32)>,
+        reply: Sender<Completion>,
+        token: u64,
         trace: Option<TraceId>,
     },
     Shutdown,
@@ -98,7 +107,7 @@ impl TraceCtx {
     }
 
     /// Allocates the next op id and records its `ClientSend`.
-    fn begin(&self, reg: RegisterId, node: ProcessId) -> TraceId {
+    pub(crate) fn begin(&self, reg: RegisterId, node: ProcessId) -> TraceId {
         let id = TraceId {
             client: self.client,
             op: self.counter.fetch_add(1, Ordering::Relaxed),
@@ -115,7 +124,7 @@ impl TraceCtx {
     /// Records the op's `ClientRecv` (only called for completions — a
     /// timed-out or rejected attempt leaves an unpaired `ClientSend`,
     /// which the stitcher ignores).
-    fn finish(&self, id: TraceId, reg: RegisterId, node: ProcessId) {
+    pub(crate) fn finish(&self, id: TraceId, reg: RegisterId, node: ProcessId) {
         self.ring.record(
             FlightEvent::new(EventKind::ClientRecv)
                 .with_op(id.client, id.op)
@@ -180,19 +189,21 @@ impl ReqTraces {
 /// operations on distinct registers — independent shards hosted by this
 /// node — proceed concurrently through the one event loop.
 /// What the table remembers per in-flight operation: its register, the
-/// client's reply channel, when it was admitted (feeds
-/// `runner.op_micros`), and the trace context it arrived under (stamps
-/// every flight event the operation triggers).
+/// client family's completion channel and the submission's slot token,
+/// when it was admitted (feeds `runner.op_micros`), and the trace
+/// context it arrived under (stamps every flight event the operation
+/// triggers).
 type InFlight = (
     RegisterId,
-    Sender<(OpResult, u32)>,
+    Sender<Completion>,
+    u64,
     Instant,
     Option<TraceId>,
 );
 
-/// What [`OpTable::complete`] hands back: the reply channel, the
-/// admission time and the trace context.
-type Completed = (Sender<(OpResult, u32)>, Instant, Option<TraceId>);
+/// What [`OpTable::complete`] hands back: the completion channel, the
+/// slot token, the admission time and the trace context.
+type Completed = (Sender<Completion>, u64, Instant, Option<TraceId>);
 
 #[derive(Default)]
 struct OpTable {
@@ -213,13 +224,14 @@ impl OpTable {
         &mut self,
         op: OpId,
         reg: RegisterId,
-        reply: Sender<(OpResult, u32)>,
+        reply: Sender<Completion>,
+        token: u64,
         trace: Option<TraceId>,
     ) {
         debug_assert!(!self.is_busy(reg), "admitting onto a busy register");
         self.by_register.insert(reg, op);
         self.in_flight
-            .insert(op, (reg, reply, Instant::now(), trace));
+            .insert(op, (reg, reply, token, Instant::now(), trace));
     }
 
     /// The trace context of the operation in flight on `reg`, if any.
@@ -229,15 +241,28 @@ impl OpTable {
         self.by_register
             .get(&reg)
             .and_then(|op| self.in_flight.get(op))
-            .and_then(|(_, _, _, trace)| *trace)
+            .and_then(|(_, _, _, _, trace)| *trace)
     }
 
-    /// Completes `op` if it is in flight, returning its reply channel,
-    /// admission time and trace context.
+    /// Completes `op` if it is in flight, returning its completion
+    /// channel, slot token, admission time and trace context.
     fn complete(&mut self, op: OpId) -> Option<Completed> {
-        let (reg, reply, started, trace) = self.in_flight.remove(&op)?;
+        let (reg, reply, token, started, trace) = self.in_flight.remove(&op)?;
         self.by_register.remove(&reg);
-        Some((reply, started, trace))
+        Some((reply, token, started, trace))
+    }
+
+    /// Fails every in-flight operation with `Rejected(Shutdown)`. Called
+    /// on every event-loop exit path — orderly shutdown and both halt
+    /// flavors — so pipelined waiters learn promptly that their
+    /// emulation will never complete, instead of burning their full
+    /// patience window (the crash-recovery model's "crashed with the
+    /// operation pending").
+    fn drain_shutdown(&mut self) {
+        for (_op, (_reg, reply, token, _started, _trace)) in self.in_flight.drain() {
+            let _ = reply.send((token, OpResult::Rejected(RejectReason::Shutdown), 0));
+        }
+        self.by_register.clear();
     }
 }
 
@@ -249,19 +274,17 @@ impl OpTable {
 /// knob).
 #[derive(Clone)]
 pub struct Client {
-    tx: Sender<RunnerEvent>,
-    me: ProcessId,
+    pipe: Arc<Pipeline>,
     timeout: Duration,
-    max_payload: Option<usize>,
     trace: Option<Arc<TraceCtx>>,
 }
 
 impl std::fmt::Debug for Client {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Client")
-            .field("me", &self.me)
+            .field("me", &self.pipe.target(0).me)
             .field("timeout", &self.timeout)
-            .field("max_payload", &self.max_payload)
+            .field("max_payload", &self.pipe.target(0).max_payload)
             .field("traced", &self.trace.is_some())
             .finish()
     }
@@ -287,55 +310,44 @@ impl Client {
     /// The transport's frame ceiling for encoded messages, if any (e.g.
     /// `Some(64 998)` for UDP). `None` means unbounded.
     pub fn max_payload(&self) -> Option<usize> {
-        self.max_payload
+        self.pipe.target(0).max_payload
     }
 
     /// The largest value a write through this client can carry, if the
     /// transport is bounded: the frame ceiling minus the fixed wire
     /// overhead of a value-carrying protocol message.
     pub fn max_value_len(&self) -> Option<usize> {
-        self.max_payload
+        self.max_payload()
             .map(|limit| limit.saturating_sub(rmem_types::codec::VALUE_MSG_OVERHEAD))
     }
 
-    /// Rejects a value the transport could never deliver — without this,
-    /// the fair-lossy runtime retransmits the untransmittable message
-    /// until the patience window expires.
-    fn check_frame(&self, value: &rmem_types::Value) -> Result<(), ClientError> {
-        if let Some(limit) = self.max_payload {
-            let size = value.bytes().len() + rmem_types::codec::VALUE_MSG_OVERHEAD;
-            if size > limit {
-                return Err(ClientError::TooLarge { size, limit });
-            }
-        }
-        Ok(())
+    /// A pipelined handle sharing this client's reactor (same node, same
+    /// patience, same trace context): `submit` returns immediately, so
+    /// one thread can keep many operations in flight. The blocking calls
+    /// on this `Client` are exactly the depth-1 shim over the same
+    /// machinery.
+    pub fn pipelined(&self) -> PipelinedClient {
+        PipelinedClient::from_parts(self.pipe.clone(), self.timeout, self.trace.clone())
+    }
+
+    /// The shared reactor behind this client.
+    pub(crate) fn pipe(&self) -> &Arc<Pipeline> {
+        &self.pipe
+    }
+
+    /// The configured patience window.
+    pub(crate) fn patience(&self) -> Duration {
+        self.timeout
+    }
+
+    /// The attached trace context, if any.
+    pub(crate) fn trace_ctx(&self) -> Option<Arc<TraceCtx>> {
+        self.trace.clone()
     }
 
     fn invoke(&self, operation: Op) -> Result<(OpResult, u32), ClientError> {
-        if let Some(value) = operation.write_value() {
-            self.check_frame(value)?;
-        }
-        let reg = operation.register();
-        let trace = self.trace.as_ref().map(|ctx| ctx.begin(reg, self.me));
-        let (reply_tx, reply_rx) = bounded(1);
-        self.tx
-            .send(RunnerEvent::Invoke {
-                operation,
-                reply: reply_tx,
-                trace,
-            })
-            .map_err(|_| ClientError::ProcessDown)?;
-        match reply_rx.recv_timeout(self.timeout) {
-            Ok((OpResult::Rejected(_), _)) => Err(ClientError::Busy),
-            Ok(result) => {
-                if let (Some(ctx), Some(id)) = (self.trace.as_ref(), trace) {
-                    ctx.finish(id, reg, self.me);
-                }
-                Ok(result)
-            }
-            Err(RecvTimeoutError::Timeout) => Err(ClientError::TimedOut),
-            Err(RecvTimeoutError::Disconnected) => Err(ClientError::ProcessDown),
-        }
+        let ticket = self.pipe.submit(0, operation, self.trace.as_deref())?;
+        self.pipe.wait(ticket, self.timeout, self.trace.as_deref())
     }
 
     /// Writes `value` to the emulated register, blocking until the write
@@ -561,13 +573,18 @@ impl ProcessRunner {
         self.obs.metrics.snapshot()
     }
 
-    /// A client handle for this process.
+    /// A client handle for this process. Each call builds a fresh
+    /// reactor (in-flight table + completion channel); clones of the
+    /// returned client — and pipelined handles derived from it — share
+    /// it.
     pub fn client(&self) -> Client {
         Client {
-            tx: self.tx.clone(),
-            me: self.me,
+            pipe: Arc::new(Pipeline::new(vec![Target {
+                tx: self.tx.clone(),
+                me: self.me,
+                max_payload: self.transport.max_payload(),
+            }])),
             timeout: Duration::from_secs(10),
-            max_payload: self.transport.max_payload(),
             trace: None,
         }
     }
@@ -724,7 +741,7 @@ fn run_loop(
                     timers.push(Reverse((Instant::now() + Duration::from(after), seq)));
                 }
                 Action::Complete { op, result, rounds } => {
-                    if let Some((reply, started, trace)) = pending.complete(op) {
+                    if let Some((reply, token, started, trace)) = pending.complete(op) {
                         mx.ops_completed.inc();
                         if obs.metrics.is_enabled() {
                             mx.op_micros.record(started.elapsed().as_micros() as u64);
@@ -735,7 +752,7 @@ fn run_loop(
                             Some(t) => ev.with_op(t.client, t.op),
                             None => ev.with_op(op.pid.0, op.counter),
                         });
-                        let _ = reply.send((result, rounds));
+                        let _ = reply.send((token, result, rounds));
                     }
                 }
             }
@@ -885,10 +902,10 @@ fn run_loop(
                 }
             },
             recv(control) -> ctl => match ctl {
-                Ok(RunnerEvent::Invoke { operation, reply, trace }) => {
+                Ok(RunnerEvent::Invoke { operation, reply, token, trace }) => {
                     let reg = operation.register();
                     if pending.is_busy(reg) {
-                        let _ = reply.send((OpResult::Rejected(rmem_types::RejectReason::Busy), 0));
+                        let _ = reply.send((token, OpResult::Rejected(RejectReason::Busy), 0));
                     } else {
                         let op = OpId::new(me, op_counter);
                         op_counter += 1;
@@ -898,7 +915,7 @@ fn run_loop(
                             Some(t) => ev.with_op(t.client, t.op),
                             None => ev.with_op(op.pid.0, op.counter),
                         });
-                        pending.admit(op, reg, reply, trace);
+                        pending.admit(op, reg, reply, token, trace);
                         step(
                             &mut automaton,
                             &syncer,
@@ -918,6 +935,17 @@ fn run_loop(
             default(patience) => {}
         }
     }
+    // Every exit path lands here. Fail what will never complete: first
+    // the admitted in-flight operations, then invocations still queued
+    // on the control channel (or racing in as the loop exits) — without
+    // this, a pipelined waiter would burn its full patience window on an
+    // operation whose emulation is gone.
+    while let Ok(ev) = control.try_recv() {
+        if let RunnerEvent::Invoke { reply, token, .. } = ev {
+            let _ = reply.send((token, OpResult::Rejected(RejectReason::Shutdown), 0));
+        }
+    }
+    pending.drain_shutdown();
     syncer.stop()
 }
 

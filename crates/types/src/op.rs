@@ -168,12 +168,18 @@ pub enum RejectReason {
     /// only legal after the previous reply (or after a crash wiped the
     /// pending one).
     Busy,
+    /// The process is shutting down (or has halted): the operation was
+    /// admitted but its emulation will never complete. From the caller's
+    /// side this is indistinguishable from the process crashing with the
+    /// operation pending — clients surface it as a process-down error.
+    Shutdown,
 }
 
 impl std::fmt::Display for RejectReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RejectReason::Busy => write!(f, "an operation is already in flight"),
+            RejectReason::Shutdown => write!(f, "the process is shutting down"),
         }
     }
 }

@@ -211,6 +211,24 @@ impl BytesMut {
         Bytes::from(self.data)
     }
 
+    /// Clears the buffer, retaining its capacity.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Splits the filled bytes off into a new `BytesMut`, leaving `self`
+    /// empty. (Upstream keeps the spare capacity on `self` and lets a
+    /// later `reserve` reclaim the allocation once the split-off handle
+    /// drops; this subset moves the allocation instead — the next fill
+    /// re-grows it, which is the same amortized cost. Code written
+    /// against this compiles unchanged against upstream, where it *is*
+    /// the zero-copy reuse path.)
+    pub fn split(&mut self) -> BytesMut {
+        BytesMut {
+            data: std::mem::take(&mut self.data),
+        }
+    }
+
     /// Appends a slice.
     pub fn extend_from_slice(&mut self, extend: &[u8]) {
         self.data.extend_from_slice(extend);
@@ -377,6 +395,21 @@ mod tests {
         assert_eq!(r.get_u32(), 70_000);
         assert_eq!(r.get_u64(), 1 << 40);
         assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn split_takes_the_filled_bytes_and_clear_keeps_capacity() {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.extend_from_slice(b"abc");
+        let head = buf.split().freeze();
+        assert_eq!(head.as_ref(), b"abc");
+        assert!(buf.is_empty());
+        buf.extend_from_slice(b"de");
+        buf.clear();
+        assert!(buf.is_empty());
+        buf.extend_from_slice(b"f");
+        assert_eq!(buf.as_ref(), b"f");
+        assert_eq!(head.as_ref(), b"abc", "split-off bytes are untouched");
     }
 
     #[test]
