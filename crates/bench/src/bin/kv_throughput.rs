@@ -7,7 +7,7 @@
 //! ```text
 //! cargo run --release -p rmem-bench --bin kv_throughput \
 //!     [-- --csv] [-- --smoke] [-- --json PATH] [-- --no-fastpath] \
-//!     [-- --reshard] [-- --disk] [-- --obs] [-- --obs-json PATH] \
+//!     [-- --lease] [-- --reshard] [-- --disk] [-- --obs] [-- --obs-json PATH] \
 //!     [-- --trace] [-- --trace-json PATH] \
 //!     [-- --chaos] [-- --chaos-dump PATH] [-- --pipeline-depth N]
 //! ```
@@ -45,6 +45,13 @@
 //! a definite verdict — `--smoke` shrinks the cluster for CI, and on a
 //! failed oracle the flight-recorder dumps + stitched causal trace are
 //! written to the `--chaos-dump PATH` artifact before exiting nonzero;
+//! `--lease` runs the tag-lease section — the read-mostly Zipf(0.99)
+//! workload with leases on vs off at otherwise identical settings, every
+//! run certified per key — asserts the zero-round gates (full size: the
+//! leased twin's mean read rounds ≤ 0.30 and ≥ 1.5× the off twin's
+//! ops/s; the smoke run is fence-window dominated and holds looser
+//! guards), re-asserts the ≤3% priced instrumentation gate with leases
+//! armed on both sides, and rides its rows into `--json`;
 //! `--pipeline-depth N` runs the pipeline depth sweep on the real
 //! runtime — one client thread keeping up to N operations in flight
 //! through the event-driven reactor, ops/s per depth on the uniform
@@ -68,6 +75,7 @@ fn main() {
     let obs = args.iter().any(|a| a == "--obs");
     let trace = args.iter().any(|a| a == "--trace");
     let chaos = args.iter().any(|a| a == "--chaos");
+    let lease = args.iter().any(|a| a == "--lease");
     let fastpath = !args.iter().any(|a| a == "--no-fastpath");
     let path_operand = |flag: &str| {
         args.iter().position(|a| a == flag).map(|i| {
@@ -95,7 +103,7 @@ fn main() {
                 })
         });
 
-    let (rows, table) = rmem_bench::kv::kv_throughput_with_mode(smoke, fastpath);
+    let (mut rows, table) = rmem_bench::kv::kv_throughput_with_mode(smoke, fastpath);
     println!("{}", table.to_text());
     println!("per-key certification: atomic flavors checked before reporting (batched included)");
     println!(
@@ -176,6 +184,68 @@ fn main() {
         }
     } else {
         println!("legacy mode (--no-fastpath): every read paid its write-back round");
+    }
+    if lease {
+        let (lease_rows, lease_table) = rmem_bench::kv::kv_lease_section(smoke);
+        println!("{}", lease_table.to_text());
+        // The zero-round acceptance gates. The full-size run holds the
+        // headline numbers; the smoke run is a fifth the length, so its
+        // single put's fence window and the cold-start grant-earning
+        // reads cover a far larger share of it — its guard is looser
+        // while still proving both effects.
+        let (mean_cap, speedup_floor) = if smoke { (0.5, 1.2) } else { (0.30, 1.5) };
+        for flavor in ["persistent", "transient"] {
+            let pick = |lease_on: bool| {
+                lease_rows
+                    .iter()
+                    .find(|r| r.flavor == flavor && r.lease == lease_on)
+                    .expect("lease cell")
+            };
+            let (on, off) = (pick(true), pick(false));
+            let speedup = on.ops_per_sec / off.ops_per_sec;
+            assert!(
+                on.read_rounds_mean <= mean_cap,
+                "{flavor}: leased mean read rounds must be ≤ {mean_cap}, got {:.3}",
+                on.read_rounds_mean
+            );
+            assert!(
+                speedup >= speedup_floor,
+                "{flavor}: leases must clear {speedup_floor}× the lease-off twin,                  got {speedup:.2}×"
+            );
+            assert!(
+                off.read_rounds_mean >= 1.0,
+                "{flavor}: the off twin must pay quorum rounds, got {:.2}",
+                off.read_rounds_mean
+            );
+            println!(
+                "{flavor}/zipf read-mostly: leased {:.0} ops/s vs off {:.0} ops/s                  ({speedup:.2}×; mean read rounds {:.2} vs {:.2})",
+                on.ops_per_sec,
+                off.ops_per_sec,
+                on.read_rounds_mean,
+                off.read_rounds_mean,
+            );
+        }
+        // The PR 6 priced-overhead gate, re-asserted with leases armed on
+        // both sides: zero-round serving changes what fires per op
+        // (lease counters and flight events join; some quorum-path
+        // instruments drop out), and the budget must still hold.
+        let o = rmem_bench::obs::obs_scenario_leased(smoke);
+        assert!(
+            o.within_budget(),
+            "instrumentation overhead gate with leases on: priced cost {:.2} µs/op              exceeds {:.0}% of baseline ({:.2}% on the {} basis)",
+            o.priced_overhead_ns_per_op() / 1_000.0,
+            rmem_bench::obs::OVERHEAD_BUDGET * 100.0,
+            (1.0 - o.overhead_ratio()) * 100.0,
+            o.gate_basis(),
+        );
+        println!(
+            "obs gate with leases on ({} µs horizon): {:.2}% priced overhead              ({} basis, budget {:.0}%)",
+            rmem_bench::obs::OBS_LEASE_MICROS,
+            (1.0 - o.overhead_ratio()) * 100.0,
+            o.gate_basis(),
+            rmem_bench::obs::OVERHEAD_BUDGET * 100.0,
+        );
+        rows.extend(lease_rows);
     }
     let reshard_report = if reshard {
         let r = rmem_bench::reshard::reshard_scenario(smoke);

@@ -74,6 +74,16 @@ pub const OBS_TRIALS: usize = 4;
 /// fraction of the baseline (≤3% overhead, CPU per completed op).
 pub const OVERHEAD_BUDGET: f64 = 0.03;
 
+/// Wall-clock lease horizon of the leased gate re-run
+/// ([`obs_scenario_leased`]), in µs. Short: at this scenario's 50% put
+/// mix every put to a granted key freezes its register for the fence
+/// term, so the horizon is kept to a few round trips — enough for the
+/// lease instruments (`kv.lease_hits` / `kv.lease_misses` /
+/// `kv.lease_revocations`, plus the `LeaseHit` / `LeaseRevoke` flight
+/// events) to fire at real rates, without the fences dominating the
+/// window.
+pub const OBS_LEASE_MICROS: u64 = 500;
+
 /// One trial's outcome.
 #[derive(Debug, Clone)]
 struct Trial {
@@ -328,6 +338,24 @@ pub fn obs_scenario(smoke: bool) -> ObsReport {
 ///
 /// As for [`obs_scenario`].
 pub fn obs_scenario_with(smoke: bool, pipeline_depth: Option<usize>) -> ObsReport {
+    obs_scenario_impl(smoke, pipeline_depth, 0)
+}
+
+/// [`obs_scenario`] with **tag leases armed on both sides**: replicas
+/// grant [`OBS_LEASE_MICROS`] leases, every client carries a lease
+/// cache, and the zero-round path serves hot-key gets in baseline and
+/// instrumented trials alike — so the priced ≤3% gate stays a fair A/B
+/// while the lease instruments fire and are priced with everything
+/// else.
+///
+/// # Panics
+///
+/// As for [`obs_scenario`].
+pub fn obs_scenario_leased(smoke: bool) -> ObsReport {
+    obs_scenario_impl(smoke, None, OBS_LEASE_MICROS)
+}
+
+fn obs_scenario_impl(smoke: bool, pipeline_depth: Option<usize>, lease_micros: u64) -> ObsReport {
     let window = if smoke {
         Duration::from_millis(250)
     } else {
@@ -355,7 +383,7 @@ pub fn obs_scenario_with(smoke: bool, pipeline_depth: Option<usize>) -> ObsRepor
             [true, false]
         };
         for enabled in order {
-            let t = run_trial(trial, enabled, window, pipeline_depth);
+            let t = run_trial(trial, enabled, window, pipeline_depth, lease_micros);
             let totals = &mut cpu_totals[enabled as usize];
             *totals = match (*totals, t.cpu_ns) {
                 (Some((ns, ops)), Some(cpu)) => Some((ns + cpu, ops + t.completed_ops)),
@@ -421,6 +449,7 @@ fn run_trial(
     enabled: bool,
     window: Duration,
     pipeline_depth: Option<usize>,
+    lease_micros: u64,
 ) -> Trial {
     // Let the previous trial's teardown drain before the clock starts:
     // its node threads, syncers and sockets release the CPU they still
@@ -431,7 +460,7 @@ fn run_trial(
     let _ = std::fs::remove_dir_all(&dir);
     let cluster = LocalCluster::udp_with_disk_obs(
         3,
-        SharedMemory::factory(Transient::flavor()),
+        SharedMemory::factory(Transient::flavor().with_lease(lease_micros)),
         &dir,
         DiskMode::Wal,
         enabled,
@@ -442,9 +471,12 @@ fn run_trial(
     } else {
         ObsHandle::disabled()
     };
-    let kv = KvClient::new(cluster.clients(), ShardRouter::new(OBS_SHARDS))
+    let mut kv = KvClient::new(cluster.clients(), ShardRouter::new(OBS_SHARDS))
         .expect("kv client")
         .with_obs(handle);
+    if lease_micros > 0 {
+        kv = kv.with_lease_cache(16);
+    }
     let keys = ShardRouter::new(OBS_SHARDS).covering_keys("obs-");
     for (i, key) in keys.iter().enumerate() {
         kv.put(key, vec![0, i as u8]).expect("seed put");

@@ -1,0 +1,242 @@
+//! The lease-freshness oracle: a targeted checker for zero-round reads.
+//!
+//! Tag leases let a client answer a read from local memory, with no
+//! quorum round at all. The full atomicity checkers still adjudicate
+//! such histories — a leased read is an ordinary two-sided interval —
+//! but when a lease bug produces a violation, the generic checkers
+//! report it as "no legal linearization", which names neither the lease
+//! nor the stale value. This module checks the **freshness invariant**
+//! directly:
+//!
+//! > **A leased read must never return a value older than any value
+//! > returned after a completed write.**
+//!
+//! Operationally: order operations by real (or virtual) time, maintain
+//! the *committed version frontier* — the highest version evidenced by
+//! any operation completed so far (a write's own version, or the
+//! version some read returned) — and demand that every leased read
+//! returns at least the frontier as of its **invocation**. An unleased
+//! read is frontier *evidence* but is never policed here (the
+//! atomicity checkers own it); that split is what makes a failure
+//! report name the lease machinery specifically.
+//!
+//! The check is sound for any monotone clock shared by all recorded
+//! operations: virtual simulator time, or a single client machine's
+//! monotonic clock. It is *one-directional* — passing it does not prove
+//! atomicity (use the real checkers for that); failing it proves a
+//! stale leased read with a concrete witness.
+
+/// What one recorded operation did, version-wise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreshnessKind {
+    /// A completed write that installed `version`.
+    Write {
+        /// The version (monotone per register: tag sequence number, or
+        /// any caller-chosen order-isomorphic label) this write
+        /// installed.
+        version: u64,
+    },
+    /// A completed read that returned the value labelled `version`
+    /// (`0` conventionally labels the initial ⊥).
+    Read {
+        /// The version of the value the read returned.
+        version: u64,
+        /// Whether the read was served by a client-held lease (zero
+        /// rounds). Only leased reads are policed; unleased reads only
+        /// feed the frontier.
+        leased: bool,
+    },
+}
+
+/// One completed operation on **one register**, on a clock shared by
+/// every operation handed to [`check_freshness`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FreshnessOp {
+    /// When the operation was invoked.
+    pub invoked_at: u64,
+    /// When it completed (must be ≥ `invoked_at`).
+    pub completed_at: u64,
+    /// What it did.
+    pub kind: FreshnessKind,
+}
+
+/// A stale leased read: the concrete witness pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FreshnessViolation {
+    /// The offending leased read.
+    pub read: FreshnessOp,
+    /// The version the read returned.
+    pub returned: u64,
+    /// The committed frontier as of the read's invocation — the version
+    /// it was required to reach.
+    pub frontier: u64,
+}
+
+impl std::fmt::Display for FreshnessViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stale leased read: invoked at {} it returned version {}, but version {} \
+             was already committed (evidenced by an operation completed before the \
+             read began)",
+            self.read.invoked_at, self.returned, self.frontier
+        )
+    }
+}
+
+/// What a passing [`check_freshness`] saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FreshnessReport {
+    /// Operations examined.
+    pub ops: usize,
+    /// Leased reads policed against the frontier.
+    pub leased_reads: usize,
+    /// The final committed frontier.
+    pub frontier: u64,
+}
+
+/// Checks every leased read in `ops` against the committed version
+/// frontier as of its invocation. `ops` may be in any order; all
+/// operations must concern **one** register (run the oracle per key).
+///
+/// # Errors
+///
+/// Returns the first (earliest-invoked) stale leased read as a
+/// [`FreshnessViolation`].
+pub fn check_freshness(ops: &[FreshnessOp]) -> Result<FreshnessReport, FreshnessViolation> {
+    // Frontier evidence: (completion time, version), prefix-maxed after
+    // sorting, so "highest version committed by time t" is one binary
+    // search.
+    let mut evidence: Vec<(u64, u64)> = ops
+        .iter()
+        .map(|op| {
+            let version = match op.kind {
+                FreshnessKind::Write { version } => version,
+                FreshnessKind::Read { version, .. } => version,
+            };
+            (op.completed_at, version)
+        })
+        .collect();
+    evidence.sort_unstable();
+    let mut running = 0u64;
+    for entry in &mut evidence {
+        running = running.max(entry.1);
+        entry.1 = running;
+    }
+    let frontier_at = |t: u64| -> u64 {
+        // Highest version among operations completed at or before `t`.
+        let idx = evidence.partition_point(|&(done, _)| done <= t);
+        if idx == 0 {
+            0
+        } else {
+            evidence[idx - 1].1
+        }
+    };
+
+    let mut leased: Vec<&FreshnessOp> = ops
+        .iter()
+        .filter(|op| matches!(op.kind, FreshnessKind::Read { leased: true, .. }))
+        .collect();
+    leased.sort_unstable_by_key(|op| op.invoked_at);
+    let mut policed = 0usize;
+    for read in leased {
+        let FreshnessKind::Read { version, .. } = read.kind else {
+            unreachable!("filtered to reads");
+        };
+        let frontier = frontier_at(read.invoked_at);
+        if version < frontier {
+            return Err(FreshnessViolation {
+                read: *read,
+                returned: version,
+                frontier,
+            });
+        }
+        policed += 1;
+    }
+    Ok(FreshnessReport {
+        ops: ops.len(),
+        leased_reads: policed,
+        frontier: evidence.last().map_or(0, |&(_, v)| v),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(invoked_at: u64, completed_at: u64, version: u64) -> FreshnessOp {
+        FreshnessOp {
+            invoked_at,
+            completed_at,
+            kind: FreshnessKind::Write { version },
+        }
+    }
+
+    fn read(invoked_at: u64, completed_at: u64, version: u64, leased: bool) -> FreshnessOp {
+        FreshnessOp {
+            invoked_at,
+            completed_at,
+            kind: FreshnessKind::Read { version, leased },
+        }
+    }
+
+    #[test]
+    fn fresh_leased_reads_pass() {
+        let report = check_freshness(&[
+            write(0, 10, 1),
+            read(20, 20, 1, true),
+            write(30, 40, 2),
+            read(50, 50, 2, true),
+        ])
+        .expect("fresh");
+        assert_eq!(report.leased_reads, 2);
+        assert_eq!(report.frontier, 2);
+    }
+
+    #[test]
+    fn a_leased_read_behind_a_completed_write_is_a_violation() {
+        let err = check_freshness(&[
+            write(0, 10, 1),
+            write(20, 30, 2),
+            // Invoked at 35, after the version-2 write completed — but
+            // served version 1 from a lease that should be dead.
+            read(35, 35, 1, true),
+        ])
+        .expect_err("stale");
+        assert_eq!(err.returned, 1);
+        assert_eq!(err.frontier, 2);
+        assert!(err.to_string().contains("stale leased read"));
+    }
+
+    #[test]
+    fn a_concurrent_leased_read_may_return_either_side() {
+        // The write completes at 30; a leased read invoked at 25 —
+        // concurrent with it — may still return version 1.
+        check_freshness(&[write(0, 10, 1), write(20, 30, 2), read(25, 40, 1, true)])
+            .expect("concurrent reads are not stale");
+    }
+
+    #[test]
+    fn unleased_reads_feed_the_frontier_but_are_not_policed() {
+        // The unleased read proves version 2 committed by t=30; the
+        // later leased read must then reach it…
+        let err = check_freshness(&[
+            write(0, 10, 1),
+            read(20, 30, 2, false),
+            read(40, 40, 1, true),
+        ])
+        .expect_err("the unleased read's evidence binds");
+        assert_eq!(err.frontier, 2);
+        // …while a stale *unleased* read is out of scope here (the
+        // atomicity checkers own it).
+        check_freshness(&[write(0, 10, 1), write(20, 30, 2), read(40, 50, 1, false)])
+            .expect("unleased reads are not policed");
+    }
+
+    #[test]
+    fn empty_and_read_only_histories_pass() {
+        assert_eq!(check_freshness(&[]).unwrap().leased_reads, 0);
+        let report = check_freshness(&[read(0, 5, 0, true), read(6, 6, 0, true)]).expect("⊥ reads");
+        assert_eq!(report.leased_reads, 2);
+    }
+}

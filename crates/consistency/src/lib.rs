@@ -45,6 +45,7 @@
 pub mod atomicity;
 pub mod epochs;
 pub mod exactly_once;
+pub mod freshness;
 pub mod history;
 pub mod intervals;
 pub mod linearize;
@@ -58,6 +59,9 @@ pub use atomicity::{
 };
 pub use epochs::{check_per_register_epochs, stitch_moves};
 pub use exactly_once::{check_exactly_once, DuplicateApplication, ExactlyOnceReport};
+pub use freshness::{
+    check_freshness, FreshnessKind, FreshnessOp, FreshnessReport, FreshnessViolation,
+};
 pub use history::{Event, History, WellFormedError};
 pub use regular::{check_regular_swmr, check_safe_swmr};
 pub use shrink::shrink;

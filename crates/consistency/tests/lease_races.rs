@@ -1,0 +1,231 @@
+//! Freshness sweep for tag leases: concurrent writers vs leased readers.
+//!
+//! A lease turns a read into **zero** rounds: the coordinator answers
+//! from a client-held grant without sending a datagram. That is exactly
+//! the mechanism most likely to smuggle a stale value past a completed
+//! write, so these tests race writers against leased readers across many
+//! seeds and adjudicate twice: the full criterion checkers certify every
+//! history, and the [`check_freshness`] oracle polices every zero-round
+//! read against the committed version frontier — **a leased read must
+//! never return a value older than any value returned after a completed
+//! write.**
+//!
+//! The writer writes *distinct, increasing* values so each read's result
+//! names the exact version it observed; `rounds == 0` marks the leased
+//! reads. A sweep that never produced a zero-round read would be testing
+//! nothing, so the tests also demand the lease demonstrably fired — and
+//! that contended reads still fell back to 1–2 rounds.
+
+use std::sync::Arc;
+
+use rmem_consistency::{
+    check_freshness, check_persistent, check_transient, FreshnessKind, FreshnessOp,
+};
+use rmem_core::{Flavor, SharedMemory};
+use rmem_sim::workload::ClosedLoop;
+use rmem_sim::{ClusterConfig, Simulation, Trace};
+use rmem_types::{AutomatonFactory, Micros, Op, OpKind, ProcessId, Value};
+
+/// Virtual-time lease horizon. Long enough that a reader's think time
+/// (40–90µs) fits many reads inside one grant; short enough that the
+/// replica write fence (horizon + horizon/4) doesn't serialize the run.
+const LEASE_MICROS: u64 = 1_500;
+
+fn p(i: u16) -> ProcessId {
+    ProcessId(i)
+}
+
+fn v(x: u32) -> Value {
+    Value::from_u32(x)
+}
+
+/// A writer loop whose writes carry distinct increasing values `1..=n`,
+/// so a value doubles as a version number for the freshness oracle.
+fn versioned_writer(pid: ProcessId, n: u32, think: Micros) -> ClosedLoop {
+    ClosedLoop {
+        pid,
+        ops: (1..=n).map(|i| Op::Write(v(i))).collect(),
+        think,
+        start_after: Micros(10),
+    }
+}
+
+fn dump_trace_timeline(trace: &Trace) {
+    eprintln!("--- trace timeline (virtual µs) ---");
+    for o in trace.operations() {
+        let end = o
+            .completed_at
+            .map(|t| t.as_micros().to_string())
+            .unwrap_or_else(|| "pending".into());
+        eprintln!(
+            "  [{:>7}..{:>7}] {:?} {:?} rounds={} result={:?}",
+            o.invoked_at.as_micros(),
+            end,
+            o.op,
+            o.kind,
+            o.rounds,
+            o.result,
+        );
+    }
+}
+
+/// Lowers a completed trace into per-register freshness ops. The sweep
+/// runs single-register workloads, so the whole trace is one oracle
+/// call; the write's value *is* its version, a read's returned value
+/// names the version it saw (⊥ → 0), and `rounds == 0` identifies the
+/// leased reads.
+fn freshness_ops(trace: &Trace) -> Vec<FreshnessOp> {
+    trace
+        .operations()
+        .iter()
+        .filter(|o| o.is_completed())
+        .map(|o| {
+            let kind = match (&o.operation, o.kind) {
+                (Op::Write(value), _) => FreshnessKind::Write {
+                    version: u64::from(value.as_u32().expect("writer writes u32 versions")),
+                },
+                (Op::Read, OpKind::Read) => FreshnessKind::Read {
+                    version: o
+                        .result
+                        .as_ref()
+                        .and_then(|r| r.read_value())
+                        .and_then(Value::as_u32)
+                        .map_or(0, u64::from),
+                    leased: o.rounds == 0,
+                },
+                other => panic!("unexpected op/kind pair {other:?}"),
+            };
+            FreshnessOp {
+                invoked_at: o.invoked_at.as_micros(),
+                completed_at: o.completed_at.expect("filtered to completed").as_micros(),
+                kind,
+            }
+        })
+        .collect()
+}
+
+/// Writers vs leased readers across 12 seeds, for both crash-recovery
+/// flavors: every history certifies under its criterion, every
+/// zero-round read is fresh, and the sweep demonstrably exercises the
+/// lease (zero rounds), the fast path (one round) and the contended
+/// fallback (two rounds).
+#[test]
+fn leased_sweeps_certify_and_never_serve_stale_reads() {
+    type Check = fn(rmem_consistency::History) -> Result<(), String>;
+    let cases: Vec<(Arc<dyn AutomatonFactory>, &str, Check)> = vec![
+        (
+            SharedMemory::factory(Flavor::persistent().with_lease(LEASE_MICROS)),
+            "persistent",
+            |h| check_persistent(&h).map(|_| ()).map_err(|e| e.to_string()),
+        ),
+        (
+            SharedMemory::factory(Flavor::transient().with_lease(LEASE_MICROS)),
+            "transient",
+            |h| check_transient(&h).map(|_| ()).map_err(|e| e.to_string()),
+        ),
+    ];
+    for (factory, name, check) in cases {
+        let mut leased_reads = 0u32;
+        let mut fast_reads = 0u32;
+        let mut fallback_reads = 0u32;
+        let mut policed = 0usize;
+        for seed in 0..12u64 {
+            let mut sim = Simulation::new(ClusterConfig::new(3), factory.clone(), seed);
+            // A writer installing versions 1..=12 races two readers. The
+            // writer's think time leaves quiescent stretches where a read
+            // earns a grant, and the next read lands inside the horizon —
+            // while the write bursts force revocations and fallbacks.
+            sim.add_closed_loop(versioned_writer(p(0), 12, Micros(60)));
+            sim.add_closed_loop(ClosedLoop::reads(p(1), 24).with_think(Micros(40)));
+            sim.add_closed_loop(ClosedLoop::reads(p(2), 24).with_think(Micros(90)));
+            let report = sim.run();
+            let completed = report
+                .trace
+                .operations()
+                .iter()
+                .filter(|o| o.is_completed())
+                .count();
+            assert_eq!(completed, 60, "{name}/seed {seed}: all ops complete");
+            check(report.trace.to_history()).unwrap_or_else(|e| {
+                dump_trace_timeline(&report.trace);
+                panic!("{name}/seed {seed}: criterion violated: {e}")
+            });
+            let ops = freshness_ops(&report.trace);
+            let fresh = check_freshness(&ops).unwrap_or_else(|violation| {
+                dump_trace_timeline(&report.trace);
+                panic!("{name}/seed {seed}: {violation}")
+            });
+            policed += fresh.leased_reads;
+            for rounds in report.trace.rounds(OpKind::Read) {
+                match rounds {
+                    0 => leased_reads += 1,
+                    1 => fast_reads += 1,
+                    2 => fallback_reads += 1,
+                    other => panic!("{name}/seed {seed}: impossible round count {other}"),
+                }
+            }
+        }
+        assert!(
+            leased_reads > 0,
+            "{name}: the sweep must produce zero-round leased reads — otherwise \
+             the freshness oracle polices nothing"
+        );
+        assert_eq!(
+            policed as u32, leased_reads,
+            "{name}: every zero-round read must have been policed"
+        );
+        assert!(
+            fast_reads > 0,
+            "{name}: quiescent reads must still earn (and re-earn) grants via \
+             the one-round fast path"
+        );
+        assert!(
+            fallback_reads > 0,
+            "{name}: contended reads must still fall back — if nothing ever \
+             pays the write-back, the agreement gate is broken"
+        );
+    }
+}
+
+/// The oracle itself must bite on this workload shape: corrupting one
+/// leased read in a passing trace to an older version is caught with a
+/// witness naming the lease. Guards against the sweep green-washing
+/// because the conversion dropped the `leased` bit or the versions.
+#[test]
+fn the_oracle_catches_a_corrupted_leased_read() {
+    // Scan seeds until a run yields a leased read invoked after version 3
+    // committed — the raw material for the corruption.
+    let factory = SharedMemory::factory(Flavor::persistent().with_lease(LEASE_MICROS));
+    let (mut ops, victim) = (0..12u64)
+        .find_map(|seed| {
+            let mut sim = Simulation::new(ClusterConfig::new(3), factory.clone(), seed);
+            sim.add_closed_loop(versioned_writer(p(0), 12, Micros(60)));
+            sim.add_closed_loop(ClosedLoop::reads(p(1), 24).with_think(Micros(40)));
+            sim.add_closed_loop(ClosedLoop::reads(p(2), 24).with_think(Micros(90)));
+            let ops = freshness_ops(&sim.run().trace);
+            check_freshness(&ops).expect("the unmodified trace is fresh");
+            let committed_3 = ops
+                .iter()
+                .filter(|o| match o.kind {
+                    FreshnessKind::Write { version } => version >= 3,
+                    FreshnessKind::Read { version, .. } => version >= 3,
+                })
+                .map(|o| o.completed_at)
+                .min()
+                .expect("the writer installs 12 versions");
+            let victim = ops.iter().position(|o| {
+                o.invoked_at > committed_3
+                    && matches!(o.kind, FreshnessKind::Read { leased: true, .. })
+            })?;
+            Some((ops, victim))
+        })
+        .expect("some seed must produce a late leased read");
+    // Claim the victim saw version 1: the oracle must name it.
+    ops[victim].kind = FreshnessKind::Read {
+        version: 1,
+        leased: true,
+    };
+    let violation = check_freshness(&ops).expect_err("the stale read must be caught");
+    assert_eq!(violation.returned, 1);
+    assert!(violation.frontier >= 3);
+}

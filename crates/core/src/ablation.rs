@@ -34,6 +34,7 @@ pub const fn no_pre_log() -> Flavor {
         // Ablations run the unoptimised paper rounds so the proof-run
         // schedules keep their timing.
         read_fast_path: false,
+        lease_micros: 0,
         recovery: RecoveryPolicy::Nothing,
     }
 }
@@ -68,6 +69,7 @@ pub const fn no_read_write_back() -> Flavor {
         rec_in_timestamp: false,
         read_write_back: false,
         read_fast_path: false,
+        lease_micros: 0,
         recovery: RecoveryPolicy::FinishWrite,
     }
 }

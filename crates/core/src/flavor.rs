@@ -55,6 +55,16 @@ pub struct Flavor {
     /// path. Inert when [`read_write_back`](Flavor::read_write_back) is
     /// already `false`.
     pub read_fast_path: bool,
+    /// Tag-lease duration in microseconds (0 = leasing disabled, the
+    /// default for every published flavor). When non-zero — and the
+    /// [`read_fast_path`](Flavor::read_fast_path) is on — replicas
+    /// attach a lease grant of this length to durable read acks and
+    /// withhold acknowledgements of newer writes until their granted
+    /// horizons pass; a coordinator whose fast-path read collected a
+    /// unanimous granted quorum serves repeated reads of that register
+    /// locally (zero rounds) until the lease expires or a newer tag is
+    /// observed. See `with_lease`.
+    pub lease_micros: u64,
     /// Recovery behaviour.
     pub recovery: RecoveryPolicy,
 }
@@ -71,6 +81,7 @@ impl Flavor {
             rec_in_timestamp: false,
             read_write_back: true,
             read_fast_path: true,
+            lease_micros: 0,
             recovery: RecoveryPolicy::FinishWrite,
         }
     }
@@ -86,6 +97,7 @@ impl Flavor {
             rec_in_timestamp: true,
             read_write_back: true,
             read_fast_path: true,
+            lease_micros: 0,
             recovery: RecoveryPolicy::RecCounter,
         }
     }
@@ -102,6 +114,7 @@ impl Flavor {
             // The baseline keeps the paper's fixed 4-step reads so the
             // logging-cost comparisons measure logs, not round counts.
             read_fast_path: false,
+            lease_micros: 0,
             recovery: RecoveryPolicy::Nothing,
         }
     }
@@ -118,6 +131,7 @@ impl Flavor {
             read_write_back: false,
             // Already single-round; the knob is inert.
             read_fast_path: false,
+            lease_micros: 0,
             recovery: RecoveryPolicy::RecCounterAndQuery,
         }
     }
@@ -163,6 +177,26 @@ impl Flavor {
             read_fast_path: enabled,
             ..self
         }
+    }
+
+    /// This flavor with hot-key tag leasing enabled: durable read acks
+    /// carry a grant of `micros` µs, and replicas fence newer writes
+    /// behind outstanding grants. `0` disables leasing (the default).
+    ///
+    /// Leasing piggybacks on the fast path's durability attestation, so
+    /// it is inert unless [`read_fast_path`](Flavor::read_fast_path) is
+    /// also on — see [`leases`](Flavor::leases).
+    pub const fn with_lease(self, micros: u64) -> Flavor {
+        Flavor {
+            lease_micros: micros,
+            ..self
+        }
+    }
+
+    /// Whether this flavor actually grants/honors tag leases: a non-zero
+    /// term on a fast-path-capable flavor.
+    pub const fn leases(&self) -> bool {
+        self.lease_micros > 0 && self.read_fast_path && self.read_write_back
     }
 
     /// The worst-case causal logs per write this flavor performs — the
@@ -236,6 +270,27 @@ mod tests {
         }
         assert_eq!(Flavor::regular().fast_read_comm_steps(), 2);
         assert_eq!(Flavor::crash_stop().fast_read_comm_steps(), 4);
+    }
+
+    #[test]
+    fn leasing_is_off_by_default_and_gated_on_the_fast_path() {
+        for f in [
+            Flavor::persistent(),
+            Flavor::transient(),
+            Flavor::crash_stop(),
+            Flavor::regular(),
+        ] {
+            assert_eq!(f.lease_micros, 0, "{}", f.name);
+            assert!(!f.leases(), "{}", f.name);
+        }
+        let leased = Flavor::persistent().with_lease(2_000);
+        assert!(leased.leases());
+        assert_eq!(leased.with_lease(0), Flavor::persistent());
+        // A lease term on a flavor without the fast path (or without a
+        // write-back to suppress) is inert, not a different algorithm.
+        assert!(!Flavor::crash_stop().with_lease(2_000).leases());
+        assert!(!Flavor::regular().with_lease(2_000).leases());
+        assert!(!leased.with_read_fast_path(false).leases());
     }
 
     #[test]

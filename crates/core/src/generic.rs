@@ -11,8 +11,9 @@ use rmem_storage::records::{
     RecoveredRecord, WritingRecord, WrittenRecord, KEY_RECOVERED, KEY_WRITING, KEY_WRITTEN,
 };
 use rmem_types::{
-    Action, Automaton, AutomatonFactory, Input, Message, Micros, Op, OpId, OpResult, ProcessId,
-    RejectReason, RequestId, Seq, StableSnapshot, StoreToken, TimerToken, Timestamp, Value,
+    Action, Automaton, AutomatonFactory, Input, LeaseGrant, Message, Micros, Op, OpId, OpResult,
+    ProcessId, RejectReason, RequestId, Seq, StableSnapshot, StoreToken, TimerToken, Timestamp,
+    Value,
 };
 
 use crate::flavor::{Flavor, RecoveryPolicy};
@@ -57,6 +58,16 @@ enum OpPhase {
         /// whose retransmitted ack carries a newer tag clears the flag
         /// even though the quorum might still be unanimous.
         all_agree: bool,
+        /// Whether every ack so far carried a tag-lease grant. A lease
+        /// may only be minted from a quorum that *unanimously* granted:
+        /// a grant-less ack means that replica will not fence newer
+        /// writes for us.
+        all_granted: bool,
+        /// The lease-horizon timer armed when the read was broadcast —
+        /// the conservative pre-send clock stamp the minted lease
+        /// expires against. `None` once the horizon fired mid-round
+        /// (too slow to mint) or when the flavor does not lease.
+        lease_armed: Option<TimerToken>,
         timer: TimerToken,
     },
     /// Read, round 2: writing back the freshest value (Fig. 4 lines
@@ -97,6 +108,29 @@ enum StartMode {
     Recovered,
 }
 
+/// A live coordinator-held tag lease: while it lives, reads of this
+/// register are served locally in zero rounds. Minted from a fast-path
+/// quorum whose acks unanimously carried grants; died by its horizon
+/// timer (armed at read *broadcast* time, so it expires before any
+/// granting replica releases a fenced newer write) or by any locally
+/// observed newer tag.
+#[derive(Debug)]
+struct Lease {
+    ts: Timestamp,
+    value: Value,
+    horizon: TimerToken,
+}
+
+/// The lease term the replica role fences with: the flavor's term when
+/// it actually leases, else 0 (inert).
+fn replica_lease(flavor: &Flavor) -> u64 {
+    if flavor.leases() {
+        flavor.lease_micros
+    } else {
+        0
+    }
+}
+
 /// The register automaton (see [`crate`] docs for the family table).
 pub struct RegisterAutomaton {
     me: ProcessId,
@@ -114,6 +148,8 @@ pub struct RegisterAutomaton {
     writing: Option<WritingRecord>,
     op: Option<(OpId, OpPhase)>,
     recovery: Option<RecoveryPhase>,
+    /// Live tag lease (leasing flavors only).
+    lease: Option<Lease>,
     ready: bool,
     queued: VecDeque<(OpId, Op)>,
     token_counter: u64,
@@ -141,12 +177,13 @@ impl RegisterAutomaton {
             flavor,
             retransmit,
             start_mode: StartMode::Fresh,
-            replica: Replica::new(me, flavor.replica_logs),
+            replica: Replica::new(me, flavor.replica_logs).with_lease(replica_lease(&flavor)),
             rec: 0,
             next_wsn: 1,
             writing: None,
             op: None,
             recovery: None,
+            lease: None,
             ready: false,
             queued: VecDeque::new(),
             token_counter: 0,
@@ -173,7 +210,8 @@ impl RegisterAutomaton {
                 Err(_) => Replica::new(me, flavor.replica_logs),
             },
             None => Replica::new(me, flavor.replica_logs),
-        };
+        }
+        .with_lease(replica_lease(&flavor));
         let rec = stable
             .get(KEY_RECOVERED)
             .and_then(|b| RecoveredRecord::decode(&b).ok())
@@ -196,6 +234,7 @@ impl RegisterAutomaton {
             writing,
             op: None,
             recovery: None,
+            lease: None,
             ready: false,
             queued: VecDeque::new(),
             token_counter: 0,
@@ -256,7 +295,7 @@ impl RegisterAutomaton {
                 {
                     let counter = &mut self.token_counter;
                     let mut gen = move || {
-                        let t = StoreToken(*counter);
+                        let t = *counter;
                         *counter += 1;
                         t
                     };
@@ -286,7 +325,21 @@ impl RegisterAutomaton {
                 }
                 self.ready = true;
             }
-            StartMode::Recovered => self.start_recovery(out),
+            StartMode::Recovered => {
+                // A recovered leasing replica cannot know which grants its
+                // previous incarnation issued: fence every write ack for
+                // one full hold term before trusting quiescence.
+                {
+                    let counter = &mut self.token_counter;
+                    let mut gen = move || {
+                        let t = *counter;
+                        *counter += 1;
+                        t
+                    };
+                    self.replica.boot_hold(&mut gen, out);
+                }
+                self.start_recovery(out)
+            }
         }
     }
 
@@ -382,6 +435,7 @@ impl RegisterAutomaton {
                 op,
                 result: OpResult::Rejected(RejectReason::Busy),
                 rounds: 0,
+                lease: None,
             });
             return;
         }
@@ -423,10 +477,38 @@ impl RegisterAutomaton {
                 }
             }
             Op::Read => {
+                // Zero-round path: a live lease proves no write newer than
+                // the leased tag can have completed yet (every granting
+                // replica still fences its ack), so serving the leased
+                // value locally linearizes before any such write.
+                if let Some(l) = &self.lease {
+                    out.push(Action::Complete {
+                        op,
+                        result: OpResult::ReadValue(l.value.clone()),
+                        rounds: 0,
+                        lease: None,
+                    });
+                    self.drain_queue(out);
+                    return;
+                }
                 // Fig. 4 lines 32–35.
                 let req = self.next_req();
                 let call = QuorumCall::new(req, self.majority);
                 self.broadcast(&Message::Read { req }, out);
+                // Leasing flavors stamp the lease horizon *before* any
+                // replica can have seen the query: the minted lease then
+                // provably dies before a granting replica releases a
+                // fenced newer write.
+                let lease_armed = if self.flavor.leases() {
+                    let horizon = self.next_timer();
+                    out.push(Action::SetTimer {
+                        token: horizon,
+                        after: Micros(self.flavor.lease_micros),
+                    });
+                    Some(horizon)
+                } else {
+                    None
+                };
                 let timer = self.arm_timer(out);
                 self.op = Some((
                     op,
@@ -436,6 +518,8 @@ impl RegisterAutomaton {
                         best_value: Value::bottom(),
                         agreed: None,
                         all_agree: true,
+                        all_granted: true,
+                        lease_armed,
                         timer,
                     },
                 ));
@@ -510,11 +594,14 @@ impl RegisterAutomaton {
         {
             let counter = &mut self.token_counter;
             let mut gen = move || {
-                let t = StoreToken(*counter);
+                let t = *counter;
                 *counter += 1;
                 t
             };
             if self.replica.on_message(from, &msg, &mut gen, out) {
+                // Any locally adopted newer tag kills the lease on the
+                // spot: the leased value is provably no longer freshest.
+                self.invalidate_lease_if_older_than(self.replica.timestamp());
                 return;
             }
         }
@@ -528,8 +615,18 @@ impl RegisterAutomaton {
                 ts,
                 value,
                 durable,
-            } => self.on_read_ack(from, req, ts, value, durable, out),
+                grant,
+            } => self.on_read_ack(from, req, ts, value, durable, grant, out),
             _ => {}
+        }
+    }
+
+    /// Drops the lease if a tag strictly newer than the leased one has
+    /// been observed (the grant fence only covers writes *newer* than
+    /// the minimum granted tag, so equality keeps the lease).
+    fn invalidate_lease_if_older_than(&mut self, observed: Timestamp) {
+        if self.lease.as_ref().is_some_and(|l| observed > l.ts) {
+            self.lease = None;
         }
     }
 
@@ -599,30 +696,37 @@ impl RegisterAutomaton {
 
         enum Done {
             No,
-            Write(OpId),
-            Read(OpId, Value),
+            Write(OpId, Timestamp),
+            Read(OpId, Timestamp, Value),
         }
         let mut done = Done::No;
         // Nested `if` rather than `&&` in the guards: `record` mutates the
         // call, which pattern guards may not.
         #[allow(clippy::collapsible_match)]
         match &mut self.op {
-            Some((op, OpPhase::WritePropagate { call, .. })) if call.matches(req) => {
+            Some((op, OpPhase::WritePropagate { ts, call, .. })) if call.matches(req) => {
                 if call.record(from) {
-                    done = Done::Write(*op);
+                    done = Done::Write(*op, *ts);
                 }
             }
-            Some((op, OpPhase::ReadWriteBack { value, call, .. })) if call.matches(req) => {
+            Some((
+                op,
+                OpPhase::ReadWriteBack {
+                    ts, value, call, ..
+                },
+            )) if call.matches(req) => {
                 if call.record(from) {
-                    done = Done::Read(*op, value.clone());
+                    done = Done::Read(*op, *ts, value.clone());
                 }
             }
             _ => {}
         }
         match done {
             Done::No => {}
-            Done::Write(op) => {
+            Done::Write(op, ts) => {
                 self.op = None;
+                // Our own completed write supersedes any older lease.
+                self.invalidate_lease_if_older_than(ts);
                 // Fig. 4 line 16: the write returns (after its query and
                 // propagation rounds; the regular writer skips the query).
                 let rounds = if self.flavor.write_query_round { 2 } else { 1 };
@@ -630,22 +734,26 @@ impl RegisterAutomaton {
                     op,
                     result: OpResult::Written,
                     rounds,
+                    lease: None,
                 });
                 self.drain_queue(out);
             }
-            Done::Read(op, value) => {
+            Done::Read(op, ts, value) => {
                 self.op = None;
+                self.invalidate_lease_if_older_than(ts);
                 // Fig. 4 line 39: the read returns the written-back value.
                 out.push(Action::Complete {
                     op,
                     result: OpResult::ReadValue(value),
                     rounds: 2,
+                    lease: None,
                 });
                 self.drain_queue(out);
             }
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_read_ack(
         &mut self,
         from: ProcessId,
@@ -653,9 +761,10 @@ impl RegisterAutomaton {
         ts: Timestamp,
         value: Value,
         durable: bool,
+        grant: u32,
         out: &mut Vec<Action>,
     ) {
-        let mut reached: Option<(OpId, Timestamp, Value, bool)> = None;
+        let mut reached: Option<(OpId, Timestamp, Value, bool, bool, Option<TimerToken>)> = None;
         if let Some((
             op,
             OpPhase::ReadQuery {
@@ -664,6 +773,8 @@ impl RegisterAutomaton {
                 best_value,
                 agreed,
                 all_agree,
+                all_granted,
+                lease_armed,
                 ..
             },
         )) = &mut self.op
@@ -686,17 +797,28 @@ impl RegisterAutomaton {
                 if !durable {
                     *all_agree = false;
                 }
+                // A lease needs every replier fencing for us.
+                if grant == 0 {
+                    *all_granted = false;
+                }
                 // Fig. 4 line 35: select the value with the highest tag.
                 if ts > *best_ts {
                     *best_ts = ts;
                     *best_value = value;
                 }
                 if call.record(from) {
-                    reached = Some((*op, *best_ts, best_value.clone(), *all_agree));
+                    reached = Some((
+                        *op,
+                        *best_ts,
+                        best_value.clone(),
+                        *all_agree,
+                        *all_granted,
+                        *lease_armed,
+                    ));
                 }
             }
         }
-        let Some((op, ts, value, all_agree)) = reached else {
+        let Some((op, ts, value, all_agree, all_granted, lease_armed)) = reached else {
             return;
         };
         self.op = None;
@@ -730,13 +852,40 @@ impl RegisterAutomaton {
         } else {
             // Single-round read: the regular register always, the atomic
             // flavors when the fast path fired.
+            //
+            // Lease minting: every replier granted, and the horizon timer
+            // armed at broadcast has not fired yet — the whole quorum has
+            // promised to fence any newer write past that horizon, so
+            // until then this tag *is* the register.
+            let minted = if fast && all_granted && !self.replica_newer_than(ts) {
+                lease_armed.map(|horizon| {
+                    self.lease = Some(Lease {
+                        ts,
+                        value: value.clone(),
+                        horizon,
+                    });
+                    LeaseGrant {
+                        ts,
+                        micros: u32::try_from(self.flavor.lease_micros).unwrap_or(u32::MAX),
+                    }
+                })
+            } else {
+                None
+            };
             out.push(Action::Complete {
                 op,
                 result: OpResult::ReadValue(value),
                 rounds: 1,
+                lease: minted,
             });
             self.drain_queue(out);
         }
+    }
+
+    /// Whether the local replica already holds a tag strictly newer than
+    /// `ts` — minting a lease on an older tag would serve stale reads.
+    fn replica_newer_than(&self, ts: Timestamp) -> bool {
+        self.replica.timestamp() > ts
     }
 
     fn on_store_done(&mut self, token: StoreToken, out: &mut Vec<Action>) {
@@ -771,6 +920,33 @@ impl RegisterAutomaton {
     }
 
     fn on_timer(&mut self, token: TimerToken, out: &mut Vec<Action>) {
+        // A minted lease's horizon: the lease dies, reads go back to the
+        // quorum (and may mint afresh).
+        if self.lease.as_ref().is_some_and(|l| l.horizon == token) {
+            self.lease = None;
+            return;
+        }
+        // A horizon that fires while its read is still collecting acks:
+        // too slow to mint — the replicas' fences may open before a
+        // lease clocked from this stamp would expire.
+        if let Some((_, OpPhase::ReadQuery { lease_armed, .. })) = &mut self.op {
+            if *lease_armed == Some(token) {
+                *lease_armed = None;
+                return;
+            }
+        }
+        // The replica role's grant-fence horizon.
+        {
+            let counter = &mut self.token_counter;
+            let mut gen = move || {
+                let t = *counter;
+                *counter += 1;
+                t
+            };
+            if self.replica.on_timer(token, &mut gen, out) {
+                return;
+            }
+        }
         // Retransmit whatever round is still waiting for acks, then
         // re-arm. Stale timers (from completed rounds) match nothing and
         // die silently.

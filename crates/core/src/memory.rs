@@ -239,11 +239,13 @@ fn readdress(msg: Message, reg: RegisterId) -> Message {
             ts,
             value,
             durable,
+            grant,
         } => Message::ReadAck {
             req: req.with_register(reg),
             ts,
             value,
             durable,
+            grant,
         },
     }
 }

@@ -182,6 +182,7 @@ fn read_selects_max_and_writes_back() {
                 ts: old.0,
                 value: old.1,
                 durable: true,
+                grant: 0,
             },
         },
         &mut out,
@@ -195,6 +196,7 @@ fn read_selects_max_and_writes_back() {
                 ts: new.0,
                 value: new.1.clone(),
                 durable: true,
+                grant: 0,
             },
         },
         &mut out,
@@ -262,6 +264,7 @@ fn unanimous_durable_read_completes_in_one_round() {
                     ts: Timestamp::new(4, p(1)),
                     value: Value::from_u32(44),
                     durable: true,
+                    grant: 0,
                 },
             },
             &mut out,
@@ -312,6 +315,7 @@ fn contended_volatile_tags_fall_back_to_the_write_back() {
                 ts: Timestamp::new(4, p(1)),
                 value: Value::from_u32(44),
                 durable: true,
+                grant: 0,
             },
         },
         &mut out,
@@ -324,6 +328,7 @@ fn contended_volatile_tags_fall_back_to_the_write_back() {
                 ts: Timestamp::new(4, p(1)),
                 value: Value::from_u32(44),
                 durable: false,
+                grant: 0,
             },
         },
         &mut out,
@@ -386,6 +391,7 @@ fn legacy_mode_always_writes_back() {
                         ts: Timestamp::new(4, p(1)),
                         value: Value::from_u32(44),
                         durable: true,
+                        grant: 0,
                     },
                 },
                 &mut out,
@@ -432,6 +438,7 @@ fn unanimous_bottom_read_takes_the_fast_path() {
                     ts: Timestamp::new(0, p(replier)),
                     value: Value::bottom(),
                     durable: true,
+                    grant: 0,
                 },
             },
             &mut out,
@@ -467,6 +474,7 @@ fn regular_read_is_single_round() {
                 ts: Timestamp::new(2, p(1)),
                 value: Value::from_u32(7),
                 durable: true,
+                grant: 0,
             },
         },
         &mut out,
@@ -479,6 +487,7 @@ fn regular_read_is_single_round() {
                 ts: Timestamp::new(1, p(2)),
                 value: Value::from_u32(6),
                 durable: true,
+                grant: 0,
             },
         },
         &mut out,

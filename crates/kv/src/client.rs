@@ -39,7 +39,7 @@ use rmem_net::{Client, ClientError, PipelinedClient, Ticket, TraceCtx};
 use rmem_obs::{
     Counter, EventKind, FlightEvent, FlightRecorder, Histogram, MetricsSnapshot, ObsHandle,
 };
-use rmem_types::{Op, OpResult, ProcessId, RegisterId, Value};
+use rmem_types::{LeaseGrant, Op, OpResult, ProcessId, RegisterId, Value};
 
 use rmem_storage::StorageError;
 use rmem_types::OpTag;
@@ -48,6 +48,7 @@ use crate::codec;
 use crate::epoch::{data_register, ShardMap, CONFIG_REGISTER};
 use crate::exactly_once::ExactlyOnce;
 use crate::health::{HealthMemory, NodeGate};
+use crate::lease::{LeaseCache, Lookup};
 use crate::recorder::OpRecorder;
 use crate::router::ShardRouter;
 
@@ -75,6 +76,10 @@ struct ClientObs {
     map_refreshes: Arc<Counter>,
     retries: Arc<Counter>,
     backoff_micros: Arc<Counter>,
+    lease_hits: Arc<Counter>,
+    lease_misses: Arc<Counter>,
+    lease_revocations: Arc<Counter>,
+    lease_evictions: Arc<Counter>,
     inflight: Arc<rmem_obs::Gauge>,
     pipeline_depth: Arc<Histogram>,
     get_micros: Arc<Histogram>,
@@ -95,6 +100,10 @@ impl ClientObs {
             map_refreshes: m.counter("kv.map_refreshes"),
             retries: m.counter("kv.retries"),
             backoff_micros: m.counter("kv.backoff_micros"),
+            lease_hits: m.counter("kv.lease_hits"),
+            lease_misses: m.counter("kv.lease_misses"),
+            lease_revocations: m.counter("kv.lease_revocations"),
+            lease_evictions: m.counter("kv.lease_evictions"),
             inflight: m.gauge("kv.inflight"),
             pipeline_depth: m.histogram("kv.pipeline_depth"),
             get_micros: m.histogram("kv.get_micros"),
@@ -131,6 +140,10 @@ struct InFlightOp {
     probe: bool,
     /// Latency clock opened at submission (when metrics are on).
     started: Option<Instant>,
+    /// Submission instant for the lease-horizon anchor (only stamped
+    /// when the client's lease cache is armed): a grant riding this
+    /// op's completion expires `grant.micros` after *this* moment.
+    sent: Option<Instant>,
 }
 
 /// Snapshot of a client's per-operation quorum-round statistics.
@@ -166,6 +179,20 @@ pub struct KvOpStats {
     pub retries: u64,
     /// Total microseconds slept in retry backoff (see `kv.backoff_micros`).
     pub backoff_micros: u64,
+    /// Reads served from the client's tag-lease cache with **zero**
+    /// datagrams (counted into `reads` with 0 rounds). Always 0 unless
+    /// [`KvClient::with_lease_cache`] armed the cache.
+    pub lease_hits: u64,
+    /// Lease-cache lookups that found no live lease and fell through to
+    /// the quorum read path.
+    pub lease_misses: u64,
+    /// Leases dropped before their horizon: the client's own write to
+    /// the register, a newer tag observed, or a shard-map epoch change
+    /// (which revokes the whole cache).
+    pub lease_revocations: u64,
+    /// Leases dropped by the cache itself: LRU capacity pressure or a
+    /// lapsed horizon discovered at lookup.
+    pub lease_evictions: u64,
 }
 
 impl KvOpStats {
@@ -184,6 +211,17 @@ impl KvOpStats {
             return 0.0;
         }
         self.fast_reads as f64 / self.reads as f64
+    }
+
+    /// Fraction of reads served locally by a live tag lease (0 rounds,
+    /// 0 datagrams). With leases on over a Zipf-hot read-mostly
+    /// workload this dominates, which is what pushes
+    /// [`mean_read_rounds`](Self::mean_read_rounds) below 1.0.
+    pub fn lease_hit_fraction(&self) -> f64 {
+        if self.reads == 0 {
+            return 0.0;
+        }
+        self.lease_hits as f64 / self.reads as f64
     }
 
     /// Mean seal polls per barrier wait (how long barriered writers
@@ -353,6 +391,13 @@ pub struct KvClient {
     /// [`with_exactly_once`](KvClient::with_exactly_once); clones share
     /// it. `None` = classic at-least-once client, untagged writes.
     pub(crate) intents: Option<Arc<ExactlyOnce>>,
+    /// The tag-lease cache, armed by
+    /// [`with_lease_cache`](KvClient::with_lease_cache) and shared by
+    /// clones. `None` = every read pays at least one quorum round.
+    /// Serving hits additionally requires the cluster's flavor to grant
+    /// leases ([`rmem_core::Flavor::leases`]) — against an unleased
+    /// cluster the cache simply never fills.
+    leases: Option<Arc<LeaseCache>>,
 }
 
 impl KvClient {
@@ -384,6 +429,7 @@ impl KvClient {
             trace: None,
             recorder: None,
             intents: None,
+            leases: None,
         }
         .rewire_trace())
     }
@@ -429,6 +475,34 @@ impl KvClient {
         self.trace
             .as_ref()
             .map(|t| rmem_obs::trace::RingDump::client(t.client_id(), t.ring().dump()))
+    }
+
+    /// Arms the client family's tag-lease cache: reads whose fast-path
+    /// quorum attached a lease grant are cached, and repeated reads of
+    /// the same register are served locally — zero datagrams, zero
+    /// quorum rounds — until the lease's horizon passes, the client
+    /// writes the register, a newer tag is observed, or the shard map
+    /// changes epoch. At most `capacity` leases stay resident
+    /// (least-recently-served eviction), so only the hot keys occupy
+    /// client memory.
+    ///
+    /// Opt-in, and inert against a cluster whose flavor does not grant
+    /// leases (`Flavor::with_lease`): the cache never fills, every read
+    /// pays its normal rounds.
+    ///
+    /// **Freshness invariant**: a leased read never returns a value
+    /// older than any value returned after a completed write — the
+    /// granting replicas fence newer writes behind the granted horizon
+    /// (quorum intersection does the rest), and the client's horizon
+    /// clock starts at read *submission*, strictly undershooting every
+    /// replica's fence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_lease_cache(mut self, capacity: usize) -> Self {
+        self.leases = Some(Arc::new(LeaseCache::new(capacity)));
+        self
     }
 
     /// Replaces the number of retries on `Busy` rejections (another client
@@ -524,6 +598,10 @@ impl KvClient {
             map_refreshes: self.obs.map_refreshes.get(),
             retries: self.obs.retries.get(),
             backoff_micros: self.obs.backoff_micros.get(),
+            lease_hits: self.obs.lease_hits.get(),
+            lease_misses: self.obs.lease_misses.get(),
+            lease_revocations: self.obs.lease_revocations.get(),
+            lease_evictions: self.obs.lease_evictions.get(),
         }
     }
 
@@ -559,6 +637,78 @@ impl KvClient {
     fn record_write(&self, rounds: u32) {
         self.obs.writes.inc();
         self.obs.write_rounds.add(u64::from(rounds));
+    }
+
+    /// Serves `reg` from the lease cache if a live lease covers it under
+    /// `map`. A hit is a complete zero-round, zero-datagram read and is
+    /// counted into the read stats; during a migration the cache is
+    /// bypassed entirely (the split read protocol owns routing).
+    fn lease_hit(&self, reg: RegisterId, map: &ShardMap) -> Option<Value> {
+        let cache = self.leases.as_deref()?;
+        if map.is_migrating() {
+            return None;
+        }
+        match cache.lookup(reg, map.stamp(), Instant::now()) {
+            Lookup::Hit(payload) => {
+                self.obs.lease_hits.inc();
+                self.record_read(0);
+                self.obs.handle.flight.record(
+                    FlightEvent::new(EventKind::LeaseHit)
+                        .with_register(reg.0)
+                        .with_epoch(map.epoch as u32),
+                );
+                Some(payload)
+            }
+            Lookup::Expired => {
+                self.obs.lease_evictions.inc();
+                self.obs.lease_misses.inc();
+                None
+            }
+            Lookup::Miss => {
+                self.obs.lease_misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Installs a granted lease, with the horizon clock anchored at `t0`
+    /// — the instant the read was *submitted*, so the client-side expiry
+    /// strictly undershoots every granting replica's write fence. Fills
+    /// are skipped during migrations: a mid-split grant would be stamped
+    /// by a map that is about to change.
+    fn lease_fill(
+        &self,
+        reg: RegisterId,
+        grant: LeaseGrant,
+        payload: Value,
+        map: &ShardMap,
+        t0: Instant,
+    ) {
+        let Some(cache) = self.leases.as_deref() else {
+            return;
+        };
+        if map.is_migrating() {
+            return;
+        }
+        let horizon = t0 + Duration::from_micros(u64::from(grant.micros));
+        let evicted = cache.fill(reg, grant.ts, payload, map.stamp(), horizon);
+        self.obs.lease_evictions.add(evicted as u64);
+    }
+
+    /// Revokes `reg`'s lease, called **before** any write this client
+    /// issues to the register — the cached value is about to be stale.
+    fn lease_revoke(&self, reg: RegisterId) {
+        let Some(cache) = self.leases.as_deref() else {
+            return;
+        };
+        if cache.invalidate(reg) {
+            self.obs.lease_revocations.inc();
+            self.obs.handle.flight.record(
+                FlightEvent::new(EventKind::LeaseRevoke)
+                    .with_register(reg.0)
+                    .with_aux(1),
+            );
+        }
     }
 
     /// Bounded exponential backoff with jitter before retry `attempt`
@@ -620,12 +770,33 @@ impl KvClient {
 
     /// Adopts `new` into the shared cache if it advances the current map
     /// (newer epoch, or same epoch moving from migrating to committed).
+    /// An adoption revokes **every** lease: no lease survives a
+    /// shard-map change — the keys behind a register may differ under
+    /// the new routing, and migration copies rewrite registers outside
+    /// the leased read path.
     fn adopt(&self, new: &ShardMap) {
-        let mut cur = self.map.lock().expect("shard map lock");
-        if new.epoch > cur.epoch
-            || (new.epoch == cur.epoch && cur.is_migrating() && !new.is_migrating())
-        {
-            *cur = *new;
+        let changed = {
+            let mut cur = self.map.lock().expect("shard map lock");
+            if new.epoch > cur.epoch
+                || (new.epoch == cur.epoch && cur.is_migrating() && !new.is_migrating())
+            {
+                *cur = *new;
+                true
+            } else {
+                false
+            }
+        };
+        if changed {
+            if let Some(cache) = &self.leases {
+                let dropped = cache.clear() as u64;
+                if dropped > 0 {
+                    self.obs.lease_revocations.add(dropped);
+                    self.obs
+                        .handle
+                        .flight
+                        .record(FlightEvent::new(EventKind::LeaseRevoke).with_aux(dropped));
+                }
+            }
         }
     }
 
@@ -860,6 +1031,35 @@ impl KvClient {
         Ok(payload)
     }
 
+    /// [`reg_read`](Self::reg_read) that additionally harvests a lease
+    /// grant into the cache when one rides the read's completion. `t0`
+    /// is stamped inside the per-attempt closure, so the horizon anchors
+    /// at the *successful* attempt's submission instant — never at an
+    /// earlier failed node's.
+    fn reg_read_leasing(
+        &self,
+        reg: RegisterId,
+        label: &str,
+        map: &ShardMap,
+    ) -> Result<Value, KvError> {
+        if self.leases.is_none() {
+            return self.reg_read(reg, label);
+        }
+        let (payload, rounds, grant, t0) = self.with_failover(label, reg, |node| {
+            let t0 = Instant::now();
+            node.read_at_leased(reg).map(|(v, r, g)| (v, r, g, t0))
+        })?;
+        self.record_read(rounds);
+        // With no grant, whatever lease the cache holds for this
+        // register is not refreshable — the quorum stopped attesting
+        // it. Leave it to expire on its own horizon (still safe: the
+        // fence outlives it), no forced revocation.
+        if let Some(grant) = grant {
+            self.lease_fill(reg, grant, payload.clone(), map, t0);
+        }
+        Ok(payload)
+    }
+
     /// One failover-protected register write. **Unrecorded** (see
     /// [`reg_read`](KvClient::reg_read)); notably the migration *data*
     /// writes — the copy to the new home and the seal of the old one —
@@ -869,6 +1069,7 @@ impl KvClient {
     /// exactly the lost updates the cross-epoch certifier exists to
     /// catch.
     fn reg_write(&self, reg: RegisterId, payload: Value, label: &str) -> Result<(), KvError> {
+        self.lease_revoke(reg);
         let rounds = self.with_failover(label, reg, |node| {
             node.write_at_counted(reg, payload.clone())
         })?;
@@ -888,6 +1089,7 @@ impl KvClient {
         label: &str,
         epoch: u64,
     ) -> Result<bool, KvError> {
+        self.lease_revoke(reg);
         let guard = || self.shard_map().epoch != epoch;
         match self.with_failover_abortable(
             label,
@@ -1243,10 +1445,20 @@ impl KvClient {
                 }
             }
             let reg = map.register_for(key);
+            if let Some(payload) = self.lease_hit(reg, &map) {
+                // A live lease answers locally: zero datagrams. The
+                // read is still a recorded store operation — the lease
+                // fence is exactly what makes it certifiable.
+                if inv.is_none() {
+                    *inv = self.rec_invoke(Op::ReadAt(reg));
+                }
+                let value = codec::value_for_key(&payload, key);
+                return Ok((payload, value));
+            }
             if inv.is_none() {
                 *inv = self.rec_invoke(Op::ReadAt(reg));
             }
-            let payload = self.reg_read(reg, key)?;
+            let payload = self.reg_read_leasing(reg, key, &map)?;
             if payload.is_bottom() {
                 return Ok((payload, None));
             }
@@ -1552,9 +1764,22 @@ impl KvClient {
         if map.is_migrating() {
             return self.multi_get_threaded(keys);
         }
-        let mut queues = self.register_queues(&map, keys.iter().map(AsRef::as_ref));
-        let fan = PipelinedClient::fan(&self.nodes);
         let mut results: Vec<Option<Option<Bytes>>> = vec![None; keys.len()];
+        // Live leases answer before anything is submitted: those keys
+        // never enter the pipeline at all (zero datagrams).
+        let mut queues: BTreeMap<RegisterId, VecDeque<usize>> = BTreeMap::new();
+        for (i, key) in keys.iter().enumerate() {
+            let reg = map.register_for(key.as_ref());
+            if let Some(payload) = self.lease_hit(reg, &map) {
+                let inv = self.rec_invoke(Op::ReadAt(reg));
+                let value = codec::value_for_key(&payload, key.as_ref());
+                self.rec_outcome(inv, Ok(OpResult::ReadValue(payload)));
+                results[i] = Some(value);
+            } else {
+                queues.entry(reg).or_default().push_back(i);
+            }
+        }
+        let fan = PipelinedClient::fan(&self.nodes);
         let mut fallback: Vec<(usize, Option<rmem_types::OpId>)> = Vec::new();
         let mut tickets: Vec<Ticket> = Vec::new();
         let mut pending: Vec<InFlightOp> = Vec::new();
@@ -1576,6 +1801,7 @@ impl KvClient {
             };
             let started = self.obs.op_clock();
             let inv = self.rec_invoke(Op::ReadAt(reg));
+            let sent = self.leases.is_some().then(Instant::now);
             match fan.submit_read(node, reg) {
                 Ok(ticket) => Ok((
                     ticket,
@@ -1586,6 +1812,7 @@ impl KvClient {
                         inv,
                         probe,
                         started,
+                        sent,
                     },
                 )),
                 Err(_) => {
@@ -1630,13 +1857,16 @@ impl KvClient {
             tickets.swap_remove(pos);
             let done = pending.swap_remove(pos);
             match outcome {
-                Ok((OpResult::ReadValue(payload), rounds)) => {
+                Ok((OpResult::ReadValue(payload), rounds, lease)) => {
                     self.record_read(rounds);
                     self.health.clear(done.node);
                     if let Some(started) = done.started {
                         self.obs
                             .get_micros
                             .record(started.elapsed().as_micros() as u64);
+                    }
+                    if let (Some(grant), Some(t0)) = (lease, done.sent) {
+                        self.lease_fill(done.reg, grant, payload.clone(), &map, t0);
                     }
                     if payload.is_bottom() {
                         self.rec_outcome(done.inv, Ok(OpResult::ReadValue(payload)));
@@ -1792,6 +2022,9 @@ impl KvClient {
                 let (key, value) = &entries[idx];
                 let key = key.as_ref();
                 let started = self.obs.op_clock();
+                // The cached value for this register is about to go
+                // stale — revoke before the write leaves.
+                self.lease_revoke(reg);
                 let (inv, submitted) = if self.recorder.is_some() {
                     // Recorded run: the invocation needs the encoded payload,
                     // so encode once and send the same value.
@@ -1816,6 +2049,7 @@ impl KvClient {
                             inv,
                             probe,
                             started,
+                            sent: None,
                         },
                     )),
                     Err(ClientError::TooLarge { size, limit }) => {
@@ -1871,7 +2105,7 @@ impl KvClient {
             tickets.swap_remove(pos);
             let done = pending.swap_remove(pos);
             match outcome {
-                Ok((OpResult::Written, rounds)) => {
+                Ok((OpResult::Written, rounds, _)) => {
                     self.record_write(rounds);
                     self.health.clear(done.node);
                     if let Some(started) = done.started {
@@ -1956,7 +2190,7 @@ impl KvClient {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rmem_core::{SharedMemory, Transient};
+    use rmem_core::{Persistent, SharedMemory, Transient};
     use rmem_net::LocalCluster;
 
     fn cluster_client(shards: u16) -> (LocalCluster, KvClient) {
@@ -2428,6 +2662,114 @@ mod tests {
             })
             .collect();
         assert_eq!(pids.len(), 2, "two recording clients, two processes");
+        cluster.shutdown();
+    }
+
+    /// A cluster whose flavor grants tag leases, paired with a
+    /// lease-caching client.
+    fn leased_cluster_client(lease_micros: u64, shards: u16) -> (LocalCluster, KvClient) {
+        let cluster = LocalCluster::channel(
+            3,
+            SharedMemory::factory(Persistent::flavor().with_lease(lease_micros)),
+        )
+        .unwrap();
+        let client = KvClient::new(cluster.clients(), ShardRouter::new(shards))
+            .unwrap()
+            .with_lease_cache(16);
+        (cluster, client)
+    }
+
+    #[test]
+    fn hot_key_reads_are_served_by_the_lease_cache() {
+        let (mut cluster, kv) = leased_cluster_client(2_000_000, 8);
+        kv.put("hot", b"v1".to_vec()).unwrap();
+        // The first read pays its quorum round and harvests the grant…
+        assert_eq!(kv.get("hot").unwrap().as_deref(), Some(b"v1".as_ref()));
+        // …the rest are zero-round, zero-datagram hits.
+        for _ in 0..8 {
+            assert_eq!(kv.get("hot").unwrap().as_deref(), Some(b"v1".as_ref()));
+        }
+        let stats = kv.stats();
+        assert!(stats.lease_hits >= 8, "hits missing: {stats:?}");
+        assert!(
+            stats.mean_read_rounds() < 1.0,
+            "leased reads must push mean rounds below one: {stats:?}"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn own_write_revokes_the_lease_and_the_next_read_is_fresh() {
+        let (mut cluster, kv) = leased_cluster_client(500_000, 8);
+        kv.put("k", b"v1".to_vec()).unwrap();
+        assert_eq!(kv.get("k").unwrap().as_deref(), Some(b"v1".as_ref()));
+        assert_eq!(kv.get("k").unwrap().as_deref(), Some(b"v1".as_ref()));
+        assert!(kv.stats().lease_hits >= 1);
+        // The put revokes this client's lease before the write leaves
+        // (the replicas additionally fence it behind every *other*
+        // client's outstanding grant), so the next read returns v2.
+        kv.put("k", b"v2".to_vec()).unwrap();
+        assert_eq!(kv.get("k").unwrap().as_deref(), Some(b"v2".as_ref()));
+        assert!(kv.stats().lease_revocations >= 1, "{:?}", kv.stats());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn multi_get_serves_hot_keys_from_leases() {
+        let (mut cluster, kv) = leased_cluster_client(2_000_000, 8);
+        let keys = ["a", "b", "c", "d"];
+        for key in keys {
+            kv.put(key, key.as_bytes().to_vec()).unwrap();
+        }
+        // First batch fills the cache through the pipeline…
+        let first = kv.multi_get(&keys).unwrap();
+        // …second batch answers entirely from leases.
+        let before = kv.stats();
+        let second = kv.multi_get(&keys).unwrap();
+        assert_eq!(first, second);
+        for (key, value) in keys.iter().zip(&second) {
+            assert_eq!(value.as_deref(), Some(key.as_bytes()));
+        }
+        let after = kv.stats();
+        assert!(
+            after.lease_hits >= before.lease_hits + keys.len() as u64,
+            "batch hits missing: {before:?} -> {after:?}"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn unleased_cluster_never_fills_the_cache() {
+        let (mut cluster, kv) = cluster_client(8);
+        let kv = kv.with_lease_cache(16);
+        kv.put("k", b"v".to_vec()).unwrap();
+        for _ in 0..4 {
+            assert_eq!(kv.get("k").unwrap().as_deref(), Some(b"v".as_ref()));
+        }
+        let stats = kv.stats();
+        assert_eq!(stats.lease_hits, 0, "no grants, no hits: {stats:?}");
+        assert!(stats.lease_misses >= 4);
+        assert!(stats.mean_read_rounds() >= 1.0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn a_grow_revokes_every_lease() {
+        let (mut cluster, kv) = leased_cluster_client(100_000, 4);
+        kv.put("x", b"1".to_vec()).unwrap();
+        kv.put("y", b"2".to_vec()).unwrap();
+        let _ = kv.get("x").unwrap();
+        let _ = kv.get("y").unwrap();
+        let before = kv.stats();
+        kv.grow(8).unwrap();
+        let after = kv.stats();
+        assert!(
+            after.lease_revocations > before.lease_revocations,
+            "the epoch change must drop cached leases: {before:?} -> {after:?}"
+        );
+        // Post-split reads are correct (and refill under the new stamp).
+        assert_eq!(kv.get("x").unwrap().as_deref(), Some(b"1".as_ref()));
+        assert_eq!(kv.get("y").unwrap().as_deref(), Some(b"2".as_ref()));
         cluster.shutdown();
     }
 }

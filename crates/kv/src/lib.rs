@@ -66,6 +66,7 @@ pub mod epoch;
 pub mod exactly_once;
 pub mod health;
 pub mod history;
+mod lease;
 pub mod recorder;
 pub mod router;
 pub mod workload;

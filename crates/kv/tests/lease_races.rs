@@ -1,0 +1,301 @@
+//! Real-runtime lease freshness: concurrent writers vs leased readers,
+//! plus the pinned epoch-change-mid-lease revocation case.
+//!
+//! The client-held lease cache answers hot-key gets with **zero**
+//! datagrams, so these are the reads most able to go stale. Each seeded
+//! run races a writer installing monotone versions against two leased
+//! reader families over Zipf-hot keys; every run is recorded and
+//! per-key certified, and every leased read (identified by the family's
+//! `lease_hits` delta around the get) is policed by the
+//! [`check_freshness`] oracle on one shared monotonic clock: **a leased
+//! read must never return a value older than any value returned after a
+//! completed write.**
+//!
+//! The pinned case drives a live 4 → 8 split while a reader family
+//! holds leases: the split's seal writes are fenced at the replicas
+//! behind the outstanding grants (the grow demonstrably stalls), the
+//! reader's next get discovers the new epoch, the map adoption revokes
+//! every resident lease, and the post-split read returns the new
+//! epoch's freshest write.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rmem_consistency::{check_freshness, Criterion, FreshnessKind, FreshnessOp};
+use rmem_core::{Persistent, SharedMemory};
+use rmem_kv::{certify_per_key_epoch_path, KvClient, OpRecorder, ShardRouter};
+use rmem_net::LocalCluster;
+use rmem_sim::KeyDistribution;
+
+const SHARDS: u16 = 4;
+/// Real-time lease horizon for the traffic sweep: long enough for a
+/// reader's inter-op think time (≤ 150µs) to land many gets inside one
+/// grant, short enough that the replica write fence (horizon + ¼) keeps
+/// each seeded run well under 100ms.
+const LEASE_MICROS: u64 = 2_000;
+const WRITES_PER_SEED: usize = 24;
+const READS_PER_READER: usize = 60;
+
+fn leased_cluster(lease_micros: u64) -> LocalCluster {
+    LocalCluster::channel(
+        3,
+        SharedMemory::factory(Persistent::flavor().with_lease(lease_micros)),
+    )
+    .unwrap()
+}
+
+fn version_bytes(v: u64) -> Vec<u8> {
+    v.to_be_bytes().to_vec()
+}
+
+fn version_of(bytes: Option<&[u8]>) -> u64 {
+    bytes.map_or(0, |b| {
+        u64::from_be_bytes(b.try_into().expect("writers install 8-byte versions"))
+    })
+}
+
+struct SeedOutcome {
+    leased_reads: usize,
+    quorum_reads: usize,
+}
+
+/// One seeded run: preload → one writer thread installing monotone
+/// versions vs two leased reader families → per-key certification and
+/// the per-key freshness oracle.
+fn run_seed(seed: u64) -> SeedOutcome {
+    let cluster = leased_cluster(LEASE_MICROS);
+    let recorder = OpRecorder::new();
+    let writer = KvClient::new(cluster.clients(), ShardRouter::new(SHARDS))
+        .unwrap()
+        .with_recorder(recorder.clone());
+    let keys = ShardRouter::new(SHARDS).covering_keys("lk-");
+    // Preload: version 1 everywhere, so no read ever sees ⊥ and every
+    // returned value names its version.
+    for key in &keys {
+        writer.put(key, version_bytes(1)).unwrap();
+    }
+
+    // (key index, op) pairs from every thread, on one shared clock.
+    let t_zero = Instant::now();
+    let log: Mutex<Vec<(usize, FreshnessOp)>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        // The writer: Zipf-hot keys, per-key monotone versions 2, 3, …
+        {
+            let writer = &writer;
+            let keys = &keys;
+            let log = &log;
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9));
+            scope.spawn(move || {
+                let dist = KeyDistribution::zipf(keys.len(), 0.99);
+                let mut versions = vec![1u64; keys.len()];
+                for _ in 0..WRITES_PER_SEED {
+                    let k = dist.sample(&mut rng);
+                    versions[k] += 1;
+                    let invoked_at = t_zero.elapsed().as_micros() as u64;
+                    writer.put(&keys[k], version_bytes(versions[k])).unwrap();
+                    let completed_at = t_zero.elapsed().as_micros() as u64;
+                    log.lock().unwrap().push((
+                        k,
+                        FreshnessOp {
+                            invoked_at,
+                            completed_at,
+                            kind: FreshnessKind::Write {
+                                version: versions[k],
+                            },
+                        },
+                    ));
+                    std::thread::sleep(Duration::from_micros(rng.gen_range(0..150)));
+                }
+            });
+        }
+        // Two leased reader families. Each family is one thread owning
+        // its own client (and so its own lease cache and counters): the
+        // `lease_hits` delta around a get is exactly "this get was
+        // answered by the lease, zero datagrams".
+        for family in 0..2u64 {
+            let clients = cluster.clients();
+            let recorder = recorder.clone();
+            let keys = &keys;
+            let log = &log;
+            let mut rng = StdRng::seed_from_u64(seed * 31 + family);
+            scope.spawn(move || {
+                let reader = KvClient::new(clients, ShardRouter::new(SHARDS))
+                    .unwrap()
+                    .with_lease_cache(8)
+                    .with_recorder(recorder);
+                let dist = KeyDistribution::zipf(keys.len(), 0.99);
+                for _ in 0..READS_PER_READER {
+                    let k = dist.sample(&mut rng);
+                    let hits_before = reader.stats().lease_hits;
+                    let invoked_at = t_zero.elapsed().as_micros() as u64;
+                    let got = reader.get(&keys[k]).unwrap();
+                    let completed_at = t_zero.elapsed().as_micros() as u64;
+                    let leased = reader.stats().lease_hits > hits_before;
+                    log.lock().unwrap().push((
+                        k,
+                        FreshnessOp {
+                            invoked_at,
+                            completed_at,
+                            kind: FreshnessKind::Read {
+                                version: version_of(got.as_deref()),
+                                leased,
+                            },
+                        },
+                    ));
+                    std::thread::sleep(Duration::from_micros(rng.gen_range(0..150)));
+                }
+            });
+        }
+    });
+
+    // Full per-key atomicity certification of everything that ran —
+    // leased reads included (they are ordinary recorded store ops).
+    let history = recorder.history();
+    certify_per_key_epoch_path(
+        &history,
+        keys.iter().map(String::as_str),
+        &[SHARDS],
+        Criterion::Persistent,
+    )
+    .unwrap_or_else(|e| panic!("seed {seed}: certification failed: {e}"));
+
+    // The freshness oracle, per key (it polices one register at a time).
+    let log = log.into_inner().unwrap();
+    let mut leased_reads = 0;
+    let mut quorum_reads = 0;
+    for (k, key) in keys.iter().enumerate() {
+        let ops: Vec<FreshnessOp> = log
+            .iter()
+            .filter(|(logged, _)| *logged == k)
+            .map(|&(_, op)| op)
+            .collect();
+        let report = check_freshness(&ops)
+            .unwrap_or_else(|violation| panic!("seed {seed}, key {key}: {violation}"));
+        leased_reads += report.leased_reads;
+        quorum_reads += ops
+            .iter()
+            .filter(|o| matches!(o.kind, FreshnessKind::Read { leased: false, .. }))
+            .count();
+    }
+    SeedOutcome {
+        leased_reads,
+        quorum_reads,
+    }
+}
+
+/// The CI smoke: one full seeded run.
+#[test]
+fn single_seed_smoke() {
+    let outcome = run_seed(0);
+    assert_eq!(
+        outcome.leased_reads + outcome.quorum_reads,
+        2 * READS_PER_READER,
+        "every read must be logged"
+    );
+}
+
+/// ≥ 12 seeds of writers vs leased readers: every history certified,
+/// zero stale leased reads, and the lease demonstrably fired (while
+/// cold starts and revocations kept some reads on the quorum path).
+#[test]
+fn sweep_writers_vs_leased_readers() {
+    let mut leased = 0usize;
+    let mut quorum = 0usize;
+    for seed in 1..=12 {
+        let outcome = run_seed(seed);
+        leased += outcome.leased_reads;
+        quorum += outcome.quorum_reads;
+    }
+    assert!(
+        leased > 0,
+        "the sweep must serve some reads from leases — otherwise the \
+         freshness oracle policed nothing (got {quorum} quorum reads)"
+    );
+    assert!(
+        quorum > 0,
+        "cold starts and horizon expiries must keep some reads on the \
+         quorum path"
+    );
+    println!("sweep: {leased} leased reads, {quorum} quorum reads, all fresh");
+}
+
+/// Pinned: an epoch change races live leases. A reader family holds
+/// leases on two keys; a concurrent 4 → 8 grow must (a) stall its seal
+/// writes behind the replica-side lease fence, (b) trigger a map
+/// adoption at the reader that revokes every resident lease, and
+/// (c) leave the reader returning the new epoch's freshest value — a
+/// lease never survives an epoch change.
+#[test]
+fn a_grow_mid_lease_fences_the_seal_and_revokes() {
+    const LEASE: u64 = 100_000; // 100ms: the grow demonstrably waits it out.
+    let cluster = leased_cluster(LEASE);
+    let owner = KvClient::new(cluster.clients(), ShardRouter::new(SHARDS)).unwrap();
+    let reader = KvClient::new(cluster.clients(), ShardRouter::new(SHARDS))
+        .unwrap()
+        .with_lease_cache(8);
+    let keys = ShardRouter::new(SHARDS).covering_keys("gk-");
+    let hot = &keys[0];
+    let warm = &keys[1];
+    owner.put(hot, version_bytes(1)).unwrap();
+    owner.put(warm, version_bytes(1)).unwrap();
+
+    // Earn grants, then hit them: both keys leased and resident.
+    for key in [hot, warm] {
+        assert_eq!(
+            reader.get(key).unwrap().as_deref(),
+            Some(version_bytes(1).as_slice())
+        );
+        assert_eq!(
+            reader.get(key).unwrap().as_deref(),
+            Some(version_bytes(1).as_slice())
+        );
+    }
+    let hits_before = reader.stats().lease_hits;
+    assert!(hits_before >= 2, "both keys must be served from leases");
+
+    // The split: its seal writes carry tags newer than the granted ones,
+    // so the replicas park them until the reader's horizons pass — the
+    // fence is what keeps the resident leases fresh while the epoch
+    // turns under them.
+    let sealed_at = Instant::now();
+    let report = owner.grow(2 * SHARDS).unwrap();
+    assert_eq!(report.epoch, 1);
+    assert!(
+        sealed_at.elapsed() >= Duration::from_millis(50),
+        "the seal must have waited out the outstanding grants (took {:?})",
+        sealed_at.elapsed()
+    );
+
+    // A post-split write in the new epoch…
+    owner.put(hot, version_bytes(2)).unwrap();
+
+    // …and the stale-mapped reader must return it: its lease horizon
+    // expired strictly before the seal landed, the quorum read hits the
+    // sealed old home, the foreign stamp forces a map refresh, and the
+    // adoption revokes the still-resident leases.
+    assert_eq!(
+        reader.get(hot).unwrap().as_deref(),
+        Some(version_bytes(2).as_slice()),
+        "a leased reader must never see past a completed post-split write"
+    );
+    assert_eq!(reader.shard_map().epoch, 1, "the reader adopted the split");
+    let stats = reader.stats();
+    assert!(
+        stats.lease_revocations >= 1,
+        "the adoption must have revoked the resident leases (got {})",
+        stats.lease_revocations
+    );
+    // And the new epoch re-earns leases as usual.
+    assert_eq!(
+        reader.get(hot).unwrap().as_deref(),
+        Some(version_bytes(2).as_slice())
+    );
+    assert_eq!(
+        reader.get(hot).unwrap().as_deref(),
+        Some(version_bytes(2).as_slice())
+    );
+    assert!(reader.stats().lease_hits > hits_before);
+}

@@ -31,7 +31,7 @@ use std::time::{Duration, Instant};
 
 use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use rmem_types::{Op, OpResult, ProcessId, RegisterId, RejectReason, TraceId, Value};
+use rmem_types::{LeaseGrant, Op, OpResult, ProcessId, RegisterId, RejectReason, TraceId, Value};
 
 use crate::error::ClientError;
 use crate::runner::{Client, Completion, RunnerEvent, TraceCtx};
@@ -43,8 +43,14 @@ const DRAIN_SLICE: Duration = Duration::from_millis(25);
 
 /// A completion settled by [`wait_any`](PipelinedClient::wait_any): the
 /// ticket's index in the caller's list plus its settled result (the op
-/// outcome and quorum round count).
-pub type AnyCompletion = (usize, Result<(OpResult, u32), ClientError>);
+/// outcome, quorum round count, and — for leasing flavors — the minted
+/// tag-lease grant, `None` otherwise).
+pub type AnyCompletion = (usize, Result<Settled, ClientError>);
+
+/// A settled completion: the op outcome, how many quorum round-trips it
+/// took (0 = served from a live coordinator lease), and the tag-lease
+/// grant the emulation minted for it, if any.
+pub type Settled = (OpResult, u32, Option<LeaseGrant>);
 
 /// A claim check for one submitted operation: the slot index plus the
 /// slot's generation at submission time.
@@ -89,8 +95,9 @@ pub enum Routed {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Claimed {
     /// The operation completed with this result after this many quorum
-    /// round-trips; the slot has been reclaimed.
-    Ready(OpResult, u32),
+    /// round-trips (plus the minted tag-lease grant, if any); the slot
+    /// has been reclaimed.
+    Ready(OpResult, u32, Option<LeaseGrant>),
     /// Still awaiting its completion.
     Pending,
     /// The ticket was already claimed or cancelled.
@@ -100,7 +107,11 @@ pub enum Claimed {
 enum SlotState {
     Free,
     InFlight,
-    Done { result: OpResult, rounds: u32 },
+    Done {
+        result: OpResult,
+        rounds: u32,
+        lease: Option<LeaseGrant>,
+    },
 }
 
 struct Slot {
@@ -188,7 +199,13 @@ impl InFlightTable {
     /// Routes a tagged completion to its slot. Late and duplicated acks
     /// are counted and dropped — a completion is **never** delivered to
     /// a slot whose generation moved on.
-    pub fn route(&mut self, token: u64, result: OpResult, rounds: u32) -> Routed {
+    pub fn route(
+        &mut self,
+        token: u64,
+        result: OpResult,
+        rounds: u32,
+        lease: Option<LeaseGrant>,
+    ) -> Routed {
         let idx = (token & u64::from(u32::MAX)) as usize;
         let generation = (token >> 32) as u32;
         let Some(slot) = self.slots.get_mut(idx) else {
@@ -201,7 +218,11 @@ impl InFlightTable {
         }
         match slot.state {
             SlotState::InFlight => {
-                slot.state = SlotState::Done { result, rounds };
+                slot.state = SlotState::Done {
+                    result,
+                    rounds,
+                    lease,
+                };
                 Routed::Delivered
             }
             SlotState::Done { .. } => {
@@ -229,9 +250,13 @@ impl InFlightTable {
                     Claimed::Pending
                 }
                 SlotState::Free => Claimed::Gone,
-                SlotState::Done { result, rounds } => {
+                SlotState::Done {
+                    result,
+                    rounds,
+                    lease,
+                } => {
                     self.reclaim(ticket.slot);
-                    Claimed::Ready(result, rounds)
+                    Claimed::Ready(result, rounds, lease)
                 }
             },
         }
@@ -431,8 +456,8 @@ impl Pipeline {
 
     /// Routes everything already sitting in the completion channel.
     fn drain_ready(&self, reactor: &mut Reactor) {
-        while let Ok((token, result, rounds)) = self.done_rx.try_recv() {
-            reactor.table.route(token, result, rounds);
+        while let Ok((token, result, rounds, lease)) = self.done_rx.try_recv() {
+            reactor.table.route(token, result, rounds, lease);
         }
     }
 
@@ -443,9 +468,10 @@ impl Pipeline {
         &self,
         result: OpResult,
         rounds: u32,
+        lease: Option<LeaseGrant>,
         meta: Option<(usize, RegisterId, Option<TraceId>)>,
         trace: Option<&TraceCtx>,
-    ) -> Result<(OpResult, u32), ClientError> {
+    ) -> Result<Settled, ClientError> {
         match result {
             OpResult::Rejected(RejectReason::Shutdown) => Err(ClientError::ProcessDown),
             OpResult::Rejected(_) => Err(ClientError::Busy),
@@ -453,7 +479,7 @@ impl Pipeline {
                 if let (Some(ctx), Some((target, reg, Some(id)))) = (trace, meta) {
                     ctx.finish(id, reg, self.targets[target].me);
                 }
-                Ok((result, rounds))
+                Ok((result, rounds, lease))
             }
         }
     }
@@ -464,16 +490,16 @@ impl Pipeline {
         &self,
         ticket: Ticket,
         trace: Option<&TraceCtx>,
-    ) -> Option<Result<(OpResult, u32), ClientError>> {
+    ) -> Option<Result<Settled, ClientError>> {
         let mut g = self.inner.lock().expect("pipeline lock");
         self.drain_ready(&mut g);
         let meta = g.table.meta(ticket);
         match g.table.claim(ticket) {
             Claimed::Pending => None,
             Claimed::Gone => panic!("polling a ticket that was already claimed or cancelled"),
-            Claimed::Ready(result, rounds) => {
+            Claimed::Ready(result, rounds, lease) => {
                 drop(g);
-                Some(self.settle(result, rounds, meta, trace))
+                Some(self.settle(result, rounds, lease, meta, trace))
             }
         }
     }
@@ -487,18 +513,18 @@ impl Pipeline {
         ticket: Ticket,
         timeout: Duration,
         trace: Option<&TraceCtx>,
-    ) -> Result<(OpResult, u32), ClientError> {
+    ) -> Result<Settled, ClientError> {
         let deadline = Instant::now() + timeout;
         let mut g = self.inner.lock().expect("pipeline lock");
         loop {
             self.drain_ready(&mut g);
             let meta = g.table.meta(ticket);
             match g.table.claim(ticket) {
-                Claimed::Ready(result, rounds) => {
+                Claimed::Ready(result, rounds, lease) => {
                     drop(g);
                     // A follower may be asleep with no drainer left.
                     self.wake.notify_all();
-                    return self.settle(result, rounds, meta, trace);
+                    return self.settle(result, rounds, lease, meta, trace);
                 }
                 Claimed::Gone => {
                     panic!("waiting on a ticket that was already claimed or cancelled")
@@ -532,10 +558,10 @@ impl Pipeline {
             self.drain_ready(&mut g);
             for (i, &ticket) in tickets.iter().enumerate() {
                 let meta = g.table.meta(ticket);
-                if let Claimed::Ready(result, rounds) = g.table.claim(ticket) {
+                if let Claimed::Ready(result, rounds, lease) = g.table.claim(ticket) {
                     drop(g);
                     self.wake.notify_all();
-                    return Some((i, self.settle(result, rounds, meta, trace)));
+                    return Some((i, self.settle(result, rounds, lease, meta, trace)));
                 }
             }
             let now = Instant::now();
@@ -560,8 +586,8 @@ impl Pipeline {
             let got = self.done_rx.recv_timeout(remaining.min(DRAIN_SLICE * 4));
             let mut g = self.inner.lock().expect("pipeline lock");
             g.draining = false;
-            if let Ok((token, result, rounds)) = got {
-                g.table.route(token, result, rounds);
+            if let Ok((token, result, rounds, lease)) = got {
+                g.table.route(token, result, rounds, lease);
             }
             // Hand the drain duty over (and wake anyone whose completion
             // just routed) before looping.
@@ -722,6 +748,18 @@ impl PipelinedClient {
     ///
     /// If the ticket was already claimed or cancelled.
     pub fn poll(&self, ticket: Ticket) -> Option<Result<(OpResult, u32), ClientError>> {
+        self.poll_leased(ticket)
+            .map(|r| r.map(|(result, rounds, _)| (result, rounds)))
+    }
+
+    /// As [`poll`](Self::poll), additionally surfacing the tag-lease
+    /// grant a leasing flavor's fast path may have minted for this op
+    /// (`None` for non-leasing flavors and non-minting completions).
+    ///
+    /// # Panics
+    ///
+    /// If the ticket was already claimed or cancelled.
+    pub fn poll_leased(&self, ticket: Ticket) -> Option<Result<Settled, ClientError>> {
         self.pipe.poll(ticket, self.trace.as_deref())
     }
 
@@ -735,6 +773,17 @@ impl PipelinedClient {
     /// [`ClientError::ProcessDown`] if the node halted with the op
     /// pending, [`ClientError::TimedOut`] as its name says.
     pub fn wait(&self, ticket: Ticket) -> Result<(OpResult, u32), ClientError> {
+        self.wait_leased(ticket)
+            .map(|(result, rounds, _)| (result, rounds))
+    }
+
+    /// As [`wait`](Self::wait), additionally surfacing the tag-lease
+    /// grant a leasing flavor's fast path may have minted for this op.
+    ///
+    /// # Errors
+    ///
+    /// As for [`wait`](Self::wait).
+    pub fn wait_leased(&self, ticket: Ticket) -> Result<Settled, ClientError> {
         self.pipe.wait(ticket, self.timeout, self.trace.as_deref())
     }
 
@@ -752,6 +801,11 @@ impl PipelinedClient {
     /// returns, none of the listed tickets occupies a slot.
     pub fn wait_all(&self, tickets: &[Ticket]) -> Vec<Result<(OpResult, u32), ClientError>> {
         tickets.iter().map(|&t| self.wait(t)).collect()
+    }
+
+    /// As [`wait_all`](Self::wait_all), surfacing lease grants.
+    pub fn wait_all_leased(&self, tickets: &[Ticket]) -> Vec<Result<Settled, ClientError>> {
+        tickets.iter().map(|&t| self.wait_leased(t)).collect()
     }
 
     /// Abandons an in-flight op: its slot and scratch buffer are
@@ -788,11 +842,11 @@ mod tests {
         let a = table.begin(0, RegisterId(1), None);
         let b = table.begin(0, RegisterId(2), None);
         assert_ne!(a.token(), b.token());
-        assert_eq!(table.route(b.token(), done(2), 1), Routed::Delivered);
+        assert_eq!(table.route(b.token(), done(2), 1, None), Routed::Delivered);
         assert_eq!(table.claim(a), Claimed::Pending);
-        assert_eq!(table.claim(b), Claimed::Ready(done(2), 1));
-        assert_eq!(table.route(a.token(), done(1), 2), Routed::Delivered);
-        assert_eq!(table.claim(a), Claimed::Ready(done(1), 2));
+        assert_eq!(table.claim(b), Claimed::Ready(done(2), 1, None));
+        assert_eq!(table.route(a.token(), done(1), 2, None), Routed::Delivered);
+        assert_eq!(table.claim(a), Claimed::Ready(done(1), 2, None));
         assert_eq!(table.in_flight(), 0);
         assert_eq!(table.late_acks(), 0);
     }
@@ -803,19 +857,22 @@ mod tests {
         let a = table.begin(0, RegisterId(1), None);
         assert!(table.cancel(a));
         // The slot is reclaimed; the straggler ack must not land.
-        assert_eq!(table.route(a.token(), done(9), 1), Routed::Late);
+        assert_eq!(table.route(a.token(), done(9), 1, None), Routed::Late);
         assert_eq!(table.late_acks(), 1);
         // The slot's next tenant is unaffected.
         let b = table.begin(0, RegisterId(7), None);
         assert_eq!(b.slot(), a.slot(), "slot is recycled");
         assert_eq!(table.claim(b), Claimed::Pending);
-        assert_eq!(table.route(a.token(), done(9), 1), Routed::Late);
-        assert_eq!(table.route(b.token(), done(3), 1), Routed::Delivered);
-        assert_eq!(table.route(b.token(), done(4), 1), Routed::Duplicate);
-        assert_eq!(table.claim(b), Claimed::Ready(done(3), 1));
+        assert_eq!(table.route(a.token(), done(9), 1, None), Routed::Late);
+        assert_eq!(table.route(b.token(), done(3), 1, None), Routed::Delivered);
+        assert_eq!(table.route(b.token(), done(4), 1, None), Routed::Duplicate);
+        assert_eq!(table.claim(b), Claimed::Ready(done(3), 1, None));
         assert_eq!(table.late_acks(), 3);
         // An ack for a slot index that never existed is late too.
-        assert_eq!(table.route(u64::from(u32::MAX), done(0), 0), Routed::Late);
+        assert_eq!(
+            table.route(u64::from(u32::MAX), done(0), 0, None),
+            Routed::Late
+        );
         assert_eq!(table.late_acks(), 4);
     }
 

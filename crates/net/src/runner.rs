@@ -46,7 +46,7 @@ pub const HALT_DUMP_EVENTS: usize = 64;
 /// took. Every operation of one client family shares one completion
 /// channel; the token routes the completion to its slot (see
 /// [`crate::pipeline::InFlightTable`]).
-pub(crate) type Completion = (u64, OpResult, u32);
+pub(crate) type Completion = (u64, OpResult, u32, Option<rmem_types::LeaseGrant>);
 
 pub(crate) enum RunnerEvent {
     Invoke {
@@ -260,7 +260,7 @@ impl OpTable {
     /// operation pending").
     fn drain_shutdown(&mut self) {
         for (_op, (_reg, reply, token, _started, _trace)) in self.in_flight.drain() {
-            let _ = reply.send((token, OpResult::Rejected(RejectReason::Shutdown), 0));
+            let _ = reply.send((token, OpResult::Rejected(RejectReason::Shutdown), 0, None));
         }
         self.by_register.clear();
     }
@@ -346,6 +346,14 @@ impl Client {
     }
 
     fn invoke(&self, operation: Op) -> Result<(OpResult, u32), ClientError> {
+        self.invoke_leased(operation)
+            .map(|(result, rounds, _)| (result, rounds))
+    }
+
+    fn invoke_leased(
+        &self,
+        operation: Op,
+    ) -> Result<(OpResult, u32, Option<rmem_types::LeaseGrant>), ClientError> {
         let ticket = self.pipe.submit(0, operation, self.trace.as_deref())?;
         self.pipe.wait(ticket, self.timeout, self.trace.as_deref())
     }
@@ -416,6 +424,28 @@ impl Client {
     ) -> Result<(rmem_types::Value, u32), ClientError> {
         match self.invoke(Op::ReadAt(reg))? {
             (OpResult::ReadValue(v), rounds) => Ok((v, rounds)),
+            _ => Err(ClientError::ProcessDown),
+        }
+    }
+
+    /// As [`read_at_counted`](Self::read_at_counted), additionally
+    /// surfacing the tag-lease grant a leasing flavor's fast path may
+    /// have minted: `rounds` can then be 0 (the emulation served the
+    /// read from a live coordinator lease, no datagrams at all), and a
+    /// `Some` grant tells the caller it may cache the returned value
+    /// under the granted tag until the lease expires (see
+    /// [`LeaseGrant`](rmem_types::LeaseGrant) for the clock contract).
+    /// Non-leasing flavors always report `None`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`write`](Self::write).
+    pub fn read_at_leased(
+        &self,
+        reg: rmem_types::RegisterId,
+    ) -> Result<(rmem_types::Value, u32, Option<rmem_types::LeaseGrant>), ClientError> {
+        match self.invoke_leased(Op::ReadAt(reg))? {
+            (OpResult::ReadValue(v), rounds, lease) => Ok((v, rounds, lease)),
             _ => Err(ClientError::ProcessDown),
         }
     }
@@ -740,7 +770,12 @@ fn run_loop(
                     timer_tokens.insert(seq, token);
                     timers.push(Reverse((Instant::now() + Duration::from(after), seq)));
                 }
-                Action::Complete { op, result, rounds } => {
+                Action::Complete {
+                    op,
+                    result,
+                    rounds,
+                    lease,
+                } => {
                     if let Some((reply, token, started, trace)) = pending.complete(op) {
                         mx.ops_completed.inc();
                         if obs.metrics.is_enabled() {
@@ -752,7 +787,7 @@ fn run_loop(
                             Some(t) => ev.with_op(t.client, t.op),
                             None => ev.with_op(op.pid.0, op.counter),
                         });
-                        let _ = reply.send((token, result, rounds));
+                        let _ = reply.send((token, result, rounds, lease));
                     }
                 }
             }
@@ -905,7 +940,8 @@ fn run_loop(
                 Ok(RunnerEvent::Invoke { operation, reply, token, trace }) => {
                     let reg = operation.register();
                     if pending.is_busy(reg) {
-                        let _ = reply.send((token, OpResult::Rejected(RejectReason::Busy), 0));
+                        let _ =
+                            reply.send((token, OpResult::Rejected(RejectReason::Busy), 0, None));
                     } else {
                         let op = OpId::new(me, op_counter);
                         op_counter += 1;
@@ -942,7 +978,7 @@ fn run_loop(
     // operation whose emulation is gone.
     while let Ok(ev) = control.try_recv() {
         if let RunnerEvent::Invoke { reply, token, .. } = ev {
-            let _ = reply.send((token, OpResult::Rejected(RejectReason::Shutdown), 0));
+            let _ = reply.send((token, OpResult::Rejected(RejectReason::Shutdown), 0, None));
         }
     }
     pending.drain_shutdown();

@@ -54,7 +54,7 @@ fn check_any_schedule(copies: Vec<usize>, shuffle: Vec<usize>) -> Result<(), Tes
     let mut first_ack_routed = vec![false; n];
     let mut expected_late = 0u64;
     for &i in &stream {
-        let routed = table.route(tickets[i].token(), ack(i), 1);
+        let routed = table.route(tickets[i].token(), ack(i), 1, None);
         if first_ack_routed[i] {
             prop_assert_eq!(routed, Routed::Duplicate);
             expected_late += 1;
@@ -69,7 +69,7 @@ fn check_any_schedule(copies: Vec<usize>, shuffle: Vec<usize>) -> Result<(), Tes
     // dropped ones are still pending and get cancelled.
     for (i, &ticket) in tickets.iter().enumerate() {
         match table.claim(ticket) {
-            Claimed::Ready(result, rounds) => {
+            Claimed::Ready(result, rounds, _) => {
                 prop_assert!(
                     first_ack_routed[i],
                     "op {} never acked yet claimed Ready",
@@ -132,7 +132,7 @@ fn check_reclaimed_slots(n: usize, cancel_mask: Vec<bool>) -> Result<(), TestCas
     // The zombie acks arrive now. Every one must be Late.
     for &i in &abandoned {
         prop_assert_eq!(
-            table.route(first[i].token(), ack(usize::MAX - i), 9),
+            table.route(first[i].token(), ack(usize::MAX - i), 9, None),
             Routed::Late,
             "a reclaimed slot's old token must route Late"
         );
@@ -147,17 +147,23 @@ fn check_reclaimed_slots(n: usize, cancel_mask: Vec<bool>) -> Result<(), TestCas
     // acks still deliver.
     for (k, &t) in second.iter().enumerate() {
         prop_assert!(matches!(table.claim(t), Claimed::Pending));
-        prop_assert_eq!(table.route(t.token(), ack(1000 + k), 2), Routed::Delivered);
+        prop_assert_eq!(
+            table.route(t.token(), ack(1000 + k), 2, None),
+            Routed::Delivered
+        );
         match table.claim(t) {
-            Claimed::Ready(result, 2) => prop_assert_eq!(result, ack(1000 + k)),
+            Claimed::Ready(result, 2, None) => prop_assert_eq!(result, ack(1000 + k)),
             other => prop_assert!(false, "new tenant claim failed: {:?}", other),
         }
     }
     // Survivors of the first wave still deliver too.
     for i in (0..n).filter(|&i| !cancel_mask[i]) {
-        prop_assert_eq!(table.route(first[i].token(), ack(i), 1), Routed::Delivered);
+        prop_assert_eq!(
+            table.route(first[i].token(), ack(i), 1, None),
+            Routed::Delivered
+        );
         match table.claim(first[i]) {
-            Claimed::Ready(result, 1) => prop_assert_eq!(result, ack(i)),
+            Claimed::Ready(result, 1, None) => prop_assert_eq!(result, ack(i)),
             other => prop_assert!(false, "survivor claim failed: {:?}", other),
         }
     }

@@ -597,7 +597,9 @@ impl Simulation {
                     },
                 );
             }
-            Action::Complete { op, result, rounds } => {
+            Action::Complete {
+                op, result, rounds, ..
+            } => {
                 let slot = &mut self.procs[pid.index()];
                 slot.pending.retain(|_, &mut p| p != op);
                 self.trace.bump_chain(op, chain);

@@ -37,18 +37,18 @@ pub const MAX_LEN: usize = 1 << 20;
 
 /// Worst-case encoded size of a value-carrying message (`Write`/`ReadAck`)
 /// minus the value bytes: tag (1), request id (12), timestamp (10), value
-/// marker and length prefix (5), the `ReadAck` durability flag (1), and
-/// the optional trace envelope ([`TRACE_OVERHEAD`], 11 bytes). A `Write`
-/// encodes one byte smaller; the constant is the maximum because an
-/// admitted value must fit the frame in *both* directions — the write that
-/// propagates it and the read acks that later carry it back — whether or
-/// not tracing stamps the message.
+/// marker and length prefix (5), the `ReadAck` durability flag (1) and
+/// lease grant (4), and the optional trace envelope ([`TRACE_OVERHEAD`],
+/// 11 bytes). A `Write` encodes five bytes smaller; the constant is the
+/// maximum because an admitted value must fit the frame in *both*
+/// directions — the write that propagates it and the read acks that later
+/// carry it back — whether or not tracing stamps the message.
 ///
 /// Transports cap whole encoded messages; layers that admit *values* (the
 /// runner's client API, the store) subtract this overhead from the
 /// transport's frame limit to decide whether a value can ever reach a
 /// quorum. Pinned by a test against [`encode_message_traced`].
-pub const VALUE_MSG_OVERHEAD: usize = 29 + TRACE_OVERHEAD;
+pub const VALUE_MSG_OVERHEAD: usize = 33 + TRACE_OVERHEAD;
 
 /// Encoded size of the optional trace envelope appended by
 /// [`encode_message_traced`]: marker (1) + client-family id (2) + op
@@ -226,12 +226,14 @@ pub fn encode_message(msg: &Message) -> Bytes {
             ts,
             value,
             durable,
+            grant,
         } => {
             put_u8(&mut buf, TAG_READ_ACK);
             put_request_id(&mut buf, *req);
             put_timestamp(&mut buf, *ts);
             put_value(&mut buf, value);
             put_u8(&mut buf, u8::from(*durable));
+            buf.put_u32(*grant);
         }
     }
     buf.freeze()
@@ -274,6 +276,12 @@ pub fn decode_message(bytes: &[u8]) -> Result<Message, DecodeError> {
                 0 => false,
                 1 => true,
                 tag => return Err(DecodeError::BadTag { context: CTX, tag }),
+            },
+            grant: {
+                if buf.remaining() < 4 {
+                    return Err(DecodeError::UnexpectedEof { context: CTX });
+                }
+                buf.get_u32()
             },
         },
         tag => return Err(DecodeError::BadTag { context: CTX, tag }),
@@ -366,12 +374,14 @@ mod tests {
                 ts,
                 value: Value::from("payload"),
                 durable: true,
+                grant: 2_000,
             },
             Message::ReadAck {
                 req,
                 ts,
                 value: Value::bottom(),
                 durable: false,
+                grant: 0,
             },
         ]
     }
@@ -471,22 +481,23 @@ mod tests {
                 ts,
                 value: value.clone(),
             };
-            // Write is one byte leaner (no durability flag); the constant
-            // is the max so one admission check covers both directions,
-            // traced or not.
+            // Write is five bytes leaner (no durability flag, no lease
+            // grant); the constant is the max so one admission check
+            // covers both directions, traced or not.
             assert_eq!(
                 encode_message_traced(&write, Some(trace)).len(),
-                VALUE_MSG_OVERHEAD - 1 + len
+                VALUE_MSG_OVERHEAD - 5 + len
             );
             assert_eq!(
                 encode_message(&write).len(),
-                VALUE_MSG_OVERHEAD - TRACE_OVERHEAD - 1 + len
+                VALUE_MSG_OVERHEAD - TRACE_OVERHEAD - 5 + len
             );
             let ack = Message::ReadAck {
                 req,
                 ts,
                 value,
                 durable: true,
+                grant: u32::MAX,
             };
             assert_eq!(
                 encode_message_traced(&ack, Some(trace)).len(),

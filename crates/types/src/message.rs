@@ -167,7 +167,21 @@ pub enum Message {
         /// a volatile-only tag could vanish in a total crash, and a read
         /// that returned it without write-back would re-enable the
         /// new-old inversion the write-back exists to prevent.
+        ///
+        /// A replica holding outstanding tag-lease grants additionally
+        /// reports tags *newer than its minimum granted tag* as
+        /// non-durable: such a tag is still fenced behind live leases
+        /// (its write acknowledgements are parked), so a fast-path read
+        /// returning it early would let a leased read elsewhere invert
+        /// the order.
         durable: bool,
+        /// Tag-lease grant, in microseconds (0 = no grant). A replica
+        /// reporting a durable, lease-clear tag under a leasing flavor
+        /// promises to withhold acknowledgements of any newer write for
+        /// at least this long after sending the ack; a unanimous durable
+        /// quorum whose acks all carry a grant mints a client-held lease
+        /// for the agreed tag.
+        grant: u32,
     },
 }
 
@@ -229,9 +243,14 @@ impl std::fmt::Display for Message {
                 ts,
                 value,
                 durable,
+                grant,
             } => {
                 let marker = if *durable { "" } else { ",volatile" };
-                write!(f, "R_ack({req},{ts},{value}{marker})")
+                if *grant > 0 {
+                    write!(f, "R_ack({req},{ts},{value}{marker},lease={grant}µs)")
+                } else {
+                    write!(f, "R_ack({req},{ts},{value}{marker})")
+                }
             }
         }
     }
@@ -264,6 +283,7 @@ mod tests {
                 ts,
                 value: v,
                 durable: true,
+                grant: 0,
             },
         ];
         for m in &msgs {
@@ -297,7 +317,8 @@ mod tests {
                 req: rid(),
                 ts,
                 value: v,
-                durable: true
+                durable: true,
+                grant: 0
             }
             .payload_len(),
             1024

@@ -40,13 +40,15 @@ fn arb_message() -> impl Strategy<Value = Message> {
             arb_request_id(),
             arb_timestamp(),
             arb_value(),
-            any::<bool>()
+            any::<bool>(),
+            any::<u32>()
         )
-            .prop_map(|(req, ts, value, durable)| Message::ReadAck {
+            .prop_map(|(req, ts, value, durable, grant)| Message::ReadAck {
                 req,
                 ts,
                 value,
                 durable,
+                grant,
             }),
     ]
 }
